@@ -1,0 +1,282 @@
+(* dmnet: command-line interface to the data-management library.
+
+   Subcommands:
+     gen      generate an instance (topology x workload) to a file
+     solve    place objects with a chosen algorithm
+     eval     evaluate a stored placement against an instance
+     compare  run all algorithms on one instance and tabulate
+     radii    print the write/storage radii of an instance *)
+
+open Cmdliner
+open Dmn_prelude
+module I = Dmn_core.Instance
+module C = Dmn_core.Cost
+module A = Dmn_core.Approx
+
+(* ---------- shared arguments ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic).")
+
+let nodes_arg =
+  Arg.(value & opt int 20 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let objects_arg =
+  Arg.(value & opt int 1 & info [ "objects" ] ~docv:"K" ~doc:"Number of shared objects.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
+
+let instance_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc:"Instance file produced by $(b,dmnet gen).")
+
+let emit out s = match out with None -> print_string s | Some f -> Dmn_core.Serial.write_file f s
+
+(* ---------- gen ---------- *)
+
+let topology_conv =
+  Arg.enum
+    [
+      ("tree", `Tree); ("path", `Path); ("ring", `Ring); ("grid", `Grid);
+      ("er", `Er); ("geometric", `Geometric); ("clustered", `Clustered);
+    ]
+
+let workload_conv =
+  Arg.enum [ ("mix", `Mix); ("zipf", `Zipf); ("hotspot", `Hotspot); ("uniform", `Uniform) ]
+
+let gen_cmd =
+  let topology =
+    Arg.(value & opt topology_conv `Er & info [ "topology" ] ~docv:"TOPO"
+           ~doc:"Topology: tree, path, ring, grid, er, geometric, clustered.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv `Mix & info [ "workload" ] ~docv:"WL"
+           ~doc:"Workload: mix, zipf, hotspot, uniform.")
+  in
+  let write_fraction =
+    Arg.(value & opt float 0.2 & info [ "write-fraction" ] ~docv:"F"
+           ~doc:"Write share of the request mix.")
+  in
+  let requests =
+    Arg.(value & opt int 0 & info [ "requests" ] ~docv:"R"
+           ~doc:"Requests per object (0 = 5 per node).")
+  in
+  let storage =
+    Arg.(value & opt float 10.0 & info [ "storage" ] ~docv:"CS"
+           ~doc:"Storage fee scale (fees drawn in [CS/2, 3CS/2]).")
+  in
+  let run seed n objects topology workload write_fraction requests storage out =
+    let rng = Rng.create seed in
+    let g =
+      match topology with
+      | `Tree -> Dmn_graph.Gen.random_tree rng n
+      | `Path -> Dmn_graph.Gen.path n
+      | `Ring -> Dmn_graph.Gen.ring n
+      | `Grid ->
+          let r = int_of_float (Float.sqrt (float_of_int n)) in
+          Dmn_graph.Gen.grid (max 1 r) (max 1 ((n + r - 1) / max 1 r))
+      | `Er -> Dmn_graph.Gen.erdos_renyi rng n 0.25
+      | `Geometric -> Dmn_graph.Gen.random_geometric rng n 0.35
+      | `Clustered ->
+          let c = max 1 (n / 8) in
+          Dmn_graph.Gen.clustered rng ~clusters:c ~per_cluster:(max 1 (n / c))
+    in
+    let n = Dmn_graph.Wgraph.n g in
+    let total = if requests > 0 then requests else 5 * n in
+    let { Dmn_workload.Freq.fr; fw } =
+      match workload with
+      | `Mix -> Dmn_workload.Freq.mix rng ~objects ~n ~total ~write_fraction
+      | `Zipf ->
+          Dmn_workload.Freq.zipf rng ~objects ~n ~requests:total ~s:1.0
+            ~write_ratio:write_fraction
+      | `Hotspot ->
+          Dmn_workload.Freq.hotspot rng ~objects ~n ~readers:(max 1 (n / 4))
+            ~writers:(max 1 (n / 10)) ~volume:(max 1 (total / n))
+      | `Uniform -> Dmn_workload.Freq.uniform rng ~objects ~n ~max_count:(max 1 (total / n))
+    in
+    let cs = Array.init n (fun _ -> Rng.float_in rng (storage /. 2.0) (1.5 *. storage)) in
+    let inst = I.of_graph g ~cs ~fr ~fw in
+    emit out (Dmn_core.Serial.instance_to_string inst)
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ nodes_arg $ objects_arg $ topology $ workload $ write_fraction
+      $ requests $ storage $ out_arg)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a data-management instance.") term
+
+(* ---------- algorithms ---------- *)
+
+let algorithms inst =
+  let approx solver inst ~x = A.place_object ~config:{ A.default_config with A.solver } inst ~x in
+  let base =
+    [
+      ("approx-mp", approx A.Mettu_plaxton);
+      ("approx-jv", approx A.Jain_vazirani);
+      ("approx-ls", approx A.Local_search);
+      ("approx-greedy", approx A.Greedy);
+      ("single", Dmn_baselines.Naive.best_single);
+      ("full", Dmn_baselines.Naive.full_replication);
+      ("greedy-add", fun inst ~x -> Dmn_baselines.Greedy_place.add inst ~x);
+      ("local", fun inst ~x -> Dmn_baselines.Local_place.solve inst ~x);
+    ]
+  in
+  let tree_based =
+    match I.graph inst with
+    | Some g when Dmn_graph.Wgraph.is_tree g ->
+        [ ("tree-opt", fun inst ~x -> fst (Dmn_tree.Tree_solver.place_object inst ~x)) ]
+    | _ -> []
+  in
+  let sta = if I.n inst <= 40 then [ ("approx-sta", approx A.Sta_lp) ] else [] in
+  let exact =
+    (if I.n inst <= 16 then [ ("exact-mst", fun inst ~x -> fst (Dmn_core.Exact.opt_mst inst ~x)) ]
+     else [])
+    @ if I.n inst <= 26 then [ ("exact-bnb", fun inst ~x -> fst (Dmn_core.Bnb.opt_mst inst ~x)) ] else []
+  in
+  base @ sta @ tree_based @ exact
+
+let algo_names inst = List.map fst (algorithms inst)
+
+let lookup_algo inst name =
+  match List.assoc_opt name (algorithms inst) with
+  | Some f -> f
+  | None ->
+      Printf.eprintf "unknown algorithm %s (available: %s)\n" name
+        (String.concat ", " (algo_names inst));
+      exit 2
+
+let solve_placement inst algo =
+  Dmn_core.Placement.make
+    (Array.init (I.objects inst) (fun x -> lookup_algo inst algo inst ~x))
+
+(* ---------- solve ---------- *)
+
+let solve_cmd =
+  let algo =
+    Arg.(value & opt string "approx-mp" & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"Algorithm: approx-mp/jv/ls/greedy/sta, single, full, greedy-add, local, tree-opt (trees), exact-mst/exact-bnb (small n).")
+  in
+  let audit =
+    Arg.(value & flag & info [ "audit" ] ~doc:"Print a full placement audit (per-object breakdown, properness, restrictedness).")
+  in
+  let run file algo audit out =
+    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let p = solve_placement inst algo in
+    if audit then print_string (Dmn_core.Report.render (Dmn_core.Report.build inst p))
+    else begin
+      let b = C.placement_mst inst p in
+      Printf.eprintf "%s: storage %.3f + read %.3f + update %.3f = total %.3f\n" algo b.C.storage
+        b.C.read b.C.update (C.total b)
+    end;
+    emit out (Dmn_core.Serial.placement_to_string p)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Place all objects of an instance.")
+    Term.(const run $ instance_arg $ algo $ audit $ out_arg)
+
+(* ---------- eval ---------- *)
+
+let eval_cmd =
+  let placement_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PLACEMENT" ~doc:"Placement file.")
+  in
+  let run inst_file placement_file =
+    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file inst_file) in
+    let p = Dmn_core.Serial.placement_of_string (Dmn_core.Serial.read_file placement_file) in
+    (match Dmn_core.Placement.validate inst p with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "invalid placement: %s\n" e;
+        exit 2);
+    let b = C.placement_mst inst p in
+    Printf.printf "storage %.6f\nread    %.6f\nupdate  %.6f\ntotal   %.6f\n" b.C.storage
+      b.C.read b.C.update (C.total b)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a placement (MST update policy).")
+    Term.(const run $ instance_arg $ placement_arg)
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let run file =
+    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let tbl = Tbl.create [ "algorithm"; "storage"; "read"; "update"; "total"; "copies" ] in
+    List.iter
+      (fun (name, _) ->
+        let p = solve_placement inst name in
+        let b = C.placement_mst inst p in
+        let copies =
+          List.init (I.objects inst) (fun x -> Dmn_core.Placement.copy_count p ~x)
+          |> List.fold_left ( + ) 0
+        in
+        Tbl.add_row tbl
+          [
+            name; Tbl.fl2 b.C.storage; Tbl.fl2 b.C.read; Tbl.fl2 b.C.update;
+            Tbl.fl2 (C.total b); string_of_int copies;
+          ])
+      (algorithms inst);
+    Tbl.print tbl
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every applicable algorithm and tabulate costs.")
+    Term.(const run $ instance_arg)
+
+(* ---------- loadprofile ---------- *)
+
+let loadprofile_cmd =
+  let algo =
+    Arg.(value & opt string "approx-mp" & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm to place with.")
+  in
+  let run file algo =
+    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let p = solve_placement inst algo in
+    let profile = Dmn_loadmodel.Net_load.of_placement inst p in
+    let tbl = Tbl.create [ "edge"; "load"; "fee"; "weighted" ] in
+    let g = match I.graph inst with Some g -> g | None -> exit 2 in
+    List.iter
+      (fun (u, v, load) ->
+        let fee = Dmn_graph.Wgraph.edge_weight g u v in
+        Tbl.add_row tbl
+          [
+            Printf.sprintf "%d-%d" u v; Tbl.fl load; Tbl.fl fee; Tbl.fl2 (load *. fee);
+          ])
+      profile.Dmn_loadmodel.Net_load.load;
+    Tbl.print tbl;
+    Printf.printf "total weighted load %.3f, max edge %.3f\n"
+      profile.Dmn_loadmodel.Net_load.total_weighted profile.Dmn_loadmodel.Net_load.max_weighted
+  in
+  Cmd.v
+    (Cmd.info "loadprofile" ~doc:"Per-edge routed load of a placement (congestion view).")
+    Term.(const run $ instance_arg $ algo)
+
+(* ---------- radii ---------- *)
+
+let radii_cmd =
+  let obj = Arg.(value & opt int 0 & info [ "x" ] ~docv:"X" ~doc:"Object index.") in
+  let run file x =
+    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let r = Dmn_core.Radii.compute inst ~x in
+    let tbl = Tbl.create [ "node"; "cs"; "requests"; "rw"; "rs"; "zs" ] in
+    Array.iteri
+      (fun v nr ->
+        Tbl.add_row tbl
+          [
+            string_of_int v;
+            Tbl.fl (I.cs inst v);
+            string_of_int (I.requests inst ~x v);
+            Tbl.fl nr.Dmn_core.Radii.rw;
+            Tbl.fl nr.Dmn_core.Radii.rs;
+            string_of_int nr.Dmn_core.Radii.zs;
+          ])
+      r;
+    Tbl.print tbl
+  in
+  Cmd.v
+    (Cmd.info "radii" ~doc:"Print the paper's write and storage radii per node.")
+    Term.(const run $ instance_arg $ obj)
+
+let () =
+  let doc = "approximation algorithms for data management in networks (SPAA 2001)" in
+  let info = Cmd.info "dmnet" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd ]))

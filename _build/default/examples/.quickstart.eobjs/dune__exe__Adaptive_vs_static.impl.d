@@ -1,0 +1,1 @@
+examples/adaptive_vs_static.ml: Array Dmn_core Dmn_dynamic Dmn_graph Dmn_prelude Dmn_workload Format List Printf Rng

@@ -1,0 +1,1 @@
+examples/adaptive_vs_static.mli:

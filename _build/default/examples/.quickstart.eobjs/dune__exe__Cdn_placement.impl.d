@@ -1,0 +1,1 @@
+examples/cdn_placement.ml: Dmn_baselines Dmn_core Dmn_prelude Dmn_workload List Printf Rng String Tbl

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmn_baselines Dmn_core Dmn_graph List Printf String

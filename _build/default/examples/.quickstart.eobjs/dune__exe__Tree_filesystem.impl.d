@@ -1,0 +1,1 @@
+examples/tree_filesystem.ml: Dmn_baselines Dmn_core Dmn_prelude Dmn_tree Dmn_workload Fun List Printf Rng String Tbl

@@ -1,0 +1,1 @@
+examples/vsm_mesh.ml: Array Dmn_core Dmn_graph Dmn_prelude Dmn_workload List Printf Rng Tbl

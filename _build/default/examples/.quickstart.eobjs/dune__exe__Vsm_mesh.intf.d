@@ -1,0 +1,1 @@
+examples/vsm_mesh.mli:

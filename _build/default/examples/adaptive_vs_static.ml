@@ -1,0 +1,60 @@
+(* Static placement vs online adaptation (extension experiment).
+
+   The paper computes static placements from known frequencies. This
+   example replays two request streams against three strategies:
+
+   - the paper's static placement (computed from the true frequencies),
+   - a migrating single owner,
+   - threshold-based caching (replicate hot readers, drop write-only
+     replicas),
+
+   once with a stationary stream drawn from the same frequencies the
+   static algorithm saw, and once with drifting hotspots it never saw.
+
+   Run with: dune exec examples/adaptive_vs_static.exe *)
+
+open Dmn_prelude
+module I = Dmn_core.Instance
+module St = Dmn_dynamic.Stream
+module Sg = Dmn_dynamic.Strategy
+module Sim = Dmn_dynamic.Sim
+
+let () =
+  let rng = Rng.create 99 in
+  let n = 24 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.35 in
+  let cs = Array.make n 2.5 in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.zipf rng ~objects:2 ~n ~requests:(10 * n) ~s:1.0 ~write_ratio:0.15
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  Printf.printf "== adaptive vs static on %d nodes, %d objects ==\n" n (I.objects inst);
+
+  let static_placement = Dmn_core.Approx.solve inst in
+  let strategies () =
+    [
+      Sg.static inst static_placement;
+      Sg.migrating_owner inst;
+      Sg.threshold_caching inst;
+    ]
+  in
+  let show title events =
+    Printf.printf "\n-- %s (%d events) --\n" title (List.length events);
+    List.iter
+      (fun strat ->
+        let r = Sim.run inst strat events in
+        Format.printf "%a@." Sim.pp r)
+      (strategies ())
+  in
+  let volume = 8 * 10 * n * 2 in
+  show "stationary stream (matches the planned frequencies)"
+    (St.stationary (Rng.create 1) inst ~length:volume);
+  show "drifting hotspots (frequencies the planner never saw)"
+    (St.drifting (Rng.create 2) inst ~phases:8 ~phase_length:(volume / 8) ~write_fraction:0.15);
+  print_newline ();
+  print_endline
+    "On the stationary stream the paper's static placement is hard to\n\
+     beat. Under drift its replica set goes stale: serving cost jumps\n\
+     while the adaptive strategies keep theirs flat and overtake it\n\
+     once the drift lasts long enough to amortize their replication\n\
+     transfers -- the trade static guarantees make for simplicity."

@@ -1,0 +1,1 @@
+lib/baselines/greedy_place.ml: Dmn_core Fun List Naive

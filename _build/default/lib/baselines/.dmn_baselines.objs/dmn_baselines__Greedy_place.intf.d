@@ -1,0 +1,1 @@
+lib/baselines/greedy_place.mli: Dmn_core

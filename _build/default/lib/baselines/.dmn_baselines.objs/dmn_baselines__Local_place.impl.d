@@ -1,0 +1,1 @@
+lib/baselines/local_place.ml: Dmn_core List Naive

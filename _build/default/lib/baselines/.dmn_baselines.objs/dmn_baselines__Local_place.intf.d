@@ -1,0 +1,1 @@
+lib/baselines/local_place.mli: Dmn_core

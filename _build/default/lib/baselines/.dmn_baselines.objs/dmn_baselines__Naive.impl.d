@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Array Dmn_core Dmn_facility Fun List

@@ -1,0 +1,54 @@
+module I = Dmn_core.Instance
+module C = Dmn_core.Cost
+
+let storable inst =
+  List.filter (fun v -> I.cs inst v < infinity) (List.init (I.n inst) Fun.id)
+
+let add inst ~x =
+  let current = ref (Naive.best_single inst ~x) in
+  let cost = ref (C.total_mst inst ~x !current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_v = ref (-1) and best_cost = ref !cost in
+    List.iter
+      (fun v ->
+        if not (List.mem v !current) then begin
+          let c = C.total_mst inst ~x (v :: !current) in
+          if c < !best_cost then begin
+            best_cost := c;
+            best_v := v
+          end
+        end)
+      (storable inst);
+    if !best_v >= 0 then begin
+      current := List.sort compare (!best_v :: !current);
+      cost := !best_cost;
+      improved := true
+    end
+  done;
+  !current
+
+let drop inst ~x =
+  let current = ref (storable inst) in
+  let cost = ref (C.total_mst inst ~x !current) in
+  let improved = ref true in
+  while !improved && List.length !current > 1 do
+    improved := false;
+    let best_v = ref (-1) and best_cost = ref !cost in
+    List.iter
+      (fun v ->
+        let rest = List.filter (fun u -> u <> v) !current in
+        let c = C.total_mst inst ~x rest in
+        if c < !best_cost then begin
+          best_cost := c;
+          best_v := v
+        end)
+      !current;
+    if !best_v >= 0 then begin
+      current := List.filter (fun u -> u <> !best_v) !current;
+      cost := !best_cost;
+      improved := true
+    end
+  done;
+  !current

@@ -1,0 +1,11 @@
+(** Greedy add / drop heuristics on the data-management objective
+    itself (the classic file-assignment heuristics surveyed by
+    Dowdy–Foster, evaluated against the paper's algorithm in E3/E5). *)
+
+(** [add inst ~x] starts from the best single copy and adds the copy
+    with the best cost reduction until no addition improves. *)
+val add : Dmn_core.Instance.t -> x:int -> int list
+
+(** [drop inst ~x] starts from full replication and drops the copy with
+    the best cost reduction while improving (never dropping the last). *)
+val drop : Dmn_core.Instance.t -> x:int -> int list

@@ -1,0 +1,41 @@
+module I = Dmn_core.Instance
+module C = Dmn_core.Cost
+
+let solve ?(max_iters = 1000) inst ~x =
+  let n = I.n inst in
+  let ok v = I.cs inst v < infinity in
+  let current = ref (Naive.best_single inst ~x) in
+  let cost = ref (C.total_mst inst ~x !current) in
+  let try_set candidate =
+    match candidate with
+    | [] -> false
+    | _ ->
+        let c = C.total_mst inst ~x candidate in
+        if c < !cost -. 1e-12 then begin
+          current := List.sort compare candidate;
+          cost := c;
+          true
+        end
+        else false
+  in
+  let improved = ref true in
+  let iters = ref 0 in
+  while !improved && !iters < max_iters do
+    improved := false;
+    incr iters;
+    for v = 0 to n - 1 do
+      if ok v && not (List.mem v !current) then
+        if try_set (v :: !current) then improved := true
+    done;
+    List.iter
+      (fun v -> if try_set (List.filter (fun u -> u <> v) !current) then improved := true)
+      !current;
+    List.iter
+      (fun v ->
+        for u = 0 to n - 1 do
+          if ok u && (not (List.mem u !current)) && List.mem v !current then
+            if try_set (u :: List.filter (fun w -> w <> v) !current) then improved := true
+        done)
+      !current
+  done;
+  !current

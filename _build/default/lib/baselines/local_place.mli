@@ -1,0 +1,8 @@
+(** Local search directly on the data-management objective (add / drop /
+    swap over copy sets, MST write policy). Stronger and much slower
+    than the paper's algorithm; a quality yardstick on instances too
+    large for exhaustive search. *)
+
+(** [solve ?max_iters inst ~x] runs to a local optimum (default cap
+    1000 accepted moves). *)
+val solve : ?max_iters:int -> Dmn_core.Instance.t -> x:int -> int list

@@ -1,0 +1,24 @@
+let storable inst =
+  List.filter (fun v -> Dmn_core.Instance.cs inst v < infinity) (List.init (Dmn_core.Instance.n inst) Fun.id)
+
+let full_replication inst ~x =
+  ignore x;
+  match storable inst with [] -> invalid_arg "Naive: no storable node" | l -> l
+
+let best_single inst ~x =
+  let best = ref [] and best_cost = ref infinity in
+  List.iter
+    (fun v ->
+      let c = Dmn_core.Cost.total_mst inst ~x [ v ] in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := [ v ]
+      end)
+    (storable inst);
+  !best
+
+let read_only_reduction inst ~x =
+  Dmn_facility.Local_search.solve (Dmn_core.Instance.related_flp inst ~x)
+
+let solve strategy inst =
+  Dmn_core.Placement.make (Array.init (Dmn_core.Instance.objects inst) (fun x -> strategy inst ~x))

@@ -1,0 +1,23 @@
+(** Naive placement strategies — the classic file-allocation heuristics
+    the paper's cost model subsumes; used as comparison points in the
+    benchmark suite.
+
+    All per-object functions return a copy list evaluated with the MST
+    write policy ({!Dmn_core.Cost.eval_mst}). *)
+
+(** [full_replication inst ~x] stores a copy on every storable node. *)
+val full_replication : Dmn_core.Instance.t -> x:int -> int list
+
+(** [best_single inst ~x] is the 1-median: the single node minimizing
+    the total cost (exactly optimal among single-copy placements). *)
+val best_single : Dmn_core.Instance.t -> x:int -> int list
+
+(** [read_only_reduction inst ~x] ignores write update traffic and
+    solves the related facility location problem with local search —
+    the Baev–Rajaraman-style read-only strategy; far from optimal under
+    write-heavy loads (experiment E3). *)
+val read_only_reduction : Dmn_core.Instance.t -> x:int -> int list
+
+(** [solve strategy inst] applies a per-object strategy to every
+    object. *)
+val solve : (Dmn_core.Instance.t -> x:int -> int list) -> Dmn_core.Instance.t -> Dmn_core.Placement.t

@@ -1,0 +1,1 @@
+lib/capacitated/capplace.ml: Array Dmn_core Dmn_lp Dmn_paths Fun List Metric Printf

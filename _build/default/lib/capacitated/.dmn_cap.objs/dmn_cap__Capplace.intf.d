@@ -1,0 +1,1 @@
+lib/capacitated/capplace.mli: Dmn_core

@@ -1,0 +1,282 @@
+open Dmn_paths
+module I = Dmn_core.Instance
+module P = Dmn_core.Placement
+
+type t = { inst : I.t; capacity : int array; include_writes : bool }
+
+let create ?(include_writes = false) inst ~capacity =
+  let n = I.n inst in
+  if Array.length capacity <> n then invalid_arg "Capplace.create: capacity length mismatch";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Capplace.create: negative capacity") capacity;
+  let total = Array.fold_left ( + ) 0 capacity in
+  if total < 1 then invalid_arg "Capplace.create: no capacity at all";
+  (* each object needs one slot somewhere; single-slot nodes can host
+     only one object each *)
+  if I.objects inst > total then invalid_arg "Capplace.create: infeasible (objects > capacity)";
+  { inst; capacity; include_writes }
+
+let usage t p =
+  let use = Array.make (I.n t.inst) 0 in
+  for x = 0 to P.objects p - 1 do
+    List.iter (fun v -> use.(v) <- use.(v) + 1) (P.copies p ~x)
+  done;
+  use
+
+let validate t p =
+  if P.objects p <> I.objects t.inst then Error "object count mismatch"
+  else begin
+    let use = usage t p in
+    let bad = ref None in
+    Array.iteri
+      (fun v u ->
+        if u > t.capacity.(v) then
+          bad := Some (Printf.sprintf "node %d holds %d > capacity %d" v u t.capacity.(v)))
+      use;
+    match !bad with Some e -> Error e | None -> Ok ()
+  end
+
+let object_cost t ~x copies =
+  if t.include_writes then Dmn_core.Cost.total_mst t.inst ~x copies
+  else begin
+    let m = I.metric t.inst in
+    let storage = List.fold_left (fun acc v -> acc +. I.cs t.inst v) 0.0 copies in
+    let read = ref storage in
+    for v = 0 to I.n t.inst - 1 do
+      let c = I.reads t.inst ~x v in
+      if c > 0 then begin
+        let _, d = Metric.nearest m v copies in
+        read := !read +. (float_of_int c *. d)
+      end
+    done;
+    !read
+  end
+
+let cost t p =
+  let acc = ref 0.0 in
+  for x = 0 to P.objects p - 1 do
+    acc := !acc +. object_cost t ~x (P.copies p ~x)
+  done;
+  !acc
+
+(* Greedy: each object first claims its best feasible node (by demand-
+   weighted cost), in order of decreasing demand; then free slots are
+   filled by the best (object, node) marginal improvement. *)
+let greedy t =
+  let n = I.n t.inst and k = I.objects t.inst in
+  let use = Array.make n 0 in
+  let copies = Array.make k [] in
+  let free v = use.(v) < t.capacity.(v) in
+  let order =
+    List.init k Fun.id
+    |> List.sort (fun a b -> compare (I.total_reads t.inst ~x:b, a) (I.total_reads t.inst ~x:a, b))
+  in
+  List.iter
+    (fun x ->
+      let best = ref (-1) and best_cost = ref infinity in
+      for v = 0 to n - 1 do
+        if free v then begin
+          let c = object_cost t ~x [ v ] in
+          if c < !best_cost then begin
+            best_cost := c;
+            best := v
+          end
+        end
+      done;
+      if !best < 0 then invalid_arg "Capplace.greedy: ran out of capacity";
+      copies.(x) <- [ !best ];
+      use.(!best) <- use.(!best) + 1)
+    order;
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_gain = ref 1e-9 and best_x = ref (-1) and best_v = ref (-1) in
+    for x = 0 to k - 1 do
+      let current = object_cost t ~x copies.(x) in
+      for v = 0 to n - 1 do
+        if free v && not (List.mem v copies.(x)) then begin
+          let gain = current -. object_cost t ~x (v :: copies.(x)) in
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best_x := x;
+            best_v := v
+          end
+        end
+      done
+    done;
+    if !best_x >= 0 then begin
+      copies.(!best_x) <- List.sort compare (!best_v :: copies.(!best_x));
+      use.(!best_v) <- use.(!best_v) + 1;
+      improved := true
+    end
+  done;
+  P.make copies
+
+let local_search ?(max_iters = 500) t =
+  let n = I.n t.inst and k = I.objects t.inst in
+  let p = greedy t in
+  let copies = Array.init k (fun x -> P.copies p ~x) in
+  let use = Array.make n 0 in
+  Array.iter (List.iter (fun v -> use.(v) <- use.(v) + 1)) copies;
+  let free v = use.(v) < t.capacity.(v) in
+  let improved = ref true and iters = ref 0 in
+  while !improved && !iters < max_iters do
+    improved := false;
+    incr iters;
+    (* drop a redundant copy *)
+    for x = 0 to k - 1 do
+      if List.length copies.(x) > 1 then
+        List.iter
+          (fun v ->
+            let rest = List.filter (fun u -> u <> v) copies.(x) in
+            if rest <> [] && object_cost t ~x rest < object_cost t ~x copies.(x) -. 1e-12 then begin
+              copies.(x) <- rest;
+              use.(v) <- use.(v) - 1;
+              improved := true
+            end)
+          copies.(x)
+    done;
+    (* relocate a copy to a free slot *)
+    for x = 0 to k - 1 do
+      List.iter
+        (fun v ->
+          if List.mem v copies.(x) then begin
+          let rest = List.filter (fun u -> u <> v) copies.(x) in
+          let current = object_cost t ~x copies.(x) in
+          for u = 0 to n - 1 do
+            if free u && (not (List.mem u copies.(x)))
+               && object_cost t ~x (u :: rest) < current -. 1e-12
+            then begin
+              copies.(x) <- List.sort compare (u :: rest);
+              use.(v) <- use.(v) - 1;
+              use.(u) <- use.(u) + 1;
+              improved := true
+            end
+          done
+          end)
+        copies.(x)
+    done;
+    (* swap copies of two objects across two full nodes *)
+    for x1 = 0 to k - 1 do
+      for x2 = x1 + 1 to k - 1 do
+        List.iter
+          (fun v1 ->
+            List.iter
+              (fun v2 ->
+                if v1 <> v2 && List.mem v1 copies.(x1) && List.mem v2 copies.(x2)
+                   && (not (List.mem v2 copies.(x1)))
+                   && not (List.mem v1 copies.(x2))
+                then begin
+                  let c1 = object_cost t ~x:x1 copies.(x1)
+                  and c2 = object_cost t ~x:x2 copies.(x2) in
+                  let n1 = v2 :: List.filter (fun u -> u <> v1) copies.(x1) in
+                  let n2 = v1 :: List.filter (fun u -> u <> v2) copies.(x2) in
+                  let c1' = object_cost t ~x:x1 n1 and c2' = object_cost t ~x:x2 n2 in
+                  if c1' +. c2' < c1 +. c2 -. 1e-12 then begin
+                    copies.(x1) <- List.sort compare n1;
+                    copies.(x2) <- List.sort compare n2;
+                    improved := true
+                  end
+                end)
+              copies.(x2))
+          copies.(x1)
+      done
+    done
+  done;
+  P.make copies
+
+let exact t =
+  let n = I.n t.inst and k = I.objects t.inst in
+  if k * n > 18 then invalid_arg "Capplace.exact: too many placement slots";
+  (* DFS over objects; each object picks a non-empty subset of nodes
+     respecting residual capacities *)
+  let use = Array.make n 0 in
+  let best = ref None and best_cost = ref infinity in
+  let chosen = Array.make k [] in
+  let rec subsets x v acc =
+    if v = n then begin
+      if acc <> [] then begin
+        chosen.(x) <- List.rev acc;
+        place (x + 1)
+      end
+    end
+    else begin
+      subsets x (v + 1) acc;
+      if use.(v) < t.capacity.(v) then begin
+        use.(v) <- use.(v) + 1;
+        subsets x (v + 1) (v :: acc);
+        use.(v) <- use.(v) - 1
+      end
+    end
+  and place x =
+    if x = k then begin
+      let total = ref 0.0 in
+      for x = 0 to k - 1 do
+        total := !total +. object_cost t ~x chosen.(x)
+      done;
+      if !total < !best_cost then begin
+        best_cost := !total;
+        best := Some (Array.copy chosen)
+      end
+    end
+    else subsets x 0 []
+  in
+  place 0;
+  match !best with
+  | Some arr -> (P.make arr, !best_cost)
+  | None -> invalid_arg "Capplace.exact: infeasible"
+
+let lp_bound t =
+  if t.include_writes then invalid_arg "Capplace.lp_bound: read-only model only";
+  let n = I.n t.inst and k = I.objects t.inst in
+  if k * n > 120 then invalid_arg "Capplace.lp_bound: LP too large";
+  (* variables: y_xi at [x*n + i]; x_xij at [k*n + x*n*n + i*n + j] *)
+  let m = I.metric t.inst in
+  let nv = (k * n) + (k * n * n) in
+  let y x i = (x * n) + i in
+  let xi x i j = (k * n) + (x * n * n) + (i * n) + j in
+  let objective = Array.make nv 0.0 in
+  for x = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      objective.(y x i) <- (if I.cs t.inst i = infinity then 1e12 else I.cs t.inst i);
+      for j = 0 to n - 1 do
+        objective.(xi x i j) <- float_of_int (I.reads t.inst ~x j) *. Metric.d m i j
+      done
+    done
+  done;
+  let constraints = ref [] in
+  for x = 0 to k - 1 do
+    (* each object fully assigned from each reading client *)
+    for j = 0 to n - 1 do
+      if I.reads t.inst ~x j > 0 then begin
+        let row = Array.make nv 0.0 in
+        for i = 0 to n - 1 do
+          row.(xi x i j) <- 1.0
+        done;
+        constraints := (row, Dmn_lp.Simplex.Eq, 1.0) :: !constraints;
+        for i = 0 to n - 1 do
+          let row = Array.make nv 0.0 in
+          row.(xi x i j) <- 1.0;
+          row.(y x i) <- -1.0;
+          constraints := (row, Dmn_lp.Simplex.Le, 0.0) :: !constraints
+        done
+      end
+    done;
+    (* at least one (fractional) copy per object *)
+    let row = Array.make nv 0.0 in
+    for i = 0 to n - 1 do
+      row.(y x i) <- 1.0
+    done;
+    constraints := (row, Dmn_lp.Simplex.Ge, 1.0) :: !constraints
+  done;
+  (* capacities couple the objects *)
+  for i = 0 to n - 1 do
+    let row = Array.make nv 0.0 in
+    for x = 0 to k - 1 do
+      row.(y x i) <- 1.0
+    done;
+    constraints := (row, Dmn_lp.Simplex.Le, float_of_int t.capacity.(i)) :: !constraints
+  done;
+  match Dmn_lp.Simplex.minimize ~objective ~constraints:(List.rev !constraints) with
+  | Dmn_lp.Simplex.Optimal { value; _ } -> value
+  | Dmn_lp.Simplex.Infeasible -> invalid_arg "Capplace.lp_bound: LP infeasible"
+  | Dmn_lp.Simplex.Unbounded -> invalid_arg "Capplace.lp_bound: LP unbounded"

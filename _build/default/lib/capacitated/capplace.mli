@@ -1,0 +1,55 @@
+(** Capacitated data placement — the model of Baev–Rajaraman (SODA
+    2001), which the paper's related-work section positions against its
+    own: read requests only, and each node can hold at most
+    [capacity v] copies across {e all} objects, so objects are no
+    longer independent.
+
+    Costs follow the same metric: a copy on [v] pays [cs v] and reads
+    travel to the nearest copy of their object. Every object needs at
+    least one copy and every node at most [capacity v] copies, so an
+    instance is feasible iff [sum capacity >= 1] per object... i.e.
+    [objects <= sum_v capacity v].
+
+    Provided: feasibility/validation, a greedy marginal-gain solver, a
+    swap/move local search, an exhaustive optimum for tiny instances,
+    and an LP lower bound on the in-repo simplex. *)
+
+type t = {
+  inst : Dmn_core.Instance.t;
+  capacity : int array;
+  include_writes : bool;
+}
+
+(** [create ?include_writes inst ~capacity] validates shapes,
+    non-negative capacities and global feasibility. By default writes
+    are ignored (Baev–Rajaraman's read-only model); with
+    [~include_writes:true] the full MST-policy cost is charged — the
+    paper's cost model under capacity constraints (the direction Meyer
+    auf der Heide et al. explore for dynamic strategies). *)
+val create : ?include_writes:bool -> Dmn_core.Instance.t -> capacity:int array -> t
+
+(** [validate t p] checks per-node capacities and per-object
+    non-emptiness. *)
+val validate : t -> Dmn_core.Placement.t -> (unit, string) result
+
+(** [cost t p] is the placement's cost under the configured model. *)
+val cost : t -> Dmn_core.Placement.t -> float
+
+(** [greedy t] seeds every object at its best feasible node, then
+    repeatedly fills remaining capacity with the copy of best marginal
+    gain; stops when no copy helps. *)
+val greedy : t -> Dmn_core.Placement.t
+
+(** [local_search ?max_iters t] improves {!greedy} with copy moves
+    (relocate a copy to a free slot) and inter-object swaps on full
+    nodes. *)
+val local_search : ?max_iters:int -> t -> Dmn_core.Placement.t
+
+(** [exact t] exhaustive optimum; practical only for
+    [objects * n <= ~18] slots. @raise Invalid_argument beyond that. *)
+val exact : t -> Dmn_core.Placement.t * float
+
+(** [lp_bound t] is the LP-relaxation lower bound
+    (variables [y_xi], [x_xij], capacity rows [sum_x y_xi <= cap_i]).
+    Same dense-LP practicality caveat as the facility LPs. *)
+val lp_bound : t -> float

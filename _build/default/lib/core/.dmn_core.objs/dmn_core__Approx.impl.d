@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Cost Dmn_facility Dmn_paths Hashtbl Instance List Metric Placement Radii

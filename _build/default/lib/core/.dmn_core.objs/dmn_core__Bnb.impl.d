@@ -1,0 +1,1 @@
+lib/core/bnb.ml: Array Dmn_paths Float Fun Instance List Metric

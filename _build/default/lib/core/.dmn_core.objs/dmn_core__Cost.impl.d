@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Dijkstra Dmn_paths Dmn_prelude Dmn_span Float Floatx Format Instance List Metric Placement

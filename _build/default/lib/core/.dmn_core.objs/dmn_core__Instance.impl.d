@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Dmn_facility Dmn_graph Dmn_paths Float Metric Wgraph

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Dmn_facility Dmn_graph Dmn_paths Metric Wgraph

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Format Instance List Printf String

@@ -1,0 +1,1 @@
+lib/core/proper.ml: Array Cost Dmn_paths Float Format Instance List Metric Radii

@@ -1,0 +1,1 @@
+lib/core/proper.mli: Format Instance Radii

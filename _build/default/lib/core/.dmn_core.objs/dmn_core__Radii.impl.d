@@ -1,0 +1,1 @@
+lib/core/radii.ml: Array Dmn_paths Dmn_prelude Float Instance Metric Printf

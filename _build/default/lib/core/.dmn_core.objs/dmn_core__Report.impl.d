@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Cost Dmn_prelude Float Format Instance List Placement Printf Proper Radii Restricted Tbl

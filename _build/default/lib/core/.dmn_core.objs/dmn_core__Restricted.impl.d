@@ -1,0 +1,1 @@
+lib/core/restricted.ml: Dmn_paths Dmn_span Hashtbl Instance List Metric Option

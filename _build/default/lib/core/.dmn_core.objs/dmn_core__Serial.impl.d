@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Dmn_graph Fun Instance List Placement Printf String Wgraph

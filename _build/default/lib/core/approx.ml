@@ -1,0 +1,89 @@
+open Dmn_paths
+
+type flp_solver = Local_search | Jain_vazirani | Mettu_plaxton | Greedy | Trivial | Sta_lp
+
+let solver_name = function
+  | Local_search -> "local-search"
+  | Jain_vazirani -> "jain-vazirani"
+  | Mettu_plaxton -> "mettu-plaxton"
+  | Greedy -> "greedy"
+  | Trivial -> "trivial"
+  | Sta_lp -> "sta-lp"
+
+type config = {
+  solver : flp_solver;
+  phase2_factor : float;
+  phase3_factor : float;
+  run_phase2 : bool;
+  run_phase3 : bool;
+}
+
+let default_config =
+  { solver = Mettu_plaxton; phase2_factor = 5.0; phase3_factor = 4.0; run_phase2 = true; run_phase3 = true }
+
+let phase1 ~config inst ~x =
+  let flp = Instance.related_flp inst ~x in
+  match config.solver with
+  | Local_search -> Dmn_facility.Local_search.solve flp
+  | Jain_vazirani -> Dmn_facility.Jain_vazirani.solve flp
+  | Mettu_plaxton -> Dmn_facility.Mettu_plaxton.solve flp
+  | Greedy -> Dmn_facility.Greedy.solve flp
+  | Sta_lp -> Dmn_facility.Sta.solve flp
+  | Trivial ->
+      let n = Instance.n inst in
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if Instance.cs inst v < infinity && (!best < 0 || Instance.cs inst v < Instance.cs inst !best)
+        then best := v
+      done;
+      [ !best ]
+
+let phase2 ~config inst ~x radii copies =
+  ignore x;
+  let m = Instance.metric inst in
+  let n = Instance.n inst in
+  let dist = Cost.nearest_dists inst copies in
+  let result = ref (List.rev copies) in
+  for v = 0 to n - 1 do
+    let bound = config.phase2_factor *. radii.(v).Radii.rs in
+    if dist.(v) > bound && Instance.cs inst v < infinity then begin
+      result := v :: !result;
+      (* a new copy on v can only shrink nearest-copy distances *)
+      for u = 0 to n - 1 do
+        let duv = Metric.d m u v in
+        if duv < dist.(u) then dist.(u) <- duv
+      done
+    end
+  done;
+  List.rev !result
+
+let phase3 ~config inst radii copies =
+  let m = Instance.metric inst in
+  let holders = Array.of_list (List.sort_uniq compare copies) in
+  (* ascending write radii; ties broken by node id for determinism *)
+  Array.sort
+    (fun u v -> compare (radii.(u).Radii.rw, u) (radii.(v).Radii.rw, v))
+    holders;
+  let alive = Hashtbl.create (Array.length holders) in
+  Array.iter (fun v -> Hashtbl.replace alive v ()) holders;
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem alive v then
+        Array.iter
+          (fun u ->
+            if u <> v && Hashtbl.mem alive u
+               && Metric.d m u v <= config.phase3_factor *. radii.(u).Radii.rw
+            then Hashtbl.remove alive u)
+          holders)
+    holders;
+  Array.to_list holders |> List.filter (Hashtbl.mem alive) |> List.sort compare
+
+let place_object ?(config = default_config) inst ~x =
+  let copies = phase1 ~config inst ~x in
+  let radii = Radii.compute inst ~x in
+  let copies = if config.run_phase2 then phase2 ~config inst ~x radii copies else copies in
+  let copies = if config.run_phase3 then phase3 ~config inst radii copies else copies in
+  List.sort_uniq compare copies
+
+let solve ?(config = default_config) inst =
+  Placement.make (Array.init (Instance.objects inst) (fun x -> place_object ~config inst ~x))

@@ -1,0 +1,128 @@
+open Dmn_paths
+
+let explored = ref 0
+let pruned = ref 0
+
+let stats () = (!explored, !pruned)
+
+(* dense Prim over a node list in the metric; O(k^2) *)
+let mst_weight m nodes =
+  match nodes with
+  | [] | [ _ ] -> 0.0
+  | first :: _ ->
+      let arr = Array.of_list nodes in
+      let k = Array.length arr in
+      let in_tree = Array.make k false in
+      let best = Array.make k infinity in
+      let total = ref 0.0 in
+      let current = ref 0 in
+      ignore first;
+      in_tree.(0) <- true;
+      for i = 1 to k - 1 do
+        best.(i) <- Metric.d m arr.(0) arr.(i)
+      done;
+      for _ = 1 to k - 1 do
+        let next = ref (-1) in
+        for i = 0 to k - 1 do
+          if (not in_tree.(i)) && (!next < 0 || best.(i) < best.(!next)) then next := i
+        done;
+        total := !total +. best.(!next);
+        in_tree.(!next) <- true;
+        current := !next;
+        for i = 0 to k - 1 do
+          if not in_tree.(i) then best.(i) <- Float.min best.(i) (Metric.d m arr.(!current) arr.(i))
+        done
+      done;
+      !total
+
+let opt_mst ?(node_limit = 5_000_000) inst ~x =
+  explored := 0;
+  pruned := 0;
+  let n = Instance.n inst in
+  let m = Instance.metric inst in
+  let w_total = float_of_int (Instance.total_writes inst ~x) in
+  let req = Array.init n (fun v -> float_of_int (Instance.requests inst ~x v)) in
+  let sites =
+    List.init n Fun.id
+    |> List.filter (fun v -> Instance.cs inst v < infinity)
+    |> List.sort (fun a b -> compare (req.(b), a) (req.(a), b))
+    |> Array.of_list
+  in
+  let k = Array.length sites in
+  if k = 0 then invalid_arg "Bnb.opt_mst: no storable node";
+  let exact_cost copies =
+    let storage = List.fold_left (fun acc v -> acc +. Instance.cs inst v) 0.0 copies in
+    let read = ref 0.0 in
+    for v = 0 to n - 1 do
+      if req.(v) > 0.0 then begin
+        let d = List.fold_left (fun acc c -> Float.min acc (Metric.d m v c)) infinity copies in
+        read := !read +. (req.(v) *. d)
+      end
+    done;
+    storage +. !read +. (w_total *. mst_weight m copies)
+  in
+  (* incumbent: greedy add from the best single copy *)
+  let incumbent = ref [ sites.(0) ] and incumbent_cost = ref infinity in
+  Array.iter
+    (fun v ->
+      let c = exact_cost [ v ] in
+      if c < !incumbent_cost then begin
+        incumbent_cost := c;
+        incumbent := [ v ]
+      end)
+    sites;
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    Array.iter
+      (fun v ->
+        if not (List.mem v !incumbent) then begin
+          let c = exact_cost (v :: !incumbent) in
+          if c < !incumbent_cost then begin
+            incumbent_cost := c;
+            incumbent := v :: !incumbent;
+            improved := true
+          end
+        end)
+      sites
+  done;
+  (* lower bound for partial assignment: S open (list), sites.(i..) undecided *)
+  let lower_bound s_open storage i =
+    let read = ref 0.0 in
+    for v = 0 to n - 1 do
+      if req.(v) > 0.0 then begin
+        let d = ref infinity in
+        List.iter (fun c -> d := Float.min !d (Metric.d m v c)) s_open;
+        for j = i to k - 1 do
+          d := Float.min !d (Metric.d m v sites.(j))
+        done;
+        read := !read +. (req.(v) *. !d)
+      end
+    done;
+    let update = if s_open = [] then 0.0 else w_total *. mst_weight m s_open /. 2.0 in
+    storage +. !read +. update
+  in
+  let rec branch s_open storage i =
+    incr explored;
+    if !explored > node_limit then failwith "Bnb.opt_mst: node limit exceeded";
+    if s_open <> [] then begin
+      (* closing all remaining sites is itself a candidate solution *)
+      let c = exact_cost s_open in
+      if c < !incumbent_cost then begin
+        incumbent_cost := c;
+        incumbent := s_open
+      end
+    end;
+    if i < k then begin
+      let lb = lower_bound s_open storage i in
+      if lb >= !incumbent_cost -. 1e-9 then incr pruned
+      else begin
+        let v = sites.(i) in
+        branch (v :: s_open) (storage +. Instance.cs inst v) (i + 1);
+        (* the "v closed" branch is only viable if something can still open *)
+        if s_open <> [] || i + 1 < k then branch s_open storage (i + 1)
+      end
+    end
+  in
+  branch [] 0.0 0;
+  (List.sort compare !incumbent, !incumbent_cost)

@@ -1,0 +1,25 @@
+(** Branch-and-bound exact optimum under the MST write policy.
+
+    Pushes the exhaustive search well past {!Exact.opt_mst}'s subset
+    enumeration (to [n ~ 25-35] depending on structure) by branching on
+    "node holds / does not hold a copy" with an admissible lower bound:
+
+    - storage of the nodes already fixed open,
+    - every request's distance to the nearest {e possibly-open} node,
+    - for the update cost, [W * w(MST(S)) / 2] over the fixed-open set
+      [S] (admissible because [w(MST(S))/2 <= w(SteinerTree(S)) <=
+      w(SteinerTree(S'))] for any [S' ⊇ S], and the final MST multicast
+      costs at least its Steiner tree).
+
+    Nodes are branched in decreasing request volume, trying "open"
+    first, with an incumbent initialized from the greedy-add baseline
+    heuristic. *)
+
+(** [opt_mst ?node_limit inst ~x] returns [(copies, cost)] with cost
+    identical to {!Exact.opt_mst}. [node_limit] caps the search-tree
+    size (default [5_000_000]); @raise Failure if exceeded. *)
+val opt_mst : ?node_limit:int -> Instance.t -> x:int -> int list * float
+
+(** [stats ()] returns [(explored, pruned)] counters of the last run
+    (for the test suite and benchmarks). *)
+val stats : unit -> int * int

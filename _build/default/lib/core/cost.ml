@@ -1,0 +1,70 @@
+open Dmn_paths
+open Dmn_prelude
+
+type breakdown = { storage : float; read : float; update : float }
+
+let total b = b.storage +. b.read +. b.update
+let zero = { storage = 0.0; read = 0.0; update = 0.0 }
+
+let add a b =
+  { storage = a.storage +. b.storage; read = a.read +. b.read; update = a.update +. b.update }
+
+let pp ppf b =
+  Format.fprintf ppf "storage=%.4g read=%.4g update=%.4g total=%.4g" b.storage b.read b.update
+    (total b)
+
+let nearest_dists inst copies =
+  if copies = [] then invalid_arg "Cost.nearest_dists: empty copy set";
+  match Instance.graph inst with
+  | Some g ->
+      let r = Dijkstra.multi g copies in
+      r.Dijkstra.dist
+  | None ->
+      let m = Instance.metric inst in
+      Array.init (Instance.n inst) (fun v ->
+          List.fold_left (fun acc c -> Float.min acc (Metric.d m v c)) infinity copies)
+
+let storage_cost inst copies =
+  List.fold_left (fun acc v -> acc +. Instance.cs inst v) 0.0 (List.sort_uniq compare copies)
+
+let eval_mst inst ~x copies =
+  let copies = List.sort_uniq compare copies in
+  let dist = nearest_dists inst copies in
+  let n = Instance.n inst in
+  let read =
+    Floatx.sum_by (fun v -> float_of_int (Instance.requests inst ~x v) *. dist.(v)) n
+  in
+  let w = Instance.total_writes inst ~x in
+  let update =
+    if w = 0 then 0.0
+    else
+      float_of_int w *. Dmn_span.Steiner.approx_weight_metric (Instance.metric inst) copies
+  in
+  { storage = storage_cost inst copies; read; update }
+
+let eval_exact inst ~x copies =
+  let copies = List.sort_uniq compare copies in
+  let dist = nearest_dists inst copies in
+  let n = Instance.n inst in
+  let read = Floatx.sum_by (fun v -> float_of_int (Instance.reads inst ~x v) *. dist.(v)) n in
+  let update =
+    if Instance.total_writes inst ~x = 0 then 0.0
+    else begin
+      let steiner = Dmn_span.Steiner.exact_all_roots (Instance.metric inst) copies in
+      Floatx.sum_by (fun v -> float_of_int (Instance.writes inst ~x v) *. steiner.(v)) n
+    end
+  in
+  { storage = storage_cost inst copies; read; update }
+
+let total_mst inst ~x copies = total (eval_mst inst ~x copies)
+let total_exact inst ~x copies = total (eval_exact inst ~x copies)
+
+let placement_of eval inst p =
+  let acc = ref zero in
+  for x = 0 to Placement.objects p - 1 do
+    acc := add !acc (eval inst ~x (Placement.copies p ~x))
+  done;
+  !acc
+
+let placement_mst inst p = placement_of eval_mst inst p
+let placement_exact inst p = placement_of eval_exact inst p

@@ -1,0 +1,47 @@
+(** The cost model of Section 1.1, with the two write policies used in
+    the paper:
+
+    - {b MST policy} (the algorithm's concrete strategy, Section 2): a
+      write at [h] sends a message to the nearest copy [s(r)] and then
+      updates all copies along a minimum spanning tree of the copy set
+      in the [ct] metric. Following the paper's restricted-placement
+      decomposition, the [h -> s(r)] legs of writes are accounted as
+      read cost, so the update cost is exactly [W * mst_weight(S)].
+    - {b exact policy} (the unrestricted model used for optimum
+      baselines): a write at [h] pays a minimum Steiner tree over
+      [{h} ∪ S] (Dreyfus–Wagner; only feasible for small copy sets). *)
+
+type breakdown = {
+  storage : float;
+  read : float;  (** nearest-copy legs; under the MST policy this includes write [h -> s(r)] legs *)
+  update : float;  (** multicast part of writes *)
+}
+
+val total : breakdown -> float
+val zero : breakdown
+val add : breakdown -> breakdown -> breakdown
+val pp : Format.formatter -> breakdown -> unit
+
+(** [nearest_dists inst copies] gives each node's distance to the
+    nearest copy (multi-source Dijkstra when a graph is available,
+    metric scan otherwise). *)
+val nearest_dists : Instance.t -> int list -> float array
+
+(** [eval_mst inst ~x copies] evaluates object [x] under the MST
+    policy. *)
+val eval_mst : Instance.t -> x:int -> int list -> breakdown
+
+(** [eval_exact inst ~x copies] evaluates object [x] under the exact
+    Steiner policy. Exponential in [|copies|]; intended for small
+    validation instances. *)
+val eval_exact : Instance.t -> x:int -> int list -> breakdown
+
+(** [total_mst inst ~x copies] is [total (eval_mst ...)]. *)
+val total_mst : Instance.t -> x:int -> int list -> float
+
+val total_exact : Instance.t -> x:int -> int list -> float
+
+(** [placement_mst inst p] sums {!eval_mst} over all objects. *)
+val placement_mst : Instance.t -> Placement.t -> breakdown
+
+val placement_exact : Instance.t -> Placement.t -> breakdown

@@ -1,0 +1,53 @@
+let storable inst =
+  let acc = ref [] in
+  for v = Instance.n inst - 1 downto 0 do
+    if Instance.cs inst v < infinity then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let enumerate inst ~x ~limit eval constraint_ok =
+  let sites = storable inst in
+  let k = Array.length sites in
+  if k = 0 then invalid_arg "Exact: no storable node";
+  if k > limit then invalid_arg "Exact: instance too large for exhaustive search";
+  let best_cost = ref infinity and best = ref [] in
+  for mask = 1 to (1 lsl k) - 1 do
+    (* cheap storage-only lower bound before full evaluation *)
+    let storage = ref 0.0 in
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then storage := !storage +. Instance.cs inst sites.(i)
+    done;
+    if !storage < !best_cost then begin
+      let copies = ref [] in
+      for i = k - 1 downto 0 do
+        if mask land (1 lsl i) <> 0 then copies := sites.(i) :: !copies
+      done;
+      if constraint_ok inst ~x !copies then begin
+        let c = eval inst ~x !copies in
+        if c < !best_cost then begin
+          best_cost := c;
+          best := !copies
+        end
+      end
+    end
+  done;
+  (!best, !best_cost)
+
+let no_constraint _ ~x:_ _ = true
+
+let opt_mst inst ~x = enumerate inst ~x ~limit:20 Cost.total_mst no_constraint
+
+let opt_exact inst ~x = enumerate inst ~x ~limit:14 Cost.total_exact no_constraint
+
+let opt_restricted inst ~x =
+  enumerate inst ~x ~limit:20 Cost.total_mst (fun inst ~x copies ->
+      Restricted.is_restricted inst ~x copies)
+
+let solve_of opt inst =
+  let results = Array.init (Instance.objects inst) (fun x -> opt inst ~x) in
+  let placement = Placement.make (Array.map fst results) in
+  let cost = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 results in
+  (placement, cost)
+
+let solve_mst inst = solve_of opt_mst inst
+let solve_exact inst = solve_of opt_exact inst

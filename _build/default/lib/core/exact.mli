@@ -1,0 +1,27 @@
+(** Exhaustive optima for small instances; the denominators of every
+    approximation-ratio experiment.
+
+    All three enumerate non-empty copy sets over the storable nodes
+    ([cs < infinity]) with branch-and-bound on storage cost. Guarded to
+    [n <= 20] ({!opt_mst}, {!opt_restricted}) and [n <= 14]
+    ({!opt_exact}, which runs a Dreyfus–Wagner table per subset). *)
+
+(** [opt_mst inst ~x] minimizes the MST-policy cost {!Cost.total_mst}
+    — the paper's own update strategy. Returns [(copies, cost)]. *)
+val opt_mst : Instance.t -> x:int -> int list * float
+
+(** [opt_exact inst ~x] minimizes the unrestricted cost
+    {!Cost.total_exact} (writes pay exact Steiner trees) — the paper's
+    [C^OPT]. *)
+val opt_exact : Instance.t -> x:int -> int list * float
+
+(** [opt_restricted inst ~x] minimizes the MST-policy cost over copy
+    sets in which every copy serves at least [W] requests — the paper's
+    [C^OPT_W]. *)
+val opt_restricted : Instance.t -> x:int -> int list * float
+
+(** [solve_mst inst] applies {!opt_mst} to every object. *)
+val solve_mst : Instance.t -> Placement.t * float
+
+(** [solve_exact inst] applies {!opt_exact} to every object. *)
+val solve_exact : Instance.t -> Placement.t * float

@@ -1,0 +1,43 @@
+type t = int list array
+
+let make copies =
+  Array.map
+    (fun l ->
+      let l = List.sort_uniq compare l in
+      if l = [] then invalid_arg "Placement.make: empty copy set";
+      l)
+    copies
+
+let uniform ~objects nodes =
+  if objects <= 0 then invalid_arg "Placement.uniform: need objects >= 1";
+  make (Array.make objects nodes)
+
+let objects t = Array.length t
+let copies t ~x = t.(x)
+let holds t ~x v = List.mem v t.(x)
+let copy_count t ~x = List.length t.(x)
+
+let validate inst t =
+  if Array.length t <> Instance.objects inst then Error "object count mismatch"
+  else begin
+    let n = Instance.n inst in
+    let problem = ref None in
+    Array.iteri
+      (fun x l ->
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n then problem := Some (Printf.sprintf "object %d: node %d out of range" x v)
+            else if Instance.cs inst v = infinity then
+              problem := Some (Printf.sprintf "object %d: copy on forbidden node %d" x v))
+          l)
+      t;
+    match !problem with None -> Ok () | Some e -> Error e
+  end
+
+let map f t = make (Array.mapi f t)
+
+let pp ppf t =
+  Array.iteri
+    (fun x l ->
+      Format.fprintf ppf "object %d: {%s}@." x (String.concat ", " (List.map string_of_int l)))
+    t

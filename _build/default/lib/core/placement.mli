@@ -1,0 +1,32 @@
+(** Placements: one non-empty copy set per object. *)
+
+type t
+
+(** [make copies] with [copies.(x)] the copy list of object [x];
+    lists are deduplicated and sorted. @raise Invalid_argument if any
+    list is empty. *)
+val make : int list array -> t
+
+(** [uniform ~objects nodes] places the same copy set for every
+    object. *)
+val uniform : objects:int -> int list -> t
+
+val objects : t -> int
+
+(** [copies t ~x] is the sorted copy list of object [x]. *)
+val copies : t -> x:int -> int list
+
+(** [holds t ~x v] tests whether [v] holds a copy of [x]. *)
+val holds : t -> x:int -> int -> bool
+
+(** [copy_count t ~x] is the replication degree of [x]. *)
+val copy_count : t -> x:int -> int
+
+(** [validate inst t] checks object count, node ranges, and that no
+    copy sits on a forbidden ([cs = infinity]) node. *)
+val validate : Instance.t -> t -> (unit, string) result
+
+(** [map f t] rewrites each object's copy list. *)
+val map : (int -> int list -> int list) -> t -> t
+
+val pp : Format.formatter -> t -> unit

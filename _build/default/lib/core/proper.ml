@@ -1,0 +1,35 @@
+open Dmn_paths
+
+type violation =
+  | Too_far of { node : int; dist : float; bound : float }
+  | Too_close of { u : int; v : int; dist : float; bound : float }
+
+let pp_violation ppf = function
+  | Too_far { node; dist; bound } ->
+      Format.fprintf ppf "node %d: nearest copy at %.4g > k1 bound %.4g" node dist bound
+  | Too_close { u; v; dist; bound } ->
+      Format.fprintf ppf "copies %d,%d: distance %.4g < separation bound %.4g" u v dist bound
+
+let violations inst ~x ~k1 ~k2 (radii : Radii.node_radii array) copies =
+  ignore x;
+  let m = Instance.metric inst in
+  let copies = List.sort_uniq compare copies in
+  let acc = ref [] in
+  let dist = Cost.nearest_dists inst copies in
+  for v = 0 to Instance.n inst - 1 do
+    let bound = k1 *. Float.max radii.(v).Radii.rw radii.(v).Radii.rs in
+    if dist.(v) > bound +. 1e-9 then acc := Too_far { node = v; dist = dist.(v); bound } :: !acc
+  done;
+  let arr = Array.of_list copies in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let u = arr.(i) and v = arr.(j) in
+      let bound = 2.0 *. k2 *. Float.max radii.(u).Radii.rw radii.(v).Radii.rw in
+      let d = Metric.d m u v in
+      if d < bound -. 1e-9 then acc := Too_close { u; v; dist = d; bound } :: !acc
+    done
+  done;
+  List.rev !acc
+
+let is_proper inst ~x ~k1 ~k2 radii copies = violations inst ~x ~k1 ~k2 radii copies = []

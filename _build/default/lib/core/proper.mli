@@ -1,0 +1,26 @@
+(** Proper placements (paper Section 2.1).
+
+    A copy set [S] for object [x] is [(k1, k2)]-proper when
+    + every node [v] has a copy within [k1 * max(rw v, rs v)], and
+    + any two copy holders [u <> v] are at distance at least
+      [2 * k2 * max(rw u, rw v)].
+
+    Lemma 8 shows the three-phase algorithm attains [k1 = 29],
+    [k2 = 2]. *)
+
+type violation =
+  | Too_far of { node : int; dist : float; bound : float }
+      (** property 1 fails at [node] *)
+  | Too_close of { u : int; v : int; dist : float; bound : float }
+      (** property 2 fails for copies [u], [v] *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [violations inst ~x ~k1 ~k2 radii copies] lists all violations
+    (empty means proper). *)
+val violations :
+  Instance.t -> x:int -> k1:float -> k2:float -> Radii.node_radii array -> int list -> violation list
+
+(** [is_proper inst ~x ~k1 ~k2 radii copies] is [violations ... = []]. *)
+val is_proper :
+  Instance.t -> x:int -> k1:float -> k2:float -> Radii.node_radii array -> int list -> bool

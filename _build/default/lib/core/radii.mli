@@ -1,0 +1,43 @@
+(** Write and storage radii (paper Section 2.1).
+
+    For a node [v] and object [x], let [R^z_v] be the [z] requests
+    (reads and writes both count) closest to [v] and
+    [d(v, z) = avg_{r in R^z_v} ct(h(r), v)]. Then
+
+    - the {b write radius} is [rw(v) = d(v, W)] with [W] the total
+      number of writes;
+    - the {b storage number} [zs(v)] and {b storage radius} [rs(v)]
+      satisfy [(zs - 1) * rs <= cs(v) < zs * rs] and
+      [d(v, zs - 1) <= rs <= d(v, zs)]. (The paper's upper bound is
+      strict; with tied request distances [d(v, zs - 1) = d(v, zs)] no
+      strict choice exists, and the analysis only uses
+      [d(v, zs) >= rs], so we relax it.)
+
+    Degenerate conventions (documented deviations for cases the paper
+    leaves implicit): [d(v, 0) = 0]; [d(v, z) = infinity] when fewer
+    than [z] requests exist; [rw = 0] when [W = 0]; [rs = 0] when
+    [cs(v) = 0] (free storage always merits a copy); [rs = infinity]
+    when [cs(v) = infinity] or the object has no requests at all (no
+    request volume ever justifies a copy at [v], so phase 2 never adds
+    one). *)
+
+type node_radii = {
+  rw : float;  (** write radius *)
+  rs : float;  (** storage radius *)
+  zs : int;  (** storage number; 0 in the degenerate [rs = 0 or infinity] cases *)
+}
+
+(** [avg_dist inst ~x v z] is [d(v, z)] as above. *)
+val avg_dist : Instance.t -> x:int -> int -> int -> float
+
+(** [prefix_sum inst ~x v z] is [z * d(v, z)], the summed distance of
+    the [z] closest requests ([S(z)] in the analysis). *)
+val prefix_sum : Instance.t -> x:int -> int -> int -> float
+
+(** [compute inst ~x] evaluates radii for every node,
+    [O(n^2 log n)]. *)
+val compute : Instance.t -> x:int -> node_radii array
+
+(** [check inst ~x r] verifies the defining inequalities of all radii
+    (used by tests); returns the first violation. *)
+val check : Instance.t -> x:int -> node_radii array -> (unit, string) result

@@ -1,0 +1,79 @@
+open Dmn_prelude
+
+type object_report = {
+  x : int;
+  copies : int list;
+  breakdown : Cost.breakdown;
+  proper : bool;
+  violations : Proper.violation list;
+  restricted : bool;
+  max_service_share : float;
+}
+
+type t = { objects : object_report list; total : Cost.breakdown; replicas : int }
+
+let build inst p =
+  let objects =
+    List.init (Placement.objects p) (fun x ->
+        let copies = Placement.copies p ~x in
+        let breakdown = Cost.eval_mst inst ~x copies in
+        let radii = Radii.compute inst ~x in
+        let violations = Proper.violations inst ~x ~k1:29.0 ~k2:2.0 radii copies in
+        let counts = Restricted.serving_counts inst ~x copies in
+        let total_requests = Instance.total_requests inst ~x in
+        let max_service_share =
+          if total_requests = 0 then 0.0
+          else
+            List.fold_left (fun acc (_, c) -> Float.max acc (float_of_int c)) 0.0 counts
+            /. float_of_int total_requests
+        in
+        {
+          x;
+          copies;
+          breakdown;
+          proper = violations = [];
+          violations;
+          restricted = Restricted.is_restricted inst ~x copies;
+          max_service_share;
+        })
+  in
+  let total = List.fold_left (fun acc r -> Cost.add acc r.breakdown) Cost.zero objects in
+  let replicas = List.fold_left (fun acc r -> acc + List.length r.copies) 0 objects in
+  { objects; total; replicas }
+
+let render report =
+  let buf = Buffer.create 1024 in
+  let tbl =
+    Tbl.create
+      [ "object"; "replicas"; "storage"; "read"; "update"; "total"; "proper"; "restricted"; "max share" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row tbl
+        [
+          string_of_int r.x;
+          string_of_int (List.length r.copies);
+          Tbl.fl2 r.breakdown.Cost.storage;
+          Tbl.fl2 r.breakdown.Cost.read;
+          Tbl.fl2 r.breakdown.Cost.update;
+          Tbl.fl2 (Cost.total r.breakdown);
+          (if r.proper then "yes" else "NO");
+          (if r.restricted then "yes" else "no");
+          Printf.sprintf "%.0f%%" (100.0 *. r.max_service_share);
+        ])
+    report.objects;
+  Buffer.add_string buf (Tbl.render tbl);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "total: storage %.2f + read %.2f + update %.2f = %.2f (%d replicas)\n"
+       report.total.Cost.storage report.total.Cost.read report.total.Cost.update
+       (Cost.total report.total) report.replicas);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Format.asprintf "object %d: %a\n" r.x Proper.pp_violation v))
+        r.violations)
+    report.objects;
+  Buffer.contents buf

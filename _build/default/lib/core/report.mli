@@ -1,0 +1,27 @@
+(** Human-readable placement audits: everything a user needs to trust
+    (or debug) a placement — per-object cost breakdown, replication
+    degrees, properness against the paper's constants, restrictedness,
+    and per-node service loads. Used by [dmnet solve --audit]. *)
+
+type object_report = {
+  x : int;
+  copies : int list;
+  breakdown : Cost.breakdown;
+  proper : bool;  (** (29, 2)-proper per {!Proper} *)
+  violations : Proper.violation list;
+  restricted : bool;  (** every copy serves >= W requests *)
+  max_service_share : float;
+      (** largest fraction of the object's requests served by one copy *)
+}
+
+type t = {
+  objects : object_report list;
+  total : Cost.breakdown;
+  replicas : int;  (** total copies across objects *)
+}
+
+(** [build inst p] computes the audit (MST write policy). *)
+val build : Instance.t -> Placement.t -> t
+
+(** [render report] pretty-prints as text tables. *)
+val render : t -> string

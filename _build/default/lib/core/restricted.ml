@@ -1,0 +1,79 @@
+open Dmn_paths
+
+(* Nearest copy of v among [copies], ties to the smaller node id. *)
+let nearest_copy m v copies =
+  List.fold_left
+    (fun (bu, bd) u ->
+      let du = Metric.d m v u in
+      if du < bd -. 1e-12 then (u, du) else (bu, bd))
+    (-1, infinity) copies
+  |> fst
+
+let serving_counts inst ~x copies =
+  let copies = List.sort_uniq compare copies in
+  let m = Instance.metric inst in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace tbl c 0) copies;
+  for v = 0 to Instance.n inst - 1 do
+    let c = Instance.requests inst ~x v in
+    if c > 0 then begin
+      let s = nearest_copy m v copies in
+      Hashtbl.replace tbl s (Hashtbl.find tbl s + c)
+    end
+  done;
+  List.map (fun c -> (c, Hashtbl.find tbl c)) copies
+
+let is_restricted inst ~x copies =
+  let w = Instance.total_writes inst ~x in
+  List.for_all (fun (_, served) -> served >= w) (serving_counts inst ~x copies)
+
+let transform inst ~x copies =
+  let copies = List.sort_uniq compare copies in
+  let w = Instance.total_writes inst ~x in
+  let m = Instance.metric inst in
+  (* Tree distances along the MST of the original copy set, rooted at
+     the first copy; the MST is fixed once, as in the lemma's proof. *)
+  let tree_dist =
+    match copies with
+    | [] -> invalid_arg "Restricted.transform: empty copy set"
+    | root :: _ ->
+        let edges, _ = Dmn_span.Kruskal.mst_of_subset m copies in
+        let adj = Hashtbl.create 16 in
+        let push a b wgt =
+          let l = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+          Hashtbl.replace adj a ((b, wgt) :: l)
+        in
+        List.iter
+          (fun (a, b, wgt) ->
+            push a b wgt;
+            push b a wgt)
+          edges;
+        let dist = Hashtbl.create 16 in
+        let rec dfs v d =
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v d;
+            List.iter
+              (fun (u, wgt) -> dfs u (d +. wgt))
+              (Option.value ~default:[] (Hashtbl.find_opt adj v))
+          end
+        in
+        dfs root 0.0;
+        fun v -> Hashtbl.find dist v
+  in
+  let rec prune alive =
+    let counts = serving_counts inst ~x alive in
+    let under = List.filter (fun (_, served) -> served < w) counts in
+    match under with
+    | [] -> alive
+    | _ when List.length alive <= 1 -> alive
+    | _ ->
+        let victim, _ =
+          List.fold_left
+            (fun (bv, bd) (c, _) ->
+              let d = tree_dist c in
+              if d > bd then (c, d) else (bv, bd))
+            (-1, neg_infinity) under
+        in
+        prune (List.filter (fun c -> c <> victim) alive)
+  in
+  prune copies

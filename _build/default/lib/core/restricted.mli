@@ -1,0 +1,24 @@
+(** Restricted placements (paper Lemma 1).
+
+    A placement is {e restricted} when (1) every write uses the same
+    multicast tree — here the MST over the copy set — and (2) every copy
+    serves at least [W] requests under nearest-copy assignment. Lemma 1
+    proves that restricting costs at most a factor 4.
+
+    This module implements the constructive transformation from the
+    lemma's proof: root the copy MST, and while a copy serves fewer than
+    [W] requests, delete the offender farthest from the root (in MST
+    tree distance) and reassign its requests. *)
+
+(** [serving_counts inst ~x copies] gives, for each copy (keyed by copy
+    node), the number of requests it serves under nearest-copy
+    assignment (read and write requests both; ties go to the
+    smaller-id copy — the convention used throughout). *)
+val serving_counts : Instance.t -> x:int -> int list -> (int * int) list
+
+(** [transform inst ~x copies] applies Lemma 1's deletion process and
+    returns the restricted copy set (never empty). *)
+val transform : Instance.t -> x:int -> int list -> int list
+
+(** [is_restricted inst ~x copies] checks property (2). *)
+val is_restricted : Instance.t -> x:int -> int list -> bool

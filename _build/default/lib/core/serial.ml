@@ -1,0 +1,132 @@
+open Dmn_graph
+
+let instance_to_string inst =
+  let g =
+    match Instance.graph inst with
+    | Some g -> g
+    | None -> invalid_arg "Serial: only graph-backed instances serialize"
+  in
+  let b = Buffer.create 4096 in
+  let n = Instance.n inst and k = Instance.objects inst in
+  Buffer.add_string b "dmnet-instance v1\n";
+  Buffer.add_string b (Printf.sprintf "%d %d %d\n" n k (Wgraph.m g));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string b (Printf.sprintf "%d %d %.17g\n" u v w))
+    (Wgraph.edges g);
+  Buffer.add_string b
+    (String.concat " " (List.init n (fun v -> Printf.sprintf "%.17g" (Instance.cs inst v))));
+  Buffer.add_char b '\n';
+  for x = 0 to k - 1 do
+    Buffer.add_string b
+      (String.concat " " (List.init n (fun v -> string_of_int (Instance.reads inst ~x v))));
+    Buffer.add_char b '\n'
+  done;
+  for x = 0 to k - 1 do
+    Buffer.add_string b
+      (String.concat " " (List.init n (fun v -> string_of_int (Instance.writes inst ~x v))));
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let tokens_of s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+  |> List.concat_map (fun l -> String.split_on_char ' ' l |> List.filter (( <> ) ""))
+
+let instance_of_string s =
+  match tokens_of s with
+  | "dmnet-instance" :: "v1" :: rest ->
+      let next toks = match toks with [] -> failwith "Serial: truncated input" | t :: r -> (t, r) in
+      let int toks =
+        let t, r = next toks in
+        (int_of_string t, r)
+      in
+      let fl toks =
+        let t, r = next toks in
+        (float_of_string t, r)
+      in
+      let n, rest = int rest in
+      let k, rest = int rest in
+      let m, rest = int rest in
+      let rec edges acc i toks =
+        if i = m then (List.rev acc, toks)
+        else begin
+          let u, toks = int toks in
+          let v, toks = int toks in
+          let w, toks = fl toks in
+          edges ((u, v, w) :: acc) (i + 1) toks
+        end
+      in
+      let edge_list, rest = edges [] 0 rest in
+      let g = Wgraph.create n edge_list in
+      let rec floats acc i toks =
+        if i = n then (Array.of_list (List.rev acc), toks)
+        else begin
+          let v, toks = fl toks in
+          floats (v :: acc) (i + 1) toks
+        end
+      in
+      let cs, rest = floats [] 0 rest in
+      let rec ints acc i toks =
+        if i = n then (Array.of_list (List.rev acc), toks)
+        else begin
+          let v, toks = int toks in
+          ints (v :: acc) (i + 1) toks
+        end
+      in
+      let rec matrix acc x toks =
+        if x = k then (Array.of_list (List.rev acc), toks)
+        else begin
+          let row, toks = ints [] 0 toks in
+          matrix (row :: acc) (x + 1) toks
+        end
+      in
+      let fr, rest = matrix [] 0 rest in
+      let fw, rest = matrix [] 0 rest in
+      if rest <> [] then failwith "Serial: trailing tokens";
+      Instance.of_graph g ~cs ~fr ~fw
+  | _ -> failwith "Serial: bad header (want dmnet-instance v1)"
+
+let placement_to_string p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "dmnet-placement v1\n%d\n" (Placement.objects p));
+  for x = 0 to Placement.objects p - 1 do
+    Buffer.add_string b
+      (String.concat " " (List.map string_of_int (Placement.copies p ~x)));
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let placement_of_string s =
+  match tokens_of s with
+  | "dmnet-placement" :: "v1" :: count :: rest ->
+      let k = int_of_string count in
+      ignore k;
+      (* copy lists have variable length, so reparse by lines *)
+      let lines =
+        String.split_on_char '\n' s
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      in
+      (match lines with
+      | _header :: _count :: rows ->
+          let copies =
+            List.map
+              (fun row ->
+                String.split_on_char ' ' row |> List.filter (( <> ) "") |> List.map int_of_string)
+              rows
+          in
+          ignore rest;
+          Placement.make (Array.of_list copies)
+      | _ -> failwith "Serial: bad placement")
+  | _ -> failwith "Serial: bad placement header"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

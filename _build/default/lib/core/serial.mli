@@ -1,0 +1,24 @@
+(** Plain-text serialization of instances and placements, for the CLI
+    and for archiving experiment inputs.
+
+    Instance format (whitespace-separated, [#] comments allowed):
+    {v
+    dmnet-instance v1
+    <n> <objects> <m>
+    u v w          (m edge lines)
+    cs_0 .. cs_{n-1}
+    fr_x0 .. fr_x{n-1}   (one line per object)
+    fw_x0 .. fw_x{n-1}   (one line per object)
+    v} *)
+
+val instance_to_string : Instance.t -> string
+
+(** @raise Failure on malformed input. Instances always round-trip
+    through a graph, so only graph-backed instances serialize. *)
+val instance_of_string : string -> Instance.t
+
+val placement_to_string : Placement.t -> string
+val placement_of_string : string -> Placement.t
+
+val write_file : string -> string -> unit
+val read_file : string -> string

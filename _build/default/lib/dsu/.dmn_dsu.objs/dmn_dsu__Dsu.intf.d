@@ -1,0 +1,1 @@
+lib/dsu/dsu.mli:

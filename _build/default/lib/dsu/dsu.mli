@@ -1,0 +1,23 @@
+(** Disjoint-set union (union-find) with union by rank and path
+    compression; near-constant amortized operations. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the two sets; returns [false] when [x] and [y]
+    were already joined. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests membership in one set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [size t x] is the cardinality of [x]'s set. *)
+val size : t -> int -> int

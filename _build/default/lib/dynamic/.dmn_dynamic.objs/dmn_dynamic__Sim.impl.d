@@ -1,0 +1,1 @@
+lib/dynamic/sim.ml: Array Dmn_baselines Dmn_core Format List Strategy Stream

@@ -1,0 +1,1 @@
+lib/dynamic/sim.mli: Dmn_core Format Strategy Stream

@@ -1,0 +1,1 @@
+lib/dynamic/strategy.ml: Array Dmn_core Dmn_paths Dmn_span Hashtbl List Metric Option Stream

@@ -1,0 +1,1 @@
+lib/dynamic/strategy.mli: Dmn_core Stream

@@ -1,0 +1,1 @@
+lib/dynamic/stream.ml: Array Dmn_core Dmn_prelude Fun List Rng

@@ -1,0 +1,1 @@
+lib/dynamic/stream.mli: Dmn_core Dmn_prelude Rng

@@ -1,0 +1,87 @@
+module I = Dmn_core.Instance
+
+type result = {
+  name : string;
+  serving : float;
+  storage : float;
+  total : float;
+  final_copies : int;
+}
+
+let storage_rent inst (strategy : Strategy.t) =
+  let acc = ref 0.0 in
+  for x = 0 to I.objects inst - 1 do
+    List.iter (fun c -> acc := !acc +. I.cs inst c) (strategy.Strategy.copies ~x)
+  done;
+  !acc
+
+let run ?storage_period inst (strategy : Strategy.t) events =
+  let period =
+    match storage_period with
+    | Some p -> p
+    | None ->
+        let total = ref 0 in
+        for x = 0 to I.objects inst - 1 do
+          total := !total + I.total_requests inst ~x
+        done;
+        max 1 !total
+  in
+  let serving = ref 0.0 and storage = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun { Stream.node; x; kind } ->
+      serving := !serving +. strategy.Strategy.serve ~x ~node kind;
+      incr count;
+      if !count mod period = 0 then storage := !storage +. storage_rent inst strategy)
+    events;
+  (* charge the last partial period proportionally *)
+  let remainder = !count mod period in
+  if remainder > 0 then
+    storage :=
+      !storage +. (storage_rent inst strategy *. float_of_int remainder /. float_of_int period);
+  let final_copies = ref 0 in
+  for x = 0 to I.objects inst - 1 do
+    final_copies := !final_copies + List.length (strategy.Strategy.copies ~x)
+  done;
+  {
+    name = strategy.Strategy.name;
+    serving = !serving;
+    storage = !storage;
+    total = !serving +. !storage;
+    final_copies = !final_copies;
+  }
+
+let competitive_ratio inst strategy events ~phase_length =
+  if phase_length <= 0 then invalid_arg "Sim.competitive_ratio: bad phase length";
+  let online = (run inst strategy events).total in
+  (* offline: an optimal-ish static placement per phase, each charged on
+     its own events with the same storage-period convention *)
+  let rec phases acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | e :: rest ->
+        if count = phase_length then phases (List.rev current :: acc) [ e ] 1 rest
+        else phases acc (e :: current) (count + 1) rest
+  in
+  let offline =
+    List.fold_left
+      (fun acc phase ->
+        let fr, fw = Stream.frequencies inst phase in
+        let phase_inst =
+          match I.graph inst with
+          | Some g -> I.of_graph g ~cs:(Array.init (I.n inst) (fun v -> I.cs inst v)) ~fr ~fw
+          | None -> invalid_arg "Sim.competitive_ratio: instance has no graph"
+        in
+        let placement =
+          Dmn_core.Placement.make
+            (Array.init (I.objects inst) (fun x ->
+                 if I.total_requests phase_inst ~x = 0 then [ 0 ]
+                 else Dmn_baselines.Greedy_place.add phase_inst ~x))
+        in
+        acc +. (run inst (Strategy.static inst placement) phase).total)
+      0.0
+      (phases [] [] 0 events)
+  in
+  if offline <= 0.0 then 1.0 else online /. offline
+
+let pp ppf r =
+  Format.fprintf ppf "%-18s serving %10.2f + storage %8.2f = %10.2f (%d copies)" r.name
+    r.serving r.storage r.total r.final_copies

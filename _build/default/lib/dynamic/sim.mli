@@ -1,0 +1,30 @@
+(** Stream simulator: folds a strategy over an event list, charging
+    serving costs per event and storage rent once every
+    [storage_period] events (so a stationary stream whose length equals
+    the instance's request volume reproduces the static objective for
+    the static strategy, storage included). *)
+
+type result = {
+  name : string;
+  serving : float;  (** summed per-event costs *)
+  storage : float;  (** summed storage rent *)
+  total : float;
+  final_copies : int;  (** copy count over all objects at the end *)
+}
+
+(** [run ?storage_period inst strategy events] — [storage_period]
+    defaults to the instance's total request volume (one "period"). *)
+val run :
+  ?storage_period:int -> Dmn_core.Instance.t -> Strategy.t -> Stream.event list -> result
+
+val pp : Format.formatter -> result -> unit
+
+(** [competitive_ratio inst strategy events ~phase_length] compares the
+    strategy's total against the {e offline clairvoyant} cost: the
+    stream is cut into phases of [phase_length] events, each phase is
+    re-tabulated into frequencies, solved statically with the greedy-add
+    baseline, and charged its own static objective (scaled to the phase
+    length). The returned ratio [>= ~1] measures how far the online
+    strategy is from a per-phase optimal static planner. *)
+val competitive_ratio :
+  Dmn_core.Instance.t -> Strategy.t -> Stream.event list -> phase_length:int -> float

@@ -1,0 +1,104 @@
+open Dmn_paths
+module I = Dmn_core.Instance
+
+type t = {
+  name : string;
+  serve : x:int -> node:int -> Stream.kind -> float;
+  copies : x:int -> int list;
+}
+
+let nearest m copies v =
+  List.fold_left
+    (fun ((_, bd) as best) c ->
+      let d = Metric.d m v c in
+      if d < bd then (c, d) else best)
+    (-1, infinity) copies
+
+let mst_weight m copies = Dmn_span.Steiner.approx_weight_metric m copies
+
+let static inst p =
+  let m = I.metric inst in
+  let serve ~x ~node kind =
+    let copies = Dmn_core.Placement.copies p ~x in
+    let _, d = nearest m copies node in
+    match kind with
+    | Stream.Read -> d
+    | Stream.Write -> d +. mst_weight m copies
+  in
+  { name = "static"; serve; copies = (fun ~x -> Dmn_core.Placement.copies p ~x) }
+
+let migrating_owner ?(threshold = 8) inst =
+  let m = I.metric inst in
+  let k = I.objects inst in
+  let n = I.n inst in
+  (* initial owner: the cheapest storable node *)
+  let initial =
+    let best = ref 0 in
+    for v = 1 to n - 1 do
+      if I.cs inst v < I.cs inst !best then best := v
+    done;
+    !best
+  in
+  let owner = Array.make k initial in
+  let counts = Array.init k (fun _ -> Array.make n 0) in
+  let serve ~x ~node kind =
+    let d = Metric.d m node owner.(x) in
+    let base = match kind with Stream.Read | Stream.Write -> d in
+    counts.(x).(node) <- counts.(x).(node) + 1;
+    if counts.(x).(node) >= threshold && node <> owner.(x) && I.cs inst node < infinity then begin
+      (* migrate: transfer the object to the hot requester *)
+      let transfer = Metric.d m owner.(x) node in
+      owner.(x) <- node;
+      Array.fill counts.(x) 0 n 0;
+      base +. transfer
+    end
+    else base
+  in
+  { name = "migrating-owner"; serve; copies = (fun ~x -> [ owner.(x) ]) }
+
+let threshold_caching ?(replicate_after = 4) ?(drop_after = 8) inst =
+  let m = I.metric inst in
+  let k = I.objects inst in
+  let n = I.n inst in
+  let initial =
+    let best = ref 0 in
+    for v = 1 to n - 1 do
+      if I.cs inst v < I.cs inst !best then best := v
+    done;
+    !best
+  in
+  let copies = Array.init k (fun _ -> [ initial ]) in
+  let read_counts = Array.init k (fun _ -> Array.make n 0) in
+  (* per-copy writes seen since the copy last served a read *)
+  let stale = Array.init k (fun _ -> Hashtbl.create 8) in
+  let bump_stale x c = Hashtbl.replace stale.(x) c (1 + Option.value ~default:0 (Hashtbl.find_opt stale.(x) c)) in
+  let serve ~x ~node kind =
+    let s, d = nearest m copies.(x) node in
+    match kind with
+    | Stream.Read ->
+        Hashtbl.replace stale.(x) s 0;
+        read_counts.(x).(node) <- read_counts.(x).(node) + 1;
+        if
+          read_counts.(x).(node) >= replicate_after
+          && (not (List.mem node copies.(x)))
+          && I.cs inst node < infinity
+        then begin
+          (* replicate to the hot reader, paying the transfer *)
+          copies.(x) <- List.sort compare (node :: copies.(x));
+          read_counts.(x).(node) <- 0;
+          d +. d
+        end
+        else d
+    | Stream.Write ->
+        let cost = d +. mst_weight m copies.(x) in
+        List.iter (fun c -> if c <> s then bump_stale x c) copies.(x);
+        (* drop copies that only absorb updates; keep the serving one *)
+        let keep c =
+          c = s || Option.value ~default:0 (Hashtbl.find_opt stale.(x) c) < drop_after
+        in
+        let survivors = List.filter keep copies.(x) in
+        List.iter (fun c -> if not (keep c) then Hashtbl.remove stale.(x) c) copies.(x);
+        copies.(x) <- survivors;
+        cost
+  in
+  { name = "threshold-caching"; serve; copies = (fun ~x -> copies.(x)) }

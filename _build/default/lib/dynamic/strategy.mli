@@ -1,0 +1,32 @@
+(** Online placement strategies (extension beyond the paper).
+
+    All strategies charge the static cost model per event: a read pays
+    the distance to the copy that serves it; a write pays the path to
+    the nearest copy plus an MST multicast over the current copy set;
+    replication and migration pay the object-transfer distance. Storage
+    rent is charged by the simulator via {!copies}. *)
+
+type t = {
+  name : string;
+  serve : x:int -> node:int -> Stream.kind -> float;
+      (** cost of serving one event (mutates internal state) *)
+  copies : x:int -> int list;  (** current copy set of object [x] *)
+}
+
+(** [static inst p] never changes the placement; with a stationary
+    stream matching the instance tables this replays the static
+    objective. *)
+val static : Dmn_core.Instance.t -> Dmn_core.Placement.t -> t
+
+(** [migrating_owner ?threshold inst] keeps exactly one copy per object
+    and moves it to a requester after [threshold] (default 8) of its
+    accesses since the last migration, paying the transfer distance. *)
+val migrating_owner : ?threshold:int -> Dmn_core.Instance.t -> t
+
+(** [threshold_caching ?replicate_after ?drop_after inst] maintains a
+    copy set per object: a node that accumulates [replicate_after]
+    (default 4) reads gets a copy (paying the transfer); a copy that
+    sees [drop_after] (default 8) writes without serving a read in
+    between is dropped (the writer's copy survives). Mirrors the
+    count-based dynamic tree strategies in spirit. *)
+val threshold_caching : ?replicate_after:int -> ?drop_after:int -> Dmn_core.Instance.t -> t

@@ -1,0 +1,52 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+
+type kind = Read | Write
+
+type event = { node : int; x : int; kind : kind }
+
+let stationary rng inst ~length =
+  let n = I.n inst and k = I.objects inst in
+  (* cumulative weights over (node, object, kind) triples *)
+  let entries = ref [] in
+  for x = 0 to k - 1 do
+    for v = 0 to n - 1 do
+      if I.reads inst ~x v > 0 then entries := (v, x, Read, I.reads inst ~x v) :: !entries;
+      if I.writes inst ~x v > 0 then entries := (v, x, Write, I.writes inst ~x v) :: !entries
+    done
+  done;
+  let entries = Array.of_list !entries in
+  if Array.length entries = 0 then invalid_arg "Stream.stationary: no requests";
+  let total = Array.fold_left (fun acc (_, _, _, c) -> acc + c) 0 entries in
+  List.init length (fun _ ->
+      let target = Rng.int rng total in
+      let rec pick i acc =
+        let v, x, kind, c = entries.(i) in
+        if target < acc + c then { node = v; x; kind } else pick (i + 1) (acc + c)
+      in
+      pick 0 0)
+
+let drifting rng inst ~phases ~phase_length ~write_fraction =
+  let n = I.n inst and k = I.objects inst in
+  let nodes = Array.init n Fun.id in
+  List.concat
+    (List.init phases (fun _ ->
+         let hot = Rng.sample rng nodes (max 1 (n / 4)) in
+         List.init phase_length (fun _ ->
+             {
+               node = Rng.pick rng hot;
+               x = Rng.int rng k;
+               kind = (if Rng.float rng 1.0 < write_fraction then Write else Read);
+             })))
+
+let frequencies inst events =
+  let n = I.n inst and k = I.objects inst in
+  let fr = Array.init k (fun _ -> Array.make n 0) in
+  let fw = Array.init k (fun _ -> Array.make n 0) in
+  List.iter
+    (fun { node; x; kind } ->
+      match kind with
+      | Read -> fr.(x).(node) <- fr.(x).(node) + 1
+      | Write -> fw.(x).(node) <- fw.(x).(node) + 1)
+    events;
+  (fr, fw)

@@ -1,0 +1,31 @@
+(** Request streams for the dynamic-vs-static comparison (extension
+    beyond the paper, which is static; cf. its discussion of the dynamic
+    strategies of Awerbuch et al. and Maggs et al.).
+
+    A stream is a finite event list; strategies are charged per event
+    plus periodic storage rent, so a stationary stream of length equal
+    to the instance's request volume is directly comparable to the
+    static objective. *)
+
+open Dmn_prelude
+
+type kind = Read | Write
+
+type event = { node : int; x : int; kind : kind }
+
+(** [stationary rng inst ~length] samples events i.i.d. from the
+    instance's frequency tables (all objects pooled proportionally).
+    The instance must have at least one request. *)
+val stationary : Rng.t -> Dmn_core.Instance.t -> length:int -> event list
+
+(** [drifting rng inst ~phases ~phase_length ~write_fraction] ignores
+    the instance's tables and generates phase-local hotspots: in each
+    phase a random quarter of the nodes issues all requests. This is the
+    adversarial-for-static workload. *)
+val drifting :
+  Rng.t -> Dmn_core.Instance.t -> phases:int -> phase_length:int -> write_fraction:float -> event list
+
+(** [frequencies inst events] tabulates a stream back into [fr]/[fw]
+    matrices (for handing a measured stream to the static
+    algorithms). *)
+val frequencies : Dmn_core.Instance.t -> event list -> int array array * int array array

@@ -1,0 +1,1 @@
+lib/facility/chudak_shmoys.ml: Array Dmn_paths Dmn_prelude Flp Fun List Metric Rng Sta

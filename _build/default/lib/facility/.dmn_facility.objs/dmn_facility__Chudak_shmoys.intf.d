@@ -1,0 +1,1 @@
+lib/facility/chudak_shmoys.mli: Dmn_prelude Flp Rng

@@ -1,0 +1,1 @@
+lib/facility/exact.ml: Array Dmn_paths Flp Metric

@@ -1,0 +1,1 @@
+lib/facility/exact.mli: Flp

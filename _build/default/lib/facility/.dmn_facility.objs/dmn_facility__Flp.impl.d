@@ -1,0 +1,1 @@
+lib/facility/flp.ml: Array Dmn_paths Dmn_prelude Float Floatx List Metric

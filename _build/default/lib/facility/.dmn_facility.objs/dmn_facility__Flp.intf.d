@@ -1,0 +1,1 @@
+lib/facility/flp.mli: Dmn_paths Metric

@@ -1,0 +1,1 @@
+lib/facility/greedy.ml: Array Dmn_paths Flp List Metric

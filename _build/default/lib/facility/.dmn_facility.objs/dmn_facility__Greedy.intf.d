@@ -1,0 +1,1 @@
+lib/facility/greedy.mli: Flp

@@ -1,0 +1,1 @@
+lib/facility/jain_vazirani.ml: Array Dmn_paths Flp List Metric

@@ -1,0 +1,1 @@
+lib/facility/jain_vazirani.mli: Flp

@@ -1,0 +1,1 @@
+lib/facility/local_search.ml: Array Flp List

@@ -1,0 +1,1 @@
+lib/facility/local_search.mli: Flp

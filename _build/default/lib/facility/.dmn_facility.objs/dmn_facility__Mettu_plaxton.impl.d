@@ -1,0 +1,1 @@
+lib/facility/mettu_plaxton.ml: Array Dmn_paths Flp List Metric

@@ -1,0 +1,1 @@
+lib/facility/mettu_plaxton.mli: Flp

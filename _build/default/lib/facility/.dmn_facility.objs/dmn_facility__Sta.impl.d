@@ -1,0 +1,1 @@
+lib/facility/sta.ml: Array Dmn_lp Dmn_paths Flp Fun List Metric

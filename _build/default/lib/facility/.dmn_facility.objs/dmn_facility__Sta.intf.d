@@ -1,0 +1,1 @@
+lib/facility/sta.mli: Flp

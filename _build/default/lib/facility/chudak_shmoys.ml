@@ -1,0 +1,64 @@
+open Dmn_prelude
+open Dmn_paths
+
+(* Reuses Sta's LP construction through its public hook. *)
+
+let solve rng inst =
+  let n = Flp.size inst in
+  let _, sol = Sta.solve_lp_raw inst in
+  let y i = sol.(i) in
+  let xv i j = sol.(n + (i * n) + j) in
+  let d i j = Metric.d inst.Flp.metric i j in
+  let clients = List.filter (fun j -> inst.Flp.demand.(j) > 0.0) (List.init n Fun.id) in
+  (* fractional connection cost per client *)
+  let frac_cost j =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (xv i j *. d i j)
+    done;
+    !acc
+  in
+  (* greedy clustering by ascending fractional cost: the center grabs
+     all facilities serving it fractionally; other clients sharing one
+     of those facilities join the cluster *)
+  let order = List.sort (fun a b -> compare (frac_cost a, a) (frac_cost b, b)) clients in
+  let clustered = Array.make n false in
+  let opened = ref [] in
+  let facility_taken = Array.make n false in
+  List.iter
+    (fun j ->
+      if not clustered.(j) then begin
+        clustered.(j) <- true;
+        let mine = List.filter (fun i -> xv i j > 1e-9 && not facility_taken.(i)) (List.init n Fun.id) in
+        if mine <> [] then begin
+          (* open the cheapest facility fractionally serving the center *)
+          let cheapest =
+            List.fold_left
+              (fun best i ->
+                if inst.Flp.opening.(i) < inst.Flp.opening.(best) then i else best)
+              (List.hd mine) mine
+          in
+          if inst.Flp.opening.(cheapest) < infinity then opened := cheapest :: !opened;
+          List.iter (fun i -> facility_taken.(i) <- true) mine;
+          (* absorb clients sharing a facility with the center *)
+          List.iter
+            (fun k ->
+              if not clustered.(k) then
+                if List.exists (fun i -> xv i k > 1e-9) mine then clustered.(k) <- true)
+            clients
+        end
+      end)
+    order;
+  (* independent rounding of the remaining facilities *)
+  for i = 0 to n - 1 do
+    if (not facility_taken.(i)) && inst.Flp.opening.(i) < infinity then
+      if Rng.float rng 1.0 < y i then opened := i :: !opened
+  done;
+  if !opened = [] then begin
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if inst.Flp.opening.(i) < inst.Flp.opening.(!best) then best := i
+    done;
+    opened := [ !best ]
+  end;
+  List.sort_uniq compare !opened

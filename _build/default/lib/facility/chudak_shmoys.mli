@@ -1,0 +1,17 @@
+(** Chudak–Shmoys randomized LP rounding for UFL (IPCO 1998) — cited by
+    the paper as the best-known factor (1 + 2/e ≈ 1.736).
+
+    Implementation of the clustered randomized rounding: solve the LP
+    relaxation (in-repo simplex), cluster clients greedily by ascending
+    fractional cost around their alpha-points, open each cluster
+    center's cheapest nearby facility, and open every other facility
+    independently with probability [y*_i] (seeded for determinism).
+    Each client is guaranteed a copy in its cluster, so solutions are
+    always feasible; the expected cost matches the 1 + 2/e analysis and
+    the tests check the realized factor against exhaustive optima. *)
+
+open Dmn_prelude
+
+(** [solve rng inst] returns the rounded open set. Same [n <= 40] dense
+    LP cap as {!Sta}. *)
+val solve : Rng.t -> Flp.instance -> int list

@@ -1,0 +1,40 @@
+open Dmn_paths
+
+let solve inst =
+  let n = Flp.size inst in
+  if n > 22 then invalid_arg "Facility.Exact.solve: instance too large";
+  let d i j = Metric.d inst.Flp.metric i j in
+  let best_cost = ref infinity and best_mask = ref 0 in
+  for mask = 1 to (1 lsl n) - 1 do
+    let opening = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then opening := !opening +. inst.Flp.opening.(i)
+    done;
+    if !opening < !best_cost then begin
+      let total = ref !opening in
+      (try
+         for j = 0 to n - 1 do
+           if inst.Flp.demand.(j) > 0.0 then begin
+             let nearest = ref infinity in
+             for i = 0 to n - 1 do
+               if mask land (1 lsl i) <> 0 then begin
+                 let dij = d i j in
+                 if dij < !nearest then nearest := dij
+               end
+             done;
+             total := !total +. (inst.Flp.demand.(j) *. !nearest);
+             if !total >= !best_cost then raise Exit
+           end
+         done;
+         best_cost := !total;
+         best_mask := mask
+       with Exit -> ())
+    end
+  done;
+  let result = ref [] in
+  for i = n - 1 downto 0 do
+    if !best_mask land (1 lsl i) <> 0 then result := i :: !result
+  done;
+  !result
+
+let opt_cost inst = Flp.cost inst (solve inst)

@@ -1,0 +1,10 @@
+(** Exhaustive UFL optimum by subset enumeration; for validating the
+    approximation factors of the other solvers.
+
+    Complexity [O(2^n * n^2)]; guarded to [n <= 22]. *)
+
+(** [solve inst] returns an optimal open set. *)
+val solve : Flp.instance -> int list
+
+(** [opt_cost inst] is the optimal objective value. *)
+val opt_cost : Flp.instance -> float

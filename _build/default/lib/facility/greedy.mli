@@ -1,0 +1,6 @@
+(** Greedy UFL (Hochbaum): repeatedly open the facility–client-set pair
+    of best cost-effectiveness until all clients are covered. An
+    [O(log n)]-approximation; kept as the weakest baseline for phase-1
+    ablations (E5). *)
+
+val solve : Flp.instance -> int list

@@ -1,0 +1,18 @@
+(** Jain–Vazirani primal-dual UFL algorithm (3-approximation).
+
+    Phase 1 grows all client duals uniformly; a facility opens
+    temporarily once the contributions [max(0, alpha_j - d_ij)] cover
+    its fee, and a client freezes when it can reach an open facility.
+    Phase 2 keeps a maximal independent set of temporarily open
+    facilities in opening order, where two facilities conflict when a
+    client contributes positively to both. *)
+
+(** [solve inst] returns the open set. Event-driven simulation,
+    [O(n^3)] worst case. *)
+val solve : Flp.instance -> int list
+
+(** [duals inst] additionally exposes the final alpha values for
+    inspection and the LP weak-duality test
+    [sum_j alpha_j <= 3 * OPT] used by tests. Returns
+    [(open_set, alpha)]. *)
+val duals : Flp.instance -> int list * float array

@@ -1,0 +1,85 @@
+type config = { eps : float; max_iters : int }
+
+let default_config = { eps = 1e-3; max_iters = 10_000 }
+
+let cheapest_site inst =
+  let n = Flp.size inst in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if inst.Flp.opening.(i) < inst.Flp.opening.(!best) then best := i
+  done;
+  !best
+
+let solve ?(config = default_config) ?init inst =
+  let n = Flp.size inst in
+  let open_set = Array.make n false in
+  (match init with
+  | Some l when l <> [] -> List.iter (fun i -> open_set.(i) <- true) l
+  | _ -> open_set.(cheapest_site inst) <- true);
+  let current () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if open_set.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let cost_of () = Flp.cost inst (current ()) in
+  let cost = ref (cost_of ()) in
+  (* The (5 + eps) analysis requires moves that improve by at least an
+     eps/p(n) fraction; we use eps / (8 n) which keeps the iteration
+     count polynomial. *)
+  let threshold () = !cost *. config.eps /. float_of_int (8 * max 1 n) in
+  let try_move apply undo =
+    apply ();
+    if current () = [] then begin
+      undo ();
+      false
+    end
+    else begin
+      let c = cost_of () in
+      if c < !cost -. threshold () then begin
+        cost := c;
+        true
+      end
+      else begin
+        undo ();
+        false
+      end
+    end
+  in
+  let improved = ref true in
+  let iters = ref 0 in
+  while !improved && !iters < config.max_iters do
+    improved := false;
+    incr iters;
+    (* add moves *)
+    for i = 0 to n - 1 do
+      if (not open_set.(i)) && inst.Flp.opening.(i) < infinity then
+        if try_move (fun () -> open_set.(i) <- true) (fun () -> open_set.(i) <- false) then
+          improved := true
+    done;
+    (* drop moves *)
+    for i = 0 to n - 1 do
+      if open_set.(i) then
+        if try_move (fun () -> open_set.(i) <- false) (fun () -> open_set.(i) <- true) then
+          improved := true
+    done;
+    (* swap moves *)
+    for i = 0 to n - 1 do
+      if open_set.(i) then
+        for j = 0 to n - 1 do
+          if open_set.(i) && (not open_set.(j)) && inst.Flp.opening.(j) < infinity then begin
+            let apply () =
+              open_set.(i) <- false;
+              open_set.(j) <- true
+            in
+            let undo () =
+              open_set.(i) <- true;
+              open_set.(j) <- false
+            in
+            if try_move apply undo then improved := true
+          end
+        done
+    done
+  done;
+  current ()

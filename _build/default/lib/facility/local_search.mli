@@ -1,0 +1,15 @@
+(** Local search for UFL with add / drop / swap moves
+    (Korupolu–Plaxton–Rajaraman analysis: (5 + eps)-approximation when
+    moves are accepted only above a relative improvement threshold). *)
+
+type config = {
+  eps : float;  (** accept a move only if it improves cost by a factor [> eps / poly]; default 1e-3 *)
+  max_iters : int;  (** hard safety cap on accepted moves; default 10_000 *)
+}
+
+val default_config : config
+
+(** [solve ?config ?init inst] runs local search from [init] (default:
+    the cheapest single facility) and returns the locally optimal open
+    set. *)
+val solve : ?config:config -> ?init:int list -> Flp.instance -> int list

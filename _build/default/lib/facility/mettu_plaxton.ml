@@ -1,0 +1,52 @@
+open Dmn_paths
+
+(* r_v solves sum_j w_j * max(0, r - d_vj) = f_v: sort clients by
+   distance; between consecutive distances the left side is linear with
+   slope = covered demand. *)
+let radius inst v =
+  let n = Flp.size inst in
+  let pairs =
+    Array.init n (fun j -> (Metric.d inst.Flp.metric v j, inst.Flp.demand.(j)))
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+  let f = inst.Flp.opening.(v) in
+  if f = 0.0 then 0.0
+  else begin
+    let rec go idx paid slope last_d =
+      if idx >= n then if slope > 0.0 then last_d +. ((f -. paid) /. slope) else infinity
+      else begin
+        let d, w = pairs.(idx) in
+        let paid' = paid +. (slope *. (d -. last_d)) in
+        if paid' >= f && slope > 0.0 then last_d +. ((f -. paid) /. slope)
+        else go (idx + 1) paid' (slope +. w) d
+      end
+    in
+    go 0 0.0 0.0 0.0
+  end
+
+let radii inst = Array.init (Flp.size inst) (fun v -> radius inst v)
+
+let solve inst =
+  let n = Flp.size inst in
+  let r = radii inst in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (r.(a), a) (r.(b), b)) order;
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      if inst.Flp.opening.(v) < infinity && r.(v) < infinity then begin
+        let blocked =
+          List.exists (fun u -> Metric.d inst.Flp.metric u v <= 2.0 *. r.(v)) !chosen
+        in
+        if not blocked then chosen := v :: !chosen
+      end)
+    order;
+  if !chosen = [] then begin
+    (* zero-demand degenerate instance: cheapest site *)
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if inst.Flp.opening.(i) < inst.Flp.opening.(!best) then best := i
+    done;
+    chosen := [ !best ]
+  end;
+  List.rev !chosen

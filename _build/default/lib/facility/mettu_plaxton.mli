@@ -1,0 +1,14 @@
+(** Mettu–Plaxton radius-based UFL algorithm (3-approximation).
+
+    For each site [v], the charge radius [r_v] solves
+    [sum_j demand_j * max(0, r_v - d(v, j)) = opening_v]; sites are then
+    scanned in non-decreasing [r] and selected greedily subject to a
+    [2 r] separation. Purely combinatorial and extremely fast, which
+    makes it the default phase-1 solver for large instances. *)
+
+(** [radii inst] computes all charge radii. A site with zero total
+    demand reachable gets radius [infinity] only when its opening cost
+    is positive and total demand is zero. *)
+val radii : Flp.instance -> float array
+
+val solve : Flp.instance -> int list

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Dmn_prelude Float Hashtbl List Rng Wgraph

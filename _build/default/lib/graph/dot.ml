@@ -1,0 +1,40 @@
+let to_dot ?(label = string_of_int) g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "graph g {\n";
+  for v = 0 to Wgraph.n g - 1 do
+    Buffer.add_string b (Printf.sprintf "  %d [label=\"%s\"];\n" v (label v))
+  done;
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string b (Printf.sprintf "  %d -- %d [label=\"%.3g\"];\n" u v w))
+    (Wgraph.edges g);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_edge_list g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%d %d\n" (Wgraph.n g) (Wgraph.m g));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string b (Printf.sprintf "%d %d %.17g\n" u v w))
+    (Wgraph.edges g);
+  Buffer.contents b
+
+let of_edge_list s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "Dot.of_edge_list: empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ sn; sm ] ->
+          let n = int_of_string sn and m = int_of_string sm in
+          if List.length rest <> m then failwith "Dot.of_edge_list: edge count mismatch";
+          let parse line =
+            match String.split_on_char ' ' line with
+            | [ su; sv; sw ] -> (int_of_string su, int_of_string sv, float_of_string sw)
+            | _ -> failwith ("Dot.of_edge_list: bad edge line: " ^ line)
+          in
+          Wgraph.create n (List.map parse rest)
+      | _ -> failwith "Dot.of_edge_list: bad header")

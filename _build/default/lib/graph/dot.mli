@@ -1,0 +1,15 @@
+(** Serialization of graphs: Graphviz dot and a plain edge-list format.
+
+    Edge-list format: first line ["n m"], then [m] lines ["u v w"].
+    It round-trips through {!to_edge_list}/{!of_edge_list}. *)
+
+(** [to_dot ?label g] renders an undirected Graphviz graph; [label v]
+    customizes node captions (default: the node id). *)
+val to_dot : ?label:(int -> string) -> Wgraph.t -> string
+
+(** [to_edge_list g] serializes to the plain format above. *)
+val to_edge_list : Wgraph.t -> string
+
+(** [of_edge_list s] parses the plain format.
+    @raise Failure on malformed input. *)
+val of_edge_list : string -> Wgraph.t

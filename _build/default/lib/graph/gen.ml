@@ -1,0 +1,208 @@
+open Dmn_prelude
+
+let path n =
+  Wgraph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1, 1.0)))
+
+let ring n =
+  if n < 3 then invalid_arg "Gen.ring: need n >= 3";
+  Wgraph.create n (List.init n (fun i -> (i, (i + 1) mod n, 1.0)))
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Wgraph.create n (List.init (n - 1) (fun i -> (0, i + 1, 1.0)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1.0) :: !edges
+    done
+  done;
+  Wgraph.create n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid: empty";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1), 1.0) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c, 1.0) :: !edges
+    done
+  done;
+  Wgraph.create (rows * cols) !edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols), 1.0) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c, 1.0) :: !edges
+    done
+  done;
+  Wgraph.create (rows * cols) !edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Gen.hypercube: negative dimension";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let u = v lxor (1 lsl b) in
+      if v < u then edges := (v, u, 1.0) :: !edges
+    done
+  done;
+  Wgraph.create n !edges
+
+let balanced_tree ~arity ~depth =
+  if arity < 1 || depth < 0 then invalid_arg "Gen.balanced_tree: bad parameters";
+  let edges = ref [] in
+  let next = ref 1 in
+  (* Breadth-first allocation of node ids, level by level. *)
+  let rec expand parents level =
+    if level < depth then begin
+      let children = ref [] in
+      List.iter
+        (fun p ->
+          for _ = 1 to arity do
+            let c = !next in
+            incr next;
+            edges := (p, c, 1.0) :: !edges;
+            children := c :: !children
+          done)
+        parents;
+      expand (List.rev !children) (level + 1)
+    end
+  in
+  expand [ 0 ] 0;
+  Wgraph.create !next !edges
+
+let random_weight rng = Rng.float_in rng 1.0 10.0
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
+  let edges = List.init (n - 1) (fun i ->
+      let v = i + 1 in
+      (Rng.int rng v, v, random_weight rng))
+  in
+  Wgraph.create n edges
+
+let caterpillar rng n =
+  if n < 2 then invalid_arg "Gen.caterpillar: need n >= 2";
+  let spine = max 2 (n / 2) in
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1, random_weight rng) :: !edges
+  done;
+  for v = spine to n - 1 do
+    edges := (Rng.int rng spine, v, random_weight rng) :: !edges
+  done;
+  Wgraph.create n !edges
+
+let erdos_renyi rng n p =
+  if n < 1 then invalid_arg "Gen.erdos_renyi: need n >= 1";
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add u v w =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v, w) :: !edges
+    end
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then add u v (random_weight rng)
+    done
+  done;
+  (* Random spanning tree on a shuffled order guarantees connectivity. *)
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  for i = 1 to n - 1 do
+    add order.(Rng.int rng i) order.(i) (random_weight rng)
+  done;
+  Wgraph.create n !edges
+
+let random_geometric rng n radius =
+  if n < 1 then invalid_arg "Gen.random_geometric: need n >= 1";
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    Float.hypot (xi -. xj) (yi -. yj)
+  in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v, dist u v) :: !edges
+    end
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dist u v <= radius then add u v
+    done
+  done;
+  (* Connect components by repeatedly linking the closest cross pair,
+     tracked with a simple component label array. *)
+  let comp = Array.init n (fun i -> i) in
+  let rec find i = if comp.(i) = i then i else find comp.(i) in
+  let union i j = comp.(find i) <- find j in
+  List.iter (fun (u, v, _) -> union u v) !edges;
+  let connected () =
+    let c0 = find 0 in
+    Array.for_all (fun i -> find i = c0) (Array.init n (fun i -> i))
+  in
+  while not (connected ()) do
+    let best = ref (-1, -1, infinity) in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if find u <> find v then begin
+          let d = dist u v in
+          let _, _, bd = !best in
+          if d < bd then best := (u, v, d)
+        end
+      done
+    done;
+    let u, v, _ = !best in
+    add u v;
+    union u v
+  done;
+  Wgraph.create n !edges
+
+let clustered rng ~clusters ~per_cluster =
+  if clusters < 1 || per_cluster < 1 then invalid_arg "Gen.clustered: bad parameters";
+  let n = clusters * per_cluster in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add u v w =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v, w) :: !edges
+    end
+  in
+  for c = 0 to clusters - 1 do
+    let base = c * per_cluster in
+    (* Cheap dense intra-cluster mesh: ring plus random chords. *)
+    for i = 0 to per_cluster - 1 do
+      add (base + i) (base + ((i + 1) mod per_cluster)) (Rng.float_in rng 1.0 2.0)
+    done;
+    for _ = 1 to per_cluster do
+      let u = base + Rng.int rng per_cluster and v = base + Rng.int rng per_cluster in
+      if u <> v then add u v (Rng.float_in rng 1.0 2.0)
+    done
+  done;
+  (* Expensive sparse backbone: ring over cluster gateways plus chords. *)
+  for c = 0 to clusters - 1 do
+    let u = c * per_cluster and v = (c + 1) mod clusters * per_cluster in
+    if clusters > 1 then add u v (Rng.float_in rng 10.0 30.0)
+  done;
+  for _ = 1 to clusters do
+    let cu = Rng.int rng clusters and cv = Rng.int rng clusters in
+    if cu <> cv then add (cu * per_cluster) (cv * per_cluster) (Rng.float_in rng 10.0 30.0)
+  done;
+  Wgraph.create n !edges

@@ -1,0 +1,57 @@
+(** Topology generators for the experiment suite.
+
+    All generators produce connected graphs and take deterministic
+    parameters; randomized ones thread an explicit {!Dmn_prelude.Rng.t}.
+    Edge weights default to 1.0 unless stated otherwise. *)
+
+open Dmn_prelude
+
+(** [path n] is the path 0 - 1 - ... - (n-1). *)
+val path : int -> Wgraph.t
+
+(** [ring n] is the cycle on [n >= 3] nodes. *)
+val ring : int -> Wgraph.t
+
+(** [star n] joins node 0 to all others. *)
+val star : int -> Wgraph.t
+
+(** [complete n] is K_n. *)
+val complete : int -> Wgraph.t
+
+(** [grid rows cols] is the 2-dimensional mesh. *)
+val grid : int -> int -> Wgraph.t
+
+(** [torus rows cols] wraps the mesh in both dimensions
+    ([rows, cols >= 3]). *)
+val torus : int -> int -> Wgraph.t
+
+(** [hypercube d] is the d-dimensional hypercube on [2^d] nodes. *)
+val hypercube : int -> Wgraph.t
+
+(** [balanced_tree ~arity ~depth] is the complete [arity]-ary tree. *)
+val balanced_tree : arity:int -> depth:int -> Wgraph.t
+
+(** [random_tree rng n] attaches node [i] to a uniform node in
+    [0, i-1]; weights uniform in [1, 10). *)
+val random_tree : Rng.t -> int -> Wgraph.t
+
+(** [caterpillar rng n] is a random tree with a long spine; stresses
+    diameter-sensitive algorithms. *)
+val caterpillar : Rng.t -> int -> Wgraph.t
+
+(** [erdos_renyi rng n p] samples G(n, p) and then adds a random
+    spanning tree's missing edges so the result is connected. Weights
+    uniform in [1, 10). *)
+val erdos_renyi : Rng.t -> int -> float -> Wgraph.t
+
+(** [random_geometric rng n radius] places [n] points uniformly in the
+    unit square, connects pairs within [radius] with their Euclidean
+    distance as weight, and adds nearest-neighbour links to connect
+    stranded components. *)
+val random_geometric : Rng.t -> int -> float -> Wgraph.t
+
+(** [clustered rng ~clusters ~per_cluster] builds an Internet-like
+    topology: dense cheap intra-cluster links, a sparse expensive
+    inter-cluster backbone (cf. the clustered networks of Maggs et
+    al.). *)
+val clustered : Rng.t -> clusters:int -> per_cluster:int -> Wgraph.t

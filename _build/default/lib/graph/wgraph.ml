@@ -1,0 +1,105 @@
+type edge = int * int * float
+
+type t = {
+  n : int;
+  edges : edge array; (* canonical: u < v *)
+  adj : (int * float) array array;
+}
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Wgraph.create: negative node count";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let canon =
+    List.map
+      (fun (u, v, w) ->
+        if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Wgraph.create: endpoint out of range";
+        if u = v then invalid_arg "Wgraph.create: self-loop";
+        if w < 0.0 || Float.is_nan w then invalid_arg "Wgraph.create: negative or NaN weight";
+        let u, v = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen (u, v) then invalid_arg "Wgraph.create: duplicate edge";
+        Hashtbl.add seen (u, v) ();
+        (u, v, w))
+      edge_list
+  in
+  let edges = Array.of_list canon in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v, w) ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  { n; edges; adj }
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = Array.to_list g.edges
+let neighbors g v = g.adj.(v)
+
+let iter_neighbors g v f = Array.iter (fun (u, w) -> f u w) g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let edge_weight g u v =
+  let rec find i =
+    if i >= Array.length g.adj.(u) then raise Not_found
+    else
+      let x, w = g.adj.(u).(i) in
+      if x = v then w else find (i + 1)
+  in
+  find 0
+
+let has_edge g u v = match edge_weight g u v with _ -> true | exception Not_found -> false
+
+let bfs_hops g src =
+  let dist = Array.make g.n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    iter_neighbors g v (fun u _ ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+  done;
+  dist
+
+let is_connected g =
+  if g.n = 0 then true
+  else
+    let dist = bfs_hops g 0 in
+    Array.for_all (fun d -> d >= 0) dist
+
+let is_tree g = m g = g.n - 1 && is_connected g
+
+let map_weights f g =
+  let edge_list = Array.to_list (Array.map (fun (u, v, w) -> (u, v, f u v w)) g.edges) in
+  create g.n edge_list
+
+let total_weight g = Array.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 g.edges
+
+let unweighted_diameter g =
+  if not (is_connected g) then invalid_arg "Wgraph.unweighted_diameter: disconnected graph";
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    let dist = bfs_hops g v in
+    Array.iter (fun d -> if d > !best then best := d) dist
+  done;
+  !best

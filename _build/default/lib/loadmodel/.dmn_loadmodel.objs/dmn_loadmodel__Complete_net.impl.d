@@ -1,0 +1,1 @@
+lib/loadmodel/complete_net.ml: Array Dmn_core List

@@ -1,0 +1,1 @@
+lib/loadmodel/complete_net.mli: Dmn_core

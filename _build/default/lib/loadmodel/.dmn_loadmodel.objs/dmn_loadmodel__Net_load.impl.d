@@ -1,0 +1,1 @@
+lib/loadmodel/net_load.ml: Array Dijkstra Dmn_core Dmn_graph Dmn_paths Dmn_span Float Hashtbl List Option Wgraph

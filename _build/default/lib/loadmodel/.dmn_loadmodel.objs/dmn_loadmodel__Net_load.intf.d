@@ -1,0 +1,1 @@
+lib/loadmodel/net_load.mli: Dmn_core

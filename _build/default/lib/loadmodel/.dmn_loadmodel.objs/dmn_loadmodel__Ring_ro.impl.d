@@ -1,0 +1,1 @@
+lib/loadmodel/ring_ro.ml: Array Dmn_core Dmn_graph Float List Wgraph

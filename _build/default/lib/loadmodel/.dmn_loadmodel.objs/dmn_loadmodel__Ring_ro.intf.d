@@ -1,0 +1,1 @@
+lib/loadmodel/ring_ro.mli: Dmn_core

@@ -1,0 +1,1 @@
+lib/loadmodel/tree_load.ml: Array Dmn_core Dmn_paths Dmn_tree List

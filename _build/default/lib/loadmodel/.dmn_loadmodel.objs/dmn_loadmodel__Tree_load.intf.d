@@ -1,0 +1,1 @@
+lib/loadmodel/tree_load.mli: Dmn_core

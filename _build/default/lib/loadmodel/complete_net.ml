@@ -1,0 +1,36 @@
+module I = Dmn_core.Instance
+
+let cost inst ~x copies =
+  let copies = List.sort_uniq compare copies in
+  if copies = [] then invalid_arg "Complete_net.cost: empty copy set";
+  let k = List.length copies in
+  let holds = Array.make (I.n inst) false in
+  List.iter (fun c -> holds.(c) <- true) copies;
+  let w_total = float_of_int (I.total_writes inst ~x) in
+  let missed = ref 0.0 in
+  for u = 0 to I.n inst - 1 do
+    if not holds.(u) then
+      missed := !missed +. float_of_int (I.reads inst ~x u + I.writes inst ~x u)
+  done;
+  (w_total *. float_of_int (k - 1)) +. !missed
+
+let solve inst ~x =
+  let n = I.n inst in
+  let order = Array.init n (fun v -> v) in
+  let busy v = I.requests inst ~x v in
+  Array.sort (fun a b -> compare (busy b, a) (busy a, b)) order;
+  (* prefix of the busiest nodes for every k; track the best *)
+  let w_total = float_of_int (I.total_writes inst ~x) in
+  let total_busy = float_of_int (I.total_requests inst ~x) in
+  let best_k = ref 1 and best_cost = ref infinity in
+  let prefix = ref 0.0 in
+  for k = 1 to n do
+    prefix := !prefix +. float_of_int (busy order.(k - 1));
+    let c = (w_total *. float_of_int (k - 1)) +. (total_busy -. !prefix) in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_k := k
+    end
+  done;
+  let copies = List.sort compare (Array.to_list (Array.sub order 0 !best_k)) in
+  (copies, !best_cost)

@@ -1,0 +1,22 @@
+(** Optimal placement in uniform completely-connected networks in the
+    total-load model ([d(u,v) = 1], [cs = 0]) — the closed form of
+    Wolfson–Milo (TODS 1991), which the paper cites as the
+    complete-network special case.
+
+    With copy set [S] of size [k]:
+    - a read at [u] costs [0] if [u in S] else [1];
+    - a write at [u] spans [S ∪ {u}], i.e. costs [k - 1] if [u in S]
+      else [k].
+
+    Total = [W * (k - 1) + sum_{u not in S} (r_u + w_u)], so for fixed
+    [k] the optimum keeps the [k] busiest nodes ([r + w]); scanning [k]
+    gives the optimum in [O(n log n)]. *)
+
+(** [solve inst ~x] returns [(copies, total_cost)] for a single object.
+    The instance is interpreted in the uniform complete model: graph
+    structure, edge weights and storage costs are ignored — only the
+    request counts matter. *)
+val solve : Dmn_core.Instance.t -> x:int -> int list * float
+
+(** [cost inst ~x copies] evaluates a copy set in the same model. *)
+val cost : Dmn_core.Instance.t -> x:int -> int list -> float

@@ -1,0 +1,79 @@
+open Dmn_graph
+open Dmn_paths
+module I = Dmn_core.Instance
+
+type profile = {
+  load : (int * int * float) list;
+  total_weighted : float;
+  max_weighted : float;
+}
+
+(* edge key with canonical orientation *)
+let key u v = if u < v then (u, v) else (v, u)
+
+let add_load tbl u v amount =
+  let k = key u v in
+  Hashtbl.replace tbl k (amount +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k))
+
+(* walk the Dijkstra parent chain from [v] to its serving source *)
+let rec charge_path tbl (r : Dijkstra.result) v amount =
+  let p = r.Dijkstra.parent.(v) in
+  if p >= 0 then begin
+    add_load tbl v p amount;
+    charge_path tbl r p amount
+  end
+
+let charge_object inst ~x copies tbl g =
+  let copies = List.sort_uniq compare copies in
+  let r = Dijkstra.multi g copies in
+  (* reads and write request legs to the nearest copy *)
+  for v = 0 to I.n inst - 1 do
+    let c = I.requests inst ~x v in
+    if c > 0 then charge_path tbl r v (float_of_int c)
+  done;
+  (* one MST multicast per write: metric MST edges expanded to paths *)
+  let w = I.total_writes inst ~x in
+  if w > 0 then begin
+    let mst, _ = Dmn_span.Kruskal.mst_of_subset (I.metric inst) copies in
+    List.iter
+      (fun (a, b, _) ->
+        let ra = Dijkstra.run g a in
+        charge_path tbl ra b (float_of_int w))
+      mst
+  end
+
+let finish inst tbl =
+  let g = match I.graph inst with Some g -> g | None -> assert false in
+  let rows =
+    List.map
+      (fun (u, v, fee) ->
+        let amount = Option.value ~default:0.0 (Hashtbl.find_opt tbl (key u v)) in
+        (u, v, amount, fee))
+      (Wgraph.edges g)
+  in
+  let total = List.fold_left (fun acc (_, _, a, fee) -> acc +. (a *. fee)) 0.0 rows in
+  let worst = List.fold_left (fun acc (_, _, a, fee) -> Float.max acc (a *. fee)) 0.0 rows in
+  {
+    load = List.map (fun (u, v, a, _) -> (u, v, a)) rows;
+    total_weighted = total;
+    max_weighted = worst;
+  }
+
+let graph_of inst =
+  match I.graph inst with
+  | Some g -> g
+  | None -> invalid_arg "Net_load: instance has no graph"
+
+let of_copies inst ~x copies =
+  let g = graph_of inst in
+  let tbl = Hashtbl.create 64 in
+  charge_object inst ~x copies tbl g;
+  finish inst tbl
+
+let of_placement inst p =
+  let g = graph_of inst in
+  let tbl = Hashtbl.create 64 in
+  for x = 0 to Dmn_core.Placement.objects p - 1 do
+    charge_object inst ~x (Dmn_core.Placement.copies p ~x) tbl g
+  done;
+  finish inst tbl

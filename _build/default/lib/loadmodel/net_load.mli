@@ -1,0 +1,25 @@
+(** Per-edge load profiles of placements on general graphs, connecting
+    the cost model back to the congestion/total-load literature the
+    paper generalizes (Section 1: with [ct = 1/bandwidth] and [cs = 0],
+    total weighted load {e is} the total communication cost; max
+    weighted load is the congestion of Maggs et al.).
+
+    Traffic is routed the way the paper's strategy pays for it: reads
+    (and the write [h -> s(r)] legs) follow shortest paths to the
+    nearest copy (one multi-source Dijkstra tree per object), and each
+    write's multicast follows the metric MST over the copy set with
+    every MST edge expanded to a shortest graph path. *)
+
+type profile = {
+  load : (int * int * float) list;
+      (** per-edge absolute load (objects transmitted), [(u, v, load)] with [u < v]; all graph edges listed *)
+  total_weighted : float;  (** sum of load * fee — the communication part of the total cost *)
+  max_weighted : float;  (** the congestion analogue: max over edges of load * fee *)
+}
+
+(** [of_placement inst p] profiles all objects of a placement. The
+    instance must be graph-backed. *)
+val of_placement : Dmn_core.Instance.t -> Dmn_core.Placement.t -> profile
+
+(** [of_copies inst ~x copies] profiles a single object. *)
+val of_copies : Dmn_core.Instance.t -> x:int -> int list -> profile

@@ -1,0 +1,96 @@
+open Dmn_graph
+module I = Dmn_core.Instance
+
+(* Extract the cycle order starting at node 0, plus arc lengths. *)
+let cycle_order g =
+  let n = Wgraph.n g in
+  if n < 3 then invalid_arg "Ring_ro: need n >= 3";
+  for v = 0 to n - 1 do
+    if Wgraph.degree g v <> 2 then invalid_arg "Ring_ro: graph is not a ring"
+  done;
+  if not (Wgraph.is_connected g) then invalid_arg "Ring_ro: graph is not a ring";
+  let order = Array.make n 0 in
+  let weight = Array.make n 0.0 in
+  (* weight.(i) = length of the arc order.(i) -> order.(i+1 mod n) *)
+  let prev = ref (-1) and cur = ref 0 in
+  for i = 0 to n - 1 do
+    order.(i) <- !cur;
+    let nbrs = Wgraph.neighbors g !cur in
+    let next, w =
+      if fst nbrs.(0) <> !prev then nbrs.(0)
+      else nbrs.(1)
+    in
+    weight.(i) <- w;
+    prev := !cur;
+    cur := next
+  done;
+  if !cur <> 0 then invalid_arg "Ring_ro: graph is not a single cycle";
+  (order, weight)
+
+let opt inst ~x =
+  if I.total_writes inst ~x > 0 then invalid_arg "Ring_ro.opt: object has writes";
+  let g = match I.graph inst with Some g -> g | None -> invalid_arg "Ring_ro.opt: no graph" in
+  let order, weight = cycle_order g in
+  let n = Array.length order in
+  (* cum.(i) = distance from order.(0) to order.(i) going forward;
+     extended to 2n for wrap-around arithmetic *)
+  let cum = Array.make ((2 * n) + 1) 0.0 in
+  for i = 0 to (2 * n) - 1 do
+    cum.(i + 1) <- cum.(i) +. weight.(i mod n)
+  done;
+  let fr i = float_of_int (I.reads inst ~x order.(i mod n)) in
+  let cs i = I.cs inst order.(i mod n) in
+  (* between a b (indices with a < b <= a + n): reads strictly inside
+     the arc served by the nearer endpoint along the arc *)
+  let between a b =
+    let acc = ref 0.0 in
+    for i = a + 1 to b - 1 do
+      let to_a = cum.(i) -. cum.(a) and to_b = cum.(b) -. cum.(i) in
+      acc := !acc +. (fr i *. Float.min to_a to_b)
+    done;
+    !acc
+  in
+  let best_cost = ref infinity and best = ref [] in
+  for f = 0 to n - 1 do
+    if cs f < infinity then begin
+      (* dp.(i) for i in [f, f + n): min cost of copies in (f..i] with a
+         copy exactly at i and at f, covering all readers in (f, i];
+         parent pointers reconstruct the set *)
+      let dp = Array.make (f + n) infinity in
+      let parent = Array.make (f + n) (-1) in
+      let get i = if i = f then cs f else dp.(i) in
+      for i = f + 1 to f + n - 1 do
+        if cs i < infinity then begin
+          let best_j = ref (-1) and best_v = ref infinity in
+          for j = f to i - 1 do
+            let v = get j +. between j i in
+            if v < !best_v && v < infinity then begin
+              best_v := v;
+              best_j := j
+            end
+          done;
+          if !best_j >= 0 then begin
+            dp.(i) <- !best_v +. cs i;
+            parent.(i) <- !best_j
+          end
+        end
+      done;
+      (* close the ring: last copy l wraps to f + n *)
+      for l = f to f + n - 1 do
+        let base = get l in
+        if base < infinity then begin
+          let total = base +. between l (f + n) in
+          if total < !best_cost then begin
+            best_cost := total;
+            let rec collect i acc =
+              if i = f then f :: acc else collect parent.(i) (i :: acc)
+            in
+            best := collect l []
+          end
+        end
+      done
+    end
+  done;
+  if !best = [] then invalid_arg "Ring_ro.opt: no storable node";
+  let copies = List.map (fun i -> order.(i mod n)) !best |> List.sort_uniq compare in
+  (copies, !best_cost)

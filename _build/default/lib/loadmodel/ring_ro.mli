@@ -1,0 +1,16 @@
+(** Optimal read-only placement on ring networks in [O(n^3)] — the
+    cost-model analogue of the Milo–Wolfson polynomial ring algorithm
+    the paper cites (their result is for the total-load model; for
+    read-only objects the two models coincide up to storage fees).
+
+    With no writes, the objective on a cycle decomposes between
+    consecutive copies: fixing the first copy position, a DP over the
+    remaining arc chooses the other copies optimally. Writes would
+    couple the copies through the spanning-arc structure, so this module
+    rejects objects with writes. *)
+
+(** [opt inst ~x] returns [(copies, cost)] for a read-only object on a
+    ring instance. The instance's graph must be a single cycle (every
+    node of degree 2, connected).
+    @raise Invalid_argument otherwise or if the object has writes. *)
+val opt : Dmn_core.Instance.t -> x:int -> int list * float

@@ -1,0 +1,106 @@
+module I = Dmn_core.Instance
+module R = Dmn_tree.Rtree
+
+let tree_of inst ~root =
+  match I.graph inst with
+  | Some g -> R.of_graph g ~root
+  | None -> invalid_arg "Tree_load: instance has no graph"
+
+(* request volumes (reads + writes, and writes alone) inside each
+   subtree *)
+let volumes inst ~x (rt : R.t) =
+  let n = I.n inst in
+  let req = Array.make n 0 and wr = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      req.(v) <- I.requests inst ~x v;
+      wr.(v) <- I.writes inst ~x v;
+      Array.iter
+        (fun c ->
+          req.(v) <- req.(v) + req.(c);
+          wr.(v) <- wr.(v) + wr.(c))
+        rt.R.children.(v))
+    rt.R.post_order;
+  (req, wr)
+
+let per_edge_lower_bound inst ~x ~root =
+  let rt = tree_of inst ~root in
+  let req, _ = volumes inst ~x rt in
+  let total_req = I.total_requests inst ~x in
+  let w = I.total_writes inst ~x in
+  let rows = ref [] and total = ref 0.0 in
+  for v = 0 to I.n inst - 1 do
+    if rt.R.parent.(v) >= 0 then begin
+      let inside = req.(v) in
+      let outside = total_req - inside in
+      let bound = min w (min inside outside) in
+      let weighted = float_of_int bound *. rt.R.up_weight.(v) in
+      rows := (v, weighted) :: !rows;
+      total := !total +. weighted
+    end
+  done;
+  (List.rev !rows, !total)
+
+let edge_loads inst ~x ~root copies =
+  let rt = tree_of inst ~root in
+  let n = I.n inst in
+  let copies = List.sort_uniq compare copies in
+  if copies = [] then invalid_arg "Tree_load.edge_loads: empty copy set";
+  let m = I.metric inst in
+  (* copies and writes inside each subtree *)
+  let holds = Array.make n false in
+  List.iter (fun c -> holds.(c) <- true) copies;
+  let copies_in = Array.make n 0 and w_in = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      copies_in.(v) <- (if holds.(v) then 1 else 0);
+      w_in.(v) <- I.writes inst ~x v;
+      Array.iter
+        (fun c ->
+          copies_in.(v) <- copies_in.(v) + copies_in.(c);
+          w_in.(v) <- w_in.(v) + w_in.(c))
+        rt.R.children.(v))
+    rt.R.post_order;
+  let total_copies = copies_in.(rt.R.root) in
+  let w_total = I.total_writes inst ~x in
+  (* read crossings: a read at u crosses edge (v, parent v) iff exactly
+     one of u and its serving copy lies in T_v. Serving copy = nearest,
+     ties to the smaller node id. *)
+  let serving = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    if I.reads inst ~x u > 0 then begin
+      let best = ref (-1) and bd = ref infinity in
+      List.iter
+        (fun c ->
+          let d = Dmn_paths.Metric.d m u c in
+          if d < !bd -. 1e-12 then begin
+            bd := d;
+            best := c
+          end)
+        copies;
+      serving.(u) <- !best
+    end
+  done;
+  let rows = ref [] and total = ref 0.0 in
+  for v = 0 to n - 1 do
+    if rt.R.parent.(v) >= 0 then begin
+      (* a read crosses the top edge of T_v iff it is issued inside T_v
+         xor served inside T_v (tree paths cross each edge at most
+         once) *)
+      let crossing = ref 0 in
+      for u = 0 to n - 1 do
+        if serving.(u) >= 0 then begin
+          let ui = R.in_subtree rt ~v u and si = R.in_subtree rt ~v serving.(u) in
+          if ui <> si then crossing := !crossing + I.reads inst ~x u
+        end
+      done;
+      let inside = copies_in.(v) > 0 and outside = total_copies - copies_in.(v) > 0 in
+      let wload =
+        (if outside then w_in.(v) else 0) + if inside then w_total - w_in.(v) else 0
+      in
+      let load = float_of_int (!crossing + wload) *. rt.R.up_weight.(v) in
+      rows := (v, load) :: !rows;
+      total := !total +. load
+    end
+  done;
+  (List.rev !rows, !total)

@@ -1,0 +1,35 @@
+(** The total-communication-load model on trees (the special case
+    [cs = 0], [ct = 1/bandwidth] the paper generalizes; cf. Maggs,
+    Meyer auf der Heide, Vöcking, Westermann, FOCS 1997, who show a
+    placement minimizing the load of {e every} edge simultaneously).
+
+    An edge [e] of a tree splits it into sides [A] and [B] with request
+    volumes [(R_A, W_A)], [(R_B, W_B)]. Whatever the copy set:
+
+    - copies only in [A]: the load of [e] is exactly [R_B + W_B],
+    - copies only in [B]: exactly [R_A + W_A],
+    - copies on both sides: at least [W] (every write crosses).
+
+    Hence [min(R_A + W_A, R_B + W_B, W)] lower-bounds every placement's
+    load on [e], and the sum over edges lower-bounds the total load.
+    The simultaneous-optimality theorem says the optimum attains every
+    per-edge minimum; the tests and experiment E9 verify this against
+    the exact tree DP. *)
+
+(** [per_edge_lower_bound inst ~x ~root] is the list of
+    [(child, bound_on_edge_to_parent)] pairs (weighted by the edge fee)
+    together with their total. The instance must be a tree; storage
+    costs are ignored (pure communication bound). *)
+val per_edge_lower_bound : Dmn_core.Instance.t -> x:int -> root:int -> (int * float) list * float
+
+(** [edge_loads inst ~x ~root copies] is the realized weighted load of
+    each tree edge under nearest-copy reads and spanned-subtree writes,
+    as [(child, load)] pairs plus their total. *)
+val edge_loads : Dmn_core.Instance.t -> x:int -> root:int -> int list -> (int * float) list * float
+
+(** Note: no standalone constructive placement is exposed. Under the
+    cost model's fixed nearest-copy read assignment, realizing the
+    per-edge minima requires global coordination that the exact tree DP
+    ({!Dmn_tree.Tree_solver}) already provides; the tests verify that
+    the DP's optimum attains {e every} per-edge minimum, which is the
+    simultaneous-optimality theorem. *)

@@ -1,0 +1,198 @@
+type sense = Le | Ge | Eq
+
+type problem = {
+  minimize : bool;
+  objective : float array;
+  constraints : (float array * sense * float) list;
+}
+
+type outcome =
+  | Optimal of { value : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+let tol = 1e-9
+
+(* Dense tableau:
+     t.(i).(j)   for i < m: constraint rows (coefficients, rhs last)
+     t.(m)       objective row (reduced costs, -value last)
+   basis.(i) = column basic in row i. *)
+type tableau = {
+  t : float array array;
+  basis : int array;
+  m : int;  (* rows *)
+  cols : int;  (* columns excluding rhs *)
+}
+
+let pivot tab ~row ~col =
+  let { t; basis; m; cols } = tab in
+  let p = t.(row).(col) in
+  for j = 0 to cols do
+    t.(row).(j) <- t.(row).(j) /. p
+  done;
+  for i = 0 to m do
+    if i <> row then begin
+      let f = t.(i).(col) in
+      if Float.abs f > 0.0 then
+        for j = 0 to cols do
+          t.(i).(j) <- t.(i).(j) -. (f *. t.(row).(j))
+        done
+    end
+  done;
+  basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced
+   cost; leaving = lexicographic min ratio (ties to the lowest basis
+   index). [allowed] filters candidate entering columns. *)
+let rec iterate tab allowed =
+  let { t; basis; m; cols } = tab in
+  let entering = ref (-1) in
+  (try
+     for j = 0 to cols - 1 do
+       if allowed j && t.(m).(j) < -.tol then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let col = !entering in
+    let row = ref (-1) and best = ref infinity in
+    for i = 0 to m - 1 do
+      if t.(i).(col) > tol then begin
+        let ratio = t.(i).(cols) /. t.(i).(col) in
+        if
+          ratio < !best -. tol
+          || (Float.abs (ratio -. !best) <= tol && (!row < 0 || basis.(i) < basis.(!row)))
+        then begin
+          best := ratio;
+          row := i
+        end
+      end
+    done;
+    if !row < 0 then `Unbounded
+    else begin
+      pivot tab ~row:!row ~col;
+      iterate tab allowed
+    end
+  end
+
+let solve p =
+  let nvars = Array.length p.objective in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> nvars then invalid_arg "Simplex.solve: row length mismatch")
+    p.constraints;
+  let cons = Array.of_list p.constraints in
+  let m = Array.length cons in
+  (* normalize rhs >= 0 *)
+  let cons =
+    Array.map
+      (fun (row, sense, rhs) ->
+        if rhs < 0.0 then
+          ( Array.map (fun x -> -.x) row,
+            (match sense with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (Array.copy row, sense, rhs))
+      cons
+  in
+  (* column layout: [0, nvars) structural; then one slack/surplus per
+     inequality; then artificials where needed *)
+  let n_slack = Array.fold_left (fun acc (_, s, _) -> acc + match s with Eq -> 0 | _ -> 1) 0 cons in
+  let needs_artificial = Array.map (fun (_, s, _) -> s <> Le) cons in
+  let n_art = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 needs_artificial in
+  let cols = nvars + n_slack + n_art in
+  let t = Array.make_matrix (m + 1) (cols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref nvars and art_idx = ref (nvars + n_slack) in
+  let artificial_cols = ref [] in
+  Array.iteri
+    (fun i (row, sense, rhs) ->
+      Array.blit row 0 t.(i) 0 nvars;
+      t.(i).(cols) <- rhs;
+      (match sense with
+      | Le ->
+          t.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          t.(i).(!slack_idx) <- -1.0;
+          incr slack_idx
+      | Eq -> ());
+      if needs_artificial.(i) then begin
+        t.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        artificial_cols := !art_idx :: !artificial_cols;
+        incr art_idx
+      end)
+    cons;
+  let tab = { t; basis; m; cols } in
+  let is_artificial = Array.make cols false in
+  List.iter (fun j -> is_artificial.(j) <- true) !artificial_cols;
+  (* ---- phase 1 ---- *)
+  if n_art > 0 then begin
+    (* objective: sum of artificials; canonicalize over basic rows *)
+    for j = 0 to cols do
+      t.(m).(j) <- 0.0
+    done;
+    List.iter (fun j -> t.(m).(j) <- 1.0) !artificial_cols;
+    for i = 0 to m - 1 do
+      if is_artificial.(basis.(i)) then
+        for j = 0 to cols do
+          t.(m).(j) <- t.(m).(j) -. t.(i).(j)
+        done
+    done;
+    (match iterate tab (fun _ -> true) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal -> ());
+    if Float.abs t.(m).(cols) > 1e-7 then raise Exit
+  end;
+  (* drive any residual zero-level artificials out of the basis *)
+  for i = 0 to m - 1 do
+    if basis.(i) >= 0 && is_artificial.(basis.(i)) then begin
+      let found = ref false in
+      for j = 0 to cols - 1 do
+        if (not !found) && (not is_artificial.(j)) && Float.abs t.(i).(j) > 1e-7 then begin
+          pivot tab ~row:i ~col:j;
+          found := true
+        end
+      done
+      (* a fully-zero row is redundant; leaving the artificial basic at
+         level 0 is harmless as long as it can never re-enter *)
+    end
+  done;
+  (* ---- phase 2 ---- *)
+  let sign = if p.minimize then 1.0 else -1.0 in
+  for j = 0 to cols do
+    t.(m).(j) <- 0.0
+  done;
+  for j = 0 to nvars - 1 do
+    t.(m).(j) <- sign *. p.objective.(j)
+  done;
+  for i = 0 to m - 1 do
+    let b = basis.(i) in
+    if b >= 0 && Float.abs t.(m).(b) > 0.0 then begin
+      let f = t.(m).(b) in
+      for j = 0 to cols do
+        t.(m).(j) <- t.(m).(j) -. (f *. t.(i).(j))
+      done
+    end
+  done;
+  match iterate tab (fun j -> not is_artificial.(j)) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Array.make nvars 0.0 in
+      for i = 0 to m - 1 do
+        if basis.(i) >= 0 && basis.(i) < nvars then x.(basis.(i)) <- t.(i).(cols)
+      done;
+      let value = ref 0.0 in
+      for j = 0 to nvars - 1 do
+        value := !value +. (p.objective.(j) *. x.(j))
+      done;
+      Optimal { value = !value; x }
+
+let solve p = try solve p with Exit -> Infeasible
+
+let minimize ~objective ~constraints = solve { minimize = true; objective; constraints }
+let maximize ~objective ~constraints = solve { minimize = false; objective; constraints }

@@ -1,0 +1,34 @@
+(** A dense two-phase primal simplex solver.
+
+    Built as a substrate for the LP-rounding facility-location
+    algorithms the paper cites for its phase 1 (Shmoys–Tardos–Aardal;
+    no LP solver is available offline). Designed for the small dense
+    relaxations that arise there — hundreds of variables and
+    constraints — not for sparse industrial LPs.
+
+    Problems are over variables [x >= 0]. Bland's anti-cycling rule is
+    used throughout, with a small numeric tolerance. *)
+
+type sense = Le | Ge | Eq
+
+type problem = {
+  minimize : bool;
+  objective : float array;  (** length = number of variables *)
+  constraints : (float array * sense * float) list;
+      (** each [(row, sense, rhs)]; rows must match the variable count *)
+}
+
+type outcome =
+  | Optimal of { value : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+(** [solve p] runs two-phase simplex. @raise Invalid_argument on shape
+    errors. *)
+val solve : problem -> outcome
+
+(** Convenience: [minimize ~objective ~constraints] /
+    [maximize ~objective ~constraints]. *)
+val minimize : objective:float array -> constraints:(float array * sense * float) list -> outcome
+
+val maximize : objective:float array -> constraints:(float array * sense * float) list -> outcome

@@ -1,0 +1,1 @@
+lib/paths/bfs.ml: Array Dmn_graph Queue Wgraph

@@ -1,0 +1,1 @@
+lib/paths/bfs.mli: Dmn_graph Wgraph

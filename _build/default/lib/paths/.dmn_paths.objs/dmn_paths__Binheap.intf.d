@@ -1,0 +1,1 @@
+lib/paths/binheap.mli:

@@ -1,0 +1,1 @@
+lib/paths/dijkstra.ml: Array Dmn_graph Idx_heap List Wgraph

@@ -1,0 +1,1 @@
+lib/paths/dijkstra.mli: Dmn_graph Wgraph

@@ -1,0 +1,1 @@
+lib/paths/idx_heap.mli:

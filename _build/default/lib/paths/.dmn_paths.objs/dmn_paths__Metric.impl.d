@@ -1,0 +1,1 @@
+lib/paths/metric.ml: Array Dijkstra Dmn_graph Dmn_prelude Float Floatx List Printf Wgraph

@@ -1,0 +1,1 @@
+lib/paths/metric.mli: Dmn_graph Wgraph

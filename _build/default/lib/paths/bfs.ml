@@ -1,0 +1,31 @@
+open Dmn_graph
+
+let hops g src =
+  let dist = Array.make (Wgraph.n g) (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Wgraph.iter_neighbors g v (fun u _ ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+  done;
+  dist
+
+let eccentricity g v =
+  let dist = hops g v in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Bfs.eccentricity: disconnected graph" else max acc d)
+    0 dist
+
+let component g v =
+  let dist = hops g v in
+  let acc = ref [] in
+  for u = Wgraph.n g - 1 downto 0 do
+    if dist.(u) >= 0 then acc := u :: !acc
+  done;
+  !acc

@@ -1,0 +1,15 @@
+(** Unweighted traversals. *)
+
+open Dmn_graph
+
+(** [hops g src] is the hop-count distance array; [-1] marks unreachable
+    nodes. *)
+val hops : Wgraph.t -> int -> int array
+
+(** [eccentricity g v] is the maximum hop distance from [v]; the graph
+    must be connected. *)
+val eccentricity : Wgraph.t -> int -> int
+
+(** [component g v] lists the nodes reachable from [v], in visit
+    order. *)
+val component : Wgraph.t -> int -> int list

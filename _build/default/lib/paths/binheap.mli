@@ -1,0 +1,20 @@
+(** Polymorphic binary min-heap keyed by float priority. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h prio v] inserts [v] with priority [prio]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum [(prio, v)].
+    @raise Not_found on an empty heap. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min h] returns the minimum without removal.
+    @raise Not_found on an empty heap. *)
+val peek_min : 'a t -> float * 'a

@@ -1,0 +1,40 @@
+open Dmn_graph
+
+type result = { dist : float array; parent : int array; source : int array }
+
+let multi g srcs =
+  if srcs = [] then invalid_arg "Dijkstra.multi: no sources";
+  let n = Wgraph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let source = Array.make n (-1) in
+  let heap = Idx_heap.create n in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Dijkstra.multi: source out of range";
+      dist.(s) <- 0.0;
+      source.(s) <- s;
+      Idx_heap.insert_or_decrease heap s 0.0)
+    srcs;
+  while not (Idx_heap.is_empty heap) do
+    let v, d = Idx_heap.pop_min heap in
+    (* Entries are only popped at their final distance with an indexed heap. *)
+    Wgraph.iter_neighbors g v (fun u w ->
+        let nd = d +. w in
+        if nd < dist.(u) then begin
+          dist.(u) <- nd;
+          parent.(u) <- v;
+          source.(u) <- source.(v);
+          Idx_heap.insert_or_decrease heap u nd
+        end)
+  done;
+  { dist; parent; source }
+
+let run g src = multi g [ src ]
+
+let path r v =
+  if r.source.(v) < 0 then invalid_arg "Dijkstra.path: unreachable node";
+  let rec go v acc = if r.parent.(v) < 0 then v :: acc else go r.parent.(v) (v :: acc) in
+  go v []
+
+let distance g u v = (run g u).dist.(v)

@@ -1,0 +1,26 @@
+(** Shortest paths over {!Dmn_graph.Wgraph} with non-negative weights. *)
+
+open Dmn_graph
+
+(** Result of a (multi-source) run: [dist.(v)] is the distance to the
+    closest source ([infinity] when unreachable), [parent.(v)] the
+    predecessor on such a shortest path ([-1] at sources and unreachable
+    nodes), and [source.(v)] the source that serves [v] ([-1] when
+    unreachable). *)
+type result = { dist : float array; parent : int array; source : int array }
+
+(** [run g src] computes single-source shortest paths from [src]. *)
+val run : Wgraph.t -> int -> result
+
+(** [multi g srcs] computes, for every node, the distance to the nearest
+    of the given sources — exactly the "read request to nearest copy"
+    primitive of the data management cost model.
+    @raise Invalid_argument if [srcs] is empty. *)
+val multi : Wgraph.t -> int list -> result
+
+(** [path r v] reconstructs the node sequence from the serving source to
+    [v], inclusive. @raise Invalid_argument if [v] is unreachable. *)
+val path : result -> int -> int list
+
+(** [distance g u v] is the shortest-path distance between two nodes. *)
+val distance : Wgraph.t -> int -> int -> float

@@ -1,0 +1,74 @@
+type t = {
+  heap : int array; (* positions -> keys *)
+  pos : int array; (* keys -> positions, -1 when absent *)
+  prio : float array; (* keys -> priorities *)
+  mutable len : int;
+}
+
+let create n =
+  { heap = Array.make (max 1 n) 0; pos = Array.make (max 1 n) (-1); prio = Array.make (max 1 n) 0.0; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+let mem h k = h.pos.(k) >= 0
+
+let swap h i j =
+  let ki = h.heap.(i) and kj = h.heap.(j) in
+  h.heap.(i) <- kj;
+  h.heap.(j) <- ki;
+  h.pos.(ki) <- j;
+  h.pos.(kj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(h.heap.(i)) < h.prio.(h.heap.(parent)) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.prio.(h.heap.(l)) < h.prio.(h.heap.(!smallest)) then smallest := l;
+  if r < h.len && h.prio.(h.heap.(r)) < h.prio.(h.heap.(!smallest)) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let insert h k p =
+  if mem h k then invalid_arg "Idx_heap.insert: key present";
+  h.heap.(h.len) <- k;
+  h.pos.(k) <- h.len;
+  h.prio.(k) <- p;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let decrease h k p =
+  if not (mem h k) then invalid_arg "Idx_heap.decrease: key absent";
+  if p < h.prio.(k) then begin
+    h.prio.(k) <- p;
+    sift_up h h.pos.(k)
+  end
+
+let insert_or_decrease h k p = if mem h k then decrease h k p else insert h k p
+
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let k = h.heap.(0) in
+  let p = h.prio.(k) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    let last = h.heap.(h.len) in
+    h.heap.(0) <- last;
+    h.pos.(last) <- 0
+  end;
+  h.pos.(k) <- -1;
+  if h.len > 0 then sift_down h 0;
+  (k, p)
+
+let priority h k =
+  if not (mem h k) then invalid_arg "Idx_heap.priority: key absent";
+  h.prio.(k)

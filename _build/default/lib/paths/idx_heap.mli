@@ -1,0 +1,30 @@
+(** Indexed min-heap over keys [0 .. n-1] with decrease-key, the
+    classic Dijkstra workhorse. Each key appears at most once. *)
+
+type t
+
+(** [create n] supports keys [0 .. n-1]. *)
+val create : int -> t
+
+val is_empty : t -> bool
+val size : t -> int
+val mem : t -> int -> bool
+
+(** [insert h k p] adds key [k] with priority [p].
+    @raise Invalid_argument if [k] is already present. *)
+val insert : t -> int -> float -> unit
+
+(** [decrease h k p] lowers [k]'s priority to [p]; a no-op when [p] is
+    not lower. @raise Invalid_argument if [k] is absent. *)
+val decrease : t -> int -> float -> unit
+
+(** [insert_or_decrease h k p] combines the two operations. *)
+val insert_or_decrease : t -> int -> float -> unit
+
+(** [pop_min h] removes the minimum [(key, priority)].
+    @raise Not_found on an empty heap. *)
+val pop_min : t -> int * float
+
+(** [priority h k] is [k]'s current priority.
+    @raise Invalid_argument if absent. *)
+val priority : t -> int -> float

@@ -1,0 +1,109 @@
+open Dmn_graph
+open Dmn_prelude
+
+type t = { n : int; mat : float array array }
+
+let size m = m.n
+let d m u v = m.mat.(u).(v)
+
+let of_graph g =
+  let n = Wgraph.n g in
+  let mat =
+    Array.init n (fun v ->
+        let r = Dijkstra.run g v in
+        Array.iteri
+          (fun u dist ->
+            if dist = infinity then
+              invalid_arg (Printf.sprintf "Metric.of_graph: node %d unreachable from %d" u v))
+          r.Dijkstra.dist;
+        r.Dijkstra.dist)
+  in
+  { n; mat }
+
+let of_graph_floyd g =
+  let n = Wgraph.n g in
+  let mat = Array.make_matrix n n infinity in
+  for v = 0 to n - 1 do
+    mat.(v).(v) <- 0.0
+  done;
+  List.iter
+    (fun (u, v, w) ->
+      if w < mat.(u).(v) then begin
+        mat.(u).(v) <- w;
+        mat.(v).(u) <- w
+      end)
+    (Wgraph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = mat.(i).(k) +. mat.(k).(j) in
+        if via < mat.(i).(j) then mat.(i).(j) <- via
+      done
+    done
+  done;
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j x ->
+          if x = infinity then
+            invalid_arg (Printf.sprintf "Metric.of_graph_floyd: %d unreachable from %d" j i))
+        row)
+    mat;
+  { n; mat }
+
+let is_metric mat =
+  let n = Array.length mat in
+  let bad fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.exists (fun row -> Array.length row <> n) mat then bad "matrix is not square"
+  else
+    let exception Found of string in
+    try
+      for i = 0 to n - 1 do
+        if not (Floatx.approx mat.(i).(i) 0.0) then
+          raise (Found (Printf.sprintf "non-zero diagonal at %d" i));
+        for j = 0 to n - 1 do
+          if mat.(i).(j) < 0.0 then raise (Found (Printf.sprintf "negative entry (%d,%d)" i j));
+          if not (Floatx.approx mat.(i).(j) mat.(j).(i)) then
+            raise (Found (Printf.sprintf "asymmetric at (%d,%d)" i j))
+        done
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if not (Floatx.leq ~tol:1e-6 mat.(i).(j) (mat.(i).(k) +. mat.(k).(j))) then
+              raise (Found (Printf.sprintf "triangle violation %d-%d via %d" i j k))
+          done
+        done
+      done;
+      Ok ()
+    with Found s -> Error s
+
+let of_matrix mat =
+  (match is_metric mat with Ok () -> () | Error e -> invalid_arg ("Metric.of_matrix: " ^ e));
+  let n = Array.length mat in
+  { n; mat = Array.map Array.copy mat }
+
+let of_points pts =
+  let n = Array.length pts in
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    Float.hypot (xi -. xj) (yi -. yj)
+  in
+  { n; mat = Array.init n (fun i -> Array.init n (dist i)) }
+
+let scale c m =
+  if c < 0.0 then invalid_arg "Metric.scale: negative factor";
+  { n = m.n; mat = Array.map (Array.map (fun x -> c *. x)) m.mat }
+
+let to_matrix m = Array.map Array.copy m.mat
+
+let nearest m v nodes =
+  match nodes with
+  | [] -> invalid_arg "Metric.nearest: empty node list"
+  | first :: rest ->
+      List.fold_left
+        (fun ((_, bd) as best) u ->
+          let du = d m v u in
+          if du < bd then (u, du) else best)
+        (first, d m v first)
+        rest

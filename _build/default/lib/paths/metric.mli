@@ -1,0 +1,46 @@
+(** Finite metric spaces over node ids [0 .. n-1].
+
+    The paper's cost function [ct] induces a metric as the shortest-path
+    closure of the edge costs (Section 1.1); all placement algorithms
+    are phrased against this abstraction so they also run on matrices
+    and point sets. *)
+
+open Dmn_graph
+
+type t
+
+val size : t -> int
+
+(** [d m u v] is the distance; [d m v v = 0]. *)
+val d : t -> int -> int -> float
+
+(** [of_graph g] is the shortest-path closure computed with one Dijkstra
+    per node; [g] must be connected. *)
+val of_graph : Wgraph.t -> t
+
+(** [of_graph_floyd g] computes the same closure with Floyd–Warshall
+    (used to cross-check the Dijkstra closure in tests). *)
+val of_graph_floyd : Wgraph.t -> t
+
+(** [of_matrix mat] wraps an explicit distance matrix.
+    @raise Invalid_argument if it is not square, has a non-zero
+    diagonal, negative entries, is asymmetric, or violates the triangle
+    inequality beyond float slack. *)
+val of_matrix : float array array -> t
+
+(** [of_points pts] is the Euclidean metric over 2-d points. *)
+val of_points : (float * float) array -> t
+
+(** [scale c m] multiplies every distance by [c >= 0]. *)
+val scale : float -> t -> t
+
+(** [to_matrix m] materializes the full matrix (row-major copy). *)
+val to_matrix : t -> float array array
+
+(** [nearest m v nodes] is [(u, d m v u)] minimizing the distance over
+    [nodes]. @raise Invalid_argument on an empty list. *)
+val nearest : t -> int -> int list -> int * float
+
+(** [is_metric mat] checks the {!of_matrix} requirements and returns an
+    explanation on failure. *)
+val is_metric : float array array -> (unit, string) result

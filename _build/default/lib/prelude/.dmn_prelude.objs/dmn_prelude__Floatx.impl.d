@@ -1,0 +1,1 @@
+lib/prelude/floatx.ml: Array Float

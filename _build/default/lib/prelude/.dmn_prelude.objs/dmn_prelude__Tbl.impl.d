@@ -1,0 +1,1 @@
+lib/prelude/tbl.ml: Array Float List Printf String

@@ -1,0 +1,29 @@
+let eps = 1e-9
+
+let approx ?(tol = eps) a b =
+  let d = Float.abs (a -. b) in
+  d <= tol || d <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+let leq ?(tol = eps) a b = a <= b || approx ~tol a b
+
+let sum a =
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. (!s -. t +. x)
+      else c := !c +. (x -. t +. !s);
+      s := t)
+    a;
+  !s +. !c
+
+let sum_by f n =
+  let s = ref 0.0 and c = ref 0.0 in
+  for i = 0 to n - 1 do
+    let x = f i in
+    let t = !s +. x in
+    if Float.abs !s >= Float.abs x then c := !c +. (!s -. t +. x)
+    else c := !c +. (x -. t +. !s);
+    s := t
+  done;
+  !s +. !c

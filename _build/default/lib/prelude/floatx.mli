@@ -1,0 +1,18 @@
+(** Float comparison helpers used throughout cost computations. *)
+
+(** Default comparison slack for cost equalities: [1e-9] relative. *)
+val eps : float
+
+(** [approx ?tol a b] holds when [a] and [b] agree up to [tol] absolute
+    or relative slack (default [eps]). *)
+val approx : ?tol:float -> float -> float -> bool
+
+(** [leq ?tol a b] is [a <= b] up to slack. *)
+val leq : ?tol:float -> float -> float -> bool
+
+(** [sum a] is a Neumaier compensated sum, stable for long cost
+    accumulations. *)
+val sum : float array -> float
+
+(** [sum_by f n] is the compensated sum of [f 0 .. f (n-1)]. *)
+val sum_by : (int -> float) -> int -> float

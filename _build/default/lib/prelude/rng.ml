@@ -1,0 +1,80 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: 62-bit modulo bias is negligible for
+     the bounds used in this library (all well below 2^40). The shift by 2
+     keeps the value within OCaml's non-negative int range. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample t a k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample: bad k";
+  let idx = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: only the first k slots need to be finalized. *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> a.(idx.(i)))
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = float t total in
+  let rec go i acc =
+    if i = n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i + 1 else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every randomized component of the library threads an explicit [Rng.t]
+    so that instances, workloads and algorithms are reproducible from a
+    single integer seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+val copy : t -> t
+
+(** [split t] derives a statistically independent generator and advances
+    [t]. Use to hand sub-streams to sub-components. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [float_in t lo hi] is uniform in [lo, hi). *)
+val float_in : t -> float -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bits64 t] is the raw next 64-bit output. *)
+val bits64 : t -> int64
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t a] is a uniformly random element of [a]. Raises
+    [Invalid_argument] on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [sample t a k] is [k] distinct positions of [a] chosen uniformly,
+    as values. Raises [Invalid_argument] if [k > Array.length a]. *)
+val sample : t -> 'a array -> int -> 'a array
+
+(** [exponential t ~mean] samples an exponential variate. *)
+val exponential : t -> mean:float -> float
+
+(** [zipf t ~n ~s] samples a rank in [1, n] with probability
+    proportional to [1 / rank^s], by inverse transform over the exact
+    normalization. *)
+val zipf : t -> n:int -> s:float -> int

@@ -1,0 +1,54 @@
+let check a name = if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean a =
+  check a "mean";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  check a "variance";
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let min a =
+  check a "min";
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  check a "max";
+  Array.fold_left Float.max a.(0) a
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  check a "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then b.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. b.(lo)) +. (w *. b.(hi))
+
+let median a = percentile a 50.0
+
+let geo_mean a =
+  check a "geo_mean";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geo_mean: nonpositive sample";
+        acc +. log x)
+      0.0 a
+  in
+  exp (acc /. float_of_int (Array.length a))
+
+let summary a = (mean a, stddev a, min a, median a, max a)

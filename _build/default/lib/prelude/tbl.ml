@@ -1,0 +1,48 @@
+type row = Cells of string list | Sep
+
+type t = { header : string list; arity : int; mutable rows : row list }
+
+let create header = { header; arity = List.length header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.arity then invalid_arg "Tbl.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x') s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let update cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  List.iter (function Cells c -> update c | Sep -> ()) rows;
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    if numeric c then String.make n ' ' ^ c else c ^ String.make n ' '
+  in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let body =
+    List.map (function Cells c -> line c | Sep -> sep) rows
+  in
+  String.concat "\n" ((sep :: line t.header :: sep :: body) @ [ sep ])
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fl x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else
+    let s = Printf.sprintf "%.4g" x in
+    s
+
+let fl2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,30 @@
+(** ASCII table rendering for experiment reports.
+
+    Columns are sized to fit their widest cell; numeric-looking cells are
+    right-aligned, everything else left-aligned. *)
+
+type t
+
+(** [create header] starts a table with the given column names. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row. Raises [Invalid_argument] if the
+    arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+(** [add_sep t] appends a horizontal separator at the current position. *)
+val add_sep : t -> unit
+
+(** [render t] produces the final multi-line string (no trailing
+    newline). *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit
+
+(** [fl x] formats a float with 4 significant decimals, trimming
+    trailing zeros ("12.5", "0.0417", "3"). *)
+val fl : float -> string
+
+(** [fl2 x] formats with exactly 2 decimals. *)
+val fl2 : float -> string

@@ -1,0 +1,1 @@
+lib/spanning/kruskal.ml: Array Dmn_dsu Dmn_graph Dmn_paths List Metric Wgraph

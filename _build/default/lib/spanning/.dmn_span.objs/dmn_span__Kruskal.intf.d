@@ -1,0 +1,1 @@
+lib/spanning/kruskal.mli: Dmn_graph Dmn_paths Metric Wgraph

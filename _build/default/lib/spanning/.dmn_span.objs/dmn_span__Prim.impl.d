@@ -1,0 +1,1 @@
+lib/spanning/prim.ml: Array Dmn_graph Dmn_paths Idx_heap List Wgraph

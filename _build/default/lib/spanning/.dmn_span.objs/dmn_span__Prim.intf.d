@@ -1,0 +1,1 @@
+lib/spanning/prim.mli: Dmn_graph Wgraph

@@ -1,0 +1,1 @@
+lib/spanning/steiner.ml: Array Dijkstra Dmn_dsu Dmn_graph Dmn_paths Hashtbl Kruskal List Metric Option Wgraph

@@ -1,0 +1,1 @@
+lib/spanning/steiner.mli: Dmn_graph Dmn_paths Metric Wgraph

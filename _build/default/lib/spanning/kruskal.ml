@@ -1,0 +1,33 @@
+open Dmn_graph
+open Dmn_paths
+
+let forest n edges =
+  let sorted = List.stable_sort (fun (_, _, w1) (_, _, w2) -> compare w1 w2) edges in
+  let dsu = Dmn_dsu.Dsu.create n in
+  let picked = ref [] and weight = ref 0.0 in
+  List.iter
+    (fun (u, v, w) ->
+      if Dmn_dsu.Dsu.union dsu u v then begin
+        picked := (u, v, w) :: !picked;
+        weight := !weight +. w
+      end)
+    sorted;
+  (List.rev !picked, !weight)
+
+let mst g = forest (Wgraph.n g) (Wgraph.edges g)
+
+let mst_of_subset m nodes =
+  let nodes = List.sort_uniq compare nodes in
+  match nodes with
+  | [] | [ _ ] -> ([], 0.0)
+  | _ ->
+      let arr = Array.of_list nodes in
+      let k = Array.length arr in
+      let edges = ref [] in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          edges := (i, j, Metric.d m arr.(i) arr.(j)) :: !edges
+        done
+      done;
+      let tree, weight = forest k !edges in
+      (List.map (fun (i, j, w) -> (arr.(i), arr.(j), w)) tree, weight)

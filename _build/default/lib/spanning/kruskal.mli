@@ -1,0 +1,16 @@
+(** Minimum spanning trees / forests by Kruskal's algorithm. *)
+
+open Dmn_graph
+open Dmn_paths
+
+(** [mst g] is [(edges, total_weight)] of a minimum spanning forest of
+    [g]; for connected graphs this is the MST. Edges are returned as
+    [(u, v, w)] with [u < v]. *)
+val mst : Wgraph.t -> Wgraph.edge list * float
+
+(** [mst_of_subset m nodes] computes the MST of the complete graph over
+    [nodes] with metric distances — the paper's update multicast tree
+    over a copy set. Returns [(tree_edges, weight)] where endpoints are
+    node ids of the original space. Duplicates in [nodes] are ignored.
+    The empty and singleton cases return [([], 0.)]. *)
+val mst_of_subset : Metric.t -> int list -> (int * int * float) list * float

@@ -1,0 +1,33 @@
+open Dmn_graph
+open Dmn_paths
+
+let mst g =
+  let n = Wgraph.n g in
+  if n = 0 then ([], 0.0)
+  else begin
+    let in_tree = Array.make n false in
+    let best_edge = Array.make n (-1) in
+    let heap = Idx_heap.create n in
+    Idx_heap.insert heap 0 0.0;
+    let picked = ref [] and weight = ref 0.0 and count = ref 0 in
+    while not (Idx_heap.is_empty heap) do
+      let v, w = Idx_heap.pop_min heap in
+      in_tree.(v) <- true;
+      incr count;
+      if best_edge.(v) >= 0 then begin
+        let u = best_edge.(v) in
+        picked := (min u v, max u v, w) :: !picked;
+        weight := !weight +. w
+      end;
+      Wgraph.iter_neighbors g v (fun u wu ->
+          if (not in_tree.(u)) && (not (Idx_heap.mem heap u) || wu < Idx_heap.priority heap u)
+          then begin
+            best_edge.(u) <- v;
+            Idx_heap.insert_or_decrease heap u wu
+          end)
+    done;
+    if !count <> n then invalid_arg "Prim.mst: disconnected graph";
+    (List.rev !picked, !weight)
+  end
+
+let weight g = snd (mst g)

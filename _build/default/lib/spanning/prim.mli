@@ -1,0 +1,10 @@
+(** Minimum spanning tree by Prim's algorithm (lazy indexed heap). *)
+
+open Dmn_graph
+
+(** [mst g] is [(edges, total_weight)]; [g] must be connected.
+    @raise Invalid_argument on a disconnected graph. *)
+val mst : Wgraph.t -> Wgraph.edge list * float
+
+(** [weight g] is only the total weight. *)
+val weight : Wgraph.t -> float

@@ -1,0 +1,133 @@
+open Dmn_graph
+open Dmn_paths
+
+let approx g terminals =
+  let terminals = List.sort_uniq compare terminals in
+  match terminals with
+  | [] | [ _ ] -> ([], 0.0)
+  | _ ->
+      (* 1. Shortest-path trees from every terminal give the closure
+         distances and let us expand closure edges to graph paths. *)
+      let runs =
+        List.map (fun t -> (t, Dijkstra.run g t)) terminals |> List.to_seq |> Hashtbl.of_seq
+      in
+      let arr = Array.of_list terminals in
+      let k = Array.length arr in
+      let closure = ref [] in
+      for i = 0 to k - 1 do
+        let r = Hashtbl.find runs arr.(i) in
+        for j = i + 1 to k - 1 do
+          closure := (i, j, r.Dijkstra.dist.(arr.(j))) :: !closure
+        done
+      done;
+      (* 2. MST of the closure. *)
+      let sorted = List.stable_sort (fun (_, _, a) (_, _, b) -> compare a b) !closure in
+      let dsu = Dmn_dsu.Dsu.create k in
+      let mst_edges =
+        List.filter (fun (i, j, _) -> Dmn_dsu.Dsu.union dsu i j) sorted
+      in
+      (* 3. Expand each closure edge to its path; collect distinct graph
+         edges. *)
+      let picked = Hashtbl.create 64 in
+      List.iter
+        (fun (i, j, _) ->
+          let r = Hashtbl.find runs arr.(i) in
+          let nodes = Dijkstra.path r arr.(j) in
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+                let key = (min a b, max a b) in
+                if not (Hashtbl.mem picked key) then
+                  Hashtbl.add picked key (Wgraph.edge_weight g a b);
+                walk rest
+            | _ -> ()
+          in
+          walk nodes)
+        mst_edges;
+      (* 4. MST of the expanded subgraph, then prune non-terminal leaves. *)
+      let sub_edges = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) picked [] in
+      let nodes = Hashtbl.create 64 in
+      List.iter
+        (fun (u, v, _) ->
+          Hashtbl.replace nodes u ();
+          Hashtbl.replace nodes v ())
+        sub_edges;
+      let sorted_sub = List.stable_sort (fun (_, _, a) (_, _, b) -> compare a b) sub_edges in
+      let dsu2 = Dmn_dsu.Dsu.create (Wgraph.n g) in
+      let tree = List.filter (fun (u, v, _) -> Dmn_dsu.Dsu.union dsu2 u v) sorted_sub in
+      let is_terminal = Array.make (Wgraph.n g) false in
+      List.iter (fun t -> is_terminal.(t) <- true) terminals;
+      let rec prune tree =
+        let deg = Hashtbl.create 64 in
+        let bump v = Hashtbl.replace deg v (1 + Option.value ~default:0 (Hashtbl.find_opt deg v)) in
+        List.iter
+          (fun (u, v, _) ->
+            bump u;
+            bump v)
+          tree;
+        let keep (u, v, _) =
+          let leafy x = Hashtbl.find deg x = 1 && not is_terminal.(x) in
+          not (leafy u || leafy v)
+        in
+        let tree' = List.filter keep tree in
+        if List.length tree' = List.length tree then tree else prune tree'
+      in
+      let tree = prune tree in
+      let weight = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 tree in
+      (tree, weight)
+
+let approx_weight_metric m terminals = snd (Kruskal.mst_of_subset m terminals)
+
+(* Dreyfus–Wagner over all terminals: dw m terminals returns the table
+   row for the full terminal mask, i.e. for every v the minimum weight
+   of a tree spanning terminals ∪ {v}. Singleton masks are already
+   tight in a metric (shortest path = direct edge), and for composite
+   masks one merge pass followed by one one-hop relaxation pass
+   suffices for the same reason. *)
+let dw m terminals =
+  let n = Metric.size m in
+  let term = Array.of_list terminals in
+  let k = Array.length term in
+  if k > 20 then invalid_arg "Steiner.exact: too many terminals";
+  let full = (1 lsl k) - 1 in
+  let f = Array.make_matrix (full + 1) n infinity in
+  for i = 0 to k - 1 do
+    for v = 0 to n - 1 do
+      f.(1 lsl i).(v) <- Metric.d m term.(i) v
+    done
+  done;
+  for s = 1 to full do
+    if s land (s - 1) <> 0 then begin
+      (* merge step: best partition of s meeting at v *)
+      for v = 0 to n - 1 do
+        let sub = ref ((s - 1) land s) in
+        let best = ref infinity in
+        while !sub > 0 do
+          let cand = f.(!sub).(v) +. f.(s lxor !sub).(v) in
+          if cand < !best then best := cand;
+          sub := (!sub - 1) land s
+        done;
+        if !best < f.(s).(v) then f.(s).(v) <- !best
+      done;
+      (* relaxation step: in the metric closure one hop suffices *)
+      for v = 0 to n - 1 do
+        let best = ref f.(s).(v) in
+        for u = 0 to n - 1 do
+          let cand = f.(s).(u) +. Metric.d m u v in
+          if cand < !best then best := cand
+        done;
+        f.(s).(v) <- !best
+      done
+    end
+  done;
+  f.(full)
+
+let exact_all_roots m terminals =
+  let terminals = List.sort_uniq compare terminals in
+  if terminals = [] then invalid_arg "Steiner.exact_all_roots: no terminals";
+  dw m terminals
+
+let exact_weight m terminals =
+  let terminals = List.sort_uniq compare terminals in
+  match terminals with
+  | [] | [ _ ] -> 0.0
+  | t0 :: rest -> (dw m rest).(t0)

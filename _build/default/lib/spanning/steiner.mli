@@ -1,0 +1,37 @@
+(** Steiner trees.
+
+    The update multicast for a write request at node [h] with copy set
+    [S] costs, in the unrestricted model of the paper (Section 1.1), the
+    weight of a minimum Steiner tree over [{h} ∪ S]. We provide the
+    classic 2-approximation (metric-closure MST, path expansion,
+    pruning) and an exact Dreyfus–Wagner solver for validation at small
+    terminal counts. *)
+
+open Dmn_graph
+open Dmn_paths
+
+(** [approx g terminals] returns [(edges, weight)] of a Steiner tree of
+    [g] spanning [terminals], within factor [2 - 2/|terminals|] of the
+    optimum. Edges are actual graph edges, each listed once. Duplicate
+    terminals are ignored; fewer than two terminals yield [([], 0.)]. *)
+val approx : Wgraph.t -> int list -> Wgraph.edge list * float
+
+(** [approx_weight_metric m terminals] is the MST weight over the
+    terminals in the metric [m] — the same 2-approximation bound without
+    edge recovery; used for cost accounting when only a metric is
+    available. *)
+val approx_weight_metric : Metric.t -> int list -> float
+
+(** [exact_weight m terminals] is the exact minimum Steiner tree weight
+    in metric [m] by Dreyfus–Wagner dynamic programming,
+    [O(3^k n + 2^k n^2)] for [k] terminals. Intended for [k <= 12] on
+    small node counts. *)
+val exact_weight : Metric.t -> int list -> float
+
+(** [exact_all_roots m terminals] returns an array [w] with [w.(v)] the
+    exact minimum Steiner tree weight over [terminals ∪ {v}], for every
+    node [v], from a single Dreyfus–Wagner table. This is the write-cost
+    oracle of the exhaustive data-management optimum: with copy set
+    [terminals], a write at [v] costs [w.(v)] in the unrestricted model.
+    [terminals] must be non-empty. *)
+val exact_all_roots : Metric.t -> int list -> float array

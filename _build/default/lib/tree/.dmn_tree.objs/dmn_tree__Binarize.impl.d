@@ -1,0 +1,1 @@
+lib/tree/binarize.ml: Array List Rtree

@@ -1,0 +1,1 @@
+lib/tree/binarize.mli: Rtree

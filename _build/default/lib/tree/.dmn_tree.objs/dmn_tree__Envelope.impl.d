@@ -1,0 +1,1 @@
+lib/tree/envelope.ml: Array Float List

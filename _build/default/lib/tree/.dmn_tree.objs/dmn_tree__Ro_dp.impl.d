@@ -1,0 +1,1 @@
+lib/tree/ro_dp.ml: Array Binarize Envelope Float List Rtree Tdata

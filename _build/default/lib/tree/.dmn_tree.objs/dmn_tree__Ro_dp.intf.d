@@ -1,0 +1,1 @@
+lib/tree/ro_dp.mli: Tdata

@@ -1,0 +1,1 @@
+lib/tree/ro_dp_literal.mli: Tdata

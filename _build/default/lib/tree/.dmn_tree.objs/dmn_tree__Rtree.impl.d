@@ -1,0 +1,1 @@
+lib/tree/rtree.ml: Array Dmn_graph Queue Wgraph

@@ -1,0 +1,1 @@
+lib/tree/rtree.mli: Dmn_graph Wgraph

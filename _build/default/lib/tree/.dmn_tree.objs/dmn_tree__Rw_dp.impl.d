@@ -1,0 +1,1 @@
+lib/tree/rw_dp.ml: Array Binarize Envelope Float List Rtree Tdata

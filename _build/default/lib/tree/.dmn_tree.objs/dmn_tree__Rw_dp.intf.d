@@ -1,0 +1,1 @@
+lib/tree/rw_dp.mli: Tdata

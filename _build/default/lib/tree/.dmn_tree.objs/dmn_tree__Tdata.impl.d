@@ -1,0 +1,1 @@
+lib/tree/tdata.ml: Array Binarize Dmn_core List Rtree

@@ -1,0 +1,1 @@
+lib/tree/tdata.mli: Binarize Dmn_core

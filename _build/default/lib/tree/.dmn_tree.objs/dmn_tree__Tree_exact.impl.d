@@ -1,0 +1,1 @@
+lib/tree/tree_exact.ml: Array Dmn_core Dmn_paths List Metric Rtree

@@ -1,0 +1,1 @@
+lib/tree/tree_exact.mli: Dmn_core

@@ -1,0 +1,1 @@
+lib/tree/tree_solver.ml: Array Dmn_core Ro_dp Rw_dp Tdata

@@ -1,0 +1,1 @@
+lib/tree/tree_solver.mli: Dmn_core

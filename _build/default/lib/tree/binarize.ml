@@ -1,0 +1,61 @@
+type t = { tree : Rtree.t; orig_of : int array; repr : int array }
+
+let run (rt : Rtree.t) =
+  let parent = ref [] (* (binary node, parent, weight) accumulated in id order *) in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let orig = ref [] in
+  let repr = Array.make rt.Rtree.n (-1) in
+  (* Allocate binary ids in a DFS; for each original node, attach its
+     children under a balanced gadget of dummies. *)
+  let rec place v bparent bweight =
+    let bv = fresh () in
+    orig := (bv, v) :: !orig;
+    repr.(v) <- bv;
+    parent := (bv, bparent, bweight) :: !parent;
+    let kids = rt.Rtree.children.(v) in
+    attach bv (Array.to_list kids)
+  and attach banchor = function
+    | [] -> ()
+    | [ c ] -> place c banchor rt.Rtree.up_weight.(c)
+    | [ c1; c2 ] ->
+        place c1 banchor rt.Rtree.up_weight.(c1);
+        place c2 banchor rt.Rtree.up_weight.(c2)
+    | kids ->
+        (* split into two halves below zero-weight dummies *)
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | l when i = 0 -> (List.rev acc, l)
+          | x :: rest -> split (i - 1) (x :: acc) rest
+        in
+        let half = List.length kids / 2 in
+        let left, right = split half [] kids in
+        let d1 = fresh () in
+        orig := (d1, -1) :: !orig;
+        parent := (d1, banchor, 0.0) :: !parent;
+        let d2 = fresh () in
+        orig := (d2, -1) :: !orig;
+        parent := (d2, banchor, 0.0) :: !parent;
+        attach d1 left;
+        attach d2 right
+  in
+  place rt.Rtree.root (-1) 0.0;
+  let n = !next in
+  let parent_arr = Array.make n (-1) in
+  let weight_arr = Array.make n 0.0 in
+  List.iter
+    (fun (b, p, w) ->
+      parent_arr.(b) <- p;
+      weight_arr.(b) <- w)
+    !parent;
+  let orig_of = Array.make n (-1) in
+  List.iter (fun (b, v) -> orig_of.(b) <- v) !orig;
+  let tree = Rtree.of_arrays ~root:repr.(rt.Rtree.root) ~parent:parent_arr ~up_weight:weight_arr in
+  { tree; orig_of; repr }
+
+let max_children t =
+  Array.fold_left (fun acc kids -> max acc (Array.length kids)) 0 t.tree.Rtree.children

@@ -1,0 +1,21 @@
+(** Binary-tree simulation of arbitrary rooted trees (paper Section 3.1,
+    final paragraph).
+
+    A node with [k > 2] children is expanded into a balanced binary
+    gadget of dummy nodes joined by zero-weight edges, preserving all
+    pairwise distances and multiplying the depth by at most
+    [O(log deg)]. Dummy nodes carry no requests and infinite storage
+    cost, so no optimal placement ever stores on them. *)
+
+type t = {
+  tree : Rtree.t;  (** the binary tree; every node has at most 2 children *)
+  orig_of : int array;  (** binary node -> original node, [-1] for dummies *)
+  repr : int array;  (** original node -> its binary node *)
+}
+
+(** [run rt] expands [rt]. *)
+val run : Rtree.t -> t
+
+(** [max_children t] is the maximum child count of [t.tree] (for
+    assertions: always [<= 2]). *)
+val max_children : t -> int

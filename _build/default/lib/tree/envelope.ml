@@ -1,0 +1,67 @@
+type 'a line = { c : float; r : float; info : 'a }
+
+type 'a t = { lo : float array; lines : 'a line array }
+
+let build lines =
+  let finite = List.filter (fun l -> l.c < infinity) lines in
+  if finite = [] then invalid_arg "Envelope.build: no finite line";
+  (* A line is dominated when another has both smaller-or-equal slope
+     and intercept. Sweep in ascending slope keeping the running minimum
+     intercept; survivors then have ascending slope and strictly
+     descending intercept. The hull pass below wants slopes descending,
+     so the collected (reversed) list is already in the right order. *)
+  let arr = Array.of_list finite in
+  Array.sort (fun a b -> compare (a.r, a.c) (b.r, b.c)) arr;
+  let surviving = ref [] in
+  let best_c = ref infinity in
+  Array.iter
+    (fun l ->
+      if l.c < !best_c then begin
+        surviving := l :: !surviving;
+        best_c := l.c
+      end)
+    arr;
+  let survivors = Array.of_list !surviving in
+  (* Monotone hull over x >= 0. *)
+  let k = Array.length survivors in
+  let stack_lo = Array.make k 0.0 and stack_line = Array.make k survivors.(0) in
+  let top = ref (-1) in
+  Array.iter
+    (fun l ->
+      let continue = ref true in
+      while !continue && !top >= 0 do
+        let t = stack_line.(!top) in
+        (* intersection of l with t; t.r > l.r *)
+        let x = (l.c -. t.c) /. (t.r -. l.r) in
+        if x <= stack_lo.(!top) then decr top else continue := false
+      done;
+      let start =
+        if !top < 0 then 0.0
+        else
+          let t = stack_line.(!top) in
+          (l.c -. t.c) /. (t.r -. l.r)
+      in
+      incr top;
+      stack_lo.(!top) <- Float.max 0.0 start;
+      stack_line.(!top) <- l)
+    survivors;
+  let m = !top + 1 in
+  { lo = Array.sub stack_lo 0 m; lines = Array.sub stack_line 0 m }
+
+let index env d =
+  (* last piece with lo <= d *)
+  let lo = ref 0 and hi = ref (Array.length env.lo - 1) in
+  while !hi > !lo do
+    let mid = (!lo + !hi + 1) / 2 in
+    if env.lo.(mid) <= d then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let at env d = env.lines.(index env d)
+let value env d =
+  let l = at env d in
+  l.c +. (l.r *. d)
+
+let breakpoints env = Array.to_list env.lo
+let pieces env = List.combine (Array.to_list env.lo) (Array.to_list env.lines)
+let size env = Array.length env.lo

@@ -1,0 +1,32 @@
+(** Lower envelopes of cost lines [y = c + r * d] over [d in [0, inf)].
+
+    The tree DP's export placements form piecewise-linear value
+    functions of the distance [D] to the nearest outside copy: each
+    candidate placement is a line with intercept [c] (its internal cost)
+    and slope [r] (its outgoing request count). The optimal export for
+    every [D] is the lower envelope, which is exactly the paper's sorted
+    sequence of export tuples with optimality intervals. *)
+
+type 'a line = { c : float; r : float; info : 'a }
+
+type 'a t
+
+(** [build lines] computes the envelope; lines with infinite intercept
+    are discarded. @raise Invalid_argument if no finite line remains. *)
+val build : 'a line list -> 'a t
+
+(** [at env d] is the optimal line at distance [d >= 0]. *)
+val at : 'a t -> float -> 'a line
+
+(** [value env d] is [c + r * d] of {!at}. *)
+val value : 'a t -> float -> float
+
+(** [breakpoints env] lists the interval left endpoints, ascending,
+    starting with [0.]. *)
+val breakpoints : 'a t -> float list
+
+(** [pieces env] lists [(lo, line)] pairs, ascending in [lo]. *)
+val pieces : 'a t -> (float * 'a line) list
+
+(** [size env] is the number of pieces. *)
+val size : 'a t -> int

@@ -1,0 +1,158 @@
+type imp = { icost : float; idist : float; ibuild : unit -> int list }
+type einfo = { ebuild : unit -> int list }
+
+type state = { imports : imp list; exports : einfo Envelope.t }
+
+let nil = fun () -> []
+let join a b = fun () -> a () @ b ()
+
+(* Contribution of a child export evaluated when the serving copy lies
+   at distance [target] from the child root: internal cost plus the
+   outgoing requests walking the whole way. *)
+let child_closed (env : einfo Envelope.t) target =
+  let p = Envelope.at env target in
+  (p.Envelope.c +. (p.Envelope.r *. target), p.Envelope.info.ebuild)
+
+let leaf_state cs fr v =
+  let imports = [ { icost = cs; idist = 0.0; ibuild = (fun () -> [ v ]) } ] in
+  let lines =
+    [
+      { Envelope.c = 0.0; r = fr; info = { ebuild = nil } };
+      { Envelope.c = cs; r = 0.0; info = { ebuild = (fun () -> [ v ]) } };
+    ]
+  in
+  { imports; exports = Envelope.build lines }
+
+(* Remove import tuples that are dominated (another tuple with both
+   smaller-or-equal distance and cost). All downstream uses are monotone
+   in (cost, dist), so this is lossless. *)
+let prune_imports imports =
+  let sorted = List.sort (fun a b -> compare (a.idist, a.icost) (b.idist, b.icost)) imports in
+  let rec sweep best acc = function
+    | [] -> List.rev acc
+    | t :: rest -> if t.icost < best then sweep t.icost (t :: acc) rest else sweep best acc rest
+  in
+  sweep infinity [] sorted
+
+let combine cs fr v children =
+  (* children: (state, edge_weight) list, length 1 or 2 *)
+  match children with
+  | [] -> leaf_state cs fr v
+  | _ ->
+      let copy_at_v_cost =
+        List.fold_left
+          (fun acc (st, w) ->
+            let p = Envelope.at st.exports w in
+            acc +. p.Envelope.c +. (p.Envelope.r *. w))
+          cs children
+      in
+      let copy_at_v_build =
+        List.fold_left
+          (fun acc (st, w) -> join acc (Envelope.at st.exports w).Envelope.info.ebuild)
+          (fun () -> [ v ])
+          children
+      in
+      let import_of_site (st, w) others t =
+        let dist = t.idist +. w in
+        let cost = ref (t.icost +. (fr *. dist)) in
+        let build = ref t.ibuild in
+        List.iter
+          (fun (st2, w2) ->
+            if st2 != st then begin
+              let c2, b2 = child_closed st2.exports (dist +. w2) in
+              cost := !cost +. c2;
+              build := join !build b2
+            end)
+          others;
+        { icost = !cost; idist = dist; ibuild = !build }
+      in
+      let imports =
+        ({ icost = copy_at_v_cost; idist = 0.0; ibuild = copy_at_v_build }
+        :: List.concat_map
+             (fun (st, w) -> List.map (import_of_site (st, w) children) st.imports)
+             children)
+        |> prune_imports
+      in
+      (* export lines *)
+      let closed =
+        match imports with
+        | [] -> assert false
+        | best :: _ ->
+            (* after pruning, the first import has the minimum cost only
+               if it also has minimal distance; scan for the true min *)
+            let best =
+              List.fold_left (fun b t -> if t.icost < b.icost then t else b) best imports
+            in
+            { Envelope.c = best.icost; r = 0.0; info = { ebuild = best.ibuild } }
+      in
+      let open_lines =
+        match children with
+        | [ (st, w) ] ->
+            List.map
+              (fun (_, p) ->
+                {
+                  Envelope.c = p.Envelope.c +. (p.Envelope.r *. w);
+                  r = p.Envelope.r +. fr;
+                  info = { ebuild = p.Envelope.info.ebuild };
+                })
+              (Envelope.pieces st.exports)
+        | [ (st1, w1); (st2, w2) ] ->
+            let bps =
+              List.sort_uniq compare
+                (List.map (fun b -> Float.max 0.0 (b -. w1)) (Envelope.breakpoints st1.exports)
+                @ List.map (fun b -> Float.max 0.0 (b -. w2)) (Envelope.breakpoints st2.exports))
+            in
+            List.map
+              (fun d ->
+                let p1 = Envelope.at st1.exports (d +. w1) in
+                let p2 = Envelope.at st2.exports (d +. w2) in
+                {
+                  Envelope.c =
+                    p1.Envelope.c +. (p1.Envelope.r *. w1) +. p2.Envelope.c
+                    +. (p2.Envelope.r *. w2);
+                  r = p1.Envelope.r +. p2.Envelope.r +. fr;
+                  info = { ebuild = join p1.Envelope.info.ebuild p2.Envelope.info.ebuild };
+                })
+              bps
+        | _ -> invalid_arg "Ro_dp: node with more than two children (binarize first)"
+      in
+      { imports; exports = Envelope.build (closed :: open_lines) }
+
+let states td =
+  let bt = td.Tdata.bin.Binarize.tree in
+  let state = Array.make bt.Rtree.n None in
+  Array.iter
+    (fun v ->
+      let children =
+        Array.to_list bt.Rtree.children.(v)
+        |> List.map (fun c ->
+               match state.(c) with
+               | Some s -> (s, bt.Rtree.up_weight.(c))
+               | None -> assert false)
+      in
+      state.(v) <- Some (combine td.Tdata.cs.(v) td.Tdata.fr.(v) v children))
+    bt.Rtree.post_order;
+  state
+
+let solve td =
+  if td.Tdata.wtotal > 0.0 then invalid_arg "Ro_dp.solve: instance has writes";
+  let bt = td.Tdata.bin.Binarize.tree in
+  let state = states td in
+  match state.(bt.Rtree.root) with
+  | None -> assert false
+  | Some st ->
+      let best =
+        List.fold_left
+          (fun b t -> if t.icost < b.icost then t else b)
+          { icost = infinity; idist = 0.0; ibuild = nil }
+          st.imports
+      in
+      (Tdata.to_original td (best.ibuild ()), best.icost)
+
+let tuple_counts td =
+  let state = states td in
+  Array.map
+    (function
+      | Some st -> (List.length st.imports, Envelope.size st.exports)
+      | None -> (0, 0))
+    state

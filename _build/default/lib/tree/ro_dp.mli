@@ -1,0 +1,21 @@
+(** Optimal placement on trees, read-only case (paper Section 3.1).
+
+    Bottom-up sufficient sets: per subtree a list of {e import}
+    placements [(cost, copy-distance)] — a copy inside serving
+    everything that reaches the subtree root — and the lower envelope of
+    {e export} placements [(cost, outgoing-requests)] parameterized by
+    the distance [D] to the nearest outside copy. The envelope {!pieces}
+    are exactly the paper's export tuples with optimality intervals.
+
+    Runs on the binarized tree in
+    [O(|V| * diam(T) * log(deg(T)))] amortized tuple work. *)
+
+(** [solve td] returns [(copies, optimal_cost)] over binary node ids of
+    [td]; use {!Tdata.to_original} to map back. The object must be
+    read-only ([td.fw] all zero). @raise Invalid_argument otherwise. *)
+val solve : Tdata.t -> int list * float
+
+(** [tuple_counts td] returns, per binary node, the import and export
+    tuple counts of its sufficient set (for testing Lemma 12's
+    [|S_Tv| <= 2|Tv| + 1] bound). *)
+val tuple_counts : Tdata.t -> (int * int) array

@@ -1,0 +1,168 @@
+(* Direct transcription of paper Section 3.1; see the interface comment.
+   Costs only — no placement reconstruction. *)
+
+type imp = { ic : float; id : float }
+
+(* export tuple: optimal for outside-copy distances in [lo, hi) *)
+type exp = { ec : float; er : float; lo : float; hi : float }
+
+type state = { imports : imp list; exports : exp list }
+
+(* value of the export sequence at distance d: C + R * d of the tuple
+   whose optimality interval contains d *)
+let export_value exports d =
+  let rec find = function
+    | [] -> invalid_arg "Ro_dp_literal: export intervals do not cover d"
+    | t :: rest -> if d >= t.lo && (d < t.hi || t.hi = infinity) then t.ec +. (t.er *. d) else find rest
+  in
+  find exports
+
+let leaf_state cs fr =
+  let imports = if cs < infinity then [ { ic = cs; id = 0.0 } ] else [] in
+  let exports =
+    if fr <= 0.0 then [ { ec = 0.0; er = 0.0; lo = 0.0; hi = infinity } ]
+    else begin
+      let threshold = cs /. fr in
+      if threshold <= 0.0 then [ { ec = cs; er = 0.0; lo = 0.0; hi = infinity } ]
+      else if threshold = infinity then [ { ec = 0.0; er = fr; lo = 0.0; hi = infinity } ]
+      else
+        [
+          { ec = 0.0; er = fr; lo = 0.0; hi = threshold };
+          { ec = cs; er = 0.0; lo = threshold; hi = infinity };
+        ]
+    end
+  in
+  { imports; exports }
+
+(* shift an export sequence across an edge of weight c: the tuple
+   optimal for child-distance D' serves v-distances D = D' - c; crossing
+   requests pay the edge *)
+let shift_exports c exports =
+  List.filter_map
+    (fun t ->
+      let lo = Float.max 0.0 (t.lo -. c) and hi = t.hi -. c in
+      if hi <= lo then None else Some { ec = t.ec +. (t.er *. c); er = t.er; lo; hi })
+    exports
+
+(* intersect two interval partitions of [0, inf), summing costs and
+   outgoing requests (Claim 16's traversal) *)
+let combine_exports fr a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], [] -> List.rev acc
+    | ta :: ra, tb :: rb ->
+        let lo = Float.max ta.lo tb.lo and hi = Float.min ta.hi tb.hi in
+        let acc =
+          if hi > lo then
+            { ec = ta.ec +. tb.ec; er = ta.er +. tb.er +. fr; lo; hi } :: acc
+          else acc
+        in
+        if ta.hi < tb.hi then go ra b acc
+        else if tb.hi < ta.hi then go a rb acc
+        else go ra rb acc
+    | _ -> invalid_arg "Ro_dp_literal: partitions out of sync"
+  in
+  go a b []
+
+(* the D_E cutoff step: compare open tuples with E^infinity and keep
+   each only on the sub-interval where it beats it. The open value
+   function is nondecreasing in D, so once E^infinity wins it wins for
+   good. Flat tuples (er = 0, e.g. request-free subtrees) that are
+   cheaper than E^infinity are kept outright. *)
+let cutoff e_inf_cost opens =
+  let rec go acc = function
+    | [] -> (List.rev acc, None)
+    | t :: rest ->
+        if t.ec = infinity then (List.rev acc, Some t.lo)
+        else if t.er <= 0.0 then
+          if t.ec <= e_inf_cost then go (t :: acc) rest else (List.rev acc, Some t.lo)
+        else begin
+          let d_e = (e_inf_cost -. t.ec) /. t.er in
+          if d_e <= t.lo then (List.rev acc, Some t.lo)
+          else if d_e < t.hi then (List.rev ({ t with hi = d_e } :: acc), Some d_e)
+          else go (t :: acc) rest
+        end
+  in
+  match go [] opens with
+  | kept, Some start -> kept @ [ { ec = e_inf_cost; er = 0.0; lo = start; hi = infinity } ]
+  | kept, None -> kept
+
+let combine cs fr children =
+  match children with
+  | [] -> leaf_state cs fr
+  | _ ->
+      (* ---- imports (Claim 15) ---- *)
+      let site_v =
+        if cs = infinity then []
+        else begin
+          let cost =
+            List.fold_left
+              (fun acc (st, c) -> acc +. export_value st.exports c)
+              cs children
+          in
+          [ { ic = cost; id = 0.0 } ]
+        end
+      in
+      let from_child (st, c) =
+        List.map
+          (fun t ->
+            let dist = t.id +. c in
+            let cost = ref (t.ic +. (fr *. dist)) in
+            List.iter
+              (fun (st2, c2) ->
+                if st2 != st then cost := !cost +. export_value st2.exports (dist +. c2))
+              children;
+            { ic = !cost; id = dist })
+          st.imports
+      in
+      let merge = List.merge (fun a b -> compare (a.id, a.ic) (b.id, b.ic)) in
+      let imports =
+        List.fold_left
+          (fun acc ch -> merge acc (List.sort (fun a b -> compare (a.id, a.ic) (b.id, b.ic)) (from_child ch)))
+          site_v children
+      in
+      (* ---- exports (Claim 16) ---- *)
+      let e_inf_cost =
+        List.fold_left (fun acc t -> Float.min acc t.ic) infinity imports
+      in
+      let opens =
+        match children with
+        | [ (st, c) ] ->
+            List.map
+              (fun t -> { t with er = t.er +. fr })
+              (shift_exports c st.exports)
+        | [ (st1, c1); (st2, c2) ] ->
+            combine_exports fr (shift_exports c1 st1.exports) (shift_exports c2 st2.exports)
+        | _ -> invalid_arg "Ro_dp_literal: node with more than two children"
+      in
+      { imports; exports = cutoff e_inf_cost opens }
+
+let states td =
+  if td.Tdata.wtotal > 0.0 then invalid_arg "Ro_dp_literal: instance has writes";
+  let bt = td.Tdata.bin.Binarize.tree in
+  let state = Array.make bt.Rtree.n None in
+  Array.iter
+    (fun v ->
+      let children =
+        Array.to_list bt.Rtree.children.(v)
+        |> List.map (fun c ->
+               match state.(c) with
+               | Some s -> (s, bt.Rtree.up_weight.(c))
+               | None -> assert false)
+      in
+      state.(v) <- Some (combine td.Tdata.cs.(v) td.Tdata.fr.(v) children))
+    bt.Rtree.post_order;
+  state
+
+let solve_cost td =
+  let bt = td.Tdata.bin.Binarize.tree in
+  match (states td).(bt.Rtree.root) with
+  | Some st -> List.fold_left (fun acc t -> Float.min acc t.ic) infinity st.imports
+  | None -> assert false
+
+let tuple_counts td =
+  Array.map
+    (function
+      | Some st -> (List.length st.imports, List.length st.exports)
+      | None -> (0, 0))
+    (states td)

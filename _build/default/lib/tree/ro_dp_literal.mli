@@ -1,0 +1,25 @@
+(** A literal transcription of the paper's read-only tree algorithm
+    (Section 3.1, Claims 15 and 16), kept alongside the envelope-based
+    {!Ro_dp} as an independent cross-check.
+
+    Where {!Ro_dp} computes export optimality intervals as a lower
+    envelope of cost lines, this module follows the paper's text
+    operation by operation: sorted sequences of import tuples
+    [(cost, copy distance, site)] and export tuples
+    [(cost, outgoing requests, optimality interval)], constructed
+    bottom-up with linear merges — import sequences traversed in
+    increasing copy distance against export sequences in increasing
+    interval order (Claim 15), export sequences combined by shifting
+    intervals by the edge weights and intersecting (Claim 16), followed
+    by the [D_E] cutoff step against [E^infinity].
+
+    Only costs are computed (no placement reconstruction); the test
+    suite checks exact agreement with {!Ro_dp} and the brute force. *)
+
+(** [solve_cost td] is the optimal total cost for a read-only object.
+    @raise Invalid_argument if the object has writes. *)
+val solve_cost : Tdata.t -> float
+
+(** [tuple_counts td] is, per binary node, [(imports, exports)] —
+    Lemma 12 bounds these by [|Tv|] and [|Tv| + 1]. *)
+val tuple_counts : Tdata.t -> (int * int) array

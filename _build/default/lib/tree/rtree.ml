@@ -1,0 +1,93 @@
+open Dmn_graph
+
+type t = {
+  n : int;
+  root : int;
+  parent : int array;
+  up_weight : float array;
+  children : int array array;
+  post_order : int array;
+}
+
+let build ~n ~root ~parent ~up_weight =
+  let child_count = Array.make n 0 in
+  Array.iter (fun p -> if p >= 0 then child_count.(p) <- child_count.(p) + 1) parent;
+  let children = Array.init n (fun v -> Array.make child_count.(v) 0) in
+  let fill = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let p = parent.(v) in
+    if p >= 0 then begin
+      children.(p).(fill.(p)) <- v;
+      fill.(p) <- fill.(p) + 1
+    end
+  done;
+  (* iterative post-order *)
+  let post_order = Array.make n 0 in
+  let idx = ref 0 in
+  let rec dfs v =
+    Array.iter dfs children.(v);
+    post_order.(!idx) <- v;
+    incr idx
+  in
+  dfs root;
+  if !idx <> n then invalid_arg "Rtree: not all nodes reachable from root";
+  { n; root; parent; up_weight; children; post_order }
+
+let of_graph g ~root =
+  if not (Wgraph.is_tree g) then invalid_arg "Rtree.of_graph: not a tree";
+  let n = Wgraph.n g in
+  let parent = Array.make n (-1) in
+  let up_weight = Array.make n 0.0 in
+  let visited = Array.make n false in
+  let q = Queue.create () in
+  visited.(root) <- true;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Wgraph.iter_neighbors g v (fun u w ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          parent.(u) <- v;
+          up_weight.(u) <- w;
+          Queue.add u q
+        end)
+  done;
+  build ~n ~root ~parent ~up_weight
+
+let of_arrays ~root ~parent ~up_weight =
+  let n = Array.length parent in
+  if Array.length up_weight <> n then invalid_arg "Rtree.of_arrays: length mismatch";
+  if root < 0 || root >= n || parent.(root) <> -1 then invalid_arg "Rtree.of_arrays: bad root";
+  build ~n ~root ~parent:(Array.copy parent) ~up_weight:(Array.copy up_weight)
+
+let subtree_size t =
+  let size = Array.make t.n 1 in
+  Array.iter
+    (fun v -> Array.iter (fun c -> size.(v) <- size.(v) + size.(c)) t.children.(v))
+    t.post_order;
+  size
+
+let depth t v =
+  let rec go v acc = if t.parent.(v) < 0 then acc else go t.parent.(v) (acc + 1) in
+  go v 0
+
+let height t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    let d = depth t v in
+    if d > !best then best := d
+  done;
+  !best
+
+let dist_to_root t =
+  let dist = Array.make t.n 0.0 in
+  (* parents appear after children in post_order, so walk it backwards *)
+  for i = t.n - 1 downto 0 do
+    let v = t.post_order.(i) in
+    if t.parent.(v) >= 0 then dist.(v) <- dist.(t.parent.(v)) +. t.up_weight.(v)
+  done;
+  dist
+
+let in_subtree t ~v u =
+  let rec go u = u = v || (t.parent.(u) >= 0 && go t.parent.(u)) in
+  go u

@@ -1,0 +1,38 @@
+(** Rooted trees with weighted edges, derived from tree-shaped graphs.
+
+    Nodes keep their graph ids. The structure is the substrate of the
+    Section-3 dynamic programs. *)
+
+open Dmn_graph
+
+type t = {
+  n : int;
+  root : int;
+  parent : int array;  (** [-1] at the root *)
+  up_weight : float array;  (** weight of the edge to the parent; [0.] at the root *)
+  children : int array array;
+  post_order : int array;  (** children before parents *)
+}
+
+(** [of_graph g ~root] roots the tree graph [g].
+    @raise Invalid_argument if [g] is not a tree. *)
+val of_graph : Wgraph.t -> root:int -> t
+
+(** [of_arrays ~root ~parent ~up_weight] builds a rooted tree directly
+    (used by binarization). Validates acyclicity and reachability. *)
+val of_arrays : root:int -> parent:int array -> up_weight:float array -> t
+
+(** [subtree_size t] gives [|T_v|] for every [v]. *)
+val subtree_size : t -> int array
+
+(** [depth t v] is the hop distance from the root. *)
+val depth : t -> int -> int
+
+(** [height t] is the maximum depth. *)
+val height : t -> int
+
+(** [dist_to_root t] gives weighted distances from the root. *)
+val dist_to_root : t -> float array
+
+(** [in_subtree t ~v u] tests whether [u] lies in [T_v]. O(depth). *)
+val in_subtree : t -> v:int -> int -> bool

@@ -1,0 +1,228 @@
+type imp = { icost : float; idist : float; ibuild : unit -> int list }
+type einfo = { ebuild : unit -> int list }
+
+type state = {
+  imports0 : imp list;  (* I^R: no copy outside the subtree *)
+  imports1 : imp list;  (* J^R: at least one copy outside *)
+  ev_cost : float;  (* Ev: no copy inside; internal cost *)
+  ev_rout : float;  (* Ev: all reads of the subtree flow out *)
+  exports : einfo Envelope.t;  (* E^D pieces, all with a copy inside *)
+}
+
+let nil = fun () -> []
+let join a b = fun () -> a () @ b ()
+
+let prune_imports imports =
+  let sorted = List.sort (fun a b -> compare (a.idist, a.icost) (b.idist, b.icost)) imports in
+  let rec sweep best acc = function
+    | [] -> List.rev acc
+    | t :: rest -> if t.icost < best then sweep t.icost (t :: acc) rest else sweep best acc rest
+  in
+  sweep infinity [] sorted
+
+let min_import imports =
+  List.fold_left
+    (fun b t -> if t.icost < b.icost then t else b)
+    { icost = infinity; idist = 0.0; ibuild = nil }
+    imports
+
+(* A child as seen from its parent: state, edge weight, subtree writes. *)
+type child = { st : state; w : float; wsub : float }
+
+let leaf_state cs fr v =
+  let self = { icost = cs; idist = 0.0; ibuild = (fun () -> [ v ]) } in
+  {
+    imports0 = [ self ];
+    imports1 = [ self ];
+    ev_cost = 0.0;
+    ev_rout = fr;
+    exports = Envelope.build [ { Envelope.c = cs; r = 0.0; info = { ebuild = (fun () -> [ v ]) } } ];
+  }
+
+(* Child contribution when the serving copy for its outgoing reads lies
+   at distance [target] from the child root and the child has a copy
+   inside; [wload] is the write load on the connecting edge times its
+   weight, already decided by the caller's context. *)
+let closed_with_copy ch target =
+  let p = Envelope.at ch.st.exports target in
+  (p.Envelope.c +. (p.Envelope.r *. target), p.Envelope.info.ebuild)
+
+(* Same when the child holds no copy (its Ev placement). *)
+let closed_no_copy ch target = (ch.st.ev_cost +. (ch.st.ev_rout *. target), nil)
+
+let combine ~wtotal cs fr v children =
+  match children with
+  | [] -> leaf_state cs fr v
+  | _ ->
+      let edge_load_all ch = ch.w *. wtotal in
+      let edge_load_nocopy ch = ch.w *. ch.wsub in
+      (* ---- Ev ---- *)
+      let ev_cost =
+        List.fold_left
+          (fun acc ch -> acc +. ch.st.ev_cost +. (ch.st.ev_rout *. ch.w) +. edge_load_nocopy ch)
+          0.0 children
+      in
+      let ev_rout = List.fold_left (fun acc ch -> acc +. ch.st.ev_rout) fr children in
+      (* ---- copy at v (shared by I and J; children see a copy outside
+         their subtrees either way) ---- *)
+      let site_v =
+        let cost = ref cs and build = ref (fun () -> [ v ]) in
+        List.iter
+          (fun ch ->
+            (* child may keep copies (export piece at D = edge weight)
+               or hold none (Ev); edge write load differs accordingly *)
+            let with_c, bw = closed_with_copy ch ch.w in
+            let with_cost = with_c +. edge_load_all ch in
+            let no_c, _ = closed_no_copy ch ch.w in
+            let no_cost = no_c +. edge_load_nocopy ch in
+            if with_cost <= no_cost then begin
+              cost := !cost +. with_cost;
+              build := join !build bw
+            end
+            else cost := !cost +. no_cost)
+          children;
+        { icost = !cost; idist = 0.0; ibuild = !build }
+      in
+      (* ---- imports from a site inside child [ch]; [outside] says
+         whether a copy exists outside the whole subtree T_v (I vs J).
+         Every combination of sibling keep/empty choices is enumerated,
+         since it determines the child's own context (I vs J family). ---- *)
+      let sibling_options ch dist =
+        (* each option: (cost, build, some_sibling_has_copy) *)
+        List.fold_left
+          (fun acc ch2 ->
+            if ch2 == ch then acc
+            else begin
+              let target = dist +. ch2.w in
+              let with_c, bw = closed_with_copy ch2 target in
+              let keep = (with_c +. edge_load_all ch2, bw, true) in
+              let no_c, _ = closed_no_copy ch2 target in
+              let drop = (no_c +. edge_load_nocopy ch2, nil, false) in
+              List.concat_map
+                (fun (c, b, has) ->
+                  let kc, kb, _ = keep and dc, _, _ = drop in
+                  [ (c +. kc, join b kb, true); (c +. dc, b, has) ])
+                acc
+            end)
+          [ (0.0, nil, false) ]
+          children
+      in
+      let imports_of ~outside =
+        let from_children =
+          List.concat_map
+            (fun ch ->
+              List.concat_map
+                (fun (fam, t) ->
+                  let dist = t.idist +. ch.w in
+                  List.filter_map
+                    (fun (sib_cost, sib_build, sib_has_copy) ->
+                      let copy_outside_child = outside || sib_has_copy in
+                      (* the tuple family must match the realized context *)
+                      if (fam = `J) <> copy_outside_child then None
+                      else begin
+                        let edge =
+                          if copy_outside_child then edge_load_all ch
+                          else ch.w *. (wtotal -. ch.wsub)
+                        in
+                        let cost = t.icost +. edge +. (fr *. dist) +. sib_cost in
+                        Some { icost = cost; idist = dist; ibuild = join t.ibuild sib_build }
+                      end)
+                    (sibling_options ch dist))
+                (List.map (fun t -> (`J, t)) ch.st.imports1
+                @ List.map (fun t -> (`I, t)) ch.st.imports0))
+            children
+        in
+        prune_imports (site_v :: from_children)
+      in
+      let imports0 = imports_of ~outside:false in
+      let imports1 = imports_of ~outside:true in
+      (* ---- exports (copy inside T_v, nearest outside copy at D) ---- *)
+      let closed_line =
+        let best = min_import imports1 in
+        { Envelope.c = best.icost; r = 0.0; info = { ebuild = best.ibuild } }
+      in
+      let open_lines =
+        (* v holds no copy; each child independently keeps copies (export
+           piece at D + w) or is empty (Ev); at least one must keep. *)
+        let bps =
+          List.concat_map
+            (fun ch ->
+              List.map (fun b -> Float.max 0.0 (b -. ch.w)) (Envelope.breakpoints ch.st.exports))
+            children
+          |> List.cons 0.0 |> List.sort_uniq compare
+        in
+        List.concat_map
+          (fun d ->
+            (* candidate per subset of children keeping copies; with at
+               most two children enumerate the <= 3 non-empty subsets *)
+            let options =
+              List.map
+                (fun ch ->
+                  let p = Envelope.at ch.st.exports (d +. ch.w) in
+                  let keep_cost = p.Envelope.c +. (p.Envelope.r *. ch.w) +. edge_load_all ch in
+                  let keep_rout = p.Envelope.r in
+                  let keep_build = p.Envelope.info.ebuild in
+                  let drop_cost =
+                    ch.st.ev_cost +. (ch.st.ev_rout *. ch.w) +. edge_load_nocopy ch
+                  in
+                  let drop_rout = ch.st.ev_rout in
+                  (keep_cost, keep_rout, keep_build, drop_cost, drop_rout))
+                children
+            in
+            let rec subsets = function
+              | [] -> [ (0.0, fr, nil, false) ]
+              | (kc, kr, kb, dc, dr) :: rest ->
+                  List.concat_map
+                    (fun (c, r, b, has) ->
+                      [
+                        (c +. kc, r +. kr, join b kb, true); (c +. dc, r +. dr, b, has);
+                      ])
+                    (subsets rest)
+            in
+            List.filter_map
+              (fun (c, r, b, has) ->
+                if has then Some { Envelope.c; r; info = { ebuild = b } } else None)
+              (subsets options))
+          bps
+      in
+      {
+        imports0;
+        imports1;
+        ev_cost;
+        ev_rout;
+        exports = Envelope.build (closed_line :: open_lines);
+      }
+
+let states td =
+  let bt = td.Tdata.bin.Binarize.tree in
+  let state = Array.make bt.Rtree.n None in
+  Array.iter
+    (fun v ->
+      let children =
+        Array.to_list bt.Rtree.children.(v)
+        |> List.map (fun c ->
+               match state.(c) with
+               | Some st -> { st; w = bt.Rtree.up_weight.(c); wsub = td.Tdata.wsub.(c) }
+               | None -> assert false)
+      in
+      state.(v) <-
+        Some (combine ~wtotal:td.Tdata.wtotal td.Tdata.cs.(v) td.Tdata.fr.(v) v children))
+    bt.Rtree.post_order;
+  state
+
+let solve td =
+  let bt = td.Tdata.bin.Binarize.tree in
+  let state = states td in
+  match state.(bt.Rtree.root) with
+  | None -> assert false
+  | Some st ->
+      let best = min_import st.imports0 in
+      (Tdata.to_original td (best.ibuild ()), best.icost)
+
+let tuple_counts td =
+  let state = states td in
+  Array.map
+    (function
+      | Some st -> (List.length st.imports0, List.length st.imports1, Envelope.size st.exports)
+      | None -> (0, 0, 0))
+    state

@@ -1,0 +1,26 @@
+(** Optimal placement on trees, general read/write case (paper Section
+    3.2).
+
+    Write cost decomposes per edge [(c, parent c)] as
+    [ct(e) * (W_c * [copy outside T_c] + (W - W_c) * [copy inside T_c])]
+    (the spanned-subtree characterization of tree Steiner trees), so the
+    DP tracks the paper's four placement families per subtree:
+
+    - [I^R] — copies inside, {e no} copy outside ([cost⁰_W] variant);
+    - [J^R] — copies inside {e and} outside ([cost¹_W] variant);
+    - [E^D] — copies inside, nearest outside copy at distance [D],
+      requests flow out (lower envelope over [D]);
+    - [Ev]  — no copy inside at all (a single placement).
+
+    The root answer is the cheapest [I] placement with no entering
+    requests. *)
+
+(** [solve td] returns [(copies, optimal_cost)] over binary node ids;
+    map back with {!Tdata.to_original}. Also correct for read-only
+    objects (it degenerates to {!Ro_dp}). *)
+val solve : Tdata.t -> int list * float
+
+(** [tuple_counts td] is, per binary node,
+    [(|I|, |J|, |E| pieces)] — for the Section-3.2 sufficient-set bound
+    [|S_Tv| <= 3 |Tv| + 2]. *)
+val tuple_counts : Tdata.t -> (int * int * int) array

@@ -1,0 +1,42 @@
+type t = {
+  bin : Binarize.t;
+  cs : float array;
+  fr : float array;
+  fw : float array;
+  wsub : float array;
+  wtotal : float;
+}
+
+let of_instance inst ~x ~root =
+  let g =
+    match Dmn_core.Instance.graph inst with
+    | Some g -> g
+    | None -> invalid_arg "Tdata.of_instance: instance has no graph"
+  in
+  let rt = Rtree.of_graph g ~root in
+  let bin = Binarize.run rt in
+  let bt = bin.Binarize.tree in
+  let n = bt.Rtree.n in
+  let attr default f =
+    Array.init n (fun b ->
+        let v = bin.Binarize.orig_of.(b) in
+        if v < 0 then default else f v)
+  in
+  let cs = attr infinity (fun v -> Dmn_core.Instance.cs inst v) in
+  let fr = attr 0.0 (fun v -> float_of_int (Dmn_core.Instance.reads inst ~x v)) in
+  let fw = attr 0.0 (fun v -> float_of_int (Dmn_core.Instance.writes inst ~x v)) in
+  let wsub = Array.copy fw in
+  Array.iter
+    (fun v ->
+      Array.iter (fun c -> wsub.(v) <- wsub.(v) +. wsub.(c)) bt.Rtree.children.(v))
+    bt.Rtree.post_order;
+  { bin; cs; fr; fw; wsub; wtotal = wsub.(bt.Rtree.root) }
+
+let to_original t copies =
+  List.map
+    (fun b ->
+      let v = t.bin.Binarize.orig_of.(b) in
+      assert (v >= 0);
+      v)
+    copies
+  |> List.sort_uniq compare

@@ -1,0 +1,20 @@
+(** Per-object data of a tree DP run: the binarized tree together with
+    node attributes mapped onto binary nodes (dummies get no requests
+    and infinite storage cost) and subtree write totals. *)
+
+type t = {
+  bin : Binarize.t;
+  cs : float array;  (** binary-node storage costs *)
+  fr : float array;  (** binary-node read counts *)
+  fw : float array;  (** binary-node write counts *)
+  wsub : float array;  (** total writes within each binary subtree *)
+  wtotal : float;
+}
+
+(** [of_instance inst ~x ~root] prepares the data; the instance's graph
+    must be a tree. @raise Invalid_argument otherwise. *)
+val of_instance : Dmn_core.Instance.t -> x:int -> root:int -> t
+
+(** [to_original t copies] maps binary-node copies back to original
+    node ids (asserting no dummy was selected), sorted. *)
+val to_original : t -> int list -> int list

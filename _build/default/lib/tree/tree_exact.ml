@@ -1,0 +1,74 @@
+open Dmn_paths
+
+let tree_of inst ~root =
+  match Dmn_core.Instance.graph inst with
+  | Some g -> Rtree.of_graph g ~root
+  | None -> invalid_arg "Tree_exact: instance has no graph"
+
+let cost_rt inst ~x (rt : Rtree.t) copies =
+  let n = Dmn_core.Instance.n inst in
+  let m = Dmn_core.Instance.metric inst in
+  let copies = List.sort_uniq compare copies in
+  if copies = [] then invalid_arg "Tree_exact.cost: empty copy set";
+  let holds = Array.make n false in
+  List.iter (fun c -> holds.(c) <- true) copies;
+  (* copies and writes inside every subtree *)
+  let copies_in = Array.make n 0 and w_in = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      copies_in.(v) <- (if holds.(v) then 1 else 0);
+      w_in.(v) <- Dmn_core.Instance.writes inst ~x v;
+      Array.iter
+        (fun c ->
+          copies_in.(v) <- copies_in.(v) + copies_in.(c);
+          w_in.(v) <- w_in.(v) + w_in.(c))
+        rt.Rtree.children.(v))
+    rt.Rtree.post_order;
+  let total_copies = copies_in.(rt.Rtree.root) in
+  let w_total = Dmn_core.Instance.total_writes inst ~x in
+  let storage = List.fold_left (fun acc c -> acc +. Dmn_core.Instance.cs inst c) 0.0 copies in
+  let read = ref 0.0 in
+  for v = 0 to n - 1 do
+    let c = Dmn_core.Instance.reads inst ~x v in
+    if c > 0 then begin
+      let _, d = Metric.nearest m v copies in
+      read := !read +. (float_of_int c *. d)
+    end
+  done;
+  let update = ref 0.0 in
+  for v = 0 to n - 1 do
+    if rt.Rtree.parent.(v) >= 0 then begin
+      let inside = copies_in.(v) > 0 and outside = total_copies - copies_in.(v) > 0 in
+      let load =
+        (if outside then w_in.(v) else 0) + if inside then w_total - w_in.(v) else 0
+      in
+      update := !update +. (float_of_int load *. rt.Rtree.up_weight.(v))
+    end
+  done;
+  storage +. !read +. !update
+
+let cost inst ~x ~root copies = cost_rt inst ~x (tree_of inst ~root) copies
+
+let opt inst ~x ~root =
+  let n = Dmn_core.Instance.n inst in
+  if n > 22 then invalid_arg "Tree_exact.opt: instance too large";
+  let rt = tree_of inst ~root in
+  let sites = ref [] in
+  for v = n - 1 downto 0 do
+    if Dmn_core.Instance.cs inst v < infinity then sites := v :: !sites
+  done;
+  let sites = Array.of_list !sites in
+  let k = Array.length sites in
+  let best_cost = ref infinity and best = ref [] in
+  for mask = 1 to (1 lsl k) - 1 do
+    let copies = ref [] in
+    for i = k - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then copies := sites.(i) :: !copies
+    done;
+    let c = cost_rt inst ~x rt !copies in
+    if c < !best_cost then begin
+      best_cost := c;
+      best := !copies
+    end
+  done;
+  (!best, !best_cost)

@@ -1,0 +1,17 @@
+(** Exhaustive tree optimum with the polynomial per-subset write-cost
+    oracle: on a tree, the minimum Steiner tree spanning [{h} ∪ S] is
+    the unique spanned subtree, so the write cost of a placement
+    decomposes per edge [(v, parent v)] as
+    [ct(e) * (W_v * [copy outside T_v] + (W - W_v) * [copy inside T_v])].
+
+    This is the validation oracle for both tree DPs, usable up to
+    [n ~ 20] (vs. the Dreyfus–Wagner-based {!Dmn_core.Exact.opt_exact}
+    which is practical only to [n ~ 14]). *)
+
+(** [cost inst ~x ~root copies] is the exact total cost of the copy set
+    on the tree instance. *)
+val cost : Dmn_core.Instance.t -> x:int -> root:int -> int list -> float
+
+(** [opt inst ~x ~root] enumerates all non-empty copy sets
+    ([n <= 22]). Returns [(copies, cost)]. *)
+val opt : Dmn_core.Instance.t -> x:int -> root:int -> int list * float

@@ -1,0 +1,9 @@
+let place_object ?(root = 0) inst ~x =
+  let td = Tdata.of_instance inst ~x ~root in
+  if Dmn_core.Instance.read_only inst ~x then Ro_dp.solve td else Rw_dp.solve td
+
+let solve ?(root = 0) inst =
+  let results = Array.init (Dmn_core.Instance.objects inst) (fun x -> place_object ~root inst ~x) in
+  let placement = Dmn_core.Placement.make (Array.map fst results) in
+  let cost = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 results in
+  (placement, cost)

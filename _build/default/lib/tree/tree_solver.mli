@@ -1,0 +1,15 @@
+(** Facade: optimal data management on tree networks (paper Theorem 13,
+    generalized to reads and writes by Section 3.2).
+
+    Complexity per object:
+    [O(|V| * diam(T) * log(deg(T)))] tuple operations after binarizing. *)
+
+(** [place_object ?root inst ~x] computes an optimal copy set for object
+    [x] on a tree instance, with the exact (Steiner) write model.
+    Returns [(copies, cost)]. @raise Invalid_argument if the instance's
+    graph is absent or not a tree. *)
+val place_object : ?root:int -> Dmn_core.Instance.t -> x:int -> int list * float
+
+(** [solve ?root inst] places all objects; also returns the summed
+    optimal cost. *)
+val solve : ?root:int -> Dmn_core.Instance.t -> Dmn_core.Placement.t * float

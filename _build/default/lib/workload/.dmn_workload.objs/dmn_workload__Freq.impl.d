@@ -1,0 +1,1 @@
+lib/workload/freq.ml: Array Dmn_prelude Float Rng

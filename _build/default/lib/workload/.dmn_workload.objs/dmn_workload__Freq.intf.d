@@ -1,0 +1,1 @@
+lib/workload/freq.mli: Dmn_prelude Rng

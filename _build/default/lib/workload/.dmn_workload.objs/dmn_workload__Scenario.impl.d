@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Dmn_core Dmn_graph Dmn_prelude Freq Gen Rng Wgraph

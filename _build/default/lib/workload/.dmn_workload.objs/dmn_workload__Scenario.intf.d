@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Dmn_core Dmn_prelude Rng

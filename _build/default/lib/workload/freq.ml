@@ -1,0 +1,57 @@
+open Dmn_prelude
+
+type matrices = { fr : int array array; fw : int array array }
+
+let uniform rng ~objects ~n ~max_count =
+  let mk () = Array.init objects (fun _ -> Array.init n (fun _ -> Rng.int rng (max_count + 1))) in
+  { fr = mk (); fw = mk () }
+
+let zipf rng ~objects ~n ~requests ~s ~write_ratio =
+  let fr = Array.init objects (fun _ -> Array.make n 0) in
+  let fw = Array.init objects (fun _ -> Array.make n 0) in
+  for x = 0 to objects - 1 do
+    (* a per-object random popularity ranking of the nodes *)
+    let ranking = Array.init n (fun i -> i) in
+    Rng.shuffle rng ranking;
+    for _ = 1 to requests do
+      let v = ranking.(Rng.zipf rng ~n ~s - 1) in
+      fr.(x).(v) <- fr.(x).(v) + 1
+    done;
+    let writes = int_of_float (Float.round (float_of_int requests *. write_ratio)) in
+    for _ = 1 to writes do
+      let v = ranking.(Rng.zipf rng ~n ~s - 1) in
+      fw.(x).(v) <- fw.(x).(v) + 1
+    done
+  done;
+  { fr; fw }
+
+let hotspot rng ~objects ~n ~readers ~writers ~volume =
+  if readers > n || writers > n then invalid_arg "Freq.hotspot: more hot nodes than nodes";
+  let fr = Array.init objects (fun _ -> Array.make n 0) in
+  let fw = Array.init objects (fun _ -> Array.make n 0) in
+  let nodes = Array.init n (fun i -> i) in
+  for x = 0 to objects - 1 do
+    Array.iter (fun v -> fr.(x).(v) <- volume) (Rng.sample rng nodes readers);
+    Array.iter (fun v -> fw.(x).(v) <- volume) (Rng.sample rng nodes writers)
+  done;
+  { fr; fw }
+
+let mix rng ~objects ~n ~total ~write_fraction =
+  if write_fraction < 0.0 || write_fraction > 1.0 then invalid_arg "Freq.mix: bad fraction";
+  let fr = Array.init objects (fun _ -> Array.make n 0) in
+  let fw = Array.init objects (fun _ -> Array.make n 0) in
+  for x = 0 to objects - 1 do
+    for _ = 1 to total do
+      let v = Rng.int rng n in
+      if Rng.float rng 1.0 < write_fraction then fw.(x).(v) <- fw.(x).(v) + 1
+      else fr.(x).(v) <- fr.(x).(v) + 1
+    done
+  done;
+  { fr; fw }
+
+let scale_writes f m =
+  if f < 0.0 then invalid_arg "Freq.scale_writes: negative factor";
+  {
+    fr = Array.map Array.copy m.fr;
+    fw = Array.map (Array.map (fun c -> int_of_float (Float.round (float_of_int c *. f)))) m.fw;
+  }

@@ -1,0 +1,35 @@
+(** Request-frequency generators for the experiment suite.
+
+    Each generator produces the [fr]/[fw] matrices for a given node
+    count and object count, threading a deterministic
+    {!Dmn_prelude.Rng.t}. *)
+
+open Dmn_prelude
+
+type matrices = { fr : int array array; fw : int array array }
+
+(** [uniform rng ~objects ~n ~max_count] draws every count uniformly in
+    [0, max_count]. *)
+val uniform : Rng.t -> objects:int -> n:int -> max_count:int -> matrices
+
+(** [zipf rng ~objects ~n ~requests ~s] spreads [requests] read requests
+    per object over nodes by sampling a Zipf([s]) distribution over a
+    random node ranking, and the same number of writes scaled by
+    [write_ratio]. *)
+val zipf :
+  Rng.t -> objects:int -> n:int -> requests:int -> s:float -> write_ratio:float -> matrices
+
+(** [hotspot rng ~objects ~n ~readers ~writers ~volume] gives [volume]
+    reads to [readers] random nodes and [volume] writes to [writers]
+    random nodes per object (clients elsewhere are silent). *)
+val hotspot : Rng.t -> objects:int -> n:int -> readers:int -> writers:int -> volume:int -> matrices
+
+(** [mix rng ~objects ~n ~total ~write_fraction] distributes [total]
+    requests per object uniformly at random over nodes, each request
+    being a write with probability [write_fraction]. The workhorse of
+    the read/write-ratio sweeps (E3). *)
+val mix : Rng.t -> objects:int -> n:int -> total:int -> write_fraction:float -> matrices
+
+(** [scale_writes f m] multiplies every write count by [f >= 0]
+    (rounding); used for ablations. *)
+val scale_writes : float -> matrices -> matrices

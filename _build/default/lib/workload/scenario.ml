@@ -1,0 +1,38 @@
+open Dmn_prelude
+open Dmn_graph
+
+let web_cdn rng ~clusters ~per_cluster ~objects =
+  let g = Gen.clustered rng ~clusters ~per_cluster in
+  let n = Wgraph.n g in
+  (* storage is cheap at cluster gateways (node 0 of each cluster),
+     pricier at the periphery *)
+  let cs =
+    Array.init n (fun v ->
+        if v mod per_cluster = 0 then Rng.float_in rng 2.0 6.0 else Rng.float_in rng 8.0 20.0)
+  in
+  let { Freq.fr; fw } =
+    Freq.zipf rng ~objects ~n ~requests:(8 * n) ~s:0.9 ~write_ratio:0.05
+  in
+  Dmn_core.Instance.of_graph g ~cs ~fr ~fw
+
+let vsm_mesh rng ~rows ~cols ~objects =
+  let g = Gen.grid rows cols in
+  let n = Wgraph.n g in
+  let cs = Array.make n 4.0 in
+  let { Freq.fr; fw } = Freq.mix rng ~objects ~n ~total:(6 * n) ~write_fraction:0.4 in
+  Dmn_core.Instance.of_graph g ~cs ~fr ~fw
+
+let distributed_fs rng ~n ~objects =
+  let g = Gen.random_tree rng n in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 3.0 12.0) in
+  let readers = max 1 (n / 4) in
+  let { Freq.fr; fw } = Freq.hotspot rng ~objects ~n ~readers ~writers:1 ~volume:10 in
+  Dmn_core.Instance.of_graph g ~cs ~fr ~fw
+
+let total_load rng ~n ~objects =
+  let g = Gen.erdos_renyi rng n 0.3 in
+  (* fee = 1 / bandwidth, storage free: exactly the total-load model *)
+  let g = Wgraph.map_weights (fun _ _ _ -> 1.0 /. Rng.float_in rng 1.0 10.0) g in
+  let cs = Array.make n 0.0 in
+  let { Freq.fr; fw } = Freq.mix rng ~objects ~n ~total:(5 * n) ~write_fraction:0.2 in
+  Dmn_core.Instance.of_graph g ~cs ~fr ~fw

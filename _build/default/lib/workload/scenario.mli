@@ -1,0 +1,28 @@
+(** End-to-end named scenarios: topology + storage fees + workload in
+    one call. These are the workloads of the example programs and the
+    benchmark suite, modelled on the paper's motivating applications
+    (Section 1): WWW content distribution, virtual shared memory, and
+    distributed file systems. *)
+
+open Dmn_prelude
+
+(** [web_cdn rng ~clusters ~per_cluster ~objects] — a content provider
+    on an Internet-like clustered network: Zipf-popular pages, few
+    writers (page updates), cheap storage in big clusters, expensive
+    storage at the periphery. *)
+val web_cdn : Rng.t -> clusters:int -> per_cluster:int -> objects:int -> Dmn_core.Instance.t
+
+(** [vsm_mesh rng ~rows ~cols ~objects] — cache lines of a virtual
+    shared memory system on a mesh-connected multiprocessor: uniform
+    access with write-heavy sharing, uniform storage fees. *)
+val vsm_mesh : Rng.t -> rows:int -> cols:int -> objects:int -> Dmn_core.Instance.t
+
+(** [distributed_fs rng ~n ~objects] — files on an Ethernet-like random
+    tree of workstations: hotspot readers, a single writing owner per
+    file. *)
+val distributed_fs : Rng.t -> n:int -> objects:int -> Dmn_core.Instance.t
+
+(** [total_load rng ~n ~objects] — the total-communication-load model as
+    a special case of the cost model (Section 1): storage is free and
+    each link's fee is the reciprocal of a random bandwidth. *)
+val total_load : Rng.t -> n:int -> objects:int -> Dmn_core.Instance.t

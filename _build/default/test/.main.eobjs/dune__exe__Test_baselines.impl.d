@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dmn_baselines Dmn_core Dmn_graph Dmn_prelude List Rng Util

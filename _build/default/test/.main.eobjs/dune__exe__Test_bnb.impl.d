@@ -1,0 +1,1 @@
+test/test_bnb.ml: Alcotest Array Dmn_baselines Dmn_core Dmn_graph Dmn_prelude Dmn_workload Printf Rng Util

@@ -1,0 +1,1 @@
+test/test_capacitated.ml: Alcotest Array Dmn_cap Dmn_core Dmn_graph Dmn_prelude List Rng Util

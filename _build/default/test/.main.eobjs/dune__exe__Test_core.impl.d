@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dmn_core Dmn_facility Dmn_graph Dmn_paths Dmn_prelude Format Gen List QCheck Rng String Util

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dmn_baselines Dmn_core Dmn_dynamic Dmn_graph Dmn_prelude Dmn_workload List Rng Util

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Dmn_baselines Dmn_core Dmn_dynamic Dmn_graph Dmn_prelude Dmn_tree Dmn_workload Float List Rng Util

@@ -1,0 +1,1 @@
+test/test_envelope.ml: Alcotest Dmn_prelude Dmn_tree Float Floatx List Printf QCheck String Util

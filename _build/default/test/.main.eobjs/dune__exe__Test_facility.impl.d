@@ -1,0 +1,1 @@
+test/test_facility.ml: Alcotest Array Dmn_facility Dmn_graph Dmn_paths Dmn_prelude Exact Float Flp Gen Greedy Jain_vazirani List Local_search Metric Mettu_plaxton Printf QCheck Rng Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dmn_graph Dmn_prelude Dot Gen List QCheck Rng String Util Wgraph

@@ -1,0 +1,1 @@
+test/test_loadmodel.ml: Alcotest Array Dmn_core Dmn_graph Dmn_loadmodel Dmn_prelude Dmn_tree Dmn_workload Fun List Printf Rng Util

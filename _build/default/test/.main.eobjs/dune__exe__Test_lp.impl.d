@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Dmn_core Dmn_facility Dmn_graph Dmn_lp Dmn_paths Dmn_prelude List Rng Util

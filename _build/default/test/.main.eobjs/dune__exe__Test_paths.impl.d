@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array Bfs Binheap Dijkstra Dmn_graph Dmn_paths Dmn_prelude Float Gen Idx_heap List Metric QCheck Rng Util Wgraph

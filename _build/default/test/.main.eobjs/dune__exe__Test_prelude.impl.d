@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Dmn_prelude Floatx Gen List QCheck Rng Stats String Tbl Util

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Dmn_core Dmn_graph Dmn_prelude Fun List Rng String Util

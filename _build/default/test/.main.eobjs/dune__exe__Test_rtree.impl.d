@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Dmn_graph Dmn_paths Dmn_prelude Dmn_tree Float Fun Gen Rng Util

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Dmn_core Dmn_paths Dmn_prelude Filename Fun Rng Sys Util

@@ -1,0 +1,1 @@
+test/test_span.ml: Alcotest Array Dmn_dsu Dmn_graph Dmn_paths Dmn_prelude Dmn_span Gen Hashtbl Kruskal List Metric Prim QCheck Rng Steiner Util Wgraph

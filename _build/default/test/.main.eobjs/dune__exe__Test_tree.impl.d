@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Dmn_core Dmn_graph Dmn_prelude Dmn_tree Floatx List Printf QCheck Rng Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dmn_core Dmn_graph Dmn_prelude Dmn_workload Freq QCheck Rng Scenario Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Dmn_core Dmn_graph Dmn_prelude Floatx Gen QCheck_alcotest Rng

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "dmnet"
+    [
+      ("prelude", Test_prelude.suite);
+      ("graph", Test_graph.suite);
+      ("paths", Test_paths.suite);
+      ("spanning", Test_span.suite);
+      ("facility", Test_facility.suite);
+      ("lp", Test_lp.suite);
+      ("core", Test_core.suite);
+      ("serial", Test_serial.suite);
+      ("envelope", Test_envelope.suite);
+      ("rtree", Test_rtree.suite);
+      ("tree", Test_tree.suite);
+      ("baselines", Test_baselines.suite);
+      ("loadmodel", Test_loadmodel.suite);
+      ("bnb", Test_bnb.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("capacitated", Test_capacitated.suite);
+      ("report", Test_report.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,128 @@
+(* Stress tier: heavier differential validation than the unit suite.
+   Exits non-zero on the first disagreement. *)
+
+open Dmn_prelude
+module I = Dmn_core.Instance
+
+let failures = ref 0
+
+(* local copies of the unit suite's instance builders *)
+let random_tree_instance rng n =
+  let g = Dmn_graph.Gen.random_tree rng n in
+  let cs =
+    Array.init n (fun _ -> if Rng.float rng 1.0 < 0.1 then 0.0 else Rng.float_in rng 0.5 25.0)
+  in
+  let fr = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  let fw = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  I.of_graph g ~cs ~fr ~fw
+
+let random_graph_instance rng n =
+  let g = Dmn_graph.Gen.erdos_renyi rng n 0.4 in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 25.0) in
+  let fr = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  let fw = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  I.of_graph g ~cs ~fr ~fw
+
+let check name ok = if not ok then begin incr failures; Printf.printf "FAIL %s\n%!" name end
+
+let section name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "%-52s done in %6.1fs\n%!" name (Unix.gettimeofday () -. t0)
+
+let () =
+  section "tree DP vs brute force, 1000 general instances" (fun () ->
+      let rng = Rng.create 90001 in
+      for trial = 1 to 1000 do
+        let n = 2 + Rng.int rng 12 in
+        let inst = random_tree_instance rng n in
+        if I.total_requests inst ~x:0 > 0 then begin
+          let _, dp = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+          let _, opt = Dmn_tree.Tree_exact.opt inst ~x:0 ~root:0 in
+          check (Printf.sprintf "tree trial %d" trial) (Floatx.approx ~tol:1e-6 dp opt)
+        end
+      done);
+  section "literal vs envelope read-only DP, 2000 instances" (fun () ->
+      let rng = Rng.create 90002 in
+      for trial = 1 to 2000 do
+        let n = 2 + Rng.int rng 20 in
+        let g = Dmn_graph.Gen.random_tree rng n in
+        let cs = Array.init n (fun _ -> Rng.float_in rng 0.0 25.0) in
+        let fr = [| Array.init n (fun _ -> Rng.int rng 6) |] in
+        let fw = [| Array.make n 0 |] in
+        let inst = I.of_graph g ~cs ~fr ~fw in
+        if I.total_requests inst ~x:0 > 0 then begin
+          let td = Dmn_tree.Tdata.of_instance inst ~x:0 ~root:0 in
+          let a = Dmn_tree.Ro_dp_literal.solve_cost td in
+          let _, b = Dmn_tree.Ro_dp.solve td in
+          check (Printf.sprintf "literal trial %d" trial) (Floatx.approx ~tol:1e-6 a b)
+        end
+      done);
+  section "branch-and-bound vs enumeration, 200 instances" (fun () ->
+      let rng = Rng.create 90003 in
+      for trial = 1 to 200 do
+        let n = 2 + Rng.int rng 13 in
+        let inst = random_graph_instance rng n in
+        if I.total_requests inst ~x:0 > 0 then begin
+          let _, a = Dmn_core.Bnb.opt_mst inst ~x:0 in
+          let _, b = Dmn_core.Exact.opt_mst inst ~x:0 in
+          check (Printf.sprintf "bnb trial %d" trial) (Floatx.approx ~tol:1e-6 a b)
+        end
+      done);
+  section "branch-and-bound at n = 28" (fun () ->
+      let rng = Rng.create 90004 in
+      let n = 28 in
+      let g = Dmn_graph.Gen.random_geometric rng n 0.35 in
+      let cs = Array.init n (fun _ -> Rng.float_in rng 2.0 15.0) in
+      let { Dmn_workload.Freq.fr; fw } =
+        Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.25
+      in
+      let inst = I.of_graph g ~cs ~fr ~fw in
+      let copies, cost = Dmn_core.Bnb.opt_mst ~node_limit:20_000_000 inst ~x:0 in
+      check "bnb n=28 self-consistent"
+        (Floatx.approx ~tol:1e-6 (Dmn_core.Cost.total_mst inst ~x:0 copies) cost));
+  section "KRW proper on 500 instances up to n = 40" (fun () ->
+      let rng = Rng.create 90005 in
+      for trial = 1 to 500 do
+        let n = 3 + Rng.int rng 38 in
+        let inst = random_graph_instance rng n in
+        if I.total_requests inst ~x:0 > 0 then begin
+          let copies = Dmn_core.Approx.place_object inst ~x:0 in
+          let radii = Dmn_core.Radii.compute inst ~x:0 in
+          check
+            (Printf.sprintf "proper trial %d" trial)
+            (Dmn_core.Proper.is_proper inst ~x:0 ~k1:29.0 ~k2:2.0 radii copies)
+        end
+      done);
+  section "per-edge simultaneous optimality, 300 trees" (fun () ->
+      let rng = Rng.create 90006 in
+      for trial = 1 to 300 do
+        let n = 2 + Rng.int rng 14 in
+        let g = Dmn_graph.Gen.random_tree rng n in
+        let cs = Array.make n 0.0 in
+        let { Dmn_workload.Freq.fr; fw } =
+          Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.3
+        in
+        let inst = I.of_graph g ~cs ~fr ~fw in
+        if I.total_requests inst ~x:0 > 0 then begin
+          let _, lb = Dmn_loadmodel.Tree_load.per_edge_lower_bound inst ~x:0 ~root:0 in
+          let _, opt = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+          check (Printf.sprintf "load trial %d" trial) (Floatx.approx ~tol:1e-6 lb opt)
+        end
+      done);
+  section "tree DP scale: n = 2000 caterpillar" (fun () ->
+      let rng = Rng.create 90007 in
+      let n = 2000 in
+      let g = Dmn_graph.Gen.caterpillar rng n in
+      let cs = Array.init n (fun _ -> Rng.float_in rng 1.0 20.0) in
+      let { Dmn_workload.Freq.fr; fw } =
+        Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(3 * n) ~write_fraction:0.3
+      in
+      let inst = I.of_graph g ~cs ~fr ~fw in
+      let copies, cost = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+      check "n=2000 finite" (Float.is_finite cost && copies <> []));
+  if !failures > 0 then begin
+    Printf.printf "%d stress failures\n" !failures;
+    exit 1
+  end
+  else print_endline "all stress checks passed"

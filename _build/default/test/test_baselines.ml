@@ -1,0 +1,119 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module C = Dmn_core.Cost
+module N = Dmn_baselines.Naive
+module G = Dmn_baselines.Greedy_place
+module L = Dmn_baselines.Local_place
+
+let strategies =
+  [
+    ("full", N.full_replication);
+    ("single", N.best_single);
+    ("read-only-reduction", N.read_only_reduction);
+    ("greedy-add", fun inst ~x -> G.add inst ~x);
+    ("greedy-drop", fun inst ~x -> G.drop inst ~x);
+    ("local", fun inst ~x -> L.solve inst ~x);
+  ]
+
+let all_return_valid () =
+  let rng = Rng.create 71 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = Util.random_graph_instance rng n in
+    List.iter
+      (fun (name, strat) ->
+        let copies = strat inst ~x:0 in
+        if copies = [] then Alcotest.failf "%s returned empty" name;
+        List.iter
+          (fun c -> if c < 0 || c >= n then Alcotest.failf "%s out of range" name)
+          copies)
+      strategies
+  done
+
+let best_single_is_min_over_singletons () =
+  let rng = Rng.create 72 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = Util.random_graph_instance rng n in
+    let best = N.best_single inst ~x:0 in
+    let c = C.total_mst inst ~x:0 best in
+    for v = 0 to n - 1 do
+      Util.check_leq "singleton optimality" c (C.total_mst inst ~x:0 [ v ] +. 1e-9)
+    done
+  done
+
+let greedy_add_at_least_single () =
+  let rng = Rng.create 73 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = Util.random_graph_instance rng n in
+    let single = C.total_mst inst ~x:0 (N.best_single inst ~x:0) in
+    let added = C.total_mst inst ~x:0 (G.add inst ~x:0) in
+    Util.check_leq "greedy add never worse than single" added (single +. 1e-9)
+  done
+
+let greedy_drop_at_least_full () =
+  let rng = Rng.create 74 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = Util.random_graph_instance rng n in
+    let full = C.total_mst inst ~x:0 (N.full_replication inst ~x:0) in
+    let dropped = C.total_mst inst ~x:0 (G.drop inst ~x:0) in
+    Util.check_leq "greedy drop never worse than full" dropped (full +. 1e-9)
+  done
+
+let local_beats_greedy_start () =
+  let rng = Rng.create 75 in
+  for _ = 1 to 8 do
+    let n = 2 + Rng.int rng 8 in
+    let inst = Util.random_graph_instance rng n in
+    let single = C.total_mst inst ~x:0 (N.best_single inst ~x:0) in
+    let local = C.total_mst inst ~x:0 (L.solve inst ~x:0) in
+    Util.check_leq "local <= its start" local (single +. 1e-9)
+  done
+
+let local_near_optimal_small () =
+  let rng = Rng.create 76 in
+  for _ = 1 to 6 do
+    let n = 2 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    let local = C.total_mst inst ~x:0 (L.solve inst ~x:0) in
+    let _, opt = Dmn_core.Exact.opt_mst inst ~x:0 in
+    Util.check_leq "local within 2x of mst optimum" local ((2.0 *. opt) +. 1e-6)
+  done
+
+let read_only_reduction_good_without_writes () =
+  (* with no writes the reduction is just the FLP and should be close to
+     the exact optimum *)
+  let rng = Rng.create 77 in
+  for _ = 1 to 6 do
+    let n = 2 + Rng.int rng 6 in
+    let g = Dmn_graph.Gen.erdos_renyi rng n 0.4 in
+    let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 10.0) in
+    let fr = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+    let fw = [| Array.make n 0 |] in
+    let inst = I.of_graph g ~cs ~fr ~fw in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let c = C.total_mst inst ~x:0 (N.read_only_reduction inst ~x:0) in
+      let _, opt = Dmn_core.Exact.opt_mst inst ~x:0 in
+      Util.check_leq "read-only reduction within 6x" c ((6.0 *. opt) +. 1e-6)
+    end
+  done
+
+let solve_builds_placement () =
+  let rng = Rng.create 78 in
+  let inst = Util.random_graph_instance ~objects:3 rng 6 in
+  let p = N.solve N.best_single inst in
+  Alcotest.(check int) "objects" 3 (Dmn_core.Placement.objects p)
+
+let suite =
+  [
+    Alcotest.test_case "strategies valid" `Quick all_return_valid;
+    Alcotest.test_case "best single is singleton optimum" `Quick best_single_is_min_over_singletons;
+    Alcotest.test_case "greedy add improves on single" `Quick greedy_add_at_least_single;
+    Alcotest.test_case "greedy drop improves on full" `Quick greedy_drop_at_least_full;
+    Alcotest.test_case "local search improves" `Quick local_beats_greedy_start;
+    Alcotest.test_case "local near optimal" `Quick local_near_optimal_small;
+    Alcotest.test_case "read-only reduction quality" `Quick read_only_reduction_good_without_writes;
+    Alcotest.test_case "solve placement" `Quick solve_builds_placement;
+  ]

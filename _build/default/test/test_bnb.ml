@@ -1,0 +1,66 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module B = Dmn_core.Bnb
+module E = Dmn_core.Exact
+
+let matches_enumeration () =
+  let rng = Rng.create 121 in
+  for trial = 1 to 30 do
+    let n = 2 + Rng.int rng 11 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies_b, cost_b = B.opt_mst inst ~x:0 in
+      let copies_e, cost_e = E.opt_mst inst ~x:0 in
+      Util.check_cost (Printf.sprintf "trial %d cost" trial) cost_e cost_b;
+      (* optima may be non-unique; check the returned set achieves it *)
+      Util.check_cost "bnb set achieves its cost" (Dmn_core.Cost.total_mst inst ~x:0 copies_b) cost_b;
+      ignore copies_e
+    end
+  done
+
+let matches_on_trees_and_grids () =
+  let rng = Rng.create 122 in
+  for _ = 1 to 10 do
+    let n = 4 + Rng.int rng 8 in
+    let inst = Util.random_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, cost_b = B.opt_mst inst ~x:0 in
+      let _, cost_e = E.opt_mst inst ~x:0 in
+      Util.check_cost "tree" cost_e cost_b
+    end
+  done
+
+let scales_past_enumeration () =
+  (* n = 24 would be 16M subsets for the enumerator; BnB should solve it
+     quickly *)
+  let rng = Rng.create 123 in
+  let n = 24 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.35 in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 2.0 15.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.25
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let copies, cost = B.opt_mst ~node_limit:2_000_000 inst ~x:0 in
+  Alcotest.(check bool) "non-empty" true (copies <> []);
+  Util.check_cost "self-consistent" (Dmn_core.Cost.total_mst inst ~x:0 copies) cost;
+  (* the optimum can only undercut the heuristics *)
+  let greedy = Dmn_core.Cost.total_mst inst ~x:0 (Dmn_baselines.Greedy_place.add inst ~x:0) in
+  Util.check_leq "opt <= greedy" cost (greedy +. 1e-9);
+  let explored, _ = B.stats () in
+  Alcotest.(check bool) "pruning effective" true (explored < 2_000_000)
+
+let node_limit_enforced () =
+  let rng = Rng.create 124 in
+  let inst = Util.random_graph_instance rng 14 in
+  match B.opt_mst ~node_limit:3 inst ~x:0 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "node limit ignored"
+
+let suite =
+  [
+    Alcotest.test_case "bnb == enumeration" `Quick matches_enumeration;
+    Alcotest.test_case "bnb on trees" `Quick matches_on_trees_and_grids;
+    Alcotest.test_case "bnb scales to n=24" `Quick scales_past_enumeration;
+    Alcotest.test_case "node limit" `Quick node_limit_enforced;
+  ]

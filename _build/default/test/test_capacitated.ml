@@ -1,0 +1,155 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module Cap = Dmn_cap.Capplace
+
+let cap_instance rng ~objects ~n ~cap =
+  let g = Dmn_graph.Gen.erdos_renyi rng n 0.4 in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 6.0) in
+  let fr = Array.init objects (fun _ -> Array.init n (fun _ -> Rng.int rng 5)) in
+  let fw = Array.init objects (fun _ -> Array.make n 0) in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  Cap.create inst ~capacity:(Array.make n cap)
+
+let create_validates () =
+  let rng = Rng.create 151 in
+  let g = Dmn_graph.Gen.path 3 in
+  let inst =
+    I.of_graph g ~cs:(Array.make 3 1.0)
+      ~fr:(Array.init 4 (fun _ -> Array.make 3 1))
+      ~fw:(Array.init 4 (fun _ -> Array.make 3 0))
+  in
+  (match Cap.create inst ~capacity:[| 1; 1; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "4 objects into 3 slots accepted");
+  ignore rng
+
+let solvers_respect_capacity () =
+  let rng = Rng.create 152 in
+  for _ = 1 to 12 do
+    let n = 3 + Rng.int rng 7 in
+    let objects = 1 + Rng.int rng 3 in
+    let cap = 1 + Rng.int rng 2 in
+    if objects <= n * cap then begin
+      let t = cap_instance rng ~objects ~n ~cap in
+      List.iter
+        (fun (name, solve) ->
+          let p = solve t in
+          match Cap.validate t p with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s violates capacity: %s" name e)
+        [ ("greedy", Cap.greedy); ("local", fun t -> Cap.local_search t) ]
+    end
+  done
+
+let local_improves_on_greedy () =
+  let rng = Rng.create 153 in
+  for _ = 1 to 10 do
+    let n = 3 + Rng.int rng 6 in
+    let t = cap_instance rng ~objects:2 ~n ~cap:1 in
+    let g = Cap.cost t (Cap.greedy t) in
+    let l = Cap.cost t (Cap.local_search t) in
+    Util.check_leq "local <= greedy" l (g +. 1e-9)
+  done
+
+let matches_exact_on_tiny () =
+  let rng = Rng.create 154 in
+  for _ = 1 to 10 do
+    let n = 3 + Rng.int rng 3 in
+    let objects = 1 + Rng.int rng 2 in
+    if objects * n <= 18 then begin
+      let t = cap_instance rng ~objects ~n ~cap:1 in
+      let _, opt = Cap.exact t in
+      let l = Cap.cost t (Cap.local_search t) in
+      Util.check_leq "local within 1.5x of optimum" l ((1.5 *. opt) +. 1e-6);
+      Util.check_leq "optimum <= local" opt (l +. 1e-9)
+    end
+  done
+
+let lp_bounds_exact () =
+  let rng = Rng.create 155 in
+  for _ = 1 to 8 do
+    let n = 3 + Rng.int rng 3 in
+    let objects = 1 + Rng.int rng 2 in
+    if objects * n <= 18 then begin
+      let t = cap_instance rng ~objects ~n ~cap:1 in
+      let _, opt = Cap.exact t in
+      let lb = Cap.lp_bound t in
+      Util.check_leq "LP <= OPT" lb (opt +. 1e-6)
+    end
+  done
+
+let capacity_one_forces_spreading () =
+  (* 3 objects, 3 nodes, capacity 1: placement must be a perfect
+     matching of objects to nodes *)
+  let g = Dmn_graph.Gen.path 3 in
+  let inst =
+    I.of_graph g ~cs:(Array.make 3 1.0)
+      ~fr:[| [| 9; 0; 0 |]; [| 0; 9; 0 |]; [| 0; 0; 9 |] |]
+      ~fw:(Array.init 3 (fun _ -> Array.make 3 0))
+  in
+  let t = Cap.create inst ~capacity:[| 1; 1; 1 |] in
+  let p = Cap.local_search t in
+  (match Cap.validate t p with Ok () -> () | Error e -> Alcotest.fail e);
+  (* each object reads only from "its" node, so the matching is the
+     identity *)
+  for x = 0 to 2 do
+    Alcotest.(check (list int)) "identity matching" [ x ] (Dmn_core.Placement.copies p ~x)
+  done
+
+let uncapacitated_equals_flp_like () =
+  (* with huge capacity, the capacitated optimum coincides with the
+     per-object read-only optimum *)
+  let rng = Rng.create 156 in
+  for _ = 1 to 6 do
+    let n = 3 + Rng.int rng 3 in
+    let t = cap_instance rng ~objects:1 ~n ~cap:n in
+    let _, opt = Cap.exact t in
+    let _, unconstrained = Dmn_core.Exact.opt_mst t.Cap.inst ~x:0 in
+    Util.check_cost "no capacity pressure => same optimum" unconstrained opt
+  done
+
+let with_writes_model () =
+  (* full cost model under capacities: solvers stay feasible and the
+     exhaustive optimum under capacity >= the unconstrained optimum *)
+  let rng = Rng.create 157 in
+  for _ = 1 to 8 do
+    let n = 3 + Rng.int rng 3 in
+    let g = Dmn_graph.Gen.erdos_renyi rng n 0.5 in
+    let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 6.0) in
+    let fr = Array.init 2 (fun _ -> Array.init n (fun _ -> Rng.int rng 4)) in
+    let fw = Array.init 2 (fun _ -> Array.init n (fun _ -> Rng.int rng 3)) in
+    let inst = I.of_graph g ~cs ~fr ~fw in
+    let t = Cap.create ~include_writes:true inst ~capacity:(Array.make n 1) in
+    let p = Cap.local_search t in
+    (match Cap.validate t p with Ok () -> () | Error e -> Alcotest.fail e);
+    if 2 * n <= 18 then begin
+      let _, opt_cap = Cap.exact t in
+      let unconstrained =
+        Dmn_core.Cost.total_mst inst ~x:0 (fst (Dmn_core.Exact.opt_mst inst ~x:0))
+        +. Dmn_core.Cost.total_mst inst ~x:1 (fst (Dmn_core.Exact.opt_mst inst ~x:1))
+      in
+      Util.check_leq "capacity can only hurt" unconstrained (opt_cap +. 1e-6);
+      Util.check_leq "local >= exact" opt_cap (Cap.cost t p +. 1e-6)
+    end
+  done
+
+let lp_bound_rejects_writes () =
+  let rng = Rng.create 158 in
+  let inst = Util.random_graph_instance rng 4 in
+  let t = Cap.create ~include_writes:true inst ~capacity:(Array.make 4 2) in
+  match Cap.lp_bound t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lp_bound should reject the write model"
+
+let suite =
+  [
+    Alcotest.test_case "create validates" `Quick create_validates;
+    Alcotest.test_case "capacity respected" `Quick solvers_respect_capacity;
+    Alcotest.test_case "local improves greedy" `Quick local_improves_on_greedy;
+    Alcotest.test_case "near exact on tiny" `Quick matches_exact_on_tiny;
+    Alcotest.test_case "LP lower bound" `Quick lp_bounds_exact;
+    Alcotest.test_case "capacity one spreads" `Quick capacity_one_forces_spreading;
+    Alcotest.test_case "huge capacity == unconstrained" `Quick uncapacitated_equals_flp_like;
+    Alcotest.test_case "write model under capacities" `Quick with_writes_model;
+    Alcotest.test_case "lp bound rejects writes" `Quick lp_bound_rejects_writes;
+  ]

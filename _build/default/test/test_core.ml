@@ -1,0 +1,401 @@
+open Dmn_prelude
+open Dmn_graph
+module I = Dmn_core.Instance
+module P = Dmn_core.Placement
+module C = Dmn_core.Cost
+module R = Dmn_core.Radii
+module Pr = Dmn_core.Proper
+module A = Dmn_core.Approx
+module Re = Dmn_core.Restricted
+module E = Dmn_core.Exact
+
+let instance_accessors () =
+  let g = Gen.path 3 in
+  let inst =
+    I.of_graph g ~cs:[| 1.0; 2.0; 3.0 |] ~fr:[| [| 1; 0; 2 |] |] ~fw:[| [| 0; 3; 0 |] |]
+  in
+  Alcotest.(check int) "n" 3 (I.n inst);
+  Alcotest.(check int) "objects" 1 (I.objects inst);
+  Alcotest.(check int) "reads" 2 (I.reads inst ~x:0 2);
+  Alcotest.(check int) "writes" 3 (I.writes inst ~x:0 1);
+  Alcotest.(check int) "requests" 3 (I.requests inst ~x:0 1);
+  Alcotest.(check int) "W" 3 (I.total_writes inst ~x:0);
+  Alcotest.(check int) "R total" 6 (I.total_requests inst ~x:0);
+  Alcotest.(check bool) "not read only" false (I.read_only inst ~x:0)
+
+let instance_validation () =
+  let g = Gen.path 2 in
+  Alcotest.check_raises "bad count" (Invalid_argument "Instance: negative count") (fun () ->
+      ignore (I.of_graph g ~cs:[| 1.0; 1.0 |] ~fr:[| [| -1; 0 |] |] ~fw:[| [| 0; 0 |] |]))
+
+let related_flp_recasts_writes () =
+  let g = Gen.path 2 in
+  let inst = I.of_graph g ~cs:[| 1.0; 2.0 |] ~fr:[| [| 1; 0 |] |] ~fw:[| [| 2; 3 |] |] in
+  let flp = I.related_flp inst ~x:0 in
+  Util.check_float "demand = fr + fw" 3.0 flp.Dmn_facility.Flp.demand.(0);
+  Util.check_float "demand node 1" 3.0 flp.Dmn_facility.Flp.demand.(1);
+  Util.check_float "opening = cs" 2.0 flp.Dmn_facility.Flp.opening.(1)
+
+let placement_basics () =
+  let p = P.make [| [ 2; 0; 2 ] |] in
+  Alcotest.(check (list int)) "dedup sorted" [ 0; 2 ] (P.copies p ~x:0);
+  Alcotest.(check bool) "holds" true (P.holds p ~x:0 2);
+  Alcotest.(check int) "count" 2 (P.copy_count p ~x:0);
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Placement.make: empty copy set")
+    (fun () -> ignore (P.make [| [] |]))
+
+let cost_hand_computed () =
+  (* path 0-1-2 with unit edges; copies {0}; reads at 2 (x2), writes at 1 (x1) *)
+  let g = Gen.path 3 in
+  let inst = I.of_graph g ~cs:[| 5.0; 5.0; 5.0 |] ~fr:[| [| 0; 0; 2 |] |] ~fw:[| [| 0; 1; 0 |] |] in
+  let b = C.eval_mst inst ~x:0 [ 0 ] in
+  Util.check_float "storage" 5.0 b.C.storage;
+  (* reads: 2 * dist(2,0)=2 -> 4; write h->s leg: 1 * dist(1,0)=1 *)
+  Util.check_float "read (incl. write legs)" 5.0 b.C.read;
+  (* single copy: MST weight 0 *)
+  Util.check_float "update" 0.0 b.C.update;
+  let b2 = C.eval_mst inst ~x:0 [ 0; 2 ] in
+  Util.check_float "storage 2" 10.0 b2.C.storage;
+  (* reads now free; write leg 1*1=1 *)
+  Util.check_float "read 2" 1.0 b2.C.read;
+  (* W=1 times MST({0,2}) = 2 *)
+  Util.check_float "update 2" 2.0 b2.C.update;
+  (* exact model: write at 1 pays Steiner({1} u {0,2}) = 2 *)
+  let be = C.eval_exact inst ~x:0 [ 0; 2 ] in
+  Util.check_float "exact read" 0.0 be.C.read;
+  Util.check_float "exact update" 2.0 be.C.update
+
+let mst_policy_dominates_exact () =
+  (* Claim 2 pointwise: eval_mst <= 2 * eval_exact for the write part,
+     and total_exact <= total_mst always. *)
+  let rng = Rng.create 51 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 8 in
+    let inst = Util.random_graph_instance rng n in
+    let k = 1 + Rng.int rng n in
+    let copies = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+    let bm = C.eval_mst inst ~x:0 copies in
+    let be = C.eval_exact inst ~x:0 copies in
+    Util.check_leq "exact <= mst policy" (C.total be) (C.total bm +. 1e-9);
+    Util.check_leq "mst update <= 2x exact update + write legs"
+      bm.C.update
+      ((2.0 *. (be.C.update +. 1e-9)) +. 1e-6)
+  done
+
+let nearest_dists_graph_vs_metric () =
+  let rng = Rng.create 52 in
+  for _ = 1 to 15 do
+    let n = 2 + Rng.int rng 15 in
+    let g = Gen.erdos_renyi rng n 0.3 in
+    let cs = Array.make n 1.0 in
+    let fr = [| Array.make n 1 |] and fw = [| Array.make n 0 |] in
+    let inst_g = I.of_graph g ~cs ~fr ~fw in
+    let inst_m = I.of_metric (I.metric inst_g) ~cs ~fr ~fw in
+    let k = 1 + Rng.int rng n in
+    let copies = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+    let dg = C.nearest_dists inst_g copies and dm = C.nearest_dists inst_m copies in
+    Array.iteri (fun v d -> Util.check_cost "dijkstra == metric scan" dm.(v) d) dg
+  done
+
+let radii_defining_inequalities () =
+  let rng = Rng.create 53 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = Util.random_graph_instance rng n in
+    let r = R.compute inst ~x:0 in
+    match R.check inst ~x:0 r with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "radii check: %s" e
+  done
+
+let radii_hand_example () =
+  (* path 0-1-2, one request on each node, cs = 1.5 at node 0:
+     S(1)=0, S(2)=1, S(3)=3 => zs = min z with S(z) > 1.5 = 3,
+     rw with W=0 is 0. *)
+  let g = Gen.path 3 in
+  let inst = I.of_graph g ~cs:[| 1.5; 9.0; 9.0 |] ~fr:[| [| 1; 1; 1 |] |] ~fw:[| [| 0; 0; 0 |] |] in
+  let r = R.compute inst ~x:0 in
+  Alcotest.(check int) "zs node 0" 3 r.(0).R.zs;
+  Util.check_float "rw read-only" 0.0 r.(0).R.rw;
+  Util.check_float "avg dist d(0,2)" 0.5 (R.avg_dist inst ~x:0 0 2);
+  Util.check_float "S(0,3)" 3.0 (R.prefix_sum inst ~x:0 0 3);
+  Alcotest.(check bool) "rs in [d(2), d(3))" true (r.(0).R.rs >= 0.5 && r.(0).R.rs < 1.0)
+
+let radii_degenerate_cases () =
+  let g = Gen.path 2 in
+  (* free storage *)
+  let i1 = I.of_graph g ~cs:[| 0.0; 1.0 |] ~fr:[| [| 1; 1 |] |] ~fw:[| [| 0; 0 |] |] in
+  let r1 = R.compute i1 ~x:0 in
+  Util.check_float "cs=0 -> rs=0" 0.0 r1.(0).R.rs;
+  (* no requests at all *)
+  let i2 = I.of_graph g ~cs:[| 1.0; 1.0 |] ~fr:[| [| 0; 0 |] |] ~fw:[| [| 0; 0 |] |] in
+  let r2 = R.compute i2 ~x:0 in
+  Alcotest.(check bool) "no requests -> rs inf" true (r2.(0).R.rs = infinity);
+  (* forbidden storage *)
+  let i3 = I.of_graph g ~cs:[| infinity; 1.0 |] ~fr:[| [| 1; 1 |] |] ~fw:[| [| 0; 0 |] |] in
+  let r3 = R.compute i3 ~x:0 in
+  Alcotest.(check bool) "cs=inf -> rs inf" true (r3.(0).R.rs = infinity)
+
+let approx_produces_proper_placement () =
+  (* Lemma 8: the output is (29, 2)-proper. *)
+  let rng = Rng.create 54 in
+  for _ = 1 to 20 do
+    let n = 3 + Rng.int rng 14 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies = A.place_object inst ~x:0 in
+      Alcotest.(check bool) "non-empty" true (copies <> []);
+      let radii = R.compute inst ~x:0 in
+      let viols = Pr.violations inst ~x:0 ~k1:29.0 ~k2:2.0 radii copies in
+      if viols <> [] then
+        Alcotest.failf "placement not proper: %s"
+          (String.concat "; "
+             (List.map (fun v -> Format.asprintf "%a" Pr.pp_violation v) viols))
+    end
+  done
+
+let approx_constant_factor_vs_opt () =
+  (* Theorem 7: constant approximation. The empirical constant on these
+     small instances is far below the worst-case bound; assert a
+     generous 60x against the exact (Steiner-update) optimum. *)
+  let rng = Rng.create 55 in
+  for _ = 1 to 12 do
+    let n = 3 + Rng.int rng 7 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies = A.place_object inst ~x:0 in
+      let c = C.total_mst inst ~x:0 copies in
+      let _, opt = E.opt_exact inst ~x:0 in
+      if opt > 0.0 then Util.check_leq "constant factor" c (60.0 *. opt)
+    end
+  done
+
+let approx_all_solvers_work () =
+  let rng = Rng.create 56 in
+  let inst = Util.random_graph_instance rng 10 in
+  List.iter
+    (fun solver ->
+      let config = { A.default_config with A.solver } in
+      let copies = A.place_object ~config inst ~x:0 in
+      Alcotest.(check bool)
+        (A.solver_name solver ^ " non-empty")
+        true (copies <> []))
+    [ A.Local_search; A.Jain_vazirani; A.Mettu_plaxton; A.Greedy ]
+
+let phase2_enforces_storage_radius () =
+  let rng = Rng.create 57 in
+  for _ = 1 to 15 do
+    let n = 3 + Rng.int rng 12 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let radii = R.compute inst ~x:0 in
+      let config = A.default_config in
+      let copies = A.phase1 ~config inst ~x:0 in
+      let copies2 = A.phase2 ~config inst ~x:0 radii copies in
+      let dist = C.nearest_dists inst copies2 in
+      for v = 0 to n - 1 do
+        Util.check_leq "phase-2 invariant" dist.(v) ((5.0 *. radii.(v).R.rs) +. 1e-9)
+      done
+    end
+  done
+
+let phase3_separation () =
+  let rng = Rng.create 58 in
+  for _ = 1 to 15 do
+    let n = 3 + Rng.int rng 12 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let radii = R.compute inst ~x:0 in
+      let config = A.default_config in
+      let copies =
+        A.phase2 ~config inst ~x:0 radii (A.phase1 ~config inst ~x:0)
+      in
+      let survivors = A.phase3 ~config inst radii copies in
+      Alcotest.(check bool) "non-empty" true (survivors <> []);
+      let m = I.metric inst in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u <> v then
+                Alcotest.(check bool) "separation" true
+                  (Dmn_paths.Metric.d m u v > (4.0 *. radii.(u).R.rw) -. 1e-9))
+            survivors)
+        survivors
+    end
+  done
+
+let restricted_transform_properties () =
+  let rng = Rng.create 59 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let k = 1 + Rng.int rng n in
+      let copies = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+      let restricted = Re.transform inst ~x:0 copies in
+      Alcotest.(check bool) "non-empty" true (restricted <> []);
+      Alcotest.(check bool) "subset" true
+        (List.for_all (fun c -> List.mem c copies) restricted);
+      Alcotest.(check bool) "is restricted" true (Re.is_restricted inst ~x:0 restricted)
+    end
+  done
+
+let lemma1_factor_four () =
+  (* C^OPT_W <= 4 C^OPT on exhaustively solvable instances. *)
+  let rng = Rng.create 60 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, opt = E.opt_exact inst ~x:0 in
+      let _, opt_w = E.opt_restricted inst ~x:0 in
+      Util.check_leq "Lemma 1" opt_w ((4.0 *. opt) +. 1e-6)
+    end
+  done
+
+let claim2_mst_within_2x () =
+  (* min over copy sets of the MST-policy cost is within 2x of the
+     Steiner-policy optimum (Claim 2 consequence). *)
+  let rng = Rng.create 61 in
+  for _ = 1 to 10 do
+    let n = 2 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, opt_mst = E.opt_mst inst ~x:0 in
+      let _, opt = E.opt_exact inst ~x:0 in
+      Util.check_leq "mst-policy optimum within 2x" opt_mst ((2.0 *. opt) +. 1e-6);
+      Util.check_leq "exact <= mst optimum" opt ((1.0 *. opt_mst) +. 1e-6)
+    end
+  done
+
+let exact_agrees_with_placement_eval () =
+  let rng = Rng.create 62 in
+  for _ = 1 to 8 do
+    let n = 2 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    let copies, cost = E.opt_mst inst ~x:0 in
+    Util.check_cost "enumerated cost matches eval" (C.total_mst inst ~x:0 copies) cost
+  done
+
+let multi_object_independence () =
+  (* objects are placed independently: solving a 2-object instance must
+     equal solving each object alone *)
+  let rng = Rng.create 63 in
+  let inst = Util.random_graph_instance ~objects:2 rng 8 in
+  let p = A.solve inst in
+  for x = 0 to 1 do
+    let single = I.restrict_object inst ~x in
+    let copies = A.place_object single ~x:0 in
+    Alcotest.(check (list int)) "per-object independence" copies (P.copies p ~x)
+  done
+
+let scale_object_uniform_invariance () =
+  (* scaling storage and transmission by the same factor rescales costs
+     linearly and leaves optimal placements unchanged *)
+  let rng = Rng.create 64 in
+  for _ = 1 to 8 do
+    let n = 2 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    let scaled = I.scale_object inst ~x:0 ~storage:3.0 ~transmission:3.0 in
+    let copies, opt = E.opt_mst inst ~x:0 in
+    let copies', opt' = E.opt_mst scaled ~x:0 in
+    Alcotest.(check (list int)) "same optimum" copies copies';
+    Util.check_cost "cost scales linearly" (3.0 *. opt) opt'
+  done
+
+let scale_object_changes_balance () =
+  (* making storage relatively expensive must not increase the optimal
+     replica count *)
+  let rng = Rng.create 65 in
+  for _ = 1 to 8 do
+    let n = 3 + Rng.int rng 5 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let cheap = I.scale_object inst ~x:0 ~storage:0.01 ~transmission:1.0 in
+      let pricey = I.scale_object inst ~x:0 ~storage:100.0 ~transmission:1.0 in
+      let c1, _ = E.opt_mst cheap ~x:0 in
+      let c2, _ = E.opt_mst pricey ~x:0 in
+      Alcotest.(check bool) "replicas shrink with storage price" true
+        (List.length c2 <= List.length c1)
+    end
+  done
+
+let scale_object_validation () =
+  let inst = Util.random_graph_instance (Rng.create 66) 4 in
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Instance.scale_object: factors must be positive") (fun () ->
+      ignore (I.scale_object inst ~x:0 ~storage:0.0 ~transmission:1.0))
+
+let qcheck_proper =
+  QCheck.Test.make ~name:"approx output is (29,2)-proper" ~count:40
+    QCheck.(pair small_int (int_range 3 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Util.random_graph_instance rng n in
+      I.total_requests inst ~x:0 = 0
+      ||
+      let copies = A.place_object inst ~x:0 in
+      let radii = R.compute inst ~x:0 in
+      Pr.is_proper inst ~x:0 ~k1:29.0 ~k2:2.0 radii copies)
+
+let qcheck_avg_dist_monotone =
+  QCheck.Test.make ~name:"d(v,z) nondecreasing in z; S(z) superadditive" ~count:60
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Util.random_graph_instance rng n in
+      let total = I.total_requests inst ~x:0 in
+      total = 0
+      ||
+      let ok = ref true in
+      for v = 0 to I.n inst - 1 do
+        let prev_avg = ref 0.0 and prev_s = ref 0.0 in
+        for z = 1 to total do
+          let avg = R.avg_dist inst ~x:0 v z and sum = R.prefix_sum inst ~x:0 v z in
+          if avg < !prev_avg -. 1e-9 then ok := false;
+          if sum < !prev_s -. 1e-9 then ok := false;
+          if not (Dmn_prelude.Floatx.approx ~tol:1e-6 sum (avg *. float_of_int z)) then ok := false;
+          prev_avg := avg;
+          prev_s := sum
+        done
+      done;
+      !ok)
+
+let qcheck_radii =
+  QCheck.Test.make ~name:"radii satisfy defining inequalities" ~count:60
+    QCheck.(pair small_int (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Util.random_graph_instance rng n in
+      match R.check inst ~x:0 (R.compute inst ~x:0) with Ok () -> true | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "instance accessors" `Quick instance_accessors;
+    Alcotest.test_case "instance validation" `Quick instance_validation;
+    Alcotest.test_case "related FLP" `Quick related_flp_recasts_writes;
+    Alcotest.test_case "placement basics" `Quick placement_basics;
+    Alcotest.test_case "cost hand example" `Quick cost_hand_computed;
+    Alcotest.test_case "exact <= mst policy" `Quick mst_policy_dominates_exact;
+    Alcotest.test_case "nearest dists graph == metric" `Quick nearest_dists_graph_vs_metric;
+    Alcotest.test_case "radii inequalities" `Quick radii_defining_inequalities;
+    Alcotest.test_case "radii hand example" `Quick radii_hand_example;
+    Alcotest.test_case "radii degenerate cases" `Quick radii_degenerate_cases;
+    Alcotest.test_case "approx is proper (Lemma 8)" `Quick approx_produces_proper_placement;
+    Alcotest.test_case "approx constant factor (Thm 7)" `Quick approx_constant_factor_vs_opt;
+    Alcotest.test_case "all phase-1 solvers" `Quick approx_all_solvers_work;
+    Alcotest.test_case "phase 2 invariant" `Quick phase2_enforces_storage_radius;
+    Alcotest.test_case "phase 3 separation" `Quick phase3_separation;
+    Alcotest.test_case "restricted transform" `Quick restricted_transform_properties;
+    Alcotest.test_case "Lemma 1 factor 4" `Quick lemma1_factor_four;
+    Alcotest.test_case "Claim 2 factor 2" `Quick claim2_mst_within_2x;
+    Alcotest.test_case "exact matches eval" `Quick exact_agrees_with_placement_eval;
+    Alcotest.test_case "multi-object independence" `Quick multi_object_independence;
+    Alcotest.test_case "scale_object uniform invariance" `Quick scale_object_uniform_invariance;
+    Alcotest.test_case "scale_object balance shift" `Quick scale_object_changes_balance;
+    Alcotest.test_case "scale_object validation" `Quick scale_object_validation;
+    Util.qtest qcheck_proper;
+    Util.qtest qcheck_avg_dist_monotone;
+    Util.qtest qcheck_radii;
+  ]

@@ -1,0 +1,115 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module St = Dmn_dynamic.Stream
+module Sg = Dmn_dynamic.Strategy
+module Sim = Dmn_dynamic.Sim
+
+let stationary_respects_frequencies () =
+  let rng = Rng.create 131 in
+  let inst = Util.random_graph_instance ~objects:2 rng 8 in
+  if I.total_requests inst ~x:0 + I.total_requests inst ~x:1 > 0 then begin
+    let events = St.stationary rng inst ~length:20_000 in
+    Alcotest.(check int) "length" 20_000 (List.length events);
+    let fr, fw = St.frequencies inst events in
+    (* empirical proportions track the table: nodes with zero frequency
+       get zero events *)
+    for x = 0 to 1 do
+      for v = 0 to I.n inst - 1 do
+        if I.reads inst ~x v = 0 then Alcotest.(check int) "no phantom reads" 0 fr.(x).(v);
+        if I.writes inst ~x v = 0 then Alcotest.(check int) "no phantom writes" 0 fw.(x).(v)
+      done
+    done
+  end
+
+let static_strategy_replays_static_cost () =
+  (* over one full period of the exact table, the static strategy's
+     expected cost equals the static objective; with a deterministic
+     enumeration of the table it matches exactly *)
+  let rng = Rng.create 132 in
+  for _ = 1 to 10 do
+    let n = 3 + Rng.int rng 8 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      (* enumerate the table exactly as a stream *)
+      let events = ref [] in
+      for v = 0 to n - 1 do
+        for _ = 1 to I.reads inst ~x:0 v do
+          events := { St.node = v; x = 0; kind = St.Read } :: !events
+        done;
+        for _ = 1 to I.writes inst ~x:0 v do
+          events := { St.node = v; x = 0; kind = St.Write } :: !events
+        done
+      done;
+      let copies = Dmn_core.Approx.place_object inst ~x:0 in
+      let p = Dmn_core.Placement.make [| copies |] in
+      let r = Sim.run inst (Sg.static inst p) !events in
+      let b = Dmn_core.Cost.eval_mst inst ~x:0 copies in
+      Util.check_cost "serving == read + update"
+        (b.Dmn_core.Cost.read +. b.Dmn_core.Cost.update)
+        r.Sim.serving;
+      Util.check_cost "storage == rent over one period" b.Dmn_core.Cost.storage r.Sim.storage;
+      Util.check_cost "totals" (Dmn_core.Cost.total b) r.Sim.total
+    end
+  done
+
+let migrating_owner_follows_hotspot () =
+  (* all requests from one node: the owner must migrate there *)
+  let g = Dmn_graph.Gen.path 6 in
+  let cs = [| 0.5; 1.0; 1.0; 1.0; 1.0; 1.0 |] in
+  let inst = I.of_graph g ~cs ~fr:[| [| 0; 0; 0; 0; 0; 10 |] |] ~fw:[| Array.make 6 0 |] in
+  let strat = Sg.migrating_owner ~threshold:3 inst in
+  let events = List.init 20 (fun _ -> { St.node = 5; x = 0; kind = St.Read }) in
+  let _ = Sim.run inst strat events in
+  Alcotest.(check (list int)) "owner moved to the hotspot" [ 5 ] (strat.Sg.copies ~x:0)
+
+let threshold_caching_replicates_and_drops () =
+  let g = Dmn_graph.Gen.path 8 in
+  let cs = Array.make 8 1.0 in
+  cs.(0) <- 0.5;
+  let inst = I.of_graph g ~cs ~fr:[| Array.make 8 1 |] ~fw:[| Array.make 8 1 |] in
+  let strat = Sg.threshold_caching ~replicate_after:2 ~drop_after:3 inst in
+  (* reads from node 7 force a replica there *)
+  let reads = List.init 4 (fun _ -> { St.node = 7; x = 0; kind = St.Read }) in
+  let _ = Sim.run inst strat reads in
+  Alcotest.(check bool) "replicated at reader" true (List.mem 7 (strat.Sg.copies ~x:0));
+  (* a write burst from node 0 evicts the idle replica *)
+  let writes = List.init 6 (fun _ -> { St.node = 0; x = 0; kind = St.Write }) in
+  let _ = Sim.run inst strat writes in
+  Alcotest.(check bool) "idle replica dropped" true (not (List.mem 7 (strat.Sg.copies ~x:0)))
+
+let static_wins_stationary_dynamic_wins_drifting () =
+  let rng = Rng.create 134 in
+  let n = 16 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.4 in
+  let cs = Array.make n 2.0 in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(8 * n) ~write_fraction:0.2
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let static_placement = Dmn_core.Placement.make [| Dmn_baselines.Greedy_place.add inst ~x:0 |] in
+  (* stationary: the tuned static placement should beat the adaptive
+     caching strategy *)
+  let stationary = St.stationary (Rng.create 7) inst ~length:(16 * n) in
+  let s_static = Sim.run inst (Sg.static inst static_placement) stationary in
+  let s_cache = Sim.run inst (Sg.threshold_caching inst) stationary in
+  Util.check_leq "static wins on its own distribution" s_static.Sim.total
+    (s_cache.Sim.total *. 1.05);
+  (* drifting: the adaptive strategy must beat the stale static one *)
+  let drift =
+    St.drifting (Rng.create 8) inst ~phases:6 ~phase_length:(8 * n) ~write_fraction:0.1
+  in
+  let d_static = Sim.run inst (Sg.static inst static_placement) drift in
+  let d_cache = Sim.run inst (Sg.threshold_caching inst) drift in
+  Util.check_leq "adaptive wins under drift" d_cache.Sim.total (d_static.Sim.total *. 1.05)
+
+let suite =
+  [
+    Alcotest.test_case "stationary stream frequencies" `Quick stationary_respects_frequencies;
+    Alcotest.test_case "static strategy replays static cost" `Quick
+      static_strategy_replays_static_cost;
+    Alcotest.test_case "migrating owner follows hotspot" `Quick migrating_owner_follows_hotspot;
+    Alcotest.test_case "threshold caching replicates/drops" `Quick
+      threshold_caching_replicates_and_drops;
+    Alcotest.test_case "static vs dynamic crossover" `Quick
+      static_wins_stationary_dynamic_wins_drifting;
+  ]

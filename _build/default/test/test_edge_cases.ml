@@ -1,0 +1,136 @@
+(* Robustness: degenerate and adversarial inputs across the stack. *)
+
+open Dmn_prelude
+module I = Dmn_core.Instance
+module A = Dmn_core.Approx
+module C = Dmn_core.Cost
+
+let single_node_network () =
+  let g = Dmn_graph.Wgraph.create 1 [] in
+  let inst = I.of_graph g ~cs:[| 2.0 |] ~fr:[| [| 3 |] |] ~fw:[| [| 1 |] |] in
+  let copies = A.place_object inst ~x:0 in
+  Alcotest.(check (list int)) "only choice" [ 0 ] copies;
+  Util.check_float "cost = storage" 2.0 (C.total_mst inst ~x:0 copies)
+
+let two_node_network () =
+  let g = Dmn_graph.Gen.path 2 in
+  let inst = I.of_graph g ~cs:[| 1.0; 100.0 |] ~fr:[| [| 0; 5 |] |] ~fw:[| [| 0; 0 |] |] in
+  let copies = A.place_object inst ~x:0 in
+  (* copy at 0 (cheap, distance 1) clearly beats 100 storage at 1 *)
+  Alcotest.(check (list int)) "cheap side" [ 0 ] copies
+
+let zero_request_object () =
+  let rng = Rng.create 171 in
+  let g = Dmn_graph.Gen.erdos_renyi rng 6 0.5 in
+  let inst =
+    I.of_graph g
+      ~cs:(Array.init 6 (fun i -> float_of_int (i + 1)))
+      ~fr:[| Array.make 6 0 |] ~fw:[| Array.make 6 0 |]
+  in
+  let copies = A.place_object inst ~x:0 in
+  Alcotest.(check bool) "non-empty placement even without requests" true (copies <> []);
+  (* exhaustive agrees: a single cheapest copy *)
+  let opt, cost = Dmn_core.Exact.opt_mst inst ~x:0 in
+  Alcotest.(check (list int)) "cheapest node" [ 0 ] opt;
+  Util.check_float "cost 1" 1.0 cost
+
+let all_writes_no_reads () =
+  let rng = Rng.create 172 in
+  for _ = 1 to 5 do
+    let n = 3 + Rng.int rng 6 in
+    let g = Dmn_graph.Gen.erdos_renyi rng n 0.5 in
+    let cs = Array.init n (fun _ -> Rng.float_in rng 1.0 5.0) in
+    let fr = [| Array.make n 0 |] in
+    let fw = [| Array.init n (fun _ -> Rng.int rng 4) |] in
+    let inst = I.of_graph g ~cs ~fr ~fw in
+    if I.total_writes inst ~x:0 > 0 then begin
+      let _, opt = Dmn_core.Exact.opt_mst inst ~x:0 in
+      (* write-only optimum keeps a single copy: any second copy costs
+         extra storage and extra multicast *)
+      let copies, _ = Dmn_core.Exact.opt_mst inst ~x:0 in
+      Alcotest.(check int) "single copy" 1 (List.length copies);
+      let krw = C.total_mst inst ~x:0 (A.place_object inst ~x:0) in
+      Util.check_leq "krw reasonable" krw (10.0 *. opt)
+    end
+  done
+
+let forbidden_nodes_avoided () =
+  let rng = Rng.create 173 in
+  let g = Dmn_graph.Gen.erdos_renyi rng 8 0.4 in
+  let cs = Array.init 8 (fun i -> if i mod 2 = 0 then infinity else 2.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects:1 ~n:8 ~total:30 ~write_fraction:0.2
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  List.iter
+    (fun (name, copies) ->
+      List.iter
+        (fun v ->
+          if I.cs inst v = infinity then Alcotest.failf "%s stored on forbidden node %d" name v)
+        copies)
+    [
+      ("approx", A.place_object inst ~x:0);
+      ("exact", fst (Dmn_core.Exact.opt_mst inst ~x:0));
+      ("bnb", fst (Dmn_core.Bnb.opt_mst inst ~x:0));
+      ("greedy-add", Dmn_baselines.Greedy_place.add inst ~x:0);
+    ]
+
+let zero_weight_edges () =
+  (* distance-0 pairs: radii, phases and the DP must all survive *)
+  let g = Dmn_graph.Wgraph.create 4 [ (0, 1, 0.0); (1, 2, 1.0); (2, 3, 0.0) ] in
+  let inst =
+    I.of_graph g ~cs:[| 1.0; 1.0; 1.0; 1.0 |] ~fr:[| [| 2; 2; 2; 2 |] |] ~fw:[| [| 1; 0; 0; 0 |] |]
+  in
+  let copies = A.place_object inst ~x:0 in
+  Alcotest.(check bool) "placed" true (copies <> []);
+  let _, dp = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+  let _, opt = Dmn_tree.Tree_exact.opt inst ~x:0 ~root:0 in
+  Util.check_cost "tree DP with zero-weight edges" opt dp
+
+let identical_nodes_tie_handling () =
+  (* several nodes with identical distances and counts: radii defining
+     inequalities must still hold (the rs <= d(zs) relaxation) *)
+  let g = Dmn_graph.Gen.star 6 in
+  let inst =
+    I.of_graph g ~cs:(Array.make 6 3.0) ~fr:[| Array.make 6 2 |] ~fw:[| Array.make 6 1 |]
+  in
+  let r = Dmn_core.Radii.compute inst ~x:0 in
+  match Dmn_core.Radii.check inst ~x:0 r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "radii on ties: %s" e
+
+let huge_weights_no_overflow () =
+  let g = Dmn_graph.Wgraph.create 3 [ (0, 1, 1e12); (1, 2, 1e12) ] in
+  let inst =
+    I.of_graph g ~cs:[| 1e9; 1e9; 1e9 |] ~fr:[| [| 5; 5; 5 |] |] ~fw:[| [| 1; 1; 1 |] |]
+  in
+  let copies = A.place_object inst ~x:0 in
+  let c = C.total_mst inst ~x:0 copies in
+  Alcotest.(check bool) "finite cost" true (Float.is_finite c)
+
+let disconnected_rejected () =
+  let g = Dmn_graph.Wgraph.create 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  match I.of_graph g ~cs:(Array.make 4 1.0) ~fr:[| Array.make 4 1 |] ~fw:[| Array.make 4 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected graph accepted"
+
+let empty_stream_simulation () =
+  let rng = Rng.create 174 in
+  let inst = Util.random_graph_instance rng 5 in
+  let p = Dmn_core.Placement.uniform ~objects:1 [ 0 ] in
+  let r = Dmn_dynamic.Sim.run inst (Dmn_dynamic.Strategy.static inst p) [] in
+  Util.check_float "no cost" 0.0 r.Dmn_dynamic.Sim.total
+
+let suite =
+  [
+    Alcotest.test_case "single node" `Quick single_node_network;
+    Alcotest.test_case "two nodes" `Quick two_node_network;
+    Alcotest.test_case "zero-request object" `Quick zero_request_object;
+    Alcotest.test_case "write-only object" `Quick all_writes_no_reads;
+    Alcotest.test_case "forbidden nodes" `Quick forbidden_nodes_avoided;
+    Alcotest.test_case "zero-weight edges" `Quick zero_weight_edges;
+    Alcotest.test_case "tied distances" `Quick identical_nodes_tie_handling;
+    Alcotest.test_case "huge weights" `Quick huge_weights_no_overflow;
+    Alcotest.test_case "disconnected rejected" `Quick disconnected_rejected;
+    Alcotest.test_case "empty stream" `Quick empty_stream_simulation;
+  ]

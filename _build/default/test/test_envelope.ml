@@ -1,0 +1,79 @@
+(* Direct tests of the lower-envelope structure underlying the tree DP
+   export tuples. *)
+
+open Dmn_prelude
+module E = Dmn_tree.Envelope
+
+let line c r info = { E.c; r; info }
+
+let single_line () =
+  let env = E.build [ line 3.0 2.0 "a" ] in
+  Alcotest.(check int) "one piece" 1 (E.size env);
+  Util.check_float "value" 7.0 (E.value env 2.0)
+
+let two_lines_crossover () =
+  let env = E.build [ line 0.0 4.0 "steep"; line 6.0 1.0 "flat" ] in
+  Alcotest.(check int) "two pieces" 2 (E.size env);
+  Alcotest.(check string) "steep first" "steep" (E.at env 0.0).E.info;
+  Alcotest.(check string) "flat later" "flat" (E.at env 10.0).E.info;
+  (* crossover at 2.0 *)
+  Alcotest.(check string) "boundary belongs to flat" "flat" (E.at env 2.0).E.info;
+  Util.check_float "continuous at boundary" 8.0 (E.value env 2.0)
+
+let dominated_removed () =
+  let env = E.build [ line 1.0 1.0 "good"; line 2.0 2.0 "dominated"; line 1.0 1.0 "dup" ] in
+  Alcotest.(check int) "one piece" 1 (E.size env);
+  (* "good" and "dup" are the same line; either label may win the tie *)
+  let winner = (E.at env 5.0).E.info in
+  Alcotest.(check bool) "winner" true (winner = "good" || winner = "dup")
+
+let middle_line_skipped () =
+  (* the classic case where the middle line never wins *)
+  let env = E.build [ line 8.119 6.0 "a"; line 13.078 4.0 "b"; line 20.697 0.0 "c" ] in
+  Alcotest.(check int) "two pieces" 2 (E.size env);
+  Alcotest.(check string) "a first" "a" (E.at env 0.0).E.info;
+  Alcotest.(check string) "c last" "c" (E.at env 3.0).E.info
+
+let infinite_lines_dropped () =
+  let env = E.build [ line infinity 0.0 "inf"; line 1.0 1.0 "fin" ] in
+  Alcotest.(check int) "one piece" 1 (E.size env);
+  Alcotest.check_raises "all infinite rejected"
+    (Invalid_argument "Envelope.build: no finite line") (fun () ->
+      ignore (E.build [ line infinity 0.0 "inf" ]))
+
+let qcheck_envelope_is_minimum =
+  let gen =
+    QCheck.make
+      ~print:(fun lines ->
+        String.concat ";" (List.map (fun (c, r) -> Printf.sprintf "(%.3f,%.3f)" c r) lines))
+      QCheck.Gen.(
+        list_size (int_range 1 15)
+          (pair (float_bound_exclusive 100.0) (float_bound_exclusive 10.0)))
+  in
+  QCheck.Test.make ~name:"envelope value == min over all lines" ~count:300 gen (fun lines ->
+      let env = E.build (List.map (fun (c, r) -> line c r ()) lines) in
+      List.for_all
+        (fun d ->
+          let expected = List.fold_left (fun acc (c, r) -> Float.min acc (c +. (r *. d))) infinity lines in
+          Floatx.approx ~tol:1e-6 expected (E.value env d))
+        [ 0.0; 0.1; 0.5; 1.0; 3.0; 10.0; 100.0; 1e4 ])
+
+let qcheck_pieces_sorted =
+  QCheck.Test.make ~name:"envelope breakpoints ascending from 0" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 12) (pair (float_bound_exclusive 50.0) (float_bound_exclusive 5.0)))
+    (fun lines ->
+      let env = E.build (List.map (fun (c, r) -> line c r ()) lines) in
+      let bps = E.breakpoints env in
+      List.hd bps = 0.0
+      && fst (List.fold_left (fun (ok, prev) b -> (ok && b >= prev, b)) (true, -1.0) bps))
+
+let suite =
+  [
+    Alcotest.test_case "single line" `Quick single_line;
+    Alcotest.test_case "two lines crossover" `Quick two_lines_crossover;
+    Alcotest.test_case "dominated removed" `Quick dominated_removed;
+    Alcotest.test_case "middle line skipped" `Quick middle_line_skipped;
+    Alcotest.test_case "infinite lines" `Quick infinite_lines_dropped;
+    Util.qtest qcheck_envelope_is_minimum;
+    Util.qtest qcheck_pieces_sorted;
+  ]

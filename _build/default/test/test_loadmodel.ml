@@ -1,0 +1,213 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module TL = Dmn_loadmodel.Tree_load
+module CN = Dmn_loadmodel.Complete_net
+
+(* build a tree instance with zero storage cost (total-load model) *)
+let load_tree_instance rng n =
+  let g = Dmn_graph.Gen.random_tree rng n in
+  let cs = Array.make n 0.0 in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.3
+  in
+  I.of_graph g ~cs ~fr ~fw
+
+let lower_bound_is_a_bound () =
+  let rng = Rng.create 111 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = load_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, lb = TL.per_edge_lower_bound inst ~x:0 ~root:0 in
+      let k = 1 + Rng.int rng n in
+      let copies = Array.to_list (Rng.sample rng (Array.init n Fun.id) k) in
+      let _, load = TL.edge_loads inst ~x:0 ~root:0 copies in
+      Util.check_leq "per-edge LB below any placement" lb (load +. 1e-6)
+    end
+  done
+
+let edge_loads_sum_matches_cost () =
+  (* with cs = 0 the summed weighted edge loads equal the exact total
+     cost of the placement *)
+  let rng = Rng.create 112 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 10 in
+    let inst = load_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let k = 1 + Rng.int rng n in
+      let copies = List.sort_uniq compare (List.init k (fun _ -> Rng.int rng n)) in
+      let _, load = TL.edge_loads inst ~x:0 ~root:0 copies in
+      let cost = Dmn_tree.Tree_exact.cost inst ~x:0 ~root:0 copies in
+      Util.check_cost "edge loads sum to total cost" cost load
+    end
+  done
+
+let optimum_attains_per_edge_minimum () =
+  (* the simultaneous-optimality theorem: on trees with cs = 0 the
+     optimal total load equals the sum of per-edge minima *)
+  let rng = Rng.create 113 in
+  for trial = 1 to 40 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = load_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, lb = TL.per_edge_lower_bound inst ~x:0 ~root:0 in
+      let _, opt = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+      Util.check_cost (Printf.sprintf "trial %d: optimum == per-edge LB" trial) lb opt
+    end
+  done
+
+let optimum_attains_every_edge_minimum () =
+  (* stronger form: the DP's optimal placement meets the minimum on each
+     individual edge, not just in total *)
+  let rng = Rng.create 114 in
+  for trial = 1 to 40 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = load_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies, _ = Dmn_tree.Tree_solver.place_object inst ~x:0 in
+      let bounds, _ = TL.per_edge_lower_bound inst ~x:0 ~root:0 in
+      let loads, _ = TL.edge_loads inst ~x:0 ~root:0 copies in
+      List.iter2
+        (fun (v1, lb) (v2, load) ->
+          Alcotest.(check int) "same edge" v1 v2;
+          Util.check_cost (Printf.sprintf "trial %d edge %d load == min" trial v1) lb load)
+        bounds loads
+    end
+  done
+
+let complete_net_matches_bruteforce () =
+  let rng = Rng.create 115 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 8 in
+    let g = Dmn_graph.Gen.complete n in
+    let cs = Array.make n 0.0 in
+    let { Dmn_workload.Freq.fr; fw } =
+      Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(4 * n) ~write_fraction:0.3
+    in
+    let inst = I.of_graph g ~cs ~fr ~fw in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies, cost = CN.solve inst ~x:0 in
+      Util.check_cost "closed form self-consistent" (CN.cost inst ~x:0 copies) cost;
+      (* brute force over all copy sets in the same model *)
+      let best = ref infinity in
+      for mask = 1 to (1 lsl n) - 1 do
+        let s = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+        let c = CN.cost inst ~x:0 s in
+        if c < !best then best := c
+      done;
+      Util.check_cost "closed form optimal" !best cost;
+      (* the uniform complete model agrees with the general exact model
+         on K_n with unit weights and zero storage *)
+      let exact = Dmn_core.Cost.total_exact inst ~x:0 copies in
+      Util.check_cost "model agreement on K_n" exact cost
+    end
+  done
+
+let complete_net_write_pressure () =
+  (* replicas shrink as writes grow *)
+  let n = 10 in
+  let g = Dmn_graph.Gen.complete n in
+  let cs = Array.make n 0.0 in
+  let fr = [| Array.make n 10 |] in
+  let prev = ref max_int in
+  List.iter
+    (fun wv ->
+      let fw = [| Array.make n wv |] in
+      let inst = I.of_graph g ~cs ~fr ~fw in
+      let copies, _ = CN.solve inst ~x:0 in
+      let k = List.length copies in
+      Alcotest.(check bool) "monotone" true (k <= !prev);
+      prev := k)
+    [ 0; 1; 5; 20 ];
+  Alcotest.(check bool) "collapses to single copy" true (!prev = 1)
+
+let net_load_matches_cost_model () =
+  (* the routed per-edge loads must sum exactly to the communication
+     part of the MST-policy cost *)
+  let rng = Rng.create 116 in
+  for _ = 1 to 20 do
+    let n = 3 + Rng.int rng 15 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let k = 1 + Rng.int rng n in
+      let copies = Array.to_list (Rng.sample rng (Array.init n Fun.id) k) in
+      let profile = Dmn_loadmodel.Net_load.of_copies inst ~x:0 copies in
+      let b = Dmn_core.Cost.eval_mst inst ~x:0 copies in
+      Util.check_cost "weighted load == read + update"
+        (b.Dmn_core.Cost.read +. b.Dmn_core.Cost.update)
+        profile.Dmn_loadmodel.Net_load.total_weighted;
+      Util.check_leq "max <= total" profile.Dmn_loadmodel.Net_load.max_weighted
+        (profile.Dmn_loadmodel.Net_load.total_weighted +. 1e-9);
+      (* every edge is reported exactly once *)
+      Alcotest.(check int) "all edges reported"
+        (match I.graph inst with Some g -> Dmn_graph.Wgraph.m g | None -> -1)
+        (List.length profile.Dmn_loadmodel.Net_load.load)
+    end
+  done
+
+let net_load_placement_sums_objects () =
+  let rng = Rng.create 117 in
+  let inst = Util.random_graph_instance ~objects:3 rng 10 in
+  let p =
+    Dmn_core.Placement.make
+      (Array.init 3 (fun x -> [ x mod I.n inst; (x + 3) mod I.n inst ]))
+  in
+  let whole = Dmn_loadmodel.Net_load.of_placement inst p in
+  let parts =
+    List.init 3 (fun x -> Dmn_loadmodel.Net_load.of_copies inst ~x (Dmn_core.Placement.copies p ~x))
+  in
+  let sum =
+    List.fold_left (fun acc pr -> acc +. pr.Dmn_loadmodel.Net_load.total_weighted) 0.0 parts
+  in
+  Util.check_cost "placement profile = sum of objects" sum
+    whole.Dmn_loadmodel.Net_load.total_weighted
+
+let ring_instance rng n =
+  let g = Dmn_graph.Gen.ring n in
+  let g = Dmn_graph.Wgraph.map_weights (fun _ _ _ -> Rng.float_in rng 0.5 5.0) g in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 10.0) in
+  let fr = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  let fw = [| Array.make n 0 |] in
+  I.of_graph g ~cs ~fr ~fw
+
+let ring_opt_matches_bruteforce () =
+  let rng = Rng.create 118 in
+  for trial = 1 to 30 do
+    let n = 3 + Rng.int rng 9 in
+    let inst = ring_instance rng n in
+    let copies, cost = Dmn_loadmodel.Ring_ro.opt inst ~x:0 in
+    (* read-only: the MST-policy optimum is the pure read+storage optimum *)
+    let _, opt = Dmn_core.Exact.opt_mst inst ~x:0 in
+    Util.check_cost (Printf.sprintf "trial %d ring DP == brute force" trial) opt cost;
+    Util.check_cost "self-consistent"
+      (Dmn_core.Cost.total_mst inst ~x:0 copies)
+      cost
+  done
+
+let ring_rejects_writes_and_non_rings () =
+  let rng = Rng.create 119 in
+  let inst = Util.random_tree_instance rng 6 in
+  (match Dmn_loadmodel.Ring_ro.opt inst ~x:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tree accepted as ring");
+  let g = Dmn_graph.Gen.ring 5 in
+  let inst2 =
+    I.of_graph g ~cs:(Array.make 5 1.0) ~fr:[| Array.make 5 1 |] ~fw:[| Array.make 5 1 |]
+  in
+  match Dmn_loadmodel.Ring_ro.opt inst2 ~x:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "writes accepted"
+
+let suite =
+  [
+    Alcotest.test_case "per-edge LB is a bound" `Quick lower_bound_is_a_bound;
+    Alcotest.test_case "edge loads == total cost (cs=0)" `Quick edge_loads_sum_matches_cost;
+    Alcotest.test_case "optimum attains per-edge minima" `Quick optimum_attains_per_edge_minimum;
+    Alcotest.test_case "optimum attains each edge minimum" `Quick optimum_attains_every_edge_minimum;
+    Alcotest.test_case "complete net closed form" `Quick complete_net_matches_bruteforce;
+    Alcotest.test_case "complete net write pressure" `Quick complete_net_write_pressure;
+    Alcotest.test_case "net load == cost model" `Quick net_load_matches_cost_model;
+    Alcotest.test_case "net load sums objects" `Quick net_load_placement_sums_objects;
+    Alcotest.test_case "ring DP == brute force" `Quick ring_opt_matches_bruteforce;
+    Alcotest.test_case "ring DP input validation" `Quick ring_rejects_writes_and_non_rings;
+  ]

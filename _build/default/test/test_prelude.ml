@@ -1,0 +1,179 @@
+open Dmn_prelude
+
+let rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let b = 1 + Rng.int rng 1000 in
+    let v = Rng.int rng b in
+    if v < 0 || v >= b then Alcotest.failf "Rng.int out of range: %d not in [0,%d)" v b
+  done
+
+let rng_int_in_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "Rng.int_in out of range: %d" v
+  done
+
+let rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let rng_int_roughly_uniform () =
+  let rng = Rng.create 10 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = samples / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let rng_sample_distinct () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 200 do
+    let a = Array.init 20 (fun i -> i) in
+    let s = Rng.sample rng a 7 in
+    Alcotest.(check int) "size" 7 (Array.length s);
+    let l = Array.to_list s in
+    Alcotest.(check int) "distinct" 7 (List.length (List.sort_uniq compare l))
+  done
+
+let rng_zipf_range_and_skew () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf rng ~n:10 ~s:1.0 in
+    if v < 1 || v > 10 then Alcotest.failf "zipf out of range: %d" v;
+    counts.(v - 1) <- counts.(v - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true (counts.(0) > counts.(4));
+  Alcotest.(check bool) "rank 5 beats rank 10" true (counts.(4) > counts.(9))
+
+let rng_split_independent () =
+  let a = Rng.create 77 in
+  let b = Rng.split a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (va <> vb)
+
+let stats_basics () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Util.check_float "mean" 2.5 (Stats.mean a);
+  Util.check_float "variance" 1.25 (Stats.variance a);
+  Util.check_float "min" 1.0 (Stats.min a);
+  Util.check_float "max" 4.0 (Stats.max a);
+  Util.check_float "median" 2.5 (Stats.median a)
+
+let stats_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Util.check_float "p0" 10.0 (Stats.percentile a 0.0);
+  Util.check_float "p100" 50.0 (Stats.percentile a 100.0);
+  Util.check_float "p50" 30.0 (Stats.percentile a 50.0);
+  Util.check_float "p25" 20.0 (Stats.percentile a 25.0)
+
+let stats_geo_mean () =
+  Util.check_float "geo" 2.0 (Stats.geo_mean [| 1.0; 2.0; 4.0 |])
+
+let stats_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let floatx_approx () =
+  Alcotest.(check bool) "equal" true (Floatx.approx 1.0 1.0);
+  Alcotest.(check bool) "close" true (Floatx.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Floatx.approx 1.0 1.1);
+  Alcotest.(check bool) "relative" true (Floatx.approx 1e12 (1e12 +. 1.0))
+
+let floatx_sum_stable () =
+  (* compensated sum of many tiny values plus a big one *)
+  let a = Array.make 10_001 1e-10 in
+  a.(0) <- 1e10;
+  let s = Floatx.sum a in
+  Util.check_float "compensated" (1e10 +. 1e-6) s
+
+let tbl_renders () =
+  let t = Tbl.create [ "name"; "value" ] in
+  Tbl.add_row t [ "alpha"; "1.5" ];
+  Tbl.add_row t [ "beta"; "20" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "contains alpha" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0));
+  (* all lines same width *)
+  let widths = String.split_on_char '\n' s |> List.map String.length in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let tbl_arity_check () =
+  let t = Tbl.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tbl.add_row: arity mismatch") (fun () ->
+      Tbl.add_row t [ "only-one" ])
+
+let qcheck_rng_bounds =
+  QCheck.Test.make ~name:"Rng.int always in range" ~count:1000
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean between min and max" ~count:500
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun a ->
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-9 && m <= Stats.max a +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick rng_int_bounds;
+    Alcotest.test_case "rng int_in bounds" `Quick rng_int_in_bounds;
+    Alcotest.test_case "rng float bounds" `Quick rng_float_bounds;
+    Alcotest.test_case "rng uniformity" `Quick rng_int_roughly_uniform;
+    Alcotest.test_case "rng shuffle permutes" `Quick rng_shuffle_permutes;
+    Alcotest.test_case "rng sample distinct" `Quick rng_sample_distinct;
+    Alcotest.test_case "rng zipf skew" `Quick rng_zipf_range_and_skew;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    Alcotest.test_case "stats basics" `Quick stats_basics;
+    Alcotest.test_case "stats percentile" `Quick stats_percentile;
+    Alcotest.test_case "stats geo mean" `Quick stats_geo_mean;
+    Alcotest.test_case "stats empty raises" `Quick stats_empty_raises;
+    Alcotest.test_case "floatx approx" `Quick floatx_approx;
+    Alcotest.test_case "floatx compensated sum" `Quick floatx_sum_stable;
+    Alcotest.test_case "tbl renders rectangular" `Quick tbl_renders;
+    Alcotest.test_case "tbl arity check" `Quick tbl_arity_check;
+    Util.qtest qcheck_rng_bounds;
+    Util.qtest qcheck_stats_mean_bounds;
+  ]

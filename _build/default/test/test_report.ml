@@ -1,0 +1,54 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module R = Dmn_core.Report
+
+let audit_of_approx_is_clean () =
+  let rng = Rng.create 161 in
+  for _ = 1 to 8 do
+    let n = 4 + Rng.int rng 8 in
+    let inst = Util.random_graph_instance ~objects:2 rng n in
+    let p = Dmn_core.Approx.solve inst in
+    let report = R.build inst p in
+    Alcotest.(check int) "objects" 2 (List.length report.R.objects);
+    List.iter
+      (fun o ->
+        Alcotest.(check bool) "proper" true o.R.proper;
+        Alcotest.(check bool) "share in [0,1]" true
+          (o.R.max_service_share >= 0.0 && o.R.max_service_share <= 1.0 +. 1e-9))
+      report.R.objects;
+    (* totals add up *)
+    let manual = Dmn_core.Cost.placement_mst inst p in
+    Util.check_cost "total matches" (Dmn_core.Cost.total manual) (Dmn_core.Cost.total report.R.total)
+  done
+
+let audit_flags_bad_placement () =
+  (* full replication on a write-heavy instance is not proper: copies
+     are too close together relative to their write radii *)
+  let g = Dmn_graph.Gen.path 6 in
+  let cs = Array.make 6 1.0 in
+  let fr = [| Array.make 6 1 |] in
+  let fw = [| Array.make 6 5 |] in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let p = Dmn_core.Placement.uniform ~objects:1 (List.init 6 Fun.id) in
+  let report = R.build inst p in
+  let o = List.hd report.R.objects in
+  Alcotest.(check bool) "not proper" false o.R.proper;
+  Alcotest.(check bool) "has violations" true (o.R.violations <> [])
+
+let render_contains_rows () =
+  let rng = Rng.create 162 in
+  let inst = Util.random_graph_instance ~objects:3 rng 6 in
+  let p = Dmn_core.Approx.solve inst in
+  let s = R.render (R.build inst p) in
+  Alcotest.(check bool) "mentions totals" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> String.length l >= 6 && String.sub l 0 6 = "total:") lines)
+
+let suite =
+  [
+    Alcotest.test_case "audit of approx output" `Quick audit_of_approx_is_clean;
+    Alcotest.test_case "audit flags bad placements" `Quick audit_flags_bad_placement;
+    Alcotest.test_case "render" `Quick render_contains_rows;
+  ]

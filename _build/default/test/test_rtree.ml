@@ -1,0 +1,101 @@
+open Dmn_prelude
+open Dmn_graph
+module R = Dmn_tree.Rtree
+
+let of_graph_path () =
+  let rt = R.of_graph (Gen.path 5) ~root:2 in
+  Alcotest.(check int) "root" 2 rt.R.root;
+  Alcotest.(check int) "root parent" (-1) rt.R.parent.(2);
+  Alcotest.(check int) "parent of 1" 2 rt.R.parent.(1);
+  Alcotest.(check int) "parent of 0" 1 rt.R.parent.(0);
+  Alcotest.(check int) "height" 2 (R.height rt)
+
+let rejects_non_tree () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Rtree.of_graph: not a tree") (fun () ->
+      ignore (R.of_graph (Gen.ring 4) ~root:0))
+
+let post_order_children_first () =
+  let rng = Rng.create 101 in
+  for _ = 1 to 25 do
+    let n = 1 + Rng.int rng 30 in
+    let rt = R.of_graph (Gen.random_tree rng n) ~root:(Rng.int rng n) in
+    let seen = Array.make n false in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun c -> Alcotest.(check bool) "child before parent" true seen.(c))
+          rt.R.children.(v);
+        seen.(v) <- true)
+      rt.R.post_order;
+    Alcotest.(check bool) "all visited" true (Array.for_all Fun.id seen)
+  done
+
+let subtree_sizes_consistent () =
+  let rng = Rng.create 102 in
+  for _ = 1 to 25 do
+    let n = 1 + Rng.int rng 30 in
+    let rt = R.of_graph (Gen.random_tree rng n) ~root:0 in
+    let sizes = R.subtree_size rt in
+    Alcotest.(check int) "root size" n sizes.(0);
+    for v = 0 to n - 1 do
+      let child_sum = Array.fold_left (fun acc c -> acc + sizes.(c)) 0 rt.R.children.(v) in
+      Alcotest.(check int) "size = 1 + children" (child_sum + 1) sizes.(v)
+    done
+  done
+
+let dist_to_root_matches_dijkstra () =
+  let rng = Rng.create 103 in
+  for _ = 1 to 15 do
+    let n = 2 + Rng.int rng 25 in
+    let g = Gen.random_tree rng n in
+    let root = Rng.int rng n in
+    let rt = R.of_graph g ~root in
+    let dist = R.dist_to_root rt in
+    let d = (Dmn_paths.Dijkstra.run g root).Dmn_paths.Dijkstra.dist in
+    Array.iteri (fun v x -> Util.check_cost "tree dist == dijkstra" d.(v) x) dist
+  done
+
+let in_subtree_correct () =
+  let rt = R.of_graph (Gen.path 5) ~root:0 in
+  Alcotest.(check bool) "4 in T_2" true (R.in_subtree rt ~v:2 4);
+  Alcotest.(check bool) "1 not in T_2" false (R.in_subtree rt ~v:2 1);
+  Alcotest.(check bool) "self" true (R.in_subtree rt ~v:3 3)
+
+let binarize_depth_bound () =
+  (* depth grows by at most a log(deg) factor *)
+  let rng = Rng.create 104 in
+  for _ = 1 to 15 do
+    let n = 2 + Rng.int rng 60 in
+    let g = Gen.random_tree rng n in
+    let rt = R.of_graph g ~root:0 in
+    let b = Dmn_tree.Binarize.run rt in
+    let deg = Dmn_graph.Wgraph.max_degree g in
+    let lg = int_of_float (ceil (Float.log (float_of_int (max 2 deg)) /. Float.log 2.0)) in
+    let bound = (R.height rt + 1) * (lg + 1) + 1 in
+    Alcotest.(check bool) "binarized depth bounded" true
+      (R.height b.Dmn_tree.Binarize.tree <= bound)
+  done
+
+let binarize_star () =
+  let g = Gen.star 17 in
+  let rt = R.of_graph g ~root:0 in
+  let b = Dmn_tree.Binarize.run rt in
+  Alcotest.(check bool) "binary" true (Dmn_tree.Binarize.max_children b <= 2);
+  (* 16 leaves need 15-ish dummies in a balanced gadget; all leaves at
+     weighted distance 1 from the root *)
+  let dist = R.dist_to_root b.Dmn_tree.Binarize.tree in
+  for v = 1 to 16 do
+    Util.check_float "leaf distance preserved" 1.0 dist.(b.Dmn_tree.Binarize.repr.(v))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "of_graph path" `Quick of_graph_path;
+    Alcotest.test_case "rejects non-tree" `Quick rejects_non_tree;
+    Alcotest.test_case "post order" `Quick post_order_children_first;
+    Alcotest.test_case "subtree sizes" `Quick subtree_sizes_consistent;
+    Alcotest.test_case "dist to root" `Quick dist_to_root_matches_dijkstra;
+    Alcotest.test_case "in_subtree" `Quick in_subtree_correct;
+    Alcotest.test_case "binarize depth bound" `Quick binarize_depth_bound;
+    Alcotest.test_case "binarize star" `Quick binarize_star;
+  ]

@@ -1,0 +1,68 @@
+open Dmn_prelude
+module I = Dmn_core.Instance
+module S = Dmn_core.Serial
+
+let instance_roundtrip () =
+  let rng = Rng.create 91 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 15 in
+    let inst = Util.random_graph_instance ~objects:(1 + Rng.int rng 3) rng n in
+    let inst2 = S.instance_of_string (S.instance_to_string inst) in
+    Alcotest.(check int) "n" (I.n inst) (I.n inst2);
+    Alcotest.(check int) "objects" (I.objects inst) (I.objects inst2);
+    for v = 0 to n - 1 do
+      Util.check_float "cs" (I.cs inst v) (I.cs inst2 v);
+      for x = 0 to I.objects inst - 1 do
+        Alcotest.(check int) "fr" (I.reads inst ~x v) (I.reads inst2 ~x v);
+        Alcotest.(check int) "fw" (I.writes inst ~x v) (I.writes inst2 ~x v)
+      done
+    done;
+    (* metrics agree *)
+    let m1 = I.metric inst and m2 = I.metric inst2 in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        Util.check_cost "metric preserved" (Dmn_paths.Metric.d m1 u v) (Dmn_paths.Metric.d m2 u v)
+      done
+    done
+  done
+
+let placement_roundtrip () =
+  let p = Dmn_core.Placement.make [| [ 3; 1 ]; [ 0 ]; [ 2; 4; 5 ] |] in
+  let p2 = S.placement_of_string (S.placement_to_string p) in
+  Alcotest.(check int) "objects" 3 (Dmn_core.Placement.objects p2);
+  for x = 0 to 2 do
+    Alcotest.(check (list int)) "copies"
+      (Dmn_core.Placement.copies p ~x)
+      (Dmn_core.Placement.copies p2 ~x)
+  done
+
+let rejects_garbage () =
+  (match S.instance_of_string "not an instance" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  match S.placement_of_string "dmnet-instance v1" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "wrong header accepted"
+
+let comments_ignored () =
+  let inst = Util.random_graph_instance (Rng.create 1) 4 in
+  let s = "# a comment\n" ^ S.instance_to_string inst in
+  let inst2 = S.instance_of_string s in
+  Alcotest.(check int) "n" (I.n inst) (I.n inst2)
+
+let file_io () =
+  let path = Filename.temp_file "dmnet" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.write_file path "hello\nworld";
+      Alcotest.(check string) "roundtrip" "hello\nworld" (S.read_file path))
+
+let suite =
+  [
+    Alcotest.test_case "instance round trip" `Quick instance_roundtrip;
+    Alcotest.test_case "placement round trip" `Quick placement_roundtrip;
+    Alcotest.test_case "rejects garbage" `Quick rejects_garbage;
+    Alcotest.test_case "comments ignored" `Quick comments_ignored;
+    Alcotest.test_case "file io" `Quick file_io;
+  ]

@@ -1,0 +1,168 @@
+open Dmn_prelude
+open Dmn_graph
+open Dmn_paths
+open Dmn_span
+
+let dsu_basics () =
+  let d = Dmn_dsu.Dsu.create 6 in
+  Alcotest.(check int) "initial count" 6 (Dmn_dsu.Dsu.count d);
+  Alcotest.(check bool) "union" true (Dmn_dsu.Dsu.union d 0 1);
+  Alcotest.(check bool) "redundant union" false (Dmn_dsu.Dsu.union d 1 0);
+  Alcotest.(check bool) "same" true (Dmn_dsu.Dsu.same d 0 1);
+  Alcotest.(check bool) "not same" false (Dmn_dsu.Dsu.same d 0 2);
+  ignore (Dmn_dsu.Dsu.union d 2 3);
+  ignore (Dmn_dsu.Dsu.union d 0 2);
+  Alcotest.(check int) "count" 3 (Dmn_dsu.Dsu.count d);
+  Alcotest.(check int) "size" 4 (Dmn_dsu.Dsu.size d 3)
+
+let mst_known () =
+  (* classic 4-node example *)
+  let g =
+    Wgraph.create 4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 3.0); (3, 0, 4.0); (0, 2, 5.0) ]
+  in
+  let _, wk = Kruskal.mst g in
+  let _, wp = Prim.mst g in
+  Util.check_float "kruskal" 6.0 wk;
+  Util.check_float "prim" 6.0 wp
+
+let kruskal_equals_prim () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 40 in
+    let g = Gen.erdos_renyi rng n 0.2 in
+    let edges_k, wk = Kruskal.mst g in
+    let edges_p, wp = Prim.mst g in
+    Util.check_cost "same weight" wk wp;
+    Alcotest.(check int) "kruskal tree edges" (n - 1) (List.length edges_k);
+    Alcotest.(check int) "prim tree edges" (n - 1) (List.length edges_p);
+    (* both must be spanning and acyclic *)
+    let check_spanning edges =
+      let d = Dmn_dsu.Dsu.create n in
+      List.iter (fun (u, v, _) -> ignore (Dmn_dsu.Dsu.union d u v)) edges;
+      Alcotest.(check int) "spanning" 1 (Dmn_dsu.Dsu.count d)
+    in
+    check_spanning edges_k;
+    check_spanning edges_p
+  done
+
+let mst_of_subset_cases () =
+  let m = Metric.of_graph (Gen.path 5) in
+  let edges, w = Kruskal.mst_of_subset m [ 0; 2; 4 ] in
+  Util.check_float "path subset" 4.0 w;
+  Alcotest.(check int) "two edges" 2 (List.length edges);
+  let _, w0 = Kruskal.mst_of_subset m [] in
+  Util.check_float "empty" 0.0 w0;
+  let _, w1 = Kruskal.mst_of_subset m [ 3 ] in
+  Util.check_float "singleton" 0.0 w1;
+  let _, wd = Kruskal.mst_of_subset m [ 1; 1; 3 ] in
+  Util.check_float "duplicates ignored" 2.0 wd
+
+let steiner_approx_valid_tree () =
+  let rng = Rng.create 32 in
+  for _ = 1 to 25 do
+    let n = 3 + Rng.int rng 25 in
+    let g = Gen.erdos_renyi rng n 0.25 in
+    let k = 2 + Rng.int rng (min 6 (n - 1)) in
+    let terminals = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+    let edges, w = Steiner.approx g terminals in
+    (* tree connects the terminals *)
+    let d = Dmn_dsu.Dsu.create n in
+    List.iter (fun (u, v, _) -> ignore (Dmn_dsu.Dsu.union d u v)) edges;
+    let t0 = List.hd terminals in
+    List.iter
+      (fun t -> Alcotest.(check bool) "terminal connected" true (Dmn_dsu.Dsu.same d t0 t))
+      terminals;
+    (* acyclic: edges <= nodes - 1 within the touched node set *)
+    let touched = Hashtbl.create 16 in
+    List.iter
+      (fun (u, v, _) ->
+        Hashtbl.replace touched u ();
+        Hashtbl.replace touched v ())
+      edges;
+    Alcotest.(check bool) "forest" true (List.length edges <= max 0 (Hashtbl.length touched - 1));
+    Util.check_cost "weight consistent" w
+      (List.fold_left (fun acc (_, _, x) -> acc +. x) 0.0 edges)
+  done
+
+let steiner_two_approx () =
+  let rng = Rng.create 33 in
+  for _ = 1 to 25 do
+    let n = 3 + Rng.int rng 10 in
+    let g = Gen.erdos_renyi rng n 0.3 in
+    let m = Metric.of_graph g in
+    let k = 2 + Rng.int rng (min 5 (n - 1)) in
+    let terminals = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+    let _, w_approx = Steiner.approx g terminals in
+    let w_mst_metric = Steiner.approx_weight_metric m terminals in
+    let w_exact = Steiner.exact_weight m terminals in
+    Util.check_leq "exact <= approx" w_exact (w_approx +. 1e-9);
+    Util.check_leq "approx <= 2 exact" w_approx (2.0 *. w_exact +. 1e-9);
+    Util.check_leq "metric mst <= 2 exact" w_mst_metric (2.0 *. w_exact +. 1e-9);
+    Util.check_leq "exact <= metric mst" w_exact (w_mst_metric +. 1e-9)
+  done
+
+let steiner_exact_on_star () =
+  (* star with center 0: terminals = leaves; optimum uses the center *)
+  let g = Gen.star 5 in
+  let m = Metric.of_graph g in
+  Util.check_float "star steiner" 4.0 (Steiner.exact_weight m [ 1; 2; 3; 4 ]);
+  (* metric-closure MST over the leaves costs 2 per pair joined *)
+  Util.check_float "leaf mst" 6.0 (Steiner.approx_weight_metric m [ 1; 2; 3; 4 ])
+
+let steiner_all_roots_consistent () =
+  let rng = Rng.create 34 in
+  for _ = 1 to 15 do
+    let n = 3 + Rng.int rng 8 in
+    let g = Gen.erdos_renyi rng n 0.3 in
+    let m = Metric.of_graph g in
+    let k = 1 + Rng.int rng (min 4 n) in
+    let terminals = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+    let table = Steiner.exact_all_roots m terminals in
+    for v = 0 to n - 1 do
+      Util.check_cost "all_roots row" (Steiner.exact_weight m (v :: terminals)) table.(v)
+    done
+  done
+
+let steiner_degenerate () =
+  let g = Gen.path 4 in
+  let m = Metric.of_graph g in
+  let _, w = Steiner.approx g [ 2 ] in
+  Util.check_float "single terminal" 0.0 w;
+  Util.check_float "exact single" 0.0 (Steiner.exact_weight m [ 2 ]);
+  Util.check_float "exact empty" 0.0 (Steiner.exact_weight m [])
+
+let qcheck_mst_agreement =
+  QCheck.Test.make ~name:"Prim == Kruskal weights" ~count:100
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng n 0.3 in
+      Dmn_prelude.Floatx.approx ~tol:1e-6 (snd (Kruskal.mst g)) (snd (Prim.mst g)))
+
+let qcheck_steiner_bound =
+  QCheck.Test.make ~name:"Steiner approx within 2x exact" ~count:60
+    QCheck.(pair small_int (int_range 3 9))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng n 0.4 in
+      let m = Metric.of_graph g in
+      let k = min n (2 + Rng.int rng 4) in
+      let terminals = Array.to_list (Rng.sample rng (Array.init n (fun i -> i)) k) in
+      let _, w = Steiner.approx g terminals in
+      let e = Steiner.exact_weight m terminals in
+      w <= (2.0 *. e) +. 1e-6 && e <= w +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "dsu basics" `Quick dsu_basics;
+    Alcotest.test_case "mst known example" `Quick mst_known;
+    Alcotest.test_case "kruskal == prim" `Quick kruskal_equals_prim;
+    Alcotest.test_case "mst of metric subset" `Quick mst_of_subset_cases;
+    Alcotest.test_case "steiner approx is a connecting forest" `Quick steiner_approx_valid_tree;
+    Alcotest.test_case "steiner 2-approximation bound" `Quick steiner_two_approx;
+    Alcotest.test_case "steiner star example" `Quick steiner_exact_on_star;
+    Alcotest.test_case "exact_all_roots consistency" `Quick steiner_all_roots_consistent;
+    Alcotest.test_case "steiner degenerate inputs" `Quick steiner_degenerate;
+    Util.qtest qcheck_mst_agreement;
+    Util.qtest qcheck_steiner_bound;
+  ]

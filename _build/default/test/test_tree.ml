@@ -1,0 +1,205 @@
+(* Tree DP validation: the Section-3 algorithms must equal the
+   exhaustive tree optimum, read-only and general. *)
+
+open Dmn_prelude
+module I = Dmn_core.Instance
+module T = Dmn_tree.Tree_solver
+module TE = Dmn_tree.Tree_exact
+module TD = Dmn_tree.Tdata
+
+let read_only_instance rng n =
+  let g = Dmn_graph.Gen.random_tree rng n in
+  let cs = Array.init n (fun _ -> Rng.float_in rng 0.5 25.0) in
+  let fr = [| Array.init n (fun _ -> Rng.int rng 5) |] in
+  let fw = [| Array.make n 0 |] in
+  I.of_graph g ~cs ~fr ~fw
+
+let dp_matches_bruteforce_ro () =
+  let rng = Rng.create 42 in
+  for trial = 1 to 120 do
+    let n = 2 + Rng.int rng 9 in
+    let inst = read_only_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies, cost = T.place_object inst ~x:0 in
+      let _, opt = TE.opt inst ~x:0 ~root:0 in
+      Util.check_cost (Printf.sprintf "trial %d (n=%d) read-only dp vs brute force" trial n) opt cost;
+      Util.check_cost
+        (Printf.sprintf "trial %d reported cost matches placement" trial)
+        (TE.cost inst ~x:0 ~root:0 copies)
+        cost
+    end
+  done
+
+let dp_matches_bruteforce_rw () =
+  let rng = Rng.create 7 in
+  for trial = 1 to 120 do
+    let n = 2 + Rng.int rng 9 in
+    let inst = Util.random_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let copies, cost = T.place_object inst ~x:0 in
+      let _, opt = TE.opt inst ~x:0 ~root:0 in
+      Util.check_cost (Printf.sprintf "trial %d (n=%d) general dp vs brute force" trial n) opt cost;
+      Util.check_cost
+        (Printf.sprintf "trial %d reported cost matches placement" trial)
+        (TE.cost inst ~x:0 ~root:0 copies)
+        cost
+    end
+  done
+
+let dp_root_independent () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 40 do
+    let n = 3 + Rng.int rng 8 in
+    let inst = Util.random_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let _, c0 = T.place_object ~root:0 inst ~x:0 in
+      let root = Rng.int rng n in
+      let _, cr = T.place_object ~root inst ~x:0 in
+      Util.check_cost "optimal cost must not depend on the chosen root" c0 cr
+    end
+  done
+
+let ro_equals_rw_on_read_only () =
+  let rng = Rng.create 4242 in
+  for _ = 1 to 60 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = read_only_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let td = TD.of_instance inst ~x:0 ~root:0 in
+      let _, c_ro = Dmn_tree.Ro_dp.solve td in
+      let _, c_rw = Dmn_tree.Rw_dp.solve td in
+      Util.check_cost "Ro_dp and Rw_dp agree on read-only input" c_ro c_rw
+    end
+  done
+
+let exact_cost_matches_dw_model () =
+  (* Tree_exact's per-edge write cost must equal the Dreyfus-Wagner
+     Steiner evaluation of Dmn_core.Cost.eval_exact. *)
+  let rng = Rng.create 11 in
+  for _ = 1 to 40 do
+    let n = 2 + Rng.int rng 8 in
+    let inst = Util.random_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let k = 1 + Rng.int rng n in
+      let copies =
+        List.sort_uniq compare (List.init k (fun _ -> Rng.int rng n))
+      in
+      let via_edges = TE.cost inst ~x:0 ~root:0 copies in
+      let via_dw = Dmn_core.Cost.total_exact inst ~x:0 copies in
+      Util.check_cost "tree edge-decomposition vs Steiner write cost" via_dw via_edges
+    end
+  done
+
+let binarize_properties () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 40 in
+    let g = Dmn_graph.Gen.random_tree rng n in
+    let rt = Dmn_tree.Rtree.of_graph g ~root:0 in
+    let b = Dmn_tree.Binarize.run rt in
+    Alcotest.(check bool) "binary" true (Dmn_tree.Binarize.max_children b <= 2);
+    (* distances between real nodes preserved *)
+    let bt = b.Dmn_tree.Binarize.tree in
+    let dist_bin = Dmn_tree.Rtree.dist_to_root bt in
+    let dist_orig = Dmn_tree.Rtree.dist_to_root rt in
+    for v = 0 to n - 1 do
+      Util.check_cost "root distance preserved under binarization" dist_orig.(v)
+        dist_bin.(b.Dmn_tree.Binarize.repr.(v))
+    done
+  done
+
+let sufficient_set_bounds () =
+  (* Lemma 12 / Section 3.2: |imports| <= |Tv|, exports <= |Tv| + 1,
+     general case <= 3|Tv| + 2 in total. *)
+  let rng = Rng.create 31 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = Util.random_tree_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let td = TD.of_instance inst ~x:0 ~root:0 in
+      let bt = td.TD.bin.Dmn_tree.Binarize.tree in
+      let sizes = Dmn_tree.Rtree.subtree_size bt in
+      let counts = Dmn_tree.Rw_dp.tuple_counts td in
+      Array.iteri
+        (fun v (i0, i1, e) ->
+          let bound = (3 * sizes.(v)) + 2 in
+          if i0 + i1 + e > bound then
+            Alcotest.failf "sufficient set too large at node %d: %d+%d+%d > %d" v i0 i1 e bound)
+        counts
+    end
+  done
+
+let literal_transcription_agrees () =
+  (* the Claim-15/16 transcription must agree with both the
+     envelope-based DP and the brute force on read-only objects *)
+  let rng = Rng.create 777 in
+  for trial = 1 to 150 do
+    let n = 2 + Rng.int rng 12 in
+    let inst = read_only_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let td = TD.of_instance inst ~x:0 ~root:0 in
+      let literal = Dmn_tree.Ro_dp_literal.solve_cost td in
+      let _, envelope = Dmn_tree.Ro_dp.solve td in
+      Util.check_cost (Printf.sprintf "trial %d literal == envelope" trial) envelope literal
+    end
+  done
+
+let literal_tuple_bounds () =
+  (* Lemma 12: imports <= |Tv|, exports <= |Tv| + 1 per subtree *)
+  let rng = Rng.create 778 in
+  for _ = 1 to 30 do
+    let n = 2 + Rng.int rng 15 in
+    let inst = read_only_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let td = TD.of_instance inst ~x:0 ~root:0 in
+      let bt = td.TD.bin.Dmn_tree.Binarize.tree in
+      let sizes = Dmn_tree.Rtree.subtree_size bt in
+      Array.iteri
+        (fun v (imports, exports) ->
+          if imports > sizes.(v) then
+            Alcotest.failf "node %d: %d imports > |Tv| = %d" v imports sizes.(v);
+          if exports > sizes.(v) + 1 then
+            Alcotest.failf "node %d: %d exports > |Tv|+1 = %d" v exports (sizes.(v) + 1))
+        (Dmn_tree.Ro_dp_literal.tuple_counts td)
+    end
+  done
+
+(* qcheck differential property: encode a random tree instance as a
+   seed-and-size pair, compare DP vs brute force *)
+let qcheck_dp_equals_bruteforce =
+  QCheck.Test.make ~name:"tree DP == brute force (qcheck)" ~count:150
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Util.random_tree_instance rng n in
+      I.total_requests inst ~x:0 = 0
+      ||
+      let _, dp = T.place_object inst ~x:0 in
+      let _, opt = TE.opt inst ~x:0 ~root:0 in
+      Floatx.approx ~tol:1e-6 dp opt)
+
+let qcheck_dp_cost_realizable =
+  QCheck.Test.make ~name:"tree DP returns a set achieving its cost" ~count:150
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Util.random_tree_instance rng n in
+      I.total_requests inst ~x:0 = 0
+      ||
+      let copies, cost = T.place_object inst ~x:0 in
+      Floatx.approx ~tol:1e-6 (TE.cost inst ~x:0 ~root:0 copies) cost)
+
+let suite =
+  [
+    Alcotest.test_case "read-only DP == brute force" `Quick dp_matches_bruteforce_ro;
+    Alcotest.test_case "general DP == brute force" `Quick dp_matches_bruteforce_rw;
+    Alcotest.test_case "root independence" `Quick dp_root_independent;
+    Alcotest.test_case "Ro_dp == Rw_dp on read-only" `Quick ro_equals_rw_on_read_only;
+    Alcotest.test_case "edge decomposition == Steiner model" `Quick exact_cost_matches_dw_model;
+    Alcotest.test_case "binarization preserves distances" `Quick binarize_properties;
+    Alcotest.test_case "sufficient set size bounds" `Quick sufficient_set_bounds;
+    Alcotest.test_case "literal Claim-15/16 transcription" `Quick literal_transcription_agrees;
+    Alcotest.test_case "Lemma 12 tuple bounds (literal)" `Quick literal_tuple_bounds;
+    Util.qtest qcheck_dp_equals_bruteforce;
+    Util.qtest qcheck_dp_cost_realizable;
+  ]

@@ -1,0 +1,107 @@
+open Dmn_prelude
+open Dmn_workload
+module I = Dmn_core.Instance
+
+let sum2 m = Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 m
+
+let uniform_shapes () =
+  let rng = Rng.create 81 in
+  let m = Freq.uniform rng ~objects:3 ~n:10 ~max_count:4 in
+  Alcotest.(check int) "objects" 3 (Array.length m.Freq.fr);
+  Alcotest.(check int) "nodes" 10 (Array.length m.Freq.fr.(0));
+  Array.iter
+    (Array.iter (fun c -> if c < 0 || c > 4 then Alcotest.failf "count out of range %d" c))
+    m.Freq.fr
+
+let mix_totals () =
+  let rng = Rng.create 82 in
+  let m = Freq.mix rng ~objects:2 ~n:8 ~total:100 ~write_fraction:0.3 in
+  for x = 0 to 1 do
+    let reads = Array.fold_left ( + ) 0 m.Freq.fr.(x) in
+    let writes = Array.fold_left ( + ) 0 m.Freq.fw.(x) in
+    Alcotest.(check int) "conserved" 100 (reads + writes)
+  done;
+  (* write fraction roughly honored over both objects *)
+  let writes = sum2 m.Freq.fw in
+  Alcotest.(check bool) "rough fraction" true (writes > 30 && writes < 90)
+
+let mix_extremes () =
+  let rng = Rng.create 83 in
+  let m0 = Freq.mix rng ~objects:1 ~n:5 ~total:50 ~write_fraction:0.0 in
+  Alcotest.(check int) "no writes" 0 (sum2 m0.Freq.fw);
+  let m1 = Freq.mix rng ~objects:1 ~n:5 ~total:50 ~write_fraction:1.0 in
+  Alcotest.(check int) "all writes" 0 (sum2 m1.Freq.fr)
+
+let zipf_skew () =
+  let rng = Rng.create 84 in
+  let m = Freq.zipf rng ~objects:1 ~n:20 ~requests:2000 ~s:1.2 ~write_ratio:0.1 in
+  let reads = Array.fold_left ( + ) 0 m.Freq.fr.(0) in
+  Alcotest.(check int) "request volume" 2000 reads;
+  let writes = Array.fold_left ( + ) 0 m.Freq.fw.(0) in
+  Alcotest.(check int) "write volume" 200 writes;
+  (* skew: the most popular node holds far more than the average *)
+  let top = Array.fold_left max 0 m.Freq.fr.(0) in
+  Alcotest.(check bool) "skewed" true (top > 3 * (reads / 20))
+
+let hotspot_counts () =
+  let rng = Rng.create 85 in
+  let m = Freq.hotspot rng ~objects:1 ~n:12 ~readers:3 ~writers:2 ~volume:7 in
+  let readers = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 m.Freq.fr.(0) in
+  let writers = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 m.Freq.fw.(0) in
+  Alcotest.(check int) "readers" 3 readers;
+  Alcotest.(check int) "writers" 2 writers;
+  Alcotest.(check int) "volume" 21 (sum2 m.Freq.fr)
+
+let scale_writes_works () =
+  let rng = Rng.create 86 in
+  let m = Freq.mix rng ~objects:1 ~n:6 ~total:40 ~write_fraction:0.5 in
+  let doubled = Freq.scale_writes 2.0 m in
+  Alcotest.(check int) "doubled" (2 * sum2 m.Freq.fw) (sum2 doubled.Freq.fw);
+  let zeroed = Freq.scale_writes 0.0 m in
+  Alcotest.(check int) "zeroed" 0 (sum2 zeroed.Freq.fw);
+  Alcotest.(check int) "reads untouched" (sum2 m.Freq.fr) (sum2 zeroed.Freq.fr)
+
+let scenarios_build () =
+  let rng = Rng.create 87 in
+  let cdn = Scenario.web_cdn rng ~clusters:3 ~per_cluster:5 ~objects:2 in
+  Alcotest.(check int) "cdn nodes" 15 (I.n cdn);
+  Alcotest.(check int) "cdn objects" 2 (I.objects cdn);
+  let vsm = Scenario.vsm_mesh rng ~rows:4 ~cols:4 ~objects:2 in
+  Alcotest.(check int) "vsm nodes" 16 (I.n vsm);
+  let dfs = Scenario.distributed_fs rng ~n:12 ~objects:2 in
+  Alcotest.(check int) "dfs nodes" 12 (I.n dfs);
+  Alcotest.(check bool) "dfs is tree" true
+    (match I.graph dfs with Some g -> Dmn_graph.Wgraph.is_tree g | None -> false);
+  let tl = Scenario.total_load rng ~n:10 ~objects:1 in
+  for v = 0 to 9 do
+    Util.check_float "total-load storage free" 0.0 (I.cs tl v)
+  done
+
+let scenarios_deterministic () =
+  let build seed = Scenario.web_cdn (Rng.create seed) ~clusters:2 ~per_cluster:4 ~objects:1 in
+  let a = build 5 and b = build 5 in
+  for v = 0 to I.n a - 1 do
+    Util.check_float "same cs" (I.cs a v) (I.cs b v);
+    Alcotest.(check int) "same fr" (I.reads a ~x:0 v) (I.reads b ~x:0 v)
+  done
+
+let qcheck_mix_conserves =
+  QCheck.Test.make ~name:"mix conserves request volume" ~count:100
+    QCheck.(triple small_int (int_range 1 30) (int_range 0 100))
+    (fun (seed, n, total) ->
+      let rng = Rng.create seed in
+      let m = Freq.mix rng ~objects:1 ~n ~total ~write_fraction:0.5 in
+      Array.fold_left ( + ) 0 m.Freq.fr.(0) + Array.fold_left ( + ) 0 m.Freq.fw.(0) = total)
+
+let suite =
+  [
+    Alcotest.test_case "uniform shapes" `Quick uniform_shapes;
+    Alcotest.test_case "mix totals" `Quick mix_totals;
+    Alcotest.test_case "mix extremes" `Quick mix_extremes;
+    Alcotest.test_case "zipf skew" `Quick zipf_skew;
+    Alcotest.test_case "hotspot counts" `Quick hotspot_counts;
+    Alcotest.test_case "scale writes" `Quick scale_writes_works;
+    Alcotest.test_case "scenarios build" `Quick scenarios_build;
+    Alcotest.test_case "scenarios deterministic" `Quick scenarios_deterministic;
+    Util.qtest qcheck_mix_conserves;
+  ]
