@@ -51,26 +51,30 @@ let e1 () =
   in
   List.iter
     (fun topo_name ->
-      let r_mst = ref [] and r_exact = ref [] in
-      for seed = 1 to 12 do
-        let rng = Rng.create (seed * 7919) in
-        let g = List.assoc topo_name (topologies rng n) in
-        let nn = Dmn_graph.Wgraph.n g in
-        let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 20.0) in
-        let { Dmn_workload.Freq.fr; fw } =
-          Dmn_workload.Freq.mix rng ~objects:1 ~n:nn ~total:(5 * nn) ~write_fraction:0.25
-        in
-        let inst = I.of_graph g ~cs ~fr ~fw in
-        if I.total_requests inst ~x:0 > 0 then begin
-          let copies = A.place_object inst ~x:0 in
-          let cost = C.total_mst inst ~x:0 copies in
-          let _, opt_mst = E.opt_mst inst ~x:0 in
-          let _, opt_exact = E.opt_exact inst ~x:0 in
-          r_mst := (cost /. opt_mst) :: !r_mst;
-          r_exact := (cost /. opt_exact) :: !r_exact
-        end
-      done;
-      let a = Array.of_list !r_mst and b = Array.of_list !r_exact in
+      (* each seed draws a fresh rng, so the exhaustive-optimum loop fans
+         out over the pool with unchanged results *)
+      let per_seed =
+        Pool.parallel_init (Pool.default ()) 12 (fun i ->
+            let seed = i + 1 in
+            let rng = Rng.create (seed * 7919) in
+            let g = List.assoc topo_name (topologies rng n) in
+            let nn = Dmn_graph.Wgraph.n g in
+            let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 20.0) in
+            let { Dmn_workload.Freq.fr; fw } =
+              Dmn_workload.Freq.mix rng ~objects:1 ~n:nn ~total:(5 * nn) ~write_fraction:0.25
+            in
+            let inst = I.of_graph g ~cs ~fr ~fw in
+            if I.total_requests inst ~x:0 > 0 then begin
+              let copies = A.place_object inst ~x:0 in
+              let cost = C.total_mst inst ~x:0 copies in
+              let _, opt_mst = E.opt_mst inst ~x:0 in
+              let _, opt_exact = E.opt_exact inst ~x:0 in
+              Some (cost /. opt_mst, cost /. opt_exact)
+            end
+            else None)
+      in
+      let pairs = Array.to_list per_seed |> List.filter_map Fun.id in
+      let a = Array.of_list (List.map fst pairs) and b = Array.of_list (List.map snd pairs) in
       Tbl.add_row tbl
         [
           topo_name; Tbl.fl2 (Stats.mean a); Tbl.fl2 (Stats.max a); Tbl.fl2 (Stats.mean b);
@@ -673,24 +677,30 @@ let e14 () =
   let tbl = Tbl.create [ "phase2 factor"; "phase3 factor"; "mean ratio"; "max ratio"; "mean copies" ] in
   List.iter
     (fun (p2, p3) ->
-      let ratios = ref [] and copies_n = ref [] in
-      for seed = 1 to 25 do
-        let rng = Rng.create (seed * 211) in
-        let n = 12 in
-        let g = Dmn_graph.Gen.erdos_renyi rng n 0.3 in
-        let cs = Array.init n (fun _ -> Rng.float_in rng 2.0 20.0) in
-        let { Dmn_workload.Freq.fr; fw } =
-          Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.25
-        in
-        let inst = I.of_graph g ~cs ~fr ~fw in
-        if I.total_requests inst ~x:0 > 0 then begin
-          let config = { A.default_config with A.phase2_factor = p2; phase3_factor = p3 } in
-          let copies = A.place_object ~config inst ~x:0 in
-          let _, opt = E.opt_mst inst ~x:0 in
-          if opt > 0.0 then ratios := (C.total_mst inst ~x:0 copies /. opt) :: !ratios;
-          copies_n := float_of_int (List.length copies) :: !copies_n
-        end
-      done;
+      (* fresh rng per seed: exhaustive loop parallelizes unchanged *)
+      let per_seed =
+        Pool.parallel_init (Pool.default ()) 25 (fun i ->
+            let seed = i + 1 in
+            let rng = Rng.create (seed * 211) in
+            let n = 12 in
+            let g = Dmn_graph.Gen.erdos_renyi rng n 0.3 in
+            let cs = Array.init n (fun _ -> Rng.float_in rng 2.0 20.0) in
+            let { Dmn_workload.Freq.fr; fw } =
+              Dmn_workload.Freq.mix rng ~objects:1 ~n ~total:(5 * n) ~write_fraction:0.25
+            in
+            let inst = I.of_graph g ~cs ~fr ~fw in
+            if I.total_requests inst ~x:0 > 0 then begin
+              let config = { A.default_config with A.phase2_factor = p2; phase3_factor = p3 } in
+              let copies = A.place_object ~config inst ~x:0 in
+              let _, opt = E.opt_mst inst ~x:0 in
+              let ratio = if opt > 0.0 then Some (C.total_mst inst ~x:0 copies /. opt) else None in
+              Some (ratio, float_of_int (List.length copies))
+            end
+            else None)
+      in
+      let rows = Array.to_list per_seed |> List.filter_map Fun.id in
+      let ratios = ref (List.filter_map fst rows |> List.rev)
+      and copies_n = ref (List.map snd rows |> List.rev) in
       let a = Array.of_list !ratios in
       Tbl.add_row tbl
         [
@@ -745,6 +755,137 @@ let e15 () =
         ])
     [ 0.05; 0.25 ];
   Tbl.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* scale: multicore speedup + profile-cache micro-benchmark            *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable perf trajectory: every run rewrites
+   BENCH_placement.json so later PRs can diff wall times. *)
+let json_number x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let json_field (k, v) =
+  Printf.sprintf "\"%s\": %s" k
+    (match v with
+    | `S s -> Printf.sprintf "\"%s\"" s
+    | `F x -> json_number x
+    | `I i -> string_of_int i
+    | `B b -> string_of_bool b)
+
+let write_bench_json file experiments =
+  let obj fields = "    {" ^ String.concat ", " (List.map json_field fields) ^ "}" in
+  let body = String.concat ",\n" (List.map obj experiments) in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"placement\",\n  \"cores_available\": %d,\n  \"experiments\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ()) body;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
+let scale () =
+  section "scale  multicore speedup and shared-profile cache (tentpole PR 1)";
+  print_endline
+    "Part A: one pool task per object on a 16-object, n = 64 geometric\n\
+     instance; wall time per pool size, placements asserted identical\n\
+     to the serial per-object map. Part B: metric closure (one Dijkstra\n\
+     per row) under the same pool sizes. Part C: cached-profile radii\n\
+     vs the seed's uncached O(n^2 log n) compute, repeated per object.";
+  let records = ref [] in
+  let record r = records := r :: !records in
+  (* --- A: per-object placement scaling --- *)
+  let n = 64 and objects = 16 in
+  let rng = Rng.create 90210 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.3 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 20.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects ~n:nn ~total:(6 * nn) ~write_fraction:0.2
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let serial =
+    Dmn_core.Placement.make
+      (Array.init (I.objects inst) (fun x -> A.place_object inst ~x))
+  in
+  let tbl = Tbl.create [ "domains"; "solve s"; "speedup"; "= serial" ] in
+  let t1 = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let p, dt =
+        Pool.with_pool ~domains (fun pool -> time_it (fun () -> A.solve ~pool inst))
+      in
+      if domains = 1 then t1 := dt;
+      let same =
+        List.init (I.objects inst) (fun x ->
+            Dmn_core.Placement.copies p ~x = Dmn_core.Placement.copies serial ~x)
+        |> List.for_all Fun.id
+      in
+      if not same then failwith "scale: parallel placement diverged from serial";
+      let speedup = !t1 /. dt in
+      Tbl.add_row tbl
+        [ string_of_int domains; Printf.sprintf "%.4f" dt; Tbl.fl2 speedup;
+          string_of_bool same ];
+      record
+        [
+          ("name", `S "solve-scaling"); ("topology", `S "geometric"); ("n", `I nn);
+          ("objects", `I objects); ("domains", `I domains); ("wall_s", `F dt);
+          ("speedup_vs_1_domain", `F speedup); ("matches_serial", `B same);
+        ])
+    [ 1; 2; 4 ];
+  Tbl.print tbl;
+  (* --- B: metric-closure scaling --- *)
+  let cn = 256 in
+  let cg = Dmn_graph.Gen.random_geometric (Rng.create 777) cn 0.12 in
+  let tbl = Tbl.create [ "domains"; "closure s"; "speedup" ] in
+  let orig_domains = Pool.default_domains () in
+  let t1 = ref 0.0 in
+  List.iter
+    (fun domains ->
+      Pool.set_default_domains domains;
+      let _, dt = time_it (fun () -> Dmn_paths.Metric.of_graph cg) in
+      if domains = 1 then t1 := dt;
+      let speedup = !t1 /. dt in
+      Tbl.add_row tbl [ string_of_int domains; Printf.sprintf "%.4f" dt; Tbl.fl2 speedup ];
+      record
+        [
+          ("name", `S "metric-closure-scaling"); ("n", `I cn); ("domains", `I domains);
+          ("wall_s", `F dt); ("speedup_vs_1_domain", `F speedup);
+        ])
+    [ 1; 2; 4 ];
+  Pool.set_default_domains orig_domains;
+  Tbl.print tbl;
+  (* --- C: radii with shared profile cache vs uncached seed compute --- *)
+  let reps = 3 in
+  let time_radii compute =
+    let _, dt =
+      time_it (fun () ->
+          for _ = 1 to reps do
+            for x = 0 to I.objects inst - 1 do
+              ignore (compute inst ~x)
+            done
+          done)
+    in
+    dt
+  in
+  let t_seed = time_radii Dmn_core.Radii.compute_reference in
+  let t_cached = time_radii Dmn_core.Radii.compute in
+  let tbl = Tbl.create [ "radii path"; "wall s"; "per object ms"; "speedup" ] in
+  let calls = float_of_int (reps * I.objects inst) in
+  Tbl.add_row tbl
+    [ "seed (sort per object)"; Printf.sprintf "%.4f" t_seed;
+      Printf.sprintf "%.3f" (1000.0 *. t_seed /. calls); "1.00" ];
+  Tbl.add_row tbl
+    [ "cached profile"; Printf.sprintf "%.4f" t_cached;
+      Printf.sprintf "%.3f" (1000.0 *. t_cached /. calls); Tbl.fl2 (t_seed /. t_cached) ];
+  Tbl.print tbl;
+  record
+    [
+      ("name", `S "radii-profile-cache"); ("n", `I nn); ("objects", `I objects);
+      ("calls", `I (reps * I.objects inst)); ("reference_wall_s", `F t_seed);
+      ("cached_wall_s", `F t_cached); ("speedup", `F (t_seed /. t_cached));
+    ];
+  write_bench_json "BENCH_placement.json" (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -837,7 +978,7 @@ let micro () =
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("micro", micro);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("micro", micro);
   ]
 
 let () =

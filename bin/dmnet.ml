@@ -27,6 +27,25 @@ let objects_arg =
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~docv:"D"
+        ~doc:
+          "Domains used for parallel per-object solving and metric closures (default: \
+           $(b,DMNET_DOMAINS) or the recommended domain count). Results are identical for \
+           every value.")
+
+let set_domains = function
+  | None -> ()
+  | Some d ->
+      if d < 1 then (
+        Printf.eprintf "--domains must be >= 1\n";
+        exit 2);
+      Pool.set_default_domains d
+
 let instance_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc:"Instance file produced by $(b,dmnet gen).")
 
@@ -65,7 +84,8 @@ let gen_cmd =
     Arg.(value & opt float 10.0 & info [ "storage" ] ~docv:"CS"
            ~doc:"Storage fee scale (fees drawn in [CS/2, 3CS/2]).")
   in
-  let run seed n objects topology workload write_fraction requests storage out =
+  let run seed n objects topology workload write_fraction requests storage domains out =
+    set_domains domains;
     let rng = Rng.create seed in
     let g =
       match topology with
@@ -101,7 +121,7 @@ let gen_cmd =
   let term =
     Term.(
       const run $ seed_arg $ nodes_arg $ objects_arg $ topology $ workload $ write_fraction
-      $ requests $ storage $ out_arg)
+      $ requests $ storage $ domains_arg $ out_arg)
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a data-management instance.") term
 
@@ -159,7 +179,8 @@ let solve_cmd =
   let audit =
     Arg.(value & flag & info [ "audit" ] ~doc:"Print a full placement audit (per-object breakdown, properness, restrictedness).")
   in
-  let run file algo audit out =
+  let run file algo audit domains out =
+    set_domains domains;
     let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
     let p = solve_placement inst algo in
     if audit then print_string (Dmn_core.Report.render (Dmn_core.Report.build inst p))
@@ -172,7 +193,7 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Place all objects of an instance.")
-    Term.(const run $ instance_arg $ algo $ audit $ out_arg)
+    Term.(const run $ instance_arg $ algo $ audit $ domains_arg $ out_arg)
 
 (* ---------- eval ---------- *)
 
@@ -199,7 +220,8 @@ let eval_cmd =
 (* ---------- compare ---------- *)
 
 let compare_cmd =
-  let run file =
+  let run file domains =
+    set_domains domains;
     let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
     let tbl = Tbl.create [ "algorithm"; "storage"; "read"; "update"; "total"; "copies" ] in
     List.iter
@@ -220,7 +242,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every applicable algorithm and tabulate costs.")
-    Term.(const run $ instance_arg)
+    Term.(const run $ instance_arg $ domains_arg)
 
 (* ---------- loadprofile ---------- *)
 

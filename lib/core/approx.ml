@@ -36,13 +36,15 @@ let phase1 ~config inst ~x =
         if Instance.cs inst v < infinity && (!best < 0 || Instance.cs inst v < Instance.cs inst !best)
         then best := v
       done;
+      if !best < 0 then
+        invalid_arg "Approx.phase1: every node has infinite storage cost, no copy can be placed";
       [ !best ]
 
 let phase2 ~config inst ~x radii copies =
   ignore x;
   let m = Instance.metric inst in
   let n = Instance.n inst in
-  let dist = Cost.nearest_dists inst copies in
+  let dist = Metric.nearest_dists m copies in
   let result = ref (List.rev copies) in
   for v = 0 to n - 1 do
     let bound = config.phase2_factor *. radii.(v).Radii.rs in
@@ -85,5 +87,11 @@ let place_object ?(config = default_config) inst ~x =
   let copies = if config.run_phase3 then phase3 ~config inst radii copies else copies in
   List.sort_uniq compare copies
 
-let solve ?(config = default_config) inst =
-  Placement.make (Array.init (Instance.objects inst) (fun x -> place_object ~config inst ~x))
+(* Objects are independent, so the pipeline runs one pool task per
+   object. Each task writes a private result slot, so the placement is
+   bit-identical to the sequential map for any pool size. *)
+let solve ?(config = default_config) ?pool inst =
+  let pool = match pool with Some p -> p | None -> Dmn_prelude.Pool.default () in
+  Placement.make
+    (Dmn_prelude.Pool.parallel_init pool (Instance.objects inst) (fun x ->
+         place_object ~config inst ~x))

@@ -48,5 +48,9 @@ val phase3 : config:config -> Instance.t -> Radii.node_radii array -> int list -
 (** [place_object ?config inst ~x] runs all three phases. *)
 val place_object : ?config:config -> Instance.t -> x:int -> int list
 
-(** [solve ?config inst] places every object independently. *)
-val solve : ?config:config -> Instance.t -> Placement.t
+(** [solve ?config ?pool inst] places every object independently, one
+    pool task per object ([pool] defaults to
+    {!Dmn_prelude.Pool.default}). Tasks write disjoint result slots, so
+    the placement is bit-identical to the sequential per-object map for
+    every pool size. *)
+val solve : ?config:config -> ?pool:Dmn_prelude.Pool.t -> Instance.t -> Placement.t

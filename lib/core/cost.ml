@@ -19,10 +19,7 @@ let nearest_dists inst copies =
   | Some g ->
       let r = Dijkstra.multi g copies in
       r.Dijkstra.dist
-  | None ->
-      let m = Instance.metric inst in
-      Array.init (Instance.n inst) (fun v ->
-          List.fold_left (fun acc c -> Float.min acc (Metric.d m v c)) infinity copies)
+  | None -> Metric.nearest_dists (Instance.metric inst) copies
 
 let storage_cost inst copies =
   List.fold_left (fun acc v -> acc +. Instance.cs inst v) 0.0 (List.sort_uniq compare copies)

@@ -4,6 +4,7 @@ open Dmn_paths
 type t = {
   graph : Wgraph.t option;
   metric : Metric.t;
+  porder : Profile_cache.t;
   cs : float array;
   fr : int array array;
   fw : int array array;
@@ -25,16 +26,19 @@ let check metric ~cs ~fr ~fw =
 
 let of_metric metric ~cs ~fr ~fw =
   check metric ~cs ~fr ~fw;
-  { graph = None; metric; cs = Array.copy cs; fr = Array.map Array.copy fr; fw = Array.map Array.copy fw }
+  { graph = None; metric; porder = Profile_cache.build metric; cs = Array.copy cs;
+    fr = Array.map Array.copy fr; fw = Array.map Array.copy fw }
 
 let of_graph g ~cs ~fr ~fw =
   let metric = Metric.of_graph g in
   check metric ~cs ~fr ~fw;
-  { graph = Some g; metric; cs = Array.copy cs; fr = Array.map Array.copy fr; fw = Array.map Array.copy fw }
+  { graph = Some g; metric; porder = Profile_cache.build metric; cs = Array.copy cs;
+    fr = Array.map Array.copy fr; fw = Array.map Array.copy fw }
 
 let n t = Metric.size t.metric
 let objects t = Array.length t.fr
 let metric t = t.metric
+let profile_order t v = Profile_cache.order t.porder v
 let graph t = t.graph
 let cs t v = t.cs.(v)
 let reads t ~x v = t.fr.(x).(v)

@@ -31,6 +31,12 @@ val objects : t -> int
 
 val metric : t -> Metric.t
 
+(** [profile_order t v] is all nodes sorted by [(d(v, u), u)] ascending
+    — the shared distance-profile cache built once at instance
+    construction (see {!Profile_cache}). The array is shared: do not
+    mutate. *)
+val profile_order : t -> int -> int array
+
 (** [graph t] is the underlying graph when built with {!of_graph}. *)
 val graph : t -> Wgraph.t option
 

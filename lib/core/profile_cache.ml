@@ -1,0 +1,21 @@
+open Dmn_paths
+open Dmn_prelude
+
+(* order.(v) lists all nodes sorted by (d(v, u), u) ascending. *)
+type t = { order : int array array }
+
+let build m =
+  let n = Metric.size m in
+  let sorted_row v =
+    let idx = Array.init n (fun u -> u) in
+    Array.sort
+      (fun a b ->
+        let c = compare (Metric.d m v a) (Metric.d m v b) in
+        if c <> 0 then c else compare a b)
+      idx;
+    idx
+  in
+  { order = Pool.parallel_init (Pool.default ()) n sorted_row }
+
+let order t v = t.order.(v)
+let size t = Array.length t.order

@@ -1,0 +1,24 @@
+(** Shared distance-profile cache.
+
+    The ascending order of [d(v, ·)] is object-independent, so the sort
+    behind every request-distance profile (radii, storage numbers) is
+    hoisted here and computed once per node at instance build —
+    [O(n^2 log n)] total, fanned out over {!Dmn_prelude.Pool.default}.
+    Per-object profile construction then becomes a linear scan, dropping
+    {!Radii.compute} from [O(n^2 log n)] to [O(n^2)] per object.
+
+    Ties are broken by node id, so the order is deterministic and
+    independent of the pool schedule. *)
+
+open Dmn_paths
+
+type t
+
+(** [build m] sorts, for every node [v], all nodes by [(d m v u, u)]
+    ascending. *)
+val build : Metric.t -> t
+
+(** [order t v] is the shared sorted row for [v] — do not mutate. *)
+val order : t -> int -> int array
+
+val size : t -> int

@@ -7,7 +7,38 @@ type node_radii = { rw : float; rs : float; zs : int }
    request distances; infinity once z exceeds the request count. *)
 type profile = { counts : int array; cum_count : int array; cum_dist : float array; dists : float array }
 
+(* The ascending order of d(v, .) is object-independent, so the sort is
+   hoisted into the instance's Profile_cache and building a per-object
+   profile is a linear scan over the cached order. *)
 let profile inst ~x v =
+  let m = Instance.metric inst in
+  let n = Instance.n inst in
+  let order = Instance.profile_order inst v in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if Instance.requests inst ~x order.(i) > 0 then incr k
+  done;
+  let k = !k in
+  let counts = Array.make k 0 and dists = Array.make k 0.0 in
+  let cum_count = Array.make (k + 1) 0 and cum_dist = Array.make (k + 1) 0.0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let u = order.(i) in
+    let c = Instance.requests inst ~x u in
+    if c > 0 then begin
+      let d = Metric.d m v u in
+      let idx = !j in
+      dists.(idx) <- d;
+      counts.(idx) <- c;
+      cum_count.(idx + 1) <- cum_count.(idx) + c;
+      cum_dist.(idx + 1) <- cum_dist.(idx) +. (float_of_int c *. d);
+      incr j
+    end
+  done;
+  { counts; cum_count; cum_dist; dists }
+
+(* Uncached per-call sort, kept as the validation/bench reference. *)
+let reference_profile inst ~x v =
   let m = Instance.metric inst in
   let n = Instance.n inst in
   let entries = ref [] in
@@ -78,7 +109,7 @@ let storage_radius p cs total =
   let upper_closed = if zs = 1 then infinity else cs /. float_of_int (zs - 1) in
   (zs, Float.min upper_closed d_hi)
 
-let compute inst ~x =
+let compute_with profile inst ~x =
   let n = Instance.n inst in
   let w = Instance.total_writes inst ~x in
   let total = Instance.total_requests inst ~x in
@@ -92,6 +123,9 @@ let compute inst ~x =
         let zs, rs = storage_radius p cs total in
         { rw; rs; zs }
       end)
+
+let compute inst ~x = compute_with profile inst ~x
+let compute_reference inst ~x = compute_with reference_profile inst ~x
 
 let check inst ~x r =
   let n = Instance.n inst in

@@ -34,9 +34,16 @@ val avg_dist : Instance.t -> x:int -> int -> int -> float
     the [z] closest requests ([S(z)] in the analysis). *)
 val prefix_sum : Instance.t -> x:int -> int -> int -> float
 
-(** [compute inst ~x] evaluates radii for every node,
-    [O(n^2 log n)]. *)
+(** [compute inst ~x] evaluates radii for every node. [O(n^2)] per
+    object: the per-node distance sort is shared across objects via the
+    instance's {!Profile_cache}. *)
 val compute : Instance.t -> x:int -> node_radii array
+
+(** [compute_reference inst ~x] is the uncached [O(n^2 log n)] seed
+    implementation (one full sort per node per object), kept as the
+    ground truth for the cache's equality property tests and as the
+    micro-benchmark baseline. *)
+val compute_reference : Instance.t -> x:int -> node_radii array
 
 (** [check inst ~x r] verifies the defining inequalities of all radii
     (used by tests); returns the first violation. *)

@@ -6,19 +6,20 @@ type t = { n : int; mat : float array array }
 let size m = m.n
 let d m u v = m.mat.(u).(v)
 
+(* One Dijkstra per source row; rows are independent, so fan out over
+   the domain pool (bit-identical to the sequential closure). *)
 let of_graph g =
   let n = Wgraph.n g in
-  let mat =
-    Array.init n (fun v ->
-        let r = Dijkstra.run g v in
-        Array.iteri
-          (fun u dist ->
-            if dist = infinity then
-              invalid_arg (Printf.sprintf "Metric.of_graph: node %d unreachable from %d" u v))
-          r.Dijkstra.dist;
-        r.Dijkstra.dist)
+  let row v =
+    let r = Dijkstra.run g v in
+    Array.iteri
+      (fun u dist ->
+        if dist = infinity then
+          invalid_arg (Printf.sprintf "Metric.of_graph: node %d unreachable from %d" u v))
+      r.Dijkstra.dist;
+    r.Dijkstra.dist
   in
-  { n; mat }
+  { n; mat = Pool.parallel_init (Pool.default ()) n row }
 
 let of_graph_floyd g =
   let n = Wgraph.n g in
@@ -96,6 +97,11 @@ let scale c m =
   { n = m.n; mat = Array.map (Array.map (fun x -> c *. x)) m.mat }
 
 let to_matrix m = Array.map Array.copy m.mat
+
+let nearest_dists m nodes =
+  if nodes = [] then invalid_arg "Metric.nearest_dists: empty node list";
+  Array.init m.n (fun v ->
+      List.fold_left (fun acc u -> Float.min acc (d m v u)) infinity nodes)
 
 let nearest m v nodes =
   match nodes with

@@ -15,7 +15,8 @@ val size : t -> int
 val d : t -> int -> int -> float
 
 (** [of_graph g] is the shortest-path closure computed with one Dijkstra
-    per node; [g] must be connected. *)
+    per node, fanned out over {!Dmn_prelude.Pool.default}; [g] must be
+    connected. *)
 val of_graph : Wgraph.t -> t
 
 (** [of_graph_floyd g] computes the same closure with Floyd–Warshall
@@ -40,6 +41,12 @@ val to_matrix : t -> float array array
 (** [nearest m v nodes] is [(u, d m v u)] minimizing the distance over
     [nodes]. @raise Invalid_argument on an empty list. *)
 val nearest : t -> int -> int list -> int * float
+
+(** [nearest_dists m nodes] is, for every node [v], the distance from
+    [v] to the nearest element of [nodes] — the shared nearest-copy
+    primitive of cost evaluation and phase 2.
+    @raise Invalid_argument on an empty list. *)
+val nearest_dists : t -> int list -> float array
 
 (** [is_metric mat] checks the {!of_matrix} requirements and returns an
     explanation on failure. *)

@@ -1,0 +1,173 @@
+(* Fixed-size domain pool, hand-rolled on Domain/Mutex/Condition.
+
+   One job runs at a time. A job is an indexed bag of tasks [0, n);
+   workers (and the submitting domain) claim indices under the pool
+   mutex and run them with the mutex released. Each index is claimed by
+   exactly one domain and its result is written to a private slot, so
+   results are bit-identical to a sequential [Array.init] regardless of
+   scheduling. The first task exception abandons unclaimed work and is
+   re-raised in the submitter once in-flight tasks drain. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  mutable next : int; (* next unclaimed index; forced to [n] on failure *)
+  mutable claimed : int;
+  mutable completed : int;
+  mutable failed : exn option;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* a job has unclaimed tasks, or the pool stops *)
+  finished : Condition.t; (* claimed = completed and nothing left to claim *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+(* Set while a domain is executing a task (worker or submitter): tasks
+   that themselves call into a pool fall back to sequential execution
+   instead of deadlocking. *)
+let inside_task = Domain.DLS.new_key (fun () -> false)
+
+(* Claims and runs tasks until none are left. Lock held on entry/exit. *)
+let drain t j =
+  while j.next < j.n do
+    let i = j.next in
+    j.next <- i + 1;
+    j.claimed <- j.claimed + 1;
+    Mutex.unlock t.lock;
+    let prev = Domain.DLS.get inside_task in
+    Domain.DLS.set inside_task true;
+    let err = (try j.run i; None with e -> Some e) in
+    Domain.DLS.set inside_task prev;
+    Mutex.lock t.lock;
+    (match err with
+    | Some e ->
+        if j.failed = None then j.failed <- Some e;
+        j.next <- j.n
+    | None -> ());
+    j.completed <- j.completed + 1
+  done;
+  if j.completed = j.claimed then Condition.broadcast t.finished
+
+let worker t =
+  Mutex.lock t.lock;
+  let running = ref true in
+  while !running do
+    match t.job with
+    | Some j when j.next < j.n -> drain t j
+    | _ -> if t.stop then running := false else Condition.wait t.work t.lock
+  done;
+  Mutex.unlock t.lock
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+      size = domains;
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let run_tasks t n run =
+  if n > 0 then
+    if t.size = 1 || n = 1 || Domain.DLS.get inside_task then
+      for i = 0 to n - 1 do
+        run i
+      done
+    else begin
+      Mutex.lock t.lock;
+      while t.job <> None do
+        Condition.wait t.finished t.lock
+      done;
+      let j = { run; n; next = 0; claimed = 0; completed = 0; failed = None } in
+      t.job <- Some j;
+      Condition.broadcast t.work;
+      drain t j;
+      while not (j.next >= j.n && j.completed = j.claimed) do
+        Condition.wait t.finished t.lock
+      done;
+      t.job <- None;
+      Condition.broadcast t.finished;
+      Mutex.unlock t.lock;
+      match j.failed with Some e -> raise e | None -> ()
+    end
+
+let parallel_init t n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    run_tasks t n (fun i -> slots.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) slots
+  end
+
+let parallel_map t f a = parallel_init t (Array.length a) (fun i -> f a.(i))
+let parallel_iter t n f = run_tasks t n f
+
+(* ---------- default pool ---------- *)
+
+let env_domains () =
+  match Sys.getenv_opt "DMNET_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some v
+      | _ -> None)
+  | None -> None
+
+let chosen_domains = ref None
+let default_pool = ref None
+
+let default_domains () =
+  match !chosen_domains with
+  | Some n -> n
+  | None ->
+      let n =
+        match env_domains () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ()
+      in
+      chosen_domains := Some n;
+      n
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create ~domains:(default_domains ()) in
+      default_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: need at least one domain";
+  (match !default_pool with
+  | Some p when p.size <> n ->
+      shutdown p;
+      default_pool := None
+  | _ -> ());
+  chosen_domains := Some n
+
+let with_pool ~domains f =
+  let p = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

@@ -1,0 +1,56 @@
+(** Fixed-size domain pool for deterministic data parallelism.
+
+    The library's algorithms are embarrassingly parallel per object (and
+    per source node for metric closures): every task writes one private
+    result slot, so a pool run returns results {e bit-identical} to the
+    sequential [Array.init] order no matter how tasks are scheduled.
+
+    Built directly on [Domain]/[Mutex]/[Condition] (OCaml >= 5.0); one
+    job runs at a time and the submitting domain participates in the
+    work. Pools are driven from one domain at a time; a task that calls
+    back into a pool (any pool) runs its sub-tasks sequentially rather
+    than deadlocking. *)
+
+type t
+
+(** [create ~domains] spawns [domains - 1] worker domains (the caller is
+    the last one). @raise Invalid_argument if [domains < 1]. *)
+val create : domains:int -> t
+
+(** Number of domains (including the submitting one). *)
+val size : t -> int
+
+(** [shutdown t] joins the workers. The pool must be idle; further jobs
+    on it run nothing. Idempotent. *)
+val shutdown : t -> unit
+
+(** [parallel_init t n f] is [Array.init n f] with the calls distributed
+    over the pool. The first exception raised by a task is re-raised
+    after in-flight tasks drain; remaining unclaimed tasks are skipped. *)
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_map t f a] is [Array.map f a] over the pool. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_iter t n f] runs [f 0 .. f (n-1)] for side effects. Tasks
+    must write disjoint state. *)
+val parallel_iter : t -> int -> (int -> unit) -> unit
+
+(** [with_pool ~domains f] runs [f] with a fresh pool and always shuts
+    it down. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** Pool size used by {!default}: the [DMNET_DOMAINS] environment
+    variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()], else an explicit
+    {!set_default_domains}. *)
+val default_domains : unit -> int
+
+(** [set_default_domains n] overrides {!default_domains} (e.g. from a
+    CLI flag) and recreates the default pool at the new size on next
+    use. @raise Invalid_argument if [n < 1]. *)
+val set_default_domains : int -> unit
+
+(** The lazily-created process-wide pool sized by {!default_domains};
+    shut down automatically at exit. *)
+val default : unit -> t

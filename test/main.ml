@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dmnet"
     [
       ("prelude", Test_prelude.suite);
+      ("parallel", Test_parallel.suite);
       ("graph", Test_graph.suite);
       ("paths", Test_paths.suite);
       ("spanning", Test_span.suite);

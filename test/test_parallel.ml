@@ -1,0 +1,272 @@
+(* The performance layer: domain pool, shared distance-profile cache,
+   and the determinism guarantee of the parallel per-object solve. *)
+
+open Dmn_prelude
+open Dmn_graph
+module I = Dmn_core.Instance
+module P = Dmn_core.Placement
+module C = Dmn_core.Cost
+module R = Dmn_core.Radii
+module A = Dmn_core.Approx
+
+(* ---------- pool ---------- *)
+
+let pool_matches_array_init () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun n ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "parallel_init n=%d" n)
+            (Array.init n (fun i -> (i * i) + 1))
+            (Pool.parallel_init pool n (fun i -> (i * i) + 1)))
+        [ 0; 1; 2; 3; 7; 64; 257 ])
+
+let pool_map_and_iter () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let a = Array.init 100 (fun i -> i) in
+      Alcotest.(check (array int)) "map" (Array.map (fun x -> 2 * x) a)
+        (Pool.parallel_map pool (fun x -> 2 * x) a);
+      let slots = Array.make 100 (-1) in
+      Pool.parallel_iter pool 100 (fun i -> slots.(i) <- 3 * i);
+      Alcotest.(check (array int)) "iter" (Array.init 100 (fun i -> 3 * i)) slots)
+
+let pool_propagates_exceptions () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "task exception" (Invalid_argument "boom") (fun () ->
+          ignore
+            (Pool.parallel_init pool 50 (fun i ->
+                 if i = 17 then invalid_arg "boom" else i)));
+      (* the pool survives a failed job *)
+      Alcotest.(check (array int)) "reusable" (Array.init 10 (fun i -> i))
+        (Pool.parallel_init pool 10 (fun i -> i)))
+
+let pool_nested_calls_run_sequentially () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let got =
+        Pool.parallel_init pool 6 (fun i ->
+            (* a task calling back into a pool must not deadlock *)
+            Array.fold_left ( + ) 0 (Pool.parallel_init pool 5 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int)) "nested"
+        (Array.init 6 (fun i -> (50 * i) + 10))
+        got)
+
+let pool_single_domain () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check (array int)) "sequential pool" (Array.init 20 (fun i -> i))
+        (Pool.parallel_init pool 20 (fun i -> i)))
+
+let pool_rejects_bad_sizes () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: need at least one domain") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+(* ---------- profile cache vs seed radii ---------- *)
+
+let topologies rng n =
+  [
+    ("tree", Gen.random_tree rng n);
+    ("ring", Gen.ring n);
+    ("grid", Gen.grid 4 (n / 4));
+    ("er", Gen.erdos_renyi rng n 0.4);
+    ("geometric", Gen.random_geometric rng n 0.5);
+  ]
+
+let instance_on rng g ~objects =
+  let n = Wgraph.n g in
+  let cs =
+    Array.init n (fun _ ->
+        match Rng.int rng 10 with
+        | 0 -> 0.0
+        | 1 -> infinity
+        | _ -> Rng.float_in rng 0.5 25.0)
+  in
+  let counts () = Array.init n (fun _ -> Rng.int rng 5) in
+  let fr = Array.init objects (fun _ -> counts ()) in
+  let fw = Array.init objects (fun _ -> counts ()) in
+  I.of_graph g ~cs ~fr ~fw
+
+let radii_equal msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun v (ra : R.node_radii) ->
+      let rb = b.(v) in
+      if not (ra.R.rw = rb.R.rw && ra.R.rs = rb.R.rs && ra.R.zs = rb.R.zs) then
+        Alcotest.failf "%s: node %d: cached (rw=%.17g rs=%.17g zs=%d) <> reference (rw=%.17g rs=%.17g zs=%d)"
+          msg v ra.R.rw ra.R.rs ra.R.zs rb.R.rw rb.R.rs rb.R.zs)
+    a
+
+let cached_radii_equal_reference () =
+  for seed = 1 to 12 do
+    let rng = Rng.create (seed * 613) in
+    List.iter
+      (fun (name, g) ->
+        let inst = instance_on rng g ~objects:3 in
+        for x = 0 to I.objects inst - 1 do
+          let msg = Printf.sprintf "%s seed=%d x=%d" name seed x in
+          radii_equal msg (R.compute inst ~x) (R.compute_reference inst ~x)
+        done)
+      (topologies rng 16)
+  done
+
+let cached_radii_pass_check () =
+  let rng = Rng.create 99 in
+  List.iter
+    (fun (name, g) ->
+      let inst = instance_on rng g ~objects:2 in
+      for x = 0 to 1 do
+        match R.check inst ~x (R.compute inst ~x) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s x=%d: %s" name x e
+      done)
+    (topologies rng 16)
+
+let profile_order_is_sorted () =
+  let rng = Rng.create 7 in
+  let inst = instance_on rng (Gen.erdos_renyi rng 24 0.3) ~objects:1 in
+  let m = I.metric inst in
+  for v = 0 to I.n inst - 1 do
+    let order = I.profile_order inst v in
+    Alcotest.(check int) "length" (I.n inst) (Array.length order);
+    let sorted = Array.copy order in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "permutation" (Array.init (I.n inst) (fun i -> i)) sorted;
+    for i = 1 to Array.length order - 1 do
+      let a = order.(i - 1) and b = order.(i) in
+      if
+        Dmn_paths.Metric.d m v a > Dmn_paths.Metric.d m v b
+        || (Dmn_paths.Metric.d m v a = Dmn_paths.Metric.d m v b && a >= b)
+      then Alcotest.failf "node %d: order not (distance, id) ascending at %d" v i
+    done
+  done
+
+(* ---------- parallel solve determinism ---------- *)
+
+let serial_solve ?(config = A.default_config) inst =
+  P.make (Array.init (I.objects inst) (fun x -> A.place_object ~config inst ~x))
+
+let placements_equal msg a b =
+  Alcotest.(check int) (msg ^ " objects") (P.objects a) (P.objects b);
+  for x = 0 to P.objects a - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s copies x=%d" msg x)
+      (P.copies a ~x) (P.copies b ~x)
+  done
+
+let parallel_solve_matches_serial () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          for seed = 1 to 4 do
+            let rng = Rng.create (seed * 271) in
+            List.iter
+              (fun (name, g) ->
+                let inst = instance_on rng g ~objects:5 in
+                let msg = Printf.sprintf "%s seed=%d domains=%d" name seed domains in
+                let serial = serial_solve inst in
+                let par = A.solve ~pool inst in
+                placements_equal msg serial par;
+                (* costs of byte-identical placements are byte-identical *)
+                let bs = C.placement_mst inst serial and bp = C.placement_mst inst par in
+                if C.total bs <> C.total bp then
+                  Alcotest.failf "%s: cost %.17g <> %.17g" msg (C.total bs) (C.total bp))
+              (topologies rng 16)
+          done))
+    [ 1; 2; 4 ]
+
+let parallel_metric_matches_floyd () =
+  (* the parallel Dijkstra closure agrees with Floyd-Warshall *)
+  let rng = Rng.create 4242 in
+  let g = Gen.random_geometric rng 30 0.5 in
+  let a = Dmn_paths.Metric.to_matrix (Dmn_paths.Metric.of_graph g) in
+  let b = Dmn_paths.Metric.to_matrix (Dmn_paths.Metric.of_graph_floyd g) in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j x ->
+          if not (Floatx.approx ~tol:1e-9 x b.(i).(j)) then
+            Alcotest.failf "closure mismatch at (%d,%d)" i j)
+        row)
+    a
+
+(* ---------- satellite fixes ---------- *)
+
+let trivial_solver_all_infinite_raises () =
+  let g = Gen.path 3 in
+  let inst =
+    I.of_graph g ~cs:[| infinity; infinity; infinity |] ~fr:[| [| 1; 1; 1 |] |]
+      ~fw:[| [| 0; 0; 0 |] |]
+  in
+  let config = { A.default_config with A.solver = A.Trivial } in
+  Alcotest.check_raises "all cs infinite"
+    (Invalid_argument "Approx.phase1: every node has infinite storage cost, no copy can be placed")
+    (fun () -> ignore (A.phase1 ~config inst ~x:0))
+
+let trivial_solver_picks_cheapest_finite () =
+  let g = Gen.path 3 in
+  let inst =
+    I.of_graph g ~cs:[| infinity; 7.0; 3.0 |] ~fr:[| [| 1; 1; 1 |] |] ~fw:[| [| 0; 0; 0 |] |]
+  in
+  let config = { A.default_config with A.solver = A.Trivial } in
+  Alcotest.(check (list int)) "cheapest finite node" [ 2 ] (A.phase1 ~config inst ~x:0)
+
+let metric_nearest_dists_matches_fold () =
+  let rng = Rng.create 55 in
+  let g = Gen.erdos_renyi rng 20 0.4 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let copies = [ 3; 11; 17 ] in
+  let got = Dmn_paths.Metric.nearest_dists m copies in
+  Array.iteri
+    (fun v dv ->
+      let expect =
+        List.fold_left (fun acc c -> Float.min acc (Dmn_paths.Metric.d m v c)) infinity copies
+      in
+      if dv <> expect then Alcotest.failf "node %d: %.17g <> %.17g" v dv expect)
+    got;
+  Alcotest.check_raises "empty" (Invalid_argument "Metric.nearest_dists: empty node list")
+    (fun () -> ignore (Dmn_paths.Metric.nearest_dists m []))
+
+let cost_fallback_uses_metric_nearest () =
+  let rng = Rng.create 56 in
+  let g = Gen.erdos_renyi rng 15 0.4 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let n = 15 in
+  let inst =
+    I.of_metric m ~cs:(Array.make n 2.0)
+      ~fr:[| Array.make n 1 |]
+      ~fw:[| Array.make n 0 |]
+  in
+  let copies = [ 2; 9 ] in
+  Alcotest.(check (array (float 0.0)))
+    "metric fallback"
+    (Dmn_paths.Metric.nearest_dists m copies)
+    (C.nearest_dists inst copies)
+
+let qcheck_pool_init =
+  QCheck.Test.make ~name:"Pool.parallel_init = Array.init" ~count:60
+    QCheck.(pair (int_range 0 200) (int_range 1 4))
+    (fun (n, domains) ->
+      Pool.with_pool ~domains (fun pool ->
+          Pool.parallel_init pool n (fun i -> i * 3) = Array.init n (fun i -> i * 3)))
+
+let suite =
+  [
+    Alcotest.test_case "pool matches Array.init" `Quick pool_matches_array_init;
+    Alcotest.test_case "pool map and iter" `Quick pool_map_and_iter;
+    Alcotest.test_case "pool propagates exceptions" `Quick pool_propagates_exceptions;
+    Alcotest.test_case "pool nested calls" `Quick pool_nested_calls_run_sequentially;
+    Alcotest.test_case "pool single domain" `Quick pool_single_domain;
+    Alcotest.test_case "pool rejects bad sizes" `Quick pool_rejects_bad_sizes;
+    Alcotest.test_case "cached radii = reference radii" `Quick cached_radii_equal_reference;
+    Alcotest.test_case "cached radii pass check" `Quick cached_radii_pass_check;
+    Alcotest.test_case "profile order sorted" `Quick profile_order_is_sorted;
+    Alcotest.test_case "parallel solve = serial solve (1/2/4 domains)" `Slow
+      parallel_solve_matches_serial;
+    Alcotest.test_case "parallel closure = floyd" `Quick parallel_metric_matches_floyd;
+    Alcotest.test_case "trivial solver raises when unplaceable" `Quick
+      trivial_solver_all_infinite_raises;
+    Alcotest.test_case "trivial solver picks cheapest" `Quick trivial_solver_picks_cheapest_finite;
+    Alcotest.test_case "metric nearest_dists" `Quick metric_nearest_dists_matches_fold;
+    Alcotest.test_case "cost fallback shares metric nearest" `Quick cost_fallback_uses_metric_nearest;
+    Util.qtest qcheck_pool_init;
+  ]
