@@ -13,6 +13,31 @@ module I = Dmn_core.Instance
 module C = Dmn_core.Cost
 module A = Dmn_core.Approx
 
+(* ---------- structured error reporting ----------
+
+   Every command body runs under [protect]: a structured [Err.Error]
+   (parse, validation, I/O, injected fault) becomes a one-line
+   "dmnet: error: <context>" on stderr plus a class-specific exit code
+   (65 data, 70 injected fault, 74 I/O — sysexits(3)), instead of an
+   uncaught exception with a backtrace. Commands evaluate to their exit
+   code via [Cmd.eval']. *)
+
+let protect f =
+  try
+    f ();
+    0
+  with Err.Error e ->
+    Printf.eprintf "dmnet: error: %s\n%!" (Err.to_string e);
+    Err.exit_code e
+
+let load_instance file = Err.get_ok (Dmn_core.Serial.load_instance file)
+
+let exits =
+  Cmd.Exit.info 65 ~doc:"on malformed or invalid input data (parse or validation error)."
+  :: Cmd.Exit.info 70 ~doc:"on a deterministically injected fault (chaos testing)."
+  :: Cmd.Exit.info 74 ~doc:"on a file I/O error."
+  :: Cmd.Exit.defaults
+
 (* ---------- shared arguments ---------- *)
 
 let seed_arg =
@@ -66,7 +91,10 @@ let workload_conv =
 let gen_cmd =
   let topology =
     Arg.(value & opt topology_conv `Er & info [ "topology" ] ~docv:"TOPO"
-           ~doc:"Topology: tree, path, ring, grid, er, geometric, clustered.")
+           ~doc:"Topology: tree, path, ring, grid, er, geometric, clustered. Note that \
+                 $(b,grid) builds a rows x cols mesh with rows = floor(sqrt(N)) and rounds N \
+                 $(b,up) to the nearest full rectangle, so the instance may have more nodes \
+                 than requested (a warning is printed when it does).")
   in
   let workload =
     Arg.(value & opt workload_conv `Mix & info [ "workload" ] ~docv:"WL"
@@ -85,6 +113,7 @@ let gen_cmd =
            ~doc:"Storage fee scale (fees drawn in [CS/2, 3CS/2]).")
   in
   let run seed n objects topology workload write_fraction requests storage domains out =
+    protect @@ fun () ->
     set_domains domains;
     let rng = Rng.create seed in
     let g =
@@ -93,8 +122,13 @@ let gen_cmd =
       | `Path -> Dmn_graph.Gen.path n
       | `Ring -> Dmn_graph.Gen.ring n
       | `Grid ->
-          let r = int_of_float (Float.sqrt (float_of_int n)) in
-          Dmn_graph.Gen.grid (max 1 r) (max 1 ((n + r - 1) / max 1 r))
+          let r = max 1 (int_of_float (Float.sqrt (float_of_int n))) in
+          let c = max 1 ((n + r - 1) / r) in
+          if r * c <> n then
+            Printf.eprintf
+              "dmnet: warning: --topology grid rounds n=%d up to a %dx%d mesh (%d nodes)\n%!" n
+              r c (r * c);
+          Dmn_graph.Gen.grid r c
       | `Er -> Dmn_graph.Gen.erdos_renyi rng n 0.25
       | `Geometric -> Dmn_graph.Gen.random_geometric rng n 0.35
       | `Clustered ->
@@ -123,7 +157,7 @@ let gen_cmd =
       const run $ seed_arg $ nodes_arg $ objects_arg $ topology $ workload $ write_fraction
       $ requests $ storage $ domains_arg $ out_arg)
   in
-  Cmd.v (Cmd.info "gen" ~doc:"Generate a data-management instance.") term
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a data-management instance." ~exits) term
 
 (* ---------- algorithms ---------- *)
 
@@ -180,8 +214,9 @@ let solve_cmd =
     Arg.(value & flag & info [ "audit" ] ~doc:"Print a full placement audit (per-object breakdown, properness, restrictedness).")
   in
   let run file algo audit domains out =
+    protect @@ fun () ->
     set_domains domains;
-    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let inst = load_instance file in
     let p = solve_placement inst algo in
     if audit then print_string (Dmn_core.Report.render (Dmn_core.Report.build inst p))
     else begin
@@ -192,7 +227,7 @@ let solve_cmd =
     emit out (Dmn_core.Serial.placement_to_string p)
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Place all objects of an instance.")
+    (Cmd.info "solve" ~doc:"Place all objects of an instance." ~exits)
     Term.(const run $ instance_arg $ algo $ audit $ domains_arg $ out_arg)
 
 (* ---------- eval ---------- *)
@@ -202,27 +237,28 @@ let eval_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"PLACEMENT" ~doc:"Placement file.")
   in
   let run inst_file placement_file =
-    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file inst_file) in
-    let p = Dmn_core.Serial.placement_of_string (Dmn_core.Serial.read_file placement_file) in
+    protect @@ fun () ->
+    let inst = load_instance inst_file in
+    let p = Err.get_ok (Dmn_core.Serial.load_placement placement_file) in
     (match Dmn_core.Placement.validate inst p with
     | Ok () -> ()
     | Error e ->
-        Printf.eprintf "invalid placement: %s\n" e;
-        exit 2);
+        Err.failf ~file:placement_file Err.Validation "placement does not fit the instance: %s" e);
     let b = C.placement_mst inst p in
     Printf.printf "storage %.6f\nread    %.6f\nupdate  %.6f\ntotal   %.6f\n" b.C.storage
       b.C.read b.C.update (C.total b)
   in
   Cmd.v
-    (Cmd.info "eval" ~doc:"Evaluate a placement (MST update policy).")
+    (Cmd.info "eval" ~doc:"Evaluate a placement (MST update policy)." ~exits)
     Term.(const run $ instance_arg $ placement_arg)
 
 (* ---------- compare ---------- *)
 
 let compare_cmd =
   let run file domains =
+    protect @@ fun () ->
     set_domains domains;
-    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    let inst = load_instance file in
     let tbl = Tbl.create [ "algorithm"; "storage"; "read"; "update"; "total"; "copies" ] in
     List.iter
       (fun (name, _) ->
@@ -241,7 +277,7 @@ let compare_cmd =
     Tbl.print tbl
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run every applicable algorithm and tabulate costs.")
+    (Cmd.info "compare" ~doc:"Run every applicable algorithm and tabulate costs." ~exits)
     Term.(const run $ instance_arg $ domains_arg)
 
 (* ---------- loadprofile ---------- *)
@@ -251,11 +287,19 @@ let loadprofile_cmd =
     Arg.(value & opt string "approx-mp" & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm to place with.")
   in
   let run file algo =
-    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    protect @@ fun () ->
+    let inst = load_instance file in
     let p = solve_placement inst algo in
     let profile = Dmn_loadmodel.Net_load.of_placement inst p in
     let tbl = Tbl.create [ "edge"; "load"; "fee"; "weighted" ] in
-    let g = match I.graph inst with Some g -> g | None -> exit 2 in
+    let g =
+      match I.graph inst with
+      | Some g -> g
+      | None ->
+          Err.fail ~file Err.Validation
+            "loadprofile requires a graph-backed instance (this one is metric-backed, so \
+             per-edge loads are undefined)"
+    in
     List.iter
       (fun (u, v, load) ->
         let fee = Dmn_graph.Wgraph.edge_weight g u v in
@@ -269,7 +313,7 @@ let loadprofile_cmd =
       profile.Dmn_loadmodel.Net_load.total_weighted profile.Dmn_loadmodel.Net_load.max_weighted
   in
   Cmd.v
-    (Cmd.info "loadprofile" ~doc:"Per-edge routed load of a placement (congestion view).")
+    (Cmd.info "loadprofile" ~doc:"Per-edge routed load of a placement (congestion view)." ~exits)
     Term.(const run $ instance_arg $ algo)
 
 (* ---------- radii ---------- *)
@@ -277,7 +321,10 @@ let loadprofile_cmd =
 let radii_cmd =
   let obj = Arg.(value & opt int 0 & info [ "x" ] ~docv:"X" ~doc:"Object index.") in
   let run file x =
-    let inst = Dmn_core.Serial.instance_of_string (Dmn_core.Serial.read_file file) in
+    protect @@ fun () ->
+    let inst = load_instance file in
+    if x < 0 || x >= I.objects inst then
+      Err.failf ~file Err.Validation "object index %d out of range [0, %d)" x (I.objects inst);
     let r = Dmn_core.Radii.compute inst ~x in
     let tbl = Tbl.create [ "node"; "cs"; "requests"; "rw"; "rs"; "zs" ] in
     Array.iteri
@@ -295,10 +342,11 @@ let radii_cmd =
     Tbl.print tbl
   in
   Cmd.v
-    (Cmd.info "radii" ~doc:"Print the paper's write and storage radii per node.")
+    (Cmd.info "radii" ~doc:"Print the paper's write and storage radii per node." ~exits)
     Term.(const run $ instance_arg $ obj)
 
 let () =
   let doc = "approximation algorithms for data management in networks (SPAA 2001)" in
-  let info = Cmd.info "dmnet" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd ]))
+  let info = Cmd.info "dmnet" ~version:"1.0.0" ~doc ~exits in
+  exit
+    (Cmd.eval' (Cmd.group info [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd ]))

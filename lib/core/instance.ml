@@ -29,7 +29,17 @@ let of_metric metric ~cs ~fr ~fw =
   { graph = None; metric; porder = Profile_cache.build metric; cs = Array.copy cs;
     fr = Array.map Array.copy fr; fw = Array.map Array.copy fw }
 
-let of_graph g ~cs ~fr ~fw =
+let of_graph ?(require_connected = true) g ~cs ~fr ~fw =
+  if require_connected && Wgraph.n g > 0 then begin
+    let hops = Wgraph.bfs_hops g 0 in
+    Array.iteri
+      (fun v d ->
+        if d < 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Instance.of_graph: graph is disconnected (node %d unreachable from node 0)" v))
+      hops
+  end;
   let metric = Metric.of_graph g in
   check metric ~cs ~fr ~fw;
   { graph = Some g; metric; porder = Profile_cache.build metric; cs = Array.copy cs;

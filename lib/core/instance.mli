@@ -21,8 +21,21 @@ val of_metric : Metric.t -> cs:float array -> fr:int array array -> fw:int array
 (** [of_graph g ~cs ~fr ~fw] derives the metric as the shortest-path
     closure of [g] (the paper's [ct]); [g] must be connected. The graph
     is retained for graph-level primitives (exact nearest-copy reads via
-    multi-source Dijkstra, Steiner expansion). *)
-val of_graph : Wgraph.t -> cs:float array -> fr:int array array -> fw:int array array -> t
+    multi-source Dijkstra, Steiner expansion).
+
+    By default the graph is checked for connectivity up front and a
+    disconnected graph raises [Invalid_argument] naming an unreachable
+    node — rather than letting [infinity] distances poison radii and
+    costs downstream. Pass [~require_connected:false] only when the
+    caller has already established connectivity; the metric closure
+    still rejects unreachable pairs as a backstop. *)
+val of_graph :
+  ?require_connected:bool ->
+  Wgraph.t ->
+  cs:float array ->
+  fr:int array array ->
+  fw:int array array ->
+  t
 
 val n : t -> int
 

@@ -1,4 +1,7 @@
+open Dmn_prelude
 open Dmn_graph
+
+(* ---------- serialization ---------- *)
 
 let instance_to_string inst =
   let g =
@@ -28,65 +31,6 @@ let instance_to_string inst =
   done;
   Buffer.contents b
 
-let tokens_of s =
-  String.split_on_char '\n' s
-  |> List.filter (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
-  |> List.concat_map (fun l -> String.split_on_char ' ' l |> List.filter (( <> ) ""))
-
-let instance_of_string s =
-  match tokens_of s with
-  | "dmnet-instance" :: "v1" :: rest ->
-      let next toks = match toks with [] -> failwith "Serial: truncated input" | t :: r -> (t, r) in
-      let int toks =
-        let t, r = next toks in
-        (int_of_string t, r)
-      in
-      let fl toks =
-        let t, r = next toks in
-        (float_of_string t, r)
-      in
-      let n, rest = int rest in
-      let k, rest = int rest in
-      let m, rest = int rest in
-      let rec edges acc i toks =
-        if i = m then (List.rev acc, toks)
-        else begin
-          let u, toks = int toks in
-          let v, toks = int toks in
-          let w, toks = fl toks in
-          edges ((u, v, w) :: acc) (i + 1) toks
-        end
-      in
-      let edge_list, rest = edges [] 0 rest in
-      let g = Wgraph.create n edge_list in
-      let rec floats acc i toks =
-        if i = n then (Array.of_list (List.rev acc), toks)
-        else begin
-          let v, toks = fl toks in
-          floats (v :: acc) (i + 1) toks
-        end
-      in
-      let cs, rest = floats [] 0 rest in
-      let rec ints acc i toks =
-        if i = n then (Array.of_list (List.rev acc), toks)
-        else begin
-          let v, toks = int toks in
-          ints (v :: acc) (i + 1) toks
-        end
-      in
-      let rec matrix acc x toks =
-        if x = k then (Array.of_list (List.rev acc), toks)
-        else begin
-          let row, toks = ints [] 0 toks in
-          matrix (row :: acc) (x + 1) toks
-        end
-      in
-      let fr, rest = matrix [] 0 rest in
-      let fw, rest = matrix [] 0 rest in
-      if rest <> [] then failwith "Serial: trailing tokens";
-      Instance.of_graph g ~cs ~fr ~fw
-  | _ -> failwith "Serial: bad header (want dmnet-instance v1)"
-
 let placement_to_string p =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "dmnet-placement v1\n%d\n" (Placement.objects p));
@@ -97,36 +41,330 @@ let placement_to_string p =
   done;
   Buffer.contents b
 
-let placement_of_string s =
-  match tokens_of s with
-  | "dmnet-placement" :: "v1" :: count :: rest ->
-      let k = int_of_string count in
-      ignore k;
-      (* copy lists have variable length, so reparse by lines *)
-      let lines =
-        String.split_on_char '\n' s
-        |> List.map String.trim
-        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-      in
-      (match lines with
-      | _header :: _count :: rows ->
+(* ---------- tokenizer with source positions ---------- *)
+
+(* Physical lines that are blank or start with [#] are comments. Every
+   surviving token carries its 1-based source line so parse and
+   validation errors can point at the offending place. *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let split_tokens line =
+  let toks = ref [] and start = ref (-1) in
+  String.iteri
+    (fun i c ->
+      if is_space c then begin
+        if !start >= 0 then toks := String.sub line !start (i - !start) :: !toks;
+        start := -1
+      end
+      else if !start < 0 then start := i)
+    line;
+  if !start >= 0 then toks := String.sub line !start (String.length line - !start) :: !toks;
+  List.rev !toks
+
+let logical_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (ln, line) ->
+         match split_tokens line with
+         | [] -> None
+         | first :: _ when first.[0] = '#' -> None
+         | toks -> Some (ln, toks))
+
+type cursor = {
+  file : string option;
+  toks : (string * int) array; (* token, 1-based source line *)
+  mutable pos : int;
+}
+
+let cursor ?file s =
+  let toks =
+    logical_lines s
+    |> List.concat_map (fun (ln, toks) -> List.map (fun t -> (t, ln)) toks)
+    |> Array.of_list
+  in
+  { file; toks; pos = 0 }
+
+let last_line c = if Array.length c.toks = 0 then None else Some (snd c.toks.(Array.length c.toks - 1))
+
+let next c what =
+  if c.pos >= Array.length c.toks then
+    Err.failf ?file:c.file ?line:(last_line c) Err.Parse "truncated input: expected %s" what
+  else begin
+    let t = c.toks.(c.pos) in
+    c.pos <- c.pos + 1;
+    t
+  end
+
+let int_tok c what =
+  let t, ln = next c what in
+  match int_of_string_opt t with
+  | Some v -> (v, ln)
+  | None -> Err.failf ?file:c.file ~line:ln ~token:t Err.Parse "expected an integer for %s" what
+
+let float_tok c what =
+  let t, ln = next c what in
+  match float_of_string_opt t with
+  | Some v -> (v, ln, t)
+  | None -> Err.failf ?file:c.file ~line:ln ~token:t Err.Parse "expected a number for %s" what
+
+(* A declared count can never exceed the token count of its own file;
+   checking this before allocating keeps a tampered header (say,
+   "999999999 nodes") from blowing up memory. *)
+let check_count c ln what v =
+  if v < 0 then
+    Err.failf ?file:c.file ~line:ln ~token:(string_of_int v) Err.Validation "%s must be non-negative"
+      what;
+  if v > Array.length c.toks then
+    Err.failf ?file:c.file ~line:ln ~token:(string_of_int v) Err.Validation
+      "declared %s (%d) exceeds the size of the input" what v
+
+(* Backstop: constructor sanity checks ([Wgraph.create],
+   [Instance.of_graph], [Placement.make]) become structured validation
+   errors instead of escaping as [Invalid_argument]. *)
+let constructed ?file f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument msg -> Err.fail ?file Err.Validation msg
+
+(* ---------- instance parsing ---------- *)
+
+let parse_instance c =
+  let magic, ln = next c "format header" in
+  if magic <> "dmnet-instance" then
+    Err.failf ?file:c.file ~line:ln ~token:magic Err.Parse
+      "bad header: expected \"dmnet-instance v1\"";
+  let version, vln = next c "format version" in
+  if version <> "v1" then
+    Err.failf ?file:c.file ~line:vln ~token:version Err.Parse
+      "unsupported dmnet-instance version %s (this build reads v1)" version;
+  let n, nln = int_tok c "the node count" in
+  check_count c nln "node count" n;
+  if n = 0 then Err.fail ?file:c.file ~line:nln Err.Validation "instance must have at least one node";
+  let k, kln = int_tok c "the object count" in
+  check_count c kln "object count" k;
+  if k = 0 then
+    Err.fail ?file:c.file ~line:kln Err.Validation "instance must have at least one object";
+  let m, mln = int_tok c "the edge count" in
+  check_count c mln "edge count" m;
+  let seen = Hashtbl.create (2 * m) in
+  let edges =
+    List.init m (fun _ ->
+        let u, uln = int_tok c "an edge endpoint" in
+        let v, vln = int_tok c "an edge endpoint" in
+        let w, wln, wtok = float_tok c "an edge weight" in
+        let endpoint e ln =
+          if e < 0 || e >= n then
+            Err.failf ?file:c.file ~line:ln ~token:(string_of_int e) Err.Validation
+              "edge endpoint %d out of range [0, %d)" e n
+        in
+        endpoint u uln;
+        endpoint v vln;
+        if u = v then
+          Err.failf ?file:c.file ~line:uln ~token:(string_of_int u) Err.Validation
+            "self-loop on node %d" u;
+        if w < 0.0 || not (Float.is_finite w) then
+          Err.failf ?file:c.file ~line:wln ~token:wtok Err.Validation
+            "edge weight must be finite and non-negative";
+        let key = (min u v, max u v) in
+        if Hashtbl.mem seen key then
+          Err.failf ?file:c.file ~line:uln Err.Validation "duplicate edge %d-%d" u v;
+        Hashtbl.add seen key ();
+        (u, v, w))
+  in
+  let g = constructed ?file:c.file (fun () -> Wgraph.create n edges) in
+  let cs =
+    Array.init n (fun i ->
+        let v, ln, tok = float_tok c (Printf.sprintf "storage cost %d of %d" (i + 1) n) in
+        if Float.is_nan v || v < 0.0 then
+          Err.failf ?file:c.file ~line:ln ~token:tok Err.Validation
+            "storage cost must be non-negative";
+        if v = infinity then
+          Err.failf ?file:c.file ~line:ln ~token:tok Err.Validation
+            "storage cost must be finite (non-finite costs do not round-trip)";
+        v)
+  in
+  let counts what =
+    Array.init k (fun x ->
+        Array.init n (fun i ->
+            let v, ln =
+              int_tok c (Printf.sprintf "%s count %d of %d for object %d" what (i + 1) n x)
+            in
+            if v < 0 then
+              Err.failf ?file:c.file ~line:ln ~token:(string_of_int v) Err.Validation
+                "%s count must be non-negative" what;
+            v))
+  in
+  let fr = counts "read" in
+  let fw = counts "write" in
+  if c.pos < Array.length c.toks then begin
+    let tok, ln = c.toks.(c.pos) in
+    Err.failf ?file:c.file ~line:ln ~token:tok Err.Parse
+      "trailing input after a complete instance"
+  end;
+  constructed ?file:c.file (fun () -> Instance.of_graph g ~cs ~fr ~fw)
+
+let instance_of_string_res ?file s = Err.protect (fun () -> parse_instance (cursor ?file s))
+let instance_of_string s = Err.get_ok (instance_of_string_res s)
+
+(* ---------- placement parsing ---------- *)
+
+let parse_placement ?file s =
+  match logical_lines s with
+  | [] -> Err.fail ?file Err.Parse "empty input: expected \"dmnet-placement v1\""
+  | (hln, header) :: rest ->
+      (match header with
+      | [ "dmnet-placement"; "v1" ] -> ()
+      | "dmnet-placement" :: version :: _ ->
+          Err.failf ?file ~line:hln ~token:version Err.Parse
+            "unsupported dmnet-placement version %s (this build reads v1)" version
+      | tok :: _ ->
+          Err.failf ?file ~line:hln ~token:tok Err.Parse
+            "bad header: expected \"dmnet-placement v1\""
+      | [] -> assert false);
+      (match rest with
+      | [] -> Err.fail ?file ~line:hln Err.Parse "truncated input: expected the object count"
+      | (cln, count_toks) :: rows ->
+          let k =
+            match count_toks with
+            | [ tok ] -> (
+                match int_of_string_opt tok with
+                | Some k when k >= 0 -> k
+                | Some _ ->
+                    Err.failf ?file ~line:cln ~token:tok Err.Validation
+                      "object count must be non-negative"
+                | None ->
+                    Err.failf ?file ~line:cln ~token:tok Err.Parse
+                      "expected an integer object count")
+            | tok :: _ ->
+                Err.failf ?file ~line:cln ~token:tok Err.Parse
+                  "the object count line must hold a single integer"
+            | [] -> assert false
+          in
+          if List.length rows <> k then
+            Err.failf ?file ~line:cln Err.Validation
+              "declared %d objects but found %d copy rows" k (List.length rows);
           let copies =
             List.map
-              (fun row ->
-                String.split_on_char ' ' row |> List.filter (( <> ) "") |> List.map int_of_string)
+              (fun (rln, toks) ->
+                List.map
+                  (fun tok ->
+                    match int_of_string_opt tok with
+                    | Some v when v >= 0 -> v
+                    | Some v ->
+                        Err.failf ?file ~line:rln ~token:(string_of_int v) Err.Validation
+                          "copy node must be non-negative"
+                    | None ->
+                        Err.failf ?file ~line:rln ~token:tok Err.Parse
+                          "expected an integer copy node")
+                  toks)
               rows
           in
-          ignore rest;
-          Placement.make (Array.of_list copies)
-      | _ -> failwith "Serial: bad placement")
-  | _ -> failwith "Serial: bad placement header"
+          constructed ?file (fun () -> Placement.make (Array.of_list copies)))
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+let placement_of_string_res ?file s = Err.protect (fun () -> parse_placement ?file s)
+let placement_of_string s = Err.get_ok (placement_of_string_res s)
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* ---------- crash-safe file I/O ---------- *)
+
+let rec retry_eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let io_error path op err =
+  Err.v ~file:path Err.Io (Printf.sprintf "%s: %s" op (Unix.error_message err))
+
+let read_file_res path =
+  match
+    Fault.check "serial.read";
+    let fd = retry_eintr (fun () -> Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0) in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        let buf = Bytes.create len in
+        let rec loop off =
+          if off >= len then off
+          else
+            match retry_eintr (fun () -> Unix.read fd buf off (len - off)) with
+            | 0 -> off
+            | r -> loop (off + r)
+        in
+        let got = loop 0 in
+        if got = len then Bytes.unsafe_to_string buf else Bytes.sub_string buf 0 got)
+  with
+  | s -> Ok s
+  | exception Err.Error e -> Error (Err.with_file path e)
+  | exception Unix.Unix_error (err, op, _) -> Error (io_error path op err)
+  | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+
+let read_file path = Err.get_ok (read_file_res path)
+
+(* Durable atomic replace: write a temp file in the same directory,
+   flush it to disk, then [rename] over the destination. Readers only
+   ever see the old contents or the complete new contents; any failure
+   (including an injected one) before the rename leaves the destination
+   untouched and removes the temp file. *)
+
+let tmp_counter = Atomic.make 0
+
+let write_file_res path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d.%d" (Filename.basename path) (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    Fault.check "serial.write.open";
+    let fd =
+      retry_eintr (fun () ->
+          Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644)
+    in
+    (try
+       Fault.check "serial.write.write";
+       let len = String.length contents in
+       let rec loop off =
+         if off < len then
+           loop (off + retry_eintr (fun () -> Unix.write_substring fd contents off (len - off)))
+       in
+       loop 0;
+       Fault.check "serial.write.fsync";
+       retry_eintr (fun () -> Unix.fsync fd);
+       retry_eintr (fun () -> Unix.close fd)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ | Sys_error _ -> ());
+       raise e);
+    Fault.check "serial.write.rename";
+    Sys.rename tmp path;
+    (* Make the rename itself durable; best-effort, as not every
+       platform lets a directory fd be fsync'd. *)
+    match retry_eintr (fun () -> Unix.openfile dir [ Unix.O_RDONLY ] 0) with
+    | dfd ->
+        (try retry_eintr (fun () -> Unix.fsync dfd) with Unix.Unix_error _ -> ());
+        (try Unix.close dfd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  with
+  | () -> Ok ()
+  | exception Err.Error e ->
+      cleanup ();
+      Error (Err.with_file path e)
+  | exception Unix.Unix_error (err, op, _) ->
+      cleanup ();
+      Error (io_error path op err)
+  | exception Sys_error msg ->
+      cleanup ();
+      Error (Err.v ~file:path Err.Io msg)
+
+let write_file path contents = Err.get_ok (write_file_res path contents)
+
+(* ---------- file + parse conveniences ---------- *)
+
+let ( let* ) = Result.bind
+
+let load_instance path =
+  let* s = read_file_res path in
+  instance_of_string_res ~file:path s
+
+let load_placement path =
+  let* s = read_file_res path in
+  placement_of_string_res ~file:path s

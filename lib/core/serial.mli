@@ -1,5 +1,6 @@
 (** Plain-text serialization of instances and placements, for the CLI
-    and for archiving experiment inputs.
+    and for archiving experiment inputs — with validated ingestion and
+    crash-safe file I/O.
 
     Instance format (whitespace-separated, [#] comments allowed):
     {v
@@ -9,16 +10,70 @@
     cs_0 .. cs_{n-1}
     fr_x0 .. fr_x{n-1}   (one line per object)
     fw_x0 .. fw_x{n-1}   (one line per object)
-    v} *)
+    v}
+
+    {2 Error model}
+
+    Every parser exists in two forms: a [Result]-based [_res] variant
+    returning [('a, Err.t) result], and a thin raising wrapper (the
+    historical API) that raises [Err.Error]. No input — however
+    mangled — escapes as a bare stdlib [Failure] or [Invalid_argument]:
+    syntactic damage is reported as {!Dmn_prelude.Err.Parse} and
+    well-formed-but-invalid data (endpoint out of range, duplicate
+    edge, non-finite weight or storage cost, negative count,
+    disconnected graph, object-count mismatch) as
+    {!Dmn_prelude.Err.Validation}, each carrying the source line and
+    offending token where one exists. Declared counts are bounded
+    against the input size before anything is allocated, so a tampered
+    header cannot trigger a huge allocation. *)
 
 val instance_to_string : Instance.t -> string
 
-(** @raise Failure on malformed input. Instances always round-trip
-    through a graph, so only graph-backed instances serialize. *)
+(** [instance_of_string_res ?file s] parses and fully validates [s].
+    [file] is attached to errors for reporting. Only graph-backed,
+    connected instances with finite storage costs round-trip. *)
+val instance_of_string_res : ?file:string -> string -> (Instance.t, Dmn_prelude.Err.t) result
+
+(** Raising wrapper over {!instance_of_string_res}.
+    @raise Dmn_prelude.Err.Error on malformed or invalid input. *)
 val instance_of_string : string -> Instance.t
 
 val placement_to_string : Placement.t -> string
+
+(** [placement_of_string_res ?file s] parses a placement and checks the
+    declared object count against the number of copy rows. *)
+val placement_of_string_res : ?file:string -> string -> (Placement.t, Dmn_prelude.Err.t) result
+
+(** Raising wrapper over {!placement_of_string_res}.
+    @raise Dmn_prelude.Err.Error on malformed or invalid input. *)
 val placement_of_string : string -> Placement.t
 
+(** {2 Crash-safe file I/O}
+
+    [write_file] is atomic and durable: contents go to a temp file in
+    the destination directory, are [fsync]'d, and are renamed over the
+    destination (the directory is then fsync'd best-effort). A crash or
+    injected fault at any point leaves either the complete old contents
+    or the complete new contents — never a truncated file — and no temp
+    file behind. Interrupted system calls ([EINTR]) are retried.
+
+    Both operations carry {!Dmn_prelude.Fault} injection points:
+    ["serial.read"], ["serial.write.open"], ["serial.write.write"],
+    ["serial.write.fsync"], ["serial.write.rename"]. *)
+
+val write_file_res : string -> string -> (unit, Dmn_prelude.Err.t) result
+
+(** @raise Dmn_prelude.Err.Error with kind [Io] (or [Fault] under
+    injection) on failure. *)
 val write_file : string -> string -> unit
+
+val read_file_res : string -> (string, Dmn_prelude.Err.t) result
+
+(** @raise Dmn_prelude.Err.Error with kind [Io] on failure. *)
 val read_file : string -> string
+
+(** [load_instance path] reads and parses in one step, attaching [path]
+    to any error. *)
+val load_instance : string -> (Instance.t, Dmn_prelude.Err.t) result
+
+val load_placement : string -> (Placement.t, Dmn_prelude.Err.t) result

@@ -14,7 +14,8 @@ let create n edge_list =
       (fun (u, v, w) ->
         if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Wgraph.create: endpoint out of range";
         if u = v then invalid_arg "Wgraph.create: self-loop";
-        if w < 0.0 || Float.is_nan w then invalid_arg "Wgraph.create: negative or NaN weight";
+        if w < 0.0 || not (Float.is_finite w) then
+          invalid_arg "Wgraph.create: edge weight must be finite and non-negative";
         let u, v = if u < v then (u, v) else (v, u) in
         if Hashtbl.mem seen (u, v) then invalid_arg "Wgraph.create: duplicate edge";
         Hashtbl.add seen (u, v) ();

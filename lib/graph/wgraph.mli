@@ -10,9 +10,9 @@ type t
 type edge = int * int * float
 
 (** [create n edges] builds a graph on [n] nodes. Duplicate edges and
-    self-loops are rejected with [Invalid_argument], as are negative
-    weights and out-of-range endpoints. The edge list is deduplicated by
-    unordered endpoint pair check. *)
+    self-loops are rejected with [Invalid_argument], as are non-finite
+    (NaN or infinite) or negative weights and out-of-range endpoints.
+    The edge list is deduplicated by unordered endpoint pair check. *)
 val create : int -> edge list -> t
 
 val n : t -> int
@@ -38,6 +38,10 @@ val max_degree : t -> int
 val edge_weight : t -> int -> int -> float
 
 val has_edge : t -> int -> int -> bool
+
+(** [bfs_hops g src] is the hop distance from [src] to every node, [-1]
+    for nodes unreachable from [src]. *)
+val bfs_hops : t -> int -> int array
 
 (** [is_connected g] holds when every node is reachable from node 0 (a
     graph with 0 nodes is connected). *)

@@ -1,0 +1,55 @@
+type kind = Parse | Validation | Io | Fault
+
+type t = {
+  kind : kind;
+  msg : string;
+  file : string option;
+  line : int option;
+  token : string option;
+}
+
+exception Error of t
+
+let v ?file ?line ?token kind msg = { kind; msg; file; line; token }
+let fail ?file ?line ?token kind msg = raise (Error (v ?file ?line ?token kind msg))
+
+let failf ?file ?line ?token kind fmt =
+  Printf.ksprintf (fun msg -> fail ?file ?line ?token kind msg) fmt
+
+let error ?file ?line ?token kind msg = Stdlib.Error (v ?file ?line ?token kind msg)
+
+let errorf ?file ?line ?token kind fmt =
+  Printf.ksprintf (fun msg -> error ?file ?line ?token kind msg) fmt
+
+let with_file file e = match e.file with Some _ -> e | None -> { e with file = Some file }
+let protect f = try Ok (f ()) with Error e -> Stdlib.Error e
+let get_ok = function Ok v -> v | Stdlib.Error e -> raise (Error e)
+
+let kind_name = function
+  | Parse -> "parse"
+  | Validation -> "validation"
+  | Io -> "i/o"
+  | Fault -> "injected-fault"
+
+let exit_code e = match e.kind with Parse | Validation -> 65 | Fault -> 70 | Io -> 74
+
+let to_string e =
+  let b = Buffer.create 64 in
+  (match (e.file, e.line) with
+  | Some f, Some l -> Buffer.add_string b (Printf.sprintf "%s:%d: " f l)
+  | Some f, None -> Buffer.add_string b (f ^ ": ")
+  | None, Some l -> Buffer.add_string b (Printf.sprintf "line %d: " l)
+  | None, None -> ());
+  Buffer.add_string b e.msg;
+  (match e.token with
+  | Some tok -> Buffer.add_string b (Printf.sprintf " (token %S)" tok)
+  | None -> ());
+  Buffer.contents b
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* Uncaught [Error]s at top level should still be readable. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Err.Error (%s: %s)" (kind_name e.kind) (to_string e))
+    | _ -> None)

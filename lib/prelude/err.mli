@@ -1,0 +1,74 @@
+(** Structured errors for the ingestion and I/O surface.
+
+    Every recoverable failure in parsing, validation and file I/O is
+    described by a {!t}: an error class plus a human-readable message
+    and optional file / line / token context. Modules expose both a
+    [Result]-based API returning [('a, Err.t) result] and thin raising
+    wrappers that raise {!Error} — never a bare stdlib [Failure] or
+    [Invalid_argument] with the context lost. *)
+
+(** Error taxonomy. [Parse] is a syntactically malformed input (bad
+    token, truncated file, unknown header); [Validation] is well-formed
+    input describing an invalid object (edge endpoint out of range,
+    disconnected graph, count mismatch); [Io] is an operating-system
+    file error; [Fault] is a deterministically injected failure from
+    {!Fault}. *)
+type kind = Parse | Validation | Io | Fault
+
+type t = {
+  kind : kind;
+  msg : string;
+  file : string option;  (** originating file, when known *)
+  line : int option;  (** 1-based line in [file] or in the input text *)
+  token : string option;  (** offending token, when one exists *)
+}
+
+(** Carrier for the raising wrappers. *)
+exception Error of t
+
+(** [v kind msg] builds an error value with optional context. *)
+val v : ?file:string -> ?line:int -> ?token:string -> kind -> string -> t
+
+(** [fail kind msg] raises {!Error}. *)
+val fail : ?file:string -> ?line:int -> ?token:string -> kind -> string -> 'a
+
+(** [failf kind fmt ...] is [fail] with a format string. *)
+val failf :
+  ?file:string -> ?line:int -> ?token:string -> kind -> ('a, unit, string, 'b) format4 -> 'a
+
+(** [error kind msg] is [Stdlib.Error (v kind msg)]. *)
+val error : ?file:string -> ?line:int -> ?token:string -> kind -> string -> ('a, t) result
+
+(** [errorf kind fmt ...] is [error] with a format string. *)
+val errorf :
+  ?file:string ->
+  ?line:int ->
+  ?token:string ->
+  kind ->
+  ('a, unit, string, ('b, t) result) format4 ->
+  'a
+
+(** [with_file file e] fills in [e.file] when absent (parsers work on
+    strings; the file name is attached by the caller that read it). *)
+val with_file : string -> t -> t
+
+(** [protect f] runs [f ()] and catches {!Error}, returning it as a
+    [result]. Other exceptions pass through. *)
+val protect : (unit -> 'a) -> ('a, t) result
+
+(** [get_ok r] unwraps [Ok] or raises {!Error} — the canonical raising
+    wrapper over a [Result]-based parser. *)
+val get_ok : ('a, t) result -> 'a
+
+val kind_name : kind -> string
+
+(** Suggested process exit code per class, following sysexits(3):
+    [Parse]/[Validation] -> 65 (EX_DATAERR), [Fault] -> 70
+    (EX_SOFTWARE), [Io] -> 74 (EX_IOERR). *)
+val exit_code : t -> int
+
+(** [to_string e] renders ["file:line: msg (token 'tok')"], omitting
+    absent context. One line, no trailing newline. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

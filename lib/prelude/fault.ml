@@ -1,0 +1,96 @@
+type config = { seed : int; rate : float; points : string list }
+
+(* [state]: [None] = not yet initialised from the environment,
+   [Some None] = disabled, [Some (Some c)] = enabled. Read by every
+   injection point, possibly from several domains at once. *)
+let state : config option option Atomic.t = Atomic.make None
+
+let validate_rate rate =
+  if Float.is_nan rate || rate < 0.0 || rate > 1.0 then
+    invalid_arg "Fault.configure: rate must be in [0, 1]"
+
+let from_env () =
+  match Sys.getenv_opt "DMNET_FAULT_RATE" with
+  | None -> None
+  | Some r -> (
+      match float_of_string_opt (String.trim r) with
+      | Some rate when rate > 0.0 && rate <= 1.0 ->
+          let seed =
+            match Sys.getenv_opt "DMNET_FAULT_SEED" with
+            | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> 0)
+            | None -> 0
+          in
+          Some { seed; rate; points = [] }
+      | _ -> None)
+
+let active () =
+  match Atomic.get state with
+  | Some c -> c
+  | None ->
+      let c = from_env () in
+      (* A racing domain computes the same value from the same env. *)
+      Atomic.set state (Some c);
+      c
+
+let configure ?(seed = 0) ?(rate = 0.1) ?(points = []) () =
+  validate_rate rate;
+  Atomic.set state (Some (Some { seed; rate; points }))
+
+let disable () = Atomic.set state (Some None)
+
+(* FNV-1a over the point name, then a SplitMix64 finalizer over
+   (seed, point hash, salt): a stateless, platform-independent coin. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let coin cfg point salt =
+  let z =
+    mix64
+      (Int64.logxor
+         (mix64 (Int64.of_int cfg.seed))
+         (Int64.add (fnv1a point) (Int64.mul (Int64.of_int salt) 0x9e3779b97f4a7c15L)))
+  in
+  (* top 53 bits -> uniform float in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+
+let selected cfg point = cfg.points = [] || List.mem point cfg.points
+let would_fail cfg point salt = selected cfg point && coin cfg point salt < cfg.rate
+
+let check_at point salt =
+  match active () with
+  | Some cfg when would_fail cfg point salt ->
+      Err.failf Err.Fault "injected fault at %s[%d] (seed %d, rate %g)" point salt cfg.seed
+        cfg.rate
+  | _ -> ()
+
+(* Per-point counters so interleaved points draw independent streams. *)
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+let counters_lock = Mutex.create ()
+
+let counter point =
+  match Hashtbl.find_opt counters point with
+  | Some c -> c
+  | None ->
+      Mutex.protect counters_lock (fun () ->
+          match Hashtbl.find_opt counters point with
+          | Some c -> c
+          | None ->
+              let c = Atomic.make 0 in
+              Hashtbl.add counters point c;
+              c)
+
+let check point =
+  match active () with
+  | None -> ()
+  | Some _ -> check_at point (Atomic.fetch_and_add (counter point) 1)

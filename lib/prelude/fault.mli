@@ -1,0 +1,52 @@
+(** Deterministic fault injection for chaos testing.
+
+    Production code is instrumented with named {e injection points}
+    ([Pool] task execution, [Serial] file I/O). When injection is
+    enabled, each point rolls a pseudo-random coin that is a {e pure
+    function} of [(seed, point name, salt)] — no global ordering, no
+    wall clock — so a given seed reproduces the exact same set of
+    injected failures on every run, at any domain count.
+
+    Injection is disabled by default and costs one atomic load per
+    point when off. It is enabled either programmatically with
+    {!configure} (tests) or by the environment ([DMNET_FAULT_RATE] > 0
+    enables; [DMNET_FAULT_SEED] picks the seed, default 0).
+
+    An injected failure raises [Err.Error] with kind {!Err.Fault} and a
+    message naming the point, salt and seed. *)
+
+type config = {
+  seed : int;
+  rate : float;  (** probability in [0, 1] that a point fires *)
+  points : string list;  (** restrict to these points; [[]] = all *)
+}
+
+(** [configure ?seed ?rate ?points ()] enables injection (defaults:
+    [seed 0], [rate 0.1], all points). @raise Invalid_argument if
+    [rate] is not in [0, 1] or is NaN. *)
+val configure : ?seed:int -> ?rate:float -> ?points:string list -> unit -> unit
+
+(** [disable ()] turns injection off (also overriding the
+    environment). *)
+val disable : unit -> unit
+
+(** [active ()] is the current configuration, if enabled. The initial
+    state is read lazily from [DMNET_FAULT_RATE] / [DMNET_FAULT_SEED]. *)
+val active : unit -> config option
+
+(** [check_at point salt] raises [Err.Error] (kind [Fault]) iff
+    injection is enabled, [point] is selected, and the deterministic
+    coin for [(seed, point, salt)] falls below the rate. Use an
+    externally meaningful salt (e.g. the task index) so the outcome is
+    independent of scheduling. *)
+val check_at : string -> int -> unit
+
+(** [check point] is {!check_at} with a per-point monotonic counter as
+    salt — deterministic for single-threaded call sites such as file
+    I/O, where the k-th operation at a point always draws the same
+    coin. *)
+val check : string -> unit
+
+(** [would_fail cfg point salt] is the pure coin used by {!check_at},
+    exposed for tests. *)
+val would_fail : config -> string -> int -> bool

@@ -41,7 +41,7 @@ let drain t j =
     Mutex.unlock t.lock;
     let prev = Domain.DLS.get inside_task in
     Domain.DLS.set inside_task true;
-    let err = (try j.run i; None with e -> Some e) in
+    let err = (try Fault.check_at "pool.task" i; j.run i; None with e -> Some e) in
     Domain.DLS.set inside_task prev;
     Mutex.lock t.lock;
     (match err with
@@ -93,6 +93,10 @@ let run_tasks t n run =
   if n > 0 then
     if t.size = 1 || n = 1 || Domain.DLS.get inside_task then
       for i = 0 to n - 1 do
+        (* Same injection point as [drain]: a seed that fails a task in
+           a parallel run fails the identical task here, so fault
+           outcomes do not depend on the domain count. *)
+        Fault.check_at "pool.task" i;
         run i
       done
     else begin

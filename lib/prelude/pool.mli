@@ -26,7 +26,11 @@ val shutdown : t -> unit
 
 (** [parallel_init t n f] is [Array.init n f] with the calls distributed
     over the pool. The first exception raised by a task is re-raised
-    after in-flight tasks drain; remaining unclaimed tasks are skipped. *)
+    after in-flight tasks drain; remaining unclaimed tasks are skipped.
+
+    Task execution carries the {!Fault} injection point ["pool.task"],
+    salted with the task index: under fault injection a given seed
+    fails the same tasks regardless of scheduling or domain count. *)
 val parallel_init : t -> int -> (int -> 'a) -> 'a array
 
 (** [parallel_map t f a] is [Array.map f a] over the pool. *)

@@ -10,6 +10,8 @@ let () =
       ("lp", Test_lp.suite);
       ("core", Test_core.suite);
       ("serial", Test_serial.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
       ("envelope", Test_envelope.suite);
       ("rtree", Test_rtree.suite);
       ("tree", Test_tree.suite);

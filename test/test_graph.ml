@@ -8,8 +8,13 @@ let create_rejects_bad_edges () =
       ignore (Wgraph.create 3 [ (0, 1, 1.0); (1, 0, 2.0) ]));
   Alcotest.check_raises "range" (Invalid_argument "Wgraph.create: endpoint out of range")
     (fun () -> ignore (Wgraph.create 2 [ (0, 2, 1.0) ]));
-  Alcotest.check_raises "negative" (Invalid_argument "Wgraph.create: negative or NaN weight")
-    (fun () -> ignore (Wgraph.create 2 [ (0, 1, -1.0) ]))
+  let bad_weight = Invalid_argument "Wgraph.create: edge weight must be finite and non-negative" in
+  Alcotest.check_raises "negative" bad_weight (fun () ->
+      ignore (Wgraph.create 2 [ (0, 1, -1.0) ]));
+  Alcotest.check_raises "nan" bad_weight (fun () ->
+      ignore (Wgraph.create 2 [ (0, 1, Float.nan) ]));
+  Alcotest.check_raises "infinite" bad_weight (fun () ->
+      ignore (Wgraph.create 2 [ (0, 1, infinity) ]))
 
 let adjacency_symmetric () =
   let g = Wgraph.create 4 [ (0, 1, 1.5); (1, 2, 2.5); (0, 3, 3.0) ] in

@@ -38,11 +38,82 @@ let placement_roundtrip () =
 
 let rejects_garbage () =
   (match S.instance_of_string "not an instance" with
-  | exception Failure _ -> ()
+  | exception Err.Error { Err.kind = Err.Parse; _ } -> ()
   | _ -> Alcotest.fail "garbage accepted");
   match S.placement_of_string "dmnet-instance v1" with
-  | exception Failure _ -> ()
+  | exception Err.Error { Err.kind = Err.Parse; _ } -> ()
   | _ -> Alcotest.fail "wrong header accepted"
+
+let expect_err what pred = function
+  | Error (e : Err.t) ->
+      if not (pred e) then
+        Alcotest.failf "%s: wrong error: %s (%s)" what (Err.to_string e) (Err.kind_name e.Err.kind)
+  | Ok _ -> Alcotest.failf "%s: accepted" what
+
+let structured_errors_carry_context () =
+  let inst = Util.random_graph_instance (Rng.create 3) 5 in
+  let good = S.instance_to_string inst in
+  (* version mismatch names the version *)
+  let v9 = "dmnet-instance v9\n1 1 0\n1\n1\n0\n" in
+  expect_err "version" (fun e ->
+      e.Err.kind = Err.Parse && e.Err.token = Some "v9" && e.Err.line = Some 1)
+    (S.instance_of_string_res v9);
+  (* a non-numeric token is named with its line *)
+  let mangled = String.concat "x" [ String.sub good 0 25; String.sub good 26 (String.length good - 26) ] in
+  (match S.instance_of_string_res mangled with
+  | Error e ->
+      if e.Err.line = None then Alcotest.fail "no line context"
+  | Ok _ -> () (* the mangled byte may still parse; accept *));
+  (* file name is attached by load_instance *)
+  let path = Filename.temp_file "dmnet" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.write_file path "dmnet-instance v1\n2 1 1\n0 1 oops\n1 1\n1 1\n0 0\n";
+      expect_err "file context" (fun e ->
+          e.Err.file = Some path && e.Err.token = Some "oops" && e.Err.line = Some 3)
+        (S.load_instance path))
+
+let rejects_invalid_values () =
+  let parse = S.instance_of_string_res in
+  let is_validation (e : Err.t) = e.Err.kind = Err.Validation in
+  expect_err "infinite weight" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 1 inf\n1 1\n1 1\n0 0\n");
+  expect_err "nan cs" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 1 1.0\nnan 1\n1 1\n0 0\n");
+  expect_err "infinite cs" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 1 1.0\ninf 1\n1 1\n0 0\n");
+  expect_err "negative count" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 1 1.0\n1 1\n-1 1\n0 0\n");
+  expect_err "endpoint range" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 7 1.0\n1 1\n1 1\n0 0\n");
+  expect_err "self loop" is_validation
+    (parse "dmnet-instance v1\n2 1 1\n0 0 1.0\n1 1\n1 1\n0 0\n");
+  expect_err "duplicate edge" is_validation
+    (parse "dmnet-instance v1\n2 1 2\n0 1 1.0\n1 0 2.0\n1 1\n1 1\n0 0\n");
+  expect_err "disconnected names a node" (fun e ->
+      is_validation e
+      && (let s = Err.to_string e in
+          let has sub =
+            let n = String.length sub in
+            let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          has "unreachable"))
+    (parse "dmnet-instance v1\n4 1 2\n0 1 1.0\n2 3 1.0\n1 1 1 1\n1 1 1 1\n0 0 0 0\n");
+  (* a huge declared count errors out instead of allocating *)
+  expect_err "huge n" is_validation (parse "dmnet-instance v1\n999999999 1 0\n1\n1\n0\n");
+  expect_err "trailing" (fun e -> e.Err.kind = Err.Parse)
+    (parse "dmnet-instance v1\n1 1 0\n1\n1\n0\n7\n")
+
+let placement_count_checked () =
+  expect_err "row count" (fun e -> e.Err.kind = Err.Validation)
+    (S.placement_of_string_res "dmnet-placement v1\n3\n0 1\n2\n");
+  expect_err "placement version" (fun e -> e.Err.kind = Err.Parse && e.Err.token = Some "v2")
+    (S.placement_of_string_res "dmnet-placement v2\n1\n0\n");
+  match S.placement_of_string_res "dmnet-placement v1\n2\n0 1\n2\n" with
+  | Ok p -> Alcotest.(check int) "objects" 2 (Dmn_core.Placement.objects p)
+  | Error e -> Alcotest.failf "valid placement rejected: %s" (Err.to_string e)
 
 let comments_ignored () =
   let inst = Util.random_graph_instance (Rng.create 1) 4 in
@@ -56,13 +127,26 @@ let file_io () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       S.write_file path "hello\nworld";
-      Alcotest.(check string) "roundtrip" "hello\nworld" (S.read_file path))
+      Alcotest.(check string) "roundtrip" "hello\nworld" (S.read_file path);
+      (* atomic replace overwrites in place *)
+      S.write_file path "second";
+      Alcotest.(check string) "replace" "second" (S.read_file path));
+  (* structured I/O errors *)
+  (match S.read_file_res "/nonexistent/dmnet/file" with
+  | Error e -> Alcotest.(check string) "io kind" "i/o" (Err.kind_name e.Err.kind)
+  | Ok _ -> Alcotest.fail "missing file read");
+  match S.write_file_res "/nonexistent/dmnet/file" "x" with
+  | Error e -> Alcotest.(check string) "io kind" "i/o" (Err.kind_name e.Err.kind)
+  | Ok _ -> Alcotest.fail "impossible write succeeded"
 
 let suite =
   [
     Alcotest.test_case "instance round trip" `Quick instance_roundtrip;
     Alcotest.test_case "placement round trip" `Quick placement_roundtrip;
     Alcotest.test_case "rejects garbage" `Quick rejects_garbage;
+    Alcotest.test_case "errors carry context" `Quick structured_errors_carry_context;
+    Alcotest.test_case "rejects invalid values" `Quick rejects_invalid_values;
+    Alcotest.test_case "placement count checked" `Quick placement_count_checked;
     Alcotest.test_case "comments ignored" `Quick comments_ignored;
     Alcotest.test_case "file io" `Quick file_io;
   ]
