@@ -761,7 +761,7 @@ let e15 () =
 (* ------------------------------------------------------------------ *)
 
 (* Machine-readable perf trajectory: every run rewrites
-   BENCH_placement.json so later PRs can diff wall times. *)
+   BENCH_<name>.json so later PRs can diff wall times. *)
 let json_number x =
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.6g" x
@@ -774,12 +774,13 @@ let json_field (k, v) =
     | `I i -> string_of_int i
     | `B b -> string_of_bool b)
 
-let write_bench_json file experiments =
+let write_bench_json ~bench file experiments =
   let obj fields = "    {" ^ String.concat ", " (List.map json_field fields) ^ "}" in
   let body = String.concat ",\n" (List.map obj experiments) in
   let oc = open_out file in
   Printf.fprintf oc
-    "{\n  \"bench\": \"placement\",\n  \"cores_available\": %d,\n  \"experiments\": [\n%s\n  ]\n}\n"
+    "{\n  \"bench\": \"%s\",\n  \"cores_available\": %d,\n  \"experiments\": [\n%s\n  ]\n}\n"
+    bench
     (Domain.recommended_domain_count ()) body;
   close_out oc;
   Printf.printf "\nwrote %s\n" file
@@ -885,7 +886,101 @@ let scale () =
       ("calls", `I (reps * I.objects inst)); ("reference_wall_s", `F t_seed);
       ("cached_wall_s", `F t_cached); ("speedup", `F (t_seed /. t_cached));
     ];
-  write_bench_json "BENCH_placement.json" (List.rev !records)
+  write_bench_json ~bench:"placement" "BENCH_placement.json" (List.rev !records)
+
+(* ------------------------------------------------------------------ *)
+(* replay: streaming engine policies + cross-domain determinism        *)
+(* ------------------------------------------------------------------ *)
+
+let replay () =
+  section "replay  streaming engine: policies on a drifting workload (tentpole PR 3)";
+  print_endline
+    "Every policy replays the *same* drifting stream (hotspots the\n\
+     static planner never saw) through the epoch engine. The static\n\
+     placement is the paper's 3-phase solution for the instance tables;\n\
+     resolve re-solves from observed frequencies at every epoch\n\
+     boundary, paying migration; cache is per-event threshold caching.\n\
+     Resolve must beat static here -- the margin lands in\n\
+     BENCH_replay.json, as does a byte-identity check of the metrics\n\
+     JSON across 1/2/4 domains.";
+  let module En = Dmn_engine.Engine in
+  let records = ref [] in
+  let record r = records := r :: !records in
+  let rng = Rng.create 24601 in
+  let n = 32 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.35 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let objects = 6 in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 10.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.zipf rng ~objects ~n:nn ~requests:(20 * nn) ~s:1.0 ~write_ratio:0.15
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let placement = A.solve inst in
+  let events = 40_000 and phases = 20 and epoch = 1000 in
+  (* the _seq generators are one-shot: recreate from the same seed so
+     every policy consumes the identical stream *)
+  let stream () =
+    Dmn_dynamic.Stream.drifting_seq (Rng.create 7) inst ~phases
+      ~phase_length:(events / phases) ~write_fraction:0.15
+  in
+  let config policy = { En.default_config with En.policy; epoch } in
+  let tbl =
+    Tbl.create
+      [ "policy"; "serving"; "storage"; "migration"; "total"; "copies"; "wall s" ]
+  in
+  let totals = ref [] in
+  List.iter
+    (fun policy ->
+      let r, dt = time_it (fun () -> En.run ~config:(config policy) inst placement (stream ())) in
+      let t = r.En.totals in
+      let total = En.total_cost t in
+      totals := (policy, total) :: !totals;
+      Tbl.add_row tbl
+        [
+          En.policy_name policy; Tbl.fl2 t.En.serving; Tbl.fl2 t.En.storage;
+          Tbl.fl2 t.En.migration; Tbl.fl2 total; string_of_int t.En.final_copies;
+          Printf.sprintf "%.4f" dt;
+        ];
+      record
+        [
+          ("name", `S "replay-policy"); ("policy", `S (En.policy_name policy));
+          ("n", `I nn); ("objects", `I objects); ("events", `I t.En.events);
+          ("epochs", `I (List.length r.En.epochs)); ("epoch_size", `I epoch);
+          ("serving", `F t.En.serving); ("storage", `F t.En.storage);
+          ("migration", `F t.En.migration); ("total_cost", `F total);
+          ("final_copies", `I t.En.final_copies); ("wall_s", `F dt);
+        ])
+    [ En.Static; En.Resolve; En.Cache ];
+  Tbl.print tbl;
+  let static_total = List.assoc En.Static !totals
+  and resolve_total = List.assoc En.Resolve !totals in
+  let margin = static_total /. resolve_total in
+  Printf.printf "\nresolve vs static on the drifting stream: %.2fx cheaper (%.2f -> %.2f)\n"
+    margin static_total resolve_total;
+  if resolve_total >= static_total then
+    failwith "replay: epoch re-solve failed to beat the static placement on a drifting stream";
+  record
+    [
+      ("name", `S "replay-resolve-vs-static"); ("static_total", `F static_total);
+      ("resolve_total", `F resolve_total); ("margin", `F margin);
+      ("resolve_beats_static", `B (resolve_total < static_total));
+    ];
+  (* cross-domain determinism: the metrics JSON must be byte-identical *)
+  let json_at domains =
+    Pool.with_pool ~domains (fun pool ->
+        En.metrics_json inst (En.run ~pool ~config:(config En.Resolve) inst placement (stream ())))
+  in
+  let j1 = json_at 1 in
+  let identical = List.for_all (fun d -> json_at d = j1) [ 2; 4 ] in
+  Printf.printf "metrics JSON identical across 1/2/4 domains: %b\n" identical;
+  if not identical then failwith "replay: metrics JSON diverged across domain counts";
+  record
+    [
+      ("name", `S "replay-domain-identity"); ("domains", `S "1,2,4");
+      ("json_bytes", `I (String.length j1)); ("identical_metrics_json", `B identical);
+    ];
+  write_bench_json ~bench:"replay" "BENCH_replay.json" (List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -978,7 +1073,7 @@ let micro () =
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("micro", micro);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("micro", micro);
   ]
 
 let () =

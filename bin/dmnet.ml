@@ -5,7 +5,8 @@
      solve    place objects with a chosen algorithm
      eval     evaluate a stored placement against an instance
      compare  run all algorithms on one instance and tabulate
-     radii    print the write/storage radii of an instance *)
+     radii    print the write/storage radii of an instance
+     replay   stream a request trace through the replay engine *)
 
 open Cmdliner
 open Dmn_prelude
@@ -316,6 +317,135 @@ let loadprofile_cmd =
     (Cmd.info "loadprofile" ~doc:"Per-edge routed load of a placement (congestion view)." ~exits)
     Term.(const run $ instance_arg $ algo)
 
+(* ---------- replay ---------- *)
+
+module E = Dmn_engine.Engine
+module Stream = Dmn_dynamic.Stream
+
+let replay_cmd =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay the request trace in $(docv) (dmnet-trace v1, e.g. from --trace-out). \
+                 Exactly one of $(b,--trace) and $(b,--scenario) is required.")
+  in
+  let scenario =
+    Arg.(value
+         & opt (some (Arg.enum [ ("stationary", `Stationary); ("drifting", `Drifting) ])) None
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Generate the stream instead of reading a file: $(b,stationary) samples the \
+                   instance's frequency tables i.i.d.; $(b,drifting) moves a hotspot between \
+                   phases (adversarial for static placements).")
+  in
+  let events =
+    Arg.(value & opt int 10000 & info [ "events" ] ~docv:"R"
+           ~doc:"Stream length for --scenario.")
+  in
+  let phases =
+    Arg.(value & opt int 10 & info [ "phases" ] ~docv:"P"
+           ~doc:"Hotspot phases for --scenario drifting (phase length = R/P).")
+  in
+  let write_fraction =
+    Arg.(value & opt float 0.2 & info [ "write-fraction" ] ~docv:"F"
+           ~doc:"Write share for --scenario drifting.")
+  in
+  let epoch =
+    Arg.(value & opt int 1000 & info [ "epoch" ] ~docv:"M"
+           ~doc:"Events per epoch: the engine buffers M events, serves them sharded over the \
+                 domain pool, then re-optimizes (policy resolve) and snapshots metrics.")
+  in
+  let policy =
+    Arg.(value
+         & opt (Arg.enum [ ("static", E.Static); ("resolve", E.Resolve); ("cache", E.Cache) ])
+             E.Resolve
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"static (never replan), resolve (re-solve from observed frequencies every \
+                   epoch, paying migration), or cache (per-event threshold caching).")
+  in
+  let period =
+    Arg.(value & opt (some int) None & info [ "period" ] ~docv:"T"
+           ~doc:"Storage period: events per full storage-rent charge (default: the instance's \
+                 request volume).")
+  in
+  let algo =
+    Arg.(value & opt string "approx-mp" & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"Algorithm for the initial placement (see $(b,dmnet solve)).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the metrics JSON to $(docv) (atomic write; stdout if omitted).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"With --scenario: persist the generated stream as a trace file, then replay \
+                 from it (the replay streams from disk, exercising the same path as --trace).")
+  in
+  let run file trace scenario events phases write_fraction epoch policy period algo metrics_out
+      trace_out seed domains =
+    protect @@ fun () ->
+    set_domains domains;
+    let inst = load_instance file in
+    let placement = solve_placement inst algo in
+    let config = { E.default_config with E.policy; epoch; storage_period = period } in
+    let make_seq () =
+      match scenario with
+      | Some `Stationary -> Stream.stationary_seq (Rng.create seed) inst ~length:events
+      | Some `Drifting ->
+          let phase_length = max 1 (events / max 1 phases) in
+          Stream.drifting_seq (Rng.create seed) inst ~phases ~phase_length ~write_fraction
+      | None -> assert false
+    in
+    let result =
+      match (trace, scenario) with
+      | Some path, None ->
+          if trace_out <> None then begin
+            Printf.eprintf "dmnet replay: --trace-out only applies to --scenario streams\n";
+            exit 2
+          end;
+          E.run_trace ~config inst placement path
+      | None, Some _ -> (
+          match trace_out with
+          | Some path ->
+              let header = { Dmn_core.Serial.Trace.nodes = I.n inst; objects = I.objects inst } in
+              let written =
+                Dmn_core.Serial.Trace.write path header
+                  (Seq.map
+                     (fun { Stream.node; x; kind } ->
+                       { Dmn_core.Serial.Trace.node; x; write = kind = Stream.Write })
+                     (make_seq ()))
+              in
+              Printf.eprintf "dmnet replay: wrote %d events to %s\n%!" written path;
+              E.run_trace ~config inst placement path
+          | None -> E.run ~config inst placement (make_seq ()))
+      | _ ->
+          Printf.eprintf "dmnet replay: pass exactly one of --trace FILE or --scenario NAME\n";
+          exit 2
+    in
+    let t = result.E.totals in
+    Printf.eprintf
+      "dmnet replay: policy %s, %d events in %d epochs: serving %.3f + storage %.3f + \
+       migration %.3f = %.3f (%d copies)\n\
+       %!"
+      (E.policy_name result.E.policy) t.E.events (List.length result.E.epochs) t.E.serving
+      t.E.storage t.E.migration (E.total_cost t) t.E.final_copies;
+    match metrics_out with
+    | Some path -> E.write_metrics path inst result
+    | None -> print_string (E.metrics_json inst result ^ "\n")
+  in
+  let term =
+    Term.(
+      const run $ instance_arg $ trace $ scenario $ events $ phases $ write_fraction $ epoch
+      $ policy $ period $ algo $ metrics_out $ trace_out $ seed_arg $ domains_arg)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Stream a request trace through the sharded replay engine: serve each epoch over the \
+          domain pool, optionally re-optimize the placement at epoch boundaries, and emit a \
+          per-epoch metrics timeline as JSON. Deterministic: the metrics JSON is byte-identical \
+          for every --domains value."
+       ~exits)
+    term
+
 (* ---------- radii ---------- *)
 
 let radii_cmd =
@@ -349,4 +479,6 @@ let () =
   let doc = "approximation algorithms for data management in networks (SPAA 2001)" in
   let info = Cmd.info "dmnet" ~version:"1.0.0" ~doc ~exits in
   exit
-    (Cmd.eval' (Cmd.group info [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd; replay_cmd ]))

@@ -357,6 +357,184 @@ let write_file_res path contents =
 
 let write_file path contents = Err.get_ok (write_file_res path contents)
 
+(* ---------- streaming request traces ---------- *)
+
+module Trace = struct
+  type header = { nodes : int; objects : int }
+  type event = { node : int; x : int; write : bool }
+
+  let int_field ?file ~line what t =
+    match int_of_string_opt t with
+    | Some v -> v
+    | None -> Err.failf ?file ~line ~token:t Err.Parse "expected an integer %s" what
+
+  let parse_event ?file ~header ln toks =
+    match toks with
+    | [ kind; node_tok; x_tok ] ->
+        let write =
+          match kind with
+          | "r" -> false
+          | "w" -> true
+          | _ ->
+              Err.failf ?file ~line:ln ~token:kind Err.Parse
+                "expected event kind 'r' or 'w'"
+        in
+        let node = int_field ?file ~line:ln "event node" node_tok in
+        let x = int_field ?file ~line:ln "event object" x_tok in
+        if node < 0 || node >= header.nodes then
+          Err.failf ?file ~line:ln ~token:node_tok Err.Validation
+            "event node %d out of range [0, %d)" node header.nodes;
+        if x < 0 || x >= header.objects then
+          Err.failf ?file ~line:ln ~token:x_tok Err.Validation
+            "event object %d out of range [0, %d)" x header.objects;
+        { node; x; write }
+    | tok :: _ ->
+        Err.failf ?file ~line:ln ~token:tok Err.Parse
+          "malformed event line: expected \"r|w <node> <object>\""
+    | [] -> assert false
+
+  (* One logical (non-blank, non-comment) line at a time, so a trace is
+     never materialized: memory is one line regardless of length. *)
+  let read_logical ic lineno =
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line -> (
+          incr lineno;
+          match split_tokens line with
+          | [] -> loop ()
+          | first :: _ when first.[0] = '#' -> loop ()
+          | toks -> Some (!lineno, toks))
+    in
+    loop ()
+
+  let parse_header ~file ic lineno =
+    (match read_logical ic lineno with
+    | None -> Err.fail ~file Err.Parse "empty input: expected \"dmnet-trace v1\""
+    | Some (_, [ "dmnet-trace"; "v1" ]) -> ()
+    | Some (ln, "dmnet-trace" :: version :: _) ->
+        Err.failf ~file ~line:ln ~token:version Err.Parse
+          "unsupported dmnet-trace version %s (this build reads v1)" version
+    | Some (ln, tok :: _) ->
+        Err.failf ~file ~line:ln ~token:tok Err.Parse
+          "bad header: expected \"dmnet-trace v1\""
+    | Some (_, []) -> assert false);
+    match read_logical ic lineno with
+    | None -> Err.fail ~file Err.Parse "truncated input: expected \"<nodes> <objects>\""
+    | Some (ln, [ ntok; ktok ]) ->
+        let nodes = int_field ~file ~line:ln "the node count" ntok in
+        let objects = int_field ~file ~line:ln "the object count" ktok in
+        if nodes <= 0 then
+          Err.failf ~file ~line:ln ~token:ntok Err.Validation "trace must cover at least one node";
+        if objects <= 0 then
+          Err.failf ~file ~line:ln ~token:ktok Err.Validation
+            "trace must cover at least one object";
+        { nodes; objects }
+    | Some (ln, tok :: _) ->
+        Err.failf ~file ~line:ln ~token:tok Err.Parse
+          "malformed count line: expected \"<nodes> <objects>\""
+    | Some (_, []) -> assert false
+
+  let with_reader_res path f =
+    match
+      Fault.check "trace.read";
+      open_in path
+    with
+    | exception Err.Error e -> Error (Err.with_file path e)
+    | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+          (fun () ->
+            match
+              let lineno = ref 0 in
+              let header = parse_header ~file:path ic lineno in
+              let rec next () =
+                Fault.check "trace.read.event";
+                match read_logical ic lineno with
+                | None -> Seq.Nil
+                | Some (ln, toks) ->
+                    Seq.Cons (parse_event ~file:path ~header ln toks, next)
+              in
+              f header next
+            with
+            | v -> Ok v
+            | exception Err.Error e -> Error (Err.with_file path e)
+            | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg))
+
+  let with_reader path f = Err.get_ok (with_reader_res path f)
+
+  let write_res path { nodes; objects } events =
+    if nodes <= 0 then Err.error ~file:path Err.Validation "trace must cover at least one node"
+    else if objects <= 0 then
+      Err.error ~file:path Err.Validation "trace must cover at least one object"
+    else begin
+      let dir = Filename.dirname path in
+      let tmp =
+        Filename.concat dir
+          (Printf.sprintf ".%s.tmp.%d.%d" (Filename.basename path) (Unix.getpid ())
+             (Atomic.fetch_and_add tmp_counter 1))
+      in
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      match
+        Fault.check "trace.write.open";
+        let fd =
+          retry_eintr (fun () ->
+              Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644)
+        in
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           Printf.fprintf oc "dmnet-trace v1\n%d %d\n" nodes objects;
+           let count = ref 0 in
+           Seq.iter
+             (fun { node; x; write } ->
+               if node < 0 || node >= nodes then
+                 Err.failf ~file:path Err.Validation "event node %d out of range [0, %d)" node
+                   nodes;
+               if x < 0 || x >= objects then
+                 Err.failf ~file:path Err.Validation "event object %d out of range [0, %d)" x
+                   objects;
+               output_string oc (if write then "w " else "r ");
+               output_string oc (string_of_int node);
+               output_char oc ' ';
+               output_string oc (string_of_int x);
+               output_char oc '\n';
+               incr count;
+               (* a periodic fault point so chaos can hit a mid-stream
+                  write without paying a coin per event *)
+               if !count land 4095 = 0 then Fault.check "trace.write.write")
+             events;
+           flush oc;
+           Fault.check "trace.write.fsync";
+           retry_eintr (fun () -> Unix.fsync fd);
+           close_out oc;
+           Fault.check "trace.write.rename";
+           Sys.rename tmp path;
+           (match retry_eintr (fun () -> Unix.openfile dir [ Unix.O_RDONLY ] 0) with
+           | dfd ->
+               (try retry_eintr (fun () -> Unix.fsync dfd) with Unix.Unix_error _ -> ());
+               (try Unix.close dfd with Unix.Unix_error _ -> ())
+           | exception Unix.Unix_error _ -> ());
+           !count
+         with e ->
+           close_out_noerr oc;
+           raise e)
+      with
+      | count -> Ok count
+      | exception Err.Error e ->
+          cleanup ();
+          Error (Err.with_file path e)
+      | exception Unix.Unix_error (err, op, _) ->
+          cleanup ();
+          Error (io_error path op err)
+      | exception Sys_error msg ->
+          cleanup ();
+          Error (Err.v ~file:path Err.Io msg)
+    end
+
+  let write path header events = Err.get_ok (write_res path header events)
+end
+
 (* ---------- file + parse conveniences ---------- *)
 
 let ( let* ) = Result.bind

@@ -77,3 +77,55 @@ val read_file : string -> string
 val load_instance : string -> (Instance.t, Dmn_prelude.Err.t) result
 
 val load_placement : string -> (Placement.t, Dmn_prelude.Err.t) result
+
+(** {2 Streaming request traces}
+
+    Text trace format (whitespace-separated, [#] comments allowed):
+    {v
+    dmnet-trace v1
+    <nodes> <objects>
+    r <node> <object>     (one line per event, in arrival order)
+    w <node> <object>
+    v}
+
+    Unlike the instance parser, traces are processed {e streamingly}:
+    the reader hands back a lazy [Seq.t] that holds one line in memory
+    at a time, and the writer drains a [Seq.t] to disk event by event —
+    a million-event trace costs O(1) memory on both sides. The same
+    error model applies: syntactic damage is {!Dmn_prelude.Err.Parse},
+    out-of-range nodes/objects are {!Dmn_prelude.Err.Validation}, both
+    carrying file and line. Fault points: ["trace.read"] at open,
+    ["trace.read.event"] per event, ["trace.write.open"],
+    ["trace.write.write"] (every 4096 events), ["trace.write.fsync"],
+    ["trace.write.rename"]. *)
+
+module Trace : sig
+  type header = { nodes : int; objects : int }
+
+  type event = { node : int; x : int; write : bool }
+
+  (** [with_reader_res path f] opens [path], parses and validates the
+      header, and runs [f header events]. [events] is a {e one-shot,
+      ephemeral} sequence: it reads from the file as it is forced and
+      is only valid inside [f] (the file is closed when [f] returns).
+      A malformed event encountered mid-stream raises [Err.Error] at
+      the offending element; that error (and any raised by [f]) is
+      returned as [Error]. *)
+  val with_reader_res :
+    string -> (header -> event Seq.t -> 'a) -> ('a, Dmn_prelude.Err.t) result
+
+  (** Raising wrapper over {!with_reader_res}.
+      @raise Dmn_prelude.Err.Error on malformed input or I/O failure. *)
+  val with_reader : string -> (header -> event Seq.t -> 'a) -> 'a
+
+  (** [write_res path header events] drains [events] to [path] with the
+      same atomic, durable protocol as {!write_file} (temp file +
+      [fsync] + rename), validating every event against [header].
+      Returns the number of events written. The sequence is forced
+      exactly once. *)
+  val write_res : string -> header -> event Seq.t -> (int, Dmn_prelude.Err.t) result
+
+  (** Raising wrapper over {!write_res}.
+      @raise Dmn_prelude.Err.Error on invalid events or I/O failure. *)
+  val write : string -> header -> event Seq.t -> int
+end

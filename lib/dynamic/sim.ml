@@ -15,16 +15,31 @@ let storage_rent inst (strategy : Strategy.t) =
   done;
   !acc
 
+(* The default storage period is the instance's request volume: that
+   way a stream of exactly one table's worth of events pays exactly one
+   round of rent. A zero-volume instance has no such period — silently
+   substituting one (the seed used [max 1], i.e. rent on every event)
+   distorts every total, so it is a structured precondition failure. *)
+let default_period inst ~who =
+  let total = ref 0 in
+  for x = 0 to I.objects inst - 1 do
+    total := !total + I.total_requests inst ~x
+  done;
+  if !total = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "%s: the instance has zero request volume, so there is no default storage period; \
+          pass ~storage_period explicitly"
+         who);
+  !total
+
 let run ?storage_period inst (strategy : Strategy.t) events =
   let period =
     match storage_period with
-    | Some p -> p
-    | None ->
-        let total = ref 0 in
-        for x = 0 to I.objects inst - 1 do
-          total := !total + I.total_requests inst ~x
-        done;
-        max 1 !total
+    | Some p ->
+        if p <= 0 then invalid_arg "Sim.run: storage_period must be positive";
+        p
+    | None -> default_period inst ~who:"Sim.run"
   in
   let serving = ref 0.0 and storage = ref 0.0 and count = ref 0 in
   List.iter
@@ -50,36 +65,49 @@ let run ?storage_period inst (strategy : Strategy.t) events =
     final_copies = !final_copies;
   }
 
-let competitive_ratio inst strategy events ~phase_length =
+let competitive_ratio ?storage_period inst strategy events ~phase_length =
   if phase_length <= 0 then invalid_arg "Sim.competitive_ratio: bad phase length";
-  let online = (run inst strategy events).total in
-  (* offline: an optimal-ish static placement per phase, each charged on
-     its own events with the same storage-period convention *)
+  let period =
+    match storage_period with
+    | Some p ->
+        if p <= 0 then invalid_arg "Sim.competitive_ratio: storage_period must be positive";
+        p
+    | None -> default_period inst ~who:"Sim.competitive_ratio"
+  in
+  let online = (run ~storage_period:period inst strategy events).total in
+  (* offline: an optimal-ish static placement per phase, each phase —
+     including the trailing partial one — charged serving on its own
+     events plus storage rent scaled by its actual length over the
+     storage period *)
   let rec phases acc current count = function
     | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
     | e :: rest ->
         if count = phase_length then phases (List.rev current :: acc) [ e ] 1 rest
         else phases acc (e :: current) (count + 1) rest
   in
-  let offline =
-    List.fold_left
-      (fun acc phase ->
-        let fr, fw = Stream.frequencies inst phase in
-        let phase_inst =
-          match I.graph inst with
-          | Some g -> I.of_graph g ~cs:(Array.init (I.n inst) (fun v -> I.cs inst v)) ~fr ~fw
-          | None -> invalid_arg "Sim.competitive_ratio: instance has no graph"
-        in
-        let placement =
-          Dmn_core.Placement.make
-            (Array.init (I.objects inst) (fun x ->
-                 if I.total_requests phase_inst ~x = 0 then [ 0 ]
-                 else Dmn_baselines.Greedy_place.add phase_inst ~x))
-        in
-        acc +. (run inst (Strategy.static inst placement) phase).total)
-      0.0
-      (phases [] [] 0 events)
+  let offline_phase phase =
+    let fr, fw = Stream.frequencies inst phase in
+    let phase_inst =
+      match I.graph inst with
+      | Some g -> I.of_graph g ~cs:(Array.init (I.n inst) (fun v -> I.cs inst v)) ~fr ~fw
+      | None -> invalid_arg "Sim.competitive_ratio: instance has no graph"
+    in
+    let placement =
+      Dmn_core.Placement.make
+        (Array.init (I.objects inst) (fun x ->
+             if I.total_requests phase_inst ~x = 0 then [ 0 ]
+             else Dmn_baselines.Greedy_place.add phase_inst ~x))
+    in
+    let strat = Strategy.static inst placement in
+    let serving =
+      List.fold_left
+        (fun acc { Stream.node; x; kind } -> acc +. strat.Strategy.serve ~x ~node kind)
+        0.0 phase
+    in
+    serving
+    +. storage_rent inst strat *. float_of_int (List.length phase) /. float_of_int period
   in
+  let offline = List.fold_left (fun acc phase -> acc +. offline_phase phase) 0.0 (phases [] [] 0 events) in
   if offline <= 0.0 then 1.0 else online /. offline
 
 let pp ppf r =

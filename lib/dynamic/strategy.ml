@@ -16,15 +16,15 @@ let nearest m copies v =
 
 let mst_weight m copies = Dmn_span.Steiner.approx_weight_metric m copies
 
-let static inst p =
+let serve_cost inst ~copies ~node kind =
   let m = I.metric inst in
-  let serve ~x ~node kind =
-    let copies = Dmn_core.Placement.copies p ~x in
-    let _, d = nearest m copies node in
-    match kind with
-    | Stream.Read -> d
-    | Stream.Write -> d +. mst_weight m copies
-  in
+  let _, d = nearest m copies node in
+  match kind with
+  | Stream.Read -> d
+  | Stream.Write -> d +. mst_weight m copies
+
+let static inst p =
+  let serve ~x ~node kind = serve_cost inst ~copies:(Dmn_core.Placement.copies p ~x) ~node kind in
   { name = "static"; serve; copies = (fun ~x -> Dmn_core.Placement.copies p ~x) }
 
 let migrating_owner ?(threshold = 8) inst =
@@ -56,18 +56,22 @@ let migrating_owner ?(threshold = 8) inst =
   in
   { name = "migrating-owner"; serve; copies = (fun ~x -> [ owner.(x) ]) }
 
-let threshold_caching ?(replicate_after = 4) ?(drop_after = 8) inst =
+let threshold_caching ?initial ?(replicate_after = 4) ?(drop_after = 8) inst =
   let m = I.metric inst in
   let k = I.objects inst in
   let n = I.n inst in
-  let initial =
+  let cheapest =
     let best = ref 0 in
     for v = 1 to n - 1 do
       if I.cs inst v < I.cs inst !best then best := v
     done;
     !best
   in
-  let copies = Array.init k (fun _ -> [ initial ]) in
+  let copies =
+    match initial with
+    | Some p -> Array.init k (fun x -> Dmn_core.Placement.copies p ~x)
+    | None -> Array.init k (fun _ -> [ cheapest ])
+  in
   let read_counts = Array.init k (fun _ -> Array.make n 0) in
   (* per-copy writes seen since the copy last served a read *)
   let stale = Array.init k (fun _ -> Hashtbl.create 8) in

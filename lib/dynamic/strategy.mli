@@ -13,6 +13,13 @@ type t = {
   copies : x:int -> int list;  (** current copy set of object [x] *)
 }
 
+(** [serve_cost inst ~copies ~node kind] is the stateless cost of one
+    event against a fixed copy set: a read pays the distance to the
+    nearest copy, a write that distance plus an MST multicast over
+    [copies]. This is the shared cost kernel of {!static} and of the
+    replay engine's policies. *)
+val serve_cost : Dmn_core.Instance.t -> copies:int list -> node:int -> Stream.kind -> float
+
 (** [static inst p] never changes the placement; with a stationary
     stream matching the instance tables this replays the static
     objective. *)
@@ -23,10 +30,18 @@ val static : Dmn_core.Instance.t -> Dmn_core.Placement.t -> t
     accesses since the last migration, paying the transfer distance. *)
 val migrating_owner : ?threshold:int -> Dmn_core.Instance.t -> t
 
-(** [threshold_caching ?replicate_after ?drop_after inst] maintains a
-    copy set per object: a node that accumulates [replicate_after]
-    (default 4) reads gets a copy (paying the transfer); a copy that
-    sees [drop_after] (default 8) writes without serving a read in
-    between is dropped (the writer's copy survives). Mirrors the
-    count-based dynamic tree strategies in spirit. *)
-val threshold_caching : ?replicate_after:int -> ?drop_after:int -> Dmn_core.Instance.t -> t
+(** [threshold_caching ?initial ?replicate_after ?drop_after inst]
+    maintains a copy set per object: a node that accumulates
+    [replicate_after] (default 4) reads gets a copy (paying the
+    transfer distance, charged exactly once at the promoting read); a
+    copy that sees [drop_after] (default 8) writes without serving a
+    read in between is dropped. The copy that serves a write always
+    survives the drop scan, so the copy set never empties. Mirrors the
+    count-based dynamic tree strategies in spirit.
+
+    [initial] seeds the per-object copy sets from a placement (e.g. a
+    solved static placement, as the replay engine does); by default
+    every object starts with a single copy on the cheapest storable
+    node. *)
+val threshold_caching :
+  ?initial:Dmn_core.Placement.t -> ?replicate_after:int -> ?drop_after:int -> Dmn_core.Instance.t -> t

@@ -5,8 +5,9 @@ type kind = Read | Write
 
 type event = { node : int; x : int; kind : kind }
 
-let stationary rng inst ~length =
+let stationary_seq rng inst ~length =
   let n = I.n inst and k = I.objects inst in
+  if length < 0 then invalid_arg "Stream.stationary: negative length";
   (* cumulative weights over (node, object, kind) triples *)
   let entries = ref [] in
   for x = 0 to k - 1 do
@@ -16,28 +17,58 @@ let stationary rng inst ~length =
     done
   done;
   let entries = Array.of_list !entries in
-  if Array.length entries = 0 then invalid_arg "Stream.stationary: no requests";
+  if Array.length entries = 0 then
+    Err.failf Err.Validation
+      "Stream.stationary: instance has no requests (n = %d, %d object%s, every fr/fw count is \
+       zero), so there is no distribution to sample"
+      n k
+      (if k = 1 then "" else "s");
   let total = Array.fold_left (fun acc (_, _, _, c) -> acc + c) 0 entries in
-  List.init length (fun _ ->
-      let target = Rng.int rng total in
-      let rec pick i acc =
-        let v, x, kind, c = entries.(i) in
-        if target < acc + c then { node = v; x; kind } else pick (i + 1) (acc + c)
-      in
-      pick 0 0)
+  let draw () =
+    let target = Rng.int rng total in
+    let rec pick i acc =
+      let v, x, kind, c = entries.(i) in
+      if target < acc + c then { node = v; x; kind } else pick (i + 1) (acc + c)
+    in
+    pick 0 0
+  in
+  Seq.init length (fun _ -> draw ())
+
+let stationary rng inst ~length = List.of_seq (stationary_seq rng inst ~length)
+
+let drifting_seq rng inst ~phases ~phase_length ~write_fraction =
+  let n = I.n inst and k = I.objects inst in
+  if phases < 0 then invalid_arg "Stream.drifting: negative phase count";
+  if phase_length < 0 then invalid_arg "Stream.drifting: negative phase length";
+  let nodes = Array.init n Fun.id in
+  if phase_length = 0 then Seq.empty
+  else begin
+    (* one-shot state machine: entering a phase re-samples the hotspot *)
+    let hot = ref [||] and phase = ref 0 and emitted = ref 0 in
+    let rec next () =
+      if !phase >= phases then Seq.Nil
+      else begin
+        if !emitted = 0 then hot := Rng.sample rng nodes (max 1 (n / 4));
+        let ev =
+          {
+            node = Rng.pick rng !hot;
+            x = Rng.int rng k;
+            kind = (if Rng.float rng 1.0 < write_fraction then Write else Read);
+          }
+        in
+        incr emitted;
+        if !emitted = phase_length then begin
+          emitted := 0;
+          incr phase
+        end;
+        Seq.Cons (ev, next)
+      end
+    in
+    next
+  end
 
 let drifting rng inst ~phases ~phase_length ~write_fraction =
-  let n = I.n inst and k = I.objects inst in
-  let nodes = Array.init n Fun.id in
-  List.concat
-    (List.init phases (fun _ ->
-         let hot = Rng.sample rng nodes (max 1 (n / 4)) in
-         List.init phase_length (fun _ ->
-             {
-               node = Rng.pick rng hot;
-               x = Rng.int rng k;
-               kind = (if Rng.float rng 1.0 < write_fraction then Write else Read);
-             })))
+  List.of_seq (drifting_seq rng inst ~phases ~phase_length ~write_fraction)
 
 let frequencies inst events =
   let n = I.n inst and k = I.objects inst in

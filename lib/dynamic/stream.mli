@@ -2,10 +2,12 @@
     beyond the paper, which is static; cf. its discussion of the dynamic
     strategies of Awerbuch et al. and Maggs et al.).
 
-    A stream is a finite event list; strategies are charged per event
-    plus periodic storage rent, so a stationary stream of length equal
-    to the instance's request volume is directly comparable to the
-    static objective. *)
+    A stream is either a finite event list (the simulator's historical
+    interface) or a lazily generated [Seq.t] of the same events for the
+    streaming replay engine, which never materializes the trace. The
+    [_seq] generators are {e one-shot}: they draw from the supplied
+    {!Dmn_prelude.Rng.t} as the sequence is forced, so force each
+    sequence at most once (re-create it from a fresh seed to replay). *)
 
 open Dmn_prelude
 
@@ -13,15 +15,31 @@ type kind = Read | Write
 
 type event = { node : int; x : int; kind : kind }
 
-(** [stationary rng inst ~length] samples events i.i.d. from the
+(** [stationary_seq rng inst ~length] samples events i.i.d. from the
     instance's frequency tables (all objects pooled proportionally).
-    The instance must have at least one request. *)
+    The tables are validated eagerly: an instance with zero request
+    volume raises {!Dmn_prelude.Err.Error} (kind [Validation]) naming
+    the instance shape, since there is no distribution to sample. *)
+val stationary_seq : Rng.t -> Dmn_core.Instance.t -> length:int -> event Seq.t
+
+(** [stationary rng inst ~length] is [stationary_seq] forced to a list.
+    @raise Dmn_prelude.Err.Error on an instance with no requests. *)
 val stationary : Rng.t -> Dmn_core.Instance.t -> length:int -> event list
 
-(** [drifting rng inst ~phases ~phase_length ~write_fraction] ignores
-    the instance's tables and generates phase-local hotspots: in each
-    phase a random quarter of the nodes issues all requests. This is the
-    adversarial-for-static workload. *)
+(** [drifting_seq rng inst ~phases ~phase_length ~write_fraction]
+    ignores the instance's tables and generates phase-local hotspots: in
+    each phase a random quarter of the nodes issues all requests. This
+    is the adversarial-for-static workload. *)
+val drifting_seq :
+  Rng.t ->
+  Dmn_core.Instance.t ->
+  phases:int ->
+  phase_length:int ->
+  write_fraction:float ->
+  event Seq.t
+
+(** [drifting rng inst ~phases ~phase_length ~write_fraction] is
+    [drifting_seq] forced to a list. *)
 val drifting :
   Rng.t -> Dmn_core.Instance.t -> phases:int -> phase_length:int -> write_fraction:float -> event list
 

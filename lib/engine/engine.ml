@@ -1,0 +1,434 @@
+module I = Dmn_core.Instance
+module P = Dmn_core.Placement
+module A = Dmn_core.Approx
+module Serial = Dmn_core.Serial
+module Sg = Dmn_dynamic.Strategy
+module Stream = Dmn_dynamic.Stream
+module Pool = Dmn_prelude.Pool
+module Metrics = Dmn_prelude.Metrics
+module Stats = Dmn_prelude.Stats
+module Err = Dmn_prelude.Err
+open Dmn_paths
+
+type policy = Static | Resolve | Cache
+
+let policy_name = function Static -> "static" | Resolve -> "resolve" | Cache -> "cache"
+
+let policy_of_string = function
+  | "static" -> Some Static
+  | "resolve" -> Some Resolve
+  | "cache" -> Some Cache
+  | _ -> None
+
+type config = {
+  policy : policy;
+  epoch : int;
+  storage_period : int option;
+  solver : A.config;
+  replicate_after : int;
+  drop_after : int;
+}
+
+let default_config =
+  {
+    policy = Resolve;
+    epoch = 1000;
+    storage_period = None;
+    solver = A.default_config;
+    replicate_after = 4;
+    drop_after = 8;
+  }
+
+type epoch_stats = {
+  index : int;
+  events : int;
+  reads : int;
+  writes : int;
+  serving : float;
+  storage : float;
+  migration : float;
+  resolves : int;
+  copies : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type totals = {
+  events : int;
+  reads : int;
+  writes : int;
+  serving : float;
+  storage : float;
+  migration : float;
+  resolves : int;
+  final_copies : int;
+}
+
+let total_cost t = t.serving +. t.storage +. t.migration
+
+type result = {
+  policy : policy;
+  epoch_size : int;
+  period : int;
+  epochs : epoch_stats list;
+  totals : totals;
+  snapshots : (string * Metrics.value) list list;
+  final : (string * Metrics.value) list;
+}
+
+let default_period inst ~who =
+  let total = ref 0 in
+  for x = 0 to I.objects inst - 1 do
+    total := !total + I.total_requests inst ~x
+  done;
+  if !total = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "%s: the instance has zero request volume, so there is no default storage period; \
+          pass ~storage_period explicitly"
+         who);
+  !total
+
+(* All instruments of a run, registered once so snapshots share one
+   stable field order. *)
+type instruments = {
+  reg : Metrics.t;
+  c_events : Metrics.counter;
+  c_reads : Metrics.counter;
+  c_writes : Metrics.counter;
+  c_resolves : Metrics.counter;
+  g_epoch : Metrics.gauge;
+  g_events : Metrics.gauge;
+  g_reads : Metrics.gauge;
+  g_writes : Metrics.gauge;
+  g_serving : Metrics.gauge;
+  g_storage : Metrics.gauge;
+  g_migration : Metrics.gauge;
+  g_resolves : Metrics.gauge;
+  g_copies : Metrics.gauge;
+  g_p50 : Metrics.gauge;
+  g_p95 : Metrics.gauge;
+  g_p99 : Metrics.gauge;
+  h_cost : Metrics.histogram;
+}
+
+let make_instruments () =
+  (* sequenced lets, not a record literal: field expressions evaluate
+     right-to-left and would register the instruments in reverse *)
+  let reg = Metrics.create () in
+  let c_events = Metrics.counter reg "events_total" in
+  let c_reads = Metrics.counter reg "reads_total" in
+  let c_writes = Metrics.counter reg "writes_total" in
+  let c_resolves = Metrics.counter reg "resolves_total" in
+  let g_epoch = Metrics.gauge reg "epoch" in
+  let g_events = Metrics.gauge reg "epoch_events" in
+  let g_reads = Metrics.gauge reg "epoch_reads" in
+  let g_writes = Metrics.gauge reg "epoch_writes" in
+  let g_serving = Metrics.gauge reg "epoch_serving" in
+  let g_storage = Metrics.gauge reg "epoch_storage" in
+  let g_migration = Metrics.gauge reg "epoch_migration" in
+  let g_resolves = Metrics.gauge reg "epoch_resolves" in
+  let g_copies = Metrics.gauge reg "copies" in
+  let g_p50 = Metrics.gauge reg "request_cost_p50" in
+  let g_p95 = Metrics.gauge reg "request_cost_p95" in
+  let g_p99 = Metrics.gauge reg "request_cost_p99" in
+  let h_cost = Metrics.histogram reg "request_cost" in
+  {
+    reg;
+    c_events;
+    c_reads;
+    c_writes;
+    c_resolves;
+    g_epoch;
+    g_events;
+    g_reads;
+    g_writes;
+    g_serving;
+    g_storage;
+    g_migration;
+    g_resolves;
+    g_copies;
+    g_p50;
+    g_p95;
+    g_p99;
+    h_cost;
+  }
+
+let run ?pool ?(config = default_config) inst placement events =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if config.epoch <= 0 then invalid_arg "Engine.run: epoch must be positive";
+  let period =
+    match config.storage_period with
+    | Some p ->
+        if p <= 0 then invalid_arg "Engine.run: storage_period must be positive";
+        p
+    | None -> default_period inst ~who:"Engine.run"
+  in
+  (match P.validate inst placement with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: initial placement: " ^ msg));
+  let n = I.n inst and k = I.objects inst in
+  let metric = I.metric inst in
+  let copies = Array.init k (fun x -> P.copies placement ~x) in
+  (* The cache policy delegates per-event decisions to the threshold
+     strategy; its state is per-object, so pool tasks sharded by object
+     mutate disjoint slots. *)
+  let cache_strategy =
+    match config.policy with
+    | Cache ->
+        Some
+          (Sg.threshold_caching ~initial:placement ~replicate_after:config.replicate_after
+             ~drop_after:config.drop_after inst)
+    | Static | Resolve -> None
+  in
+  let current_copies x =
+    match cache_strategy with Some s -> s.Sg.copies ~x | None -> copies.(x)
+  in
+  let total_copies () =
+    let acc = ref 0 in
+    for x = 0 to k - 1 do
+      acc := !acc + List.length (current_copies x)
+    done;
+    !acc
+  in
+  let ins = make_instruments () in
+  (* epoch working state, reused across epochs *)
+  let dummy = { Stream.node = 0; x = 0; kind = Stream.Read } in
+  let buffer = Array.make config.epoch dummy in
+  let counts = Array.make k 0 in
+  let slot_of_x = Array.make k (-1) in
+  let seen = ref 0 in
+  let rec fill seq m =
+    if m = config.epoch then (m, seq)
+    else
+      match Seq.uncons seq with
+      | None -> (m, Seq.empty)
+      | Some (({ Stream.node; x; _ } as e), rest) ->
+          if node < 0 || node >= n then
+            invalid_arg
+              (Printf.sprintf "Engine.run: event %d: node %d out of range [0, %d)" !seen node n);
+          if x < 0 || x >= k then
+            invalid_arg
+              (Printf.sprintf "Engine.run: event %d: object %d out of range [0, %d)" !seen x k);
+          incr seen;
+          buffer.(m) <- e;
+          fill rest (m + 1)
+  in
+  let epochs = ref [] in
+  let snapshots = ref [] in
+  let t_events = ref 0
+  and t_reads = ref 0
+  and t_serving = ref 0.0
+  and t_storage = ref 0.0
+  and t_migration = ref 0.0
+  and t_resolves = ref 0 in
+  let rec loop seq index =
+    let m, rest = fill seq 0 in
+    if m = 0 then ()
+    else begin
+      (* shard the epoch's events by object id *)
+      Array.fill counts 0 k 0;
+      for i = 0 to m - 1 do
+        counts.(buffer.(i).Stream.x) <- counts.(buffer.(i).Stream.x) + 1
+      done;
+      let active = ref [] in
+      for x = k - 1 downto 0 do
+        if counts.(x) > 0 then active := x :: !active
+      done;
+      let active = Array.of_list !active in
+      let na = Array.length active in
+      Array.iteri (fun i x -> slot_of_x.(x) <- i) active;
+      let obj_events = Array.map (fun x -> Array.make counts.(x) dummy) active in
+      let fill_pos = Array.make na 0 in
+      for i = 0 to m - 1 do
+        let s = slot_of_x.(buffer.(i).Stream.x) in
+        obj_events.(s).(fill_pos.(s)) <- buffer.(i);
+        fill_pos.(s) <- fill_pos.(s) + 1
+      done;
+      (* parallel serving: one task per active object, each writing its
+         private cost array; objects are independent in the cost model,
+         so the shard results do not depend on scheduling *)
+      let costs_per_obj =
+        Pool.parallel_init pool na (fun s ->
+            let x = active.(s) in
+            let evs = obj_events.(s) in
+            match cache_strategy with
+            | Some strat ->
+                Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
+            | None ->
+                let cset = copies.(x) in
+                Array.map (fun e -> Sg.serve_cost inst ~copies:cset ~node:e.Stream.node e.Stream.kind) evs)
+      in
+      (* sequential merge in object order: float sums, histogram
+         observations and the percentile sample are all accumulated
+         here, in a scheduling-independent order *)
+      let epoch_costs = Array.make m 0.0 in
+      let pos = ref 0 in
+      let serving = ref 0.0 and reads = ref 0 in
+      for s = 0 to na - 1 do
+        let evs = obj_events.(s) and cs = costs_per_obj.(s) in
+        for i = 0 to Array.length cs - 1 do
+          let c = cs.(i) in
+          serving := !serving +. c;
+          epoch_costs.(!pos) <- c;
+          incr pos;
+          Metrics.observe ins.h_cost c;
+          if evs.(i).Stream.kind = Stream.Read then incr reads
+        done
+      done;
+      let writes = m - !reads in
+      (* rent on the copy sets held after serving, pro-rated by the
+         epoch's share of the storage period *)
+      let frac = float_of_int m /. float_of_int period in
+      let storage = ref 0.0 in
+      for x = 0 to k - 1 do
+        List.iter (fun c -> storage := !storage +. (I.cs inst c *. frac)) (current_copies x)
+      done;
+      (* epoch re-optimization: re-solve every object that saw traffic
+         on the observed frequencies, with storage fees scaled to the
+         epoch's share of the period so the solver faces the same
+         storage-vs-communication tradeoff the engine charges *)
+      let migration = ref 0.0 and resolves = ref 0 in
+      (match config.policy with
+      | Static | Cache -> ()
+      | Resolve ->
+          let fr = Array.make_matrix k n 0 and fw = Array.make_matrix k n 0 in
+          for i = 0 to m - 1 do
+            let { Stream.node; x; kind } = buffer.(i) in
+            match kind with
+            | Stream.Read -> fr.(x).(node) <- fr.(x).(node) + 1
+            | Stream.Write -> fw.(x).(node) <- fw.(x).(node) + 1
+          done;
+          let scaled_cs = Array.init n (fun v -> I.cs inst v *. frac) in
+          let einst = I.of_metric metric ~cs:scaled_cs ~fr ~fw in
+          let solved =
+            Pool.parallel_init pool na (fun s ->
+                A.place_object ~config:config.solver einst ~x:active.(s))
+          in
+          resolves := na;
+          for s = 0 to na - 1 do
+            let x = active.(s) in
+            let old = copies.(x) in
+            List.iter
+              (fun c ->
+                if not (List.mem c old) then
+                  let d =
+                    List.fold_left (fun acc o -> Float.min acc (Metric.d metric c o)) infinity old
+                  in
+                  migration := !migration +. d)
+              solved.(s);
+            copies.(x) <- solved.(s)
+          done);
+      let copies_now = total_copies () in
+      let p50 = Stats.percentile epoch_costs 50.0
+      and p95 = Stats.percentile epoch_costs 95.0
+      and p99 = Stats.percentile epoch_costs 99.0 in
+      Metrics.add ins.c_events m;
+      Metrics.add ins.c_reads !reads;
+      Metrics.add ins.c_writes writes;
+      Metrics.add ins.c_resolves !resolves;
+      Metrics.set ins.g_epoch (float_of_int index);
+      Metrics.set ins.g_events (float_of_int m);
+      Metrics.set ins.g_reads (float_of_int !reads);
+      Metrics.set ins.g_writes (float_of_int writes);
+      Metrics.set ins.g_serving !serving;
+      Metrics.set ins.g_storage !storage;
+      Metrics.set ins.g_migration !migration;
+      Metrics.set ins.g_resolves (float_of_int !resolves);
+      Metrics.set ins.g_copies (float_of_int copies_now);
+      Metrics.set ins.g_p50 p50;
+      Metrics.set ins.g_p95 p95;
+      Metrics.set ins.g_p99 p99;
+      snapshots := Metrics.snapshot ins.reg :: !snapshots;
+      epochs :=
+        {
+          index;
+          events = m;
+          reads = !reads;
+          writes;
+          serving = !serving;
+          storage = !storage;
+          migration = !migration;
+          resolves = !resolves;
+          copies = copies_now;
+          p50;
+          p95;
+          p99;
+        }
+        :: !epochs;
+      t_events := !t_events + m;
+      t_reads := !t_reads + !reads;
+      t_serving := !t_serving +. !serving;
+      t_storage := !t_storage +. !storage;
+      t_migration := !t_migration +. !migration;
+      t_resolves := !t_resolves + !resolves;
+      loop rest (index + 1)
+    end
+  in
+  loop events 0;
+  {
+    policy = config.policy;
+    epoch_size = config.epoch;
+    period;
+    epochs = List.rev !epochs;
+    totals =
+      {
+        events = !t_events;
+        reads = !t_reads;
+        writes = !t_events - !t_reads;
+        serving = !t_serving;
+        storage = !t_storage;
+        migration = !t_migration;
+        resolves = !t_resolves;
+        final_copies = total_copies ();
+      };
+    snapshots = List.rev !snapshots;
+    final = Metrics.snapshot ins.reg;
+  }
+
+let of_trace_event { Serial.Trace.node; x; write } =
+  { Stream.node; x; kind = (if write then Stream.Write else Stream.Read) }
+
+let run_trace ?pool ?config inst placement path =
+  Serial.Trace.with_reader path (fun header events ->
+      if header.Serial.Trace.nodes <> I.n inst || header.Serial.Trace.objects <> I.objects inst
+      then
+        Err.failf ~file:path Err.Validation
+          "trace header (%d nodes, %d objects) does not match the instance (%d nodes, %d objects)"
+          header.Serial.Trace.nodes header.Serial.Trace.objects (I.n inst) (I.objects inst);
+      run ?pool ?config inst placement (Seq.map of_trace_event events))
+
+let metrics_json inst r =
+  let buf = Buffer.create 4096 in
+  let fl = Metrics.json_float in
+  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":1";
+  Buffer.add_string buf (Printf.sprintf ",\"policy\":%S" (policy_name r.policy));
+  Buffer.add_string buf (Printf.sprintf ",\"epoch_size\":%d" r.epoch_size);
+  Buffer.add_string buf (Printf.sprintf ",\"storage_period\":%d" r.period);
+  Buffer.add_string buf (Printf.sprintf ",\"nodes\":%d" (I.n inst));
+  Buffer.add_string buf (Printf.sprintf ",\"objects\":%d" (I.objects inst));
+  Buffer.add_string buf ",\"epochs\":[";
+  List.iteri
+    (fun i snap ->
+      if i > 0 then Buffer.add_char buf ',';
+      let scalar = List.filter (fun (_, v) -> match v with Metrics.Hist _ -> false | _ -> true) snap in
+      Buffer.add_string buf (Metrics.snapshot_to_json scalar))
+    r.snapshots;
+  Buffer.add_char buf ']';
+  let t = r.totals in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"final_copies\":%d,\"total_cost\":%s}"
+       t.events t.reads t.writes (fl t.serving) (fl t.storage) (fl t.migration) t.resolves
+       t.final_copies
+       (fl (total_cost t)));
+  (match List.assoc_opt "request_cost" r.final with
+  | Some (Metrics.Hist _ as h) ->
+      Buffer.add_string buf ",\"request_cost\":";
+      Buffer.add_string buf (Metrics.value_to_json h)
+  | _ -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_metrics path inst r = Serial.write_file path (metrics_json inst r ^ "\n")

@@ -1,0 +1,151 @@
+(** Streaming replay engine: serves a request trace against a live
+    placement, incrementally and in parallel.
+
+    The paper's motivating applications (Section 1 — WWW content
+    distribution, virtual shared memory, distributed file systems) are
+    request-serving systems; this engine turns the repository's static
+    constant-factor pipeline into an online serving loop:
+
+    - {b Sharded serving.} Requests are consumed from a [Seq.t] in
+      epochs of [epoch] events (the trace is never materialized:
+      memory is O(epoch + n·k)). Within an epoch, per-object work is
+      fanned out over a {!Dmn_prelude.Pool}; objects are independent in
+      the paper's cost model, so sharding by object id is {e exact},
+      and shard results are merged in object order — the engine's
+      costs, states and metrics are bit-identical at every domain
+      count.
+    - {b Epoch re-optimization} ([Resolve] policy). At each epoch
+      boundary the engine re-tabulates the epoch's observed
+      frequencies, scales storage fees by the epoch's share of the
+      storage period, re-solves each active object with the paper's
+      3-phase algorithm ({!Dmn_core.Approx.place_object}) on the
+      observed instance, and charges each added copy the object
+      transfer distance from the nearest previous copy. Objects with no
+      traffic in the epoch keep their copy sets.
+    - {b Telemetry.} A {!Dmn_prelude.Metrics} registry (cumulative
+      counters, per-epoch gauges, a log-scale histogram of per-request
+      serving cost) is snapshotted every epoch; {!metrics_json} renders
+      the timeline as machine-readable JSON and {!write_metrics} stores
+      it atomically via {!Dmn_core.Serial.write_file}.
+
+    Accounting conventions: serving costs follow
+    {!Dmn_dynamic.Strategy.serve_cost}; storage rent is charged per
+    epoch on the copy sets held at the end of the epoch's serving pass
+    (before any re-solve), scaled by [epoch events / storage_period];
+    migration covers [Resolve] copy transfers (the [Cache] policy's
+    replication transfers are embedded in its serving costs, as in
+    {!Dmn_dynamic.Strategy.threshold_caching}). *)
+
+type policy =
+  | Static  (** never touch the initial placement *)
+  | Resolve  (** re-solve from observed frequencies every epoch *)
+  | Cache  (** per-event threshold caching seeded with the placement *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type config = {
+  policy : policy;
+  epoch : int;  (** events per epoch (> 0) *)
+  storage_period : int option;
+      (** events per full storage-rent charge; [None] = the instance's
+          request volume, matching {!Dmn_dynamic.Sim.run} *)
+  solver : Dmn_core.Approx.config;  (** pipeline used by [Resolve] *)
+  replicate_after : int;  (** [Cache] promotion threshold *)
+  drop_after : int;  (** [Cache] eviction threshold *)
+}
+
+(** [Resolve], epoch 1000, default solver and cache thresholds. *)
+val default_config : config
+
+(** Per-epoch record. Costs are per-epoch (not cumulative); [copies]
+    is the total copy count over all objects at the end of the epoch
+    (after any re-solve). Percentiles are over the epoch's per-request
+    serving costs ({!Dmn_prelude.Stats.percentile}). *)
+type epoch_stats = {
+  index : int;  (** 0-based epoch number *)
+  events : int;
+  reads : int;
+  writes : int;
+  serving : float;
+  storage : float;
+  migration : float;
+  resolves : int;  (** objects re-solved at this epoch's boundary *)
+  copies : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type totals = {
+  events : int;
+  reads : int;
+  writes : int;
+  serving : float;
+  storage : float;
+  migration : float;
+  resolves : int;
+  final_copies : int;
+}
+
+(** [total_cost t] is serving + storage + migration. *)
+val total_cost : totals -> float
+
+type result = {
+  policy : policy;
+  epoch_size : int;
+  period : int;  (** the resolved storage period *)
+  epochs : epoch_stats list;  (** in order; empty for an empty trace *)
+  totals : totals;
+  snapshots : (string * Dmn_prelude.Metrics.value) list list;
+      (** one metrics snapshot per epoch, in epoch order *)
+  final : (string * Dmn_prelude.Metrics.value) list;
+      (** final snapshot, including the request-cost histogram *)
+}
+
+(** [run ?pool ?config inst placement events] replays [events] (a
+    {e one-shot} sequence, forced exactly once) against [inst] starting
+    from [placement]. Deterministic: equal inputs give equal results —
+    including every float — at any [pool] size ([pool] defaults to
+    {!Dmn_prelude.Pool.default}).
+
+    @raise Invalid_argument on a non-positive [epoch] or
+    [storage_period], on a placement that does not fit the instance, on
+    an event whose node or object is out of range, or (matching
+    {!Dmn_dynamic.Sim.run}) when [storage_period] is omitted on an
+    instance with zero request volume. *)
+val run :
+  ?pool:Dmn_prelude.Pool.t ->
+  ?config:config ->
+  Dmn_core.Instance.t ->
+  Dmn_core.Placement.t ->
+  Dmn_dynamic.Stream.event Seq.t ->
+  result
+
+(** [of_trace_event e] converts a stored trace event to a stream
+    event. *)
+val of_trace_event : Dmn_core.Serial.Trace.event -> Dmn_dynamic.Stream.event
+
+(** [run_trace ?pool ?config inst placement path] streams the trace
+    file at [path] through {!run}, first checking the trace header
+    against the instance shape.
+    @raise Dmn_prelude.Err.Error on a malformed trace, a header that
+    does not match the instance, or I/O failure. *)
+val run_trace :
+  ?pool:Dmn_prelude.Pool.t ->
+  ?config:config ->
+  Dmn_core.Instance.t ->
+  Dmn_core.Placement.t ->
+  string ->
+  result
+
+(** [metrics_json inst r] renders the run as one JSON document: header
+    (policy, epoch size, period, instance shape), the per-epoch
+    timeline, totals, and the final request-cost histogram. Field order
+    and float rendering are fixed, so equal results give byte-identical
+    JSON. *)
+val metrics_json : Dmn_core.Instance.t -> result -> string
+
+(** [write_metrics path inst r] writes {!metrics_json} atomically.
+    @raise Dmn_prelude.Err.Error on I/O failure. *)
+val write_metrics : string -> Dmn_core.Instance.t -> result -> unit

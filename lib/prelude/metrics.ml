@@ -1,0 +1,156 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  lo : float;
+  base : float;
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = {
+  mutable instruments : (string * instrument) list; (* reverse registration order *)
+  names : (string, unit) Hashtbl.t;
+}
+
+let create () = { instruments = []; names = Hashtbl.create 16 }
+
+let register t name i =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Metrics: duplicate instrument %S" name);
+  Hashtbl.add t.names name ();
+  t.instruments <- (name, i) :: t.instruments
+
+let counter t name =
+  let c = { c = 0 } in
+  register t name (C c);
+  c
+
+let incr c = c.c <- c.c + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic (negative increment)";
+  c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge t name =
+  let g = { g = 0.0 } in
+  register t name (G g);
+  g
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram ?(lo = 1e-6) ?(base = 2.0) ?(buckets = 64) t name =
+  if not (lo > 0.0 && Float.is_finite lo) then
+    invalid_arg "Metrics.histogram: lo must be positive and finite";
+  if not (base > 1.0 && Float.is_finite base) then
+    invalid_arg "Metrics.histogram: base must be > 1 and finite";
+  if buckets < 2 then invalid_arg "Metrics.histogram: need at least 2 buckets";
+  let h = { lo; base; counts = Array.make buckets 0; n = 0; sum = 0.0 } in
+  register t name (H h);
+  h
+
+(* Bucket i >= 1 covers [lo * base^(i-1), lo * base^i); bucket 0 is the
+   underflow bin and the last bucket absorbs overflow. The index is a
+   pure function of the sample, so merging shard results in a fixed
+   order reproduces identical bucket vectors at any domain count. *)
+let bucket_index h v =
+  if Float.is_nan v then invalid_arg "Metrics.observe: NaN sample";
+  if v < h.lo then 0
+  else
+    let i = 1 + int_of_float (Float.floor (Float.log (v /. h.lo) /. Float.log h.base)) in
+    min (Array.length h.counts - 1) (max 1 i)
+
+let observe h v =
+  let i = bucket_index h v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+
+let bucket_bounds h i =
+  let k = Array.length h.counts in
+  let lower = if i = 0 then 0.0 else h.lo *. (h.base ** float_of_int (i - 1)) in
+  let upper = if i = k - 1 then infinity else h.lo *. (h.base ** float_of_int i) in
+  (lower, upper)
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 || Float.is_nan q then invalid_arg "Metrics.quantile: q not in [0, 1]";
+  if h.n = 0 then 0.0
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
+    let acc = ref 0 and idx = ref (Array.length h.counts - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             idx := i;
+             raise Exit
+           end)
+         h.counts
+     with Exit -> ());
+    snd (bucket_bounds h !idx)
+  end
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of hist_snapshot
+
+and hist_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * float * int) list;
+}
+
+let snapshot_hist h =
+  let buckets = ref [] in
+  for i = Array.length h.counts - 1 downto 0 do
+    if h.counts.(i) > 0 then begin
+      let lower, upper = bucket_bounds h i in
+      buckets := (lower, upper, h.counts.(i)) :: !buckets
+    end
+  done;
+  { count = h.n; sum = h.sum; buckets = !buckets }
+
+let snapshot t =
+  List.rev_map
+    (fun (name, i) ->
+      ( name,
+        match i with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Hist (snapshot_hist h) ))
+    t.instruments
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let value_to_json = function
+  | Counter n -> string_of_int n
+  | Gauge x -> json_float x
+  | Hist { count; sum; buckets } ->
+      Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}" count (json_float sum)
+        (String.concat ", "
+           (List.map
+              (fun (lower, upper, n) ->
+                Printf.sprintf "[%s, %s, %d]" (json_float lower)
+                  (if upper = infinity then "\"inf\"" else json_float upper)
+                  n)
+              buckets))
+
+let snapshot_to_json s =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (value_to_json v)) s)
+  ^ "}"
+
+let to_json t = snapshot_to_json (snapshot t)

@@ -1,0 +1,94 @@
+(** Lightweight telemetry: named monotonic counters, gauges and
+    fixed-bucket log-scale histograms, with deterministic snapshots and
+    JSON rendering. Pure OCaml, no dependencies.
+
+    A registry ({!t}) owns a set of named instruments in registration
+    order; {!snapshot} reads them all at once and {!snapshot_to_json}
+    renders a snapshot as one JSON object with a stable field order, so
+    two runs that perform the same instrument operations emit
+    byte-identical JSON (the replay engine's cross-domain determinism
+    contract relies on this).
+
+    Instruments are {e not} thread-safe: mutate them from one domain at
+    a time (the replay engine updates metrics only in its sequential
+    merge step, never inside pool tasks). *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Instruments}
+
+    Registration raises [Invalid_argument] on a duplicate name within
+    the registry (one instrument per name, of one kind). *)
+
+(** [counter t name] registers a monotonic counter starting at 0. *)
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+
+(** [add c n] bumps by [n]. @raise Invalid_argument if [n < 0]
+    (counters are monotonic). *)
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** [gauge t name] registers a gauge starting at 0. *)
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [histogram ?lo ?base ?buckets t name] registers a log-scale
+    histogram: bucket 0 catches values [< lo] (including 0), bucket [i]
+    for [i >= 1] covers [[lo * base^(i-1), lo * base^i)], and the last
+    bucket absorbs everything above. Defaults: [lo = 1e-6], [base = 2],
+    [buckets = 64] — covering 1e-6 .. ~9e12 at factor-2 resolution.
+    @raise Invalid_argument unless [lo > 0], [base > 1], [buckets >= 2]. *)
+val histogram : ?lo:float -> ?base:float -> ?buckets:int -> t -> string -> histogram
+
+(** [observe h v] records sample [v]. NaN raises [Invalid_argument]. *)
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+(** [quantile h q] with [q] in [0, 1]: the upper boundary of the bucket
+    holding the [q]-th sample — an upper estimate within one bucket
+    factor. 0 when the histogram is empty. *)
+val quantile : histogram -> float -> float
+
+(** {2 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of hist_snapshot
+
+and hist_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * float * int) list;
+      (** non-empty buckets only, ascending: lower bound (inclusive),
+          upper bound (exclusive), sample count. Bucket 0 reports lower
+          bound 0; the overflow bucket reports upper bound [infinity]. *)
+}
+
+(** [snapshot t] reads every instrument, in registration order. *)
+val snapshot : t -> (string * value) list
+
+(** [json_float x] renders a float the way all dmnet JSON emitters do:
+    ["%.0f"] for exactly-integral magnitudes below 1e15, ["%.17g"]
+    (round-trippable) otherwise. *)
+val json_float : float -> string
+
+val value_to_json : value -> string
+
+(** [snapshot_to_json s] is one JSON object, fields in snapshot order. *)
+val snapshot_to_json : (string * value) list -> string
+
+(** [to_json t] is [snapshot_to_json (snapshot t)]. *)
+val to_json : t -> string

@@ -102,6 +102,142 @@ let static_wins_stationary_dynamic_wins_drifting () =
   let d_cache = Sim.run inst (Sg.threshold_caching inst) drift in
   Util.check_leq "adaptive wins under drift" d_cache.Sim.total (d_static.Sim.total *. 1.05)
 
+let zero_volume_default_period_rejected () =
+  (* an instance with no requests has no meaningful default storage
+     period; the simulator must refuse instead of charging rent on
+     every event (the seed's silent [max 1] fallback) *)
+  let g = Dmn_graph.Gen.path 4 in
+  let zero = [| Array.make 4 0 |] in
+  let inst = I.of_graph g ~cs:(Array.make 4 1.0) ~fr:zero ~fw:zero in
+  let p = Dmn_core.Placement.uniform ~objects:1 [ 0 ] in
+  let strat = Sg.static inst p in
+  (match Sim.run inst strat [] with
+  | exception Invalid_argument msg ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the knob" true (contains "storage_period" msg)
+  | _ -> Alcotest.fail "Sim.run accepted a zero-volume default period");
+  (* an explicit period is still fine *)
+  let r = Sim.run ~storage_period:5 inst strat [] in
+  Util.check_cost "no events, no cost" 0.0 r.Sim.total;
+  (* competitive_ratio shares the precondition *)
+  match Sim.competitive_ratio inst strat [] ~phase_length:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "competitive_ratio accepted a zero-volume default period"
+
+let partial_phase_charged_proportionally () =
+  (* one full period of the exact table, phase_length longer than the
+     stream: the whole stream is a single *partial* phase. With the
+     offline planner's own placement driven by the same greedy-add
+     baseline, online == offline, so the ratio must be exactly 1 -- it
+     would be < 1 if the partial phase were charged a full period's
+     rent, and degenerate if the phase were dropped. *)
+  let rng = Rng.create 555 in
+  for _ = 1 to 5 do
+    let n = 4 + Rng.int rng 6 in
+    let inst = Util.random_graph_instance rng n in
+    if I.total_requests inst ~x:0 > 0 then begin
+      let events = ref [] in
+      for v = 0 to n - 1 do
+        for _ = 1 to I.reads inst ~x:0 v do
+          events := { St.node = v; x = 0; kind = St.Read } :: !events
+        done;
+        for _ = 1 to I.writes inst ~x:0 v do
+          events := { St.node = v; x = 0; kind = St.Write } :: !events
+        done
+      done;
+      let events = !events in
+      let len = List.length events in
+      let p = Dmn_core.Placement.make [| Dmn_baselines.Greedy_place.add inst ~x:0 |] in
+      let strat = Sg.static inst p in
+      (* storage_period = 2 * len: the stream is half a period, so both
+         sides pay exactly half the rent; phase_length > len makes the
+         offline side a single trailing partial phase *)
+      let ratio =
+        Sim.competitive_ratio ~storage_period:(2 * len) inst strat events
+          ~phase_length:(len + 1)
+      in
+      Util.check_cost "partial phase scaled by actual length" 1.0 ratio
+    end
+  done
+
+let threshold_caching_invariants () =
+  (* copy set never empties, the write-serving copy survives the drop
+     scan, and replication is charged exactly once at the promotion *)
+  let g = Dmn_graph.Gen.path 6 in
+  let cs = Array.make 6 1.0 in
+  cs.(0) <- 0.5;
+  let inst = I.of_graph g ~cs ~fr:[| Array.make 6 1 |] ~fw:[| Array.make 6 1 |] in
+  (* (a) promotion accounting on a path with unit edges: copy at 0,
+     reads from node 3 at distance 3 *)
+  let strat = Sg.threshold_caching ~replicate_after:2 ~drop_after:100 inst in
+  let d = 3.0 in
+  Util.check_cost "read before promotion pays the distance" d
+    (strat.Sg.serve ~x:0 ~node:3 St.Read);
+  Util.check_cost "promoting read pays distance + transfer, once" (d +. d)
+    (strat.Sg.serve ~x:0 ~node:3 St.Read);
+  Alcotest.(check (list int)) "replica installed" [ 0; 3 ] (strat.Sg.copies ~x:0);
+  Util.check_cost "later reads are local and free" 0.0 (strat.Sg.serve ~x:0 ~node:3 St.Read);
+  (* (b) the copy serving a write survives even the most aggressive
+     drop threshold; the set never empties *)
+  let strat = Sg.threshold_caching ~replicate_after:1 ~drop_after:1 inst in
+  ignore (strat.Sg.serve ~x:0 ~node:5 St.Read);
+  (* copies now {0, 5}; a write near 5 is served by 5, drops 0 *)
+  ignore (strat.Sg.serve ~x:0 ~node:5 St.Write);
+  Alcotest.(check (list int)) "serving copy survives the drop scan" [ 5 ] (strat.Sg.copies ~x:0);
+  ignore (strat.Sg.serve ~x:0 ~node:5 St.Write);
+  Alcotest.(check bool) "copy set never empties" true (strat.Sg.copies ~x:0 <> []);
+  (* (c) under a long random stream the set stays non-empty throughout *)
+  let rng = Rng.create 99 in
+  let strat = Sg.threshold_caching ~replicate_after:2 ~drop_after:2 inst in
+  for _ = 1 to 2000 do
+    let node = Rng.int rng 6 in
+    let kind = if Rng.float rng 1.0 < 0.4 then St.Write else St.Read in
+    let c = strat.Sg.serve ~x:0 ~node kind in
+    if not (Float.is_finite c) || c < 0.0 then Alcotest.failf "bad serve cost %g" c;
+    if strat.Sg.copies ~x:0 = [] then Alcotest.fail "copy set emptied mid-stream"
+  done
+
+let threshold_caching_seeded_initial () =
+  let g = Dmn_graph.Gen.path 5 in
+  let inst =
+    I.of_graph g ~cs:(Array.make 5 1.0) ~fr:[| Array.make 5 1 |] ~fw:[| Array.make 5 0 |]
+  in
+  let p = Dmn_core.Placement.make [| [ 1; 4 ] |] in
+  let strat = Sg.threshold_caching ~initial:p inst in
+  Alcotest.(check (list int)) "starts from the placement" [ 1; 4 ] (strat.Sg.copies ~x:0);
+  Util.check_cost "read served by the seeded nearest copy" 1.0
+    (strat.Sg.serve ~x:0 ~node:0 St.Read)
+
+let stream_stationary_zero_volume_structured () =
+  let g = Dmn_graph.Gen.path 3 in
+  let zero = [| Array.make 3 0 |] in
+  let inst = I.of_graph g ~cs:(Array.make 3 1.0) ~fr:zero ~fw:zero in
+  match St.stationary (Rng.create 1) inst ~length:5 with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation)
+  | _ -> Alcotest.fail "stationary sampled from an empty distribution"
+
+let stream_seq_generators_match_lists () =
+  (* the Seq generators and the historical list generators draw the
+     same events in the same order from equal seeds *)
+  let rng = Rng.create 77 in
+  let inst = Util.random_graph_instance ~objects:2 rng 10 in
+  if I.total_requests inst ~x:0 + I.total_requests inst ~x:1 > 0 then begin
+    let a = St.stationary (Rng.create 5) inst ~length:500 in
+    let b = List.of_seq (St.stationary_seq (Rng.create 5) inst ~length:500) in
+    Alcotest.(check bool) "stationary seq = list" true (a = b)
+  end;
+  let a = St.drifting (Rng.create 6) inst ~phases:4 ~phase_length:100 ~write_fraction:0.3 in
+  let b =
+    List.of_seq (St.drifting_seq (Rng.create 6) inst ~phases:4 ~phase_length:100 ~write_fraction:0.3)
+  in
+  Alcotest.(check bool) "drifting seq = list" true (a = b);
+  Alcotest.(check int) "drifting length" 400 (List.length a)
+
 let suite =
   [
     Alcotest.test_case "stationary stream frequencies" `Quick stationary_respects_frequencies;
@@ -112,4 +248,13 @@ let suite =
       threshold_caching_replicates_and_drops;
     Alcotest.test_case "static vs dynamic crossover" `Quick
       static_wins_stationary_dynamic_wins_drifting;
+    Alcotest.test_case "zero-volume default period rejected" `Quick
+      zero_volume_default_period_rejected;
+    Alcotest.test_case "partial phase charged proportionally" `Quick
+      partial_phase_charged_proportionally;
+    Alcotest.test_case "threshold caching invariants" `Quick threshold_caching_invariants;
+    Alcotest.test_case "threshold caching seeded initial" `Quick threshold_caching_seeded_initial;
+    Alcotest.test_case "stationary zero-volume is structured" `Quick
+      stream_stationary_zero_volume_structured;
+    Alcotest.test_case "seq generators match lists" `Quick stream_seq_generators_match_lists;
   ]

@@ -1,0 +1,298 @@
+(* Replay engine: trace round-trips, cross-domain determinism, policy
+   accounting, and streaming behaviour. *)
+
+open Dmn_prelude
+module I = Dmn_core.Instance
+module P = Dmn_core.Placement
+module A = Dmn_core.Approx
+module Trace = Dmn_core.Serial.Trace
+module St = Dmn_dynamic.Stream
+module Sg = Dmn_dynamic.Strategy
+module Sim = Dmn_dynamic.Sim
+module En = Dmn_engine.Engine
+
+let tmp_file =
+  let counter = ref 0 in
+  fun suffix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dmnet-test-engine-%d-%d-%s" (Unix.getpid ()) !counter suffix)
+
+let with_tmp suffix f =
+  let path = tmp_file suffix in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let small_instance ?(objects = 3) ?(n = 14) seed =
+  let rng = Rng.create seed in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.45 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 1.0 6.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.mix rng ~objects ~n:nn ~total:(8 * nn) ~write_fraction:0.25
+  in
+  I.of_graph g ~cs ~fr ~fw
+
+(* ---------- Serial.Trace ---------- *)
+
+let trace_roundtrip () =
+  let header = { Trace.nodes = 5; objects = 2 } in
+  let events =
+    [
+      { Trace.node = 0; x = 0; write = false };
+      { Trace.node = 4; x = 1; write = true };
+      { Trace.node = 2; x = 0; write = false };
+    ]
+  in
+  with_tmp "roundtrip.trace" @@ fun path ->
+  let written = Trace.write path header (List.to_seq events) in
+  Alcotest.(check int) "event count" 3 written;
+  Trace.with_reader path (fun h evs ->
+      Alcotest.(check int) "nodes" 5 h.Trace.nodes;
+      Alcotest.(check int) "objects" 2 h.Trace.objects;
+      Alcotest.(check bool) "events round-trip" true (List.of_seq evs = events))
+
+let trace_streaming_is_lazy () =
+  (* the reader must not materialize the file: events arrive as forced *)
+  let header = { Trace.nodes = 3; objects = 1 } in
+  let events = List.init 1000 (fun i -> { Trace.node = i mod 3; x = 0; write = i mod 7 = 0 }) in
+  with_tmp "lazy.trace" @@ fun path ->
+  ignore (Trace.write path header (List.to_seq events));
+  Trace.with_reader path (fun _ evs ->
+      (* forcing only the first 10 elements must not fail or drain *)
+      let taken = List.of_seq (Seq.take 10 evs) in
+      Alcotest.(check int) "partial force" 10 (List.length taken);
+      Alcotest.(check bool) "prefix matches" true
+        (taken = List.filteri (fun i _ -> i < 10) events))
+
+let trace_malformed_rejected () =
+  let check_fails name contents expected_kind =
+    with_tmp "bad.trace" @@ fun path ->
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    match Trace.with_reader path (fun _ evs -> Seq.iter ignore evs) with
+    | exception Err.Error e ->
+        if e.Err.kind <> expected_kind then
+          Alcotest.failf "%s: expected %s error, got %s" name (Err.kind_name expected_kind)
+            (Err.kind_name e.Err.kind)
+    | _ -> Alcotest.failf "%s: malformed trace accepted" name
+  in
+  check_fails "wrong magic" "dmnet-oops v1\n3 1\n" Err.Parse;
+  check_fails "wrong version" "dmnet-trace v9\n3 1\n" Err.Parse;
+  check_fails "truncated header" "dmnet-trace v1\n" Err.Parse;
+  check_fails "non-positive shape" "dmnet-trace v1\n0 1\n" Err.Validation;
+  check_fails "bad kind token" "dmnet-trace v1\n3 1\nq 0 0\n" Err.Parse;
+  check_fails "non-integer node" "dmnet-trace v1\n3 1\nr zero 0\n" Err.Parse;
+  check_fails "node out of range" "dmnet-trace v1\n3 1\nr 3 0\n" Err.Validation;
+  check_fails "object out of range" "dmnet-trace v1\n3 1\nw 0 1\n" Err.Validation;
+  check_fails "trailing junk on line" "dmnet-trace v1\n3 1\nr 0 0 9\n" Err.Parse
+
+let trace_write_validates_events () =
+  with_tmp "invalid-ev.trace" @@ fun path ->
+  let header = { Trace.nodes = 2; objects = 1 } in
+  match Trace.write path header (List.to_seq [ { Trace.node = 2; x = 0; write = false } ]) with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation);
+      Alcotest.(check bool) "no partial file left" true (not (Sys.file_exists path))
+  | _ -> Alcotest.fail "out-of-range event written"
+
+(* ---------- engine basics ---------- *)
+
+let engine_rejects_bad_inputs () =
+  let inst = small_instance 10 in
+  let placement = A.solve inst in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: accepted" name
+  in
+  expect_invalid "non-positive epoch" (fun () ->
+      En.run ~config:{ En.default_config with En.epoch = 0 } inst placement Seq.empty);
+  expect_invalid "non-positive period" (fun () ->
+      En.run ~config:{ En.default_config with En.storage_period = Some 0 } inst placement Seq.empty);
+  expect_invalid "out-of-range event node" (fun () ->
+      En.run inst placement (List.to_seq [ { St.node = I.n inst; x = 0; kind = St.Read } ]));
+  expect_invalid "out-of-range event object" (fun () ->
+      En.run inst placement
+        (List.to_seq [ { St.node = 0; x = I.objects inst; kind = St.Read } ]));
+  expect_invalid "foreign placement" (fun () ->
+      En.run inst (P.uniform ~objects:(I.objects inst + 1) [ 0 ]) Seq.empty);
+  (* zero-volume instance: no default period, but an explicit one works *)
+  let g = Dmn_graph.Gen.path 3 in
+  let zero = [| Array.make 3 0 |] in
+  let zinst = I.of_graph g ~cs:(Array.make 3 1.0) ~fr:zero ~fw:zero in
+  let zp = P.uniform ~objects:1 [ 0 ] in
+  expect_invalid "zero-volume default period" (fun () -> En.run zinst zp Seq.empty);
+  let r = En.run ~config:{ En.default_config with En.storage_period = Some 4 } zinst zp Seq.empty in
+  Alcotest.(check int) "no epochs on an empty stream" 0 (List.length r.En.epochs);
+  Alcotest.(check int) "totals empty" 0 r.En.totals.En.events
+
+let engine_consumes_stream_once () =
+  let inst = small_instance 11 in
+  let placement = A.solve inst in
+  let forced = ref 0 in
+  let events =
+    Seq.map
+      (fun e ->
+        incr forced;
+        e)
+      (List.to_seq (St.stationary (Rng.create 3) inst ~length:750))
+  in
+  let r =
+    En.run ~config:{ En.default_config with En.policy = En.Static; En.epoch = 100 } inst
+      placement events
+  in
+  Alcotest.(check int) "every event forced exactly once" 750 !forced;
+  Alcotest.(check int) "every event served" 750 r.En.totals.En.events;
+  Alcotest.(check int) "ceil(750/100) epochs" 8 (List.length r.En.epochs);
+  (* last epoch is the partial one *)
+  let last = List.nth r.En.epochs 7 in
+  Alcotest.(check int) "partial epoch length" 50 last.En.events
+
+(* ---------- determinism across domain counts ---------- *)
+
+let engine_deterministic_across_domains () =
+  let inst = small_instance ~objects:4 12 in
+  let placement = A.solve inst in
+  let stream () = St.drifting_seq (Rng.create 9) inst ~phases:5 ~phase_length:300 ~write_fraction:0.2 in
+  let run_at policy domains =
+    Pool.with_pool ~domains (fun pool ->
+        let config = { En.default_config with En.policy; En.epoch = 250 } in
+        En.metrics_json inst (En.run ~pool ~config inst placement (stream ())))
+  in
+  List.iter
+    (fun policy ->
+      let j1 = run_at policy 1 in
+      List.iter
+        (fun d ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: domains %d == domains 1" (En.policy_name policy) d)
+            j1 (run_at policy d))
+        [ 2; 4 ])
+    [ En.Static; En.Resolve; En.Cache ]
+
+(* ---------- accounting ---------- *)
+
+let engine_static_matches_simulator () =
+  (* the engine's static policy and the list simulator charge the same
+     serving costs and the same pro-rated rent *)
+  let inst = small_instance ~objects:2 13 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 21) inst ~length:900 in
+  let sim = Sim.run ~storage_period:400 inst (Sg.static inst placement) events in
+  let r =
+    En.run
+      ~config:
+        { En.default_config with En.policy = En.Static; En.epoch = 400; En.storage_period = Some 400 }
+      inst placement (List.to_seq events)
+  in
+  Util.check_cost "serving matches Sim.run" sim.Sim.serving r.En.totals.En.serving;
+  Util.check_cost "storage matches Sim.run" sim.Sim.storage r.En.totals.En.storage;
+  Util.check_cost "no migration under static" 0.0 r.En.totals.En.migration;
+  Alcotest.(check int) "final copies match" sim.Sim.final_copies r.En.totals.En.final_copies
+
+let engine_epoch_stats_consistent () =
+  let inst = small_instance ~objects:3 14 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 31) inst ~length:1000 in
+  let r =
+    En.run ~config:{ En.default_config with En.epoch = 300 } inst placement (List.to_seq events)
+  in
+  let t = r.En.totals in
+  let sum f = List.fold_left (fun acc (e : En.epoch_stats) -> acc +. f e) 0.0 r.En.epochs in
+  let sumi f = List.fold_left (fun acc (e : En.epoch_stats) -> acc + f e) 0 r.En.epochs in
+  Alcotest.(check int) "events partition into epochs" t.En.events (sumi (fun e -> e.En.events));
+  Alcotest.(check int) "reads + writes = events" t.En.events (t.En.reads + t.En.writes);
+  Util.check_cost "serving totals" t.En.serving (sum (fun e -> e.En.serving));
+  Util.check_cost "storage totals" t.En.storage (sum (fun e -> e.En.storage));
+  Util.check_cost "migration totals" t.En.migration (sum (fun e -> e.En.migration));
+  List.iter
+    (fun (e : En.epoch_stats) ->
+      Util.check_leq "p50 <= p95" e.En.p50 e.En.p95;
+      Util.check_leq "p95 <= p99" e.En.p95 e.En.p99;
+      if e.En.copies <= 0 then Alcotest.fail "copy count must stay positive")
+    r.En.epochs;
+  (* snapshots: one per epoch, counters cumulative and monotonic *)
+  Alcotest.(check int) "one snapshot per epoch" (List.length r.En.epochs)
+    (List.length r.En.snapshots);
+  let counter_of snap name =
+    match List.assoc name snap with Metrics.Counter c -> c | _ -> Alcotest.fail "not a counter"
+  in
+  let rec monotonic last = function
+    | [] -> ()
+    | snap :: rest ->
+        let c = counter_of snap "events_total" in
+        Util.check_leq "events_total monotonic" (float_of_int last) (float_of_int c);
+        monotonic c rest
+  in
+  monotonic 0 r.En.snapshots;
+  Alcotest.(check int) "final counter = all events" t.En.events (counter_of r.En.final "events_total")
+
+let engine_resolve_beats_static_on_drift () =
+  let inst = small_instance ~objects:3 ~n:20 15 in
+  let placement = A.solve inst in
+  let stream () = St.drifting_seq (Rng.create 4) inst ~phases:8 ~phase_length:500 ~write_fraction:0.15 in
+  let total policy =
+    let config = { En.default_config with En.policy; En.epoch = 250 } in
+    En.total_cost (En.run ~config inst placement (stream ())).En.totals
+  in
+  let s = total En.Static and r = total En.Resolve in
+  Util.check_leq "epoch re-solve beats the stale static placement" r s
+
+(* ---------- trace-driven runs ---------- *)
+
+let engine_run_trace_and_metrics_file () =
+  let inst = small_instance ~objects:2 16 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 41) inst ~length:600 in
+  with_tmp "run.trace" @@ fun trace_path ->
+  let header = { Trace.nodes = I.n inst; objects = I.objects inst } in
+  let written =
+    Trace.write trace_path header
+      (Seq.map
+         (fun { St.node; x; kind } -> { Trace.node; x; write = kind = St.Write })
+         (List.to_seq events))
+  in
+  Alcotest.(check int) "trace length" 600 written;
+  let config = { En.default_config with En.epoch = 200 } in
+  let from_trace = En.run_trace ~config inst placement trace_path in
+  let from_seq = En.run ~config inst placement (List.to_seq events) in
+  Alcotest.(check string) "trace replay == in-memory replay"
+    (En.metrics_json inst from_seq)
+    (En.metrics_json inst from_trace);
+  (* metrics file lands atomically and parses back as the same bytes *)
+  with_tmp "metrics.json" @@ fun mpath ->
+  En.write_metrics mpath inst from_trace;
+  let ic = open_in_bin mpath in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "file contents" (En.metrics_json inst from_trace ^ "\n") contents
+
+let engine_run_trace_rejects_mismatched_header () =
+  let inst = small_instance ~objects:2 17 in
+  let placement = A.solve inst in
+  with_tmp "mismatch.trace" @@ fun path ->
+  let header = { Trace.nodes = I.n inst + 1; objects = I.objects inst } in
+  ignore (Trace.write path header (List.to_seq [ { Trace.node = 0; x = 0; write = false } ]));
+  match En.run_trace inst placement path with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation)
+  | _ -> Alcotest.fail "mismatched trace header accepted"
+
+let suite =
+  [
+    Alcotest.test_case "trace roundtrip" `Quick trace_roundtrip;
+    Alcotest.test_case "trace reader is lazy" `Quick trace_streaming_is_lazy;
+    Alcotest.test_case "trace malformed inputs rejected" `Quick trace_malformed_rejected;
+    Alcotest.test_case "trace write validates events" `Quick trace_write_validates_events;
+    Alcotest.test_case "engine input validation" `Quick engine_rejects_bad_inputs;
+    Alcotest.test_case "engine consumes stream once" `Quick engine_consumes_stream_once;
+    Alcotest.test_case "engine deterministic across domains" `Quick
+      engine_deterministic_across_domains;
+    Alcotest.test_case "engine static matches simulator" `Quick engine_static_matches_simulator;
+    Alcotest.test_case "engine epoch stats consistent" `Quick engine_epoch_stats_consistent;
+    Alcotest.test_case "resolve beats static on drift" `Quick engine_resolve_beats_static_on_drift;
+    Alcotest.test_case "trace-driven run + metrics file" `Quick engine_run_trace_and_metrics_file;
+    Alcotest.test_case "trace header mismatch rejected" `Quick
+      engine_run_trace_rejects_mismatched_header;
+  ]

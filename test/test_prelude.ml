@@ -154,6 +154,86 @@ let qcheck_stats_mean_bounds =
       let m = Stats.mean a in
       m >= Stats.min a -. 1e-9 && m <= Stats.max a +. 1e-9)
 
+(* ---------- Metrics ---------- *)
+
+let metrics_counter_gauge () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "served" in
+  let g = Metrics.gauge reg "load" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.set g 2.5;
+  Metrics.set g 1.25;
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.counter_value c);
+  Util.check_float "gauge keeps last value" 1.25 (Metrics.gauge_value g);
+  Alcotest.check_raises "counters are monotonic"
+    (Invalid_argument "Metrics.add: counters are monotonic (negative increment)") (fun () ->
+      Metrics.add c (-1))
+
+let metrics_duplicate_name_rejected () =
+  let reg = Metrics.create () in
+  let _ = Metrics.counter reg "x" in
+  (match Metrics.gauge reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate instrument name accepted");
+  (* a second registry is independent *)
+  let reg2 = Metrics.create () in
+  ignore (Metrics.counter reg2 "x")
+
+let metrics_histogram_buckets_and_quantile () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~lo:1.0 ~base:2.0 ~buckets:8 reg "h" in
+  List.iter (Metrics.observe h) [ 0.0; 0.5; 1.5; 3.0; 3.9; 100.0 ];
+  Alcotest.(check int) "count" 6 (Metrics.hist_count h);
+  Util.check_float "sum" 108.9 (Metrics.hist_sum h);
+  (* q=0.5 -> 3rd sample (1.5), in bucket [1,2) whose upper bound is 2 *)
+  Util.check_float "median upper bound" 2.0 (Metrics.quantile h 0.5);
+  (* top sample lands in a finite bucket upper bound *)
+  Alcotest.(check bool) "p100 finite or inf consistent" true (Metrics.quantile h 1.0 > 2.0);
+  (match Metrics.observe h Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN observation accepted");
+  match List.assoc "h" (Metrics.snapshot reg) with
+  | Metrics.Hist { count; sum; buckets } ->
+      Alcotest.(check int) "snapshot count" 6 count;
+      Util.check_float "snapshot sum" 108.9 sum;
+      let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets in
+      Alcotest.(check int) "bucket counts partition the samples" 6 total;
+      List.iter (fun (lo, hi, n) -> if n > 0 && lo >= hi then Alcotest.fail "bad bucket bounds") buckets
+  | _ -> Alcotest.fail "expected a histogram snapshot"
+
+let metrics_snapshot_order_and_json () =
+  let mk () =
+    let reg = Metrics.create () in
+    let c = Metrics.counter reg "first" in
+    let g = Metrics.gauge reg "second" in
+    let h = Metrics.histogram ~lo:1.0 ~base:2.0 ~buckets:4 reg "third" in
+    Metrics.add c 3;
+    Metrics.set g 0.5;
+    Metrics.observe h 1.5;
+    reg
+  in
+  let snap = Metrics.snapshot (mk ()) in
+  Alcotest.(check (list string)) "registration order" [ "first"; "second"; "third" ]
+    (List.map fst snap);
+  (* same operations -> byte-identical JSON (the engine's determinism
+     contract) *)
+  Alcotest.(check string) "deterministic JSON" (Metrics.to_json (mk ())) (Metrics.to_json (mk ()));
+  let json = Metrics.to_json (mk ()) in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter rendered" true (contains "\"first\": 3" json);
+  Alcotest.(check bool) "histogram rendered" true (contains "\"count\": 1" json)
+
+let metrics_json_floats () =
+  Alcotest.(check string) "integral floats compact" "42" (Metrics.json_float 42.0);
+  Alcotest.(check string) "negative integral" "-3" (Metrics.json_float (-3.0));
+  let pi = Metrics.json_float 3.125 in
+  Alcotest.(check bool) "non-integral round-trips" true (float_of_string pi = 3.125)
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick rng_deterministic;
@@ -174,6 +254,11 @@ let suite =
     Alcotest.test_case "floatx compensated sum" `Quick floatx_sum_stable;
     Alcotest.test_case "tbl renders rectangular" `Quick tbl_renders;
     Alcotest.test_case "tbl arity check" `Quick tbl_arity_check;
+    Alcotest.test_case "metrics counter/gauge" `Quick metrics_counter_gauge;
+    Alcotest.test_case "metrics duplicate name" `Quick metrics_duplicate_name_rejected;
+    Alcotest.test_case "metrics histogram buckets" `Quick metrics_histogram_buckets_and_quantile;
+    Alcotest.test_case "metrics snapshot order + json" `Quick metrics_snapshot_order_and_json;
+    Alcotest.test_case "metrics json floats" `Quick metrics_json_floats;
     Util.qtest qcheck_rng_bounds;
     Util.qtest qcheck_stats_mean_bounds;
   ]
