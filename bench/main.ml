@@ -980,6 +980,59 @@ let replay () =
       ("name", `S "replay-domain-identity"); ("domains", `S "1,2,4");
       ("json_bytes", `I (String.length j1)); ("identical_metrics_json", `B identical);
     ];
+  (* checkpoint overhead: the crash-safety tentpole (PR 4) must be
+     nearly free even at the maximal cadence (--ckpt-every 1: one
+     atomic write + fsync of a ~1 KB snapshot per epoch). An fsync
+     costs ~1 ms on ext4 and its latency is volatile, so the
+     measurement uses operationally sized epochs (20k events — a
+     checkpoint per 2 ms epoch would be absurd cadence, not overhead)
+     and interleaves the two arms, taking the best of 6 paired reps so
+     a background-I/O burst cannot land on one arm only. The resulting
+     metrics must also be byte-identical: checkpointing is pure
+     overhead. *)
+  let ovh_epoch = 20_000 in
+  let ovh_events = 160_000 in
+  let ovh_stream () =
+    Dmn_dynamic.Stream.drifting_seq (Rng.create 7) inst ~phases
+      ~phase_length:(ovh_events / phases) ~write_fraction:0.15
+  in
+  let ovh_config = { En.default_config with En.policy = En.Resolve; epoch = ovh_epoch } in
+  let ckpt_path = Filename.temp_file "dmnet_bench" ".ckpt" in
+  let run_plain () = En.run ~config:ovh_config inst placement (ovh_stream ()) in
+  let run_ckpt () =
+    En.run ~config:ovh_config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement
+      (ovh_stream ())
+  in
+  let t_plain = ref infinity and t_ckpt = ref infinity in
+  let r_plain = ref None and r_ckpt = ref None in
+  for _ = 1 to 6 do
+    let r, dt = time_it run_plain in
+    if dt < !t_plain then t_plain := dt;
+    r_plain := Some r;
+    let r, dt = time_it run_ckpt in
+    if dt < !t_ckpt then t_ckpt := dt;
+    r_ckpt := Some r
+  done;
+  let r_plain = Option.get !r_plain and r_ckpt = Option.get !r_ckpt in
+  let t_plain = !t_plain and t_ckpt = !t_ckpt in
+  (try Sys.remove ckpt_path with Sys_error _ -> ());
+  let overhead = (t_ckpt -. t_plain) /. t_plain in
+  let epochs = List.length r_plain.En.epochs in
+  Printf.printf
+    "checkpoint overhead (--ckpt-every 1, %d checkpoints): %.4fs -> %.4fs (%+.1f%%)\n" epochs
+    t_plain t_ckpt (100.0 *. overhead);
+  if En.metrics_json inst r_ckpt <> En.metrics_json inst r_plain then
+    failwith "replay: checkpointing changed the metrics JSON";
+  if overhead > 0.10 then
+    failwith
+      (Printf.sprintf "replay: checkpoint overhead %.1f%% exceeds the 10%% budget"
+         (100.0 *. overhead));
+  record
+    [
+      ("name", `S "replay-checkpoint-overhead"); ("ckpt_every", `I 1);
+      ("checkpoints", `I epochs); ("wall_s_plain", `F t_plain); ("wall_s_ckpt", `F t_ckpt);
+      ("overhead_frac", `F overhead); ("within_budget", `B (overhead <= 0.10));
+    ];
   write_bench_json ~bench:"replay" "BENCH_replay.json" (List.rev !records)
 
 (* ------------------------------------------------------------------ *)

@@ -379,13 +379,50 @@ let replay_cmd =
            ~doc:"With --scenario: persist the generated stream as a trace file, then replay \
                  from it (the replay streams from disk, exercising the same path as --trace).")
   in
+  let ckpt_path =
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
+           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v1, atomic replace) to $(docv) every \
+                 $(b,--ckpt-every) epochs; resume later with $(b,--resume) $(docv).")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 1 & info [ "ckpt-every" ] ~docv:"N"
+           ~doc:"Checkpoint after every N-th epoch (with --ckpt; default 1).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPT"
+           ~doc:"Resume an interrupted replay from the checkpoint in $(docv). Requires \
+                 $(b,--trace) with the same trace file the original run consumed (verified by \
+                 fingerprint); policy, epoch size and storage period are taken from the \
+                 checkpoint. The final metrics JSON is byte-identical to an uninterrupted run.")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"K"
+           ~doc:"Retry a failed pool task (crash or injected fault) up to K times before \
+                 giving up — a failed epoch re-solve then falls back to the previous \
+                 placement instead of aborting.")
+  in
+  let tolerate_truncation =
+    Arg.(value & flag & info [ "tolerate-truncation" ]
+           ~doc:"Accept a trace whose final line was cut mid-write (crash artifact): stop at \
+                 the last complete event instead of failing.")
+  in
   let run file trace scenario events phases write_fraction epoch policy period algo metrics_out
-      trace_out seed domains =
+      trace_out ckpt_path ckpt_every resume retries tolerate_truncation seed domains =
     protect @@ fun () ->
     set_domains domains;
+    if retries < 0 then begin
+      Printf.eprintf "dmnet replay: --retries must be >= 0\n";
+      exit 2
+    end;
+    if ckpt_every < 1 then begin
+      Printf.eprintf "dmnet replay: --ckpt-every must be >= 1\n";
+      exit 2
+    end;
     let inst = load_instance file in
-    let placement = solve_placement inst algo in
-    let config = { E.default_config with E.policy; epoch; storage_period = period } in
+    let config =
+      { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
+    in
+    let ckpt = Option.map (fun path -> { E.path; every = ckpt_every }) ckpt_path in
     let make_seq () =
       match scenario with
       | Some `Stationary -> Stream.stationary_seq (Rng.create seed) inst ~length:events
@@ -395,30 +432,70 @@ let replay_cmd =
       | None -> assert false
     in
     let result =
-      match (trace, scenario) with
-      | Some path, None ->
-          if trace_out <> None then begin
-            Printf.eprintf "dmnet replay: --trace-out only applies to --scenario streams\n";
-            exit 2
-          end;
-          E.run_trace ~config inst placement path
-      | None, Some _ -> (
-          match trace_out with
-          | Some path ->
-              let header = { Dmn_core.Serial.Trace.nodes = I.n inst; objects = I.objects inst } in
-              let written =
-                Dmn_core.Serial.Trace.write path header
-                  (Seq.map
-                     (fun { Stream.node; x; kind } ->
-                       { Dmn_core.Serial.Trace.node; x; write = kind = Stream.Write })
-                     (make_seq ()))
-              in
-              Printf.eprintf "dmnet replay: wrote %d events to %s\n%!" written path;
-              E.run_trace ~config inst placement path
-          | None -> E.run ~config inst placement (make_seq ()))
-      | _ ->
-          Printf.eprintf "dmnet replay: pass exactly one of --trace FILE or --scenario NAME\n";
-          exit 2
+      match resume with
+      | Some cpath ->
+          let path =
+            match (trace, scenario) with
+            | Some p, None -> p
+            | _ ->
+                Printf.eprintf
+                  "dmnet replay: --resume requires --trace FILE (the same trace the \
+                   interrupted run consumed), not --scenario\n";
+                exit 2
+          in
+          let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res cpath) in
+          let policy =
+            match E.policy_of_string c.Dmn_core.Serial.Checkpoint.policy with
+            | Some p -> p
+            | None ->
+                Err.failf ~file:cpath Err.Validation "unknown checkpoint policy %s"
+                  c.Dmn_core.Serial.Checkpoint.policy
+          in
+          (* the checkpoint is authoritative for the run geometry; the
+             initial placement below only carries the shape contract
+             (the engine restores the real copy sets from [c]) *)
+          let config =
+            {
+              config with
+              E.policy;
+              epoch = c.Dmn_core.Serial.Checkpoint.epoch_size;
+              storage_period = Some c.Dmn_core.Serial.Checkpoint.period;
+            }
+          in
+          let placement =
+            try Dmn_core.Placement.make (Array.copy c.Dmn_core.Serial.Checkpoint.placements)
+            with Invalid_argument msg -> Err.fail ~file:cpath Err.Validation msg
+          in
+          E.run_trace ~config ?ckpt ~resume:c ~tolerate_truncation inst placement path
+      | None -> (
+          let placement = solve_placement inst algo in
+          match (trace, scenario) with
+          | Some path, None ->
+              if trace_out <> None then begin
+                Printf.eprintf "dmnet replay: --trace-out only applies to --scenario streams\n";
+                exit 2
+              end;
+              E.run_trace ~config ?ckpt ~tolerate_truncation inst placement path
+          | None, Some _ -> (
+              match trace_out with
+              | Some path ->
+                  let header =
+                    { Dmn_core.Serial.Trace.nodes = I.n inst; objects = I.objects inst }
+                  in
+                  let written =
+                    Dmn_core.Serial.Trace.write path header
+                      (Seq.map
+                         (fun { Stream.node; x; kind } ->
+                           { Dmn_core.Serial.Trace.node; x; write = kind = Stream.Write })
+                         (make_seq ()))
+                  in
+                  Printf.eprintf "dmnet replay: wrote %d events to %s\n%!" written path;
+                  E.run_trace ~config ?ckpt ~tolerate_truncation inst placement path
+              | None -> E.run ~config ?ckpt inst placement (make_seq ()))
+          | _ ->
+              Printf.eprintf
+                "dmnet replay: pass exactly one of --trace FILE or --scenario NAME\n";
+              exit 2)
     in
     let t = result.E.totals in
     Printf.eprintf
@@ -427,6 +504,15 @@ let replay_cmd =
        %!"
       (E.policy_name result.E.policy) t.E.events (List.length result.E.epochs) t.E.serving
       t.E.storage t.E.migration (E.total_cost t) t.E.final_copies;
+    let ops name =
+      match List.assoc_opt name result.E.ops with Some (Metrics.Counter n) -> n | _ -> 0
+    in
+    Printf.eprintf
+      "dmnet replay: supervision: %d solve retries, %d fallbacks, %d serve retries; %d \
+       checkpoints written, %d resumes\n\
+       %!"
+      t.E.solve_retries t.E.solve_fallbacks (ops "serve_retries") (ops "checkpoints_written")
+      (ops "resumes");
     match metrics_out with
     | Some path -> E.write_metrics path inst result
     | None -> print_string (E.metrics_json inst result ^ "\n")
@@ -434,7 +520,8 @@ let replay_cmd =
   let term =
     Term.(
       const run $ instance_arg $ trace $ scenario $ events $ phases $ write_fraction $ epoch
-      $ policy $ period $ algo $ metrics_out $ trace_out $ seed_arg $ domains_arg)
+      $ policy $ period $ algo $ metrics_out $ trace_out $ ckpt_path $ ckpt_every $ resume
+      $ retries $ tolerate_truncation $ seed_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -442,7 +529,9 @@ let replay_cmd =
          "Stream a request trace through the sharded replay engine: serve each epoch over the \
           domain pool, optionally re-optimize the placement at epoch boundaries, and emit a \
           per-epoch metrics timeline as JSON. Deterministic: the metrics JSON is byte-identical \
-          for every --domains value."
+          for every --domains value, and across kill-and-resume ($(b,--ckpt)/$(b,--resume)). \
+          Pool tasks run under a supervisor with bounded retries; failed re-solves degrade to \
+          the previous placement."
        ~exits)
     term
 

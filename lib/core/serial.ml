@@ -394,22 +394,37 @@ module Trace = struct
     | [] -> assert false
 
   (* One logical (non-blank, non-comment) line at a time, so a trace is
-     never materialized: memory is one line regardless of length. *)
-  let read_logical ic lineno =
+     never materialized: memory is one line regardless of length.
+
+     A final line not terminated by '\n' is the signature of a partial
+     write (a crash mid-append): with [tolerate = false] it is reported
+     as a structured parse error carrying the line number and its byte
+     offset; with [tolerate = true] the reader stops cleanly just
+     before it, as if the stream ended at the last complete line. *)
+  let read_logical ~file ~tolerate ~size ~final_newline ic lineno =
     let rec loop () =
+      let off = pos_in ic in
       match input_line ic with
       | exception End_of_file -> None
-      | line -> (
+      | line ->
           incr lineno;
-          match split_tokens line with
-          | [] -> loop ()
-          | first :: _ when first.[0] = '#' -> loop ()
-          | toks -> Some (!lineno, toks))
+          if (not final_newline) && pos_in ic >= size then
+            if tolerate then None
+            else
+              Err.failf ~file ~line:!lineno Err.Parse
+                "truncated final line at byte offset %d (no trailing newline — a partial \
+                 write?); re-read tolerating truncation to stop at the last complete event"
+                off
+          else (
+            match split_tokens line with
+            | [] -> loop ()
+            | first :: _ when first.[0] = '#' -> loop ()
+            | toks -> Some (!lineno, toks))
     in
     loop ()
 
-  let parse_header ~file ic lineno =
-    (match read_logical ic lineno with
+  let parse_header ~file ~read =
+    (match read () with
     | None -> Err.fail ~file Err.Parse "empty input: expected \"dmnet-trace v1\""
     | Some (_, [ "dmnet-trace"; "v1" ]) -> ()
     | Some (ln, "dmnet-trace" :: version :: _) ->
@@ -419,7 +434,7 @@ module Trace = struct
         Err.failf ~file ~line:ln ~token:tok Err.Parse
           "bad header: expected \"dmnet-trace v1\""
     | Some (_, []) -> assert false);
-    match read_logical ic lineno with
+    match read () with
     | None -> Err.fail ~file Err.Parse "truncated input: expected \"<nodes> <objects>\""
     | Some (ln, [ ntok; ktok ]) ->
         let nodes = int_field ~file ~line:ln "the node count" ntok in
@@ -435,10 +450,10 @@ module Trace = struct
           "malformed count line: expected \"<nodes> <objects>\""
     | Some (_, []) -> assert false
 
-  let with_reader_res path f =
+  let with_reader_res ?(tolerate_truncation = false) path f =
     match
       Fault.check "trace.read";
-      open_in path
+      open_in_bin path
     with
     | exception Err.Error e -> Error (Err.with_file path e)
     | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
@@ -447,11 +462,25 @@ module Trace = struct
           ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
           (fun () ->
             match
+              let size = in_channel_length ic in
+              let final_newline =
+                size = 0
+                ||
+                (seek_in ic (size - 1);
+                 let c = input_char ic in
+                 seek_in ic 0;
+                 c = '\n')
+              in
               let lineno = ref 0 in
-              let header = parse_header ~file:path ic lineno in
+              let read ~tolerate () =
+                read_logical ~file:path ~tolerate ~size ~final_newline ic lineno
+              in
+              (* Header truncation is never tolerated: there is no
+                 complete prefix worth resuming from. *)
+              let header = parse_header ~file:path ~read:(read ~tolerate:false) in
               let rec next () =
                 Fault.check "trace.read.event";
-                match read_logical ic lineno with
+                match read ~tolerate:tolerate_truncation () with
                 | None -> Seq.Nil
                 | Some (ln, toks) ->
                     Seq.Cons (parse_event ~file:path ~header ln toks, next)
@@ -462,7 +491,8 @@ module Trace = struct
             | exception Err.Error e -> Error (Err.with_file path e)
             | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg))
 
-  let with_reader path f = Err.get_ok (with_reader_res path f)
+  let with_reader ?tolerate_truncation path f =
+    Err.get_ok (with_reader_res ?tolerate_truncation path f)
 
   let write_res path { nodes; objects } events =
     if nodes <= 0 then Err.error ~file:path Err.Validation "trace must cover at least one node"
@@ -546,3 +576,456 @@ let load_instance path =
 let load_placement path =
   let* s = read_file_res path in
   placement_of_string_res ~file:path s
+
+(* ---------- replay checkpoints ---------- *)
+
+module Checkpoint = struct
+  type epoch_row = {
+    index : int;
+    events : int;
+    reads : int;
+    writes : int;
+    resolves : int;
+    solve_retries : int;
+    solve_fallbacks : int;
+    copies : int;
+    serving : float;
+    storage : float;
+    migration : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  type hist_state = {
+    h_lo : float;
+    h_base : float;
+    h_buckets : int;
+    h_sum : float;
+    h_counts : (int * int) list;
+  }
+
+  type t = {
+    policy : string;
+    epoch_size : int;
+    period : int;
+    next_epoch : int;
+    events_consumed : int;
+    fingerprint : int64;
+    nodes : int;
+    objects : int;
+    placements : int list array;
+    epochs : epoch_row list;
+    hist : hist_state;
+    checkpoints_written : int;
+    serve_retries : int;
+  }
+
+  (* ----- trace-identity fingerprint -----
+
+     A SplitMix64-finalized (same constants as [Fault]) order-sensitive
+     fold over the header and every consumed event: resuming against a
+     different trace — or the same trace reordered or edited anywhere in
+     the consumed prefix — is detected before any work happens. *)
+
+  let mix64 z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let fingerprint_init ~nodes ~objects =
+    mix64
+      (Int64.logxor
+         (mix64 (Int64.of_int nodes))
+         (Int64.add (Int64.of_int objects) 0x9e3779b97f4a7c15L))
+
+  let fingerprint_event h (e : Trace.event) =
+    let tag = (e.node lsl 22) lxor (e.x lsl 1) lxor Bool.to_int e.write in
+    mix64 (Int64.add (Int64.mul h 0x100000001b3L) (Int64.of_int tag))
+
+  (* ----- rendering -----
+
+     Line-oriented text; each section header carries its body line
+     count and the CRC-32 of the exact body bytes, so torn writes and
+     bit rot are caught per section with a structured error. Floats are
+     "%.17g" (round-trippable). *)
+
+  let fl = Printf.sprintf "%.17g"
+
+  let row_to_line r =
+    String.concat " "
+      [
+        string_of_int r.index;
+        string_of_int r.events;
+        string_of_int r.reads;
+        string_of_int r.writes;
+        string_of_int r.resolves;
+        string_of_int r.solve_retries;
+        string_of_int r.solve_fallbacks;
+        string_of_int r.copies;
+        fl r.serving;
+        fl r.storage;
+        fl r.migration;
+        fl r.p50;
+        fl r.p95;
+        fl r.p99;
+      ]
+
+  let section_text name lines =
+    let body = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+    Printf.sprintf "section %s %d %s\n%s" name (List.length lines)
+      (Crc32.to_hex (Crc32.digest body))
+      body
+
+  let to_string t =
+    String.concat ""
+      [
+        "dmnet-ckpt v1\n";
+        section_text "meta"
+          [
+            "policy " ^ t.policy;
+            Printf.sprintf "epoch_size %d" t.epoch_size;
+            Printf.sprintf "period %d" t.period;
+            Printf.sprintf "next_epoch %d" t.next_epoch;
+            Printf.sprintf "events %d" t.events_consumed;
+            Printf.sprintf "fingerprint %016Lx" t.fingerprint;
+            Printf.sprintf "nodes %d" t.nodes;
+            Printf.sprintf "objects %d" t.objects;
+          ];
+        section_text "placements"
+          (string_of_int (Array.length t.placements)
+          :: (Array.to_list t.placements
+             |> List.map (fun cs -> String.concat " " (List.map string_of_int cs))));
+        section_text "epochs"
+          (string_of_int (List.length t.epochs) :: List.map row_to_line t.epochs);
+        section_text "histogram"
+          (Printf.sprintf "%s %s %d %s" (fl t.hist.h_lo) (fl t.hist.h_base) t.hist.h_buckets
+             (fl t.hist.h_sum)
+          :: List.map (fun (i, c) -> Printf.sprintf "%d %d" i c) t.hist.h_counts);
+        section_text "ops"
+          [
+            Printf.sprintf "checkpoints_written %d" t.checkpoints_written;
+            Printf.sprintf "serve_retries %d" t.serve_retries;
+          ];
+      ]
+
+  (* ----- parsing ----- *)
+
+  let parse ?file s =
+    let lines = Array.of_list (String.split_on_char '\n' s) in
+    let n = Array.length lines in
+    (* a well-formed file ends in '\n', leaving one empty trailing cell *)
+    let limit = if n > 0 && lines.(n - 1) = "" then n - 1 else n in
+    let pos = ref 0 in
+    let next what =
+      if !pos >= limit then
+        Err.failf ?file ~line:limit Err.Parse "truncated checkpoint: expected %s" what
+      else begin
+        let l = lines.(!pos) in
+        incr pos;
+        (!pos, l)
+      end
+    in
+    (let ln, l = next "the format header" in
+     match split_tokens l with
+     | [ "dmnet-ckpt"; "v1" ] -> ()
+     | "dmnet-ckpt" :: version :: _ ->
+         Err.failf ?file ~line:ln ~token:version Err.Parse
+           "unsupported dmnet-ckpt version %s (this build reads v1)" version
+     | tok :: _ ->
+         Err.failf ?file ~line:ln ~token:tok Err.Parse "bad header: expected \"dmnet-ckpt v1\""
+     | [] -> Err.failf ?file ~line:ln Err.Parse "bad header: expected \"dmnet-ckpt v1\"");
+    let sections = Hashtbl.create 8 in
+    while !pos < limit do
+      let ln, l = next "a section header" in
+      match split_tokens l with
+      | [ "section"; name; count_tok; crc_tok ] ->
+          let count =
+            match int_of_string_opt count_tok with
+            | Some c when c >= 0 -> c
+            | _ ->
+                Err.failf ?file ~line:ln ~token:count_tok Err.Parse
+                  "expected a non-negative section line count"
+          in
+          if !pos + count > limit then
+            Err.failf ?file ~line:ln Err.Parse
+              "truncated checkpoint: section %s declares %d lines but only %d remain" name count
+              (limit - !pos);
+          let body_lines = Array.to_list (Array.sub lines !pos count) in
+          let body_ln = !pos + 1 in
+          pos := !pos + count;
+          let stored =
+            match Crc32.of_hex_opt crc_tok with
+            | Some c -> c
+            | None ->
+                Err.failf ?file ~line:ln ~token:crc_tok Err.Parse
+                  "expected an 8-hex-digit section CRC"
+          in
+          let body = String.concat "" (List.map (fun l -> l ^ "\n") body_lines) in
+          let computed = Crc32.digest body in
+          if stored <> computed then
+            Err.failf ?file ~line:ln Err.Validation
+              "checkpoint section %s is corrupt: CRC mismatch (stored %s, computed %s)" name
+              (Crc32.to_hex stored) (Crc32.to_hex computed);
+          if Hashtbl.mem sections name then
+            Err.failf ?file ~line:ln ~token:name Err.Parse "duplicate checkpoint section %s" name;
+          Hashtbl.add sections name (body_ln, body_lines)
+      | tok :: _ ->
+          Err.failf ?file ~line:ln ~token:tok Err.Parse
+            "expected \"section <name> <lines> <crc>\""
+      | [] -> Err.failf ?file ~line:ln Err.Parse "unexpected blank line between sections"
+    done;
+    let get name =
+      match Hashtbl.find_opt sections name with
+      | Some v -> v
+      | None -> Err.failf ?file Err.Parse "checkpoint is missing the %s section" name
+    in
+    let int_of ln what tok =
+      match int_of_string_opt tok with
+      | Some v -> v
+      | None -> Err.failf ?file ~line:ln ~token:tok Err.Parse "expected an integer %s" what
+    in
+    let float_of ln what tok =
+      match float_of_string_opt tok with
+      | Some v when not (Float.is_nan v) -> v
+      | _ -> Err.failf ?file ~line:ln ~token:tok Err.Parse "expected a number for %s" what
+    in
+    (* meta *)
+    let meta_ln, meta_lines = get "meta" in
+    let meta = Hashtbl.create 8 in
+    List.iteri
+      (fun i l ->
+        let ln = meta_ln + i in
+        match split_tokens l with
+        | [ key; value ] -> Hashtbl.replace meta key (ln, value)
+        | tok :: _ ->
+            Err.failf ?file ~line:ln ~token:tok Err.Parse
+              "malformed meta line: expected \"<key> <value>\""
+        | [] -> Err.failf ?file ~line:ln Err.Parse "blank meta line")
+      meta_lines;
+    let meta_field key =
+      match Hashtbl.find_opt meta key with
+      | Some v -> v
+      | None -> Err.failf ?file ~line:meta_ln Err.Parse "meta section is missing %s" key
+    in
+    let meta_int key =
+      let ln, tok = meta_field key in
+      (ln, int_of ln key tok)
+    in
+    let policy = snd (meta_field "policy") in
+    let esz_ln, epoch_size = meta_int "epoch_size" in
+    let per_ln, period = meta_int "period" in
+    let ne_ln, next_epoch = meta_int "next_epoch" in
+    let ev_ln, events_consumed = meta_int "events" in
+    let fingerprint =
+      let ln, tok = meta_field "fingerprint" in
+      if String.length tok <> 16 || not (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) tok)
+      then Err.failf ?file ~line:ln ~token:tok Err.Parse "expected a 16-hex-digit fingerprint";
+      Int64.of_string ("0x" ^ tok)
+    in
+    let nd_ln, nodes = meta_int "nodes" in
+    let ob_ln, objects = meta_int "objects" in
+    if epoch_size < 1 then
+      Err.fail ?file ~line:esz_ln Err.Validation "epoch_size must be positive";
+    if period < 1 then Err.fail ?file ~line:per_ln Err.Validation "period must be positive";
+    if next_epoch < 0 then
+      Err.fail ?file ~line:ne_ln Err.Validation "next_epoch must be non-negative";
+    if events_consumed < 0 then
+      Err.fail ?file ~line:ev_ln Err.Validation "events must be non-negative";
+    if nodes < 1 then Err.fail ?file ~line:nd_ln Err.Validation "nodes must be positive";
+    if objects < 1 then Err.fail ?file ~line:ob_ln Err.Validation "objects must be positive";
+    (* placements *)
+    let pl_ln, pl_lines = get "placements" in
+    let placements =
+      match pl_lines with
+      | [] -> Err.failf ?file ~line:pl_ln Err.Parse "placements section is empty"
+      | count_line :: rows ->
+          let k =
+            match split_tokens count_line with
+            | [ tok ] -> int_of pl_ln "object count" tok
+            | _ ->
+                Err.failf ?file ~line:pl_ln Err.Parse
+                  "the placements count line must hold a single integer"
+          in
+          if k <> objects then
+            Err.failf ?file ~line:pl_ln Err.Validation
+              "placements section declares %d objects but meta says %d" k objects;
+          if List.length rows <> k then
+            Err.failf ?file ~line:pl_ln Err.Validation
+              "placements section declares %d objects but holds %d rows" k (List.length rows);
+          Array.of_list
+            (List.mapi
+               (fun i row ->
+                 let ln = pl_ln + 1 + i in
+                 match split_tokens row with
+                 | [] ->
+                     Err.failf ?file ~line:ln Err.Validation
+                       "object %d has no copies (every object keeps at least one)" i
+                 | toks ->
+                     List.map
+                       (fun tok ->
+                         let v = int_of ln "copy node" tok in
+                         if v < 0 || v >= nodes then
+                           Err.failf ?file ~line:ln ~token:tok Err.Validation
+                             "copy node %d out of range [0, %d)" v nodes;
+                         v)
+                       toks)
+               rows)
+    in
+    (* epochs *)
+    let ep_ln, ep_lines = get "epochs" in
+    let epochs =
+      match ep_lines with
+      | [] -> Err.failf ?file ~line:ep_ln Err.Parse "epochs section is empty"
+      | count_line :: rows ->
+          let c =
+            match split_tokens count_line with
+            | [ tok ] -> int_of ep_ln "epoch count" tok
+            | _ ->
+                Err.failf ?file ~line:ep_ln Err.Parse
+                  "the epochs count line must hold a single integer"
+          in
+          if List.length rows <> c then
+            Err.failf ?file ~line:ep_ln Err.Validation
+              "epochs section declares %d rows but holds %d" c (List.length rows);
+          if c <> next_epoch then
+            Err.failf ?file ~line:ep_ln Err.Validation
+              "epochs section holds %d rows but next_epoch is %d (one row per completed epoch)"
+              c next_epoch;
+          List.mapi
+            (fun i row ->
+              let ln = ep_ln + 1 + i in
+              match split_tokens row with
+              | [ idx; ev; rd; wr; rs; sr; sf; cp; sv; st; mg; a; b; c' ] ->
+                  let ii = int_of ln "epoch index" idx in
+                  if ii <> i then
+                    Err.failf ?file ~line:ln ~token:idx Err.Validation
+                      "epoch row %d carries index %d" i ii;
+                  let nonneg what v =
+                    if v < 0 then
+                      Err.failf ?file ~line:ln Err.Validation "%s must be non-negative" what;
+                    v
+                  in
+                  {
+                    index = ii;
+                    events = nonneg "events" (int_of ln "events" ev);
+                    reads = nonneg "reads" (int_of ln "reads" rd);
+                    writes = nonneg "writes" (int_of ln "writes" wr);
+                    resolves = nonneg "resolves" (int_of ln "resolves" rs);
+                    solve_retries = nonneg "solve_retries" (int_of ln "solve_retries" sr);
+                    solve_fallbacks = nonneg "solve_fallbacks" (int_of ln "solve_fallbacks" sf);
+                    copies = nonneg "copies" (int_of ln "copies" cp);
+                    serving = float_of ln "serving" sv;
+                    storage = float_of ln "storage" st;
+                    migration = float_of ln "migration" mg;
+                    p50 = float_of ln "p50" a;
+                    p95 = float_of ln "p95" b;
+                    p99 = float_of ln "p99" c';
+                  }
+              | _ ->
+                  Err.failf ?file ~line:ln Err.Parse
+                    "malformed epoch row: expected 14 whitespace-separated fields")
+            rows
+    in
+    let consumed = List.fold_left (fun a r -> a + r.events) 0 epochs in
+    if consumed <> events_consumed then
+      Err.failf ?file ~line:ep_ln Err.Validation
+        "epoch rows account for %d events but meta says %d were consumed" consumed
+        events_consumed;
+    (* histogram *)
+    let h_ln, h_lines = get "histogram" in
+    let hist =
+      match h_lines with
+      | [] -> Err.failf ?file ~line:h_ln Err.Parse "histogram section is empty"
+      | params :: buckets ->
+          let h_lo, h_base, h_buckets, h_sum =
+            match split_tokens params with
+            | [ lo; base; nb; sum ] ->
+                ( float_of h_ln "histogram lo" lo,
+                  float_of h_ln "histogram base" base,
+                  int_of h_ln "histogram bucket count" nb,
+                  float_of h_ln "histogram sum" sum )
+            | _ ->
+                Err.failf ?file ~line:h_ln Err.Parse
+                  "malformed histogram params: expected \"<lo> <base> <buckets> <sum>\""
+          in
+          if not (h_lo > 0.0 && Float.is_finite h_lo) then
+            Err.fail ?file ~line:h_ln Err.Validation "histogram lo must be positive and finite";
+          if not (h_base > 1.0 && Float.is_finite h_base) then
+            Err.fail ?file ~line:h_ln Err.Validation "histogram base must be > 1 and finite";
+          if h_buckets < 2 then
+            Err.fail ?file ~line:h_ln Err.Validation "histogram needs at least 2 buckets";
+          let last = ref (-1) in
+          let h_counts =
+            List.mapi
+              (fun i row ->
+                let ln = h_ln + 1 + i in
+                match split_tokens row with
+                | [ itok; ctok ] ->
+                    let idx = int_of ln "bucket index" itok in
+                    let c = int_of ln "bucket count" ctok in
+                    if idx < 0 || idx >= h_buckets then
+                      Err.failf ?file ~line:ln ~token:itok Err.Validation
+                        "bucket index %d out of range [0, %d)" idx h_buckets;
+                    if idx <= !last then
+                      Err.failf ?file ~line:ln ~token:itok Err.Validation
+                        "bucket indices must be strictly ascending";
+                    if c <= 0 then
+                      Err.failf ?file ~line:ln ~token:ctok Err.Validation
+                        "stored bucket counts must be positive";
+                    last := idx;
+                    (idx, c)
+                | _ ->
+                    Err.failf ?file ~line:ln Err.Parse
+                      "malformed bucket line: expected \"<index> <count>\"")
+              buckets
+          in
+          { h_lo; h_base; h_buckets; h_sum; h_counts }
+    in
+    (* ops *)
+    let o_ln, o_lines = get "ops" in
+    let ops = Hashtbl.create 4 in
+    List.iteri
+      (fun i l ->
+        let ln = o_ln + i in
+        match split_tokens l with
+        | [ key; value ] ->
+            let v = int_of ln key value in
+            if v < 0 then
+              Err.failf ?file ~line:ln ~token:value Err.Validation "%s must be non-negative" key;
+            Hashtbl.replace ops key v
+        | _ ->
+            Err.failf ?file ~line:ln Err.Parse "malformed ops line: expected \"<key> <value>\"")
+      o_lines;
+    let ops_field key =
+      match Hashtbl.find_opt ops key with
+      | Some v -> v
+      | None -> Err.failf ?file ~line:o_ln Err.Parse "ops section is missing %s" key
+    in
+    {
+      policy;
+      epoch_size;
+      period;
+      next_epoch;
+      events_consumed;
+      fingerprint;
+      nodes;
+      objects;
+      placements;
+      epochs;
+      hist;
+      checkpoints_written = ops_field "checkpoints_written";
+      serve_retries = ops_field "serve_retries";
+    }
+
+  let of_string_res ?file s = Err.protect (fun () -> parse ?file s)
+  let of_string s = Err.get_ok (of_string_res s)
+  let save_res path t = write_file_res path (to_string t)
+  let save path t = Err.get_ok (save_res path t)
+
+  let load_res path =
+    let* s = read_file_res path in
+    of_string_res ~file:path s
+
+  let load path = Err.get_ok (load_res path)
+end

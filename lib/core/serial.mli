@@ -104,19 +104,29 @@ module Trace : sig
 
   type event = { node : int; x : int; write : bool }
 
-  (** [with_reader_res path f] opens [path], parses and validates the
-      header, and runs [f header events]. [events] is a {e one-shot,
-      ephemeral} sequence: it reads from the file as it is forced and
-      is only valid inside [f] (the file is closed when [f] returns).
-      A malformed event encountered mid-stream raises [Err.Error] at
-      the offending element; that error (and any raised by [f]) is
-      returned as [Error]. *)
+  (** [with_reader_res ?tolerate_truncation path f] opens [path],
+      parses and validates the header, and runs [f header events].
+      [events] is a {e one-shot, ephemeral} sequence: it reads from the
+      file as it is forced and is only valid inside [f] (the file is
+      closed when [f] returns). A malformed event encountered
+      mid-stream raises [Err.Error] at the offending element; that
+      error (and any raised by [f]) is returned as [Error].
+
+      A final line with no terminating newline is the signature of a
+      partial write (a crash mid-append). By default it is reported as
+      a {!Dmn_prelude.Err.Parse} error naming the line and its byte
+      offset; with [~tolerate_truncation:true] the stream stops cleanly
+      at the last complete event instead (resume scenarios). Header
+      truncation is never tolerated. *)
   val with_reader_res :
-    string -> (header -> event Seq.t -> 'a) -> ('a, Dmn_prelude.Err.t) result
+    ?tolerate_truncation:bool ->
+    string ->
+    (header -> event Seq.t -> 'a) ->
+    ('a, Dmn_prelude.Err.t) result
 
   (** Raising wrapper over {!with_reader_res}.
       @raise Dmn_prelude.Err.Error on malformed input or I/O failure. *)
-  val with_reader : string -> (header -> event Seq.t -> 'a) -> 'a
+  val with_reader : ?tolerate_truncation:bool -> string -> (header -> event Seq.t -> 'a) -> 'a
 
   (** [write_res path header events] drains [events] to [path] with the
       same atomic, durable protocol as {!write_file} (temp file +
@@ -128,4 +138,106 @@ module Trace : sig
   (** Raising wrapper over {!write_res}.
       @raise Dmn_prelude.Err.Error on invalid events or I/O failure. *)
   val write : string -> header -> event Seq.t -> int
+end
+
+(** {2 Replay checkpoints}
+
+    Versioned crash-safe snapshots of the replay engine's state, written
+    with the same atomic temp-file + [fsync] + rename protocol as
+    {!write_file}. Line-oriented text format:
+    {v
+    dmnet-ckpt v1
+    section <name> <lines> <crc32>
+    ...body lines...
+    v}
+    with five sections — [meta] (policy, epoch geometry, progress, trace
+    fingerprint, instance shape), [placements] (current copy set per
+    object), [epochs] (one accounting row per completed epoch, from
+    which cumulative metrics are reconstructed), [histogram] (request
+    cost distribution) and [ops] (operational counters). Each section
+    header carries the CRC-32 of the exact body bytes: corruption
+    anywhere yields a structured {!Dmn_prelude.Err.Validation} error
+    naming the section (exit code 65 at the CLI), never a silently
+    wrong resume.
+
+    The {e fingerprint} is an order-sensitive hash over the trace header
+    and every consumed event; [dmnet replay --resume] recomputes it
+    while fast-forwarding the trace reader and refuses to resume
+    against a trace that differs anywhere in the consumed prefix. *)
+
+module Checkpoint : sig
+  (** One completed epoch's accounting, exactly the scalar fields of
+      the engine's per-epoch metrics snapshot. *)
+  type epoch_row = {
+    index : int;
+    events : int;
+    reads : int;
+    writes : int;
+    resolves : int;
+    solve_retries : int;
+    solve_fallbacks : int;
+    copies : int;
+    serving : float;
+    storage : float;
+    migration : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  (** Request-cost histogram state: parameters, sample sum, and the
+      non-zero buckets as [(index, count)] in ascending index order. *)
+  type hist_state = {
+    h_lo : float;
+    h_base : float;
+    h_buckets : int;
+    h_sum : float;
+    h_counts : (int * int) list;
+  }
+
+  type t = {
+    policy : string;  (** engine policy name, e.g. ["resolve"] *)
+    epoch_size : int;
+    period : int;  (** storage accounting period *)
+    next_epoch : int;  (** first epoch index the resumed run executes *)
+    events_consumed : int;  (** trace events consumed so far *)
+    fingerprint : int64;  (** trace-identity hash over the consumed prefix *)
+    nodes : int;
+    objects : int;
+    placements : int list array;  (** current copy nodes per object *)
+    epochs : epoch_row list;  (** chronological, one per completed epoch *)
+    hist : hist_state;
+    checkpoints_written : int;  (** operational counter carried across resumes *)
+    serve_retries : int;  (** operational counter carried across resumes *)
+  }
+
+  (** [fingerprint_init ~nodes ~objects] seeds the trace fingerprint
+      from the header. *)
+  val fingerprint_init : nodes:int -> objects:int -> int64
+
+  (** [fingerprint_event h e] folds one consumed event into the hash.
+      Order-sensitive. *)
+  val fingerprint_event : int64 -> Trace.event -> int64
+
+  val to_string : t -> string
+
+  (** [of_string_res ?file s] parses and fully validates a checkpoint:
+      section CRCs, count/range checks, per-epoch row consistency
+      (indices, event totals), placement and histogram sanity. *)
+  val of_string_res : ?file:string -> string -> (t, Dmn_prelude.Err.t) result
+
+  (** @raise Dmn_prelude.Err.Error on malformed or corrupt input. *)
+  val of_string : string -> t
+
+  (** [save_res path t] writes atomically and durably via
+      {!write_file_res} (same fault points). *)
+  val save_res : string -> t -> (unit, Dmn_prelude.Err.t) result
+
+  (** @raise Dmn_prelude.Err.Error on I/O failure. *)
+  val save : string -> t -> unit
+
+  val load_res : string -> (t, Dmn_prelude.Err.t) result
+
+  (** @raise Dmn_prelude.Err.Error on read or parse failure. *)
+  val load : string -> t
 end

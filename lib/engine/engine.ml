@@ -2,6 +2,7 @@ module I = Dmn_core.Instance
 module P = Dmn_core.Placement
 module A = Dmn_core.Approx
 module Serial = Dmn_core.Serial
+module Ckpt = Dmn_core.Serial.Checkpoint
 module Sg = Dmn_dynamic.Strategy
 module Stream = Dmn_dynamic.Stream
 module Pool = Dmn_prelude.Pool
@@ -27,6 +28,9 @@ type config = {
   solver : A.config;
   replicate_after : int;
   drop_after : int;
+  attempts : int;
+  solve_deadline_s : float option;
+  backoff_s : float;
 }
 
 let default_config =
@@ -37,7 +41,12 @@ let default_config =
     solver = A.default_config;
     replicate_after = 4;
     drop_after = 8;
+    attempts = 3;
+    solve_deadline_s = None;
+    backoff_s = 0.0;
   }
+
+type checkpointing = { path : string; every : int }
 
 type epoch_stats = {
   index : int;
@@ -48,6 +57,8 @@ type epoch_stats = {
   storage : float;
   migration : float;
   resolves : int;
+  solve_retries : int;
+  solve_fallbacks : int;
   copies : int;
   p50 : float;
   p95 : float;
@@ -62,6 +73,8 @@ type totals = {
   storage : float;
   migration : float;
   resolves : int;
+  solve_retries : int;
+  solve_fallbacks : int;
   final_copies : int;
 }
 
@@ -75,6 +88,7 @@ type result = {
   totals : totals;
   snapshots : (string * Metrics.value) list list;
   final : (string * Metrics.value) list;
+  ops : (string * Metrics.value) list;
 }
 
 let default_period inst ~who =
@@ -98,6 +112,8 @@ type instruments = {
   c_reads : Metrics.counter;
   c_writes : Metrics.counter;
   c_resolves : Metrics.counter;
+  c_solve_retries : Metrics.counter;
+  c_solve_fallbacks : Metrics.counter;
   g_epoch : Metrics.gauge;
   g_events : Metrics.gauge;
   g_reads : Metrics.gauge;
@@ -106,6 +122,8 @@ type instruments = {
   g_storage : Metrics.gauge;
   g_migration : Metrics.gauge;
   g_resolves : Metrics.gauge;
+  g_solve_retries : Metrics.gauge;
+  g_solve_fallbacks : Metrics.gauge;
   g_copies : Metrics.gauge;
   g_p50 : Metrics.gauge;
   g_p95 : Metrics.gauge;
@@ -121,6 +139,8 @@ let make_instruments () =
   let c_reads = Metrics.counter reg "reads_total" in
   let c_writes = Metrics.counter reg "writes_total" in
   let c_resolves = Metrics.counter reg "resolves_total" in
+  let c_solve_retries = Metrics.counter reg "solve_retries" in
+  let c_solve_fallbacks = Metrics.counter reg "solve_fallbacks" in
   let g_epoch = Metrics.gauge reg "epoch" in
   let g_events = Metrics.gauge reg "epoch_events" in
   let g_reads = Metrics.gauge reg "epoch_reads" in
@@ -129,6 +149,8 @@ let make_instruments () =
   let g_storage = Metrics.gauge reg "epoch_storage" in
   let g_migration = Metrics.gauge reg "epoch_migration" in
   let g_resolves = Metrics.gauge reg "epoch_resolves" in
+  let g_solve_retries = Metrics.gauge reg "epoch_solve_retries" in
+  let g_solve_fallbacks = Metrics.gauge reg "epoch_solve_fallbacks" in
   let g_copies = Metrics.gauge reg "copies" in
   let g_p50 = Metrics.gauge reg "request_cost_p50" in
   let g_p95 = Metrics.gauge reg "request_cost_p95" in
@@ -140,6 +162,8 @@ let make_instruments () =
     c_reads;
     c_writes;
     c_resolves;
+    c_solve_retries;
+    c_solve_fallbacks;
     g_epoch;
     g_events;
     g_reads;
@@ -148,6 +172,8 @@ let make_instruments () =
     g_storage;
     g_migration;
     g_resolves;
+    g_solve_retries;
+    g_solve_fallbacks;
     g_copies;
     g_p50;
     g_p95;
@@ -155,9 +181,67 @@ let make_instruments () =
     h_cost;
   }
 
-let run ?pool ?(config = default_config) inst placement events =
+(* Deterministic kill point for crash-and-resume testing: after epoch N
+   completes (and its checkpoint, if due, is on disk) the process exits
+   with the injected-failure code. *)
+let crash_after_epoch =
+  lazy
+    (match Sys.getenv_opt "DMNET_CRASH_AFTER_EPOCH" with
+    | Some s -> int_of_string_opt (String.trim s)
+    | None -> None)
+
+let stats_to_row (s : epoch_stats) : Ckpt.epoch_row =
+  {
+    index = s.index;
+    events = s.events;
+    reads = s.reads;
+    writes = s.writes;
+    resolves = s.resolves;
+    solve_retries = s.solve_retries;
+    solve_fallbacks = s.solve_fallbacks;
+    copies = s.copies;
+    serving = s.serving;
+    storage = s.storage;
+    migration = s.migration;
+    p50 = s.p50;
+    p95 = s.p95;
+    p99 = s.p99;
+  }
+
+let row_to_stats (r : Ckpt.epoch_row) : epoch_stats =
+  {
+    index = r.index;
+    events = r.events;
+    reads = r.reads;
+    writes = r.writes;
+    serving = r.serving;
+    storage = r.storage;
+    migration = r.migration;
+    resolves = r.resolves;
+    solve_retries = r.solve_retries;
+    solve_fallbacks = r.solve_fallbacks;
+    copies = r.copies;
+    p50 = r.p50;
+    p95 = r.p95;
+    p99 = r.p99;
+  }
+
+let fp_event fp (e : Stream.event) =
+  Ckpt.fingerprint_event fp
+    { Serial.Trace.node = e.Stream.node; x = e.Stream.x; write = e.Stream.kind = Stream.Write }
+
+let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   if config.epoch <= 0 then invalid_arg "Engine.run: epoch must be positive";
+  if config.attempts < 1 then invalid_arg "Engine.run: attempts must be >= 1";
+  if config.backoff_s < 0.0 || Float.is_nan config.backoff_s then
+    invalid_arg "Engine.run: negative backoff";
+  (match config.solve_deadline_s with
+  | Some d when not (d > 0.0) -> invalid_arg "Engine.run: solve deadline must be positive"
+  | _ -> ());
+  (match ckpt with
+  | Some c when c.every <= 0 -> invalid_arg "Engine.run: checkpoint interval must be positive"
+  | _ -> ());
   let period =
     match config.storage_period with
     | Some p ->
@@ -168,12 +252,18 @@ let run ?pool ?(config = default_config) inst placement events =
   (match P.validate inst placement with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: initial placement: " ^ msg));
+  (* The cache policy's per-event thresholds live in strategy closures
+     and cannot be serialized, so it supports neither side of the
+     checkpoint protocol. *)
+  (match (config.policy, ckpt, resume) with
+  | Cache, Some _, _ | Cache, _, Some _ ->
+      Err.fail Err.Validation
+        "checkpoint/resume is not supported for the cache policy (its per-event threshold \
+         state is not serializable); use static or resolve"
+  | _ -> ());
   let n = I.n inst and k = I.objects inst in
   let metric = I.metric inst in
   let copies = Array.init k (fun x -> P.copies placement ~x) in
-  (* The cache policy delegates per-event decisions to the threshold
-     strategy; its state is per-object, so pool tasks sharded by object
-     mutate disjoint slots. *)
   let cache_strategy =
     match config.policy with
     | Cache ->
@@ -193,12 +283,174 @@ let run ?pool ?(config = default_config) inst placement events =
     !acc
   in
   let ins = make_instruments () in
+  (* Operational counters live in a registry of their own: they describe
+     this process's life (how many checkpoints it wrote, whether it was
+     resumed), not the replayed workload, so they must never leak into
+     the metrics JSON — a resumed run's JSON is byte-identical to an
+     uninterrupted one. *)
+  let ops_reg = Metrics.create () in
+  let ops_ckpts = Metrics.counter ops_reg "checkpoints_written" in
+  let ops_resumes = Metrics.counter ops_reg "resumes" in
+  let ops_serve_retries = Metrics.counter ops_reg "serve_retries" in
   (* epoch working state, reused across epochs *)
   let dummy = { Stream.node = 0; x = 0; kind = Stream.Read } in
   let buffer = Array.make config.epoch dummy in
   let counts = Array.make k 0 in
   let slot_of_x = Array.make k (-1) in
   let seen = ref 0 in
+  let fingerprint = ref (Ckpt.fingerprint_init ~nodes:n ~objects:k) in
+  let epochs = ref [] in
+  let snapshots = ref [] in
+  let t_events = ref 0
+  and t_reads = ref 0
+  and t_serving = ref 0.0
+  and t_storage = ref 0.0
+  and t_migration = ref 0.0
+  and t_resolves = ref 0
+  and t_solve_retries = ref 0
+  and t_solve_fallbacks = ref 0 in
+  (* Re-apply one restored epoch row exactly as the live path recorded
+     it: counters, gauges, snapshot, totals — so every downstream
+     artifact of the resumed run matches the uninterrupted one. *)
+  let scalar_snapshot () =
+    List.filter (fun (_, v) -> match v with Metrics.Hist _ -> false | _ -> true)
+      (Metrics.snapshot ins.reg)
+  in
+  let record (s : epoch_stats) =
+    Metrics.add ins.c_events s.events;
+    Metrics.add ins.c_reads s.reads;
+    Metrics.add ins.c_writes s.writes;
+    Metrics.add ins.c_resolves s.resolves;
+    Metrics.add ins.c_solve_retries s.solve_retries;
+    Metrics.add ins.c_solve_fallbacks s.solve_fallbacks;
+    Metrics.set ins.g_epoch (float_of_int s.index);
+    Metrics.set ins.g_events (float_of_int s.events);
+    Metrics.set ins.g_reads (float_of_int s.reads);
+    Metrics.set ins.g_writes (float_of_int s.writes);
+    Metrics.set ins.g_serving s.serving;
+    Metrics.set ins.g_storage s.storage;
+    Metrics.set ins.g_migration s.migration;
+    Metrics.set ins.g_resolves (float_of_int s.resolves);
+    Metrics.set ins.g_solve_retries (float_of_int s.solve_retries);
+    Metrics.set ins.g_solve_fallbacks (float_of_int s.solve_fallbacks);
+    Metrics.set ins.g_copies (float_of_int s.copies);
+    Metrics.set ins.g_p50 s.p50;
+    Metrics.set ins.g_p95 s.p95;
+    Metrics.set ins.g_p99 s.p99;
+    snapshots := scalar_snapshot () :: !snapshots;
+    epochs := s :: !epochs;
+    t_events := !t_events + s.events;
+    t_reads := !t_reads + s.reads;
+    t_serving := !t_serving +. s.serving;
+    t_storage := !t_storage +. s.storage;
+    t_migration := !t_migration +. s.migration;
+    t_resolves := !t_resolves + s.resolves;
+    t_solve_retries := !t_solve_retries + s.solve_retries;
+    t_solve_fallbacks := !t_solve_fallbacks + s.solve_fallbacks
+  in
+  let write_checkpoint c ~next_epoch =
+    Metrics.incr ops_ckpts;
+    let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
+    let raw = Metrics.hist_buckets ins.h_cost in
+    let h_counts = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if raw.(i) > 0 then h_counts := (i, raw.(i)) :: !h_counts
+    done;
+    Ckpt.save c.path
+      {
+        policy = policy_name config.policy;
+        epoch_size = config.epoch;
+        period;
+        next_epoch;
+        events_consumed = !seen;
+        fingerprint = !fingerprint;
+        nodes = n;
+        objects = k;
+        placements = Array.copy copies;
+        epochs = List.rev_map stats_to_row !epochs;
+        hist =
+          {
+            h_lo = lo;
+            h_base = base;
+            h_buckets = nbuckets;
+            h_sum = Metrics.hist_sum ins.h_cost;
+            h_counts = !h_counts;
+          };
+        checkpoints_written = Metrics.counter_value ops_ckpts;
+        serve_retries = Metrics.counter_value ops_serve_retries;
+      }
+  in
+  (* ----- resume: validate, restore state, fast-forward the trace ----- *)
+  let start_index, events =
+    match resume with
+    | None -> (0, events)
+    | Some (c : Ckpt.t) ->
+        if c.policy <> policy_name config.policy then
+          Err.failf Err.Validation
+            "resume: checkpoint was written by the %s policy but this run uses %s" c.policy
+            (policy_name config.policy);
+        if c.epoch_size <> config.epoch then
+          Err.failf Err.Validation
+            "resume: checkpoint epoch size %d does not match the configured %d" c.epoch_size
+            config.epoch;
+        if c.period <> period then
+          Err.failf Err.Validation
+            "resume: checkpoint storage period %d does not match the resolved %d" c.period
+            period;
+        if c.nodes <> n || c.objects <> k then
+          Err.failf Err.Validation
+            "resume: checkpoint shape (%d nodes, %d objects) does not match the instance (%d \
+             nodes, %d objects)"
+            c.nodes c.objects n k;
+        let pl =
+          try P.make (Array.copy c.placements)
+          with Invalid_argument msg ->
+            Err.fail Err.Validation ("resume: checkpoint placements: " ^ msg)
+        in
+        (match P.validate inst pl with
+        | Ok () -> ()
+        | Error msg ->
+            Err.fail Err.Validation
+              ("resume: checkpoint placements do not fit the instance: " ^ msg));
+        for x = 0 to k - 1 do
+          copies.(x) <- P.copies pl ~x
+        done;
+        let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
+        if c.hist.h_lo <> lo || c.hist.h_base <> base || c.hist.h_buckets <> nbuckets then
+          Err.failf Err.Validation
+            "resume: checkpoint histogram geometry (lo %g, base %g, %d buckets) does not match \
+             this build (lo %g, base %g, %d buckets)"
+            c.hist.h_lo c.hist.h_base c.hist.h_buckets lo base nbuckets;
+        List.iter (fun r -> record (row_to_stats r)) c.epochs;
+        let dense = Array.make nbuckets 0 in
+        List.iter (fun (i, cnt) -> dense.(i) <- cnt) c.hist.h_counts;
+        Metrics.hist_restore ins.h_cost ~counts:dense ~sum:c.hist.h_sum;
+        Metrics.add ops_ckpts c.checkpoints_written;
+        Metrics.add ops_serve_retries c.serve_retries;
+        Metrics.incr ops_resumes;
+        (* fast-forward: skip the consumed prefix while recomputing the
+           trace-identity hash, then refuse a trace that differs *)
+        let rec forward seq i fp =
+          if i = c.events_consumed then (seq, fp)
+          else
+            match Seq.uncons seq with
+            | None ->
+                Err.failf Err.Validation
+                  "resume: the trace ends after %d events but the checkpoint consumed %d — \
+                   wrong or truncated trace?"
+                  i c.events_consumed
+            | Some (e, rest) -> forward rest (i + 1) (fp_event fp e)
+        in
+        let rest, fp = forward events 0 !fingerprint in
+        if fp <> c.fingerprint then
+          Err.failf Err.Validation
+            "resume: trace fingerprint %016Lx does not match the checkpoint's %016Lx — the \
+             first %d events differ from the run that wrote it"
+            fp c.fingerprint c.events_consumed;
+        fingerprint := fp;
+        seen := c.events_consumed;
+        (c.next_epoch, rest)
+  in
   let rec fill seq m =
     if m = config.epoch then (m, seq)
     else
@@ -212,17 +464,10 @@ let run ?pool ?(config = default_config) inst placement events =
             invalid_arg
               (Printf.sprintf "Engine.run: event %d: object %d out of range [0, %d)" !seen x k);
           incr seen;
+          fingerprint := fp_event !fingerprint e;
           buffer.(m) <- e;
           fill rest (m + 1)
   in
-  let epochs = ref [] in
-  let snapshots = ref [] in
-  let t_events = ref 0
-  and t_reads = ref 0
-  and t_serving = ref 0.0
-  and t_storage = ref 0.0
-  and t_migration = ref 0.0
-  and t_resolves = ref 0 in
   let rec loop seq index =
     let m, rest = fill seq 0 in
     if m = 0 then ()
@@ -246,11 +491,17 @@ let run ?pool ?(config = default_config) inst placement events =
         obj_events.(s).(fill_pos.(s)) <- buffer.(i);
         fill_pos.(s) <- fill_pos.(s) + 1
       done;
-      (* parallel serving: one task per active object, each writing its
-         private cost array; objects are independent in the cost model,
-         so the shard results do not depend on scheduling *)
-      let costs_per_obj =
-        Pool.parallel_init pool na (fun s ->
+      (* parallel serving under supervision: one task per active object,
+         each writing its private cost array. Attempt 0 draws the same
+         "pool.task" fault coin an unsupervised run would, so outcomes
+         stay independent of the domain count; injected faults are
+         retried up to [attempts] times before aborting the run (there
+         is no sound fallback for unserved requests). *)
+      let serve_supervision =
+        { Pool.default_supervision with attempts = config.attempts; backoff_s = config.backoff_s }
+      in
+      let serve_outcomes, serve_retries =
+        Pool.supervised_init pool ~supervision:serve_supervision na (fun s ->
             let x = active.(s) in
             let evs = obj_events.(s) in
             match cache_strategy with
@@ -258,7 +509,23 @@ let run ?pool ?(config = default_config) inst placement events =
                 Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
             | None ->
                 let cset = copies.(x) in
-                Array.map (fun e -> Sg.serve_cost inst ~copies:cset ~node:e.Stream.node e.Stream.kind) evs)
+                Array.map
+                  (fun e -> Sg.serve_cost inst ~copies:cset ~node:e.Stream.node e.Stream.kind)
+                  evs)
+      in
+      Metrics.add ops_serve_retries serve_retries;
+      let costs_per_obj =
+        Array.mapi
+          (fun s outcome ->
+            match outcome with
+            | Ok a -> a
+            | Error (f : Pool.failure) ->
+                Err.failf f.error.Err.kind
+                  "epoch %d: serving object %d failed after %d attempt%s: %s" index active.(s)
+                  f.attempts
+                  (if f.attempts = 1 then "" else "s")
+                  f.error.Err.msg)
+          serve_outcomes
       in
       (* sequential merge in object order: float sums, histogram
          observations and the percentile sample are all accumulated
@@ -286,10 +553,16 @@ let run ?pool ?(config = default_config) inst placement events =
         List.iter (fun c -> storage := !storage +. (I.cs inst c *. frac)) (current_copies x)
       done;
       (* epoch re-optimization: re-solve every object that saw traffic
-         on the observed frequencies, with storage fees scaled to the
-         epoch's share of the period so the solver faces the same
-         storage-vs-communication tradeoff the engine charges *)
-      let migration = ref 0.0 and resolves = ref 0 in
+         on the observed frequencies. Re-solves run under the same
+         supervisor at the "engine.resolve" fault point (salted by
+         (epoch, object), so outcomes are independent of scheduling and
+         survive resume); an object whose re-solve still fails — crash,
+         injected fault, or deadline — keeps its previous copy set
+         instead of aborting the run. *)
+      let migration = ref 0.0
+      and resolves = ref 0
+      and solve_retries = ref 0
+      and solve_fallbacks = ref 0 in
       (match config.policy with
       | Static | Cache -> ()
       | Resolve ->
@@ -302,46 +575,47 @@ let run ?pool ?(config = default_config) inst placement events =
           done;
           let scaled_cs = Array.init n (fun v -> I.cs inst v *. frac) in
           let einst = I.of_metric metric ~cs:scaled_cs ~fr ~fw in
-          let solved =
-            Pool.parallel_init pool na (fun s ->
+          let solve_supervision =
+            {
+              Pool.attempts = config.attempts;
+              deadline_s = config.solve_deadline_s;
+              backoff_s = config.backoff_s;
+              point = "engine.resolve";
+              salt = (fun s -> (index * 1_000_003) + active.(s));
+            }
+          in
+          let solved, retries =
+            Pool.supervised_init pool ~supervision:solve_supervision na (fun s ->
                 A.place_object ~config:config.solver einst ~x:active.(s))
           in
-          resolves := na;
+          solve_retries := retries;
           for s = 0 to na - 1 do
             let x = active.(s) in
-            let old = copies.(x) in
-            List.iter
-              (fun c ->
-                if not (List.mem c old) then
-                  let d =
-                    List.fold_left (fun acc o -> Float.min acc (Metric.d metric c o)) infinity old
-                  in
-                  migration := !migration +. d)
-              solved.(s);
-            copies.(x) <- solved.(s)
+            match solved.(s) with
+            | Error _ ->
+                (* graceful degradation: keep the previous epoch's
+                   placement for this object *)
+                incr solve_fallbacks
+            | Ok cps ->
+                incr resolves;
+                let old = copies.(x) in
+                List.iter
+                  (fun c ->
+                    if not (List.mem c old) then
+                      let d =
+                        List.fold_left
+                          (fun acc o -> Float.min acc (Metric.d metric c o))
+                          infinity old
+                      in
+                      migration := !migration +. d)
+                  cps;
+                copies.(x) <- cps
           done);
       let copies_now = total_copies () in
       let p50 = Stats.percentile epoch_costs 50.0
       and p95 = Stats.percentile epoch_costs 95.0
       and p99 = Stats.percentile epoch_costs 99.0 in
-      Metrics.add ins.c_events m;
-      Metrics.add ins.c_reads !reads;
-      Metrics.add ins.c_writes writes;
-      Metrics.add ins.c_resolves !resolves;
-      Metrics.set ins.g_epoch (float_of_int index);
-      Metrics.set ins.g_events (float_of_int m);
-      Metrics.set ins.g_reads (float_of_int !reads);
-      Metrics.set ins.g_writes (float_of_int writes);
-      Metrics.set ins.g_serving !serving;
-      Metrics.set ins.g_storage !storage;
-      Metrics.set ins.g_migration !migration;
-      Metrics.set ins.g_resolves (float_of_int !resolves);
-      Metrics.set ins.g_copies (float_of_int copies_now);
-      Metrics.set ins.g_p50 p50;
-      Metrics.set ins.g_p95 p95;
-      Metrics.set ins.g_p99 p99;
-      snapshots := Metrics.snapshot ins.reg :: !snapshots;
-      epochs :=
+      record
         {
           index;
           events = m;
@@ -351,22 +625,26 @@ let run ?pool ?(config = default_config) inst placement events =
           storage = !storage;
           migration = !migration;
           resolves = !resolves;
+          solve_retries = !solve_retries;
+          solve_fallbacks = !solve_fallbacks;
           copies = copies_now;
           p50;
           p95;
           p99;
-        }
-        :: !epochs;
-      t_events := !t_events + m;
-      t_reads := !t_reads + !reads;
-      t_serving := !t_serving +. !serving;
-      t_storage := !t_storage +. !storage;
-      t_migration := !t_migration +. !migration;
-      t_resolves := !t_resolves + !resolves;
+        };
+      (match ckpt with
+      | Some c when (index + 1) mod c.every = 0 -> write_checkpoint c ~next_epoch:(index + 1)
+      | _ -> ());
+      (match Lazy.force crash_after_epoch with
+      | Some after when after = index ->
+          Printf.eprintf "dmnet: injected crash after epoch %d (DMNET_CRASH_AFTER_EPOCH)\n%!"
+            index;
+          Stdlib.exit 70
+      | _ -> ());
       loop rest (index + 1)
     end
   in
-  loop events 0;
+  loop events start_index;
   {
     policy = config.policy;
     epoch_size = config.epoch;
@@ -381,28 +659,31 @@ let run ?pool ?(config = default_config) inst placement events =
         storage = !t_storage;
         migration = !t_migration;
         resolves = !t_resolves;
+        solve_retries = !t_solve_retries;
+        solve_fallbacks = !t_solve_fallbacks;
         final_copies = total_copies ();
       };
     snapshots = List.rev !snapshots;
     final = Metrics.snapshot ins.reg;
+    ops = Metrics.snapshot ops_reg;
   }
 
 let of_trace_event { Serial.Trace.node; x; write } =
   { Stream.node; x; kind = (if write then Stream.Write else Stream.Read) }
 
-let run_trace ?pool ?config inst placement path =
-  Serial.Trace.with_reader path (fun header events ->
+let run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst placement path =
+  Serial.Trace.with_reader ?tolerate_truncation path (fun header events ->
       if header.Serial.Trace.nodes <> I.n inst || header.Serial.Trace.objects <> I.objects inst
       then
         Err.failf ~file:path Err.Validation
           "trace header (%d nodes, %d objects) does not match the instance (%d nodes, %d objects)"
           header.Serial.Trace.nodes header.Serial.Trace.objects (I.n inst) (I.objects inst);
-      run ?pool ?config inst placement (Seq.map of_trace_event events))
+      run ?pool ?config ?ckpt ?resume inst placement (Seq.map of_trace_event events))
 
 let metrics_json inst r =
   let buf = Buffer.create 4096 in
   let fl = Metrics.json_float in
-  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":1";
+  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":2";
   Buffer.add_string buf (Printf.sprintf ",\"policy\":%S" (policy_name r.policy));
   Buffer.add_string buf (Printf.sprintf ",\"epoch_size\":%d" r.epoch_size);
   Buffer.add_string buf (Printf.sprintf ",\"storage_period\":%d" r.period);
@@ -419,9 +700,9 @@ let metrics_json inst r =
   let t = r.totals in
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"final_copies\":%d,\"total_cost\":%s}"
+       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"solve_retries\":%d,\"solve_fallbacks\":%d,\"final_copies\":%d,\"total_cost\":%s}"
        t.events t.reads t.writes (fl t.serving) (fl t.storage) (fl t.migration) t.resolves
-       t.final_copies
+       t.solve_retries t.solve_fallbacks t.final_copies
        (fl (total_cost t)));
   (match List.assoc_opt "request_cost" r.final with
   | Some (Metrics.Hist _ as h) ->

@@ -1,5 +1,5 @@
 (** Streaming replay engine: serves a request trace against a live
-    placement, incrementally and in parallel.
+    placement, incrementally, in parallel, and crash-safely.
 
     The paper's motivating applications (Section 1 — WWW content
     distribution, virtual shared memory, distributed file systems) are
@@ -22,11 +22,35 @@
       observed instance, and charges each added copy the object
       transfer distance from the nearest previous copy. Objects with no
       traffic in the epoch keep their copy sets.
+    - {b Supervision.} Both the serving fan-out and the re-solve
+      fan-out run under {!Dmn_prelude.Pool.supervised_init}: task
+      crashes and injected faults are retried up to [attempts] times
+      (attempt 0 draws the exact fault coin an unsupervised run would,
+      so outcomes stay independent of the domain count). A re-solve
+      that still fails — or overruns [solve_deadline_s] — {e degrades
+      gracefully}: the object keeps its previous placement and the
+      epoch records a [solve_fallbacks] tick instead of aborting.
+      Serving failures have no sound fallback and abort with a
+      structured error after the retries.
+    - {b Checkpoint/resume.} With [?ckpt] the engine persists a
+      {!Dmn_core.Serial.Checkpoint} (atomic write, per-section CRC)
+      after every [every]-th epoch; [?resume] validates a loaded
+      checkpoint against the configuration, the instance, and a
+      trace-identity fingerprint recomputed while fast-forwarding the
+      event stream, then continues where the checkpoint left off. A
+      resumed run's {!metrics_json} is {e byte-identical} to an
+      uninterrupted run's at any domain count. Supported for the
+      [Static] and [Resolve] policies ([Cache] keeps per-event state
+      inside strategy closures and refuses both sides with a
+      structured error).
     - {b Telemetry.} A {!Dmn_prelude.Metrics} registry (cumulative
       counters, per-epoch gauges, a log-scale histogram of per-request
       serving cost) is snapshotted every epoch; {!metrics_json} renders
       the timeline as machine-readable JSON and {!write_metrics} stores
-      it atomically via {!Dmn_core.Serial.write_file}.
+      it atomically via {!Dmn_core.Serial.write_file}. Operational
+      counters that describe the process rather than the workload
+      ([checkpoints_written], [resumes], [serve_retries]) live in the
+      separate {!result.ops} snapshot and never enter the JSON.
 
     Accounting conventions: serving costs follow
     {!Dmn_dynamic.Strategy.serve_cost}; storage rent is charged per
@@ -53,15 +77,35 @@ type config = {
   solver : Dmn_core.Approx.config;  (** pipeline used by [Resolve] *)
   replicate_after : int;  (** [Cache] promotion threshold *)
   drop_after : int;  (** [Cache] eviction threshold *)
+  attempts : int;  (** max executions per supervised task (>= 1) *)
+  solve_deadline_s : float option;
+      (** cooperative per-attempt deadline for re-solves; an attempt
+          that overruns counts as a failure (retried, then fallback).
+          Wall-clock based, so unlike fault injection it is {e not}
+          deterministic — leave [None] (the default) when byte-identical
+          cross-run output matters. *)
+  backoff_s : float;  (** base retry backoff, doubling per attempt *)
 }
 
-(** [Resolve], epoch 1000, default solver and cache thresholds. *)
+(** [Resolve], epoch 1000, default solver and cache thresholds, 3
+    supervised attempts, no deadline, no backoff. *)
 val default_config : config
+
+(** Periodic checkpointing: write the engine state to [path] (atomic
+    replace — the file always holds the newest complete checkpoint)
+    after every [every]-th epoch (1-based: [every = 1] checkpoints
+    after each epoch). *)
+type checkpointing = { path : string; every : int }
 
 (** Per-epoch record. Costs are per-epoch (not cumulative); [copies]
     is the total copy count over all objects at the end of the epoch
-    (after any re-solve). Percentiles are over the epoch's per-request
-    serving costs ({!Dmn_prelude.Stats.percentile}). *)
+    (after any re-solve). [solve_retries] counts supervised re-solve
+    retries, [solve_fallbacks] the objects that kept their previous
+    placement after all attempts failed; [resolves] counts only
+    {e successful} re-solves, so [resolves + solve_fallbacks] is the
+    epoch's active-object count under the [Resolve] policy. Percentiles
+    are over the epoch's per-request serving costs
+    ({!Dmn_prelude.Stats.percentile}). *)
 type epoch_stats = {
   index : int;  (** 0-based epoch number *)
   events : int;
@@ -70,7 +114,9 @@ type epoch_stats = {
   serving : float;
   storage : float;
   migration : float;
-  resolves : int;  (** objects re-solved at this epoch's boundary *)
+  resolves : int;  (** objects successfully re-solved at this boundary *)
+  solve_retries : int;
+  solve_fallbacks : int;
   copies : int;
   p50 : float;
   p95 : float;
@@ -85,6 +131,8 @@ type totals = {
   storage : float;
   migration : float;
   resolves : int;
+  solve_retries : int;
+  solve_fallbacks : int;
   final_copies : int;
 }
 
@@ -98,25 +146,53 @@ type result = {
   epochs : epoch_stats list;  (** in order; empty for an empty trace *)
   totals : totals;
   snapshots : (string * Dmn_prelude.Metrics.value) list list;
-      (** one metrics snapshot per epoch, in epoch order *)
+      (** one scalar metrics snapshot per epoch, in epoch order (the
+          request-cost histogram appears only in [final]) *)
   final : (string * Dmn_prelude.Metrics.value) list;
       (** final snapshot, including the request-cost histogram *)
+  ops : (string * Dmn_prelude.Metrics.value) list;
+      (** operational counters — [checkpoints_written], [resumes],
+          [serve_retries] — kept out of {!metrics_json} so a resumed
+          run's JSON stays byte-identical to an uninterrupted one *)
 }
 
-(** [run ?pool ?config inst placement events] replays [events] (a
-    {e one-shot} sequence, forced exactly once) against [inst] starting
-    from [placement]. Deterministic: equal inputs give equal results —
-    including every float — at any [pool] size ([pool] defaults to
-    {!Dmn_prelude.Pool.default}).
+(** [run ?pool ?config ?ckpt ?resume inst placement events] replays
+    [events] (a {e one-shot} sequence, forced exactly once) against
+    [inst] starting from [placement]. Deterministic: equal inputs give
+    equal results — including every float — at any [pool] size ([pool]
+    defaults to {!Dmn_prelude.Pool.default}), whether or not the run
+    was resumed, as long as [solve_deadline_s] is [None].
 
-    @raise Invalid_argument on a non-positive [epoch] or
-    [storage_period], on a placement that does not fit the instance, on
-    an event whose node or object is out of range, or (matching
-    {!Dmn_dynamic.Sim.run}) when [storage_period] is omitted on an
-    instance with zero request volume. *)
+    With [?ckpt], a checkpoint is written after every [every]-th epoch
+    (counted from epoch 0 of the whole replay, so a resumed run
+    checkpoints at the same epochs as an uninterrupted one). With
+    [?resume], [placement] supplies the instance-shape contract but the
+    engine's state — placements, cumulative metrics, epoch index — is
+    restored from the checkpoint, and [events] must be the {e same full
+    trace} the original run consumed: the consumed prefix is
+    fast-forwarded and verified by fingerprint.
+
+    The environment variable [DMNET_CRASH_AFTER_EPOCH=N] installs a
+    deterministic kill point: the process exits with code 70
+    immediately after epoch [N] completes (and its checkpoint, when
+    due, is durably on disk) — the hook CI uses to rehearse
+    kill-and-resume.
+
+    @raise Invalid_argument on a non-positive [epoch], [storage_period],
+    [attempts] or checkpoint interval, on a placement that does not fit
+    the instance, on an event whose node or object is out of range, or
+    (matching {!Dmn_dynamic.Sim.run}) when [storage_period] is omitted
+    on an instance with zero request volume.
+    @raise Dmn_prelude.Err.Error (kind [Validation]) when
+    checkpoint/resume is requested under the [Cache] policy, or when a
+    resume checkpoint disagrees with the configuration, the instance,
+    or the trace fingerprint; (kind [Fault]/[Internal]) when serving
+    still fails after all supervised attempts. *)
 val run :
   ?pool:Dmn_prelude.Pool.t ->
   ?config:config ->
+  ?ckpt:checkpointing ->
+  ?resume:Dmn_core.Serial.Checkpoint.t ->
   Dmn_core.Instance.t ->
   Dmn_core.Placement.t ->
   Dmn_dynamic.Stream.event Seq.t ->
@@ -126,14 +202,20 @@ val run :
     event. *)
 val of_trace_event : Dmn_core.Serial.Trace.event -> Dmn_dynamic.Stream.event
 
-(** [run_trace ?pool ?config inst placement path] streams the trace
-    file at [path] through {!run}, first checking the trace header
-    against the instance shape.
+(** [run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst
+    placement path] streams the trace file at [path] through {!run},
+    first checking the trace header against the instance shape.
+    [tolerate_truncation] is forwarded to
+    {!Dmn_core.Serial.Trace.with_reader}.
     @raise Dmn_prelude.Err.Error on a malformed trace, a header that
-    does not match the instance, or I/O failure. *)
+    does not match the instance, a checkpoint/resume violation, or I/O
+    failure. *)
 val run_trace :
   ?pool:Dmn_prelude.Pool.t ->
   ?config:config ->
+  ?ckpt:checkpointing ->
+  ?resume:Dmn_core.Serial.Checkpoint.t ->
+  ?tolerate_truncation:bool ->
   Dmn_core.Instance.t ->
   Dmn_core.Placement.t ->
   string ->
@@ -143,7 +225,7 @@ val run_trace :
     (policy, epoch size, period, instance shape), the per-epoch
     timeline, totals, and the final request-cost histogram. Field order
     and float rendering are fixed, so equal results give byte-identical
-    JSON. *)
+    JSON — across domain counts and across kill-and-resume. *)
 val metrics_json : Dmn_core.Instance.t -> result -> string
 
 (** [write_metrics path inst r] writes {!metrics_json} atomically.

@@ -1,0 +1,34 @@
+(* CRC-32 (the zlib/PNG polynomial, reflected 0xEDB88320), table-driven.
+   Used by [Serial.Checkpoint] to detect torn or bit-rotted sections; a
+   pure function of the bytes, platform- and endianness-independent. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor t.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let digest s = update 0l s
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex_opt s =
+  if String.length s <> 8 then None
+  else
+    let ok = String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s in
+    if not ok then None else Some (Int32.of_string ("0x" ^ s))

@@ -1,4 +1,4 @@
-type kind = Parse | Validation | Io | Fault
+type kind = Parse | Validation | Io | Fault | Internal
 
 type t = {
   kind : kind;
@@ -30,8 +30,10 @@ let kind_name = function
   | Validation -> "validation"
   | Io -> "i/o"
   | Fault -> "injected-fault"
+  | Internal -> "internal"
 
-let exit_code e = match e.kind with Parse | Validation -> 65 | Fault -> 70 | Io -> 74
+let exit_code e =
+  match e.kind with Parse | Validation -> 65 | Fault | Internal -> 70 | Io -> 74
 
 let to_string e =
   let b = Buffer.create 64 in

@@ -12,8 +12,10 @@
     input describing an invalid object (edge endpoint out of range,
     disconnected graph, count mismatch); [Io] is an operating-system
     file error; [Fault] is a deterministically injected failure from
-    {!Fault}. *)
-type kind = Parse | Validation | Io | Fault
+    {!Fault}; [Internal] is an unexpected runtime failure surfaced with
+    its context preserved (a crashed or timed-out pool task converted
+    by the supervisor in {!Pool}). *)
+type kind = Parse | Validation | Io | Fault | Internal
 
 type t = {
   kind : kind;
@@ -63,7 +65,7 @@ val get_ok : ('a, t) result -> 'a
 val kind_name : kind -> string
 
 (** Suggested process exit code per class, following sysexits(3):
-    [Parse]/[Validation] -> 65 (EX_DATAERR), [Fault] -> 70
+    [Parse]/[Validation] -> 65 (EX_DATAERR), [Fault]/[Internal] -> 70
     (EX_SOFTWARE), [Io] -> 74 (EX_IOERR). *)
 val exit_code : t -> int
 

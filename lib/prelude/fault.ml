@@ -20,7 +20,14 @@ let from_env () =
             | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> 0)
             | None -> 0
           in
-          Some { seed; rate; points = [] }
+          let points =
+            match Sys.getenv_opt "DMNET_FAULT_POINTS" with
+            | None -> []
+            | Some s ->
+                String.split_on_char ',' s |> List.map String.trim
+                |> List.filter (fun p -> p <> "")
+          in
+          Some { seed; rate; points }
       | _ -> None)
 
 let active () =

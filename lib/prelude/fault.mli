@@ -10,7 +10,10 @@
     Injection is disabled by default and costs one atomic load per
     point when off. It is enabled either programmatically with
     {!configure} (tests) or by the environment ([DMNET_FAULT_RATE] > 0
-    enables; [DMNET_FAULT_SEED] picks the seed, default 0).
+    enables; [DMNET_FAULT_SEED] picks the seed, default 0;
+    [DMNET_FAULT_POINTS] optionally restricts injection to a
+    comma-separated list of point names, e.g.
+    [DMNET_FAULT_POINTS=engine.resolve]).
 
     An injected failure raises [Err.Error] with kind {!Err.Fault} and a
     message naming the point, salt and seed. *)

@@ -1,5 +1,9 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Counters and gauges are Atomic-backed so concurrent updates from
+   pool tasks (different domains) cannot lose increments. Histograms
+   stay single-writer: the replay engine only observes samples in its
+   sequential merge step. *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
   lo : float;
@@ -25,25 +29,25 @@ let register t name i =
   t.instruments <- (name, i) :: t.instruments
 
 let counter t name =
-  let c = { c = 0 } in
+  let c = Atomic.make 0 in
   register t name (C c);
   c
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotonic (negative increment)";
-  c.c <- c.c + n
+  ignore (Atomic.fetch_and_add c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c
 
 let gauge t name =
-  let g = { g = 0.0 } in
+  let g = Atomic.make 0.0 in
   register t name (G g);
   g
 
-let set g v = g.g <- v
-let gauge_value g = g.g
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram ?(lo = 1e-6) ?(base = 2.0) ?(buckets = 64) t name =
   if not (lo > 0.0 && Float.is_finite lo) then
@@ -74,6 +78,26 @@ let observe h v =
 
 let hist_count h = h.n
 let hist_sum h = h.sum
+let hist_params h = (h.lo, h.base, Array.length h.counts)
+let hist_buckets h = Array.copy h.counts
+
+(* Restore from a checkpoint: overwrite the bucket vector wholesale.
+   [n] is recomputed from the counts so it can never disagree. *)
+let hist_restore h ~counts ~sum =
+  if Array.length counts <> Array.length h.counts then
+    invalid_arg
+      (Printf.sprintf "Metrics.hist_restore: %d buckets, expected %d" (Array.length counts)
+         (Array.length h.counts));
+  let n = ref 0 in
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Metrics.hist_restore: negative bucket count";
+      n := !n + c)
+    counts;
+  if Float.is_nan sum then invalid_arg "Metrics.hist_restore: NaN sum";
+  Array.blit counts 0 h.counts 0 (Array.length counts);
+  h.n <- !n;
+  h.sum <- sum
 
 let bucket_bounds h i =
   let k = Array.length h.counts in
@@ -126,8 +150,8 @@ let snapshot t =
     (fun (name, i) ->
       ( name,
         match i with
-        | C c -> Counter c.c
-        | G g -> Gauge g.g
+        | C c -> Counter (Atomic.get c)
+        | G g -> Gauge (Atomic.get g)
         | H h -> Hist (snapshot_hist h) ))
     t.instruments
 

@@ -9,9 +9,12 @@
     byte-identical JSON (the replay engine's cross-domain determinism
     contract relies on this).
 
-    Instruments are {e not} thread-safe: mutate them from one domain at
-    a time (the replay engine updates metrics only in its sequential
-    merge step, never inside pool tasks). *)
+    Counters and gauges are Atomic-backed: increments from several
+    domains at once are never lost (a counter hammered concurrently
+    reports the exact total). Histograms remain single-writer — observe
+    samples from one domain at a time (the replay engine updates its
+    histogram only in the sequential merge step, never inside pool
+    tasks). *)
 
 type t
 type counter
@@ -55,6 +58,20 @@ val observe : histogram -> float -> unit
 
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+(** [hist_params h] is [(lo, base, buckets)] as passed at registration. *)
+val hist_params : histogram -> float * float * int
+
+(** [hist_buckets h] is a copy of the raw bucket count vector (length =
+    [buckets]), for checkpointing. *)
+val hist_buckets : histogram -> int array
+
+(** [hist_restore h ~counts ~sum] overwrites the histogram state from a
+    checkpoint: bucket counts (length must equal the registered bucket
+    count), total sample count (recomputed from [counts]) and sum.
+    @raise Invalid_argument on length mismatch, a negative count, or a
+    NaN sum. *)
+val hist_restore : histogram -> counts:int array -> sum:float -> unit
 
 (** [quantile h q] with [q] in [0, 1]: the upper boundary of the bucket
     holding the [q]-th sample — an upper estimate within one bucket

@@ -11,6 +11,7 @@
 type job = {
   run : int -> unit;
   n : int;
+  inject : bool; (* roll the built-in "pool.task" fault coin per task *)
   mutable next : int; (* next unclaimed index; forced to [n] on failure *)
   mutable claimed : int;
   mutable completed : int;
@@ -41,7 +42,13 @@ let drain t j =
     Mutex.unlock t.lock;
     let prev = Domain.DLS.get inside_task in
     Domain.DLS.set inside_task true;
-    let err = (try Fault.check_at "pool.task" i; j.run i; None with e -> Some e) in
+    let err =
+      try
+        if j.inject then Fault.check_at "pool.task" i;
+        j.run i;
+        None
+      with e -> Some e
+    in
     Domain.DLS.set inside_task prev;
     Mutex.lock t.lock;
     (match err with
@@ -89,14 +96,14 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let run_tasks t n run =
+let run_tasks_opt ~inject t n run =
   if n > 0 then
     if t.size = 1 || n = 1 || Domain.DLS.get inside_task then
       for i = 0 to n - 1 do
         (* Same injection point as [drain]: a seed that fails a task in
            a parallel run fails the identical task here, so fault
            outcomes do not depend on the domain count. *)
-        Fault.check_at "pool.task" i;
+        if inject then Fault.check_at "pool.task" i;
         run i
       done
     else begin
@@ -104,7 +111,7 @@ let run_tasks t n run =
       while t.job <> None do
         Condition.wait t.finished t.lock
       done;
-      let j = { run; n; next = 0; claimed = 0; completed = 0; failed = None } in
+      let j = { run; n; inject; next = 0; claimed = 0; completed = 0; failed = None } in
       t.job <- Some j;
       Condition.broadcast t.work;
       drain t j;
@@ -117,6 +124,8 @@ let run_tasks t n run =
       match j.failed with Some e -> raise e | None -> ()
     end
 
+let run_tasks t n run = run_tasks_opt ~inject:true t n run
+
 let parallel_init t n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
   if n = 0 then [||]
@@ -128,6 +137,81 @@ let parallel_init t n f =
 
 let parallel_map t f a = parallel_init t (Array.length a) (fun i -> f a.(i))
 let parallel_iter t n f = run_tasks t n f
+
+(* ---------- supervised execution ---------- *)
+
+type failure = { index : int; attempts : int; timed_out : bool; error : Err.t }
+
+type supervision = {
+  attempts : int;
+  deadline_s : float option;
+  backoff_s : float;
+  point : string;
+  salt : int -> int;
+}
+
+let default_supervision =
+  { attempts = 3; deadline_s = None; backoff_s = 0.0; point = "pool.task"; salt = Fun.id }
+
+(* Retries draw fresh fault coins by shifting the salt into a band the
+   base salts (task indices, epoch*object mixes) never reach: attempt 0
+   keeps the base salt — identical to unsupervised behavior — and
+   attempt [a] adds [a * 2^48]. Deterministic and independent of
+   scheduling, so supervised outcomes do not depend on the domain
+   count. *)
+let attempt_salt base a = base + (a lsl 48)
+
+let supervised_init t ?(supervision = default_supervision) n f =
+  if supervision.attempts < 1 then invalid_arg "Pool.supervised_init: attempts must be >= 1";
+  if supervision.backoff_s < 0.0 || Float.is_nan supervision.backoff_s then
+    invalid_arg "Pool.supervised_init: negative backoff";
+  if n < 0 then invalid_arg "Pool.supervised_init: negative length";
+  let retries = Atomic.make 0 in
+  let slots = Array.make (max n 1) None in
+  (* [~inject:false]: supervision rolls its own coin per attempt (below)
+     at [supervision.point]; the built-in per-task check would bypass
+     the retry loop. Tasks here never raise — every outcome is captured
+     in the slot — so the job cannot abort unclaimed work. *)
+  run_tasks_opt ~inject:false t n (fun i ->
+      let base = supervision.salt i in
+      let rec attempt a =
+        if a > 0 then begin
+          Atomic.incr retries;
+          let d = supervision.backoff_s *. float_of_int (1 lsl min (a - 1) 16) in
+          if d > 0.0 then Unix.sleepf d
+        end;
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          match
+            Fault.check_at supervision.point (attempt_salt base a);
+            f i
+          with
+          | v -> (
+              match supervision.deadline_s with
+              | Some dl when Unix.gettimeofday () -. t0 > dl ->
+                  Error
+                    ( true,
+                      Err.v Err.Internal
+                        (Printf.sprintf "task %d exceeded its %gs deadline" i dl) )
+              | _ -> Ok v)
+          | exception Err.Error e -> Error (false, e)
+          | exception e ->
+              Error
+                ( false,
+                  Err.v Err.Internal
+                    (Printf.sprintf "task %d crashed: %s" i (Printexc.to_string e)) )
+        in
+        match outcome with
+        | Ok v -> Ok v
+        | Error (timed_out, e) ->
+            if a + 1 < supervision.attempts then attempt (a + 1)
+            else Error { index = i; attempts = a + 1; timed_out; error = e }
+      in
+      slots.(i) <- Some (attempt 0));
+  let results =
+    Array.init n (fun i -> match slots.(i) with Some r -> r | None -> assert false)
+  in
+  (results, Atomic.get retries)
 
 (* ---------- default pool ---------- *)
 

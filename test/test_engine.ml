@@ -279,6 +279,157 @@ let engine_run_trace_rejects_mismatched_header () =
       Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation)
   | _ -> Alcotest.fail "mismatched trace header accepted"
 
+(* ---------- checkpoint / resume ---------- *)
+
+let write_trace inst path events =
+  let header = { Trace.nodes = I.n inst; objects = I.objects inst } in
+  ignore
+    (Trace.write path header
+       (Seq.map
+          (fun { St.node; x; kind } -> { Trace.node; x; write = kind = St.Write })
+          (List.to_seq events)))
+
+let engine_resume_is_byte_identical () =
+  let inst = small_instance ~objects:3 18 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 51) inst ~length:1200 in
+  with_tmp "resume.trace" @@ fun trace_path ->
+  write_trace inst trace_path events;
+  with_tmp "resume.ckpt" @@ fun ckpt_path ->
+  let config = { En.default_config with En.epoch = 150 } in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let uninterrupted =
+        En.metrics_json inst (En.run_trace ~pool ~config inst placement trace_path)
+      in
+      (* first leg: checkpoint every other epoch, stop after 5 of 8 by
+         truncating the stream the way a crash would *)
+      let prefix = List.filteri (fun i _ -> i < 750) events in
+      let _ =
+        En.run ~pool ~config ~ckpt:{ En.path = ckpt_path; every = 2 } inst placement
+          (List.to_seq prefix)
+      in
+      let c = Dmn_core.Serial.Checkpoint.load ckpt_path in
+      Alcotest.(check int) "checkpoint at epoch boundary 4" 4
+        c.Dmn_core.Serial.Checkpoint.next_epoch;
+      (* second leg: resume against the full trace *)
+      let resumed =
+        En.run_trace ~pool ~config ~resume:c inst placement trace_path
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "resumed == uninterrupted at %d domains" domains)
+        uninterrupted
+        (En.metrics_json inst resumed);
+      (* the ops registry records the resume *)
+      (match List.assoc "resumes" resumed.En.ops with
+      | Metrics.Counter 1 -> ()
+      | _ -> Alcotest.fail "resume not recorded in ops");
+      (* resuming a checkpoint that already covers the whole trace is a
+         no-op run with identical output *)
+      let full =
+        En.run ~pool ~config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement
+          (List.to_seq events)
+      in
+      let c_full = Dmn_core.Serial.Checkpoint.load ckpt_path in
+      Alcotest.(check int) "final checkpoint covers all epochs" 8
+        c_full.Dmn_core.Serial.Checkpoint.next_epoch;
+      let resumed_full = En.run_trace ~pool ~config ~resume:c_full inst placement trace_path in
+      Alcotest.(check string) "zero-remaining-events resume identical"
+        (En.metrics_json inst full)
+        (En.metrics_json inst resumed_full))
+    [ 1; 4 ]
+
+let engine_resume_rejects_mismatches () =
+  let inst = small_instance ~objects:2 19 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 61) inst ~length:400 in
+  with_tmp "reject.trace" @@ fun trace_path ->
+  write_trace inst trace_path events;
+  with_tmp "reject.ckpt" @@ fun ckpt_path ->
+  let config = { En.default_config with En.epoch = 100 } in
+  let _ =
+    En.run ~config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement (List.to_seq events)
+  in
+  let c = Dmn_core.Serial.Checkpoint.load ckpt_path in
+  let expect_validation name f =
+    match f () with
+    | exception Err.Error e ->
+        if e.Err.kind <> Err.Validation then
+          Alcotest.failf "%s: wrong kind %s" name (Err.kind_name e.Err.kind)
+    | _ -> Alcotest.failf "%s: accepted" name
+  in
+  (* policy mismatch *)
+  expect_validation "policy mismatch" (fun () ->
+      En.run_trace
+        ~config:{ config with En.policy = En.Static }
+        ~resume:c inst placement trace_path);
+  (* epoch-size mismatch *)
+  expect_validation "epoch size mismatch" (fun () ->
+      En.run_trace ~config:{ config with En.epoch = 99 } ~resume:c inst placement trace_path);
+  (* a different trace: same shape, different events *)
+  (let other = St.stationary (Rng.create 62) inst ~length:400 in
+   with_tmp "other.trace" @@ fun other_path ->
+   write_trace inst other_path other;
+   expect_validation "fingerprint mismatch" (fun () ->
+       En.run_trace ~config ~resume:c inst placement other_path));
+  (* a shorter trace than the checkpoint consumed *)
+  (let short = List.filteri (fun i _ -> i < 100) events in
+   with_tmp "short.trace" @@ fun short_path ->
+   write_trace inst short_path short;
+   expect_validation "short trace" (fun () ->
+       En.run_trace ~config ~resume:c inst placement short_path));
+  (* cache policy refuses both sides *)
+  let cache_config = { config with En.policy = En.Cache } in
+  expect_validation "cache + ckpt" (fun () ->
+      En.run_trace ~config:cache_config
+        ~ckpt:{ En.path = ckpt_path; every = 1 }
+        inst placement trace_path);
+  expect_validation "cache + resume" (fun () ->
+      En.run_trace ~config:cache_config ~resume:c inst placement trace_path)
+
+(* ---------- graceful degradation under injected re-solve faults ---------- *)
+
+let engine_degrades_when_resolve_fails () =
+  let inst = small_instance ~objects:3 20 in
+  let placement = A.solve inst in
+  let events = St.drifting (Rng.create 71) inst ~phases:4 ~phase_length:250 ~write_fraction:0.2 in
+  let config = { En.default_config with En.epoch = 200 } in
+  (* rate 1.0 on the re-solve point: every attempt of every re-solve
+     fails, every epoch falls back, the run still completes *)
+  Fault.configure ~seed:1 ~rate:1.0 ~points:[ "engine.resolve" ] ();
+  let degraded =
+    Fun.protect ~finally:Fault.disable (fun () ->
+        En.run ~config inst placement (List.to_seq events))
+  in
+  Alcotest.(check int) "all events served" 1000 degraded.En.totals.En.events;
+  Alcotest.(check int) "no successful re-solves" 0 degraded.En.totals.En.resolves;
+  Alcotest.(check bool) "fallbacks recorded" true (degraded.En.totals.En.solve_fallbacks > 0);
+  Alcotest.(check bool) "retries recorded" true (degraded.En.totals.En.solve_retries > 0);
+  Util.check_cost "no migration when every re-solve falls back" 0.0
+    degraded.En.totals.En.migration;
+  (* with every re-solve failing, resolve degrades to exactly static *)
+  let static =
+    En.run ~config:{ config with En.policy = En.Static } inst placement (List.to_seq events)
+  in
+  Util.check_cost "serving equals the static policy" static.En.totals.En.serving
+    degraded.En.totals.En.serving;
+  (* partial rate: outcomes must still be domain-independent *)
+  let at domains =
+    Fault.configure ~seed:9 ~rate:0.4 ~points:[ "engine.resolve" ] ();
+    Fun.protect ~finally:Fault.disable (fun () ->
+        Pool.with_pool ~domains (fun pool ->
+            let r = En.run ~pool ~config inst placement (List.to_seq events) in
+            ( En.metrics_json inst r,
+              r.En.totals.En.solve_retries,
+              r.En.totals.En.solve_fallbacks )))
+  in
+  let j1 = at 1 in
+  List.iter
+    (fun d ->
+      if at d <> j1 then Alcotest.failf "degraded run diverged at %d domains" d)
+    [ 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "trace roundtrip" `Quick trace_roundtrip;
@@ -295,4 +446,9 @@ let suite =
     Alcotest.test_case "trace-driven run + metrics file" `Quick engine_run_trace_and_metrics_file;
     Alcotest.test_case "trace header mismatch rejected" `Quick
       engine_run_trace_rejects_mismatched_header;
+    Alcotest.test_case "resume is byte-identical (1/4 domains)" `Quick
+      engine_resume_is_byte_identical;
+    Alcotest.test_case "resume rejects mismatches" `Quick engine_resume_rejects_mismatches;
+    Alcotest.test_case "resolve failure degrades gracefully" `Quick
+      engine_degrades_when_resolve_fails;
   ]

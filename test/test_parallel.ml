@@ -242,6 +242,132 @@ let cost_fallback_uses_metric_nearest () =
     (Dmn_paths.Metric.nearest_dists m copies)
     (C.nearest_dists inst copies)
 
+(* ---------- supervised execution ---------- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let supervised_passthrough () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let results, retries = Pool.supervised_init pool 50 (fun i -> i * i) in
+      Alcotest.(check int) "no retries without faults" 0 retries;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i) v
+          | Error _ -> Alcotest.failf "task %d failed without faults" i)
+        results;
+      Alcotest.(check int) "n=0 ok" 0
+        (fst (Pool.supervised_init pool 0 (fun i -> i)) |> Array.length))
+
+let supervised_crash_becomes_error () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let supervision = { Pool.default_supervision with Pool.attempts = 2 } in
+      let results, retries =
+        Pool.supervised_init pool ~supervision 20 (fun i ->
+            if i = 7 then failwith "kaboom" else i)
+      in
+      Alcotest.(check int) "crash retried once" 1 retries;
+      (match results.(7) with
+      | Error { Pool.index; attempts; timed_out; error } ->
+          Alcotest.(check int) "index" 7 index;
+          Alcotest.(check int) "attempts" 2 attempts;
+          Alcotest.(check bool) "not a timeout" false timed_out;
+          Alcotest.(check bool) "internal kind" true (error.Err.kind = Err.Internal);
+          Alcotest.(check bool) "names the crash" true (contains "kaboom" error.Err.msg)
+      | _ -> Alcotest.fail "crashing task did not surface as Error");
+      (* the other 19 tasks are unaffected *)
+      Array.iteri
+        (fun i r -> if i <> 7 && r <> Ok i then Alcotest.failf "task %d corrupted" i)
+        results)
+
+let supervised_deadline_times_out () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let supervision =
+        { Pool.default_supervision with Pool.attempts = 2; deadline_s = Some 0.0 }
+      in
+      let results, _ =
+        Pool.supervised_init pool ~supervision 3 (fun i ->
+            Unix.sleepf 0.002;
+            i)
+      in
+      match results.(1) with
+      | Error { Pool.timed_out; attempts; error; _ } ->
+          Alcotest.(check bool) "timed_out" true timed_out;
+          Alcotest.(check int) "both attempts used" 2 attempts;
+          Alcotest.(check bool) "internal kind" true (error.Err.kind = Err.Internal)
+      | Ok _ -> Alcotest.fail "a 0-second deadline cannot be met")
+
+let supervised_retry_recovers_from_faults () =
+  (* find a seed where task 0's attempt-0 coin fires but attempt 1's
+     does not: the supervisor must absorb the fault *)
+  let fires cfg a = Fault.would_fail cfg "pool.task" (Pool.attempt_salt 0 a) in
+  let seed =
+    let rec search s =
+      if s > 10_000 then Alcotest.fail "no suitable fault seed found"
+      else
+        let cfg = { Fault.seed = s; rate = 0.5; points = [ "pool.task" ] } in
+        if fires cfg 0 && not (fires cfg 1) then s else search (s + 1)
+    in
+    search 0
+  in
+  Fault.configure ~seed ~rate:0.5 ~points:[ "pool.task" ] ();
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* attempts = 1 reproduces the unsupervised failure exactly *)
+      let supervision = { Pool.default_supervision with Pool.attempts = 1 } in
+      let results, retries = Pool.supervised_init pool ~supervision 1 (fun i -> i) in
+      Alcotest.(check int) "no retries at attempts=1" 0 retries;
+      (match results.(0) with
+      | Error { Pool.attempts = 1; error; _ } ->
+          Alcotest.(check bool) "fault kind" true (error.Err.kind = Err.Fault)
+      | _ -> Alcotest.fail "attempt-0 coin must fail the task at attempts=1");
+      (* attempts = 2 retries through the same coin and succeeds *)
+      let results, retries = Pool.supervised_init pool 1 (fun i -> i * 11) in
+      Alcotest.(check int) "one retry" 1 retries;
+      match results.(0) with
+      | Ok 0 -> ()
+      | Ok v -> Alcotest.failf "wrong value %d" v
+      | Error _ -> Alcotest.fail "retry did not recover")
+
+let supervised_outcomes_domain_independent () =
+  let run domains =
+    Fault.configure ~seed:0xFEED ~rate:0.3 ~points:[ "pool.task" ] ();
+    Fun.protect ~finally:Fault.disable @@ fun () ->
+    Pool.with_pool ~domains (fun pool ->
+        let results, retries = Pool.supervised_init pool 80 (fun i -> 3 * i) in
+        ( Array.map
+            (function
+              | Ok v -> `Ok v
+              | Error { Pool.index; attempts; error; _ } -> `Err (index, attempts, error.Err.kind))
+            results,
+          retries ))
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun d ->
+      if run d <> r1 then Alcotest.failf "supervised outcomes differ at %d domains" d)
+    [ 2; 4 ]
+
+let supervised_rejects_bad_supervision () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      (match
+         Pool.supervised_init pool
+           ~supervision:{ Pool.default_supervision with Pool.attempts = 0 }
+           1 Fun.id
+       with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "attempts = 0 accepted");
+      match
+        Pool.supervised_init pool
+          ~supervision:{ Pool.default_supervision with Pool.backoff_s = -1.0 }
+          1 Fun.id
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative backoff accepted")
+
 let qcheck_pool_init =
   QCheck.Test.make ~name:"Pool.parallel_init = Array.init" ~count:60
     QCheck.(pair (int_range 0 200) (int_range 1 4))
@@ -268,5 +394,14 @@ let suite =
     Alcotest.test_case "trivial solver picks cheapest" `Quick trivial_solver_picks_cheapest_finite;
     Alcotest.test_case "metric nearest_dists" `Quick metric_nearest_dists_matches_fold;
     Alcotest.test_case "cost fallback shares metric nearest" `Quick cost_fallback_uses_metric_nearest;
+    Alcotest.test_case "supervised passthrough" `Quick supervised_passthrough;
+    Alcotest.test_case "supervised crash -> structured error" `Quick
+      supervised_crash_becomes_error;
+    Alcotest.test_case "supervised deadline" `Quick supervised_deadline_times_out;
+    Alcotest.test_case "supervised retry recovers" `Quick supervised_retry_recovers_from_faults;
+    Alcotest.test_case "supervised outcomes domain-independent" `Quick
+      supervised_outcomes_domain_independent;
+    Alcotest.test_case "supervised rejects bad supervision" `Quick
+      supervised_rejects_bad_supervision;
     Util.qtest qcheck_pool_init;
   ]

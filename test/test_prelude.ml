@@ -234,6 +234,70 @@ let metrics_json_floats () =
   let pi = Metrics.json_float 3.125 in
   Alcotest.(check bool) "non-integral round-trips" true (float_of_string pi = 3.125)
 
+let metrics_counter_hammered_from_domains () =
+  (* counters are Atomic-backed: 4 domains incrementing concurrently
+     must lose nothing *)
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hits" in
+  let per_domain = 25_000 in
+  let workers =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              if (i + d) land 1 = 0 then Metrics.incr c else Metrics.add c 1
+            done))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "exact total" (4 * per_domain) (Metrics.counter_value c)
+
+let metrics_hist_dump_restore () =
+  let mk () =
+    let reg = Metrics.create () in
+    (reg, Metrics.histogram ~lo:1.0 ~base:2.0 ~buckets:10 reg "h")
+  in
+  let reg, h = mk () in
+  let rng = Rng.create 31 in
+  for _ = 1 to 500 do
+    Metrics.observe h (Rng.float rng 100.0)
+  done;
+  let lo, base, nb = Metrics.hist_params h in
+  Util.check_float "lo" 1.0 lo;
+  Util.check_float "base" 2.0 base;
+  Alcotest.(check int) "buckets" 10 nb;
+  let reg2, h2 = mk () in
+  Metrics.hist_restore h2 ~counts:(Metrics.hist_buckets h) ~sum:(Metrics.hist_sum h);
+  Alcotest.(check int) "count restored" (Metrics.hist_count h) (Metrics.hist_count h2);
+  Util.check_float "sum restored" (Metrics.hist_sum h) (Metrics.hist_sum h2);
+  List.iter
+    (fun q -> Util.check_float (Printf.sprintf "q%.2f" q) (Metrics.quantile h q) (Metrics.quantile h2 q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  Alcotest.(check string) "snapshot JSON identical" (Metrics.to_json reg) (Metrics.to_json reg2);
+  (match Metrics.hist_restore h2 ~counts:[| 1 |] ~sum:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bucket-count mismatch accepted");
+  match Metrics.hist_restore h2 ~counts:(Array.make 10 (-1)) ~sum:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative bucket count accepted"
+
+let crc32_known_values () =
+  (* the standard CRC-32 check value, plus structure properties the
+     checkpoint format relies on *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Crc32.digest "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest "");
+  Alcotest.(check int32) "streaming = one-shot" (Crc32.digest "hello world")
+    (Crc32.update (Crc32.digest "hello ") "world");
+  Alcotest.(check string) "hex rendering" "cbf43926" (Crc32.to_hex (Crc32.digest "123456789"));
+  Alcotest.(check (option int32)) "hex roundtrip" (Some 0xCBF43926l) (Crc32.of_hex_opt "cbf43926");
+  Alcotest.(check (option int32)) "short rejected" None (Crc32.of_hex_opt "cbf4392");
+  Alcotest.(check (option int32)) "long rejected" None (Crc32.of_hex_opt "cbf439261");
+  Alcotest.(check (option int32)) "non-hex rejected" None (Crc32.of_hex_opt "cbf4392g");
+  (* single-bit damage is detected *)
+  let s = "section meta 8 deadbeef" in
+  let flipped = Bytes.of_string s in
+  Bytes.set flipped 3 (Char.chr (Char.code (Bytes.get flipped 3) lxor 1));
+  Alcotest.(check bool) "bit flip changes digest" false
+    (Crc32.digest s = Crc32.digest (Bytes.to_string flipped))
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick rng_deterministic;
@@ -259,6 +323,9 @@ let suite =
     Alcotest.test_case "metrics histogram buckets" `Quick metrics_histogram_buckets_and_quantile;
     Alcotest.test_case "metrics snapshot order + json" `Quick metrics_snapshot_order_and_json;
     Alcotest.test_case "metrics json floats" `Quick metrics_json_floats;
+    Alcotest.test_case "metrics counter 4-domain hammer" `Quick metrics_counter_hammered_from_domains;
+    Alcotest.test_case "metrics histogram dump/restore" `Quick metrics_hist_dump_restore;
+    Alcotest.test_case "crc32 known values" `Quick crc32_known_values;
     Util.qtest qcheck_rng_bounds;
     Util.qtest qcheck_stats_mean_bounds;
   ]

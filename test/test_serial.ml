@@ -139,6 +139,230 @@ let file_io () =
   | Error e -> Alcotest.(check string) "io kind" "i/o" (Err.kind_name e.Err.kind)
   | Ok _ -> Alcotest.fail "impossible write succeeded"
 
+(* ---------- truncated traces ---------- *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let trace_truncated_final_line () =
+  let path = Filename.temp_file "dmnet" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let header = { S.Trace.nodes = 4; objects = 2 } in
+      let events =
+        List.init 10 (fun i -> { S.Trace.node = i mod 4; x = i mod 2; write = i mod 3 = 0 })
+      in
+      let n = S.Trace.write path header (List.to_seq events) in
+      Alcotest.(check int) "written" 10 n;
+      (* cut the final line mid-event: a crash mid-append *)
+      let whole = S.read_file path in
+      let cut = String.length whole - 3 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub whole 0 cut);
+      close_out oc;
+      (* default: a structured parse error naming line and byte offset *)
+      (match S.Trace.with_reader_res path (fun _ evs -> List.of_seq evs) with
+      | Error e ->
+          Alcotest.(check bool) "parse kind" true (e.Err.kind = Err.Parse);
+          Alcotest.(check (option string)) "file" (Some path) e.Err.file;
+          Alcotest.(check (option int)) "line" (Some 12) e.Err.line;
+          Alcotest.(check bool) "names the byte offset" true
+            (contains "byte offset" e.Err.msg && contains "truncated final line" e.Err.msg)
+      | Ok _ -> Alcotest.fail "truncated trace accepted by default");
+      (* opted in: stop cleanly at the last complete event *)
+      match
+        S.Trace.with_reader_res ~tolerate_truncation:true path (fun _ evs -> List.of_seq evs)
+      with
+      | Ok got ->
+          Alcotest.(check int) "complete prefix" 9 (List.length got);
+          List.iteri
+            (fun i (e : S.Trace.event) ->
+              let w = List.nth events i in
+              if e <> w then Alcotest.failf "event %d corrupted" i)
+            got
+      | Error e -> Alcotest.failf "tolerant reader failed: %s" (Err.to_string e))
+
+let trace_header_truncation_never_tolerated () =
+  let path = Filename.temp_file "dmnet" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "dmnet-trace v1\n4";
+      close_out oc;
+      match
+        S.Trace.with_reader_res ~tolerate_truncation:true path (fun _ evs -> List.of_seq evs)
+      with
+      | Error e -> Alcotest.(check bool) "parse kind" true (e.Err.kind = Err.Parse)
+      | Ok _ -> Alcotest.fail "truncated header accepted")
+
+(* ---------- checkpoints ---------- *)
+
+module Ck = S.Checkpoint
+
+let gen_checkpoint : Ck.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* floats restricted to exact dyadic values so structural equality is
+     the right roundtrip check (%.17g roundtrips any float; the
+     restriction just keeps counterexamples readable) *)
+  let dyadic = map (fun k -> float_of_int k /. 8.0) (int_range 0 8000) in
+  let* nodes = int_range 1 12 in
+  let* objects = int_range 1 5 in
+  let* placements =
+    array_repeat objects (list_size (int_range 1 3) (int_range 0 (nodes - 1)))
+  in
+  let* next_epoch = int_range 0 6 in
+  let* epochs =
+    flatten_l
+      (List.init next_epoch (fun index ->
+           let* events = int_range 0 50 in
+           let* reads = int_range 0 50 in
+           let* resolves = int_range 0 5 in
+           let* solve_retries = int_range 0 5 in
+           let* solve_fallbacks = int_range 0 5 in
+           let* copies = int_range 0 20 in
+           let* serving = dyadic in
+           let* storage = dyadic in
+           let* migration = dyadic in
+           let* p50 = dyadic in
+           let* p95 = dyadic in
+           let* p99 = dyadic in
+           return
+             {
+               Ck.index; events; reads; writes = events - reads; resolves; solve_retries;
+               solve_fallbacks; copies; serving; storage; migration; p50; p95; p99;
+             }))
+  in
+  (* writes may come out negative above; clamp rows to stay valid *)
+  let epochs =
+    List.map (fun (r : Ck.epoch_row) -> { r with Ck.writes = max 0 r.Ck.writes }) epochs
+  in
+  let events_consumed = List.fold_left (fun a (r : Ck.epoch_row) -> a + r.Ck.events) 0 epochs in
+  let* h_buckets = int_range 2 10 in
+  let* picks = array_repeat h_buckets (int_range 0 9) in
+  let h_counts =
+    List.filter_map
+      (fun (i, c) -> if c > 0 then Some (i, c) else None)
+      (Array.to_list (Array.mapi (fun i c -> (i, c)) picks))
+  in
+  let* h_sum = dyadic in
+  let* fingerprint = map Int64.of_int int in
+  let* policy = oneofl [ "static"; "resolve" ] in
+  let* epoch_size = int_range 1 1000 in
+  let* period = int_range 1 1000 in
+  let* checkpoints_written = int_range 0 50 in
+  let* serve_retries = int_range 0 50 in
+  return
+    {
+      Ck.policy; epoch_size; period; next_epoch; events_consumed; fingerprint; nodes; objects;
+      placements; epochs;
+      hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets; h_sum; h_counts };
+      checkpoints_written; serve_retries;
+    }
+
+let qcheck_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"Checkpoint.of_string (to_string t) = t" ~count:200
+    (QCheck.make ~print:(fun t -> Ck.to_string t) gen_checkpoint)
+    (fun t ->
+      match Ck.of_string_res (Ck.to_string t) with
+      | Ok t' -> t' = t
+      | Error e -> QCheck.Test.fail_reportf "rejected its own output: %s" (Err.to_string e))
+
+let sample_checkpoint () =
+  {
+    Ck.policy = "resolve"; epoch_size = 100; period = 400; next_epoch = 2; events_consumed = 200;
+    fingerprint = 0x0123456789abcdefL; nodes = 5; objects = 2;
+    placements = [| [ 0; 3 ]; [ 2 ] |];
+    epochs =
+      List.init 2 (fun index ->
+          {
+            Ck.index; events = 100; reads = 80; writes = 20; resolves = 2; solve_retries = 1;
+            solve_fallbacks = 0; copies = 3; serving = 12.5; storage = 3.25; migration = 0.5;
+            p50 = 1.0; p95 = 2.0; p99 = 4.0;
+          });
+    hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets = 8; h_sum = 150.0; h_counts = [ (0, 120); (3, 80) ] };
+    checkpoints_written = 2; serve_retries = 1;
+  }
+
+let checkpoint_corruption_detected () =
+  let t = sample_checkpoint () in
+  let s = Ck.to_string t in
+  (* flip one digit inside a section body: the CRC must catch it *)
+  let flip_at i =
+    let b = Bytes.of_string s in
+    let c = Bytes.get b i in
+    Bytes.set b i (if c = '0' then '1' else '0');
+    Bytes.to_string b
+  in
+  let body_pos =
+    let p = ref (-1) in
+    String.iteri (fun i c -> if !p < 0 && c = '.' then p := i + 1) s;
+    (* a digit right after the first float's point sits inside the
+       epochs section body *)
+    !p
+  in
+  (match Ck.of_string_res (flip_at body_pos) with
+  | Error e ->
+      Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation);
+      Alcotest.(check int) "CLI exit code" 65 (Err.exit_code e);
+      Alcotest.(check bool) "names the section and CRC" true
+        (contains "CRC mismatch" e.Err.msg && contains "section" e.Err.msg)
+  | Ok _ -> Alcotest.fail "flipped byte accepted");
+  (* damaging the stored CRC itself is equally fatal *)
+  let hdr = "section meta " in
+  let hdr_pos = ref 0 in
+  String.iteri
+    (fun i _ ->
+      if i + String.length hdr <= String.length s && String.sub s i (String.length hdr) = hdr
+      then hdr_pos := i)
+    s;
+  (match Ck.of_string_res (flip_at (!hdr_pos + String.length hdr + 2)) with
+  | Error e -> Alcotest.(check bool) "header damage detected" true (e.Err.kind <> Err.Internal)
+  | Ok _ -> Alcotest.fail "damaged section header accepted");
+  (* truncation: dropping the final section is a parse error *)
+  let cut =
+    let p = ref 0 in
+    String.iteri
+      (fun i _ ->
+        let k = "section ops" in
+        if i + String.length k <= String.length s && String.sub s i (String.length k) = k then
+          p := i)
+      s;
+    String.sub s 0 !p
+  in
+  match Ck.of_string_res cut with
+  | Error e -> Alcotest.(check bool) "truncation is a parse error" true (e.Err.kind = Err.Parse)
+  | Ok _ -> Alcotest.fail "truncated checkpoint accepted"
+
+let checkpoint_save_load () =
+  let path = Filename.temp_file "dmnet" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = sample_checkpoint () in
+      Ck.save path t;
+      let t' = Ck.load path in
+      Alcotest.(check bool) "file roundtrip" true (t' = t);
+      (* load errors carry the path *)
+      match Ck.load_res "/nonexistent/dmnet/ckpt" with
+      | Error e -> Alcotest.(check bool) "io kind" true (e.Err.kind = Err.Io)
+      | Ok _ -> Alcotest.fail "missing checkpoint loaded")
+
+let checkpoint_fingerprint_is_order_sensitive () =
+  let e1 = { S.Trace.node = 1; x = 0; write = false }
+  and e2 = { S.Trace.node = 2; x = 1; write = true } in
+  let fold evs =
+    List.fold_left Ck.fingerprint_event (Ck.fingerprint_init ~nodes:4 ~objects:2) evs
+  in
+  Alcotest.(check bool) "order matters" false (fold [ e1; e2 ] = fold [ e2; e1 ]);
+  Alcotest.(check bool) "header matters" false
+    (Ck.fingerprint_init ~nodes:4 ~objects:2 = Ck.fingerprint_init ~nodes:2 ~objects:4);
+  Alcotest.(check bool) "write bit matters" false
+    (fold [ e2 ] = fold [ { e2 with S.Trace.write = false } ])
+
 let suite =
   [
     Alcotest.test_case "instance round trip" `Quick instance_roundtrip;
@@ -149,4 +373,12 @@ let suite =
     Alcotest.test_case "placement count checked" `Quick placement_count_checked;
     Alcotest.test_case "comments ignored" `Quick comments_ignored;
     Alcotest.test_case "file io" `Quick file_io;
+    Alcotest.test_case "trace truncated final line" `Quick trace_truncated_final_line;
+    Alcotest.test_case "trace header truncation fatal" `Quick
+      trace_header_truncation_never_tolerated;
+    Alcotest.test_case "checkpoint corruption detected" `Quick checkpoint_corruption_detected;
+    Alcotest.test_case "checkpoint save/load" `Quick checkpoint_save_load;
+    Alcotest.test_case "checkpoint fingerprint order-sensitive" `Quick
+      checkpoint_fingerprint_is_order_sensitive;
+    Util.qtest qcheck_checkpoint_roundtrip;
   ]
