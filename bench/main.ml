@@ -1033,6 +1033,77 @@ let replay () =
       ("checkpoints", `I epochs); ("wall_s_plain", `F t_plain); ("wall_s_ckpt", `F t_ckpt);
       ("overhead_frac", `F overhead); ("within_budget", `B (overhead <= 0.10));
     ];
+  (* serve-path: versioned serve caches vs recompute-everything (PR 5
+     tentpole). Cheap storage rent makes the solver replicate widely, so
+     the copy sets are large; the stream is write-heavy, so the uncached
+     arm pays a fresh O(c² log c) MST per write while the cached arm
+     reads one memoized weight per placement version. The static policy
+     isolates the serve path (no re-solves, no placement churn); both
+     arms must produce byte-identical metrics JSON — the cache is pure
+     memoization — and the cached arm must be faster, full stop. The
+     two arms are interleaved, best-of-4, like the checkpoint probe. *)
+  let sp_rng = Rng.create 31415 in
+  let sp_g = Dmn_graph.Gen.random_geometric sp_rng 48 0.35 in
+  let sp_nn = Dmn_graph.Wgraph.n sp_g in
+  let sp_objects = 8 in
+  let sp_cs = Array.init sp_nn (fun _ -> Rng.float_in sp_rng 0.2 1.0) in
+  let { Dmn_workload.Freq.fr = sp_fr; fw = sp_fw } =
+    Dmn_workload.Freq.zipf sp_rng ~objects:sp_objects ~n:sp_nn ~requests:(40 * sp_nn) ~s:0.8
+      ~write_ratio:0.02
+  in
+  let sp_inst = I.of_graph sp_g ~cs:sp_cs ~fr:sp_fr ~fw:sp_fw in
+  let sp_placement = A.solve sp_inst in
+  let sp_copies =
+    let acc = ref 0 in
+    for x = 0 to sp_objects - 1 do
+      acc := !acc + List.length (Dmn_core.Placement.copies sp_placement ~x)
+    done;
+    !acc
+  in
+  let sp_events = 60_000 in
+  let sp_stream () =
+    Dmn_dynamic.Stream.drifting_seq (Rng.create 99) sp_inst ~phases:10
+      ~phase_length:(sp_events / 10) ~write_fraction:0.6
+  in
+  let sp_run serve_cache () =
+    En.run
+      ~config:{ En.default_config with En.policy = En.Static; epoch = 2000; serve_cache }
+      sp_inst sp_placement (sp_stream ())
+  in
+  let t_cached = ref infinity and t_uncached = ref infinity in
+  let r_cached = ref None and r_uncached = ref None in
+  for _ = 1 to 4 do
+    let r, dt = time_it (sp_run false) in
+    if dt < !t_uncached then t_uncached := dt;
+    r_uncached := Some r;
+    let r, dt = time_it (sp_run true) in
+    if dt < !t_cached then t_cached := dt;
+    r_cached := Some r
+  done;
+  let t_cached = !t_cached and t_uncached = !t_uncached in
+  let sp_identical =
+    En.metrics_json sp_inst (Option.get !r_cached)
+    = En.metrics_json sp_inst (Option.get !r_uncached)
+  in
+  let eps t = float_of_int sp_events /. t in
+  let sp_speedup = t_uncached /. t_cached in
+  Printf.printf
+    "\nserve-path (write-heavy, %d copies over %d objects): uncached %.0f ev/s -> cached %.0f \
+     ev/s (%.1fx), metrics identical: %b\n"
+    sp_copies sp_objects (eps t_uncached) (eps t_cached) sp_speedup sp_identical;
+  if not sp_identical then
+    failwith "replay: serve caches changed the metrics JSON (memoization must be pure)";
+  if t_cached >= t_uncached then
+    failwith "replay: cached serve path is not faster than the uncached baseline";
+  record
+    [
+      ("name", `S "replay-serve-path"); ("n", `I sp_nn); ("objects", `I sp_objects);
+      ("placed_copies", `I sp_copies); ("events", `I sp_events); ("write_fraction", `F 0.6);
+      ("wall_s_uncached", `F t_uncached); ("wall_s_cached", `F t_cached);
+      ("events_per_s_uncached", `F (eps t_uncached)); ("events_per_s_cached", `F (eps t_cached));
+      ("speedup", `F sp_speedup); ("identical_metrics_json", `B sp_identical);
+      ("cached_faster", `B (t_cached < t_uncached));
+    ];
   write_bench_json ~bench:"replay" "BENCH_replay.json" (List.rev !records)
 
 (* ------------------------------------------------------------------ *)

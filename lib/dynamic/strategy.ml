@@ -1,5 +1,6 @@
 open Dmn_paths
 module I = Dmn_core.Instance
+module Err = Dmn_prelude.Err
 
 type t = {
   name : string;
@@ -7,25 +8,33 @@ type t = {
   copies : x:int -> int list;
 }
 
-let nearest m copies v =
-  List.fold_left
-    (fun ((_, bd) as best) c ->
-      let d = Metric.d m v c in
-      if d < bd then (c, d) else best)
-    (-1, infinity) copies
+let nearest m ~x copies v =
+  match copies with
+  | [] -> Err.failf Err.Internal "serve: object %d has an empty copy set" x
+  | _ ->
+      List.fold_left
+        (fun ((_, bd) as best) c ->
+          let d = Metric.d m v c in
+          if d < bd then (c, d) else best)
+        (-1, infinity) copies
 
 let mst_weight m copies = Dmn_span.Steiner.approx_weight_metric m copies
 
-let serve_cost inst ~copies ~node kind =
+let serve_cost inst ~x ~copies ~node kind =
   let m = I.metric inst in
-  let _, d = nearest m copies node in
+  let _, d = nearest m ~x copies node in
   match kind with
   | Stream.Read -> d
   | Stream.Write -> d +. mst_weight m copies
 
 let static inst p =
-  let serve ~x ~node kind = serve_cost inst ~copies:(Dmn_core.Placement.copies p ~x) ~node kind in
-  { name = "static"; serve; copies = (fun ~x -> Dmn_core.Placement.copies p ~x) }
+  let m = I.metric inst in
+  let caches =
+    Array.init (I.objects inst) (fun x ->
+        Serve_cache.create m ~x (Dmn_core.Placement.copies p ~x))
+  in
+  let serve ~x ~node kind = Serve_cache.serve_cost caches.(x) ~node kind in
+  { name = "static"; serve; copies = (fun ~x -> Serve_cache.copies caches.(x)) }
 
 let migrating_owner ?(threshold = 8) inst =
   let m = I.metric inst in
@@ -56,7 +65,7 @@ let migrating_owner ?(threshold = 8) inst =
   in
   { name = "migrating-owner"; serve; copies = (fun ~x -> [ owner.(x) ]) }
 
-let threshold_caching ?initial ?(replicate_after = 4) ?(drop_after = 8) inst =
+let threshold_caching ?initial ?(replicate_after = 4) ?(drop_after = 8) ?(cached = true) inst =
   let m = I.metric inst in
   let k = I.objects inst in
   let n = I.n inst in
@@ -67,42 +76,54 @@ let threshold_caching ?initial ?(replicate_after = 4) ?(drop_after = 8) inst =
     done;
     !best
   in
-  let copies =
-    match initial with
-    | Some p -> Array.init k (fun x -> Dmn_core.Placement.copies p ~x)
-    | None -> Array.init k (fun _ -> [ cheapest ])
+  let caches =
+    Array.init k (fun x ->
+        let cps =
+          match initial with
+          | Some p -> Dmn_core.Placement.copies p ~x
+          | None -> [ cheapest ]
+        in
+        Serve_cache.create ~cached m ~x cps)
   in
   let read_counts = Array.init k (fun _ -> Array.make n 0) in
-  (* per-copy writes seen since the copy last served a read *)
-  let stale = Array.init k (fun _ -> Hashtbl.create 8) in
-  let bump_stale x c = Hashtbl.replace stale.(x) c (1 + Option.value ~default:0 (Hashtbl.find_opt stale.(x) c)) in
+  (* per-copy writes seen since the copy last served a read; dropped
+     copies reset to 0, matching the former Hashtbl's remove-is-absent *)
+  let stale = Array.init k (fun _ -> Array.make n 0) in
   let serve ~x ~node kind =
-    let s, d = nearest m copies.(x) node in
+    let t = caches.(x) in
+    let s, d = Serve_cache.nearest t node in
     match kind with
     | Stream.Read ->
-        Hashtbl.replace stale.(x) s 0;
+        stale.(x).(s) <- 0;
         read_counts.(x).(node) <- read_counts.(x).(node) + 1;
         if
           read_counts.(x).(node) >= replicate_after
-          && (not (List.mem node copies.(x)))
+          && (not (Serve_cache.mem t node))
           && I.cs inst node < infinity
         then begin
           (* replicate to the hot reader, paying the transfer *)
-          copies.(x) <- List.sort compare (node :: copies.(x));
+          Serve_cache.add_copy t node;
           read_counts.(x).(node) <- 0;
           d +. d
         end
         else d
     | Stream.Write ->
-        let cost = d +. mst_weight m copies.(x) in
-        List.iter (fun c -> if c <> s then bump_stale x c) copies.(x);
+        let cost = d +. Serve_cache.mst_weight t in
+        let cps = Serve_cache.copies_array t in
+        let st = stale.(x) in
+        Array.iter (fun c -> if c <> s then st.(c) <- st.(c) + 1) cps;
         (* drop copies that only absorb updates; keep the serving one *)
-        let keep c =
-          c = s || Option.value ~default:0 (Hashtbl.find_opt stale.(x) c) < drop_after
-        in
-        let survivors = List.filter keep copies.(x) in
-        List.iter (fun c -> if not (keep c) then Hashtbl.remove stale.(x) c) copies.(x);
-        copies.(x) <- survivors;
+        let keep c = c = s || st.(c) < drop_after in
+        let survivors = ref 0 in
+        Array.iter (fun c -> if keep c then incr survivors) cps;
+        if !survivors < Array.length cps then begin
+          let out = ref [] in
+          for i = Array.length cps - 1 downto 0 do
+            let c = cps.(i) in
+            if keep c then out := c :: !out else st.(c) <- 0
+          done;
+          Serve_cache.set_copies t !out
+        end;
         cost
   in
-  { name = "threshold-caching"; serve; copies = (fun ~x -> copies.(x)) }
+  { name = "threshold-caching"; serve; copies = (fun ~x -> Serve_cache.copies caches.(x)) }

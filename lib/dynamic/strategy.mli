@@ -13,12 +13,16 @@ type t = {
   copies : x:int -> int list;  (** current copy set of object [x] *)
 }
 
-(** [serve_cost inst ~copies ~node kind] is the stateless cost of one
-    event against a fixed copy set: a read pays the distance to the
+(** [serve_cost inst ~x ~copies ~node kind] is the stateless cost of
+    one event against a fixed copy set: a read pays the distance to the
     nearest copy, a write that distance plus an MST multicast over
-    [copies]. This is the shared cost kernel of {!static} and of the
-    replay engine's policies. *)
-val serve_cost : Dmn_core.Instance.t -> copies:int list -> node:int -> Stream.kind -> float
+    [copies]. This is the reference cost kernel; the replay engine and
+    {!static} charge the same model through the memoizing
+    {!Serve_cache}. [x] labels errors only.
+    @raise Dmn_prelude.Err.Error (kind [Internal], naming object [x])
+    on an empty [copies]. *)
+val serve_cost :
+  Dmn_core.Instance.t -> x:int -> copies:int list -> node:int -> Stream.kind -> float
 
 (** [static inst p] never changes the placement; with a stationary
     stream matching the instance tables this replays the static
@@ -42,6 +46,16 @@ val migrating_owner : ?threshold:int -> Dmn_core.Instance.t -> t
     [initial] seeds the per-object copy sets from a placement (e.g. a
     solved static placement, as the replay engine does); by default
     every object starts with a single copy on the cheapest storable
-    node. *)
+    node.
+
+    [cached] (default [true]) is forwarded to {!Serve_cache.create}:
+    [~cached:false] recomputes every nearest-copy and MST query — the
+    uncached baseline of the serve-path benchmark. Costs and copy-set
+    evolution are bit-identical either way. *)
 val threshold_caching :
-  ?initial:Dmn_core.Placement.t -> ?replicate_after:int -> ?drop_after:int -> Dmn_core.Instance.t -> t
+  ?initial:Dmn_core.Placement.t ->
+  ?replicate_after:int ->
+  ?drop_after:int ->
+  ?cached:bool ->
+  Dmn_core.Instance.t ->
+  t

@@ -4,6 +4,7 @@ module A = Dmn_core.Approx
 module Serial = Dmn_core.Serial
 module Ckpt = Dmn_core.Serial.Checkpoint
 module Sg = Dmn_dynamic.Strategy
+module Sc = Dmn_dynamic.Serve_cache
 module Stream = Dmn_dynamic.Stream
 module Pool = Dmn_prelude.Pool
 module Metrics = Dmn_prelude.Metrics
@@ -31,6 +32,7 @@ type config = {
   attempts : int;
   solve_deadline_s : float option;
   backoff_s : float;
+  serve_cache : bool;
 }
 
 let default_config =
@@ -44,6 +46,7 @@ let default_config =
     attempts = 3;
     solve_deadline_s = None;
     backoff_s = 0.0;
+    serve_cache = true;
   }
 
 type checkpointing = { path : string; every : int }
@@ -263,22 +266,33 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
   | _ -> ());
   let n = I.n inst and k = I.objects inst in
   let metric = I.metric inst in
-  let copies = Array.init k (fun x -> P.copies placement ~x) in
+  (* One versioned serve cache per object: nearest-copy tables and MST
+     weights are memoized against the placement version, so the serving
+     fan-out does O(1) reads per event instead of O(c) scans. With
+     [serve_cache = false] the same structures recompute every query —
+     the uncached baseline; costs are bit-identical either way. *)
+  let caches =
+    Array.init k (fun x -> Sc.create ~cached:config.serve_cache metric ~x (P.copies placement ~x))
+  in
   let cache_strategy =
     match config.policy with
     | Cache ->
         Some
           (Sg.threshold_caching ~initial:placement ~replicate_after:config.replicate_after
-             ~drop_after:config.drop_after inst)
+             ~drop_after:config.drop_after ~cached:config.serve_cache inst)
     | Static | Resolve -> None
   in
   let current_copies x =
-    match cache_strategy with Some s -> s.Sg.copies ~x | None -> copies.(x)
+    match cache_strategy with Some s -> s.Sg.copies ~x | None -> Sc.copies caches.(x)
   in
   let total_copies () =
     let acc = ref 0 in
     for x = 0 to k - 1 do
-      acc := !acc + List.length (current_copies x)
+      acc :=
+        !acc
+        + (match cache_strategy with
+          | Some s -> List.length (s.Sg.copies ~x)
+          | None -> Sc.copy_count caches.(x))
     done;
     !acc
   in
@@ -366,7 +380,7 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
         fingerprint = !fingerprint;
         nodes = n;
         objects = k;
-        placements = Array.copy copies;
+        placements = Array.init k (fun x -> Sc.copies caches.(x));
         epochs = List.rev_map stats_to_row !epochs;
         hist =
           {
@@ -413,7 +427,7 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
             Err.fail Err.Validation
               ("resume: checkpoint placements do not fit the instance: " ^ msg));
         for x = 0 to k - 1 do
-          copies.(x) <- P.copies pl ~x
+          Sc.set_copies caches.(x) (P.copies pl ~x)
         done;
         let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
         if c.hist.h_lo <> lo || c.hist.h_base <> base || c.hist.h_buckets <> nbuckets then
@@ -508,10 +522,8 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
             | Some strat ->
                 Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
             | None ->
-                let cset = copies.(x) in
-                Array.map
-                  (fun e -> Sg.serve_cost inst ~copies:cset ~node:e.Stream.node e.Stream.kind)
-                  evs)
+                let t = caches.(x) in
+                Array.map (fun e -> Sc.serve_cost t ~node:e.Stream.node e.Stream.kind) evs)
       in
       Metrics.add ops_serve_retries serve_retries;
       let costs_per_obj =
@@ -598,18 +610,19 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
                 incr solve_fallbacks
             | Ok cps ->
                 incr resolves;
-                let old = copies.(x) in
+                let t = caches.(x) in
+                let old = Sc.copies_array t in
                 List.iter
                   (fun c ->
-                    if not (List.mem c old) then
+                    if not (Sc.mem t c) then
                       let d =
-                        List.fold_left
+                        Array.fold_left
                           (fun acc o -> Float.min acc (Metric.d metric c o))
                           infinity old
                       in
                       migration := !migration +. d)
                   cps;
-                copies.(x) <- cps
+                Sc.set_copies t cps
           done);
       let copies_now = total_copies () in
       let p50 = Stats.percentile epoch_costs 50.0

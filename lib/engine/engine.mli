@@ -85,6 +85,11 @@ type config = {
           deterministic — leave [None] (the default) when byte-identical
           cross-run output matters. *)
   backoff_s : float;  (** base retry backoff, doubling per attempt *)
+  serve_cache : bool;
+      (** memoize nearest-copy tables and MST weights per placement
+          version ({!Dmn_dynamic.Serve_cache}); [false] recomputes
+          every query — the benchmark baseline. Either way the costs,
+          states and metrics are bit-identical. *)
 }
 
 (** [Resolve], epoch 1000, default solver and cache thresholds, 3

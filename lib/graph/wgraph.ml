@@ -1,9 +1,16 @@
 type edge = int * int * float
 
+(* Adjacency is CSR (compressed sparse rows): the neighbors of [v] are
+   [anodes.(i)] with weight [aw.(i)] for [xadj.(v) <= i < xadj.(v+1)].
+   Three flat arrays — no per-node pointer array and no boxed pairs —
+   so the Dijkstra relaxation loop of the metric closure walks
+   contiguous memory. *)
 type t = {
   n : int;
   edges : edge array; (* canonical: u < v *)
-  adj : (int * float) array array;
+  xadj : int array; (* length n + 1 *)
+  anodes : int array;
+  aw : float array;
 }
 
 let create n edge_list =
@@ -23,31 +30,45 @@ let create n edge_list =
       edge_list
   in
   let edges = Array.of_list canon in
-  let deg = Array.make n 0 in
+  let deg = Array.make (n + 1) 0 in
   Array.iter
     (fun (u, v, _) ->
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0.0)) in
-  let fill = Array.make n 0 in
+  let xadj = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    xadj.(v) <- xadj.(v - 1) + deg.(v - 1)
+  done;
+  let half = 2 * Array.length edges in
+  let anodes = Array.make half 0 and aw = Array.make half 0.0 in
+  let fill = Array.sub xadj 0 n in
   Array.iter
     (fun (u, v, w) ->
-      adj.(u).(fill.(u)) <- (v, w);
+      anodes.(fill.(u)) <- v;
+      aw.(fill.(u)) <- w;
       fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- (u, w);
+      anodes.(fill.(v)) <- u;
+      aw.(fill.(v)) <- w;
       fill.(v) <- fill.(v) + 1)
     edges;
-  { n; edges; adj }
+  { n; edges; xadj; anodes; aw }
 
 let n g = g.n
 let m g = Array.length g.edges
 let edges g = Array.to_list g.edges
-let neighbors g v = g.adj.(v)
+let csr g = (g.xadj, g.anodes, g.aw)
 
-let iter_neighbors g v f = Array.iter (fun (u, w) -> f u w) g.adj.(v)
+let neighbors g v =
+  let lo = g.xadj.(v) in
+  Array.init (g.xadj.(v + 1) - lo) (fun i -> (g.anodes.(lo + i), g.aw.(lo + i)))
 
-let degree g v = Array.length g.adj.(v)
+let iter_neighbors g v f =
+  for i = g.xadj.(v) to g.xadj.(v + 1) - 1 do
+    f (Array.unsafe_get g.anodes i) (Array.unsafe_get g.aw i)
+  done
+
+let degree g v = g.xadj.(v + 1) - g.xadj.(v)
 
 let max_degree g =
   let best = ref 0 in
@@ -57,13 +78,13 @@ let max_degree g =
   !best
 
 let edge_weight g u v =
+  let hi = g.xadj.(u + 1) in
   let rec find i =
-    if i >= Array.length g.adj.(u) then raise Not_found
-    else
-      let x, w = g.adj.(u).(i) in
-      if x = v then w else find (i + 1)
+    if i >= hi then raise Not_found
+    else if g.anodes.(i) = v then g.aw.(i)
+    else find (i + 1)
   in
-  find 0
+  find g.xadj.(u)
 
 let has_edge g u v = match edge_weight g u v with _ -> true | exception Not_found -> false
 

@@ -25,6 +25,12 @@ val edges : t -> edge list
     The returned array must not be mutated. *)
 val neighbors : t -> int -> (int * float) array
 
+(** [csr g] is the flat CSR adjacency [(xadj, nodes, weights)]: the
+    neighbors of [v] are [nodes.(i)] with weight [weights.(i)] for
+    [xadj.(v) <= i < xadj.(v + 1)], in {!iter_neighbors} order. The
+    arrays are the graph's own storage — do not mutate. *)
+val csr : t -> int array * int array * float array
+
 (** [iter_neighbors g v f] calls [f u w] for every edge [(v, u, w)]. *)
 val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
 

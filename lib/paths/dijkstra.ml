@@ -16,17 +16,24 @@ let multi g srcs =
       source.(s) <- s;
       Idx_heap.insert_or_decrease heap s 0.0)
     srcs;
+  (* Relax straight off the flat CSR arrays: the all-pairs closure runs
+     one of these loops per node, and the indirection-free row walk is
+     what keeps it memory-bound rather than pointer-bound. *)
+  let xadj, anodes, aw = Wgraph.csr g in
   while not (Idx_heap.is_empty heap) do
     let v, d = Idx_heap.pop_min heap in
     (* Entries are only popped at their final distance with an indexed heap. *)
-    Wgraph.iter_neighbors g v (fun u w ->
-        let nd = d +. w in
-        if nd < dist.(u) then begin
-          dist.(u) <- nd;
-          parent.(u) <- v;
-          source.(u) <- source.(v);
-          Idx_heap.insert_or_decrease heap u nd
-        end)
+    let hi = Array.unsafe_get xadj (v + 1) in
+    for i = Array.unsafe_get xadj v to hi - 1 do
+      let u = Array.unsafe_get anodes i in
+      let nd = d +. Array.unsafe_get aw i in
+      if nd < Array.unsafe_get dist u then begin
+        Array.unsafe_set dist u nd;
+        Array.unsafe_set parent u v;
+        Array.unsafe_set source u (Array.unsafe_get source v);
+        Idx_heap.insert_or_decrease heap u nd
+      end
+    done
   done;
   { dist; parent; source }
 

@@ -1,10 +1,28 @@
 open Dmn_graph
 open Dmn_prelude
 
-type t = { n : int; mat : float array array }
+(* Row-major flat storage: d(u, v) lives at [u * n + v]. A single
+   unboxed float array keeps every row contiguous — the nearest-copy
+   scans and MST subset loops of the serve path walk rows without
+   chasing a per-row pointer, and the whole metric is one allocation. *)
+type t = { n : int; flat : float array }
+
+type row = { data : float array; off : int }
 
 let size m = m.n
-let d m u v = m.mat.(u).(v)
+let d m u v = m.flat.((u * m.n) + v)
+let unsafe_d m u v = Array.unsafe_get m.flat ((u * m.n) + v)
+
+let row m v =
+  if v < 0 || v >= m.n then invalid_arg "Metric.row: node out of range";
+  { data = m.flat; off = v * m.n }
+
+let row_get r u = Array.unsafe_get r.data (r.off + u)
+
+let of_rows n rows =
+  let flat = Array.make (n * n) 0.0 in
+  Array.iteri (fun v r -> Array.blit r 0 flat (v * n) n) rows;
+  { n; flat }
 
 (* One Dijkstra per source row; rows are independent, so fan out over
    the domain pool (bit-identical to the sequential closure). *)
@@ -19,7 +37,7 @@ let of_graph g =
       r.Dijkstra.dist;
     r.Dijkstra.dist
   in
-  { n; mat = Pool.parallel_init (Pool.default ()) n row }
+  of_rows n (Pool.parallel_init (Pool.default ()) n row)
 
 let of_graph_floyd g =
   let n = Wgraph.n g in
@@ -50,7 +68,7 @@ let of_graph_floyd g =
             invalid_arg (Printf.sprintf "Metric.of_graph_floyd: %d unreachable from %d" j i))
         row)
     mat;
-  { n; mat }
+  of_rows n mat
 
 let is_metric mat =
   let n = Array.length mat in
@@ -82,34 +100,46 @@ let is_metric mat =
 let of_matrix mat =
   (match is_metric mat with Ok () -> () | Error e -> invalid_arg ("Metric.of_matrix: " ^ e));
   let n = Array.length mat in
-  { n; mat = Array.map Array.copy mat }
+  of_rows n mat
 
 let of_points pts =
   let n = Array.length pts in
-  let dist i j =
-    let xi, yi = pts.(i) and xj, yj = pts.(j) in
-    Float.hypot (xi -. xj) (yi -. yj)
-  in
-  { n; mat = Array.init n (fun i -> Array.init n (dist i)) }
+  Array.iteri
+    (fun i (x, y) ->
+      if not (Float.is_finite x && Float.is_finite y) then
+        invalid_arg
+          (Printf.sprintf "Metric.of_points: point %d has non-finite coordinates (%g, %g)" i x y))
+    pts;
+  let flat = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    let xi, yi = pts.(i) in
+    for j = 0 to n - 1 do
+      let xj, yj = pts.(j) in
+      flat.((i * n) + j) <- Float.hypot (xi -. xj) (yi -. yj)
+    done
+  done;
+  { n; flat }
 
 let scale c m =
   if c < 0.0 then invalid_arg "Metric.scale: negative factor";
-  { n = m.n; mat = Array.map (Array.map (fun x -> c *. x)) m.mat }
+  { n = m.n; flat = Array.map (fun x -> c *. x) m.flat }
 
-let to_matrix m = Array.map Array.copy m.mat
+let to_matrix m = Array.init m.n (fun v -> Array.sub m.flat (v * m.n) m.n)
 
 let nearest_dists m nodes =
   if nodes = [] then invalid_arg "Metric.nearest_dists: empty node list";
   Array.init m.n (fun v ->
-      List.fold_left (fun acc u -> Float.min acc (d m v u)) infinity nodes)
+      let base = v * m.n in
+      List.fold_left (fun acc u -> Float.min acc m.flat.(base + u)) infinity nodes)
 
 let nearest m v nodes =
   match nodes with
   | [] -> invalid_arg "Metric.nearest: empty node list"
   | first :: rest ->
+      let base = v * m.n in
       List.fold_left
         (fun ((_, bd) as best) u ->
-          let du = d m v u in
+          let du = m.flat.(base + u) in
           if du < bd then (u, du) else best)
         (first, d m v first)
         rest

@@ -9,10 +9,27 @@ open Dmn_graph
 
 type t
 
+(** A borrowed view of one source row of the flat distance storage (see
+    {!row}); indexing through it is branch-free. *)
+type row
+
 val size : t -> int
 
 (** [d m u v] is the distance; [d m v v = 0]. *)
 val d : t -> int -> int -> float
+
+(** [unsafe_d m u v] is [d m u v] without bounds checks. Both indices
+    must be in [0, size m). *)
+val unsafe_d : t -> int -> int -> float
+
+(** [row m v] is the source row of [v]: distances are stored row-major
+    in a single flat unboxed array, so a row is a contiguous slice.
+    @raise Invalid_argument if [v] is out of range. *)
+val row : t -> int -> row
+
+(** [row_get r u] is [d m v u] for the row of [v] — unsafe-indexed: [u]
+    must be in [0, size m). This is the serve path's inner read. *)
+val row_get : row -> int -> float
 
 (** [of_graph g] is the shortest-path closure computed with one Dijkstra
     per node, fanned out over {!Dmn_prelude.Pool.default}; [g] must be
@@ -29,13 +46,16 @@ val of_graph_floyd : Wgraph.t -> t
     inequality beyond float slack. *)
 val of_matrix : float array array -> t
 
-(** [of_points pts] is the Euclidean metric over 2-d points. *)
+(** [of_points pts] is the Euclidean metric over 2-d points.
+    @raise Invalid_argument if any coordinate is NaN or infinite, naming
+    the offending point index. *)
 val of_points : (float * float) array -> t
 
 (** [scale c m] multiplies every distance by [c >= 0]. *)
 val scale : float -> t -> t
 
-(** [to_matrix m] materializes the full matrix (row-major copy). *)
+(** [to_matrix m] materializes the full matrix (row-major copy of the
+    flat storage). *)
 val to_matrix : t -> float array array
 
 (** [nearest m v nodes] is [(u, d m v u)] minimizing the distance over

@@ -56,20 +56,49 @@ let approx g terminals =
       let tree = List.filter (fun (u, v, _) -> Dmn_dsu.Dsu.union dsu2 u v) sorted_sub in
       let is_terminal = Array.make (Wgraph.n g) false in
       List.iter (fun t -> is_terminal.(t) <- true) terminals;
-      let rec prune tree =
-        let deg = Hashtbl.create 64 in
-        let bump v = Hashtbl.replace deg v (1 + Option.value ~default:0 (Hashtbl.find_opt deg v)) in
-        List.iter
+      (* Peel non-terminal leaves round by round on persistent degree
+         counters. Each round decides against its starting degrees (two
+         edges meeting at a degree-2 non-terminal both survive the
+         round, exactly like a filter against a frozen degree table) and
+         only then applies the decrements, so removing one edge can only
+         expose a new leaf in the next round. *)
+      let prune tree =
+        let arr = Array.of_list tree in
+        let ne = Array.length arr in
+        let alive = Array.make ne true in
+        let deg = Array.make (Wgraph.n g) 0 in
+        Array.iter
           (fun (u, v, _) ->
-            bump u;
-            bump v)
-          tree;
-        let keep (u, v, _) =
-          let leafy x = Hashtbl.find deg x = 1 && not is_terminal.(x) in
-          not (leafy u || leafy v)
-        in
-        let tree' = List.filter keep tree in
-        if List.length tree' = List.length tree then tree else prune tree'
+            deg.(u) <- deg.(u) + 1;
+            deg.(v) <- deg.(v) + 1)
+          arr;
+        let removed = ref 1 in
+        while !removed > 0 do
+          removed := 0;
+          let round = ref [] in
+          for i = 0 to ne - 1 do
+            if alive.(i) then begin
+              let u, v, _ = arr.(i) in
+              let leafy x = deg.(x) = 1 && not is_terminal.(x) in
+              if leafy u || leafy v then begin
+                alive.(i) <- false;
+                round := i :: !round;
+                incr removed
+              end
+            end
+          done;
+          List.iter
+            (fun i ->
+              let u, v, _ = arr.(i) in
+              deg.(u) <- deg.(u) - 1;
+              deg.(v) <- deg.(v) - 1)
+            !round
+        done;
+        let out = ref [] in
+        for i = ne - 1 downto 0 do
+          if alive.(i) then out := arr.(i) :: !out
+        done;
+        !out
       in
       let tree = prune tree in
       let weight = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 tree in

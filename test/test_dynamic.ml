@@ -3,6 +3,7 @@ module I = Dmn_core.Instance
 module St = Dmn_dynamic.Stream
 module Sg = Dmn_dynamic.Strategy
 module Sim = Dmn_dynamic.Sim
+module Sc = Dmn_dynamic.Serve_cache
 
 let stationary_respects_frequencies () =
   let rng = Rng.create 131 in
@@ -238,6 +239,85 @@ let stream_seq_generators_match_lists () =
   Alcotest.(check bool) "drifting seq = list" true (a = b);
   Alcotest.(check int) "drifting length" 400 (List.length a)
 
+let serve_cache_invalidates_on_change () =
+  let g = Dmn_graph.Gen.path 6 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let t = Sc.create m ~x:0 [ 0 ] in
+  let s, d = Sc.nearest t 5 in
+  Alcotest.(check int) "nearest before" 0 s;
+  Util.check_cost "distance before" 5.0 d;
+  Util.check_cost "singleton mst" 0.0 (Sc.mst_weight t);
+  let v0 = Sc.version t in
+  Sc.add_copy t 4;
+  Alcotest.(check bool) "version bumped" true (Sc.version t > v0);
+  let s, d = Sc.nearest t 5 in
+  Alcotest.(check int) "nearest after replicate" 4 s;
+  Util.check_cost "distance after replicate" 1.0 d;
+  Util.check_cost "mst spans the new set" 4.0 (Sc.mst_weight t);
+  Alcotest.(check (list int)) "sorted copy list" [ 0; 4 ] (Sc.copies t);
+  Alcotest.(check bool) "mem present" true (Sc.mem t 4);
+  Alcotest.(check bool) "mem absent" false (Sc.mem t 3);
+  (* a confirming set_copies keeps the version (memo stays warm) *)
+  let v1 = Sc.version t in
+  Sc.set_copies t [ 0; 4 ];
+  Alcotest.(check int) "no-op set keeps version" v1 (Sc.version t);
+  Sc.set_copies t [ 2 ];
+  let s, d = Sc.nearest t 0 in
+  Alcotest.(check int) "nearest after re-solve" 2 s;
+  Util.check_cost "distance after re-solve" 2.0 d
+
+let serve_cache_cached_matches_uncached () =
+  (* cached and uncached answers are bit-identical across a random
+     mutation/query interleaving; ties go to the smallest node id *)
+  let rng = Rng.create 404 in
+  let g = Dmn_graph.Gen.random_geometric rng 14 0.5 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let hot = Sc.create ~cached:true m ~x:3 [ 2; 7 ] in
+  let cold = Sc.create ~cached:false m ~x:3 [ 2; 7 ] in
+  for _ = 1 to 500 do
+    let v = Rng.int rng 14 in
+    (match Rng.int rng 10 with
+    | 0 ->
+        let c = Rng.int rng 14 in
+        if not (Sc.mem hot c) then begin
+          Sc.add_copy hot c;
+          Sc.add_copy cold c
+        end
+    | 1 ->
+        let keep = List.filter (fun c -> c mod 2 = 0) (Sc.copies hot) in
+        let keep = if keep = [] then [ Rng.int rng 14 ] else keep in
+        Sc.set_copies hot keep;
+        Sc.set_copies cold keep
+    | _ -> ());
+    let sh, dh = Sc.nearest hot v and sc, dc = Sc.nearest cold v in
+    Alcotest.(check int) "same serving copy" sc sh;
+    if not (Float.equal dh dc) then Alcotest.failf "nearest dist diverged: %h vs %h" dh dc;
+    let wh = Sc.mst_weight hot and wc = Sc.mst_weight cold in
+    if not (Float.equal wh wc) then Alcotest.failf "mst diverged: %h vs %h" wh wc
+  done
+
+let serve_cache_empty_copies_structured () =
+  let g = Dmn_graph.Gen.path 3 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let t = Sc.create m ~x:7 [] in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match Sc.nearest t 0 with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "internal kind" true (e.Err.kind = Err.Internal);
+      Alcotest.(check bool) "names the object" true (contains "object 7" e.Err.msg)
+  | _ -> Alcotest.fail "empty copy set served");
+  let inst =
+    I.of_graph g ~cs:(Array.make 3 1.0) ~fr:[| Array.make 3 1 |] ~fw:[| Array.make 3 0 |]
+  in
+  match Sg.serve_cost inst ~x:7 ~copies:[] ~node:0 St.Read with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "serve_cost internal kind" true (e.Err.kind = Err.Internal)
+  | _ -> Alcotest.fail "serve_cost accepted an empty copy set"
+
 let suite =
   [
     Alcotest.test_case "stationary stream frequencies" `Quick stationary_respects_frequencies;
@@ -257,4 +337,8 @@ let suite =
     Alcotest.test_case "stationary zero-volume is structured" `Quick
       stream_stationary_zero_volume_structured;
     Alcotest.test_case "seq generators match lists" `Quick stream_seq_generators_match_lists;
+    Alcotest.test_case "serve cache invalidates on change" `Quick serve_cache_invalidates_on_change;
+    Alcotest.test_case "serve cache cached == uncached" `Quick serve_cache_cached_matches_uncached;
+    Alcotest.test_case "serve cache empty copies structured" `Quick
+      serve_cache_empty_copies_structured;
   ]

@@ -171,6 +171,31 @@ let engine_deterministic_across_domains () =
         [ 2; 4 ])
     [ En.Static; En.Resolve; En.Cache ]
 
+(* Memoization is pure: the versioned serve caches must not move a
+   single bit of the metrics JSON relative to the recompute-everything
+   baseline, for any policy at any domain count. *)
+let engine_cached_matches_uncached () =
+  let inst = small_instance ~objects:4 17 in
+  let placement = A.solve inst in
+  let stream () =
+    St.drifting_seq (Rng.create 12) inst ~phases:5 ~phase_length:300 ~write_fraction:0.3
+  in
+  let run_at policy domains serve_cache =
+    Pool.with_pool ~domains (fun pool ->
+        let config = { En.default_config with En.policy; En.epoch = 250; En.serve_cache } in
+        En.metrics_json inst (En.run ~pool ~config inst placement (stream ())))
+  in
+  List.iter
+    (fun policy ->
+      let uncached = run_at policy 1 false in
+      List.iter
+        (fun d ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: cached at %d domains == uncached" (En.policy_name policy) d)
+            uncached (run_at policy d true))
+        [ 1; 2; 4 ])
+    [ En.Static; En.Resolve; En.Cache ]
+
 (* ---------- accounting ---------- *)
 
 let engine_static_matches_simulator () =
@@ -440,6 +465,8 @@ let suite =
     Alcotest.test_case "engine consumes stream once" `Quick engine_consumes_stream_once;
     Alcotest.test_case "engine deterministic across domains" `Quick
       engine_deterministic_across_domains;
+    Alcotest.test_case "cached serving == uncached, all policies" `Quick
+      engine_cached_matches_uncached;
     Alcotest.test_case "engine static matches simulator" `Quick engine_static_matches_simulator;
     Alcotest.test_case "engine epoch stats consistent" `Quick engine_epoch_stats_consistent;
     Alcotest.test_case "resolve beats static on drift" `Quick engine_resolve_beats_static_on_drift;

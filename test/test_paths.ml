@@ -149,6 +149,14 @@ let metric_of_points () =
   Alcotest.(check int) "nearest" 2 u;
   Util.check_float "nearest dist" 1.0 d
 
+let metric_of_points_rejects_nonfinite () =
+  Alcotest.check_raises "nan coordinate"
+    (Invalid_argument "Metric.of_points: point 1 has non-finite coordinates (nan, 0)") (fun () ->
+      ignore (Metric.of_points [| (0.0, 0.0); (Float.nan, 0.0) |]));
+  Alcotest.check_raises "infinite coordinate"
+    (Invalid_argument "Metric.of_points: point 0 has non-finite coordinates (0, inf)") (fun () ->
+      ignore (Metric.of_points [| (0.0, infinity); (1.0, 0.0) |]))
+
 let metric_scale () =
   let m = Metric.of_points [| (0.0, 0.0); (1.0, 0.0) |] in
   let m2 = Metric.scale 3.0 m in
@@ -171,6 +179,32 @@ let qcheck_triangle =
       done;
       !ok)
 
+(* Flat row-major storage must hold exactly what the matrix interface
+   reports: every accessor — d, unsafe_d, the row view, and a matrix
+   round-trip — agrees bit for bit on random closures. *)
+let qcheck_flat_matrix =
+  QCheck.Test.make ~name:"flat storage == matrix metric, entry for entry" ~count:60
+    QCheck.(pair small_int (int_range 2 25))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Gen.erdos_renyi rng n 0.25 in
+      let m = Metric.of_graph g in
+      let m2 = Metric.of_matrix (Metric.to_matrix m) in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let r = Metric.row m v in
+        for u = 0 to n - 1 do
+          let d = Metric.d m v u in
+          if
+            not
+              (Float.equal d (Metric.d m2 v u)
+              && Float.equal d (Metric.unsafe_d m v u)
+              && Float.equal d (Metric.row_get r u))
+          then ok := false
+        done
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "binheap sorts" `Quick binheap_sorts;
@@ -185,6 +219,8 @@ let suite =
     Alcotest.test_case "metric axioms" `Quick metric_axioms;
     Alcotest.test_case "metric validation" `Quick metric_of_matrix_validates;
     Alcotest.test_case "euclidean metric" `Quick metric_of_points;
+    Alcotest.test_case "of_points rejects non-finite" `Quick metric_of_points_rejects_nonfinite;
     Alcotest.test_case "metric scale" `Quick metric_scale;
     Util.qtest qcheck_triangle;
+    Util.qtest qcheck_flat_matrix;
   ]
