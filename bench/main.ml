@@ -786,77 +786,179 @@ let write_bench_json ~bench file experiments =
   Printf.printf "\nwrote %s\n" file
 
 let scale () =
-  section "scale  multicore speedup and shared-profile cache (tentpole PR 1)";
+  section "scale  batched pool: multicore speedup at production shape (tentpole PR 6)";
   print_endline
-    "Part A: one pool task per object on a 16-object, n = 64 geometric\n\
-     instance; wall time per pool size, placements asserted identical\n\
-     to the serial per-object map. Part B: metric closure (one Dijkstra\n\
-     per row) under the same pool sizes. Part C: cached-profile radii\n\
-     vs the seed's uncached O(n^2 log n) compute, repeated per object.";
+    "Part A: chunked per-object solve (trivial phase 1, so radii +\n\
+     phase 2/3 dominate) at production shape; wall time per pool size,\n\
+     placements asserted identical to the serial per-object map.\n\
+     Part B: chunked metric closure (one Dijkstra per row) under the\n\
+     same pool sizes. Part C: cached-profile radii vs the seed's\n\
+     uncached O(n^2 log n) compute. DMNET_SCALE=smoke skips the\n\
+     n = 2048 configurations (CI smoke); the speedup gate applies to\n\
+     the largest configuration run and hard-fails only when\n\
+     cores_available >= 4.";
   let records = ref [] in
   let record r = records := r :: !records in
+  let cores = Domain.recommended_domain_count () in
+  let smoke = Sys.getenv_opt "DMNET_SCALE" = Some "smoke" in
+  (* Trivial phase 1: Mettu-Plaxton is O(n^2 log n) per object, which
+     at n = 2048 x 1024 objects would dominate the bench by hours; the
+     trivial solver keeps per-object cost radii-bound (O(n^2)) and the
+     parallel structure identical. Recorded in the JSON as "solver". *)
+  let config = { A.default_config with A.solver = A.Trivial } in
+  let domain_counts = [ 1; 2; 4 ] in
+  let build_instance ~topo ~n ~objects ~seed =
+    let rng = Rng.create seed in
+    let g =
+      match topo with
+      | "geometric" ->
+          (* radius ~ 2x the connectivity threshold sqrt(ln n / (pi n)) *)
+          Dmn_graph.Gen.random_geometric rng n (if n >= 2048 then 0.05 else 0.09)
+      | "grid" ->
+          let rows = int_of_float (sqrt (float_of_int n /. 2.0)) in
+          Dmn_graph.Gen.grid rows (n / rows)
+      | _ -> assert false
+    in
+    let nn = Dmn_graph.Wgraph.n g in
+    let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 20.0) in
+    let { Dmn_workload.Freq.fr; fw } =
+      Dmn_workload.Freq.mix rng ~objects ~n:nn ~total:(4 * nn) ~write_fraction:0.2
+    in
+    (g, I.of_graph g ~cs ~fr ~fw)
+  in
   (* --- A: per-object placement scaling --- *)
-  let n = 64 and objects = 16 in
-  let rng = Rng.create 90210 in
-  let g = Dmn_graph.Gen.random_geometric rng n 0.3 in
-  let nn = Dmn_graph.Wgraph.n g in
-  let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 20.0) in
-  let { Dmn_workload.Freq.fr; fw } =
-    Dmn_workload.Freq.mix rng ~objects ~n:nn ~total:(6 * nn) ~write_fraction:0.2
+  let solve_configs =
+    [ ("geometric", 512, 256, 90210); ("grid", 512, 256, 90211) ]
+    @ (if smoke then [] else [ ("geometric", 2048, 1024, 90212) ])
   in
-  let inst = I.of_graph g ~cs ~fr ~fw in
-  let serial =
-    Dmn_core.Placement.make
-      (Array.init (I.objects inst) (fun x -> A.place_object inst ~x))
-  in
-  let tbl = Tbl.create [ "domains"; "solve s"; "speedup"; "= serial" ] in
-  let t1 = ref 0.0 in
+  let gate_times = ref None in
   List.iter
-    (fun domains ->
-      let p, dt =
-        Pool.with_pool ~domains (fun pool -> time_it (fun () -> A.solve ~pool inst))
+    (fun (topo, n, objects, seed) ->
+      Printf.printf "building %s n=%d instance (%d objects)...\n%!" topo n objects;
+      let _, inst = build_instance ~topo ~n ~objects ~seed in
+      let nn = I.n inst in
+      let serial, t_serial =
+        time_it (fun () ->
+            Dmn_core.Placement.make
+              (Array.init (I.objects inst) (fun x -> A.place_object ~config inst ~x)))
       in
-      if domains = 1 then t1 := dt;
-      let same =
-        List.init (I.objects inst) (fun x ->
-            Dmn_core.Placement.copies p ~x = Dmn_core.Placement.copies serial ~x)
-        |> List.for_all Fun.id
+      let tbl = Tbl.create [ "domains"; "chunks"; "solve s"; "speedup"; "= serial" ] in
+      let t1 = ref 0.0 in
+      let times =
+        List.map
+          (fun domains ->
+            Pool.with_pool ~domains (fun pool ->
+                Pool.reset_stats pool;
+                let chunks, chunk_size = Pool.chunk_plan pool (I.objects inst) in
+                let p, dt = time_it (fun () -> A.solve ~config ~pool inst) in
+                let stats = Pool.stats pool in
+                if domains = 1 then t1 := dt;
+                let same =
+                  List.init (I.objects inst) (fun x ->
+                      Dmn_core.Placement.copies p ~x = Dmn_core.Placement.copies serial ~x)
+                  |> List.for_all Fun.id
+                in
+                if not same then failwith "scale: parallel placement diverged from serial";
+                let speedup = !t1 /. dt in
+                Tbl.add_row tbl
+                  [ string_of_int domains; string_of_int chunks; Printf.sprintf "%.4f" dt;
+                    Tbl.fl2 speedup; string_of_bool same ];
+                record
+                  [
+                    ("name", `S "solve-scaling"); ("topology", `S topo); ("n", `I nn);
+                    ("objects", `I objects); ("solver", `S (A.solver_name config.A.solver));
+                    ("domains", `I domains); ("chunks", `I chunks);
+                    ("chunk_size", `I chunk_size); ("cores_available", `I cores);
+                    ("serial_wall_s", `F t_serial); ("wall_s", `F dt);
+                    ("speedup_vs_1_domain", `F speedup); ("matches_serial", `B same);
+                    ("pool_chunks_claimed", `I stats.Pool.chunks_claimed);
+                    ("pool_tasks_run", `I stats.Pool.tasks_run);
+                  ];
+                dt))
+          domain_counts
       in
-      if not same then failwith "scale: parallel placement diverged from serial";
-      let speedup = !t1 /. dt in
-      Tbl.add_row tbl
-        [ string_of_int domains; Printf.sprintf "%.4f" dt; Tbl.fl2 speedup;
-          string_of_bool same ];
+      (* every config overwrites: the last (largest) one feeds the gate *)
+      (match times with
+      | [ a; b; c ] -> gate_times := Some (topo, nn, objects, a, b, c)
+      | _ -> assert false);
+      Tbl.print tbl)
+    solve_configs;
+  (* --- speedup gate on the largest configuration run --- *)
+  (match !gate_times with
+  | None -> ()
+  | Some (topo, n, objects, t1, t2, t4) ->
+      let s2 = t1 /. t2 and s4 = t1 /. t4 in
+      let enforced = cores >= 4 in
+      let pass = s2 >= 1.2 && s4 >= 2.0 in
       record
         [
-          ("name", `S "solve-scaling"); ("topology", `S "geometric"); ("n", `I nn);
-          ("objects", `I objects); ("domains", `I domains); ("wall_s", `F dt);
-          ("speedup_vs_1_domain", `F speedup); ("matches_serial", `B same);
-        ])
-    [ 1; 2; 4 ];
-  Tbl.print tbl;
+          ("name", `S "gate"); ("experiment", `S "solve-scaling"); ("topology", `S topo);
+          ("n", `I n); ("objects", `I objects); ("cores_available", `I cores);
+          ("speedup_2_domains", `F s2); ("threshold_2_domains", `F 1.2);
+          ("speedup_4_domains", `F s4); ("threshold_4_domains", `F 2.0);
+          ("enforced", `B enforced); ("pass", `B pass);
+        ];
+      Printf.printf "gate (%s n=%d, %d objects): 2 domains %.2fx (>= 1.2), 4 domains %.2fx (>= 2.0): %s%s\n"
+        topo n objects s2 s4
+        (if pass then "PASS" else "FAIL")
+        (if enforced then "" else Printf.sprintf " (advisory: only %d core(s) available)" cores);
+      if enforced && not pass then
+        failwith
+          (Printf.sprintf
+             "scale gate: speedup below threshold with %d cores (2 domains %.2fx, 4 domains %.2fx)"
+             cores s2 s4));
   (* --- B: metric-closure scaling --- *)
-  let cn = 256 in
-  let cg = Dmn_graph.Gen.random_geometric (Rng.create 777) cn 0.12 in
-  let tbl = Tbl.create [ "domains"; "closure s"; "speedup" ] in
-  let orig_domains = Pool.default_domains () in
-  let t1 = ref 0.0 in
+  let closure_configs =
+    [ ("grid", 512) ] @ (if smoke then [] else [ ("geometric", 2048) ])
+  in
   List.iter
-    (fun domains ->
-      Pool.set_default_domains domains;
-      let _, dt = time_it (fun () -> Dmn_paths.Metric.of_graph cg) in
-      if domains = 1 then t1 := dt;
-      let speedup = !t1 /. dt in
-      Tbl.add_row tbl [ string_of_int domains; Printf.sprintf "%.4f" dt; Tbl.fl2 speedup ];
-      record
-        [
-          ("name", `S "metric-closure-scaling"); ("n", `I cn); ("domains", `I domains);
-          ("wall_s", `F dt); ("speedup_vs_1_domain", `F speedup);
-        ])
-    [ 1; 2; 4 ];
-  Pool.set_default_domains orig_domains;
-  Tbl.print tbl;
+    (fun (topo, cn) ->
+      let rng = Rng.create (cn + 777) in
+      let cg =
+        match topo with
+        | "geometric" -> Dmn_graph.Gen.random_geometric rng cn (if cn >= 2048 then 0.05 else 0.09)
+        | _ ->
+            let rows = int_of_float (sqrt (float_of_int cn /. 2.0)) in
+            Dmn_graph.Gen.grid rows (cn / rows)
+      in
+      let nn = Dmn_graph.Wgraph.n cg in
+      let reference = ref [||] in
+      let tbl = Tbl.create [ "domains"; "chunks"; "closure s"; "speedup"; "= serial" ] in
+      let t1 = ref 0.0 in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              Pool.reset_stats pool;
+              let chunks, chunk_size = Pool.chunk_plan pool nn in
+              let m, dt = time_it (fun () -> Dmn_paths.Metric.of_graph ~pool cg) in
+              let stats = Pool.stats pool in
+              let flat = Dmn_paths.Metric.to_matrix m in
+              if domains = 1 then begin
+                t1 := dt;
+                reference := flat
+              end;
+              let same = flat = !reference in
+              if not same then failwith "scale: parallel closure diverged from serial";
+              let speedup = !t1 /. dt in
+              Tbl.add_row tbl
+                [ string_of_int domains; string_of_int chunks; Printf.sprintf "%.4f" dt;
+                  Tbl.fl2 speedup; string_of_bool same ];
+              record
+                [
+                  ("name", `S "metric-closure-scaling"); ("topology", `S topo); ("n", `I nn);
+                  ("domains", `I domains); ("chunks", `I chunks); ("chunk_size", `I chunk_size);
+                  ("cores_available", `I cores); ("wall_s", `F dt);
+                  ("speedup_vs_1_domain", `F speedup); ("matches_serial", `B same);
+                  ("pool_chunks_claimed", `I stats.Pool.chunks_claimed);
+                  ("pool_tasks_run", `I stats.Pool.tasks_run);
+                ]))
+        domain_counts;
+      Tbl.print tbl)
+    closure_configs;
   (* --- C: radii with shared profile cache vs uncached seed compute --- *)
+  let n = 64 and objects = 16 in
+  let _, inst = build_instance ~topo:"geometric" ~n ~objects ~seed:90210 in
+  let nn = I.n inst in
   let reps = 3 in
   let time_radii compute =
     let _, dt =

@@ -40,11 +40,17 @@ let phase1 ~config inst ~x =
         invalid_arg "Approx.phase1: every node has infinite storage cost, no copy can be placed";
       [ !best ]
 
-let phase2 ~config inst ~x radii copies =
-  ignore x;
+(* Reusable per-object buffers: radii profile workspace plus the
+   nearest-copy distance array of phase 2. One scratch serves one
+   domain at a time; chunked solves allocate one per chunk. *)
+type scratch = { ws : Radii.workspace; near : float array }
+
+let scratch inst = { ws = Radii.workspace inst; near = Array.make (max 1 (Instance.n inst)) 0.0 }
+
+let phase2_into ~config inst radii copies dist =
   let m = Instance.metric inst in
   let n = Instance.n inst in
-  let dist = Metric.nearest_dists m copies in
+  Metric.nearest_dists_into m copies dist;
   let result = ref (List.rev copies) in
   for v = 0 to n - 1 do
     let bound = config.phase2_factor *. radii.(v).Radii.rs in
@@ -58,6 +64,10 @@ let phase2 ~config inst ~x radii copies =
     end
   done;
   List.rev !result
+
+let phase2 ~config inst ~x radii copies =
+  ignore x;
+  phase2_into ~config inst radii copies (Array.make (max 1 (Instance.n inst)) 0.0)
 
 let phase3 ~config inst radii copies =
   let m = Instance.metric inst in
@@ -80,18 +90,27 @@ let phase3 ~config inst radii copies =
     holders;
   Array.to_list holders |> List.filter (Hashtbl.mem alive) |> List.sort compare
 
-let place_object ?(config = default_config) inst ~x =
+let place_object ?(config = default_config) ?scratch:s inst ~x =
+  let s = match s with Some s -> s | None -> scratch inst in
   let copies = phase1 ~config inst ~x in
-  let radii = Radii.compute inst ~x in
-  let copies = if config.run_phase2 then phase2 ~config inst ~x radii copies else copies in
+  let radii = Radii.compute_ws s.ws inst ~x in
+  let copies = if config.run_phase2 then phase2_into ~config inst radii copies s.near else copies in
   let copies = if config.run_phase3 then phase3 ~config inst radii copies else copies in
   List.sort_uniq compare copies
 
-(* Objects are independent, so the pipeline runs one pool task per
-   object. Each task writes a private result slot, so the placement is
-   bit-identical to the sequential map for any pool size. *)
-let solve ?(config = default_config) ?pool inst =
+(* Objects are independent, so the pipeline runs contiguous chunks of
+   objects per pool claim, one scratch per chunk. Each object writes a
+   private result slot and rolls the per-object "pool.task" fault coin,
+   so the placement — and any injected failure — is bit-identical to
+   the sequential map for any pool size or chunking. *)
+let solve ?(config = default_config) ?pool ?chunks inst =
   let pool = match pool with Some p -> p | None -> Dmn_prelude.Pool.default () in
-  Placement.make
-    (Dmn_prelude.Pool.parallel_init pool (Instance.objects inst) (fun x ->
-         place_object ~config inst ~x))
+  let k = Instance.objects inst in
+  let slots = Array.make k [] in
+  Dmn_prelude.Pool.parallel_chunks pool ?chunks k (fun lo hi ->
+      let s = scratch inst in
+      for x = lo to hi - 1 do
+        Dmn_prelude.Fault.check_at "pool.task" x;
+        slots.(x) <- place_object ~config ~scratch:s inst ~x
+      done);
+  Placement.make slots

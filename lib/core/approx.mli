@@ -45,12 +45,25 @@ val phase2 : config:config -> Instance.t -> x:int -> Radii.node_radii array -> i
     radius deletion scan; never empties the copy set. *)
 val phase3 : config:config -> Instance.t -> Radii.node_radii array -> int list -> int list
 
-(** [place_object ?config inst ~x] runs all three phases. *)
-val place_object : ?config:config -> Instance.t -> x:int -> int list
+(** Reusable per-object buffers (radii profile workspace + phase-2
+    nearest-copy distances). One scratch serves one domain at a time. *)
+type scratch
 
-(** [solve ?config ?pool inst] places every object independently, one
-    pool task per object ([pool] defaults to
-    {!Dmn_prelude.Pool.default}). Tasks write disjoint result slots, so
-    the placement is bit-identical to the sequential per-object map for
-    every pool size. *)
-val solve : ?config:config -> ?pool:Dmn_prelude.Pool.t -> Instance.t -> Placement.t
+(** [scratch inst] allocates buffers sized for [inst]. *)
+val scratch : Instance.t -> scratch
+
+(** [place_object ?config ?scratch inst ~x] runs all three phases.
+    Passing [?scratch] reuses caller-owned buffers across objects
+    (bit-identical results); omitting it allocates a fresh scratch. *)
+val place_object : ?config:config -> ?scratch:scratch -> Instance.t -> x:int -> int list
+
+(** [solve ?config ?pool ?chunks inst] places every object
+    independently, processed in contiguous chunks over the pool
+    ([pool] defaults to {!Dmn_prelude.Pool.default}; [chunks] tunes the
+    batch count, see {!Dmn_prelude.Pool.parallel_chunks}). Each chunk
+    reuses one scratch and each object writes a disjoint result slot
+    and rolls the per-object ["pool.task"] fault coin, so the placement
+    — and any injected failure — is bit-identical to the sequential
+    per-object map for every pool size and chunking. *)
+val solve :
+  ?config:config -> ?pool:Dmn_prelude.Pool.t -> ?chunks:int -> Instance.t -> Placement.t

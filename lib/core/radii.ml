@@ -4,23 +4,50 @@ type node_radii = { rw : float; rs : float; zs : int }
 
 (* Sorted request-distance profile of node v: distances ascending with
    multiplicities, plus prefix sums.  S z = sum of the z smallest
-   request distances; infinity once z exceeds the request count. *)
-type profile = { counts : int array; cum_count : int array; cum_dist : float array; dists : float array }
+   request distances; infinity once z exceeds the request count.
+   Only the first [k] entries (k + 1 for the prefix sums) are
+   meaningful: the arrays may be oversized workspace buffers. *)
+type profile = {
+  k : int;
+  counts : int array;
+  cum_count : int array;
+  cum_dist : float array;
+  dists : float array;
+}
+
+(* Reusable profile buffers, sized for [n] nodes. One workspace serves
+   one domain at a time; chunked solves allocate one per chunk instead
+   of four arrays per node per object. *)
+type workspace = {
+  w_counts : int array;
+  w_cum_count : int array;
+  w_cum_dist : float array;
+  w_dists : float array;
+}
+
+let workspace_n n =
+  {
+    w_counts = Array.make (max 1 n) 0;
+    w_cum_count = Array.make (n + 1) 0;
+    w_cum_dist = Array.make (n + 1) 0.0;
+    w_dists = Array.make (max 1 n) 0.0;
+  }
+
+let workspace inst = workspace_n (Instance.n inst)
 
 (* The ascending order of d(v, .) is object-independent, so the sort is
    hoisted into the instance's Profile_cache and building a per-object
-   profile is a linear scan over the cached order. *)
-let profile inst ~x v =
+   profile is a single linear scan over the cached order into the
+   workspace. *)
+let profile_ws ws inst ~x v =
   let m = Instance.metric inst in
   let n = Instance.n inst in
+  if Array.length ws.w_cum_count < n + 1 then invalid_arg "Radii.profile_ws: workspace too small";
   let order = Instance.profile_order inst v in
-  let k = ref 0 in
-  for i = 0 to n - 1 do
-    if Instance.requests inst ~x order.(i) > 0 then incr k
-  done;
-  let k = !k in
-  let counts = Array.make k 0 and dists = Array.make k 0.0 in
-  let cum_count = Array.make (k + 1) 0 and cum_dist = Array.make (k + 1) 0.0 in
+  let counts = ws.w_counts and dists = ws.w_dists in
+  let cum_count = ws.w_cum_count and cum_dist = ws.w_cum_dist in
+  cum_count.(0) <- 0;
+  cum_dist.(0) <- 0.0;
   let j = ref 0 in
   for i = 0 to n - 1 do
     let u = order.(i) in
@@ -35,7 +62,9 @@ let profile inst ~x v =
       incr j
     end
   done;
-  { counts; cum_count; cum_dist; dists }
+  { k = !j; counts; cum_count; cum_dist; dists }
+
+let profile inst ~x v = profile_ws (workspace inst) inst ~x v
 
 (* Uncached per-call sort, kept as the validation/bench reference. *)
 let reference_profile inst ~x v =
@@ -58,12 +87,12 @@ let reference_profile inst ~x v =
       cum_count.(i + 1) <- cum_count.(i) + c;
       cum_dist.(i + 1) <- cum_dist.(i) +. (float_of_int c *. d))
     arr;
-  { counts; cum_count; cum_dist; dists }
+  { k; counts; cum_count; cum_dist; dists }
 
 let s_of_profile p z =
   if z <= 0 then 0.0
   else begin
-    let k = Array.length p.dists in
+    let k = p.k in
     let total = p.cum_count.(k) in
     if z > total then infinity
     else begin
@@ -124,17 +153,19 @@ let compute_with profile inst ~x =
         { rw; rs; zs }
       end)
 
-let compute inst ~x = compute_with profile inst ~x
+let compute_ws ws inst ~x = compute_with (profile_ws ws) inst ~x
+let compute inst ~x = compute_ws (workspace inst) inst ~x
 let compute_reference inst ~x = compute_with reference_profile inst ~x
 
 let check inst ~x r =
   let n = Instance.n inst in
   let w = Instance.total_writes inst ~x in
   let total = Instance.total_requests inst ~x in
+  let ws = workspace inst in
   let exception Bad of string in
   try
     for v = 0 to n - 1 do
-      let p = profile inst ~x v in
+      let p = profile_ws ws inst ~x v in
       let rw_expect = if w = 0 then 0.0 else avg_of_profile p w in
       if not (Dmn_prelude.Floatx.approx r.(v).rw rw_expect) then
         raise (Bad (Printf.sprintf "node %d: rw mismatch" v));

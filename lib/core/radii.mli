@@ -34,10 +34,24 @@ val avg_dist : Instance.t -> x:int -> int -> int -> float
     the [z] closest requests ([S(z)] in the analysis). *)
 val prefix_sum : Instance.t -> x:int -> int -> int -> float
 
+(** Reusable profile buffers for {!compute_ws}: four arrays sized for
+    the instance, reset implicitly per node. One workspace serves one
+    domain at a time. *)
+type workspace
+
+(** [workspace inst] allocates buffers sized for [inst]. *)
+val workspace : Instance.t -> workspace
+
 (** [compute inst ~x] evaluates radii for every node. [O(n^2)] per
     object: the per-node distance sort is shared across objects via the
     instance's {!Profile_cache}. *)
 val compute : Instance.t -> x:int -> node_radii array
+
+(** [compute_ws ws inst ~x] is {!compute} using caller-owned buffers,
+    the allocation-free variant for chunked solves: bit-identical
+    results, no per-node array churn.
+    @raise Invalid_argument if [ws] is smaller than [inst]. *)
+val compute_ws : workspace -> Instance.t -> x:int -> node_radii array
 
 (** [compute_reference inst ~x] is the uncached [O(n^2 log n)] seed
     implementation (one full sort per node per object), kept as the

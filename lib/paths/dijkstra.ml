@@ -2,23 +2,21 @@ open Dmn_graph
 
 type result = { dist : float array; parent : int array; source : int array }
 
-let multi g srcs =
-  if srcs = [] then invalid_arg "Dijkstra.multi: no sources";
+(* Relax straight off the flat CSR arrays: the all-pairs closure runs
+   one of these loops per node, and the indirection-free row walk is
+   what keeps it memory-bound rather than pointer-bound. *)
+let run_core g ~dist ~parent ~source ~heap srcs =
   let n = Wgraph.n g in
-  let dist = Array.make n infinity in
-  let parent = Array.make n (-1) in
-  let source = Array.make n (-1) in
-  let heap = Idx_heap.create n in
   List.iter
     (fun s ->
-      if s < 0 || s >= n then invalid_arg "Dijkstra.multi: source out of range";
+      if s < 0 || s >= n then begin
+        Idx_heap.clear heap;
+        invalid_arg "Dijkstra.multi: source out of range"
+      end;
       dist.(s) <- 0.0;
       source.(s) <- s;
       Idx_heap.insert_or_decrease heap s 0.0)
     srcs;
-  (* Relax straight off the flat CSR arrays: the all-pairs closure runs
-     one of these loops per node, and the indirection-free row walk is
-     what keeps it memory-bound rather than pointer-bound. *)
   let xadj, anodes, aw = Wgraph.csr g in
   while not (Idx_heap.is_empty heap) do
     let v, d = Idx_heap.pop_min heap in
@@ -34,8 +32,48 @@ let multi g srcs =
         Idx_heap.insert_or_decrease heap u nd
       end
     done
-  done;
+  done
+
+let multi g srcs =
+  if srcs = [] then invalid_arg "Dijkstra.multi: no sources";
+  let n = Wgraph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let source = Array.make n (-1) in
+  let heap = Idx_heap.create n in
+  run_core g ~dist ~parent ~source ~heap srcs;
   { dist; parent; source }
+
+(* Reusable per-domain workspace for batched closures: the arrays are
+   reset in O(n) per run instead of reallocated, and the heap drains
+   itself. *)
+type scratch = {
+  s_dist : float array;
+  s_parent : int array;
+  s_source : int array;
+  s_heap : Idx_heap.t;
+  s_n : int;
+}
+
+let scratch n =
+  if n < 0 then invalid_arg "Dijkstra.scratch: negative size";
+  {
+    s_dist = Array.make (max 1 n) infinity;
+    s_parent = Array.make (max 1 n) (-1);
+    s_source = Array.make (max 1 n) (-1);
+    s_heap = Idx_heap.create n;
+    s_n = n;
+  }
+
+let run_scratch s g src =
+  let n = Wgraph.n g in
+  if n > s.s_n then invalid_arg "Dijkstra.run_scratch: scratch too small";
+  Array.fill s.s_dist 0 n infinity;
+  Array.fill s.s_parent 0 n (-1);
+  Array.fill s.s_source 0 n (-1);
+  Idx_heap.clear s.s_heap;
+  run_core g ~dist:s.s_dist ~parent:s.s_parent ~source:s.s_source ~heap:s.s_heap [ src ];
+  s.s_dist
 
 let run g src = multi g [ src ]
 

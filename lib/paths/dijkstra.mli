@@ -18,6 +18,24 @@ val run : Wgraph.t -> int -> result
     @raise Invalid_argument if [srcs] is empty. *)
 val multi : Wgraph.t -> int list -> result
 
+(** Reusable single-source workspace: one distance/parent/source triple
+    plus an indexed heap, reset in O(n) per run instead of reallocated.
+    One scratch serves one domain at a time — the chunked all-pairs
+    closure allocates one per chunk. *)
+type scratch
+
+(** [scratch n] supports graphs with at most [n] nodes.
+    @raise Invalid_argument if [n < 0]. *)
+val scratch : int -> scratch
+
+(** [run_scratch s g src] is [(run g src).dist], computed into [s]'s
+    buffers. The returned array is {e borrowed} from [s]: it is
+    overwritten by the next [run_scratch] on the same scratch, so
+    callers must copy what they keep.
+    @raise Invalid_argument if [g] has more nodes than [s] supports or
+    [src] is out of range. *)
+val run_scratch : scratch -> Wgraph.t -> int -> float array
+
 (** [path r v] reconstructs the node sequence from the serving source to
     [v], inclusive. @raise Invalid_argument if [v] is unreachable. *)
 val path : result -> int -> int list

@@ -69,6 +69,12 @@ let pop_min h =
   if h.len > 0 then sift_down h 0;
   (k, p)
 
+let clear h =
+  for i = 0 to h.len - 1 do
+    h.pos.(h.heap.(i)) <- -1
+  done;
+  h.len <- 0
+
 let priority h k =
   if not (mem h k) then invalid_arg "Idx_heap.priority: key absent";
   h.prio.(k)

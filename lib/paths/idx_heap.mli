@@ -25,6 +25,11 @@ val insert_or_decrease : t -> int -> float -> unit
     @raise Not_found on an empty heap. *)
 val pop_min : t -> int * float
 
+(** [clear h] removes every key in O(size). A fully drained heap is
+    already empty; this is the reset for reusing one heap across many
+    Dijkstra runs even after an abandoned run. *)
+val clear : t -> unit
+
 (** [priority h k] is [k]'s current priority.
     @raise Invalid_argument if absent. *)
 val priority : t -> int -> float

@@ -25,19 +25,29 @@ let of_rows n rows =
   { n; flat }
 
 (* One Dijkstra per source row; rows are independent, so fan out over
-   the domain pool (bit-identical to the sequential closure). *)
-let of_graph g =
+   the domain pool in chunked batches (bit-identical to the sequential
+   closure). Each chunk reuses one Dijkstra scratch and writes its rows
+   straight into the flat storage — no per-row intermediate arrays. *)
+let of_graph ?pool ?chunks g =
   let n = Wgraph.n g in
-  let row v =
-    let r = Dijkstra.run g v in
-    Array.iteri
-      (fun u dist ->
-        if dist = infinity then
-          invalid_arg (Printf.sprintf "Metric.of_graph: node %d unreachable from %d" u v))
-      r.Dijkstra.dist;
-    r.Dijkstra.dist
-  in
-  of_rows n (Pool.parallel_init (Pool.default ()) n row)
+  let flat = Array.make (n * n) 0.0 in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  Pool.parallel_chunks pool ?chunks n (fun lo hi ->
+      let s = Dijkstra.scratch n in
+      for v = lo to hi - 1 do
+        (* Same per-row injection point as [Pool.parallel_init]: fault
+           outcomes stay independent of the chunking and domain count. *)
+        Fault.check_at "pool.task" v;
+        let dist = Dijkstra.run_scratch s g v in
+        let base = v * n in
+        for u = 0 to n - 1 do
+          let d = Array.unsafe_get dist u in
+          if d = infinity then
+            invalid_arg (Printf.sprintf "Metric.of_graph: node %d unreachable from %d" u v);
+          Array.unsafe_set flat (base + u) d
+        done
+      done);
+  { n; flat }
 
 let of_graph_floyd g =
   let n = Wgraph.n g in
@@ -126,11 +136,18 @@ let scale c m =
 
 let to_matrix m = Array.init m.n (fun v -> Array.sub m.flat (v * m.n) m.n)
 
-let nearest_dists m nodes =
+let nearest_dists_into m nodes out =
   if nodes = [] then invalid_arg "Metric.nearest_dists: empty node list";
-  Array.init m.n (fun v ->
-      let base = v * m.n in
-      List.fold_left (fun acc u -> Float.min acc m.flat.(base + u)) infinity nodes)
+  if Array.length out < m.n then invalid_arg "Metric.nearest_dists_into: buffer too small";
+  for v = 0 to m.n - 1 do
+    let base = v * m.n in
+    out.(v) <- List.fold_left (fun acc u -> Float.min acc m.flat.(base + u)) infinity nodes
+  done
+
+let nearest_dists m nodes =
+  let out = Array.make (max 1 m.n) 0.0 in
+  nearest_dists_into m nodes out;
+  if Array.length out = m.n then out else [||]
 
 let nearest m v nodes =
   match nodes with

@@ -31,10 +31,15 @@ val row : t -> int -> row
     must be in [0, size m). This is the serve path's inner read. *)
 val row_get : row -> int -> float
 
-(** [of_graph g] is the shortest-path closure computed with one Dijkstra
-    per node, fanned out over {!Dmn_prelude.Pool.default}; [g] must be
-    connected. *)
-val of_graph : Wgraph.t -> t
+(** [of_graph ?pool ?chunks g] is the shortest-path closure computed
+    with one Dijkstra per node, fanned out in chunked batches over
+    [?pool] (default {!Dmn_prelude.Pool.default}); each chunk reuses one
+    Dijkstra scratch and writes its rows directly into the flat storage.
+    [?chunks] tunes the batch count (see
+    {!Dmn_prelude.Pool.parallel_chunks}). [g] must be connected. The
+    result is bit-identical to the sequential closure at any domain or
+    chunk count. *)
+val of_graph : ?pool:Dmn_prelude.Pool.t -> ?chunks:int -> Wgraph.t -> t
 
 (** [of_graph_floyd g] computes the same closure with Floyd–Warshall
     (used to cross-check the Dijkstra closure in tests). *)
@@ -67,6 +72,13 @@ val nearest : t -> int -> int list -> int * float
     primitive of cost evaluation and phase 2.
     @raise Invalid_argument on an empty list. *)
 val nearest_dists : t -> int list -> float array
+
+(** [nearest_dists_into m nodes out] is {!nearest_dists} written into
+    the first [size m] cells of a caller-owned buffer — the
+    allocation-free variant for scratch-space reuse in chunked solves.
+    @raise Invalid_argument on an empty list or a buffer shorter than
+    [size m]. *)
+val nearest_dists_into : t -> int list -> float array -> unit
 
 (** [is_metric mat] checks the {!of_matrix} requirements and returns an
     explanation on failure. *)

@@ -5,11 +5,21 @@
     result slot, so a pool run returns results {e bit-identical} to the
     sequential [Array.init] order no matter how tasks are scheduled.
 
+    Execution is {e batched}: an index range is split into contiguous
+    chunks (about [4 x domains] by default) claimed off a single atomic
+    cursor, so each domain grabs whole batches and dispatch overhead is
+    paid per chunk, not per element. All per-element entry points
+    ({!parallel_init}, {!parallel_map}, {!parallel_iter},
+    {!supervised_init}) are expressed on top of {!parallel_chunks};
+    fault-injection coins and supervision salts stay indexed per
+    {e element}, so fault outcomes are independent of the chunking and
+    the domain count.
+
     Built directly on [Domain]/[Mutex]/[Condition] (OCaml >= 5.0); one
     job runs at a time and the submitting domain participates in the
-    work. Pools are driven from one domain at a time; a task that calls
-    back into a pool (any pool) runs its sub-tasks sequentially rather
-    than deadlocking. *)
+    work. Pools are driven from one domain at a time; a chunk body that
+    calls back into a pool (any pool) runs its sub-tasks sequentially
+    rather than deadlocking. *)
 
 type t
 
@@ -24,21 +34,61 @@ val size : t -> int
     on it run nothing. Idempotent. *)
 val shutdown : t -> unit
 
+(** [parallel_chunks t ?chunks n body] splits [0, n) into [?chunks]
+    (default about [4 x size t], clamped to [1, n]) contiguous chunks
+    and runs [body lo hi] once per chunk over the pool, each chunk
+    claimed by exactly one domain off an atomic cursor. Bodies must
+    write disjoint state. Empty ranges return immediately; singleton
+    ranges and single-domain pools run [body 0 n] directly on the
+    submitting domain with no pool round-trip. The first exception
+    raised by a chunk abandons unclaimed chunks and is re-raised in the
+    submitter once in-flight chunks drain.
+
+    [parallel_chunks] rolls no fault coins itself — bodies that need
+    the ["pool.task"] injection point roll it per element (as
+    {!parallel_init} does), keeping fault outcomes independent of the
+    chunk count.
+    @raise Invalid_argument if [n < 0] or [chunks < 1]. *)
+val parallel_chunks : t -> ?chunks:int -> int -> (int -> int -> unit) -> unit
+
+(** [chunk_plan t ?chunks n] is the [(chunks, chunk_size)] split that
+    {!parallel_chunks} would use for a range of [n] elements: [(0, 0)]
+    for an empty range, [(1, n)] when the range would run sequentially
+    on the submitting domain. *)
+val chunk_plan : t -> ?chunks:int -> int -> int * int
+
 (** [parallel_init t n f] is [Array.init n f] with the calls distributed
-    over the pool. The first exception raised by a task is re-raised
-    after in-flight tasks drain; remaining unclaimed tasks are skipped.
+    over the pool in chunks. The first exception raised by a task is
+    re-raised after in-flight chunks drain; remaining unclaimed tasks
+    are skipped.
 
     Task execution carries the {!Fault} injection point ["pool.task"],
     salted with the task index: under fault injection a given seed
-    fails the same tasks regardless of scheduling or domain count. *)
+    fails the same tasks regardless of scheduling, chunking, or domain
+    count. *)
 val parallel_init : t -> int -> (int -> 'a) -> 'a array
 
-(** [parallel_map t f a] is [Array.map f a] over the pool. *)
+(** [parallel_map t f a] is [Array.map f a] over the pool. Empty and
+    singleton arrays short-circuit on the submitting domain. *)
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [parallel_iter t n f] runs [f 0 .. f (n-1)] for side effects. Tasks
     must write disjoint state. *)
 val parallel_iter : t -> int -> (int -> unit) -> unit
+
+(** {2 Utilization counters}
+
+    Cumulative per-pool dispatch counters, updated once per executed
+    chunk: [chunks_claimed] counts chunk claims (including sequential
+    short-circuits, which count as one chunk) and [tasks_run] counts
+    elements covered by those chunks. Their ratio is the realized batch
+    size — the observable evidence that dispatch is amortized. Chunks
+    abandoned by a failure are not counted. *)
+
+type stats = { chunks_claimed : int; tasks_run : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit
 
 (** [with_pool ~domains f] runs [f] with a fresh pool and always shuts
     it down. *)

@@ -155,6 +155,52 @@ let solve_under_injection () =
             Alcotest.fail "rate 0.0: differs from fault-free serial baseline"
       | exception Err.Error e -> Alcotest.failf "rate 0.0 injected: %s" (Err.to_string e))
 
+(* ---------- chunking independence ---------- *)
+
+(* Fault coins are salted per element, not per chunk: at 10% injection
+   the outcome class of a chunked solve must not depend on the chunk
+   count or the domain count, and successes stay bit-identical to the
+   fault-free serial baseline. *)
+let chunking_preserves_fault_outcomes () =
+  let rng = Rng.create 535353 in
+  let inst = Util.random_graph_instance ~objects:12 rng 12 in
+  let baseline =
+    P.make (Array.init (I.objects inst) (fun x -> A.place_object inst ~x))
+  in
+  let placements_equal a b =
+    P.objects a = P.objects b
+    && List.for_all (fun x -> P.copies a ~x = P.copies b ~x) (List.init (P.objects a) Fun.id)
+  in
+  List.iter
+    (fun trial ->
+      let seed = base_seed + (97 * trial) in
+      let classes =
+        List.concat_map
+          (fun domains ->
+            Pool.with_pool ~domains (fun pool ->
+                List.map
+                  (fun chunks ->
+                    match
+                      with_faults ~seed ~rate:0.1 ~points:[ "pool.task" ] (fun () ->
+                          A.solve ~pool ~chunks inst)
+                    with
+                    | p ->
+                        if not (placements_equal p baseline) then
+                          Alcotest.failf
+                            "trial %d domains %d chunks %d: differs from fault-free serial"
+                            trial domains chunks;
+                        `Complete
+                    | exception Err.Error e when is_fault e -> `Fail)
+                  [ 1; 2; 5; 12 ]))
+          [ 1; 2; 4 ]
+      in
+      match classes with
+      | first :: rest ->
+          if not (List.for_all (fun c -> c = first) rest) then
+            Alcotest.failf "trial %d: outcome class depends on chunking or domain count" trial
+      | [] -> assert false)
+    (List.init 6 Fun.id)
+
 (* ---------- crash-safe writes under injection ---------- *)
 
 let in_dir f =
@@ -245,6 +291,7 @@ let suite =
     Alcotest.test_case "fault coin deterministic" `Quick coin_is_deterministic;
     Alcotest.test_case "pool chaos (1/2/4 domains)" `Quick pool_chaos;
     Alcotest.test_case "solve under 10% injection" `Slow solve_under_injection;
+    Alcotest.test_case "chunking preserves fault outcomes" `Slow chunking_preserves_fault_outcomes;
     Alcotest.test_case "atomic write per injection point" `Quick write_atomic_per_point;
     Alcotest.test_case "randomized write chaos" `Quick write_chaos_randomized;
     Alcotest.test_case "read injection" `Quick read_injection;

@@ -61,6 +61,111 @@ let pool_rejects_bad_sizes () =
     (Invalid_argument "Pool.create: need at least one domain") (fun () ->
       ignore (Pool.create ~domains:0))
 
+(* ---------- chunked execution ---------- *)
+
+let chunks_cover_range_once () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun chunks ->
+              let visits = Array.make (max 1 n) 0 in
+              Pool.parallel_chunks pool ~chunks n (fun lo hi ->
+                  if lo < 0 || hi > n || lo >= hi then
+                    Alcotest.failf "bad chunk [%d, %d) for n=%d" lo hi n;
+                  for i = lo to hi - 1 do
+                    visits.(i) <- visits.(i) + 1
+                  done);
+              for i = 0 to n - 1 do
+                if visits.(i) <> 1 then
+                  Alcotest.failf "n=%d chunks=%d: index %d visited %d times" n chunks i
+                    visits.(i)
+              done)
+            [ 1; 2; 3; 7; 16; 64 ])
+        [ 0; 1; 2; 3; 7; 64; 257 ])
+
+let chunks_reject_bad_args () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "negative n"
+        (Invalid_argument "Pool.parallel_chunks: negative length") (fun () ->
+          Pool.parallel_chunks pool (-1) (fun _ _ -> ()));
+      Alcotest.check_raises "zero chunks"
+        (Invalid_argument "Pool.parallel_chunks: chunks must be >= 1") (fun () ->
+          Pool.parallel_chunks pool ~chunks:0 10 (fun _ _ -> ())))
+
+(* Empty and singleton inputs must not round-trip through the pool: the
+   body runs on the submitting domain (or not at all). *)
+let empty_and_singleton_short_circuit () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let calls = ref 0 in
+      Pool.parallel_chunks pool 0 (fun _ _ -> incr calls);
+      Alcotest.(check int) "empty range runs nothing" 0 !calls;
+      let self = Domain.self () in
+      let ran_on = ref None in
+      Pool.parallel_chunks pool 1 (fun lo hi ->
+          ran_on := Some (Domain.self ());
+          Alcotest.(check (pair int int)) "whole range" (0, 1) (lo, hi));
+      Alcotest.(check bool) "singleton chunk on submitter" true (!ran_on = Some self);
+      Alcotest.(check (array int)) "map []" [||] (Pool.parallel_map pool (fun x -> x) [||]);
+      let where = ref None in
+      let got =
+        Pool.parallel_map pool
+          (fun x ->
+            where := Some (Domain.self ());
+            x * 7)
+          [| 6 |]
+      in
+      Alcotest.(check (array int)) "map singleton" [| 42 |] got;
+      Alcotest.(check bool) "singleton map on submitter" true (!where = Some self))
+
+let chunk_plan_reports_split () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (pair int int)) "empty" (0, 0) (Pool.chunk_plan pool 0);
+      Alcotest.(check (pair int int)) "singleton" (1, 1) (Pool.chunk_plan pool 1);
+      let chunks, chunk_size = Pool.chunk_plan pool 1000 in
+      Alcotest.(check int) "default 4x domains" 16 chunks;
+      Alcotest.(check int) "ceil split" 63 chunk_size;
+      Alcotest.(check (pair int int)) "explicit" (5, 20) (Pool.chunk_plan pool ~chunks:5 100);
+      (* more chunks than elements clamp to one element per chunk *)
+      Alcotest.(check (pair int int)) "clamped" (3, 1) (Pool.chunk_plan pool ~chunks:64 3));
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check (pair int int)) "1 domain is sequential" (1, 1000)
+        (Pool.chunk_plan pool 1000))
+
+let pool_stats_observe_batching () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Pool.reset_stats pool;
+      Pool.parallel_chunks pool ~chunks:8 64 (fun _ _ -> ());
+      let s = Pool.stats pool in
+      Alcotest.(check int) "chunks claimed" 8 s.Pool.chunks_claimed;
+      Alcotest.(check int) "tasks run" 64 s.Pool.tasks_run;
+      ignore (Pool.parallel_init pool 10 Fun.id);
+      let s = Pool.stats pool in
+      Alcotest.(check int) "tasks accumulate" 74 s.Pool.tasks_run;
+      Alcotest.(check bool) "chunks accumulate" true (s.Pool.chunks_claimed > 8);
+      Pool.reset_stats pool;
+      let s = Pool.stats pool in
+      Alcotest.(check int) "reset chunks" 0 s.Pool.chunks_claimed;
+      Alcotest.(check int) "reset tasks" 0 s.Pool.tasks_run)
+
+let qcheck_parallel_chunks =
+  QCheck.Test.make ~name:"Pool.parallel_chunks = sequential fold" ~count:80
+    QCheck.(triple (int_range 0 300) (int_range 1 24) (int_range 1 4))
+    (fun (n, chunks, domains) ->
+      Pool.with_pool ~domains (fun pool ->
+          (* disjoint per-index writes: any interleaving of correct
+             chunks reproduces the sequential fold exactly *)
+          let got = Array.make (max 1 n) 0 in
+          Pool.parallel_chunks pool ~chunks n (fun lo hi ->
+              for i = lo to hi - 1 do
+                got.(i) <- (i * i) + 1
+              done);
+          let expect = Array.make (max 1 n) 0 in
+          for i = 0 to n - 1 do
+            expect.(i) <- (i * i) + 1
+          done;
+          got = expect))
+
 (* ---------- profile cache vs seed radii ---------- *)
 
 let topologies rng n =
@@ -173,6 +278,56 @@ let parallel_solve_matches_serial () =
               (topologies rng 16)
           done))
     [ 1; 2; 4 ]
+
+let chunked_solve_matches_serial () =
+  let rng = Rng.create 3117 in
+  List.iter
+    (fun (name, g) ->
+      let inst = instance_on rng g ~objects:7 in
+      let serial = serial_solve inst in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              List.iter
+                (fun chunks ->
+                  placements_equal
+                    (Printf.sprintf "%s domains=%d chunks=%d" name domains chunks)
+                    serial
+                    (A.solve ~pool ~chunks inst))
+                [ 1; 2; 3; 7; 16 ]))
+        [ 1; 2; 4 ])
+    (topologies rng 16)
+
+(* One scratch reused across every object of several instances must
+   leave no state behind: results stay equal to the fresh-scratch run. *)
+let scratch_reuse_is_stateless () =
+  let rng = Rng.create 5150 in
+  List.iter
+    (fun (name, g) ->
+      let inst = instance_on rng g ~objects:4 in
+      let ws = R.workspace inst in
+      let scratch = A.scratch inst in
+      for x = 0 to I.objects inst - 1 do
+        let msg = Printf.sprintf "%s x=%d" name x in
+        radii_equal msg (R.compute_ws ws inst ~x) (R.compute inst ~x);
+        Alcotest.(check (list int))
+          (msg ^ " placement")
+          (A.place_object inst ~x)
+          (A.place_object ~scratch inst ~x)
+      done)
+    (topologies rng 16)
+
+let metric_nearest_dists_into_matches () =
+  let rng = Rng.create 808 in
+  let g = Gen.erdos_renyi rng 20 0.4 in
+  let m = Dmn_paths.Metric.of_graph g in
+  let copies = [ 2; 13 ] in
+  let out = Array.make 20 nan in
+  Dmn_paths.Metric.nearest_dists_into m copies out;
+  Alcotest.(check (array (float 0.0))) "into = fresh" (Dmn_paths.Metric.nearest_dists m copies) out;
+  Alcotest.check_raises "small buffer"
+    (Invalid_argument "Metric.nearest_dists_into: buffer too small") (fun () ->
+      Dmn_paths.Metric.nearest_dists_into m copies (Array.make 5 0.0))
 
 let parallel_metric_matches_floyd () =
   (* the parallel Dijkstra closure agrees with Floyd-Warshall *)
@@ -383,12 +538,20 @@ let suite =
     Alcotest.test_case "pool nested calls" `Quick pool_nested_calls_run_sequentially;
     Alcotest.test_case "pool single domain" `Quick pool_single_domain;
     Alcotest.test_case "pool rejects bad sizes" `Quick pool_rejects_bad_sizes;
+    Alcotest.test_case "chunks cover range once" `Quick chunks_cover_range_once;
+    Alcotest.test_case "chunks reject bad args" `Quick chunks_reject_bad_args;
+    Alcotest.test_case "empty/singleton short-circuit" `Quick empty_and_singleton_short_circuit;
+    Alcotest.test_case "chunk plan" `Quick chunk_plan_reports_split;
+    Alcotest.test_case "pool stats observe batching" `Quick pool_stats_observe_batching;
     Alcotest.test_case "cached radii = reference radii" `Quick cached_radii_equal_reference;
     Alcotest.test_case "cached radii pass check" `Quick cached_radii_pass_check;
     Alcotest.test_case "profile order sorted" `Quick profile_order_is_sorted;
     Alcotest.test_case "parallel solve = serial solve (1/2/4 domains)" `Slow
       parallel_solve_matches_serial;
     Alcotest.test_case "parallel closure = floyd" `Quick parallel_metric_matches_floyd;
+    Alcotest.test_case "chunked solve = serial solve" `Slow chunked_solve_matches_serial;
+    Alcotest.test_case "scratch reuse stateless" `Quick scratch_reuse_is_stateless;
+    Alcotest.test_case "metric nearest_dists_into" `Quick metric_nearest_dists_into_matches;
     Alcotest.test_case "trivial solver raises when unplaceable" `Quick
       trivial_solver_all_infinite_raises;
     Alcotest.test_case "trivial solver picks cheapest" `Quick trivial_solver_picks_cheapest_finite;
@@ -404,4 +567,5 @@ let suite =
     Alcotest.test_case "supervised rejects bad supervision" `Quick
       supervised_rejects_bad_supervision;
     Util.qtest qcheck_pool_init;
+    Util.qtest qcheck_parallel_chunks;
   ]
