@@ -994,6 +994,14 @@ let scale () =
 (* replay: streaming engine policies + cross-domain determinism        *)
 (* ------------------------------------------------------------------ *)
 
+(* The replay and tournament experiments both land in BENCH_replay.json;
+   their records accumulate here so running both (the default) keeps
+   both sets, while running either alone still writes a valid file. *)
+let replay_records = ref []
+
+let flush_replay_json () =
+  write_bench_json ~bench:"replay" "BENCH_replay.json" (List.rev !replay_records)
+
 let replay () =
   section "replay  streaming engine: policies on a drifting workload (tentpole PR 3)";
   print_endline
@@ -1006,8 +1014,7 @@ let replay () =
      BENCH_replay.json, as does a byte-identity check of the metrics\n\
      JSON across 1/2/4 domains.";
   let module En = Dmn_engine.Engine in
-  let records = ref [] in
-  let record r = records := r :: !records in
+  let record r = replay_records := r :: !replay_records in
   let rng = Rng.create 24601 in
   let n = 32 in
   let g = Dmn_graph.Gen.random_geometric rng n 0.35 in
@@ -1206,7 +1213,197 @@ let replay () =
       ("speedup", `F sp_speedup); ("identical_metrics_json", `B sp_identical);
       ("cached_faster", `B (t_cached < t_uncached));
     ];
-  write_bench_json ~bench:"replay" "BENCH_replay.json" (List.rev !records)
+  flush_replay_json ()
+
+(* ------------------------------------------------------------------ *)
+(* tournament: adversarial scenarios x policies under topology churn   *)
+(* ------------------------------------------------------------------ *)
+
+let tournament () =
+  section "tournament  adversarial scenarios x policies under topology churn (tentpole PR 7)";
+  print_endline
+    "Every policy replays the *same* adversarial stream per scenario:\n\
+     diurnal (demand cycles between node halves while the heaviest\n\
+     links congest), flash (one object spikes 100x), birthdeath (the\n\
+     active object set rotates), failures (nodes fail and recover\n\
+     under a moving hotspot — requests from dead nodes are dropped,\n\
+     objects whose whole copy set dies are emergency-re-replicated).\n\
+     Hard gates: resolve beats static on the churn scenarios, and a\n\
+     single-edge incremental metric repair beats a full of_graph\n\
+     recompute by >= 5x.";
+  let module En = Dmn_engine.Engine in
+  let module Ad = Dmn_workload.Adversary in
+  let record r = replay_records := r :: !replay_records in
+  let rng = Rng.create 8128 in
+  let n = 28 in
+  let g = Dmn_graph.Gen.random_geometric rng n 0.4 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let objects = 5 in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 10.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.zipf rng ~objects ~n:nn ~requests:(20 * nn) ~s:1.0 ~write_ratio:0.15
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let placement = A.solve inst in
+  let events = 6000 and epoch = 250 in
+  (* epoch (250) deliberately divides each scenario's phase length
+     (1000-1500): the re-solving policy adapts within a phase instead
+     of always optimizing for yesterday's demand *)
+  let wf = 0.15 in
+  let scenarios =
+    [
+      ( "diurnal",
+        true,
+        fun () -> Ad.diurnal (Rng.create 7) inst ~days:2 ~day_length:3000 ~write_fraction:wf );
+      ( "flash",
+        false,
+        fun () ->
+          Ad.flash_crowd (Rng.create 7) inst ~length:events ~spike_at:(events / 4)
+            ~spike_length:(events / 2) ~multiplier:100 ~write_fraction:wf );
+      ( "birthdeath",
+        false,
+        fun () -> Ad.birth_death (Rng.create 7) inst ~length:events ~write_fraction:wf );
+      ( "failures",
+        true,
+        fun () ->
+          Ad.failure_repair (Rng.create 7) inst ~phases:6 ~phase_length:1000 ~write_fraction:wf
+      );
+    ]
+  in
+  let tbl =
+    Tbl.create
+      [ "scenario"; "policy"; "serving"; "total"; "dropped"; "emerg"; "topo"; "wall s" ]
+  in
+  let totals = ref [] in
+  List.iter
+    (fun (sname, churny, stream) ->
+      List.iter
+        (fun policy ->
+          (* the cache policy keeps per-event state in closures and
+             refuses topology items — score it only where it can run *)
+          if not (churny && policy = En.Cache) then begin
+            let config = { En.default_config with En.policy; epoch } in
+            let r, dt = time_it (fun () -> En.run_items ~config inst placement (stream ())) in
+            let t = r.En.totals in
+            let total = En.total_cost t in
+            totals := ((sname, policy), total) :: !totals;
+            Tbl.add_row tbl
+              [
+                sname; En.policy_name policy; Tbl.fl2 t.En.serving; Tbl.fl2 total;
+                string_of_int t.En.dropped; string_of_int t.En.emergency;
+                string_of_int t.En.topo; Printf.sprintf "%.4f" dt;
+              ];
+            record
+              [
+                ("name", `S "tournament"); ("scenario", `S sname);
+                ("policy", `S (En.policy_name policy)); ("n", `I nn);
+                ("objects", `I objects); ("events", `I t.En.events);
+                ("epoch_size", `I epoch); ("serving", `F t.En.serving);
+                ("storage", `F t.En.storage); ("migration", `F t.En.migration);
+                ("total_cost", `F total); ("dropped", `I t.En.dropped);
+                ("emergency", `I t.En.emergency); ("topo_events", `I t.En.topo);
+                ("final_copies", `I t.En.final_copies); ("wall_s", `F dt);
+              ]
+          end)
+        [ En.Static; En.Resolve; En.Cache ])
+    scenarios;
+  Tbl.print tbl;
+  (* gate 1: on every scenario that churns the topology, the re-solving
+     policy must beat the static placement *)
+  List.iter
+    (fun (sname, churny, _) ->
+      if churny then begin
+        let st = List.assoc (sname, En.Static) !totals
+        and rs = List.assoc (sname, En.Resolve) !totals in
+        let margin = st /. rs in
+        Printf.printf "%s: resolve vs static under churn: %.2fx cheaper (%.2f -> %.2f)\n" sname
+          margin st rs;
+        if rs >= st then
+          failwith
+            (Printf.sprintf
+               "tournament: resolve (%.2f) failed to beat static (%.2f) on the %s churn \
+                scenario"
+               rs st sname);
+        record
+          [
+            ("name", `S "tournament-resolve-vs-static"); ("scenario", `S sname);
+            ("static_total", `F st); ("resolve_total", `F rs); ("margin", `F margin);
+            ("resolve_beats_static", `B (rs < st));
+          ]
+      end)
+    scenarios;
+  (* cross-domain determinism under churn: the metrics JSON of the
+     failures scenario must be byte-identical at 1 and 4 domains *)
+  let _, _, failures_stream = List.nth scenarios 3 in
+  let json_at domains =
+    Pool.with_pool ~domains (fun pool ->
+        En.metrics_json inst
+          (En.run_items ~pool
+             ~config:{ En.default_config with En.policy = En.Resolve; epoch }
+             inst placement (failures_stream ())))
+  in
+  let j1 = json_at 1 in
+  let identical = json_at 4 = j1 in
+  Printf.printf "churn metrics JSON identical across 1/4 domains: %b\n" identical;
+  if not identical then failwith "tournament: churned metrics JSON diverged across domains";
+  record
+    [
+      ("name", `S "tournament-churn-domain-identity"); ("domains", `S "1,4");
+      ("json_bytes", `I (String.length j1)); ("identical_metrics_json", `B identical);
+    ];
+  (* gate 2: incremental metric repair vs full recompute. A single-edge
+     event must repair the closure >= 5x faster (on average over a
+     representative spread of edges — a maximally central edge can
+     invalidate half the rows and legitimately approach a rebuild) than
+     Metric.of_graph rebuilds it. Each sampled edge contributes a surge
+     (tight-row recompute) and a restore (decrease relaxation); per-event
+     average, best of 5 sequences; the full rebuild is best of 5. *)
+  let module Mt = Dmn_paths.Metric in
+  let module Ch = Dmn_paths.Churn in
+  let rg = Dmn_graph.Gen.random_geometric (Rng.create 4242) 96 0.3 in
+  let rm = Mt.of_graph rg in
+  let all_edges = Array.of_list (Dmn_graph.Wgraph.edges rg) in
+  if Array.length all_edges = 0 then failwith "tournament: repair graph has no edges";
+  let picks = 8 in
+  let sampled =
+    Array.init picks (fun i -> all_edges.(i * Array.length all_edges / picks))
+  in
+  let reps = 2 * picks in
+  let t_inc = ref infinity in
+  for _ = 1 to 5 do
+    let ch = Ch.create rg rm in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (u, v, w0) ->
+        Ch.apply ch (Ch.Edge_weight { u; v; w = w0 *. 3.0 });
+        Ch.apply ch (Ch.Edge_weight { u; v; w = w0 }))
+      sampled;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    if dt < !t_inc then t_inc := dt
+  done;
+  let t_full = ref infinity in
+  for _ = 1 to 5 do
+    let _, dt = time_it (fun () -> Mt.of_graph rg) in
+    if dt < !t_full then t_full := dt
+  done;
+  let speedup = !t_full /. !t_inc in
+  Printf.printf
+    "incremental repair on a single-edge event (n = %d): %.3f ms vs full of_graph %.3f ms \
+     (%.1fx)\n"
+    (Dmn_graph.Wgraph.n rg) (1000.0 *. !t_inc) (1000.0 *. !t_full) speedup;
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf
+         "tournament: incremental repair is only %.1fx faster than a full recompute (gate: \
+          5x)"
+         speedup);
+  record
+    [
+      ("name", `S "tournament-incremental-repair"); ("n", `I (Dmn_graph.Wgraph.n rg));
+      ("repair_s", `F !t_inc); ("full_recompute_s", `F !t_full); ("speedup", `F speedup);
+      ("gate_5x", `B (speedup >= 5.0));
+    ];
+  flush_replay_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1299,7 +1496,7 @@ let micro () =
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("micro", micro);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("tournament", tournament); ("micro", micro);
   ]
 
 let () =

@@ -330,11 +330,23 @@ let replay_cmd =
   in
   let scenario =
     Arg.(value
-         & opt (some (Arg.enum [ ("stationary", `Stationary); ("drifting", `Drifting) ])) None
+         & opt
+             (some
+                (Arg.enum
+                   [
+                     ("stationary", `Stationary); ("drifting", `Drifting);
+                     ("diurnal", `Diurnal); ("flash", `Flash);
+                     ("birthdeath", `Birthdeath); ("failures", `Failures);
+                   ]))
+             None
          & info [ "scenario" ] ~docv:"NAME"
              ~doc:"Generate the stream instead of reading a file: $(b,stationary) samples the \
                    instance's frequency tables i.i.d.; $(b,drifting) moves a hotspot between \
-                   phases (adversarial for static placements).")
+                   phases (adversarial for static placements); $(b,diurnal) cycles demand \
+                   between node halves while congesting the heaviest links (topology events); \
+                   $(b,flash) spikes one object 100x for half the trace; $(b,birthdeath) \
+                   rotates the active object set; $(b,failures) fails and repairs nodes under \
+                   a moving hotspot (topology events; graph-backed instances only).")
   in
   let events =
     Arg.(value & opt int 10000 & info [ "events" ] ~docv:"R"
@@ -381,7 +393,7 @@ let replay_cmd =
   in
   let ckpt_path =
     Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
-           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v1, atomic replace) to $(docv) every \
+           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v2, atomic replace) to $(docv) every \
                  $(b,--ckpt-every) epochs; resume later with $(b,--resume) $(docv).")
   in
   let ckpt_every =
@@ -424,11 +436,25 @@ let replay_cmd =
     in
     let ckpt = Option.map (fun path -> { E.path; every = ckpt_every }) ckpt_path in
     let make_seq () =
+      let rng = Rng.create seed in
       match scenario with
-      | Some `Stationary -> Stream.stationary_seq (Rng.create seed) inst ~length:events
+      | Some `Stationary -> Stream.items_of_events (Stream.stationary_seq rng inst ~length:events)
       | Some `Drifting ->
           let phase_length = max 1 (events / max 1 phases) in
-          Stream.drifting_seq (Rng.create seed) inst ~phases ~phase_length ~write_fraction
+          Stream.items_of_events
+            (Stream.drifting_seq rng inst ~phases ~phase_length ~write_fraction)
+      | Some `Diurnal ->
+          Dmn_workload.Adversary.diurnal rng inst ~days:(max 1 phases)
+            ~day_length:(max 2 (events / max 1 phases))
+            ~write_fraction
+      | Some `Flash ->
+          Dmn_workload.Adversary.flash_crowd rng inst ~length:events ~spike_at:(events / 4)
+            ~spike_length:(events / 2) ~multiplier:100 ~write_fraction
+      | Some `Birthdeath -> Dmn_workload.Adversary.birth_death rng inst ~length:events ~write_fraction
+      | Some `Failures ->
+          Dmn_workload.Adversary.failure_repair rng inst ~phases:(max 1 phases)
+            ~phase_length:(max 1 (events / max 1 phases))
+            ~write_fraction
       | None -> assert false
     in
     let result =
@@ -483,15 +509,18 @@ let replay_cmd =
                     { Dmn_core.Serial.Trace.nodes = I.n inst; objects = I.objects inst }
                   in
                   let written =
-                    Dmn_core.Serial.Trace.write path header
+                    Dmn_core.Serial.Trace.write_items path header
                       (Seq.map
-                         (fun { Stream.node; x; kind } ->
-                           { Dmn_core.Serial.Trace.node; x; write = kind = Stream.Write })
+                         (function
+                           | Stream.Req { Stream.node; x; kind } ->
+                               Dmn_core.Serial.Trace.Req
+                                 { Dmn_core.Serial.Trace.node; x; write = kind = Stream.Write }
+                           | Stream.Topo t -> Dmn_core.Serial.Trace.Topo t)
                          (make_seq ()))
                   in
-                  Printf.eprintf "dmnet replay: wrote %d events to %s\n%!" written path;
+                  Printf.eprintf "dmnet replay: wrote %d items to %s\n%!" written path;
                   E.run_trace ~config ?ckpt ~tolerate_truncation inst placement path
-              | None -> E.run ~config ?ckpt inst placement (make_seq ()))
+              | None -> E.run_items ~config ?ckpt inst placement (make_seq ()))
           | _ ->
               Printf.eprintf
                 "dmnet replay: pass exactly one of --trace FILE or --scenario NAME\n";
@@ -504,6 +533,12 @@ let replay_cmd =
        %!"
       (E.policy_name result.E.policy) t.E.events (List.length result.E.epochs) t.E.serving
       t.E.storage t.E.migration (E.total_cost t) t.E.final_copies;
+    if t.E.topo > 0 || t.E.dropped > 0 || t.E.emergency > 0 then
+      Printf.eprintf
+        "dmnet replay: churn: %d topology events applied, %d requests dropped, %d emergency \
+         re-replications\n\
+         %!"
+        t.E.topo t.E.dropped t.E.emergency;
     let ops name =
       match List.assoc_opt name result.E.ops with Some (Metrics.Counter n) -> n | _ -> 0
     in

@@ -1,5 +1,6 @@
 open Dmn_prelude
 open Dmn_graph
+module Churn = Dmn_paths.Churn
 
 (* ---------- serialization ---------- *)
 
@@ -362,14 +363,24 @@ let write_file path contents = Err.get_ok (write_file_res path contents)
 module Trace = struct
   type header = { nodes : int; objects : int }
   type event = { node : int; x : int; write : bool }
+  type topo = Churn.event
+  type item = Req of event | Topo of topo
 
   let int_field ?file ~line what t =
     match int_of_string_opt t with
     | Some v -> v
     | None -> Err.failf ?file ~line ~token:t Err.Parse "expected an integer %s" what
 
+  (* topology-event line kinds; request kinds stay 'r'/'w' *)
+  let is_topo_kind = function "ew" | "ed" | "eu" | "nd" | "nu" -> true | _ -> false
+
   let parse_event ?file ~header ln toks =
     match toks with
+    | kind :: _ when is_topo_kind kind ->
+        Err.failf ?file ~line:ln ~token:kind Err.Validation
+          "topology event '%s' in a request-only trace reader: this consumer replays requests \
+           only — read the trace through the items interface to replay churn"
+          kind
     | [ kind; node_tok; x_tok ] ->
         let write =
           match kind with
@@ -392,6 +403,40 @@ module Trace = struct
         Err.failf ?file ~line:ln ~token:tok Err.Parse
           "malformed event line: expected \"r|w <node> <object>\""
     | [] -> assert false
+
+  let parse_topo ?file ~header ln kind toks =
+    let node what tok =
+      let v = int_field ?file ~line:ln what tok in
+      if v < 0 || v >= header.nodes then
+        Err.failf ?file ~line:ln ~token:tok Err.Validation "%s %d out of range [0, %d)" what v
+          header.nodes;
+      v
+    in
+    let weight tok =
+      match float_of_string_opt tok with
+      | Some w when Float.is_finite w && w >= 0.0 -> w
+      | Some _ ->
+          Err.failf ?file ~line:ln ~token:tok Err.Validation
+            "edge weight must be finite and non-negative"
+      | None -> Err.failf ?file ~line:ln ~token:tok Err.Parse "expected a number for an edge weight"
+    in
+    match (kind, toks) with
+    | "ew", [ u; v; w ] ->
+        Churn.Edge_weight { u = node "edge endpoint" u; v = node "edge endpoint" v; w = weight w }
+    | "ed", [ u; v ] -> Churn.Edge_down { u = node "edge endpoint" u; v = node "edge endpoint" v }
+    | "eu", [ u; v; w ] ->
+        Churn.Edge_up { u = node "edge endpoint" u; v = node "edge endpoint" v; w = weight w }
+    | "nd", [ z ] -> Churn.Node_down (node "event node" z)
+    | "nu", [ z ] -> Churn.Node_up (node "event node" z)
+    | _ ->
+        Err.failf ?file ~line:ln ~token:kind Err.Parse
+          "malformed topology line: expected \"ew|eu <u> <v> <w>\", \"ed <u> <v>\" or \"nd|nu \
+           <node>\""
+
+  let parse_item ?file ~header ln toks =
+    match toks with
+    | kind :: rest when is_topo_kind kind -> Topo (parse_topo ?file ~header ln kind rest)
+    | _ -> Req (parse_event ?file ~header ln toks)
 
   (* One logical (non-blank, non-comment) line at a time, so a trace is
      never materialized: memory is one line regardless of length.
@@ -450,7 +495,7 @@ module Trace = struct
           "malformed count line: expected \"<nodes> <objects>\""
     | Some (_, []) -> assert false
 
-  let with_reader_res ?(tolerate_truncation = false) path f =
+  let reader_gen ~parse ?(tolerate_truncation = false) path f =
     match
       Fault.check "trace.read";
       open_in_bin path
@@ -482,8 +527,7 @@ module Trace = struct
                 Fault.check "trace.read.event";
                 match read ~tolerate:tolerate_truncation () with
                 | None -> Seq.Nil
-                | Some (ln, toks) ->
-                    Seq.Cons (parse_event ~file:path ~header ln toks, next)
+                | Some (ln, toks) -> Seq.Cons (parse path header ln toks, next)
               in
               f header next
             with
@@ -491,10 +535,64 @@ module Trace = struct
             | exception Err.Error e -> Error (Err.with_file path e)
             | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg))
 
+  let with_reader_res ?tolerate_truncation path f =
+    reader_gen ~parse:(fun file header ln toks -> parse_event ~file ~header ln toks)
+      ?tolerate_truncation path f
+
   let with_reader ?tolerate_truncation path f =
     Err.get_ok (with_reader_res ?tolerate_truncation path f)
 
-  let write_res path { nodes; objects } events =
+  let with_items_res ?tolerate_truncation path f =
+    reader_gen ~parse:(fun file header ln toks -> parse_item ~file ~header ln toks)
+      ?tolerate_truncation path f
+
+  let with_items ?tolerate_truncation path f =
+    Err.get_ok (with_items_res ?tolerate_truncation path f)
+
+  let output_event oc ~path ~nodes ~objects { node; x; write } =
+    if node < 0 || node >= nodes then
+      Err.failf ~file:path Err.Validation "event node %d out of range [0, %d)" node nodes;
+    if x < 0 || x >= objects then
+      Err.failf ~file:path Err.Validation "event object %d out of range [0, %d)" x objects;
+    output_string oc (if write then "w " else "r ");
+    output_string oc (string_of_int node);
+    output_char oc ' ';
+    output_string oc (string_of_int x);
+    output_char oc '\n'
+
+  let output_topo oc ~path ~nodes topo =
+    let node z =
+      if z < 0 || z >= nodes then
+        Err.failf ~file:path Err.Validation "topology event node %d out of range [0, %d)" z nodes
+    in
+    let weight w =
+      if (not (Float.is_finite w)) || w < 0.0 then
+        Err.failf ~file:path Err.Validation
+          "topology edge weight must be finite and non-negative"
+    in
+    match (topo : topo) with
+    | Churn.Edge_weight { u; v; w } ->
+        node u;
+        node v;
+        weight w;
+        Printf.fprintf oc "ew %d %d %.17g\n" u v w
+    | Churn.Edge_down { u; v } ->
+        node u;
+        node v;
+        Printf.fprintf oc "ed %d %d\n" u v
+    | Churn.Edge_up { u; v; w } ->
+        node u;
+        node v;
+        weight w;
+        Printf.fprintf oc "eu %d %d %.17g\n" u v w
+    | Churn.Node_down z ->
+        node z;
+        Printf.fprintf oc "nd %d\n" z
+    | Churn.Node_up z ->
+        node z;
+        Printf.fprintf oc "nu %d\n" z
+
+  let write_items_res path { nodes; objects } items =
     if nodes <= 0 then Err.error ~file:path Err.Validation "trace must cover at least one node"
     else if objects <= 0 then
       Err.error ~file:path Err.Validation "trace must cover at least one object"
@@ -517,23 +615,15 @@ module Trace = struct
            Printf.fprintf oc "dmnet-trace v1\n%d %d\n" nodes objects;
            let count = ref 0 in
            Seq.iter
-             (fun { node; x; write } ->
-               if node < 0 || node >= nodes then
-                 Err.failf ~file:path Err.Validation "event node %d out of range [0, %d)" node
-                   nodes;
-               if x < 0 || x >= objects then
-                 Err.failf ~file:path Err.Validation "event object %d out of range [0, %d)" x
-                   objects;
-               output_string oc (if write then "w " else "r ");
-               output_string oc (string_of_int node);
-               output_char oc ' ';
-               output_string oc (string_of_int x);
-               output_char oc '\n';
+             (fun item ->
+               (match item with
+               | Req e -> output_event oc ~path ~nodes ~objects e
+               | Topo t -> output_topo oc ~path ~nodes t);
                incr count;
                (* a periodic fault point so chaos can hit a mid-stream
                   write without paying a coin per event *)
                if !count land 4095 = 0 then Fault.check "trace.write.write")
-             events;
+             items;
            flush oc;
            Fault.check "trace.write.fsync";
            retry_eintr (fun () -> Unix.fsync fd);
@@ -562,6 +652,9 @@ module Trace = struct
           Error (Err.v ~file:path Err.Io msg)
     end
 
+  let write_items path header items = Err.get_ok (write_items_res path header items)
+
+  let write_res path header events = write_items_res path header (Seq.map (fun e -> Req e) events)
   let write path header events = Err.get_ok (write_res path header events)
 end
 
@@ -589,6 +682,9 @@ module Checkpoint = struct
     solve_retries : int;
     solve_fallbacks : int;
     copies : int;
+    dropped : int;
+    emergency : int;
+    topo_events : int;
     serving : float;
     storage : float;
     migration : float;
@@ -605,18 +701,34 @@ module Checkpoint = struct
     h_counts : (int * int) list;
   }
 
+  (* The topology delta: everything a resumed run needs to rebuild the
+     churn state without replaying distances — plus the metric hash, so
+     a reconstruction that diverges anywhere in the matrix is refused
+     rather than silently resumed. *)
+  type topo_state = {
+    metric_version : int;
+    metric_hash : int64;
+    down : int list; (* ascending *)
+    edge_overrides : ((int * int) * float option) list; (* canonical u < v *)
+  }
+
+  let no_topo = { metric_version = 1; metric_hash = 0L; down = []; edge_overrides = [] }
+
   type t = {
     policy : string;
     epoch_size : int;
     period : int;
     next_epoch : int;
     events_consumed : int;
+    topo_consumed : int;
+    topo_applied : int;
     fingerprint : int64;
     nodes : int;
     objects : int;
     placements : int list array;
     epochs : epoch_row list;
     hist : hist_state;
+    topo : topo_state;
     checkpoints_written : int;
     serve_retries : int;
   }
@@ -643,6 +755,25 @@ module Checkpoint = struct
     let tag = (e.node lsl 22) lxor (e.x lsl 1) lxor Bool.to_int e.write in
     mix64 (Int64.add (Int64.mul h 0x100000001b3L) (Int64.of_int tag))
 
+  (* Topology events fold with per-constructor codes shifted past bit
+     40 — far above any request tag (node lsl 22) — so a topo item can
+     never collide with a request, and an edited weight changes the hash
+     through its exact float bits. *)
+  let fingerprint_topo h (t : Trace.topo) =
+    let fold h tag =
+      mix64 (Int64.add (Int64.mul h 0x100000001b3L) tag)
+    in
+    let code c a b = Int64.logor (Int64.shift_left (Int64.of_int c) 40) (Int64.of_int ((a lsl 20) lxor b)) in
+    match t with
+    | Churn.Edge_weight { u; v; w } -> fold (fold h (code 1 u v)) (Int64.bits_of_float w)
+    | Churn.Edge_down { u; v } -> fold h (code 2 u v)
+    | Churn.Edge_up { u; v; w } -> fold (fold h (code 3 u v)) (Int64.bits_of_float w)
+    | Churn.Node_down z -> fold h (code 4 z 0)
+    | Churn.Node_up z -> fold h (code 5 z 0)
+
+  let fingerprint_item h (it : Trace.item) =
+    match it with Trace.Req e -> fingerprint_event h e | Trace.Topo t -> fingerprint_topo h t
+
   (* ----- rendering -----
 
      Line-oriented text; each section header carries its body line
@@ -663,6 +794,9 @@ module Checkpoint = struct
         string_of_int r.solve_retries;
         string_of_int r.solve_fallbacks;
         string_of_int r.copies;
+        string_of_int r.dropped;
+        string_of_int r.emergency;
+        string_of_int r.topo_events;
         fl r.serving;
         fl r.storage;
         fl r.migration;
@@ -680,7 +814,7 @@ module Checkpoint = struct
   let to_string t =
     String.concat ""
       [
-        "dmnet-ckpt v1\n";
+        "dmnet-ckpt v2\n";
         section_text "meta"
           [
             "policy " ^ t.policy;
@@ -688,6 +822,8 @@ module Checkpoint = struct
             Printf.sprintf "period %d" t.period;
             Printf.sprintf "next_epoch %d" t.next_epoch;
             Printf.sprintf "events %d" t.events_consumed;
+            Printf.sprintf "topo_consumed %d" t.topo_consumed;
+            Printf.sprintf "topo_applied %d" t.topo_applied;
             Printf.sprintf "fingerprint %016Lx" t.fingerprint;
             Printf.sprintf "nodes %d" t.nodes;
             Printf.sprintf "objects %d" t.objects;
@@ -702,6 +838,19 @@ module Checkpoint = struct
           (Printf.sprintf "%s %s %d %s" (fl t.hist.h_lo) (fl t.hist.h_base) t.hist.h_buckets
              (fl t.hist.h_sum)
           :: List.map (fun (i, c) -> Printf.sprintf "%d %d" i c) t.hist.h_counts);
+        section_text "topology"
+          ([
+             Printf.sprintf "metric_version %d" t.topo.metric_version;
+             Printf.sprintf "metric_hash %016Lx" t.topo.metric_hash;
+             String.concat " " ("down" :: List.map string_of_int t.topo.down);
+             Printf.sprintf "overrides %d" (List.length t.topo.edge_overrides);
+           ]
+          @ List.map
+              (fun ((u, v), ov) ->
+                match ov with
+                | Some w -> Printf.sprintf "ow %d %d %s" u v (fl w)
+                | None -> Printf.sprintf "od %d %d" u v)
+              t.topo.edge_overrides);
         section_text "ops"
           [
             Printf.sprintf "checkpoints_written %d" t.checkpoints_written;
@@ -728,13 +877,13 @@ module Checkpoint = struct
     in
     (let ln, l = next "the format header" in
      match split_tokens l with
-     | [ "dmnet-ckpt"; "v1" ] -> ()
+     | [ "dmnet-ckpt"; "v2" ] -> ()
      | "dmnet-ckpt" :: version :: _ ->
          Err.failf ?file ~line:ln ~token:version Err.Parse
-           "unsupported dmnet-ckpt version %s (this build reads v1)" version
+           "unsupported dmnet-ckpt version %s (this build reads v2)" version
      | tok :: _ ->
-         Err.failf ?file ~line:ln ~token:tok Err.Parse "bad header: expected \"dmnet-ckpt v1\""
-     | [] -> Err.failf ?file ~line:ln Err.Parse "bad header: expected \"dmnet-ckpt v1\"");
+         Err.failf ?file ~line:ln ~token:tok Err.Parse "bad header: expected \"dmnet-ckpt v2\""
+     | [] -> Err.failf ?file ~line:ln Err.Parse "bad header: expected \"dmnet-ckpt v2\"");
     let sections = Hashtbl.create 8 in
     while !pos < limit do
       let ln, l = next "a section header" in
@@ -817,6 +966,8 @@ module Checkpoint = struct
     let per_ln, period = meta_int "period" in
     let ne_ln, next_epoch = meta_int "next_epoch" in
     let ev_ln, events_consumed = meta_int "events" in
+    let tc_ln, topo_consumed = meta_int "topo_consumed" in
+    let ta_ln, topo_applied = meta_int "topo_applied" in
     let fingerprint =
       let ln, tok = meta_field "fingerprint" in
       if String.length tok <> 16 || not (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) tok)
@@ -832,6 +983,11 @@ module Checkpoint = struct
       Err.fail ?file ~line:ne_ln Err.Validation "next_epoch must be non-negative";
     if events_consumed < 0 then
       Err.fail ?file ~line:ev_ln Err.Validation "events must be non-negative";
+    if topo_consumed < 0 then
+      Err.fail ?file ~line:tc_ln Err.Validation "topo_consumed must be non-negative";
+    if topo_applied < 0 || topo_applied > topo_consumed then
+      Err.failf ?file ~line:ta_ln Err.Validation
+        "topo_applied must lie in [0, topo_consumed = %d]" topo_consumed;
     if nodes < 1 then Err.fail ?file ~line:nd_ln Err.Validation "nodes must be positive";
     if objects < 1 then Err.fail ?file ~line:ob_ln Err.Validation "objects must be positive";
     (* placements *)
@@ -896,7 +1052,7 @@ module Checkpoint = struct
             (fun i row ->
               let ln = ep_ln + 1 + i in
               match split_tokens row with
-              | [ idx; ev; rd; wr; rs; sr; sf; cp; sv; st; mg; a; b; c' ] ->
+              | [ idx; ev; rd; wr; rs; sr; sf; cp; dp; em; tp; sv; st; mg; a; b; c' ] ->
                   let ii = int_of ln "epoch index" idx in
                   if ii <> i then
                     Err.failf ?file ~line:ln ~token:idx Err.Validation
@@ -915,6 +1071,9 @@ module Checkpoint = struct
                     solve_retries = nonneg "solve_retries" (int_of ln "solve_retries" sr);
                     solve_fallbacks = nonneg "solve_fallbacks" (int_of ln "solve_fallbacks" sf);
                     copies = nonneg "copies" (int_of ln "copies" cp);
+                    dropped = nonneg "dropped" (int_of ln "dropped" dp);
+                    emergency = nonneg "emergency" (int_of ln "emergency" em);
+                    topo_events = nonneg "topo_events" (int_of ln "topo_events" tp);
                     serving = float_of ln "serving" sv;
                     storage = float_of ln "storage" st;
                     migration = float_of ln "migration" mg;
@@ -924,7 +1083,7 @@ module Checkpoint = struct
                   }
               | _ ->
                   Err.failf ?file ~line:ln Err.Parse
-                    "malformed epoch row: expected 14 whitespace-separated fields")
+                    "malformed epoch row: expected 17 whitespace-separated fields")
             rows
     in
     let consumed = List.fold_left (fun a r -> a + r.events) 0 epochs in
@@ -932,6 +1091,11 @@ module Checkpoint = struct
       Err.failf ?file ~line:ep_ln Err.Validation
         "epoch rows account for %d events but meta says %d were consumed" consumed
         events_consumed;
+    let applied = List.fold_left (fun a r -> a + r.topo_events) 0 epochs in
+    if applied <> topo_applied then
+      Err.failf ?file ~line:ep_ln Err.Validation
+        "epoch rows account for %d topology events but meta says %d were applied" applied
+        topo_applied;
     (* histogram *)
     let h_ln, h_lines = get "histogram" in
     let hist =
@@ -982,6 +1146,99 @@ module Checkpoint = struct
           in
           { h_lo; h_base; h_buckets; h_sum; h_counts }
     in
+    (* topology *)
+    let t_ln, t_lines = get "topology" in
+    let topo =
+      match t_lines with
+      | mv_line :: mh_line :: down_line :: ocount_line :: orows ->
+          let metric_version =
+            match split_tokens mv_line with
+            | [ "metric_version"; tok ] ->
+                let v = int_of t_ln "metric_version" tok in
+                if v < 1 then
+                  Err.failf ?file ~line:t_ln ~token:tok Err.Validation
+                    "metric_version must be positive";
+                v
+            | _ ->
+                Err.failf ?file ~line:t_ln Err.Parse "expected \"metric_version <int>\""
+          in
+          let metric_hash =
+            match split_tokens mh_line with
+            | [ "metric_hash"; tok ]
+              when String.length tok = 16
+                   && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) tok
+              ->
+                Int64.of_string ("0x" ^ tok)
+            | _ ->
+                Err.failf ?file ~line:(t_ln + 1) Err.Parse
+                  "expected \"metric_hash <16 hex digits>\""
+          in
+          let down =
+            match split_tokens down_line with
+            | "down" :: toks ->
+                let last = ref (-1) in
+                List.map
+                  (fun tok ->
+                    let z = int_of (t_ln + 2) "down node" tok in
+                    if z < 0 || z >= nodes then
+                      Err.failf ?file ~line:(t_ln + 2) ~token:tok Err.Validation
+                        "down node %d out of range [0, %d)" z nodes;
+                    if z <= !last then
+                      Err.failf ?file ~line:(t_ln + 2) ~token:tok Err.Validation
+                        "down nodes must be strictly ascending";
+                    last := z;
+                    z)
+                  toks
+            | _ -> Err.failf ?file ~line:(t_ln + 2) Err.Parse "expected \"down [<node>...]\""
+          in
+          let ocount =
+            match split_tokens ocount_line with
+            | [ "overrides"; tok ] ->
+                let v = int_of (t_ln + 3) "override count" tok in
+                if v < 0 then
+                  Err.failf ?file ~line:(t_ln + 3) ~token:tok Err.Validation
+                    "override count must be non-negative";
+                v
+            | _ -> Err.failf ?file ~line:(t_ln + 3) Err.Parse "expected \"overrides <count>\""
+          in
+          if List.length orows <> ocount then
+            Err.failf ?file ~line:(t_ln + 3) Err.Validation
+              "topology section declares %d overrides but holds %d rows" ocount
+              (List.length orows);
+          let edge_overrides =
+            List.mapi
+              (fun i row ->
+                let ln = t_ln + 4 + i in
+                let pair utok vtok =
+                  let u = int_of ln "override endpoint" utok in
+                  let v = int_of ln "override endpoint" vtok in
+                  if u < 0 || u >= nodes || v < 0 || v >= nodes then
+                    Err.failf ?file ~line:ln Err.Validation
+                      "override endpoints %d-%d out of range [0, %d)" u v nodes;
+                  if u >= v then
+                    Err.failf ?file ~line:ln Err.Validation
+                      "override endpoints must be canonical (u < v), got %d-%d" u v;
+                  (u, v)
+                in
+                match split_tokens row with
+                | [ "ow"; utok; vtok; wtok ] ->
+                    let w = float_of ln "override weight" wtok in
+                    if (not (Float.is_finite w)) || w < 0.0 then
+                      Err.failf ?file ~line:ln ~token:wtok Err.Validation
+                        "override weight must be finite and non-negative";
+                    (pair utok vtok, Some w)
+                | [ "od"; utok; vtok ] -> (pair utok vtok, None)
+                | _ ->
+                    Err.failf ?file ~line:ln Err.Parse
+                      "malformed override row: expected \"ow <u> <v> <w>\" or \"od <u> <v>\"")
+              orows
+          in
+          { metric_version; metric_hash; down; edge_overrides }
+      | _ ->
+          Err.failf ?file ~line:t_ln Err.Parse
+            "malformed topology section: expected metric_version, metric_hash, down and \
+             overrides lines"
+    in
     (* ops *)
     let o_ln, o_lines = get "ops" in
     let ops = Hashtbl.create 4 in
@@ -1008,12 +1265,15 @@ module Checkpoint = struct
       period;
       next_epoch;
       events_consumed;
+      topo_consumed;
+      topo_applied;
       fingerprint;
       nodes;
       objects;
       placements;
       epochs;
       hist;
+      topo;
       checkpoints_written = ops_field "checkpoints_written";
       serve_retries = ops_field "serve_retries";
     }

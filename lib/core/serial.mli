@@ -84,9 +84,19 @@ val load_placement : string -> (Placement.t, Dmn_prelude.Err.t) result
     {v
     dmnet-trace v1
     <nodes> <objects>
-    r <node> <object>     (one line per event, in arrival order)
+    r <node> <object>     (one line per item, in arrival order)
     w <node> <object>
+    ew <u> <v> <w>        (topology: edge reweight)
+    ed <u> <v>            (topology: edge down)
+    eu <u> <v> <w>        (topology: edge up)
+    nd <node>             (topology: node down)
+    nu <node>             (topology: node up)
     v}
+
+    Request lines and topology lines interleave freely; the topology
+    kinds are only structurally validated here (endpoint ranges, weight
+    finiteness) — consistency against the evolving network state is
+    {!Dmn_paths.Churn.apply}'s job at replay time.
 
     Unlike the instance parser, traces are processed {e streamingly}:
     the reader hands back a lazy [Seq.t] that holds one line in memory
@@ -104,13 +114,22 @@ module Trace : sig
 
   type event = { node : int; x : int; write : bool }
 
+  (** A topology event embedded in a trace. *)
+  type topo = Dmn_paths.Churn.event
+
+  (** One trace item: a request or a topology event. *)
+  type item = Req of event | Topo of topo
+
   (** [with_reader_res ?tolerate_truncation path f] opens [path],
       parses and validates the header, and runs [f header events].
       [events] is a {e one-shot, ephemeral} sequence: it reads from the
       file as it is forced and is only valid inside [f] (the file is
       closed when [f] returns). A malformed event encountered
       mid-stream raises [Err.Error] at the offending element; that
-      error (and any raised by [f]) is returned as [Error].
+      error (and any raised by [f]) is returned as [Error]. A topology
+      line raises {!Dmn_prelude.Err.Validation} naming the kind — this
+      reader replays requests only; use {!with_items_res} for traces
+      with churn.
 
       A final line with no terminating newline is the signature of a
       partial write (a crash mid-append). By default it is reported as
@@ -128,6 +147,21 @@ module Trace : sig
       @raise Dmn_prelude.Err.Error on malformed input or I/O failure. *)
   val with_reader : ?tolerate_truncation:bool -> string -> (header -> event Seq.t -> 'a) -> 'a
 
+  (** [with_items_res ?tolerate_truncation path f] is {!with_reader_res}
+      over the full item grammar: request lines become [Req], topology
+      lines become [Topo], both structurally validated against the
+      header. The churn-aware replay engine reads traces through this
+      interface. *)
+  val with_items_res :
+    ?tolerate_truncation:bool ->
+    string ->
+    (header -> item Seq.t -> 'a) ->
+    ('a, Dmn_prelude.Err.t) result
+
+  (** Raising wrapper over {!with_items_res}.
+      @raise Dmn_prelude.Err.Error on malformed input or I/O failure. *)
+  val with_items : ?tolerate_truncation:bool -> string -> (header -> item Seq.t -> 'a) -> 'a
+
   (** [write_res path header events] drains [events] to [path] with the
       same atomic, durable protocol as {!write_file} (temp file +
       [fsync] + rename), validating every event against [header].
@@ -138,6 +172,15 @@ module Trace : sig
   (** Raising wrapper over {!write_res}.
       @raise Dmn_prelude.Err.Error on invalid events or I/O failure. *)
   val write : string -> header -> event Seq.t -> int
+
+  (** [write_items_res path header items] is {!write_res} over the full
+      item grammar, emitting topology lines in place. Returns the
+      number of items written. *)
+  val write_items_res : string -> header -> item Seq.t -> (int, Dmn_prelude.Err.t) result
+
+  (** Raising wrapper over {!write_items_res}.
+      @raise Dmn_prelude.Err.Error on invalid items or I/O failure. *)
+  val write_items : string -> header -> item Seq.t -> int
 end
 
 (** {2 Replay checkpoints}
@@ -146,15 +189,18 @@ end
     with the same atomic temp-file + [fsync] + rename protocol as
     {!write_file}. Line-oriented text format:
     {v
-    dmnet-ckpt v1
+    dmnet-ckpt v2
     section <name> <lines> <crc32>
     ...body lines...
     v}
-    with five sections — [meta] (policy, epoch geometry, progress, trace
+    with six sections — [meta] (policy, epoch geometry, progress, trace
     fingerprint, instance shape), [placements] (current copy set per
     object), [epochs] (one accounting row per completed epoch, from
     which cumulative metrics are reconstructed), [histogram] (request
-    cost distribution) and [ops] (operational counters). Each section
+    cost distribution), [topology] (the churn delta: metric version and
+    hash, down nodes, edge overrides — what a resumed run needs to
+    rebuild the network state and prove it did so byte-identically) and
+    [ops] (operational counters). Each section
     header carries the CRC-32 of the exact body bytes: corruption
     anywhere yields a structured {!Dmn_prelude.Err.Validation} error
     naming the section (exit code 65 at the CLI), never a silently
@@ -177,6 +223,9 @@ module Checkpoint : sig
     solve_retries : int;
     solve_fallbacks : int;
     copies : int;
+    dropped : int;  (** requests dropped (dead requester or partition) *)
+    emergency : int;  (** emergency re-replications triggered *)
+    topo_events : int;  (** topology events applied in this epoch *)
     serving : float;
     storage : float;
     migration : float;
@@ -195,18 +244,40 @@ module Checkpoint : sig
     h_counts : (int * int) list;
   }
 
+  (** The topology delta at checkpoint time: applied-churn network
+      state plus an integrity hash of the repaired metric, so a resume
+      that reconstructs a different matrix is refused. *)
+  type topo_state = {
+    metric_version : int;  (** {!Dmn_paths.Metric.version} of the churned metric *)
+    metric_hash : int64;  (** {!Dmn_paths.Metric.hash64} of the churned metric *)
+    down : int list;  (** failed nodes, strictly ascending *)
+    edge_overrides : ((int * int) * float option) list;
+        (** canonical [u < v]; [Some w] reweighted/added, [None] removed *)
+  }
+
+  (** The pristine-network topology state (version 1, no deltas) for
+      runs without churn; its [metric_hash] of [0L] is a sentinel that
+      resume does not check against a real metric. *)
+  val no_topo : topo_state
+
   type t = {
     policy : string;  (** engine policy name, e.g. ["resolve"] *)
     epoch_size : int;
     period : int;  (** storage accounting period *)
     next_epoch : int;  (** first epoch index the resumed run executes *)
-    events_consumed : int;  (** trace events consumed so far *)
+    events_consumed : int;  (** trace request events consumed so far *)
+    topo_consumed : int;  (** topology items consumed from the trace *)
+    topo_applied : int;
+        (** topology items already applied to the network ([<=
+            topo_consumed]; the difference is the pending queue waiting
+            for the next epoch boundary) *)
     fingerprint : int64;  (** trace-identity hash over the consumed prefix *)
     nodes : int;
     objects : int;
     placements : int list array;  (** current copy nodes per object *)
     epochs : epoch_row list;  (** chronological, one per completed epoch *)
     hist : hist_state;
+    topo : topo_state;  (** network state after [topo_applied] events *)
     checkpoints_written : int;  (** operational counter carried across resumes *)
     serve_retries : int;  (** operational counter carried across resumes *)
   }
@@ -218,6 +289,16 @@ module Checkpoint : sig
   (** [fingerprint_event h e] folds one consumed event into the hash.
       Order-sensitive. *)
   val fingerprint_event : int64 -> Trace.event -> int64
+
+  (** [fingerprint_topo h t] folds one consumed topology item into the
+      hash. Constructor codes live above bit 40 — disjoint from every
+      request tag — and weights fold their exact float bits, so no
+      request/topology confusion or weight edit can collide. *)
+  val fingerprint_topo : int64 -> Trace.topo -> int64
+
+  (** [fingerprint_item h it] dispatches to {!fingerprint_event} or
+      {!fingerprint_topo}. *)
+  val fingerprint_item : int64 -> Trace.item -> int64
 
   val to_string : t -> string
 

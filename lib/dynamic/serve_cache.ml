@@ -7,13 +7,22 @@ module Err = Dmn_prelude.Err
    it was computed at, so lookups after the first are O(1) and a
    placement change invalidates everything at the cost of one integer
    store. Stamps start below the initial version, so a fresh cache is
-   fully cold without an O(n) fill. *)
+   fully cold without an O(n) fill.
+
+   Under topology churn the metric itself mutates in place
+   ({!Metric.recompute_rows} and friends bump {!Metric.version}); the
+   cache records the metric version its memoized data was computed
+   against and folds a mismatch into a placement-version bump, so the
+   effective key is (placement version × metric version) at the cost of
+   one extra int compare per query — a stale nearest-copy table can
+   never survive a network change. *)
 type t = {
   metric : Metric.t;
   x : int; (* object id, for error context only *)
   cached : bool;
   mutable copies : int array; (* sorted ascending, no duplicates *)
   mutable version : int;
+  mutable metric_version : int; (* Metric.version the memos are valid at *)
   near_src : int array; (* valid at node v iff stamp.(v) = version *)
   near_d : float array;
   stamp : int array;
@@ -31,6 +40,7 @@ let create ?(cached = true) metric ~x copies =
     cached;
     copies = of_sorted_list copies;
     version = 1;
+    metric_version = Metric.version metric;
     near_src = Array.make n (-1);
     near_d = Array.make n infinity;
     stamp = Array.make n 0;
@@ -96,7 +106,17 @@ let scan t v =
   done;
   (!bs, !bd)
 
+(* fold a metric repair into a placement-version bump: one branch per
+   query keeps the (placement × metric) keying free of a wider stamp *)
+let sync_metric t =
+  let mv = Metric.version t.metric in
+  if mv <> t.metric_version then begin
+    t.metric_version <- mv;
+    t.version <- t.version + 1
+  end
+
 let nearest t v =
+  sync_metric t;
   if not t.cached then scan t v
   else if t.stamp.(v) = t.version then (t.near_src.(v), t.near_d.(v))
   else begin
@@ -111,6 +131,7 @@ let compute_mst t =
   Dmn_span.Steiner.approx_weight_metric t.metric (Array.to_list t.copies)
 
 let mst_weight t =
+  sync_metric t;
   if not t.cached then compute_mst t
   else if t.mst_version = t.version then t.mst
   else begin

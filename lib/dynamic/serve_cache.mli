@@ -16,7 +16,14 @@
     exactly the float operations the uncached path runs (ascending-order
     scan with a strict [<] fold seeded at [(-1, infinity)];
     {!Dmn_span.Steiner.approx_weight_metric} on the sorted copy list),
-    so cached and uncached runs produce bit-identical costs. *)
+    so cached and uncached runs produce bit-identical costs.
+
+    The cache also watches {!Dmn_paths.Metric.version}: when the metric
+    is repaired in place after a topology event, the next query folds
+    the change into a placement-version bump, invalidating every memo —
+    the effective cache key is (placement version × metric version), so
+    a nearest-copy table computed before a network change can never be
+    served after it. *)
 
 type t
 
@@ -40,7 +47,8 @@ val copy_count : t -> int
 val mem : t -> int -> bool
 
 (** [version t] is the current placement version (starts at 1; each
-    mutation that actually changes the copy set increments it). *)
+    mutation that actually changes the copy set increments it, as does
+    the first query after an in-place metric repair). *)
 val version : t -> int
 
 (** [set_copies t copies] replaces the copy set ([copies] sorted

@@ -5,6 +5,34 @@ type kind = Read | Write
 
 type event = { node : int; x : int; kind : kind }
 
+type topo = Dmn_paths.Churn.event
+
+type item = Req of event | Topo of topo
+
+let items_of_events seq = Seq.map (fun e -> Req e) seq
+
+(* The [_seq] generators draw from the shared RNG as they are forced, so
+   forcing a sequence twice silently yields a *different* stream the
+   second time — a replay that looks plausible and is wrong. Wrap every
+   node with a forced-flag so reuse fails loudly instead, naming the
+   generator and the element where the second traversal diverged. *)
+let one_shot name seq =
+  let rec wrap idx node =
+    let forced = ref false in
+    fun () ->
+      if !forced then
+        Err.failf Err.Validation
+          "Stream.%s: one-shot sequence re-forced at element %d; the generator draws from its \
+           RNG as the sequence is forced, so a second traversal would silently produce a \
+           different stream — rebuild the sequence from a fresh seed to replay"
+          name idx;
+      forced := true;
+      match node () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (x, rest) -> Seq.Cons (x, wrap (idx + 1) rest)
+  in
+  wrap 0 seq
+
 let stationary_seq rng inst ~length =
   let n = I.n inst and k = I.objects inst in
   if length < 0 then invalid_arg "Stream.stationary: negative length";
@@ -32,7 +60,7 @@ let stationary_seq rng inst ~length =
     in
     pick 0 0
   in
-  Seq.init length (fun _ -> draw ())
+  one_shot "stationary" (Seq.init length (fun _ -> draw ()))
 
 let stationary rng inst ~length = List.of_seq (stationary_seq rng inst ~length)
 
@@ -64,7 +92,7 @@ let drifting_seq rng inst ~phases ~phase_length ~write_fraction =
         Seq.Cons (ev, next)
       end
     in
-    next
+    one_shot "drifting" next
   end
 
 let drifting rng inst ~phases ~phase_length ~write_fraction =

@@ -15,6 +15,26 @@ type kind = Read | Write
 
 type event = { node : int; x : int; kind : kind }
 
+(** A topology-churn event, interleavable with requests in a trace. *)
+type topo = Dmn_paths.Churn.event
+
+(** One trace item: a data request or a topology event. The churn-aware
+    replay engine consumes [item Seq.t]; pure request streams lift via
+    {!items_of_events}. *)
+type item = Req of event | Topo of topo
+
+(** [items_of_events seq] lifts a request stream into an item stream
+    (lazily — one-shot sequences stay one-shot, forced exactly once). *)
+val items_of_events : event Seq.t -> item Seq.t
+
+(** [one_shot name seq] guards a sequence against re-traversal: forcing
+    any node a second time raises {!Dmn_prelude.Err.Error} (kind
+    [Validation]) naming the generator [name] and the element index. The
+    [_seq] generators below are wrapped with it, because they draw from
+    the supplied RNG as they are forced — a second traversal would
+    silently yield a different stream. *)
+val one_shot : string -> 'a Seq.t -> 'a Seq.t
+
 (** [stationary_seq rng inst ~length] samples events i.i.d. from the
     instance's frequency tables (all objects pooled proportionally).
     The tables are validated eagerly: an instance with zero request

@@ -56,12 +56,15 @@ type epoch_stats = {
   events : int;
   reads : int;
   writes : int;
+  dropped : int;
   serving : float;
   storage : float;
   migration : float;
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  emergency : int;
+  topo : int;
   copies : int;
   p50 : float;
   p95 : float;
@@ -72,12 +75,15 @@ type totals = {
   events : int;
   reads : int;
   writes : int;
+  dropped : int;
   serving : float;
   storage : float;
   migration : float;
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  emergency : int;
+  topo : int;
   final_copies : int;
 }
 
@@ -117,6 +123,9 @@ type instruments = {
   c_resolves : Metrics.counter;
   c_solve_retries : Metrics.counter;
   c_solve_fallbacks : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_emergency : Metrics.counter;
+  c_topo : Metrics.counter;
   g_epoch : Metrics.gauge;
   g_events : Metrics.gauge;
   g_reads : Metrics.gauge;
@@ -127,6 +136,9 @@ type instruments = {
   g_resolves : Metrics.gauge;
   g_solve_retries : Metrics.gauge;
   g_solve_fallbacks : Metrics.gauge;
+  g_dropped : Metrics.gauge;
+  g_emergency : Metrics.gauge;
+  g_topo : Metrics.gauge;
   g_copies : Metrics.gauge;
   g_p50 : Metrics.gauge;
   g_p95 : Metrics.gauge;
@@ -144,6 +156,9 @@ let make_instruments () =
   let c_resolves = Metrics.counter reg "resolves_total" in
   let c_solve_retries = Metrics.counter reg "solve_retries" in
   let c_solve_fallbacks = Metrics.counter reg "solve_fallbacks" in
+  let c_dropped = Metrics.counter reg "dropped_total" in
+  let c_emergency = Metrics.counter reg "emergency_total" in
+  let c_topo = Metrics.counter reg "topo_total" in
   let g_epoch = Metrics.gauge reg "epoch" in
   let g_events = Metrics.gauge reg "epoch_events" in
   let g_reads = Metrics.gauge reg "epoch_reads" in
@@ -154,6 +169,9 @@ let make_instruments () =
   let g_resolves = Metrics.gauge reg "epoch_resolves" in
   let g_solve_retries = Metrics.gauge reg "epoch_solve_retries" in
   let g_solve_fallbacks = Metrics.gauge reg "epoch_solve_fallbacks" in
+  let g_dropped = Metrics.gauge reg "epoch_dropped" in
+  let g_emergency = Metrics.gauge reg "epoch_emergency" in
+  let g_topo = Metrics.gauge reg "epoch_topo" in
   let g_copies = Metrics.gauge reg "copies" in
   let g_p50 = Metrics.gauge reg "request_cost_p50" in
   let g_p95 = Metrics.gauge reg "request_cost_p95" in
@@ -167,6 +185,9 @@ let make_instruments () =
     c_resolves;
     c_solve_retries;
     c_solve_fallbacks;
+    c_dropped;
+    c_emergency;
+    c_topo;
     g_epoch;
     g_events;
     g_reads;
@@ -177,6 +198,9 @@ let make_instruments () =
     g_resolves;
     g_solve_retries;
     g_solve_fallbacks;
+    g_dropped;
+    g_emergency;
+    g_topo;
     g_copies;
     g_p50;
     g_p95;
@@ -203,6 +227,9 @@ let stats_to_row (s : epoch_stats) : Ckpt.epoch_row =
     solve_retries = s.solve_retries;
     solve_fallbacks = s.solve_fallbacks;
     copies = s.copies;
+    dropped = s.dropped;
+    emergency = s.emergency;
+    topo_events = s.topo;
     serving = s.serving;
     storage = s.storage;
     migration = s.migration;
@@ -217,12 +244,15 @@ let row_to_stats (r : Ckpt.epoch_row) : epoch_stats =
     events = r.events;
     reads = r.reads;
     writes = r.writes;
+    dropped = r.dropped;
     serving = r.serving;
     storage = r.storage;
     migration = r.migration;
     resolves = r.resolves;
     solve_retries = r.solve_retries;
     solve_fallbacks = r.solve_fallbacks;
+    emergency = r.emergency;
+    topo = r.topo_events;
     copies = r.copies;
     p50 = r.p50;
     p95 = r.p95;
@@ -233,7 +263,7 @@ let fp_event fp (e : Stream.event) =
   Ckpt.fingerprint_event fp
     { Serial.Trace.node = e.Stream.node; x = e.Stream.x; write = e.Stream.kind = Stream.Write }
 
-let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
+let run_items ?pool ?(config = default_config) ?ckpt ?resume inst placement items =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   if config.epoch <= 0 then invalid_arg "Engine.run: epoch must be positive";
   if config.attempts < 1 then invalid_arg "Engine.run: attempts must be >= 1";
@@ -266,13 +296,28 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
   | _ -> ());
   let n = I.n inst and k = I.objects inst in
   let metric = I.metric inst in
+  (* Topology churn state: a graph-backed instance gets a churn handle
+     over a {e private copy} of its metric ([Churn.create] deep-copies),
+     so [metric] itself stays pristine — resolve fallback distances and
+     emergency-replica selection are measured against the network the
+     placement was designed for. Until the first topology event the
+     copy's distances are bit-identical to [metric], so churn-capable
+     runs replay topology-free traces byte-identically to the old
+     engine. Metric-only instances have no graph to repair, so any
+     topology item is rejected in [fill]. *)
+  let churn = match I.graph inst with Some g -> Some (Churn.create g metric) | None -> None in
+  let live_metric = match churn with Some ch -> Churn.metric ch | None -> metric in
   (* One versioned serve cache per object: nearest-copy tables and MST
      weights are memoized against the placement version, so the serving
      fan-out does O(1) reads per event instead of O(c) scans. With
      [serve_cache = false] the same structures recompute every query —
-     the uncached baseline; costs are bit-identical either way. *)
+     the uncached baseline; costs are bit-identical either way. The
+     caches read the churned metric: after a repair bumps
+     {!Metric.version} the next query folds it into a placement-version
+     bump, so no stale distance survives a topology event. *)
   let caches =
-    Array.init k (fun x -> Sc.create ~cached:config.serve_cache metric ~x (P.copies placement ~x))
+    Array.init k (fun x ->
+        Sc.create ~cached:config.serve_cache live_metric ~x (P.copies placement ~x))
   in
   let cache_strategy =
     match config.policy with
@@ -313,16 +358,26 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
   let slot_of_x = Array.make k (-1) in
   let seen = ref 0 in
   let fingerprint = ref (Ckpt.fingerprint_init ~nodes:n ~objects:k) in
+  (* Topology items collected by [fill] wait here until the epoch
+     boundary: an event takes effect at the start of the epoch in which
+     it is consumed (the engine's time resolution is the epoch), so the
+     queue is always drained before that epoch serves — at every
+     checkpoint [topo_applied = topo_consumed]. *)
+  let pending_topo = Queue.create () in
+  let topo_consumed = ref 0 and topo_applied = ref 0 in
   let epochs = ref [] in
   let snapshots = ref [] in
   let t_events = ref 0
   and t_reads = ref 0
+  and t_dropped = ref 0
   and t_serving = ref 0.0
   and t_storage = ref 0.0
   and t_migration = ref 0.0
   and t_resolves = ref 0
   and t_solve_retries = ref 0
-  and t_solve_fallbacks = ref 0 in
+  and t_solve_fallbacks = ref 0
+  and t_emergency = ref 0
+  and t_topo = ref 0 in
   (* Re-apply one restored epoch row exactly as the live path recorded
      it: counters, gauges, snapshot, totals — so every downstream
      artifact of the resumed run matches the uninterrupted one. *)
@@ -337,6 +392,9 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
     Metrics.add ins.c_resolves s.resolves;
     Metrics.add ins.c_solve_retries s.solve_retries;
     Metrics.add ins.c_solve_fallbacks s.solve_fallbacks;
+    Metrics.add ins.c_dropped s.dropped;
+    Metrics.add ins.c_emergency s.emergency;
+    Metrics.add ins.c_topo s.topo;
     Metrics.set ins.g_epoch (float_of_int s.index);
     Metrics.set ins.g_events (float_of_int s.events);
     Metrics.set ins.g_reads (float_of_int s.reads);
@@ -347,6 +405,9 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
     Metrics.set ins.g_resolves (float_of_int s.resolves);
     Metrics.set ins.g_solve_retries (float_of_int s.solve_retries);
     Metrics.set ins.g_solve_fallbacks (float_of_int s.solve_fallbacks);
+    Metrics.set ins.g_dropped (float_of_int s.dropped);
+    Metrics.set ins.g_emergency (float_of_int s.emergency);
+    Metrics.set ins.g_topo (float_of_int s.topo);
     Metrics.set ins.g_copies (float_of_int s.copies);
     Metrics.set ins.g_p50 s.p50;
     Metrics.set ins.g_p95 s.p95;
@@ -360,7 +421,10 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
     t_migration := !t_migration +. s.migration;
     t_resolves := !t_resolves + s.resolves;
     t_solve_retries := !t_solve_retries + s.solve_retries;
-    t_solve_fallbacks := !t_solve_fallbacks + s.solve_fallbacks
+    t_solve_fallbacks := !t_solve_fallbacks + s.solve_fallbacks;
+    t_dropped := !t_dropped + s.dropped;
+    t_emergency := !t_emergency + s.emergency;
+    t_topo := !t_topo + s.topo
   in
   let write_checkpoint c ~next_epoch =
     Metrics.incr ops_ckpts;
@@ -377,6 +441,8 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
         period;
         next_epoch;
         events_consumed = !seen;
+        topo_consumed = !topo_consumed;
+        topo_applied = !topo_applied;
         fingerprint = !fingerprint;
         nodes = n;
         objects = k;
@@ -390,14 +456,25 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
             h_sum = Metrics.hist_sum ins.h_cost;
             h_counts = !h_counts;
           };
+        topo =
+          (match churn with
+          | Some ch when !topo_applied > 0 ->
+              let cm = Churn.metric ch in
+              {
+                Ckpt.metric_version = Metric.version cm;
+                metric_hash = Metric.hash64 cm;
+                down = Churn.down_nodes ch;
+                edge_overrides = Churn.overrides ch;
+              }
+          | _ -> Ckpt.no_topo);
         checkpoints_written = Metrics.counter_value ops_ckpts;
         serve_retries = Metrics.counter_value ops_serve_retries;
       }
   in
   (* ----- resume: validate, restore state, fast-forward the trace ----- *)
-  let start_index, events =
+  let start_index, items =
     match resume with
-    | None -> (0, events)
+    | None -> (0, items)
     | Some (c : Ckpt.t) ->
         if c.policy <> policy_name config.policy then
           Err.failf Err.Validation
@@ -442,20 +519,36 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
         Metrics.add ops_ckpts c.checkpoints_written;
         Metrics.add ops_serve_retries c.serve_retries;
         Metrics.incr ops_resumes;
-        (* fast-forward: skip the consumed prefix while recomputing the
-           trace-identity hash, then refuse a trace that differs *)
-        let rec forward seq i fp =
-          if i = c.events_consumed then (seq, fp)
+        (* fast-forward: skip the consumed prefix (requests and topology
+           items both) while recomputing the trace-identity hash, then
+           refuse a trace that differs. Consumed topology items are
+           collected in order so the churn state can be replayed and
+           checked against the checkpoint's topology section. *)
+        let rec forward seq nreq ntopo acc fp =
+          if nreq = c.events_consumed && ntopo = c.topo_consumed then (seq, List.rev acc, fp)
           else
             match Seq.uncons seq with
             | None ->
                 Err.failf Err.Validation
-                  "resume: the trace ends after %d events but the checkpoint consumed %d — \
-                   wrong or truncated trace?"
-                  i c.events_consumed
-            | Some (e, rest) -> forward rest (i + 1) (fp_event fp e)
+                  "resume: the trace ends after %d request and %d topology items but the \
+                   checkpoint consumed %d and %d — wrong or truncated trace?"
+                  nreq ntopo c.events_consumed c.topo_consumed
+            | Some (Stream.Req e, rest) ->
+                if nreq = c.events_consumed then
+                  Err.failf Err.Validation
+                    "resume: item mix diverges from the checkpoint — a request event arrives \
+                     after all %d checkpointed requests but before topology item %d of %d"
+                    c.events_consumed (ntopo + 1) c.topo_consumed;
+                forward rest (nreq + 1) ntopo acc (fp_event fp e)
+            | Some (Stream.Topo t, rest) ->
+                if ntopo = c.topo_consumed then
+                  Err.failf Err.Validation
+                    "resume: item mix diverges from the checkpoint — a topology item arrives \
+                     after all %d checkpointed topology items but before request %d of %d"
+                    c.topo_consumed (nreq + 1) c.events_consumed;
+                forward rest nreq (ntopo + 1) (t :: acc) (Ckpt.fingerprint_topo fp t)
         in
-        let rest, fp = forward events 0 !fingerprint in
+        let rest, topo_prefix, fp = forward items 0 0 [] !fingerprint in
         if fp <> c.fingerprint then
           Err.failf Err.Validation
             "resume: trace fingerprint %016Lx does not match the checkpoint's %016Lx — the \
@@ -463,6 +556,34 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
             fp c.fingerprint c.events_consumed;
         fingerprint := fp;
         seen := c.events_consumed;
+        (* replay the consumed topology events and prove the rebuilt
+           network matches the checkpoint's recorded state exactly —
+           version counter, distance-matrix hash, down set, overrides *)
+        (if topo_prefix <> [] then
+           match churn with
+           | None ->
+               Err.fail Err.Validation
+                 "resume: the checkpoint consumed topology events but this instance has no \
+                  graph to replay them against (metric-only instance)"
+           | Some ch ->
+               List.iter (Churn.apply ch) topo_prefix;
+               let cm = Churn.metric ch in
+               if Metric.version cm <> c.topo.Ckpt.metric_version
+                  || Metric.hash64 cm <> c.topo.Ckpt.metric_hash
+               then
+                 Err.failf Err.Validation
+                   "resume: replayed topology state (metric version %d, hash %016Lx) does not \
+                    match the checkpoint's (version %d, hash %016Lx)"
+                   (Metric.version cm) (Metric.hash64 cm) c.topo.Ckpt.metric_version
+                   c.topo.Ckpt.metric_hash;
+               if Churn.down_nodes ch <> c.topo.Ckpt.down then
+                 Err.fail Err.Validation
+                   "resume: replayed down-node set does not match the checkpoint's";
+               if Churn.overrides ch <> c.topo.Ckpt.edge_overrides then
+                 Err.fail Err.Validation
+                   "resume: replayed edge overrides do not match the checkpoint's");
+        topo_consumed := c.topo_consumed;
+        topo_applied := c.topo_applied;
         (c.next_epoch, rest)
   in
   let rec fill seq m =
@@ -470,7 +591,24 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
     else
       match Seq.uncons seq with
       | None -> (m, Seq.empty)
-      | Some (({ Stream.node; x; _ } as e), rest) ->
+      | Some (Stream.Topo t, rest) ->
+          (match (config.policy, churn) with
+          | Cache, _ ->
+              Err.failf Err.Validation
+                "Engine.run: topology event (%s) under the cache policy: its per-event \
+                 threshold state cannot track a changing metric; use static or resolve"
+                (Churn.event_to_string t)
+          | _, None ->
+              Err.failf Err.Validation
+                "Engine.run: topology event (%s) on a metric-only instance: there is no graph \
+                 to repair, so topology churn needs a graph-backed instance"
+                (Churn.event_to_string t)
+          | _, Some _ -> ());
+          fingerprint := Ckpt.fingerprint_topo !fingerprint t;
+          incr topo_consumed;
+          Queue.add t pending_topo;
+          fill rest m
+      | Some (Stream.Req ({ Stream.node; x; _ } as e), rest) ->
           if node < 0 || node >= n then
             invalid_arg
               (Printf.sprintf "Engine.run: event %d: node %d out of range [0, %d)" !seen node n);
@@ -482,9 +620,106 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
           buffer.(m) <- e;
           fill rest (m + 1)
   in
+  (* Drain the pending topology queue at the epoch boundary (after
+     [fill], before serving): each event repairs the churned metric in
+     place. Then scan for objects whose {e entire} copy set is now on
+     dead nodes — they would be unreachable from everywhere — and
+     emergency-re-replicate each onto the live node nearest its old
+     copy set (by the pristine metric: the distances the data actually
+     travels from wherever the copies physically were). The transfer is
+     charged as migration. Replication runs under the same supervisor
+     as serving, at its own fault point, so injected faults are retried
+     and outcomes survive resume. Returns
+     [(applied, emergencies, migration_charge)]. *)
+  let apply_pending index =
+    if Queue.is_empty pending_topo then (0, 0, 0.0)
+    else
+      match churn with
+      | None -> Err.fail Err.Internal "Engine.run: pending topology events without churn state"
+      | Some ch ->
+          let applied = ref 0 in
+          while not (Queue.is_empty pending_topo) do
+            Churn.apply ch (Queue.pop pending_topo);
+            incr applied;
+            incr topo_applied
+          done;
+          let needy = ref [] in
+          for x = k - 1 downto 0 do
+            let cps = Sc.copies_array caches.(x) in
+            if not (Array.exists (Churn.alive ch) cps) then needy := x :: !needy
+          done;
+          let needy = Array.of_list !needy in
+          let nn = Array.length needy in
+          if nn = 0 then (!applied, 0, 0.0)
+          else begin
+            let supervision =
+              {
+                Pool.attempts = config.attempts;
+                deadline_s = None;
+                backoff_s = config.backoff_s;
+                point = "engine.replicate";
+                salt = (fun s -> (index * 1_000_003) + needy.(s));
+              }
+            in
+            let outcomes, _retries =
+              Pool.supervised_init pool ~supervision nn (fun s ->
+                  let x = needy.(s) in
+                  let old = Sc.copies_array caches.(x) in
+                  let best = ref (-1) and bd = ref infinity in
+                  for v = 0 to n - 1 do
+                    if Churn.alive ch v then begin
+                      let d =
+                        Array.fold_left
+                          (fun acc o -> Float.min acc (Metric.d metric v o))
+                          infinity old
+                      in
+                      if d < !bd then begin
+                        best := v;
+                        bd := d
+                      end
+                    end
+                  done;
+                  if !best < 0 then
+                    Err.failf Err.Validation
+                      "epoch %d: object %d lost every copy and no node is alive to host an \
+                       emergency replica"
+                      index x;
+                  (!best, !bd))
+            in
+            let charge = ref 0.0 in
+            Array.iteri
+              (fun s outcome ->
+                match outcome with
+                | Error (f : Pool.failure) ->
+                    Err.failf f.error.Err.kind
+                      "epoch %d: emergency re-replication of object %d failed after %d \
+                       attempt%s: %s"
+                      index needy.(s) f.attempts
+                      (if f.attempts = 1 then "" else "s")
+                      f.error.Err.msg
+                | Ok (v, d) ->
+                    Sc.set_copies caches.(needy.(s)) [ v ];
+                    charge := !charge +. d)
+              outcomes;
+            (!applied, nn, !charge)
+          end
+  in
   let rec loop seq index =
     let m, rest = fill seq 0 in
-    if m = 0 then ()
+    let applied, emergency, emg_migration = apply_pending index in
+    if m = 0 then begin
+      (* trailing topology events with no requests left: the network
+         change (and any emergency replication it forced) is real, but
+         there is no epoch to attribute it to — fold it straight into
+         the run totals *)
+      if applied > 0 then begin
+        Metrics.add ins.c_topo applied;
+        Metrics.add ins.c_emergency emergency;
+        t_topo := !t_topo + applied;
+        t_emergency := !t_emergency + emergency;
+        t_migration := !t_migration +. emg_migration
+      end
+    end
     else begin
       (* shard the epoch's events by object id *)
       Array.fill counts 0 k 0;
@@ -523,7 +758,20 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
                 Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
             | None ->
                 let t = caches.(x) in
-                Array.map (fun e -> Sc.serve_cost t ~node:e.Stream.node e.Stream.kind) evs)
+                (* drop sentinels, classified in the sequential merge: a
+                   request from a dead node costs -1.0 (the requester is
+                   gone); a request whose nearest copy is unreachable
+                   costs infinity (the requester is partitioned away
+                   from every copy) *)
+                (match churn with
+                | Some ch when Churn.churned ch ->
+                    Array.map
+                      (fun e ->
+                        if not (Churn.alive ch e.Stream.node) then -1.0
+                        else Sc.serve_cost t ~node:e.Stream.node e.Stream.kind)
+                      evs
+                | _ ->
+                    Array.map (fun e -> Sc.serve_cost t ~node:e.Stream.node e.Stream.kind) evs))
       in
       Metrics.add ops_serve_retries serve_retries;
       let costs_per_obj =
@@ -542,18 +790,27 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
       (* sequential merge in object order: float sums, histogram
          observations and the percentile sample are all accumulated
          here, in a scheduling-independent order *)
+      (* sequential merge: served costs feed the sums, the histogram and
+         the percentile sample; dropped requests (dead requester -1.0,
+         partitioned requester infinity) are counted and excluded from
+         every cost aggregate. Reads/writes count all consumed requests
+         either way — demand does not vanish because the network ate
+         it. *)
       let epoch_costs = Array.make m 0.0 in
       let pos = ref 0 in
-      let serving = ref 0.0 and reads = ref 0 in
+      let serving = ref 0.0 and reads = ref 0 and dropped = ref 0 in
       for s = 0 to na - 1 do
         let evs = obj_events.(s) and cs = costs_per_obj.(s) in
         for i = 0 to Array.length cs - 1 do
           let c = cs.(i) in
-          serving := !serving +. c;
-          epoch_costs.(!pos) <- c;
-          incr pos;
-          Metrics.observe ins.h_cost c;
-          if evs.(i).Stream.kind = Stream.Read then incr reads
+          if evs.(i).Stream.kind = Stream.Read then incr reads;
+          if c < 0.0 || not (Float.is_finite c) then incr dropped
+          else begin
+            serving := !serving +. c;
+            epoch_costs.(!pos) <- c;
+            incr pos;
+            Metrics.observe ins.h_cost c
+          end
         done
       done;
       let writes = m - !reads in
@@ -578,15 +835,44 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
       (match config.policy with
       | Static | Cache -> ()
       | Resolve ->
+          (* Under churn the re-solve sees the network as it now is: the
+             churned metric (with unreachable pairs clamped to a finite
+             penalty — 4x the largest finite distance — because the
+             solver's cost sums must not meet infinity), storage
+             forbidden on dead nodes via infinite cs, and dead
+             requesters' demand excluded. Without churn every input
+             below reduces to exactly the pristine path. *)
+          let churned = match churn with Some ch -> Churn.churned ch | None -> false in
+          let is_dead v = match churn with Some ch -> not (Churn.alive ch v) | None -> false in
           let fr = Array.make_matrix k n 0 and fw = Array.make_matrix k n 0 in
           for i = 0 to m - 1 do
             let { Stream.node; x; kind } = buffer.(i) in
-            match kind with
-            | Stream.Read -> fr.(x).(node) <- fr.(x).(node) + 1
-            | Stream.Write -> fw.(x).(node) <- fw.(x).(node) + 1
+            if not (churned && is_dead node) then
+              match kind with
+              | Stream.Read -> fr.(x).(node) <- fr.(x).(node) + 1
+              | Stream.Write -> fw.(x).(node) <- fw.(x).(node) + 1
           done;
-          let scaled_cs = Array.init n (fun v -> I.cs inst v *. frac) in
-          let einst = I.of_metric metric ~cs:scaled_cs ~fr ~fw in
+          let place_metric =
+            match churn with
+            | Some ch when Churn.churned ch ->
+                let cm = Churn.metric ch in
+                let sz = Metric.size cm in
+                let has_inf = ref false in
+                for i = 0 to sz - 1 do
+                  let r = Metric.row cm i in
+                  for j = 0 to sz - 1 do
+                    if not (Float.is_finite (Metric.row_get r j)) then has_inf := true
+                  done
+                done;
+                if !has_inf then
+                  Metric.clamp_infinite cm ~limit:((4.0 *. Metric.max_finite cm) +. 1.0)
+                else cm
+            | _ -> metric
+          in
+          let scaled_cs =
+            Array.init n (fun v -> if churned && is_dead v then infinity else I.cs inst v *. frac)
+          in
+          let einst = I.of_metric place_metric ~cs:scaled_cs ~fr ~fw in
           let solve_supervision =
             {
               Pool.attempts = config.attempts;
@@ -608,38 +894,52 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
                 (* graceful degradation: keep the previous epoch's
                    placement for this object *)
                 incr solve_fallbacks
-            | Ok cps ->
-                incr resolves;
-                let t = caches.(x) in
-                let old = Sc.copies_array t in
-                List.iter
-                  (fun c ->
-                    if not (Sc.mem t c) then
-                      let d =
-                        Array.fold_left
-                          (fun acc o -> Float.min acc (Metric.d metric c o))
-                          infinity old
-                      in
-                      migration := !migration +. d)
-                  cps;
-                Sc.set_copies t cps
+            | Ok cps -> (
+                (* defense in depth: infinite storage cost should already
+                   keep the solver off dead nodes, but a placement that
+                   slipped one through must not survive — and if every
+                   copy landed on a dead node, keep the previous set *)
+                let cps = if churned then List.filter (fun c -> not (is_dead c)) cps else cps in
+                match cps with
+                | [] -> incr solve_fallbacks
+                | cps ->
+                    incr resolves;
+                    let t = caches.(x) in
+                    let old = Sc.copies_array t in
+                    List.iter
+                      (fun c ->
+                        if not (Sc.mem t c) then
+                          let d =
+                            Array.fold_left
+                              (fun acc o -> Float.min acc (Metric.d place_metric c o))
+                              infinity old
+                          in
+                          migration := !migration +. d)
+                      cps;
+                    Sc.set_copies t cps)
           done);
       let copies_now = total_copies () in
-      let p50 = Stats.percentile epoch_costs 50.0
-      and p95 = Stats.percentile epoch_costs 95.0
-      and p99 = Stats.percentile epoch_costs 99.0 in
+      (* percentiles over served requests only; an epoch whose every
+         request was dropped has no cost sample at all *)
+      let served = if !pos = m then epoch_costs else Array.sub epoch_costs 0 !pos in
+      let p50 = if !pos = 0 then 0.0 else Stats.percentile served 50.0 in
+      let p95 = if !pos = 0 then 0.0 else Stats.percentile served 95.0 in
+      let p99 = if !pos = 0 then 0.0 else Stats.percentile served 99.0 in
       record
         {
           index;
           events = m;
           reads = !reads;
           writes;
+          dropped = !dropped;
           serving = !serving;
           storage = !storage;
-          migration = !migration;
+          migration = !migration +. emg_migration;
           resolves = !resolves;
           solve_retries = !solve_retries;
           solve_fallbacks = !solve_fallbacks;
+          emergency;
+          topo = applied;
           copies = copies_now;
           p50;
           p95;
@@ -657,7 +957,7 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
       loop rest (index + 1)
     end
   in
-  loop events start_index;
+  loop items start_index;
   {
     policy = config.policy;
     epoch_size = config.epoch;
@@ -668,12 +968,15 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
         events = !t_events;
         reads = !t_reads;
         writes = !t_events - !t_reads;
+        dropped = !t_dropped;
         serving = !t_serving;
         storage = !t_storage;
         migration = !t_migration;
         resolves = !t_resolves;
         solve_retries = !t_solve_retries;
         solve_fallbacks = !t_solve_fallbacks;
+        emergency = !t_emergency;
+        topo = !t_topo;
         final_copies = total_copies ();
       };
     snapshots = List.rev !snapshots;
@@ -681,22 +984,29 @@ let run ?pool ?(config = default_config) ?ckpt ?resume inst placement events =
     ops = Metrics.snapshot ops_reg;
   }
 
+let run ?pool ?config ?ckpt ?resume inst placement events =
+  run_items ?pool ?config ?ckpt ?resume inst placement (Stream.items_of_events events)
+
 let of_trace_event { Serial.Trace.node; x; write } =
   { Stream.node; x; kind = (if write then Stream.Write else Stream.Read) }
 
+let of_trace_item = function
+  | Serial.Trace.Req e -> Stream.Req (of_trace_event e)
+  | Serial.Trace.Topo t -> Stream.Topo t
+
 let run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst placement path =
-  Serial.Trace.with_reader ?tolerate_truncation path (fun header events ->
+  Serial.Trace.with_items ?tolerate_truncation path (fun header items ->
       if header.Serial.Trace.nodes <> I.n inst || header.Serial.Trace.objects <> I.objects inst
       then
         Err.failf ~file:path Err.Validation
           "trace header (%d nodes, %d objects) does not match the instance (%d nodes, %d objects)"
           header.Serial.Trace.nodes header.Serial.Trace.objects (I.n inst) (I.objects inst);
-      run ?pool ?config ?ckpt ?resume inst placement (Seq.map of_trace_event events))
+      run_items ?pool ?config ?ckpt ?resume inst placement (Seq.map of_trace_item items))
 
 let metrics_json inst r =
   let buf = Buffer.create 4096 in
   let fl = Metrics.json_float in
-  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":2";
+  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":3";
   Buffer.add_string buf (Printf.sprintf ",\"policy\":%S" (policy_name r.policy));
   Buffer.add_string buf (Printf.sprintf ",\"epoch_size\":%d" r.epoch_size);
   Buffer.add_string buf (Printf.sprintf ",\"storage_period\":%d" r.period);
@@ -713,9 +1023,9 @@ let metrics_json inst r =
   let t = r.totals in
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"solve_retries\":%d,\"solve_fallbacks\":%d,\"final_copies\":%d,\"total_cost\":%s}"
-       t.events t.reads t.writes (fl t.serving) (fl t.storage) (fl t.migration) t.resolves
-       t.solve_retries t.solve_fallbacks t.final_copies
+       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"dropped\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"solve_retries\":%d,\"solve_fallbacks\":%d,\"emergency\":%d,\"topo\":%d,\"final_copies\":%d,\"total_cost\":%s}"
+       t.events t.reads t.writes t.dropped (fl t.serving) (fl t.storage) (fl t.migration)
+       t.resolves t.solve_retries t.solve_fallbacks t.emergency t.topo t.final_copies
        (fl (total_cost t)));
   (match List.assoc_opt "request_cost" r.final with
   | Some (Metrics.Hist _ as h) ->

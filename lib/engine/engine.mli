@@ -43,6 +43,26 @@
       [Static] and [Resolve] policies ([Cache] keeps per-event state
       inside strategy closures and refuses both sides with a
       structured error).
+    - {b Topology churn and degraded serving.} Traces may interleave
+      topology items (edge reweight/removal/addition, node
+      failure/recovery — {!Dmn_paths.Churn.event}) with requests. On a
+      graph-backed instance the engine keeps a {!Dmn_paths.Churn}
+      handle over a private copy of the metric and repairs it
+      incrementally; topology items collected while reading an epoch
+      take effect {e at the start of that epoch} (the engine's time
+      resolution), before any of its requests are served. Requests from
+      dead nodes, and requests partitioned away from every copy, are
+      {e dropped and counted} rather than served; an object whose whole
+      copy set dies is emergency-re-replicated onto the nearest live
+      node under supervision (charged as migration). The [Resolve]
+      policy re-solves against the churned network — unreachable
+      distances clamped to a finite penalty, storage forbidden on dead
+      nodes — while [Cache] refuses topology items (its threshold state
+      cannot track a changing metric), as do metric-only instances
+      (nothing to repair). Checkpoints record the topology delta
+      (overrides, down set, metric version and hash), and resume
+      replays and verifies it, so kill-and-resume stays byte-identical
+      under churn.
     - {b Telemetry.} A {!Dmn_prelude.Metrics} registry (cumulative
       counters, per-epoch gauges, a log-scale histogram of per-request
       serving cost) is snapshotted every epoch; {!metrics_json} renders
@@ -115,15 +135,20 @@ type epoch_stats = {
   index : int;  (** 0-based epoch number *)
   events : int;
   reads : int;
-  writes : int;
-  serving : float;
+  writes : int;  (** reads/writes count all consumed requests, dropped included *)
+  dropped : int;
+      (** requests not served: the requester was dead, or partitioned
+          away from every copy of the object *)
+  serving : float;  (** served requests only *)
   storage : float;
-  migration : float;
+  migration : float;  (** re-solve transfers plus emergency replication *)
   resolves : int;  (** objects successfully re-solved at this boundary *)
   solve_retries : int;
   solve_fallbacks : int;
+  emergency : int;  (** objects emergency-re-replicated at this boundary *)
+  topo : int;  (** topology events applied at the start of this epoch *)
   copies : int;
-  p50 : float;
+  p50 : float;  (** percentiles over served requests; 0 if all dropped *)
   p95 : float;
   p99 : float;
 }
@@ -132,12 +157,17 @@ type totals = {
   events : int;
   reads : int;
   writes : int;
+  dropped : int;
   serving : float;
   storage : float;
   migration : float;
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  emergency : int;
+  topo : int;
+      (** applied topology events, including any trailing ones consumed
+          after the last served epoch *)
   final_copies : int;
 }
 
@@ -203,15 +233,37 @@ val run :
   Dmn_dynamic.Stream.event Seq.t ->
   result
 
+(** [run_items] is {!run} over a mixed stream of requests and topology
+    items ({!Dmn_dynamic.Stream.item}); [run events] is
+    [run_items (Stream.items_of_events events)]. Topology items do not
+    count toward the epoch size — an epoch is [epoch] {e requests}.
+    @raise Dmn_prelude.Err.Error (kind [Validation]) additionally on a
+    topology item under the [Cache] policy or on a metric-only
+    instance, and on resume when the replayed topology state disagrees
+    with the checkpoint's recorded delta. *)
+val run_items :
+  ?pool:Dmn_prelude.Pool.t ->
+  ?config:config ->
+  ?ckpt:checkpointing ->
+  ?resume:Dmn_core.Serial.Checkpoint.t ->
+  Dmn_core.Instance.t ->
+  Dmn_core.Placement.t ->
+  Dmn_dynamic.Stream.item Seq.t ->
+  result
+
 (** [of_trace_event e] converts a stored trace event to a stream
     event. *)
 val of_trace_event : Dmn_core.Serial.Trace.event -> Dmn_dynamic.Stream.event
 
+(** [of_trace_item it] converts a stored trace item (request or
+    topology event) to a stream item. *)
+val of_trace_item : Dmn_core.Serial.Trace.item -> Dmn_dynamic.Stream.item
+
 (** [run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst
-    placement path] streams the trace file at [path] through {!run},
-    first checking the trace header against the instance shape.
-    [tolerate_truncation] is forwarded to
-    {!Dmn_core.Serial.Trace.with_reader}.
+    placement path] streams the trace file at [path] — requests and
+    topology events both — through {!run_items}, first checking the
+    trace header against the instance shape. [tolerate_truncation] is
+    forwarded to {!Dmn_core.Serial.Trace.with_items}.
     @raise Dmn_prelude.Err.Error on a malformed trace, a header that
     does not match the instance, a checkpoint/resume violation, or I/O
     failure. *)

@@ -9,10 +9,11 @@ type t
 (** An undirected edge [(u, v, w)] with [u <> v] and [w >= 0]. *)
 type edge = int * int * float
 
-(** [create n edges] builds a graph on [n] nodes. Duplicate edges and
-    self-loops are rejected with [Invalid_argument], as are non-finite
-    (NaN or infinite) or negative weights and out-of-range endpoints.
-    The edge list is deduplicated by unordered endpoint pair check. *)
+(** [create n edges] builds a graph on [n] nodes. A duplicate edge
+    (same unordered endpoint pair listed twice) is rejected with a
+    structured {!Dmn_prelude.Err.Error} (kind [Validation]) naming the
+    pair; self-loops, non-finite (NaN or infinite) or negative weights
+    and out-of-range endpoints raise [Invalid_argument]. *)
 val create : int -> edge list -> t
 
 val n : t -> int
@@ -44,6 +45,16 @@ val max_degree : t -> int
 val edge_weight : t -> int -> int -> float
 
 val has_edge : t -> int -> int -> bool
+
+(** [with_edge_weight g u v w] is [g] with the weight of the existing
+    edge [(u, v)] replaced by [w] — a fresh graph sharing adjacency
+    structure (and hence CSR layout and Dijkstra tie-breaks) with [g],
+    built in O(m) without re-validating the edge set. The cheap path
+    for weight-only topology churn.
+    @raise Not_found if the edge is absent.
+    @raise Invalid_argument on out-of-range endpoints, a self-loop, or
+    a weight that is negative or not finite. *)
+val with_edge_weight : t -> int -> int -> float -> t
 
 (** [bfs_hops g src] is the hop distance from [src] to every node, [-1]
     for nodes unreachable from [src]. *)

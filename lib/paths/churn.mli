@@ -1,0 +1,74 @@
+(** Topology churn: a mutable view of a network whose edges and nodes
+    fail, recover, and change weight over time.
+
+    The state is the pristine graph plus a set of edge overrides and a
+    node-liveness vector; the {e current} graph is always derived from
+    those (deterministically — edges sorted canonically so the CSR
+    layout, and with it every Dijkstra tie-break, is independent of
+    event order or hash-table internals). The metric is a private copy
+    of the pristine closure repaired in place after each event with the
+    cheapest sound update from {!Metric}'s repair primitives, so a
+    single-edge event costs far less than a full
+    {!Metric.of_graph} recompute. Pairs a partition disconnects are
+    stored as [infinity]. *)
+
+open Dmn_graph
+
+(** One topology event. Endpoint pairs are unordered. *)
+type event =
+  | Edge_weight of { u : int; v : int; w : float }
+      (** reweight an existing edge (up or down) *)
+  | Edge_down of { u : int; v : int }  (** remove an existing edge *)
+  | Edge_up of { u : int; v : int; w : float }
+      (** add an edge that is currently absent (possibly one previously
+          removed) *)
+  | Node_down of int  (** fail a live node: all incident edges vanish *)
+  | Node_up of int  (** revive a failed node: incident edges return *)
+
+val event_to_string : event -> string
+
+type t
+
+(** [create g m] starts churn tracking from pristine graph [g] and its
+    metric closure [m] (which is deep-copied — the caller's metric is
+    never mutated). @raise Invalid_argument on a size mismatch. *)
+val create : Wgraph.t -> Metric.t -> t
+
+(** [apply t ev] applies one event: updates the override/liveness
+    state, rebuilds the current graph, and repairs the metric in place
+    (bumping {!Metric.version}).
+    @raise Dmn_prelude.Err.Error (kind [Validation]) on an inconsistent
+    event: out-of-range node, self-loop, bad weight, reweighting or
+    removing an absent edge, adding a present edge, failing a dead node
+    or reviving a live one. The state is unchanged on failure. *)
+val apply : t -> event -> unit
+
+(** [graph t] is the current graph: pristine edges with overrides
+    applied, minus every edge incident to a down node. *)
+val graph : t -> Wgraph.t
+
+(** [metric t] is the repaired metric for the current graph. Distances
+    involving a down node, or between nodes a partition separates, are
+    [infinity]. The same value (physically) is returned across events —
+    it is repaired in place, so consumers must key caches on
+    {!Metric.version}. *)
+val metric : t -> Metric.t
+
+val alive : t -> int -> bool
+
+(** [down_nodes t] lists currently-failed nodes in ascending order. *)
+val down_nodes : t -> int list
+
+val down_count : t -> int
+
+(** [overrides t] lists the current edge overrides in canonical order:
+    [((u, v), Some w)] for a reweighted or added edge, [((u, v), None)]
+    for a removed one, with [u < v]. Used to serialize the topology
+    delta into checkpoints. *)
+val overrides : t -> ((int * int) * float option) list
+
+(** [events_applied t] counts successfully applied events. *)
+val events_applied : t -> int
+
+(** [churned t] holds once any event has been applied. *)
+val churned : t -> bool

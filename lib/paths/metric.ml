@@ -4,12 +4,21 @@ open Dmn_prelude
 (* Row-major flat storage: d(u, v) lives at [u * n + v]. A single
    unboxed float array keeps every row contiguous — the nearest-copy
    scans and MST subset loops of the serve path walk rows without
-   chasing a per-row pointer, and the whole metric is one allocation. *)
-type t = { n : int; flat : float array }
+   chasing a per-row pointer, and the whole metric is one allocation.
+
+   [version] supports topology churn: every in-place repair
+   ({!recompute_rows}, {!relax_edge}, {!relax_via}, {!touch}) bumps it,
+   so consumers that memoize derived data (the per-placement serve
+   caches) can key their state on (placement version × metric version)
+   and can never serve a distance that predates a network change. *)
+type t = { n : int; flat : float array; mutable version : int }
 
 type row = { data : float array; off : int }
 
 let size m = m.n
+let version m = m.version
+let touch m = m.version <- m.version + 1
+let copy m = { n = m.n; flat = Array.copy m.flat; version = m.version }
 let d m u v = m.flat.((u * m.n) + v)
 let unsafe_d m u v = Array.unsafe_get m.flat ((u * m.n) + v)
 
@@ -22,7 +31,7 @@ let row_get r u = Array.unsafe_get r.data (r.off + u)
 let of_rows n rows =
   let flat = Array.make (n * n) 0.0 in
   Array.iteri (fun v r -> Array.blit r 0 flat (v * n) n) rows;
-  { n; flat }
+  { n; flat; version = 1 }
 
 (* One Dijkstra per source row; rows are independent, so fan out over
    the domain pool in chunked batches (bit-identical to the sequential
@@ -47,7 +56,7 @@ let of_graph ?pool ?chunks g =
           Array.unsafe_set flat (base + u) d
         done
       done);
-  { n; flat }
+  { n; flat; version = 1 }
 
 let of_graph_floyd g =
   let n = Wgraph.n g in
@@ -128,11 +137,11 @@ let of_points pts =
       flat.((i * n) + j) <- Float.hypot (xi -. xj) (yi -. yj)
     done
   done;
-  { n; flat }
+  { n; flat; version = 1 }
 
 let scale c m =
   if c < 0.0 then invalid_arg "Metric.scale: negative factor";
-  { n = m.n; flat = Array.map (fun x -> c *. x) m.flat }
+  { n = m.n; flat = Array.map (fun x -> c *. x) m.flat; version = 1 }
 
 let to_matrix m = Array.init m.n (fun v -> Array.sub m.flat (v * m.n) m.n)
 
@@ -148,6 +157,95 @@ let nearest_dists m nodes =
   let out = Array.make (max 1 m.n) 0.0 in
   nearest_dists_into m nodes out;
   if Array.length out = m.n then out else [||]
+
+(* ----- incremental repair under topology churn -----
+
+   A full [of_graph] recompute runs one Dijkstra per node. A single
+   churn event invalidates far fewer rows: an edge-weight decrease (or
+   a restored edge) is a pure all-pairs relaxation through that edge
+   (O(n^2), no Dijkstra at all), and an increase/removal only touches
+   sources whose shortest-path tree used the edge — the caller
+   ({!Churn}) selects those rows and hands them here for targeted
+   re-computation, reusing one {!Dijkstra.scratch} across the batch.
+   Unlike [of_graph], repaired rows permit [infinity]: an unreachable
+   pair is exactly what a partition looks like, and the serve layer
+   treats a non-finite cost as "drop and count". Each repair writes
+   both the row and (by symmetry) the column, so the matrix stays
+   exactly symmetric, and bumps [version]. *)
+
+let recompute_rows m g rows =
+  if Wgraph.n g <> m.n then invalid_arg "Metric.recompute_rows: graph size mismatch";
+  let n = m.n in
+  let s = Dijkstra.scratch n in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Metric.recompute_rows: row out of range";
+      let dist = Dijkstra.run_scratch s g v in
+      Array.blit dist 0 m.flat (v * n) n;
+      for u = 0 to n - 1 do
+        m.flat.((u * n) + v) <- Array.unsafe_get dist u
+      done)
+    rows;
+  touch m
+
+let relax_edge m ~u ~v ~w =
+  if u < 0 || u >= m.n || v < 0 || v >= m.n then invalid_arg "Metric.relax_edge: out of range";
+  if not (Float.is_finite w) || w < 0.0 then
+    invalid_arg "Metric.relax_edge: weight must be finite and non-negative";
+  let n = m.n in
+  (* distances to the endpoints after using the cheaper edge once *)
+  let du = Array.make n 0.0 and dv = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let diu = m.flat.((i * n) + u) and div_ = m.flat.((i * n) + v) in
+    du.(i) <- Float.min diu (div_ +. w);
+    dv.(i) <- Float.min div_ (diu +. w)
+  done;
+  for i = 0 to n - 1 do
+    let base = i * n in
+    let diu = du.(i) and div_ = dv.(i) in
+    for j = 0 to n - 1 do
+      let cand = Float.min (diu +. w +. dv.(j)) (div_ +. w +. du.(j)) in
+      if cand < Array.unsafe_get m.flat (base + j) then Array.unsafe_set m.flat (base + j) cand
+    done
+  done;
+  touch m
+
+let relax_via m z =
+  if z < 0 || z >= m.n then invalid_arg "Metric.relax_via: node out of range";
+  let n = m.n in
+  let dz = Array.sub m.flat (z * n) n in
+  for i = 0 to n - 1 do
+    let base = i * n in
+    let diz = dz.(i) in
+    if Float.is_finite diz then
+      for j = 0 to n - 1 do
+        let cand = diz +. Array.unsafe_get dz j in
+        if cand < Array.unsafe_get m.flat (base + j) then Array.unsafe_set m.flat (base + j) cand
+      done
+  done;
+  touch m
+
+let max_finite m =
+  Array.fold_left (fun acc x -> if Float.is_finite x && x > acc then x else acc) 0.0 m.flat
+
+let clamp_infinite m ~limit =
+  if not (Float.is_finite limit && limit >= 0.0) then
+    invalid_arg "Metric.clamp_infinite: limit must be finite and non-negative";
+  {
+    n = m.n;
+    flat = Array.map (fun x -> if Float.is_finite x then x else limit) m.flat;
+    version = 1;
+  }
+
+let hash64 m =
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  Array.fold_left
+    (fun h x -> mix (Int64.add (Int64.mul h 0x100000001b3L) (Int64.bits_of_float x)))
+    (mix (Int64.of_int m.n)) m.flat
 
 let nearest m v nodes =
   match nodes with

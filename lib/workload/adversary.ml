@@ -1,0 +1,226 @@
+open Dmn_prelude
+open Dmn_graph
+module I = Dmn_core.Instance
+module Stream = Dmn_dynamic.Stream
+module Churn = Dmn_paths.Churn
+
+(* Adversarial item streams: request patterns and topology churn chosen
+   to stress a placement policy where it hurts — demand that moves,
+   spikes, appears and disappears, and a network that fails underneath
+   the copies. Every generator draws from its RNG as the sequence is
+   forced, so each result is wrapped in {!Stream.one_shot} and valid
+   for exactly one traversal.
+
+   Generators that emit topology events track their own model of the
+   network state (which nodes are down, which edges are surged) and
+   only ever emit events that are valid against that state, so a
+   generated stream always replays cleanly through {!Dmn_paths.Churn}. *)
+
+let graph_of who inst =
+  match I.graph inst with
+  | Some g -> g
+  | None ->
+      Err.failf Err.Validation
+        "Adversary.%s: the instance is metric-only; topology churn needs a graph-backed \
+         instance (Instance.of_graph)"
+        who
+
+let req rng ~hot ~k ~write_fraction =
+  {
+    Stream.node = Rng.pick rng hot;
+    x = Rng.int rng k;
+    kind = (if Rng.float rng 1.0 < write_fraction then Stream.Write else Stream.Read);
+  }
+
+(* Daily cycle: daytime traffic concentrates on the "office" side of
+   the network — the half of the nodes nearest node 0 by hop count, so
+   the demand centroid actually moves across the network at dusk — while
+   the core links congest (weight surge); at night demand moves to the
+   far half and the links relax. The surge set is the heaviest quarter
+   of the edges — the ones a daytime placement most wants to route
+   around. *)
+let diurnal rng inst ~days ~day_length ~write_fraction =
+  if days < 0 then invalid_arg "Adversary.diurnal: negative day count";
+  if day_length < 2 then invalid_arg "Adversary.diurnal: day_length must be >= 2";
+  let g = graph_of "diurnal" inst in
+  let n = I.n inst and k = I.objects inst in
+  let edges = Array.of_list (Wgraph.edges g) in
+  Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) edges;
+  let surged = Array.sub edges 0 (max 1 (Array.length edges / 4)) in
+  let by_hops = Array.init n Fun.id in
+  let hops = Wgraph.bfs_hops g 0 in
+  Array.sort (fun a b -> compare (hops.(a), a) (hops.(b), b)) by_hops;
+  let day_nodes = Array.sub by_hops 0 ((n + 1) / 2) in
+  let night_nodes = Array.sub by_hops ((n + 1) / 2) (n / 2) in
+  let night_nodes = if Array.length night_nodes = 0 then day_nodes else night_nodes in
+  let half = day_length / 2 in
+  let state = ref `Dawn and day = ref 0 and emitted = ref 0 in
+  let pending = Queue.create () in
+  let rec next () =
+    if not (Queue.is_empty pending) then Seq.Cons (Stream.Topo (Queue.pop pending), next)
+    else if !day >= days then Seq.Nil
+    else
+      match !state with
+      | `Dawn ->
+          Array.iter
+            (fun (u, v, w) -> Queue.add (Churn.Edge_weight { u; v; w = w *. 4.0 }) pending)
+            surged;
+          state := `Day;
+          emitted := 0;
+          next ()
+      | `Day ->
+          if !emitted = half then begin
+            Array.iter
+              (fun (u, v, w) -> Queue.add (Churn.Edge_weight { u; v; w }) pending)
+              surged;
+            state := `Night;
+            emitted := 0;
+            next ()
+          end
+          else begin
+            incr emitted;
+            Seq.Cons (Stream.Req (req rng ~hot:day_nodes ~k ~write_fraction), next)
+          end
+      | `Night ->
+          if !emitted = day_length - half then begin
+            state := `Dawn;
+            incr day;
+            next ()
+          end
+          else begin
+            incr emitted;
+            Seq.Cons (Stream.Req (req rng ~hot:night_nodes ~k ~write_fraction), next)
+          end
+  in
+  Stream.one_shot "adversary.diurnal" next
+
+(* Flash crowd: stationary background traffic until [spike_at], then for
+   [spike_length] requests one object drawn from one small region is
+   [multiplier] times as likely as everything else combined being
+   uniform — the 100x hotspot of the issue. Request-only. *)
+let flash_crowd rng inst ~length ~spike_at ~spike_length ~multiplier ~write_fraction =
+  if length < 0 then invalid_arg "Adversary.flash_crowd: negative length";
+  if spike_at < 0 || spike_length < 0 || spike_at + spike_length > length then
+    invalid_arg "Adversary.flash_crowd: spike window outside the trace";
+  if multiplier < 1 then invalid_arg "Adversary.flash_crowd: multiplier must be >= 1";
+  let n = I.n inst and k = I.objects inst in
+  let all = Array.init n Fun.id in
+  let hot_nodes = ref [||] and hot_x = ref 0 in
+  let item i =
+    if i = spike_at then begin
+      hot_nodes := Rng.sample rng all (max 1 (n / 8));
+      hot_x := Rng.int rng k
+    end;
+    if i >= spike_at && i < spike_at + spike_length
+       && Rng.int rng (multiplier + 1) < multiplier
+    then
+      Stream.Req
+        {
+          Stream.node = Rng.pick rng !hot_nodes;
+          x = !hot_x;
+          kind = (if Rng.float rng 1.0 < write_fraction then Stream.Write else Stream.Read);
+        }
+    else Stream.Req (req rng ~hot:all ~k ~write_fraction)
+  in
+  Stream.one_shot "adversary.flash_crowd" (Seq.init length item)
+
+(* Object birth and death: each object is requested only inside its own
+   lifetime window. Object 0 lives for the whole trace so every position
+   has someone to ask for; the rest get random windows covering about
+   half the trace each, so the active set keeps changing and yesterday's
+   placement keeps paying rent for objects nobody asks about. *)
+let birth_death rng inst ~length ~write_fraction =
+  if length < 0 then invalid_arg "Adversary.birth_death: negative length";
+  let n = I.n inst and k = I.objects inst in
+  let all = Array.init n Fun.id in
+  let windows =
+    Array.init k (fun x ->
+        if x = 0 || length = 0 then (0, length)
+        else begin
+          let span = max 1 (length / 2) in
+          let birth = Rng.int rng (max 1 (length - span + 1)) in
+          (birth, min length (birth + span))
+        end)
+  in
+  let item i =
+    let alive = ref [] in
+    for x = k - 1 downto 0 do
+      let b, d = windows.(x) in
+      if i >= b && i < d then alive := x :: !alive
+    done;
+    let alive = Array.of_list !alive in
+    let x = if Array.length alive = 0 then 0 else Rng.pick rng alive in
+    Stream.Req
+      {
+        Stream.node = Rng.pick rng all;
+        x;
+        kind = (if Rng.float rng 1.0 < write_fraction then Stream.Write else Stream.Read);
+      }
+  in
+  Stream.one_shot "adversary.birth_death" (Seq.init length item)
+
+(* Failure and repair: phased hotspot traffic (the demand moves every
+   phase, like {!Stream.drifting}), and at each phase boundary one live
+   node fails — preferentially a node of the {e previous} hotspot, where
+   the copies just moved to — while the node failed two phases ago
+   recovers. A static placement bleeds twice: requests near the corpse
+   are dropped or served from far away, and an object whose whole copy
+   set died is emergency-rehomed to a single node and never re-spread.
+   A re-solving policy follows the demand and wins. *)
+let failure_repair rng inst ~phases ~phase_length ~write_fraction =
+  if phases < 0 then invalid_arg "Adversary.failure_repair: negative phase count";
+  if phase_length < 1 then invalid_arg "Adversary.failure_repair: phase_length must be >= 1";
+  let (_ : Wgraph.t) = graph_of "failure_repair" inst in
+  let n = I.n inst and k = I.objects inst in
+  if n < 4 then invalid_arg "Adversary.failure_repair: needs at least 4 nodes";
+  let alive = Array.make n true in
+  let downq = Queue.create () in
+  let hot = ref (Rng.sample rng (Array.init n Fun.id) (max 1 (n / 4))) in
+  let prev_hot = ref !hot in
+  let live_nodes () =
+    let l = ref [] in
+    for v = n - 1 downto 0 do
+      if alive.(v) then l := v :: !l
+    done;
+    Array.of_list !l
+  in
+  let phase = ref 0 and emitted = ref 0 in
+  let pending = Queue.create () in
+  let boundary () =
+    (* revive the oldest corpse once two newer failures exist, so at
+       most two nodes are down at any time *)
+    if Queue.length downq >= 2 then begin
+      let z = Queue.pop downq in
+      alive.(z) <- true;
+      Queue.add (Churn.Node_up z) pending
+    end;
+    (* fail a node from the previous hotspot if one is still alive,
+       otherwise any live node — never the last ones standing *)
+    let candidates = Array.of_list (List.filter (fun v -> alive.(v)) (Array.to_list !prev_hot)) in
+    let pool = if Array.length candidates > 0 then candidates else live_nodes () in
+    if Array.length (live_nodes ()) > 3 && Array.length pool > 0 then begin
+      let z = pool.(Rng.int rng (Array.length pool)) in
+      alive.(z) <- false;
+      Queue.add z downq;
+      Queue.add (Churn.Node_down z) pending
+    end;
+    prev_hot := !hot;
+    let live = live_nodes () in
+    hot := Rng.sample rng live (max 1 (Array.length live / 4));
+    emitted := 0
+  in
+  let rec next () =
+    if not (Queue.is_empty pending) then Seq.Cons (Stream.Topo (Queue.pop pending), next)
+    else if !phase >= phases then Seq.Nil
+    else begin
+      incr emitted;
+      (* draw from the current hotspot before the boundary resamples it *)
+      let ev = req rng ~hot:!hot ~k ~write_fraction in
+      if !emitted = phase_length then begin
+        incr phase;
+        if !phase < phases then boundary ()
+      end;
+      Seq.Cons (Stream.Req ev, next)
+    end
+  in
+  Stream.one_shot "adversary.failure_repair" next

@@ -1,0 +1,78 @@
+(** Adversarial item streams: workloads and topology churn built to
+    stress placement policies — demand that moves daily, spikes 100x,
+    appears and disappears, and a network that fails underneath the
+    copies.
+
+    Every generator returns a {!Dmn_dynamic.Stream.one_shot} sequence:
+    it draws from [rng] as it is forced and is valid for exactly one
+    traversal (re-forcing raises a structured error naming the
+    generator). Generators that emit topology items track their own
+    model of the network state and only emit events that are valid
+    against it, so their streams always replay cleanly through
+    {!Dmn_paths.Churn} — and through the engine, which applies each
+    event at the start of the epoch in which it is consumed. *)
+
+open Dmn_prelude
+
+(** [diurnal rng inst ~days ~day_length ~write_fraction] — a daily
+    cycle, [day_length] requests per day: daytime traffic concentrates
+    on the lower half of the nodes while the heaviest quarter of the
+    edges surge to 4x their weight (congestion); at night demand moves
+    to the upper half and the links relax. Requires a graph-backed
+    instance.
+    @raise Invalid_argument on negative [days] or [day_length < 2].
+    @raise Err.Error (kind [Validation]) on a metric-only instance. *)
+val diurnal :
+  Rng.t ->
+  Dmn_core.Instance.t ->
+  days:int ->
+  day_length:int ->
+  write_fraction:float ->
+  Dmn_dynamic.Stream.item Seq.t
+
+(** [flash_crowd rng inst ~length ~spike_at ~spike_length ~multiplier
+    ~write_fraction] — uniform background traffic, except that requests
+    [spike_at, spike_at + spike_length) make one freshly drawn object,
+    asked from one small region, [multiplier] times as likely as all
+    background traffic combined. Request-only (works on metric-only
+    instances).
+    @raise Invalid_argument on a spike window outside the trace or
+    [multiplier < 1]. *)
+val flash_crowd :
+  Rng.t ->
+  Dmn_core.Instance.t ->
+  length:int ->
+  spike_at:int ->
+  spike_length:int ->
+  multiplier:int ->
+  write_fraction:float ->
+  Dmn_dynamic.Stream.item Seq.t
+
+(** [birth_death rng inst ~length ~write_fraction] — each object is
+    requested only inside its own lifetime window (object 0 lives for
+    the whole trace; the rest get random windows of about half of it),
+    so the active object set keeps shifting. Request-only. *)
+val birth_death :
+  Rng.t ->
+  Dmn_core.Instance.t ->
+  length:int ->
+  write_fraction:float ->
+  Dmn_dynamic.Stream.item Seq.t
+
+(** [failure_repair rng inst ~phases ~phase_length ~write_fraction] —
+    phased hotspot traffic; at each phase boundary one live node fails
+    (preferring the previous hotspot, where the copies just moved), and
+    the node failed two phases earlier recovers, so at most two nodes
+    are down at once and never so many that fewer than four remain.
+    The scenario the tournament's resolve-beats-static gate runs on.
+    Requires a graph-backed instance with at least 4 nodes.
+    @raise Invalid_argument on negative [phases], [phase_length < 1] or
+    fewer than 4 nodes.
+    @raise Err.Error (kind [Validation]) on a metric-only instance. *)
+val failure_repair :
+  Rng.t ->
+  Dmn_core.Instance.t ->
+  phases:int ->
+  phase_length:int ->
+  write_fraction:float ->
+  Dmn_dynamic.Stream.item Seq.t

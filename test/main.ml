@@ -19,6 +19,7 @@ let () =
       ("loadmodel", Test_loadmodel.suite);
       ("bnb", Test_bnb.suite);
       ("dynamic", Test_dynamic.suite);
+      ("churn", Test_churn.suite);
       ("engine", Test_engine.suite);
       ("capacitated", Test_capacitated.suite);
       ("report", Test_report.suite);

@@ -4,8 +4,19 @@ open Dmn_graph
 let create_rejects_bad_edges () =
   Alcotest.check_raises "self-loop" (Invalid_argument "Wgraph.create: self-loop") (fun () ->
       ignore (Wgraph.create 3 [ (1, 1, 1.0) ]));
-  Alcotest.check_raises "duplicate" (Invalid_argument "Wgraph.create: duplicate edge") (fun () ->
-      ignore (Wgraph.create 3 [ (0, 1, 1.0); (1, 0, 2.0) ]));
+  (* duplicates carry a structured error naming the offending pair *)
+  (match Wgraph.create 3 [ (0, 1, 1.0); (1, 0, 2.0) ] with
+  | _ -> Alcotest.fail "duplicate edge accepted"
+  | exception Err.Error e ->
+      Alcotest.(check bool) "duplicate kind" true (e.Err.kind = Err.Validation);
+      Alcotest.(check bool) "duplicate names the pair" true
+        (let msg = e.Err.msg in
+         let has s =
+           let ls = String.length s and lm = String.length msg in
+           let rec go i = i + ls <= lm && (String.sub msg i ls = s || go (i + 1)) in
+           go 0
+         in
+         has "duplicate edge" && has "0-1"));
   Alcotest.check_raises "range" (Invalid_argument "Wgraph.create: endpoint out of range")
     (fun () -> ignore (Wgraph.create 2 [ (0, 2, 1.0) ]));
   let bad_weight = Invalid_argument "Wgraph.create: edge weight must be finite and non-negative" in
@@ -105,6 +116,27 @@ let dot_output_contains_edges () =
   let s = Dot.to_dot g in
   Alcotest.(check bool) "graph keyword" true (String.length s > 10 && String.sub s 0 5 = "graph")
 
+let with_edge_weight_patches_in_place () =
+  let g = Wgraph.create 4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 3.0) ] in
+  let g' = Wgraph.with_edge_weight g 2 1 5.0 in
+  (* the patched graph sees the new weight from both endpoints *)
+  Alcotest.(check (float 0.0)) "u side" 5.0 (Wgraph.edge_weight g' 1 2);
+  Alcotest.(check (float 0.0)) "v side" 5.0 (Wgraph.edge_weight g' 2 1);
+  (* untouched edges and the original graph are unchanged *)
+  Alcotest.(check (float 0.0)) "other edge" 3.0 (Wgraph.edge_weight g' 2 3);
+  Alcotest.(check (float 0.0)) "original intact" 2.0 (Wgraph.edge_weight g 1 2);
+  (* edge list stays canonical with the weight swapped in *)
+  Alcotest.(check bool) "edge list updated" true
+    (Wgraph.edges g' = [ (0, 1, 1.0); (1, 2, 5.0); (2, 3, 3.0) ]);
+  Alcotest.check_raises "absent edge" Not_found (fun () ->
+      ignore (Wgraph.with_edge_weight g 0 3 1.0));
+  Alcotest.check_raises "self-loop"
+    (Invalid_argument "Wgraph.with_edge_weight: self-loop") (fun () ->
+      ignore (Wgraph.with_edge_weight g 1 1 1.0));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Wgraph.with_edge_weight: edge weight must be finite and non-negative")
+    (fun () -> ignore (Wgraph.with_edge_weight g 0 1 (-1.0)))
+
 let qcheck_er_connected =
   QCheck.Test.make ~name:"erdos_renyi always connected" ~count:100
     QCheck.(pair small_int (int_range 1 40))
@@ -130,6 +162,7 @@ let suite =
     Alcotest.test_case "balanced tree" `Quick balanced_tree_shape;
     Alcotest.test_case "random generators connected" `Quick random_generators_connected;
     Alcotest.test_case "map_weights" `Quick map_weights_rescale;
+    Alcotest.test_case "with_edge_weight" `Quick with_edge_weight_patches_in_place;
     Alcotest.test_case "edge list round trip" `Quick edge_list_roundtrip;
     Alcotest.test_case "dot export" `Quick dot_output_contains_edges;
     Util.qtest qcheck_er_connected;

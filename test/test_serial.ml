@@ -230,10 +230,14 @@ let gen_checkpoint : Ck.t QCheck.Gen.t =
            let* p50 = dyadic in
            let* p95 = dyadic in
            let* p99 = dyadic in
+           let* dropped = int_range 0 10 in
+           let* emergency = int_range 0 3 in
+           let* topo_events = int_range 0 4 in
            return
              {
                Ck.index; events; reads; writes = events - reads; resolves; solve_retries;
-               solve_fallbacks; copies; serving; storage; migration; p50; p95; p99;
+               solve_fallbacks; copies; dropped; emergency; topo_events; serving; storage;
+               migration; p50; p95; p99;
              }))
   in
   (* writes may come out negative above; clamp rows to stay valid *)
@@ -241,6 +245,28 @@ let gen_checkpoint : Ck.t QCheck.Gen.t =
     List.map (fun (r : Ck.epoch_row) -> { r with Ck.writes = max 0 r.Ck.writes }) epochs
   in
   let events_consumed = List.fold_left (fun a (r : Ck.epoch_row) -> a + r.Ck.events) 0 epochs in
+  let topo_applied = List.fold_left (fun a (r : Ck.epoch_row) -> a + r.Ck.topo_events) 0 epochs in
+  let* topo_pending = int_range 0 3 in
+  let* metric_version = int_range 1 50 in
+  let* metric_hash = map Int64.of_int int in
+  let* down_flags = array_repeat nodes bool in
+  let down =
+    List.filter_map
+      (fun (z, f) -> if f then Some z else None)
+      (Array.to_list (Array.mapi (fun z f -> (z, f)) down_flags))
+  in
+  let* n_ov = int_range 0 4 in
+  let* edge_overrides =
+    flatten_l
+      (List.init
+         (if nodes < 2 then 0 else n_ov)
+         (fun _ ->
+           let* u = int_range 0 (nodes - 2) in
+           let* v = int_range (u + 1) (nodes - 1) in
+           let* removed = bool in
+           let* w = dyadic in
+           return ((u, v), if removed then None else Some w)))
+  in
   let* h_buckets = int_range 2 10 in
   let* picks = array_repeat h_buckets (int_range 0 9) in
   let h_counts =
@@ -257,9 +283,11 @@ let gen_checkpoint : Ck.t QCheck.Gen.t =
   let* serve_retries = int_range 0 50 in
   return
     {
-      Ck.policy; epoch_size; period; next_epoch; events_consumed; fingerprint; nodes; objects;
+      Ck.policy; epoch_size; period; next_epoch; events_consumed;
+      topo_consumed = topo_applied + topo_pending; topo_applied; fingerprint; nodes; objects;
       placements; epochs;
       hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets; h_sum; h_counts };
+      topo = { Ck.metric_version; metric_hash; down; edge_overrides };
       checkpoints_written; serve_retries;
     }
 
@@ -274,16 +302,23 @@ let qcheck_checkpoint_roundtrip =
 let sample_checkpoint () =
   {
     Ck.policy = "resolve"; epoch_size = 100; period = 400; next_epoch = 2; events_consumed = 200;
+    topo_consumed = 3; topo_applied = 2;
     fingerprint = 0x0123456789abcdefL; nodes = 5; objects = 2;
     placements = [| [ 0; 3 ]; [ 2 ] |];
     epochs =
       List.init 2 (fun index ->
           {
             Ck.index; events = 100; reads = 80; writes = 20; resolves = 2; solve_retries = 1;
-            solve_fallbacks = 0; copies = 3; serving = 12.5; storage = 3.25; migration = 0.5;
+            solve_fallbacks = 0; copies = 3; dropped = 4; emergency = 1; topo_events = 1;
+            serving = 12.5; storage = 3.25; migration = 0.5;
             p50 = 1.0; p95 = 2.0; p99 = 4.0;
           });
     hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets = 8; h_sum = 150.0; h_counts = [ (0, 120); (3, 80) ] };
+    topo =
+      {
+        Ck.metric_version = 4; metric_hash = 0x00000000deadbeefL; down = [ 1 ];
+        edge_overrides = [ ((0, 3), Some 2.5); ((1, 2), None) ];
+      };
     checkpoints_written = 2; serve_retries = 1;
   }
 
