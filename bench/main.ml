@@ -1492,11 +1492,165 @@ let micro () =
   Tbl.print tbl
 
 (* ------------------------------------------------------------------ *)
+(* soak: the serving daemon under sustained load                       *)
+(* ------------------------------------------------------------------ *)
+
+let soak () =
+  let module En = Dmn_engine.Engine in
+  let module St = Dmn_dynamic.Stream in
+  let module Srv = Dmn_server.Server in
+  section "soak  online serving daemon: sustained throughput, RSS, shedding (tentpole PR 8)";
+  print_endline
+    "The daemon's batcher (Dmn_server.Core) serves an endless stationary\n\
+     stream for DMNET_SOAK_SECONDS wall-clock seconds (default 6; the CI\n\
+     soak job sets 60), half without and half with journaling +\n\
+     checkpointing, and must sustain >= 0.5x the offline replay's\n\
+     throughput on the same engine configuration (advisory bar: 0.8x).\n\
+     RSS must stay bounded (no unbounded growth across the run), the\n\
+     batcher must reproduce the replay byte-for-byte before any timing\n\
+     counts, and overload must shed exactly the overflow — counted,\n\
+     never silent.";
+  let record r = replay_records := r :: !replay_records in
+  let soak_s =
+    match Sys.getenv_opt "DMNET_SOAK_SECONDS" with
+    | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 6.0)
+    | None -> 6.0
+  in
+  let rng = Rng.create 4242 in
+  let g = Dmn_graph.Gen.random_geometric rng 100 0.3 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 2.0 12.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.zipf rng ~objects:12 ~n:nn ~requests:(30 * nn) ~s:0.9 ~write_ratio:0.15
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let placement = A.solve inst in
+  let config =
+    { En.default_config with En.policy = En.Resolve; epoch = 2000; serve_cache = true }
+  in
+  (* byte-identity first: timing a diverging path would be meaningless *)
+  let small =
+    List.of_seq (St.items_of_events (St.stationary_seq (Rng.create 9) inst ~length:6000))
+  in
+  let reference = En.metrics_json inst (En.run_items ~config inst placement (List.to_seq small)) in
+  let core = Srv.Core.create { Srv.default_config with Srv.engine = config } inst placement in
+  List.iter (fun it -> ignore (Srv.Core.push core it)) small;
+  Srv.Core.maybe_step core;
+  Srv.Core.flush core;
+  if reference <> En.metrics_json inst (Srv.Core.result core) then
+    failwith "soak: the daemon batcher diverged from the replay engine";
+  (* offline baseline: the cached replay serve path, same configuration *)
+  let base_events = 30_000 in
+  let base_items () =
+    St.items_of_events (St.stationary_seq (Rng.create 7) inst ~length:base_events)
+  in
+  let _, t_base = time_it (fun () -> En.run_items ~config inst placement (base_items ())) in
+  let eps_base = float_of_int base_events /. t_base in
+  (* sustained serving through the daemon core *)
+  let run_core ~durable seconds =
+    let journal = Filename.temp_file "dmnet-soak" ".journal" in
+    let ckpt = Filename.temp_file "dmnet-soak" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ journal; ckpt ])
+      (fun () ->
+        let cfg =
+          {
+            Srv.default_config with
+            Srv.engine = config;
+            journal = (if durable then Some journal else None);
+            ckpt = (if durable then Some { En.path = ckpt; every = 4 } else None);
+            queue_cap = 65536;
+          }
+        in
+        let core = Srv.Core.create cfg inst placement in
+        let src =
+          ref (St.items_of_events (St.stationary_seq (Rng.create 11) inst ~length:max_int))
+        in
+        let t0 = Unix.gettimeofday () in
+        let early_rss = ref 0 in
+        let peak = ref (Srv.rss_kb ()) in
+        while Unix.gettimeofday () -. t0 < seconds do
+          for _ = 1 to config.En.epoch do
+            match Seq.uncons !src with
+            | Some (it, rest) ->
+                src := rest;
+                ignore (Srv.Core.push core it)
+            | None -> ()
+          done;
+          Srv.Core.maybe_step core;
+          let r = Srv.rss_kb () in
+          if r > !peak then peak := r;
+          if !early_rss = 0 && Unix.gettimeofday () -. t0 > seconds /. 4.0 then early_rss := r
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        let served = Srv.Core.served core in
+        let epochs = Srv.Core.epochs core in
+        Srv.Core.shutdown core;
+        (served, epochs, dt, !peak, if !early_rss = 0 then !peak else !early_rss))
+  in
+  let served_plain, _, t_plain, _, _ = run_core ~durable:false (soak_s /. 2.0) in
+  let served_durable, epochs_durable, t_durable, peak_kb, early_kb =
+    run_core ~durable:true (soak_s /. 2.0)
+  in
+  let eps_plain = float_of_int served_plain /. t_plain in
+  let eps_durable = float_of_int served_durable /. t_durable in
+  let ckpt_overhead = Float.max 0.0 (1.0 -. (eps_durable /. eps_plain)) in
+  (* overload: push far past the bound without serving; the overflow is
+     shed and counted, the accepted prefix still serves *)
+  let shed_cap = 256 in
+  let burst = 5000 in
+  let shed_core =
+    Srv.Core.create
+      { Srv.default_config with Srv.engine = config; queue_cap = shed_cap }
+      inst placement
+  in
+  List.iter (fun it -> ignore (Srv.Core.push shed_core it))
+    (List.of_seq (St.items_of_events (St.stationary_seq (Rng.create 13) inst ~length:burst)));
+  let shed_count = Srv.Core.shed shed_core in
+  Srv.Core.flush shed_core;
+  let shed_served = Srv.Core.served shed_core in
+  Srv.Core.shutdown shed_core;
+  if shed_count <> burst - shed_cap || shed_served <> shed_cap then
+    failwith
+      (Printf.sprintf "soak: shedding accounting broken (shed %d of %d, served %d, cap %d)"
+         shed_count burst shed_served shed_cap);
+  Printf.printf
+    "\nbaseline replay %.0f ev/s; daemon %.0f ev/s plain, %.0f ev/s with journal+ckpt \
+     (overhead %.1f%%, %d epochs); RSS early %d kB -> peak %d kB; shed %d of a %d burst at \
+     cap %d\n"
+    eps_base eps_plain eps_durable (100.0 *. ckpt_overhead) epochs_durable early_kb peak_kb
+    shed_count burst shed_cap;
+  let ratio = eps_durable /. eps_base in
+  if ratio < 0.5 then
+    failwith
+      (Printf.sprintf "soak: daemon throughput %.0f ev/s is under 0.5x the replay baseline %.0f"
+         eps_durable eps_base);
+  if ratio < 0.8 then
+    Printf.printf "soak: WARNING: daemon at %.2fx the replay baseline (advisory bar 0.8x)\n" ratio;
+  if float_of_int peak_kb > (1.5 *. float_of_int early_kb) +. 50_000.0 then
+    failwith
+      (Printf.sprintf "soak: RSS grew from %d kB to %d kB over the run (unbounded growth)"
+         early_kb peak_kb);
+  record
+    [
+      ("name", `S "serve-soak"); ("n", `I nn); ("objects", `I 12);
+      ("soak_s", `F soak_s); ("epoch", `I config.En.epoch);
+      ("events_per_s_replay", `F eps_base); ("events_per_s_daemon", `F eps_plain);
+      ("events_per_s_daemon_durable", `F eps_durable); ("throughput_ratio", `F ratio);
+      ("checkpoint_overhead_frac", `F ckpt_overhead); ("epochs_durable", `I epochs_durable);
+      ("early_rss_kb", `I early_kb); ("peak_rss_kb", `I peak_kb);
+      ("shed_events", `I shed_count); ("shed_burst", `I burst); ("shed_cap", `I shed_cap);
+      ("identical_metrics_json", `B true);
+    ];
+  flush_replay_json ()
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("tournament", tournament); ("micro", micro);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("tournament", tournament); ("soak", soak); ("micro", micro);
   ]
 
 let () =

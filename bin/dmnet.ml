@@ -6,7 +6,9 @@
      eval     evaluate a stored placement against an instance
      compare  run all algorithms on one instance and tabulate
      radii    print the write/storage radii of an instance
-     replay   stream a request trace through the replay engine *)
+     replay   stream a request trace through the replay engine
+     serve    long-running online serving daemon (socket/stdin ingest)
+     ctl      send a control command to a running daemon *)
 
 open Cmdliner
 open Dmn_prelude
@@ -570,6 +572,273 @@ let replay_cmd =
        ~exits)
     term
 
+(* ---------- serve ---------- *)
+
+module Srv = Dmn_server.Server
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv): every connection can send data \
+                 lines (dmnet-trace v1 grammar) and control lines ($(b,metrics), $(b,health), \
+                 $(b,stats), $(b,sync), $(b,shutdown)); control replies come back on the same \
+                 connection. A stale socket file is replaced; anything else at $(docv) is \
+                 refused.")
+  in
+  let use_stdin =
+    Arg.(value & flag & info [ "stdin" ]
+           ~doc:"Also read data lines from stdin (control replies go to stdout). With \
+                 $(b,--stdin) alone the daemon drains and exits at end of input, so \
+                 $(b,cat trace | dmnet serve --stdin ...) reproduces $(b,dmnet replay).")
+  in
+  let policy =
+    Arg.(value
+         & opt (Arg.enum [ ("static", E.Static); ("resolve", E.Resolve); ("cache", E.Cache) ])
+             E.Resolve
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"static (never replan), resolve (re-solve every epoch), or cache \
+                   (per-event threshold caching).")
+  in
+  let epoch =
+    Arg.(value & opt int 1000 & info [ "epoch" ] ~docv:"M"
+           ~doc:"Requests per epoch: the daemon batches M accepted requests (topology events \
+                 ride along in arrival order), then serves the batch sharded over the domain \
+                 pool — the same batching as $(b,dmnet replay), so metrics stay \
+                 byte-identical.")
+  in
+  let period =
+    Arg.(value & opt (some int) None & info [ "period" ] ~docv:"T"
+           ~doc:"Storage period: events per full storage-rent charge (default: the instance's \
+                 request volume).")
+  in
+  let algo =
+    Arg.(value & opt string "approx-mp" & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"Algorithm for the initial placement (see $(b,dmnet solve)).")
+  in
+  let queue =
+    Arg.(value & opt int 16384 & info [ "queue" ] ~docv:"CAP"
+           ~doc:"Ingest queue bound: requests arriving while CAP requests are already queued \
+                 unserved are shed (counted in $(b,shed_total), never silently dropped). \
+                 Topology events are never shed.")
+  in
+  let tick =
+    Arg.(value & opt (some float) None & info [ "tick" ] ~docv:"S"
+           ~doc:"Wall-clock flush: serve whatever is queued as a partial epoch when $(docv) \
+                 seconds pass without a full batch. Bounds latency under a trickle of \
+                 traffic, but partial epochs are no longer byte-identical to a replay of the \
+                 same stream — leave unset when determinism matters.")
+  in
+  let ckpt_path =
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
+           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v2, atomic replace) to $(docv) \
+                 every $(b,--ckpt-every) epochs and at shutdown; restart with \
+                 $(b,--resume) $(docv).")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 1 & info [ "ckpt-every" ] ~docv:"N"
+           ~doc:"Checkpoint after every N-th epoch (with --ckpt; default 1). The journal is \
+                 fsynced before each due checkpoint.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPT"
+           ~doc:"Resume a killed daemon from the checkpoint in $(docv). Requires \
+                 $(b,--journal) with the journal the interrupted daemon appended: its \
+                 consumed prefix is fast-forwarded (fingerprint-verified) and the unserved \
+                 tail re-queued, so the final metrics are byte-identical to an uninterrupted \
+                 run over the same event stream. Policy, epoch size and storage period are \
+                 taken from the checkpoint.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append every accepted event to $(docv) (dmnet-trace v1) before it can reach \
+                 the engine, fsyncing before each checkpoint and at shutdown. Required for \
+                 $(b,--resume); a resumed run repairs a torn final line and continues the \
+                 same file.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the final engine metrics JSON to $(docv) (atomic write) on shutdown.")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"K"
+           ~doc:"Retry a failed pool task up to K times before giving up (as in \
+                 $(b,dmnet replay)).")
+  in
+  let max_events =
+    Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"R"
+           ~doc:"Stop (gracefully) once R requests have been served.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S"
+           ~doc:"Stop (gracefully) after $(docv) seconds of wall-clock time.")
+  in
+  let run file socket use_stdin policy epoch period algo queue tick ckpt_path ckpt_every resume
+      journal metrics_out retries max_events duration domains =
+    protect @@ fun () ->
+    set_domains domains;
+    if retries < 0 then begin
+      Printf.eprintf "dmnet serve: --retries must be >= 0\n";
+      exit 2
+    end;
+    if ckpt_every < 1 then begin
+      Printf.eprintf "dmnet serve: --ckpt-every must be >= 1\n";
+      exit 2
+    end;
+    if queue < 1 then begin
+      Printf.eprintf "dmnet serve: --queue must be >= 1\n";
+      exit 2
+    end;
+    (match tick with
+    | Some t when t <= 0.0 ->
+        Printf.eprintf "dmnet serve: --tick must be positive\n";
+        exit 2
+    | _ -> ());
+    let inst = load_instance file in
+    let config =
+      { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
+    in
+    let ckpt = Option.map (fun path -> { E.path; every = ckpt_every }) ckpt_path in
+    let config, placement =
+      match resume with
+      | None -> (config, solve_placement inst algo)
+      | Some cpath ->
+          if journal = None then begin
+            Printf.eprintf
+              "dmnet serve: --resume requires --journal FILE (the journal the interrupted \
+               daemon appended)\n";
+            exit 2
+          end;
+          let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res cpath) in
+          let policy =
+            match E.policy_of_string c.Dmn_core.Serial.Checkpoint.policy with
+            | Some p -> p
+            | None ->
+                Err.failf ~file:cpath Err.Validation "unknown checkpoint policy %s"
+                  c.Dmn_core.Serial.Checkpoint.policy
+          in
+          (* as in replay --resume: the checkpoint is authoritative for
+             the run geometry; the placement below only carries the
+             shape contract (the engine restores the real copy sets) *)
+          let config =
+            {
+              config with
+              E.policy;
+              epoch = c.Dmn_core.Serial.Checkpoint.epoch_size;
+              storage_period = Some c.Dmn_core.Serial.Checkpoint.period;
+            }
+          in
+          let placement =
+            try Dmn_core.Placement.make (Array.copy c.Dmn_core.Serial.Checkpoint.placements)
+            with Invalid_argument msg -> Err.fail ~file:cpath Err.Validation msg
+          in
+          (config, placement)
+    in
+    let scfg =
+      {
+        Srv.engine = config;
+        ckpt;
+        resume;
+        journal;
+        queue_cap = queue;
+        tick_s = tick;
+        metrics_out;
+        max_events;
+        max_seconds = duration;
+      }
+    in
+    let s = Srv.run_daemon scfg inst placement ~socket ~use_stdin in
+    Printf.eprintf
+      "dmnet serve: %d events served in %d epochs (%.1fs): accepted %d, shed %d, malformed \
+       %d, unserved %d, peak RSS %d kB\n\
+       %!"
+      s.Srv.served_events s.Srv.epochs_served s.Srv.elapsed_s s.Srv.accepted_events
+      s.Srv.shed_events s.Srv.malformed_lines s.Srv.queued_unserved s.Srv.peak_rss_kb
+  in
+  let term =
+    Term.(
+      const run $ instance_arg $ socket $ use_stdin $ policy $ epoch $ period $ algo $ queue
+      $ tick $ ckpt_path $ ckpt_every $ resume $ journal $ metrics_out $ retries $ max_events
+      $ duration $ domains_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived serving daemon over the replay engine: accept request and topology \
+          events as dmnet-trace v1 lines over a Unix-domain socket and/or stdin, journal them, \
+          batch them into epochs and serve each epoch sharded over the domain pool, \
+          re-optimizing at epoch boundaries exactly as $(b,dmnet replay) does. Live metrics, \
+          health and stats are one control line away; SIGTERM/SIGINT trigger a graceful \
+          shutdown (final checkpoint, journal fsync, final metrics). Overload sheds requests \
+          past the queue bound — counted, never silent. Fed the same event stream with the \
+          same --epoch, the daemon's metrics are byte-identical to the offline replay, \
+          including across kill-and-resume."
+       ~exits)
+    term
+
+(* ---------- ctl ---------- *)
+
+let ctl_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Control socket of a running $(b,dmnet serve).")
+  in
+  let command =
+    Arg.(required
+         & pos 0 (some (Arg.enum
+                          [ ("metrics", "metrics"); ("health", "health"); ("stats", "stats");
+                            ("sync", "sync"); ("shutdown", "shutdown") ]))
+             None
+         & info [] ~docv:"CMD"
+             ~doc:"Control command: $(b,metrics) (full JSON metrics dump), $(b,health) \
+                   (one-line summary), $(b,stats) (cheap JSON counters), $(b,sync) (force a \
+                   journal fsync), $(b,shutdown) (graceful stop).")
+  in
+  let run socket command =
+    protect @@ fun () ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (try Unix.connect fd (Unix.ADDR_UNIX socket)
+         with Unix.Unix_error (err, _, _) ->
+           Err.failf ~file:socket Err.Io "connect: %s" (Unix.error_message err));
+        let b = Bytes.of_string (command ^ "\n") in
+        let rec send off =
+          if off < Bytes.length b then
+            match Unix.write fd b off (Bytes.length b - off) with
+            | 0 -> Err.failf ~file:socket Err.Io "connection closed while sending"
+            | w -> send (off + w)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+        in
+        send 0;
+        (* the daemon answers with exactly one line *)
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 65536 in
+        let rec recv () =
+          if not (String.contains (Buffer.contents buf) '\n') then
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | r ->
+                Buffer.add_subbytes buf chunk 0 r;
+                recv ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+        in
+        recv ();
+        let s = Buffer.contents buf in
+        let line =
+          match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+        in
+        if line = "" then Err.failf ~file:socket Err.Io "no reply from the daemon";
+        print_endline line)
+  in
+  Cmd.v
+    (Cmd.info "ctl"
+       ~doc:
+         "Send one control command to a running $(b,dmnet serve) daemon over its Unix-domain \
+          socket and print the one-line reply."
+       ~exits)
+    Term.(const run $ socket $ command)
+
 (* ---------- radii ---------- *)
 
 let radii_cmd =
@@ -605,4 +874,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd; replay_cmd ]))
+          [
+            gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd; replay_cmd;
+            serve_cmd; ctl_cmd;
+          ]))

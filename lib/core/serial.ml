@@ -656,6 +656,186 @@ module Trace = struct
 
   let write_res path header events = write_items_res path header (Seq.map (fun e -> Req e) events)
   let write path header events = Err.get_ok (write_res path header events)
+
+  (* One wire line of the live ingest protocol. Blank lines, comments,
+     and (matching) header lines are non-items so whole trace files can
+     be streamed in concatenated. *)
+  let item_of_line_res ?file ?(line = 0) ~header s =
+    match
+      match split_tokens s with
+      | [] -> None
+      | first :: _ when first.[0] = '#' -> None
+      | [ "dmnet-trace"; "v1" ] -> None
+      | "dmnet-trace" :: version :: _ ->
+          Err.failf ?file ~line ~token:version Err.Parse
+            "unsupported dmnet-trace version %s (this build reads v1)" version
+      | [ a; b ]
+        when (match (int_of_string_opt a, int_of_string_opt b) with
+             | Some _, Some _ -> true
+             | _ -> false) ->
+          (* a bare "<nodes> <objects>" count line: the header of a
+             concatenated trace — verify it matches the session *)
+          let nodes = int_of_string a and objects = int_of_string b in
+          if nodes <> header.nodes || objects <> header.objects then
+            Err.failf ?file ~line ~token:a Err.Validation
+              "stream header (%d nodes, %d objects) does not match the session's (%d nodes, \
+               %d objects)"
+              nodes objects header.nodes header.objects;
+          None
+      | toks -> Some (parse_item ?file ~header line toks)
+    with
+    | v -> Ok v
+    | exception Err.Error e -> Error e
+
+  module Appender = struct
+    type t = {
+      path : string;
+      header : header;
+      fd : Unix.file_descr;
+      oc : out_channel;
+      mutable items : int;
+      mutable closed : bool;
+    }
+
+    let path t = t.path
+    let header t = t.header
+    let appended t = t.items
+
+    let really_read fd buf len =
+      let off = ref 0 in
+      while !off < len do
+        match retry_eintr (fun () -> Unix.read fd buf !off (len - !off)) with
+        | 0 -> raise End_of_file
+        | r -> off := !off + r
+      done
+
+    (* Truncate a torn final line (bytes after the last '\n') so the
+       file ends at its last complete item; returns the kept size. *)
+    let repair_tail fd =
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size = 0 then 0
+      else begin
+        let chunk = Bytes.create 4096 in
+        let rec last_newline pos =
+          if pos <= 0 then -1
+          else begin
+            let len = min 4096 pos in
+            let off = pos - len in
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            really_read fd chunk len;
+            let found = ref (-1) in
+            for i = len - 1 downto 0 do
+              if !found < 0 && Bytes.get chunk i = '\n' then found := off + i
+            done;
+            if !found >= 0 then !found else last_newline off
+          end
+        in
+        let keep = last_newline size + 1 in
+        if keep < size then retry_eintr (fun () -> Unix.ftruncate fd keep);
+        keep
+      end
+
+    let create_res ?(append = false) path header =
+      if header.nodes <= 0 then
+        Err.error ~file:path Err.Validation "trace must cover at least one node"
+      else if header.objects <= 0 then
+        Err.error ~file:path Err.Validation "trace must cover at least one object"
+      else begin
+        match
+          Fault.check "trace.append.open";
+          let fresh = (not append) || not (Sys.file_exists path) in
+          (if not fresh then
+             (* validate the existing header before touching the file *)
+             match with_items_res ~tolerate_truncation:true path (fun h _ -> h) with
+             | Error e -> raise (Err.Error e)
+             | Ok h ->
+                 if h <> header then
+                   Err.failf ~file:path Err.Validation
+                     "append: existing trace header (%d nodes, %d objects) does not match (%d \
+                      nodes, %d objects)"
+                     h.nodes h.objects header.nodes header.objects);
+          let flags =
+            if fresh then [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+            else [ Unix.O_RDWR; Unix.O_CLOEXEC ]
+          in
+          let fd = retry_eintr (fun () -> Unix.openfile path flags 0o644) in
+          let pos = if fresh then 0 else repair_tail fd in
+          ignore (Unix.lseek fd pos Unix.SEEK_SET);
+          let oc = Unix.out_channel_of_descr fd in
+          let t = { path; header; fd; oc; items = 0; closed = false } in
+          if fresh then begin
+            Printf.fprintf oc "dmnet-trace v1\n%d %d\n" header.nodes header.objects;
+            flush oc;
+            retry_eintr (fun () -> Unix.fsync fd)
+          end;
+          t
+        with
+        | t -> Ok t
+        | exception Err.Error e -> Error (Err.with_file path e)
+        | exception Unix.Unix_error (err, op, _) -> Error (io_error path op err)
+        | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+        | exception End_of_file ->
+            Error (Err.v ~file:path Err.Io "unexpected end of file while repairing the tail")
+      end
+
+    let create ?append path header = Err.get_ok (create_res ?append path header)
+
+    let guard t f =
+      if t.closed then Err.error ~file:t.path Err.Io "trace appender is closed"
+      else
+        match f () with
+        | v -> Ok v
+        | exception Err.Error e -> Error (Err.with_file t.path e)
+        | exception Unix.Unix_error (err, op, _) -> Error (io_error t.path op err)
+        | exception Sys_error msg -> Error (Err.v ~file:t.path Err.Io msg)
+
+    let add_res t item =
+      guard t (fun () ->
+          (match item with
+          | Req e ->
+              output_event t.oc ~path:t.path ~nodes:t.header.nodes ~objects:t.header.objects e
+          | Topo tp -> output_topo t.oc ~path:t.path ~nodes:t.header.nodes tp);
+          t.items <- t.items + 1;
+          (* a periodic fault point so chaos can hit a mid-stream
+             append without paying a coin per event *)
+          if t.items land 4095 = 0 then Fault.check "trace.append.write")
+
+    let add t item = Err.get_ok (add_res t item)
+
+    let sync_res t =
+      guard t (fun () ->
+          flush t.oc;
+          Fault.check "trace.append.sync";
+          retry_eintr (fun () -> Unix.fsync t.fd))
+
+    let sync t = Err.get_ok (sync_res t)
+
+    let close_res t =
+      if t.closed then Ok ()
+      else
+        match
+          flush t.oc;
+          Fault.check "trace.append.sync";
+          retry_eintr (fun () -> Unix.fsync t.fd);
+          t.closed <- true;
+          close_out t.oc
+        with
+        | () -> Ok ()
+        | exception Err.Error e ->
+            t.closed <- true;
+            close_out_noerr t.oc;
+            Error (Err.with_file t.path e)
+        | exception Unix.Unix_error (err, op, _) ->
+            t.closed <- true;
+            close_out_noerr t.oc;
+            Error (io_error t.path op err)
+        | exception Sys_error msg ->
+            t.closed <- true;
+            close_out_noerr t.oc;
+            Error (Err.v ~file:t.path Err.Io msg)
+
+    let close t = Err.get_ok (close_res t)
+  end
 end
 
 (* ---------- file + parse conveniences ---------- *)

@@ -181,6 +181,78 @@ module Trace : sig
   (** Raising wrapper over {!write_items_res}.
       @raise Dmn_prelude.Err.Error on invalid items or I/O failure. *)
   val write_items : string -> header -> item Seq.t -> int
+
+  (** [item_of_line_res ~header ?file ?line s] parses one wire line of
+      the v1 trace grammar — the daemon's ingest protocol. Returns
+      [Ok None] for non-items that may legitimately appear on a live
+      stream: blank lines, [#] comments, a ["dmnet-trace v1"] banner,
+      and a bare ["<nodes> <objects>"] count line matching [header]
+      (so concatenated trace files can be piped in whole). A banner
+      with a different version, a count line that contradicts the
+      session's shape, or a malformed/out-of-range item is an error. *)
+  val item_of_line_res :
+    ?file:string ->
+    ?line:int ->
+    header:header ->
+    string ->
+    (item option, Dmn_prelude.Err.t) result
+
+  (** Durable streaming trace writer — the serving daemon's ingest
+      journal. Unlike {!write_items_res} (which buffers the whole
+      stream into a temp file and atomically renames it at the end),
+      an appender writes items as they arrive and makes them durable
+      on demand: {!sync} flushes application buffers and [fsync]s, so
+      after a crash the file is intact up to the last sync, plus at
+      most one torn final line — exactly the damage the
+      [?tolerate_truncation] reader shrugs off.
+
+      Reopening with [~append:true] validates the existing header
+      against the new one and {e repairs} a torn final line by
+      truncating to the last complete one, so a journal survives any
+      kill-and-restart cycle. *)
+  module Appender : sig
+    type t
+
+    (** [create_res ?append path header] opens [path] for streaming
+        item writes. Fresh files (and [append = false], the default)
+        are truncated and given a v1 header, which is synced before
+        returning — a journal that exists on disk always has a
+        complete header. With [append = true] on an existing non-empty
+        file, the header is read back and must equal [header], and a
+        torn final line is truncated away. *)
+    val create_res : ?append:bool -> string -> header -> (t, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!create_res}. *)
+    val create : ?append:bool -> string -> header -> t
+
+    (** [add_res t item] validates [item] against the header and
+        appends its line to the OS buffer (durable only after
+        {!sync_res}). *)
+    val add_res : t -> item -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!add_res}. *)
+    val add : t -> item -> unit
+
+    (** [sync_res t] flushes and [fsync]s: every item added so far is
+        durable. *)
+    val sync_res : t -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!sync_res}. *)
+    val sync : t -> unit
+
+    (** [close_res t] syncs and closes; idempotent. *)
+    val close_res : t -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!close_res}. *)
+    val close : t -> unit
+
+    (** Items appended through this handle (pre-existing items of an
+        [append]ed file not included). *)
+    val appended : t -> int
+
+    val path : t -> string
+    val header : t -> header
+  end
 end
 
 (** {2 Replay checkpoints}

@@ -263,7 +263,175 @@ let fp_event fp (e : Stream.event) =
   Ckpt.fingerprint_event fp
     { Serial.Trace.node = e.Stream.node; x = e.Stream.x; write = e.Stream.kind = Stream.Write }
 
-let run_items ?pool ?(config = default_config) ?ckpt ?resume inst placement items =
+(* The engine's whole mutable run state. One [t] is one replay — the
+   one-shot [run]/[run_items] drivers and the serving daemon both build
+   a [t] and feed it epochs through [step], so there is exactly one
+   code path and metrics stay byte-identical between replay and live
+   serving. *)
+type t = {
+  pool : Pool.t;
+  config : config;
+  ckpt : checkpointing option;
+  inst : I.t;
+  n : int;
+  k : int;
+  period : int;
+  metric : Metric.t;
+  churn : Churn.t option;
+  caches : Sc.t array;
+  cache_strategy : Sg.t option;
+  ins : instruments;
+  ops_reg : Metrics.t;
+  ops_ckpts : Metrics.counter;
+  ops_resumes : Metrics.counter;
+  ops_serve_retries : Metrics.counter;
+  (* epoch working state, reused across epochs *)
+  mutable buffer : Stream.event array;
+  mutable len : int;  (** requests buffered for the epoch in flight *)
+  counts : int array;
+  slot_of_x : int array;
+  mutable seen : int;
+  mutable fingerprint : int64;
+  (* Topology items collected while ingesting wait here until the epoch
+     boundary: an event takes effect at the start of the epoch in which
+     it is consumed (the engine's time resolution is the epoch), so the
+     queue is always drained before that epoch serves — at every
+     checkpoint [topo_applied = topo_consumed]. *)
+  pending_topo : Churn.event Queue.t;
+  mutable topo_consumed : int;
+  mutable topo_applied : int;
+  mutable epochs : epoch_stats list;
+  mutable snapshots : (string * Metrics.value) list list;
+  mutable next_index : int;
+  mutable t_events : int;
+  mutable t_reads : int;
+  mutable t_dropped : int;
+  mutable t_serving : float;
+  mutable t_storage : float;
+  mutable t_migration : float;
+  mutable t_resolves : int;
+  mutable t_solve_retries : int;
+  mutable t_solve_fallbacks : int;
+  mutable t_emergency : int;
+  mutable t_topo : int;
+  (* a resumed engine must fast-forward its trace before stepping *)
+  mutable pending_resume : Ckpt.t option;
+}
+
+let dummy_event = { Stream.node = 0; x = 0; kind = Stream.Read }
+
+let current_copies t x =
+  match t.cache_strategy with Some s -> s.Sg.copies ~x | None -> Sc.copies t.caches.(x)
+
+let total_copies t =
+  let acc = ref 0 in
+  for x = 0 to t.k - 1 do
+    acc :=
+      !acc
+      + (match t.cache_strategy with
+        | Some s -> List.length (s.Sg.copies ~x)
+        | None -> Sc.copy_count t.caches.(x))
+  done;
+  !acc
+
+let scalar_snapshot t =
+  List.filter (fun (_, v) -> match v with Metrics.Hist _ -> false | _ -> true)
+    (Metrics.snapshot t.ins.reg)
+
+(* Re-apply one restored epoch row exactly as the live path recorded
+   it: counters, gauges, snapshot, totals — so every downstream
+   artifact of the resumed run matches the uninterrupted one. *)
+let record t (s : epoch_stats) =
+  let ins = t.ins in
+  Metrics.add ins.c_events s.events;
+  Metrics.add ins.c_reads s.reads;
+  Metrics.add ins.c_writes s.writes;
+  Metrics.add ins.c_resolves s.resolves;
+  Metrics.add ins.c_solve_retries s.solve_retries;
+  Metrics.add ins.c_solve_fallbacks s.solve_fallbacks;
+  Metrics.add ins.c_dropped s.dropped;
+  Metrics.add ins.c_emergency s.emergency;
+  Metrics.add ins.c_topo s.topo;
+  Metrics.set ins.g_epoch (float_of_int s.index);
+  Metrics.set ins.g_events (float_of_int s.events);
+  Metrics.set ins.g_reads (float_of_int s.reads);
+  Metrics.set ins.g_writes (float_of_int s.writes);
+  Metrics.set ins.g_serving s.serving;
+  Metrics.set ins.g_storage s.storage;
+  Metrics.set ins.g_migration s.migration;
+  Metrics.set ins.g_resolves (float_of_int s.resolves);
+  Metrics.set ins.g_solve_retries (float_of_int s.solve_retries);
+  Metrics.set ins.g_solve_fallbacks (float_of_int s.solve_fallbacks);
+  Metrics.set ins.g_dropped (float_of_int s.dropped);
+  Metrics.set ins.g_emergency (float_of_int s.emergency);
+  Metrics.set ins.g_topo (float_of_int s.topo);
+  Metrics.set ins.g_copies (float_of_int s.copies);
+  Metrics.set ins.g_p50 s.p50;
+  Metrics.set ins.g_p95 s.p95;
+  Metrics.set ins.g_p99 s.p99;
+  t.snapshots <- scalar_snapshot t :: t.snapshots;
+  t.epochs <- s :: t.epochs;
+  t.t_events <- t.t_events + s.events;
+  t.t_reads <- t.t_reads + s.reads;
+  t.t_serving <- t.t_serving +. s.serving;
+  t.t_storage <- t.t_storage +. s.storage;
+  t.t_migration <- t.t_migration +. s.migration;
+  t.t_resolves <- t.t_resolves + s.resolves;
+  t.t_solve_retries <- t.t_solve_retries + s.solve_retries;
+  t.t_solve_fallbacks <- t.t_solve_fallbacks + s.solve_fallbacks;
+  t.t_dropped <- t.t_dropped + s.dropped;
+  t.t_emergency <- t.t_emergency + s.emergency;
+  t.t_topo <- t.t_topo + s.topo
+
+let write_checkpoint t (c : checkpointing) ~next_epoch =
+  Metrics.incr t.ops_ckpts;
+  let lo, base, nbuckets = Metrics.hist_params t.ins.h_cost in
+  let raw = Metrics.hist_buckets t.ins.h_cost in
+  let h_counts = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if raw.(i) > 0 then h_counts := (i, raw.(i)) :: !h_counts
+  done;
+  Ckpt.save c.path
+    {
+      policy = policy_name t.config.policy;
+      epoch_size = t.config.epoch;
+      period = t.period;
+      next_epoch;
+      events_consumed = t.seen;
+      topo_consumed = t.topo_consumed;
+      topo_applied = t.topo_applied;
+      fingerprint = t.fingerprint;
+      nodes = t.n;
+      objects = t.k;
+      placements = Array.init t.k (fun x -> Sc.copies t.caches.(x));
+      epochs = List.rev_map stats_to_row t.epochs;
+      hist =
+        {
+          h_lo = lo;
+          h_base = base;
+          h_buckets = nbuckets;
+          h_sum = Metrics.hist_sum t.ins.h_cost;
+          h_counts = !h_counts;
+        };
+      topo =
+        (match t.churn with
+        | Some ch when t.topo_applied > 0 ->
+            let cm = Churn.metric ch in
+            {
+              Ckpt.metric_version = Metric.version cm;
+              metric_hash = Metric.hash64 cm;
+              down = Churn.down_nodes ch;
+              edge_overrides = Churn.overrides ch;
+            }
+        | _ -> Ckpt.no_topo);
+      checkpoints_written = Metrics.counter_value t.ops_ckpts;
+      serve_retries = Metrics.counter_value t.ops_serve_retries;
+    }
+
+let checkpoint_now t =
+  match t.ckpt with None -> () | Some c -> write_checkpoint t c ~next_epoch:t.next_index
+
+let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   if config.epoch <= 0 then invalid_arg "Engine.run: epoch must be positive";
   if config.attempts < 1 then invalid_arg "Engine.run: attempts must be >= 1";
@@ -304,7 +472,7 @@ let run_items ?pool ?(config = default_config) ?ckpt ?resume inst placement item
      copy's distances are bit-identical to [metric], so churn-capable
      runs replay topology-free traces byte-identically to the old
      engine. Metric-only instances have no graph to repair, so any
-     topology item is rejected in [fill]. *)
+     topology item is rejected at ingest. *)
   let churn = match I.graph inst with Some g -> Some (Churn.create g metric) | None -> None in
   let live_metric = match churn with Some ch -> Churn.metric ch | None -> metric in
   (* One versioned serve cache per object: nearest-copy tables and MST
@@ -327,20 +495,6 @@ let run_items ?pool ?(config = default_config) ?ckpt ?resume inst placement item
              ~drop_after:config.drop_after ~cached:config.serve_cache inst)
     | Static | Resolve -> None
   in
-  let current_copies x =
-    match cache_strategy with Some s -> s.Sg.copies ~x | None -> Sc.copies caches.(x)
-  in
-  let total_copies () =
-    let acc = ref 0 in
-    for x = 0 to k - 1 do
-      acc :=
-        !acc
-        + (match cache_strategy with
-          | Some s -> List.length (s.Sg.copies ~x)
-          | None -> Sc.copy_count caches.(x))
-    done;
-    !acc
-  in
   let ins = make_instruments () in
   (* Operational counters live in a registry of their own: they describe
      this process's life (how many checkpoints it wrote, whether it was
@@ -351,638 +505,622 @@ let run_items ?pool ?(config = default_config) ?ckpt ?resume inst placement item
   let ops_ckpts = Metrics.counter ops_reg "checkpoints_written" in
   let ops_resumes = Metrics.counter ops_reg "resumes" in
   let ops_serve_retries = Metrics.counter ops_reg "serve_retries" in
-  (* epoch working state, reused across epochs *)
-  let dummy = { Stream.node = 0; x = 0; kind = Stream.Read } in
-  let buffer = Array.make config.epoch dummy in
-  let counts = Array.make k 0 in
-  let slot_of_x = Array.make k (-1) in
-  let seen = ref 0 in
-  let fingerprint = ref (Ckpt.fingerprint_init ~nodes:n ~objects:k) in
-  (* Topology items collected by [fill] wait here until the epoch
-     boundary: an event takes effect at the start of the epoch in which
-     it is consumed (the engine's time resolution is the epoch), so the
-     queue is always drained before that epoch serves — at every
-     checkpoint [topo_applied = topo_consumed]. *)
-  let pending_topo = Queue.create () in
-  let topo_consumed = ref 0 and topo_applied = ref 0 in
-  let epochs = ref [] in
-  let snapshots = ref [] in
-  let t_events = ref 0
-  and t_reads = ref 0
-  and t_dropped = ref 0
-  and t_serving = ref 0.0
-  and t_storage = ref 0.0
-  and t_migration = ref 0.0
-  and t_resolves = ref 0
-  and t_solve_retries = ref 0
-  and t_solve_fallbacks = ref 0
-  and t_emergency = ref 0
-  and t_topo = ref 0 in
-  (* Re-apply one restored epoch row exactly as the live path recorded
-     it: counters, gauges, snapshot, totals — so every downstream
-     artifact of the resumed run matches the uninterrupted one. *)
-  let scalar_snapshot () =
-    List.filter (fun (_, v) -> match v with Metrics.Hist _ -> false | _ -> true)
-      (Metrics.snapshot ins.reg)
+  let t =
+    {
+      pool;
+      config;
+      ckpt;
+      inst;
+      n;
+      k;
+      period;
+      metric;
+      churn;
+      caches;
+      cache_strategy;
+      ins;
+      ops_reg;
+      ops_ckpts;
+      ops_resumes;
+      ops_serve_retries;
+      buffer = Array.make config.epoch dummy_event;
+      len = 0;
+      counts = Array.make k 0;
+      slot_of_x = Array.make k (-1);
+      seen = 0;
+      fingerprint = Ckpt.fingerprint_init ~nodes:n ~objects:k;
+      pending_topo = Queue.create ();
+      topo_consumed = 0;
+      topo_applied = 0;
+      epochs = [];
+      snapshots = [];
+      next_index = 0;
+      t_events = 0;
+      t_reads = 0;
+      t_dropped = 0;
+      t_serving = 0.0;
+      t_storage = 0.0;
+      t_migration = 0.0;
+      t_resolves = 0;
+      t_solve_retries = 0;
+      t_solve_fallbacks = 0;
+      t_emergency = 0;
+      t_topo = 0;
+      pending_resume = resume;
+    }
   in
-  let record (s : epoch_stats) =
-    Metrics.add ins.c_events s.events;
-    Metrics.add ins.c_reads s.reads;
-    Metrics.add ins.c_writes s.writes;
-    Metrics.add ins.c_resolves s.resolves;
-    Metrics.add ins.c_solve_retries s.solve_retries;
-    Metrics.add ins.c_solve_fallbacks s.solve_fallbacks;
-    Metrics.add ins.c_dropped s.dropped;
-    Metrics.add ins.c_emergency s.emergency;
-    Metrics.add ins.c_topo s.topo;
-    Metrics.set ins.g_epoch (float_of_int s.index);
-    Metrics.set ins.g_events (float_of_int s.events);
-    Metrics.set ins.g_reads (float_of_int s.reads);
-    Metrics.set ins.g_writes (float_of_int s.writes);
-    Metrics.set ins.g_serving s.serving;
-    Metrics.set ins.g_storage s.storage;
-    Metrics.set ins.g_migration s.migration;
-    Metrics.set ins.g_resolves (float_of_int s.resolves);
-    Metrics.set ins.g_solve_retries (float_of_int s.solve_retries);
-    Metrics.set ins.g_solve_fallbacks (float_of_int s.solve_fallbacks);
-    Metrics.set ins.g_dropped (float_of_int s.dropped);
-    Metrics.set ins.g_emergency (float_of_int s.emergency);
-    Metrics.set ins.g_topo (float_of_int s.topo);
-    Metrics.set ins.g_copies (float_of_int s.copies);
-    Metrics.set ins.g_p50 s.p50;
-    Metrics.set ins.g_p95 s.p95;
-    Metrics.set ins.g_p99 s.p99;
-    snapshots := scalar_snapshot () :: !snapshots;
-    epochs := s :: !epochs;
-    t_events := !t_events + s.events;
-    t_reads := !t_reads + s.reads;
-    t_serving := !t_serving +. s.serving;
-    t_storage := !t_storage +. s.storage;
-    t_migration := !t_migration +. s.migration;
-    t_resolves := !t_resolves + s.resolves;
-    t_solve_retries := !t_solve_retries + s.solve_retries;
-    t_solve_fallbacks := !t_solve_fallbacks + s.solve_fallbacks;
-    t_dropped := !t_dropped + s.dropped;
-    t_emergency := !t_emergency + s.emergency;
-    t_topo := !t_topo + s.topo
-  in
-  let write_checkpoint c ~next_epoch =
-    Metrics.incr ops_ckpts;
-    let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
-    let raw = Metrics.hist_buckets ins.h_cost in
-    let h_counts = ref [] in
-    for i = nbuckets - 1 downto 0 do
-      if raw.(i) > 0 then h_counts := (i, raw.(i)) :: !h_counts
-    done;
-    Ckpt.save c.path
-      {
-        policy = policy_name config.policy;
-        epoch_size = config.epoch;
-        period;
-        next_epoch;
-        events_consumed = !seen;
-        topo_consumed = !topo_consumed;
-        topo_applied = !topo_applied;
-        fingerprint = !fingerprint;
-        nodes = n;
-        objects = k;
-        placements = Array.init k (fun x -> Sc.copies caches.(x));
-        epochs = List.rev_map stats_to_row !epochs;
-        hist =
-          {
-            h_lo = lo;
-            h_base = base;
-            h_buckets = nbuckets;
-            h_sum = Metrics.hist_sum ins.h_cost;
-            h_counts = !h_counts;
-          };
-        topo =
-          (match churn with
-          | Some ch when !topo_applied > 0 ->
-              let cm = Churn.metric ch in
-              {
-                Ckpt.metric_version = Metric.version cm;
-                metric_hash = Metric.hash64 cm;
-                down = Churn.down_nodes ch;
-                edge_overrides = Churn.overrides ch;
-              }
-          | _ -> Ckpt.no_topo);
-        checkpoints_written = Metrics.counter_value ops_ckpts;
-        serve_retries = Metrics.counter_value ops_serve_retries;
-      }
-  in
-  (* ----- resume: validate, restore state, fast-forward the trace ----- *)
-  let start_index, items =
-    match resume with
-    | None -> (0, items)
-    | Some (c : Ckpt.t) ->
-        if c.policy <> policy_name config.policy then
-          Err.failf Err.Validation
-            "resume: checkpoint was written by the %s policy but this run uses %s" c.policy
-            (policy_name config.policy);
-        if c.epoch_size <> config.epoch then
-          Err.failf Err.Validation
-            "resume: checkpoint epoch size %d does not match the configured %d" c.epoch_size
-            config.epoch;
-        if c.period <> period then
-          Err.failf Err.Validation
-            "resume: checkpoint storage period %d does not match the resolved %d" c.period
-            period;
-        if c.nodes <> n || c.objects <> k then
-          Err.failf Err.Validation
-            "resume: checkpoint shape (%d nodes, %d objects) does not match the instance (%d \
-             nodes, %d objects)"
-            c.nodes c.objects n k;
-        let pl =
-          try P.make (Array.copy c.placements)
-          with Invalid_argument msg ->
-            Err.fail Err.Validation ("resume: checkpoint placements: " ^ msg)
-        in
-        (match P.validate inst pl with
-        | Ok () -> ()
-        | Error msg ->
-            Err.fail Err.Validation
-              ("resume: checkpoint placements do not fit the instance: " ^ msg));
-        for x = 0 to k - 1 do
-          Sc.set_copies caches.(x) (P.copies pl ~x)
-        done;
-        let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
-        if c.hist.h_lo <> lo || c.hist.h_base <> base || c.hist.h_buckets <> nbuckets then
-          Err.failf Err.Validation
-            "resume: checkpoint histogram geometry (lo %g, base %g, %d buckets) does not match \
-             this build (lo %g, base %g, %d buckets)"
-            c.hist.h_lo c.hist.h_base c.hist.h_buckets lo base nbuckets;
-        List.iter (fun r -> record (row_to_stats r)) c.epochs;
-        let dense = Array.make nbuckets 0 in
-        List.iter (fun (i, cnt) -> dense.(i) <- cnt) c.hist.h_counts;
-        Metrics.hist_restore ins.h_cost ~counts:dense ~sum:c.hist.h_sum;
-        Metrics.add ops_ckpts c.checkpoints_written;
-        Metrics.add ops_serve_retries c.serve_retries;
-        Metrics.incr ops_resumes;
-        (* fast-forward: skip the consumed prefix (requests and topology
-           items both) while recomputing the trace-identity hash, then
-           refuse a trace that differs. Consumed topology items are
-           collected in order so the churn state can be replayed and
-           checked against the checkpoint's topology section. *)
-        let rec forward seq nreq ntopo acc fp =
-          if nreq = c.events_consumed && ntopo = c.topo_consumed then (seq, List.rev acc, fp)
-          else
-            match Seq.uncons seq with
-            | None ->
-                Err.failf Err.Validation
-                  "resume: the trace ends after %d request and %d topology items but the \
-                   checkpoint consumed %d and %d — wrong or truncated trace?"
-                  nreq ntopo c.events_consumed c.topo_consumed
-            | Some (Stream.Req e, rest) ->
-                if nreq = c.events_consumed then
-                  Err.failf Err.Validation
-                    "resume: item mix diverges from the checkpoint — a request event arrives \
-                     after all %d checkpointed requests but before topology item %d of %d"
-                    c.events_consumed (ntopo + 1) c.topo_consumed;
-                forward rest (nreq + 1) ntopo acc (fp_event fp e)
-            | Some (Stream.Topo t, rest) ->
-                if ntopo = c.topo_consumed then
-                  Err.failf Err.Validation
-                    "resume: item mix diverges from the checkpoint — a topology item arrives \
-                     after all %d checkpointed topology items but before request %d of %d"
-                    c.topo_consumed (nreq + 1) c.events_consumed;
-                forward rest nreq (ntopo + 1) (t :: acc) (Ckpt.fingerprint_topo fp t)
-        in
-        let rest, topo_prefix, fp = forward items 0 0 [] !fingerprint in
-        if fp <> c.fingerprint then
-          Err.failf Err.Validation
-            "resume: trace fingerprint %016Lx does not match the checkpoint's %016Lx — the \
-             first %d events differ from the run that wrote it"
-            fp c.fingerprint c.events_consumed;
-        fingerprint := fp;
-        seen := c.events_consumed;
-        (* replay the consumed topology events and prove the rebuilt
-           network matches the checkpoint's recorded state exactly —
-           version counter, distance-matrix hash, down set, overrides *)
-        (if topo_prefix <> [] then
-           match churn with
-           | None ->
-               Err.fail Err.Validation
-                 "resume: the checkpoint consumed topology events but this instance has no \
-                  graph to replay them against (metric-only instance)"
-           | Some ch ->
-               List.iter (Churn.apply ch) topo_prefix;
-               let cm = Churn.metric ch in
-               if Metric.version cm <> c.topo.Ckpt.metric_version
-                  || Metric.hash64 cm <> c.topo.Ckpt.metric_hash
-               then
-                 Err.failf Err.Validation
-                   "resume: replayed topology state (metric version %d, hash %016Lx) does not \
-                    match the checkpoint's (version %d, hash %016Lx)"
-                   (Metric.version cm) (Metric.hash64 cm) c.topo.Ckpt.metric_version
-                   c.topo.Ckpt.metric_hash;
-               if Churn.down_nodes ch <> c.topo.Ckpt.down then
-                 Err.fail Err.Validation
-                   "resume: replayed down-node set does not match the checkpoint's";
-               if Churn.overrides ch <> c.topo.Ckpt.edge_overrides then
-                 Err.fail Err.Validation
-                   "resume: replayed edge overrides do not match the checkpoint's");
-        topo_consumed := c.topo_consumed;
-        topo_applied := c.topo_applied;
-        (c.next_epoch, rest)
-  in
-  let rec fill seq m =
-    if m = config.epoch then (m, seq)
-    else
-      match Seq.uncons seq with
-      | None -> (m, Seq.empty)
-      | Some (Stream.Topo t, rest) ->
-          (match (config.policy, churn) with
-          | Cache, _ ->
-              Err.failf Err.Validation
-                "Engine.run: topology event (%s) under the cache policy: its per-event \
-                 threshold state cannot track a changing metric; use static or resolve"
-                (Churn.event_to_string t)
-          | _, None ->
-              Err.failf Err.Validation
-                "Engine.run: topology event (%s) on a metric-only instance: there is no graph \
-                 to repair, so topology churn needs a graph-backed instance"
-                (Churn.event_to_string t)
-          | _, Some _ -> ());
-          fingerprint := Ckpt.fingerprint_topo !fingerprint t;
-          incr topo_consumed;
-          Queue.add t pending_topo;
-          fill rest m
-      | Some (Stream.Req ({ Stream.node; x; _ } as e), rest) ->
-          if node < 0 || node >= n then
-            invalid_arg
-              (Printf.sprintf "Engine.run: event %d: node %d out of range [0, %d)" !seen node n);
-          if x < 0 || x >= k then
-            invalid_arg
-              (Printf.sprintf "Engine.run: event %d: object %d out of range [0, %d)" !seen x k);
-          incr seen;
-          fingerprint := fp_event !fingerprint e;
-          buffer.(m) <- e;
-          fill rest (m + 1)
-  in
-  (* Drain the pending topology queue at the epoch boundary (after
-     [fill], before serving): each event repairs the churned metric in
-     place. Then scan for objects whose {e entire} copy set is now on
-     dead nodes — they would be unreachable from everywhere — and
-     emergency-re-replicate each onto the live node nearest its old
-     copy set (by the pristine metric: the distances the data actually
-     travels from wherever the copies physically were). The transfer is
-     charged as migration. Replication runs under the same supervisor
-     as serving, at its own fault point, so injected faults are retried
-     and outcomes survive resume. Returns
-     [(applied, emergencies, migration_charge)]. *)
-  let apply_pending index =
-    if Queue.is_empty pending_topo then (0, 0, 0.0)
-    else
-      match churn with
-      | None -> Err.fail Err.Internal "Engine.run: pending topology events without churn state"
-      | Some ch ->
-          let applied = ref 0 in
-          while not (Queue.is_empty pending_topo) do
-            Churn.apply ch (Queue.pop pending_topo);
-            incr applied;
-            incr topo_applied
-          done;
-          let needy = ref [] in
-          for x = k - 1 downto 0 do
-            let cps = Sc.copies_array caches.(x) in
-            if not (Array.exists (Churn.alive ch) cps) then needy := x :: !needy
-          done;
-          let needy = Array.of_list !needy in
-          let nn = Array.length needy in
-          if nn = 0 then (!applied, 0, 0.0)
-          else begin
-            let supervision =
-              {
-                Pool.attempts = config.attempts;
-                deadline_s = None;
-                backoff_s = config.backoff_s;
-                point = "engine.replicate";
-                salt = (fun s -> (index * 1_000_003) + needy.(s));
-              }
-            in
-            let outcomes, _retries =
-              Pool.supervised_init pool ~supervision nn (fun s ->
-                  let x = needy.(s) in
-                  let old = Sc.copies_array caches.(x) in
-                  let best = ref (-1) and bd = ref infinity in
-                  for v = 0 to n - 1 do
-                    if Churn.alive ch v then begin
-                      let d =
-                        Array.fold_left
-                          (fun acc o -> Float.min acc (Metric.d metric v o))
-                          infinity old
-                      in
-                      if d < !bd then begin
-                        best := v;
-                        bd := d
-                      end
-                    end
-                  done;
-                  if !best < 0 then
-                    Err.failf Err.Validation
-                      "epoch %d: object %d lost every copy and no node is alive to host an \
-                       emergency replica"
-                      index x;
-                  (!best, !bd))
-            in
-            let charge = ref 0.0 in
-            Array.iteri
-              (fun s outcome ->
-                match outcome with
-                | Error (f : Pool.failure) ->
-                    Err.failf f.error.Err.kind
-                      "epoch %d: emergency re-replication of object %d failed after %d \
-                       attempt%s: %s"
-                      index needy.(s) f.attempts
-                      (if f.attempts = 1 then "" else "s")
-                      f.error.Err.msg
-                | Ok (v, d) ->
-                    Sc.set_copies caches.(needy.(s)) [ v ];
-                    charge := !charge +. d)
-              outcomes;
-            (!applied, nn, !charge)
-          end
-  in
-  let rec loop seq index =
-    let m, rest = fill seq 0 in
-    let applied, emergency, emg_migration = apply_pending index in
-    if m = 0 then begin
-      (* trailing topology events with no requests left: the network
-         change (and any emergency replication it forced) is real, but
-         there is no epoch to attribute it to — fold it straight into
-         the run totals *)
-      if applied > 0 then begin
-        Metrics.add ins.c_topo applied;
-        Metrics.add ins.c_emergency emergency;
-        t_topo := !t_topo + applied;
-        t_emergency := !t_emergency + emergency;
-        t_migration := !t_migration +. emg_migration
-      end
-    end
-    else begin
-      (* shard the epoch's events by object id *)
-      Array.fill counts 0 k 0;
-      for i = 0 to m - 1 do
-        counts.(buffer.(i).Stream.x) <- counts.(buffer.(i).Stream.x) + 1
-      done;
-      let active = ref [] in
-      for x = k - 1 downto 0 do
-        if counts.(x) > 0 then active := x :: !active
-      done;
-      let active = Array.of_list !active in
-      let na = Array.length active in
-      Array.iteri (fun i x -> slot_of_x.(x) <- i) active;
-      let obj_events = Array.map (fun x -> Array.make counts.(x) dummy) active in
-      let fill_pos = Array.make na 0 in
-      for i = 0 to m - 1 do
-        let s = slot_of_x.(buffer.(i).Stream.x) in
-        obj_events.(s).(fill_pos.(s)) <- buffer.(i);
-        fill_pos.(s) <- fill_pos.(s) + 1
-      done;
-      (* parallel serving under supervision: one task per active object,
-         each writing its private cost array. Attempt 0 draws the same
-         "pool.task" fault coin an unsupervised run would, so outcomes
-         stay independent of the domain count; injected faults are
-         retried up to [attempts] times before aborting the run (there
-         is no sound fallback for unserved requests). *)
-      let serve_supervision =
-        { Pool.default_supervision with attempts = config.attempts; backoff_s = config.backoff_s }
+  (* ----- resume: validate and restore state; the consumed trace
+     prefix is fast-forwarded separately by {!fast_forward} ----- *)
+  (match resume with
+  | None -> ()
+  | Some (c : Ckpt.t) ->
+      if c.policy <> policy_name config.policy then
+        Err.failf Err.Validation
+          "resume: checkpoint was written by the %s policy but this run uses %s" c.policy
+          (policy_name config.policy);
+      if c.epoch_size <> config.epoch then
+        Err.failf Err.Validation
+          "resume: checkpoint epoch size %d does not match the configured %d" c.epoch_size
+          config.epoch;
+      if c.period <> period then
+        Err.failf Err.Validation
+          "resume: checkpoint storage period %d does not match the resolved %d" c.period period;
+      if c.nodes <> n || c.objects <> k then
+        Err.failf Err.Validation
+          "resume: checkpoint shape (%d nodes, %d objects) does not match the instance (%d \
+           nodes, %d objects)"
+          c.nodes c.objects n k;
+      let pl =
+        try P.make (Array.copy c.placements)
+        with Invalid_argument msg ->
+          Err.fail Err.Validation ("resume: checkpoint placements: " ^ msg)
       in
-      let serve_outcomes, serve_retries =
-        Pool.supervised_init pool ~supervision:serve_supervision na (fun s ->
-            let x = active.(s) in
-            let evs = obj_events.(s) in
-            match cache_strategy with
-            | Some strat ->
-                Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
-            | None ->
-                let t = caches.(x) in
-                (* drop sentinels, classified in the sequential merge: a
-                   request from a dead node costs -1.0 (the requester is
-                   gone); a request whose nearest copy is unreachable
-                   costs infinity (the requester is partitioned away
-                   from every copy) *)
-                (match churn with
-                | Some ch when Churn.churned ch ->
-                    Array.map
-                      (fun e ->
-                        if not (Churn.alive ch e.Stream.node) then -1.0
-                        else Sc.serve_cost t ~node:e.Stream.node e.Stream.kind)
-                      evs
-                | _ ->
-                    Array.map (fun e -> Sc.serve_cost t ~node:e.Stream.node e.Stream.kind) evs))
-      in
-      Metrics.add ops_serve_retries serve_retries;
-      let costs_per_obj =
-        Array.mapi
-          (fun s outcome ->
-            match outcome with
-            | Ok a -> a
-            | Error (f : Pool.failure) ->
-                Err.failf f.error.Err.kind
-                  "epoch %d: serving object %d failed after %d attempt%s: %s" index active.(s)
-                  f.attempts
-                  (if f.attempts = 1 then "" else "s")
-                  f.error.Err.msg)
-          serve_outcomes
-      in
-      (* sequential merge in object order: float sums, histogram
-         observations and the percentile sample are all accumulated
-         here, in a scheduling-independent order *)
-      (* sequential merge: served costs feed the sums, the histogram and
-         the percentile sample; dropped requests (dead requester -1.0,
-         partitioned requester infinity) are counted and excluded from
-         every cost aggregate. Reads/writes count all consumed requests
-         either way — demand does not vanish because the network ate
-         it. *)
-      let epoch_costs = Array.make m 0.0 in
-      let pos = ref 0 in
-      let serving = ref 0.0 and reads = ref 0 and dropped = ref 0 in
-      for s = 0 to na - 1 do
-        let evs = obj_events.(s) and cs = costs_per_obj.(s) in
-        for i = 0 to Array.length cs - 1 do
-          let c = cs.(i) in
-          if evs.(i).Stream.kind = Stream.Read then incr reads;
-          if c < 0.0 || not (Float.is_finite c) then incr dropped
-          else begin
-            serving := !serving +. c;
-            epoch_costs.(!pos) <- c;
-            incr pos;
-            Metrics.observe ins.h_cost c
-          end
-        done
-      done;
-      let writes = m - !reads in
-      (* rent on the copy sets held after serving, pro-rated by the
-         epoch's share of the storage period *)
-      let frac = float_of_int m /. float_of_int period in
-      let storage = ref 0.0 in
+      (match P.validate inst pl with
+      | Ok () -> ()
+      | Error msg ->
+          Err.fail Err.Validation ("resume: checkpoint placements do not fit the instance: " ^ msg));
       for x = 0 to k - 1 do
-        List.iter (fun c -> storage := !storage +. (I.cs inst c *. frac)) (current_copies x)
+        Sc.set_copies caches.(x) (P.copies pl ~x)
       done;
-      (* epoch re-optimization: re-solve every object that saw traffic
-         on the observed frequencies. Re-solves run under the same
-         supervisor at the "engine.resolve" fault point (salted by
-         (epoch, object), so outcomes are independent of scheduling and
-         survive resume); an object whose re-solve still fails — crash,
-         injected fault, or deadline — keeps its previous copy set
-         instead of aborting the run. *)
-      let migration = ref 0.0
-      and resolves = ref 0
-      and solve_retries = ref 0
-      and solve_fallbacks = ref 0 in
-      (match config.policy with
-      | Static | Cache -> ()
-      | Resolve ->
-          (* Under churn the re-solve sees the network as it now is: the
-             churned metric (with unreachable pairs clamped to a finite
-             penalty — 4x the largest finite distance — because the
-             solver's cost sums must not meet infinity), storage
-             forbidden on dead nodes via infinite cs, and dead
-             requesters' demand excluded. Without churn every input
-             below reduces to exactly the pristine path. *)
-          let churned = match churn with Some ch -> Churn.churned ch | None -> false in
-          let is_dead v = match churn with Some ch -> not (Churn.alive ch v) | None -> false in
-          let fr = Array.make_matrix k n 0 and fw = Array.make_matrix k n 0 in
-          for i = 0 to m - 1 do
-            let { Stream.node; x; kind } = buffer.(i) in
-            if not (churned && is_dead node) then
-              match kind with
-              | Stream.Read -> fr.(x).(node) <- fr.(x).(node) + 1
-              | Stream.Write -> fw.(x).(node) <- fw.(x).(node) + 1
-          done;
-          let place_metric =
-            match churn with
-            | Some ch when Churn.churned ch ->
-                let cm = Churn.metric ch in
-                let sz = Metric.size cm in
-                let has_inf = ref false in
-                for i = 0 to sz - 1 do
-                  let r = Metric.row cm i in
-                  for j = 0 to sz - 1 do
-                    if not (Float.is_finite (Metric.row_get r j)) then has_inf := true
-                  done
-                done;
-                if !has_inf then
-                  Metric.clamp_infinite cm ~limit:((4.0 *. Metric.max_finite cm) +. 1.0)
-                else cm
-            | _ -> metric
-          in
-          let scaled_cs =
-            Array.init n (fun v -> if churned && is_dead v then infinity else I.cs inst v *. frac)
-          in
-          let einst = I.of_metric place_metric ~cs:scaled_cs ~fr ~fw in
-          let solve_supervision =
+      let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
+      if c.hist.h_lo <> lo || c.hist.h_base <> base || c.hist.h_buckets <> nbuckets then
+        Err.failf Err.Validation
+          "resume: checkpoint histogram geometry (lo %g, base %g, %d buckets) does not match \
+           this build (lo %g, base %g, %d buckets)"
+          c.hist.h_lo c.hist.h_base c.hist.h_buckets lo base nbuckets;
+      List.iter (fun r -> record t (row_to_stats r)) c.epochs;
+      let dense = Array.make nbuckets 0 in
+      List.iter (fun (i, cnt) -> dense.(i) <- cnt) c.hist.h_counts;
+      Metrics.hist_restore ins.h_cost ~counts:dense ~sum:c.hist.h_sum;
+      Metrics.add ops_ckpts c.checkpoints_written;
+      Metrics.add ops_serve_retries c.serve_retries;
+      Metrics.incr ops_resumes;
+      t.next_index <- c.next_epoch);
+  t
+
+let fast_forward t items =
+  match t.pending_resume with
+  | None -> items
+  | Some (c : Ckpt.t) ->
+      (* fast-forward: skip the consumed prefix (requests and topology
+         items both) while recomputing the trace-identity hash, then
+         refuse a trace that differs. Consumed topology items are
+         collected in order so the churn state can be replayed and
+         checked against the checkpoint's topology section. *)
+      let rec forward seq nreq ntopo acc fp =
+        if nreq = c.events_consumed && ntopo = c.topo_consumed then (seq, List.rev acc, fp)
+        else
+          match Seq.uncons seq with
+          | None ->
+              Err.failf Err.Validation
+                "resume: the trace ends after %d request and %d topology items but the \
+                 checkpoint consumed %d and %d — wrong or truncated trace?"
+                nreq ntopo c.events_consumed c.topo_consumed
+          | Some (Stream.Req e, rest) ->
+              if nreq = c.events_consumed then
+                Err.failf Err.Validation
+                  "resume: item mix diverges from the checkpoint — a request event arrives \
+                   after all %d checkpointed requests but before topology item %d of %d"
+                  c.events_consumed (ntopo + 1) c.topo_consumed;
+              forward rest (nreq + 1) ntopo acc (fp_event fp e)
+          | Some (Stream.Topo tp, rest) ->
+              if ntopo = c.topo_consumed then
+                Err.failf Err.Validation
+                  "resume: item mix diverges from the checkpoint — a topology item arrives \
+                   after all %d checkpointed topology items but before request %d of %d"
+                  c.topo_consumed (nreq + 1) c.events_consumed;
+              forward rest nreq (ntopo + 1) (tp :: acc) (Ckpt.fingerprint_topo fp tp)
+      in
+      let rest, topo_prefix, fp = forward items 0 0 [] t.fingerprint in
+      if fp <> c.fingerprint then
+        Err.failf Err.Validation
+          "resume: trace fingerprint %016Lx does not match the checkpoint's %016Lx — the \
+           first %d events differ from the run that wrote it"
+          fp c.fingerprint c.events_consumed;
+      t.fingerprint <- fp;
+      t.seen <- c.events_consumed;
+      (* replay the consumed topology events and prove the rebuilt
+         network matches the checkpoint's recorded state exactly —
+         version counter, distance-matrix hash, down set, overrides *)
+      (if topo_prefix <> [] then
+         match t.churn with
+         | None ->
+             Err.fail Err.Validation
+               "resume: the checkpoint consumed topology events but this instance has no \
+                graph to replay them against (metric-only instance)"
+         | Some ch ->
+             List.iter (Churn.apply ch) topo_prefix;
+             let cm = Churn.metric ch in
+             if Metric.version cm <> c.topo.Ckpt.metric_version
+                || Metric.hash64 cm <> c.topo.Ckpt.metric_hash
+             then
+               Err.failf Err.Validation
+                 "resume: replayed topology state (metric version %d, hash %016Lx) does not \
+                  match the checkpoint's (version %d, hash %016Lx)"
+                 (Metric.version cm) (Metric.hash64 cm) c.topo.Ckpt.metric_version
+                 c.topo.Ckpt.metric_hash;
+             if Churn.down_nodes ch <> c.topo.Ckpt.down then
+               Err.fail Err.Validation
+                 "resume: replayed down-node set does not match the checkpoint's";
+             if Churn.overrides ch <> c.topo.Ckpt.edge_overrides then
+               Err.fail Err.Validation
+                 "resume: replayed edge overrides do not match the checkpoint's");
+      t.topo_consumed <- c.topo_consumed;
+      t.topo_applied <- c.topo_applied;
+      t.pending_resume <- None;
+      rest
+
+let ensure_capacity t =
+  if t.len = Array.length t.buffer then begin
+    let bigger = Array.make (2 * Array.length t.buffer) dummy_event in
+    Array.blit t.buffer 0 bigger 0 t.len;
+    t.buffer <- bigger
+  end
+
+(* Ingest one item into the epoch in flight: a topology item queues for
+   the next boundary, a request is validated, fingerprinted and
+   buffered. Shared verbatim between the one-shot replay reader and the
+   daemon's batcher, so both mark [seen] and the fingerprint in exactly
+   the same order. *)
+let ingest t = function
+  | Stream.Topo tp ->
+      (match (t.config.policy, t.churn) with
+      | Cache, _ ->
+          Err.failf Err.Validation
+            "Engine.run: topology event (%s) under the cache policy: its per-event threshold \
+             state cannot track a changing metric; use static or resolve"
+            (Churn.event_to_string tp)
+      | _, None ->
+          Err.failf Err.Validation
+            "Engine.run: topology event (%s) on a metric-only instance: there is no graph to \
+             repair, so topology churn needs a graph-backed instance"
+            (Churn.event_to_string tp)
+      | _, Some _ -> ());
+      t.fingerprint <- Ckpt.fingerprint_topo t.fingerprint tp;
+      t.topo_consumed <- t.topo_consumed + 1;
+      Queue.add tp t.pending_topo
+  | Stream.Req ({ Stream.node; x; _ } as e) ->
+      if node < 0 || node >= t.n then
+        invalid_arg
+          (Printf.sprintf "Engine.run: event %d: node %d out of range [0, %d)" t.seen node t.n);
+      if x < 0 || x >= t.k then
+        invalid_arg
+          (Printf.sprintf "Engine.run: event %d: object %d out of range [0, %d)" t.seen x t.k);
+      t.seen <- t.seen + 1;
+      t.fingerprint <- fp_event t.fingerprint e;
+      ensure_capacity t;
+      t.buffer.(t.len) <- e;
+      t.len <- t.len + 1
+
+(* Drain the pending topology queue at the epoch boundary (after
+   ingest, before serving): each event repairs the churned metric in
+   place. Then scan for objects whose {e entire} copy set is now on
+   dead nodes — they would be unreachable from everywhere — and
+   emergency-re-replicate each onto the live node nearest its old
+   copy set (by the pristine metric: the distances the data actually
+   travels from wherever the copies physically were). The transfer is
+   charged as migration. Replication runs under the same supervisor
+   as serving, at its own fault point, so injected faults are retried
+   and outcomes survive resume. Returns
+   [(applied, emergencies, migration_charge)]. *)
+let apply_pending t index =
+  if Queue.is_empty t.pending_topo then (0, 0, 0.0)
+  else
+    match t.churn with
+    | None -> Err.fail Err.Internal "Engine.run: pending topology events without churn state"
+    | Some ch ->
+        let applied = ref 0 in
+        while not (Queue.is_empty t.pending_topo) do
+          Churn.apply ch (Queue.pop t.pending_topo);
+          incr applied;
+          t.topo_applied <- t.topo_applied + 1
+        done;
+        let needy = ref [] in
+        for x = t.k - 1 downto 0 do
+          let cps = Sc.copies_array t.caches.(x) in
+          if not (Array.exists (Churn.alive ch) cps) then needy := x :: !needy
+        done;
+        let needy = Array.of_list !needy in
+        let nn = Array.length needy in
+        if nn = 0 then (!applied, 0, 0.0)
+        else begin
+          let supervision =
             {
-              Pool.attempts = config.attempts;
-              deadline_s = config.solve_deadline_s;
-              backoff_s = config.backoff_s;
-              point = "engine.resolve";
-              salt = (fun s -> (index * 1_000_003) + active.(s));
+              Pool.attempts = t.config.attempts;
+              deadline_s = None;
+              backoff_s = t.config.backoff_s;
+              point = "engine.replicate";
+              salt = (fun s -> (index * 1_000_003) + needy.(s));
             }
           in
-          let solved, retries =
-            Pool.supervised_init pool ~supervision:solve_supervision na (fun s ->
-                A.place_object ~config:config.solver einst ~x:active.(s))
+          let outcomes, _retries =
+            Pool.supervised_init t.pool ~supervision nn (fun s ->
+                let x = needy.(s) in
+                let old = Sc.copies_array t.caches.(x) in
+                let best = ref (-1) and bd = ref infinity in
+                for v = 0 to t.n - 1 do
+                  if Churn.alive ch v then begin
+                    let d =
+                      Array.fold_left
+                        (fun acc o -> Float.min acc (Metric.d t.metric v o))
+                        infinity old
+                    in
+                    if d < !bd then begin
+                      best := v;
+                      bd := d
+                    end
+                  end
+                done;
+                if !best < 0 then
+                  Err.failf Err.Validation
+                    "epoch %d: object %d lost every copy and no node is alive to host an \
+                     emergency replica"
+                    index x;
+                (!best, !bd))
           in
-          solve_retries := retries;
-          for s = 0 to na - 1 do
-            let x = active.(s) in
-            match solved.(s) with
-            | Error _ ->
-                (* graceful degradation: keep the previous epoch's
-                   placement for this object *)
-                incr solve_fallbacks
-            | Ok cps -> (
-                (* defense in depth: infinite storage cost should already
-                   keep the solver off dead nodes, but a placement that
-                   slipped one through must not survive — and if every
-                   copy landed on a dead node, keep the previous set *)
-                let cps = if churned then List.filter (fun c -> not (is_dead c)) cps else cps in
-                match cps with
-                | [] -> incr solve_fallbacks
-                | cps ->
-                    incr resolves;
-                    let t = caches.(x) in
-                    let old = Sc.copies_array t in
-                    List.iter
-                      (fun c ->
-                        if not (Sc.mem t c) then
-                          let d =
-                            Array.fold_left
-                              (fun acc o -> Float.min acc (Metric.d place_metric c o))
-                              infinity old
-                          in
-                          migration := !migration +. d)
-                      cps;
-                    Sc.set_copies t cps)
-          done);
-      let copies_now = total_copies () in
-      (* percentiles over served requests only; an epoch whose every
-         request was dropped has no cost sample at all *)
-      let served = if !pos = m then epoch_costs else Array.sub epoch_costs 0 !pos in
-      let p50 = if !pos = 0 then 0.0 else Stats.percentile served 50.0 in
-      let p95 = if !pos = 0 then 0.0 else Stats.percentile served 95.0 in
-      let p99 = if !pos = 0 then 0.0 else Stats.percentile served 99.0 in
-      record
-        {
-          index;
-          events = m;
-          reads = !reads;
-          writes;
-          dropped = !dropped;
-          serving = !serving;
-          storage = !storage;
-          migration = !migration +. emg_migration;
-          resolves = !resolves;
-          solve_retries = !solve_retries;
-          solve_fallbacks = !solve_fallbacks;
-          emergency;
-          topo = applied;
-          copies = copies_now;
-          p50;
-          p95;
-          p99;
-        };
-      (match ckpt with
-      | Some c when (index + 1) mod c.every = 0 -> write_checkpoint c ~next_epoch:(index + 1)
-      | _ -> ());
-      (match Lazy.force crash_after_epoch with
-      | Some after when after = index ->
-          Printf.eprintf "dmnet: injected crash after epoch %d (DMNET_CRASH_AFTER_EPOCH)\n%!"
-            index;
-          Stdlib.exit 70
-      | _ -> ());
-      loop rest (index + 1)
+          let charge = ref 0.0 in
+          Array.iteri
+            (fun s outcome ->
+              match outcome with
+              | Error (f : Pool.failure) ->
+                  Err.failf f.error.Err.kind
+                    "epoch %d: emergency re-replication of object %d failed after %d \
+                     attempt%s: %s"
+                    index needy.(s) f.attempts
+                    (if f.attempts = 1 then "" else "s")
+                    f.error.Err.msg
+              | Ok (v, d) ->
+                  Sc.set_copies t.caches.(needy.(s)) [ v ];
+                  charge := !charge +. d)
+            outcomes;
+          (!applied, nn, !charge)
+        end
+
+(* Serve the epoch in flight: apply pending topology, shard the
+   buffered requests by object over the pool, merge sequentially,
+   charge rent, optionally re-solve, record, checkpoint if due. A call
+   with no buffered requests but pending topology folds the network
+   change straight into the run totals (there is no epoch to attribute
+   it to). *)
+let step_boundary t =
+  if t.pending_resume <> None then
+    Err.fail Err.Validation
+      "Engine.step: this engine was created with ~resume; call fast_forward on the trace \
+       before stepping";
+  let index = t.next_index in
+  let m = t.len in
+  let applied, emergency, emg_migration = apply_pending t index in
+  if m = 0 then begin
+    (* topology events with no requests in the batch: the network
+       change (and any emergency replication it forced) is real, but
+       there is no epoch to attribute it to — fold it straight into
+       the run totals *)
+    if applied > 0 then begin
+      Metrics.add t.ins.c_topo applied;
+      Metrics.add t.ins.c_emergency emergency;
+      t.t_topo <- t.t_topo + applied;
+      t.t_emergency <- t.t_emergency + emergency;
+      t.t_migration <- t.t_migration +. emg_migration
     end
-  in
-  loop items start_index;
+  end
+  else begin
+    let buffer = t.buffer and counts = t.counts and slot_of_x = t.slot_of_x in
+    let k = t.k in
+    (* shard the epoch's events by object id *)
+    Array.fill counts 0 k 0;
+    for i = 0 to m - 1 do
+      counts.(buffer.(i).Stream.x) <- counts.(buffer.(i).Stream.x) + 1
+    done;
+    let active = ref [] in
+    for x = k - 1 downto 0 do
+      if counts.(x) > 0 then active := x :: !active
+    done;
+    let active = Array.of_list !active in
+    let na = Array.length active in
+    Array.iteri (fun i x -> slot_of_x.(x) <- i) active;
+    let obj_events = Array.map (fun x -> Array.make counts.(x) dummy_event) active in
+    let fill_pos = Array.make na 0 in
+    for i = 0 to m - 1 do
+      let s = slot_of_x.(buffer.(i).Stream.x) in
+      obj_events.(s).(fill_pos.(s)) <- buffer.(i);
+      fill_pos.(s) <- fill_pos.(s) + 1
+    done;
+    (* parallel serving under supervision: one task per active object,
+       each writing its private cost array. Attempt 0 draws the same
+       "pool.task" fault coin an unsupervised run would, so outcomes
+       stay independent of the domain count; injected faults are
+       retried up to [attempts] times before aborting the run (there
+       is no sound fallback for unserved requests). *)
+    let serve_supervision =
+      { Pool.default_supervision with attempts = t.config.attempts; backoff_s = t.config.backoff_s }
+    in
+    let serve_outcomes, serve_retries =
+      Pool.supervised_init t.pool ~supervision:serve_supervision na (fun s ->
+          let x = active.(s) in
+          let evs = obj_events.(s) in
+          match t.cache_strategy with
+          | Some strat ->
+              Array.map (fun e -> strat.Sg.serve ~x ~node:e.Stream.node e.Stream.kind) evs
+          | None ->
+              let tb = t.caches.(x) in
+              (* drop sentinels, classified in the sequential merge: a
+                 request from a dead node costs -1.0 (the requester is
+                 gone); a request whose nearest copy is unreachable
+                 costs infinity (the requester is partitioned away
+                 from every copy) *)
+              (match t.churn with
+              | Some ch when Churn.churned ch ->
+                  Array.map
+                    (fun e ->
+                      if not (Churn.alive ch e.Stream.node) then -1.0
+                      else Sc.serve_cost tb ~node:e.Stream.node e.Stream.kind)
+                    evs
+              | _ ->
+                  Array.map (fun e -> Sc.serve_cost tb ~node:e.Stream.node e.Stream.kind) evs))
+    in
+    Metrics.add t.ops_serve_retries serve_retries;
+    let costs_per_obj =
+      Array.mapi
+        (fun s outcome ->
+          match outcome with
+          | Ok a -> a
+          | Error (f : Pool.failure) ->
+              Err.failf f.error.Err.kind
+                "epoch %d: serving object %d failed after %d attempt%s: %s" index active.(s)
+                f.attempts
+                (if f.attempts = 1 then "" else "s")
+                f.error.Err.msg)
+        serve_outcomes
+    in
+    (* sequential merge in object order: served costs feed the sums, the
+       histogram and the percentile sample, in a scheduling-independent
+       order; dropped requests (dead requester -1.0, partitioned
+       requester infinity) are counted and excluded from every cost
+       aggregate. Reads/writes count all consumed requests either way —
+       demand does not vanish because the network ate it. *)
+    let epoch_costs = Array.make m 0.0 in
+    let pos = ref 0 in
+    let serving = ref 0.0 and reads = ref 0 and dropped = ref 0 in
+    for s = 0 to na - 1 do
+      let evs = obj_events.(s) and cs = costs_per_obj.(s) in
+      for i = 0 to Array.length cs - 1 do
+        let c = cs.(i) in
+        if evs.(i).Stream.kind = Stream.Read then incr reads;
+        if c < 0.0 || not (Float.is_finite c) then incr dropped
+        else begin
+          serving := !serving +. c;
+          epoch_costs.(!pos) <- c;
+          incr pos;
+          Metrics.observe t.ins.h_cost c
+        end
+      done
+    done;
+    let writes = m - !reads in
+    (* rent on the copy sets held after serving, pro-rated by the
+       epoch's share of the storage period *)
+    let frac = float_of_int m /. float_of_int t.period in
+    let storage = ref 0.0 in
+    for x = 0 to k - 1 do
+      List.iter (fun c -> storage := !storage +. (I.cs t.inst c *. frac)) (current_copies t x)
+    done;
+    (* epoch re-optimization: re-solve every object that saw traffic
+       on the observed frequencies. Re-solves run under the same
+       supervisor at the "engine.resolve" fault point (salted by
+       (epoch, object), so outcomes are independent of scheduling and
+       survive resume); an object whose re-solve still fails — crash,
+       injected fault, or deadline — keeps its previous copy set
+       instead of aborting the run. *)
+    let migration = ref 0.0
+    and resolves = ref 0
+    and solve_retries = ref 0
+    and solve_fallbacks = ref 0 in
+    (match t.config.policy with
+    | Static | Cache -> ()
+    | Resolve ->
+        (* Under churn the re-solve sees the network as it now is: the
+           churned metric (with unreachable pairs clamped to a finite
+           penalty — 4x the largest finite distance — because the
+           solver's cost sums must not meet infinity), storage
+           forbidden on dead nodes via infinite cs, and dead
+           requesters' demand excluded. Without churn every input
+           below reduces to exactly the pristine path. *)
+        let churned = match t.churn with Some ch -> Churn.churned ch | None -> false in
+        let is_dead v = match t.churn with Some ch -> not (Churn.alive ch v) | None -> false in
+        let fr = Array.make_matrix k t.n 0 and fw = Array.make_matrix k t.n 0 in
+        for i = 0 to m - 1 do
+          let { Stream.node; x; kind } = buffer.(i) in
+          if not (churned && is_dead node) then
+            match kind with
+            | Stream.Read -> fr.(x).(node) <- fr.(x).(node) + 1
+            | Stream.Write -> fw.(x).(node) <- fw.(x).(node) + 1
+        done;
+        let place_metric =
+          match t.churn with
+          | Some ch when Churn.churned ch ->
+              let cm = Churn.metric ch in
+              let sz = Metric.size cm in
+              let has_inf = ref false in
+              for i = 0 to sz - 1 do
+                let r = Metric.row cm i in
+                for j = 0 to sz - 1 do
+                  if not (Float.is_finite (Metric.row_get r j)) then has_inf := true
+                done
+              done;
+              if !has_inf then
+                Metric.clamp_infinite cm ~limit:((4.0 *. Metric.max_finite cm) +. 1.0)
+              else cm
+          | _ -> t.metric
+        in
+        let scaled_cs =
+          Array.init t.n (fun v ->
+              if churned && is_dead v then infinity else I.cs t.inst v *. frac)
+        in
+        let einst = I.of_metric place_metric ~cs:scaled_cs ~fr ~fw in
+        let solve_supervision =
+          {
+            Pool.attempts = t.config.attempts;
+            deadline_s = t.config.solve_deadline_s;
+            backoff_s = t.config.backoff_s;
+            point = "engine.resolve";
+            salt = (fun s -> (index * 1_000_003) + active.(s));
+          }
+        in
+        let solved, retries =
+          Pool.supervised_init t.pool ~supervision:solve_supervision na (fun s ->
+              A.place_object ~config:t.config.solver einst ~x:active.(s))
+        in
+        solve_retries := retries;
+        for s = 0 to na - 1 do
+          let x = active.(s) in
+          match solved.(s) with
+          | Error _ ->
+              (* graceful degradation: keep the previous epoch's
+                 placement for this object *)
+              incr solve_fallbacks
+          | Ok cps -> (
+              (* defense in depth: infinite storage cost should already
+                 keep the solver off dead nodes, but a placement that
+                 slipped one through must not survive — and if every
+                 copy landed on a dead node, keep the previous set *)
+              let cps = if churned then List.filter (fun c -> not (is_dead c)) cps else cps in
+              match cps with
+              | [] -> incr solve_fallbacks
+              | cps ->
+                  incr resolves;
+                  let tb = t.caches.(x) in
+                  let old = Sc.copies_array tb in
+                  List.iter
+                    (fun c ->
+                      if not (Sc.mem tb c) then
+                        let d =
+                          Array.fold_left
+                            (fun acc o -> Float.min acc (Metric.d place_metric c o))
+                            infinity old
+                        in
+                        migration := !migration +. d)
+                    cps;
+                  Sc.set_copies tb cps)
+        done);
+    let copies_now = total_copies t in
+    (* percentiles over served requests only; an epoch whose every
+       request was dropped has no cost sample at all *)
+    let served = if !pos = m then epoch_costs else Array.sub epoch_costs 0 !pos in
+    let p50 = if !pos = 0 then 0.0 else Stats.percentile served 50.0 in
+    let p95 = if !pos = 0 then 0.0 else Stats.percentile served 95.0 in
+    let p99 = if !pos = 0 then 0.0 else Stats.percentile served 99.0 in
+    record t
+      {
+        index;
+        events = m;
+        reads = !reads;
+        writes;
+        dropped = !dropped;
+        serving = !serving;
+        storage = !storage;
+        migration = !migration +. emg_migration;
+        resolves = !resolves;
+        solve_retries = !solve_retries;
+        solve_fallbacks = !solve_fallbacks;
+        emergency;
+        topo = applied;
+        copies = copies_now;
+        p50;
+        p95;
+        p99;
+      };
+    t.len <- 0;
+    t.next_index <- index + 1;
+    (match t.ckpt with
+    | Some c when (index + 1) mod c.every = 0 -> write_checkpoint t c ~next_epoch:(index + 1)
+    | _ -> ());
+    match Lazy.force crash_after_epoch with
+    | Some after when after = index ->
+        Printf.eprintf "dmnet: injected crash after epoch %d (DMNET_CRASH_AFTER_EPOCH)\n%!"
+          index;
+        Stdlib.exit 70
+    | _ -> ()
+  end
+
+let step t items =
+  List.iter (ingest t) items;
+  step_boundary t
+
+let epochs_done t = t.next_index
+let events_consumed t = t.seen
+let live_snapshot t = Metrics.snapshot t.ins.reg
+let live_ops t = Metrics.snapshot t.ops_reg
+
+let finish t : result =
   {
-    policy = config.policy;
-    epoch_size = config.epoch;
-    period;
-    epochs = List.rev !epochs;
+    policy = t.config.policy;
+    epoch_size = t.config.epoch;
+    period = t.period;
+    epochs = List.rev t.epochs;
     totals =
       {
-        events = !t_events;
-        reads = !t_reads;
-        writes = !t_events - !t_reads;
-        dropped = !t_dropped;
-        serving = !t_serving;
-        storage = !t_storage;
-        migration = !t_migration;
-        resolves = !t_resolves;
-        solve_retries = !t_solve_retries;
-        solve_fallbacks = !t_solve_fallbacks;
-        emergency = !t_emergency;
-        topo = !t_topo;
-        final_copies = total_copies ();
+        events = t.t_events;
+        reads = t.t_reads;
+        writes = t.t_events - t.t_reads;
+        dropped = t.t_dropped;
+        serving = t.t_serving;
+        storage = t.t_storage;
+        migration = t.t_migration;
+        resolves = t.t_resolves;
+        solve_retries = t.t_solve_retries;
+        solve_fallbacks = t.t_solve_fallbacks;
+        emergency = t.t_emergency;
+        topo = t.t_topo;
+        final_copies = total_copies t;
       };
-    snapshots = List.rev !snapshots;
-    final = Metrics.snapshot ins.reg;
-    ops = Metrics.snapshot ops_reg;
+    snapshots = List.rev t.snapshots;
+    final = Metrics.snapshot t.ins.reg;
+    ops = Metrics.snapshot t.ops_reg;
   }
+
+let run_items ?pool ?config ?ckpt ?resume inst placement items =
+  let eng = create ?pool ?config ?ckpt ?resume inst placement in
+  let items = fast_forward eng items in
+  let epoch = eng.config.epoch in
+  (* Pull one epoch's worth of items — [epoch] requests plus any
+     interleaved topology items — forcing the sequence no further than
+     the old single-pass reader did. *)
+  let rec pull seq m acc =
+    if m = epoch then (List.rev acc, m, seq)
+    else
+      match Seq.uncons seq with
+      | None -> (List.rev acc, m, Seq.empty)
+      | Some ((Stream.Topo _ as it), rest) -> pull rest m (it :: acc)
+      | Some ((Stream.Req _ as it), rest) -> pull rest (m + 1) (it :: acc)
+  in
+  let rec go seq =
+    let chunk, m, rest = pull seq 0 [] in
+    if chunk <> [] then begin
+      step eng chunk;
+      if m = epoch then go rest
+    end
+  in
+  go items;
+  finish eng
 
 let run ?pool ?config ?ckpt ?resume inst placement events =
   run_items ?pool ?config ?ckpt ?resume inst placement (Stream.items_of_events events)

@@ -251,6 +251,89 @@ val run_items :
   Dmn_dynamic.Stream.item Seq.t ->
   result
 
+(** {2 Incremental epoch API}
+
+    The one-shot {!run}/{!run_items} drivers above are thin wrappers
+    over this interface: build an engine with {!create}, feed it one
+    epoch at a time with {!step}, and assemble the {!result} with
+    {!finish}. The serving daemon ({!Dmn_server}) drives the same
+    functions on live traffic, so replay and online serving share one
+    code path — equal event batches produce byte-identical metrics
+    whichever driver consumed them. *)
+
+(** A live engine: one [t] is one (possibly resumed) replay in
+    progress. Not thread-safe — drive it from a single thread; the
+    parallelism lives inside {!step}'s pool fan-out. *)
+type t
+
+(** [create ?pool ?config ?ckpt ?resume inst placement] validates the
+    configuration and the placement and builds an idle engine. With
+    [?resume] the checkpoint is validated against the configuration and
+    the instance and the engine state (placements, cumulative metrics,
+    epoch index) is restored — but the trace prefix is {e not} yet
+    fast-forwarded: call {!fast_forward} before the first {!step}.
+    Raises exactly as {!run} does for configuration errors. *)
+val create :
+  ?pool:Dmn_prelude.Pool.t ->
+  ?config:config ->
+  ?ckpt:checkpointing ->
+  ?resume:Dmn_core.Serial.Checkpoint.t ->
+  Dmn_core.Instance.t ->
+  Dmn_core.Placement.t ->
+  t
+
+(** [fast_forward t items] skips the checkpoint's consumed prefix of
+    [items] — recomputing and verifying the trace fingerprint and
+    replaying consumed topology events against the checkpoint's
+    recorded network state — and returns the remainder. On an engine
+    created without [?resume] it returns [items] unchanged. Must be
+    called (once) before {!step} on a resumed engine.
+    @raise Dmn_prelude.Err.Error (kind [Validation]) when the trace
+    disagrees with the checkpoint. *)
+val fast_forward :
+  t -> Dmn_dynamic.Stream.item Seq.t -> Dmn_dynamic.Stream.item Seq.t
+
+(** [step t items] consumes one epoch: topology items queue for the
+    boundary, requests are validated, fingerprinted and buffered, then
+    the whole batch is served as a single epoch — pending topology
+    applied first, serving sharded over the pool, rent charged,
+    [Resolve] re-solving, metrics recorded, a checkpoint written when
+    due. The batch {e is} the epoch: callers control the epoch size by
+    how many requests they pass (the one-shot wrapper passes exactly
+    [config.epoch]; a wall-clock tick may pass fewer). A batch with
+    topology items but no requests folds the network change into the
+    run totals without creating an epoch; an empty batch is a no-op.
+    Raises as {!run_items} does for malformed events.
+    @raise Dmn_prelude.Err.Error (kind [Validation]) when the engine
+    was created with [?resume] but {!fast_forward} has not run. *)
+val step : t -> Dmn_dynamic.Stream.item list -> unit
+
+(** [checkpoint_now t] writes a checkpoint at the current epoch
+    boundary (a no-op without [?ckpt]). Sound only between {!step}
+    calls — which is the only time a caller can run. The daemon uses
+    it for the final checkpoint on graceful shutdown. *)
+val checkpoint_now : t -> unit
+
+(** Epochs served so far (equivalently: the index the next non-empty
+    {!step} will record). After resume this starts at the checkpoint's
+    [next_epoch]. *)
+val epochs_done : t -> int
+
+(** Requests consumed so far, including a resumed prefix. *)
+val events_consumed : t -> int
+
+(** Current workload metrics snapshot (counters, gauges, histogram) in
+    registration order — the daemon's live [/metrics] source. *)
+val live_snapshot : t -> (string * Dmn_prelude.Metrics.value) list
+
+(** Current operational counters ([checkpoints_written], [resumes],
+    [serve_retries]) — see {!result.ops}. *)
+val live_ops : t -> (string * Dmn_prelude.Metrics.value) list
+
+(** [finish t] assembles the {!result} from the state accumulated so
+    far. Idempotent; reads the engine without disturbing it. *)
+val finish : t -> result
+
 (** [of_trace_event e] converts a stored trace event to a stream
     event. *)
 val of_trace_event : Dmn_core.Serial.Trace.event -> Dmn_dynamic.Stream.event

@@ -1,0 +1,288 @@
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> Err.failf Err.Parse "byte %d: %s" !pos msg) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail "expected '%c', found '%c'" c d
+    | None -> fail "expected '%c', found end of input" c
+  in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "invalid literal (expected %s)" word
+  in
+  let utf8_add buf u =
+    (* encode one Unicode scalar value *)
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail "bad hex digit '%c' in \\u escape" c
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec run () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+            advance ();
+            Buffer.contents buf
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | Some '"' -> Buffer.add_char buf '"'; advance ()
+            | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+            | Some '/' -> Buffer.add_char buf '/'; advance ()
+            | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+            | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+            | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+            | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+            | Some 't' -> Buffer.add_char buf '\t'; advance ()
+            | Some 'u' ->
+                advance ();
+                let u = hex4 () in
+                let u =
+                  (* surrogate pair *)
+                  if u >= 0xD800 && u <= 0xDBFF && !pos + 2 <= n && s.[!pos] = '\\'
+                     && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo < 0xDC00 || lo > 0xDFFF then fail "invalid low surrogate";
+                    0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                  end
+                  else u
+                in
+                utf8_add buf u
+            | Some c -> fail "bad escape '\\%c'" c
+            | None -> fail "truncated escape");
+            run ()
+        | c when Char.code c < 0x20 -> fail "unescaped control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            run ()
+    in
+    run ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected a digit in number"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let span = String.sub s start (!pos - start) in
+    match float_of_string_opt span with
+    | Some f -> Num f
+    | None -> fail "unparseable number %S" span
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields_loop ()
+            | Some '}' -> advance ()
+            | Some c -> fail "expected ',' or '}' in object, found '%c'" c
+            | None -> fail "unterminated object"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let elems = ref [] in
+          let rec elems_loop () =
+            let v = parse_value () in
+            elems := v :: !elems;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems_loop ()
+            | Some ']' -> advance ()
+            | Some c -> fail "expected ',' or ']' in array, found '%c'" c
+            | None -> fail "unterminated array"
+          in
+          elems_loop ();
+          Arr (List.rev !elems)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character '%c'" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after the document";
+    v
+  with
+  | v -> Ok v
+  | exception Err.Error e -> Error e
+
+let parse_exn s = Err.get_ok (parse s)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (Metrics.json_float f)
+    | Str s -> escape_string buf s
+    | Arr vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            go v)
+          vs;
+        Buffer.add_char buf ']'
+    | Obj fs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            go v)
+          fs;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let member name = function Obj fs -> List.assoc_opt name fs | _ -> None
+
+let member_exn name v =
+  match member name v with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Jsonx.member_exn: no field %S" name)
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 9.007199254740992e15 -> Some (int_of_float f)
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y -> ( try List.for_all2 equal x y with Invalid_argument _ -> false)
+  | Obj x, Obj y -> (
+      try List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+      with Invalid_argument _ -> false)
+  | _ -> false

@@ -1,0 +1,54 @@
+(** A minimal canonical JSON reader/printer.
+
+    The repository emits all of its JSON by hand with a fixed field
+    order and {!Metrics.json_float} number rendering, precisely so that
+    equal runs produce byte-identical documents. This module is the
+    other direction: a small, dependency-free parser used by tests and
+    tooling to check that every emitted document is well-formed JSON
+    and survives a structural round-trip — and by the daemon's control
+    clients to pick fields out of a metrics dump.
+
+    The grammar is RFC 8259 JSON: objects, arrays, strings (with
+    escapes, including [\uXXXX] decoded to UTF-8), numbers, booleans,
+    null. Numbers are held as [float]; integers up to 2{^53} survive
+    exactly, which covers every counter the registry can emit. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list  (** fields in document order *)
+
+(** [parse s] parses exactly one JSON document (trailing whitespace
+    allowed, trailing garbage refused).
+    @raise Dmn_prelude.Err.Error never — errors come back as [Error]. *)
+val parse : string -> (value, Err.t) result
+
+(** [parse_exn s] is {!parse} with {!Err.get_ok}. *)
+val parse_exn : string -> value
+
+(** [to_string v] prints compact JSON: no whitespace, fields in the
+    order they were parsed, numbers via {!Metrics.json_float}-style
+    rendering (integral values below 2{^53} print with no fraction).
+    Parsing its output yields a value equal to [v] — the structural
+    round-trip the serializer tests rely on. *)
+val to_string : value -> string
+
+(** [member name v] is field [name] of object [v], if both exist. *)
+val member : string -> value -> value option
+
+(** [member_exn name v] is {!member} or a raised [Invalid_argument]
+    naming the missing field. *)
+val member_exn : string -> value -> value
+
+(** Coercions; [None] when the value has a different shape. *)
+
+val to_float : value -> float option
+val to_int : value -> int option
+
+(** [equal a b] is structural equality with object fields compared
+    {e in order} (canonical documents fix the order, so reordering is a
+    real difference). *)
+val equal : value -> value -> bool

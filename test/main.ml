@@ -21,6 +21,8 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("churn", Test_churn.suite);
       ("engine", Test_engine.suite);
+      ("metrics", Test_metrics.suite);
+      ("server", Test_server.suite);
       ("capacitated", Test_capacitated.suite);
       ("report", Test_report.suite);
       ("edge-cases", Test_edge_cases.suite);

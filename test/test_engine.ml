@@ -455,6 +455,59 @@ let engine_degrades_when_resolve_fails () =
       if at d <> j1 then Alcotest.failf "degraded run diverged at %d domains" d)
     [ 2; 4 ]
 
+(* ---------- incremental step API ---------- *)
+
+let engine_step_matches_run () =
+  (* driving the engine epoch by epoch through [create]/[step]/[finish]
+     must reproduce [run_items] byte-for-byte, partial tail included *)
+  let inst = small_instance 29 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 61) inst ~length:730 in
+  let items = List.map (fun e -> St.Req e) events in
+  let config = { En.default_config with En.policy = En.Resolve; epoch = 100 } in
+  let reference =
+    En.metrics_json inst (En.run_items ~config inst placement (List.to_seq items))
+  in
+  let eng = En.create ~config inst placement in
+  let rec batches = function
+    | [] -> []
+    | rest ->
+        let chunk = List.filteri (fun i _ -> i < 100) rest in
+        let tail = List.filteri (fun i _ -> i >= 100) rest in
+        chunk :: batches tail
+  in
+  List.iter
+    (fun batch ->
+      En.step eng batch;
+      (* live accessors stay coherent between steps *)
+      Alcotest.(check bool) "snapshot parses" true
+        (Jsonx.parse (Metrics.snapshot_to_json (En.live_snapshot eng)) |> Result.is_ok))
+    (batches items);
+  Alcotest.(check int) "epochs done" 8 (En.epochs_done eng);
+  Alcotest.(check int) "events consumed" 730 (En.events_consumed eng);
+  let stepped = En.finish eng in
+  Alcotest.(check string) "step == run_items" reference (En.metrics_json inst stepped);
+  (* finish is idempotent *)
+  Alcotest.(check string) "finish idempotent" reference (En.metrics_json inst (En.finish eng))
+
+let engine_step_rejects_unforwarded_resume () =
+  let inst = small_instance 3 in
+  let placement = A.solve inst in
+  let events = St.stationary (Rng.create 5) inst ~length:200 in
+  let config = { En.default_config with En.epoch = 50 } in
+  with_tmp "step-resume.ckpt" @@ fun ckpt_path ->
+  let ckpt = { En.path = ckpt_path; every = 1 } in
+  ignore
+    (En.run_items ~config ~ckpt inst placement
+       (List.to_seq (List.map (fun e -> St.Req e) events)));
+  let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res ckpt_path) in
+  let eng = En.create ~config ~resume:c inst placement in
+  match En.step eng [ St.Req (List.hd events) ] with
+  | () -> Alcotest.fail "step accepted a resumed engine without fast_forward"
+  | exception Err.Error e ->
+      if e.Err.kind <> Err.Validation then
+        Alcotest.failf "expected a validation error, got %s" (Err.to_string e)
+
 let suite =
   [
     Alcotest.test_case "trace roundtrip" `Quick trace_roundtrip;
@@ -478,4 +531,7 @@ let suite =
     Alcotest.test_case "resume rejects mismatches" `Quick engine_resume_rejects_mismatches;
     Alcotest.test_case "resolve failure degrades gracefully" `Quick
       engine_degrades_when_resolve_fails;
+    Alcotest.test_case "incremental step matches one-shot run" `Quick engine_step_matches_run;
+    Alcotest.test_case "step rejects an unforwarded resume" `Quick
+      engine_step_rejects_unforwarded_resume;
   ]

@@ -1,0 +1,138 @@
+(* Metrics under concurrency: counters hammered from several domains
+   while snapshots are taken live must never be torn or non-monotonic,
+   and every JSON dump must round-trip through the canonical parser. *)
+
+open Dmn_prelude
+
+(* ---------- concurrent hammering ---------- *)
+
+let hammer_at domains =
+  let reg = Metrics.create () in
+  let counters = Array.init 3 (fun i -> Metrics.counter reg (Printf.sprintf "c%d" i)) in
+  let g = Metrics.gauge reg "g" in
+  let per_domain = 20_000 in
+  let start = Atomic.make false in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get start) do
+              Domain.cpu_relax ()
+            done;
+            for i = 1 to per_domain do
+              Metrics.incr counters.(i mod 3);
+              Metrics.add counters.((i + 1) mod 3) 2;
+              if i land 1023 = 0 then Metrics.set g (float_of_int (d + i))
+            done))
+  in
+  Atomic.set start true;
+  (* snapshot continuously while the workers run: per-counter values
+     must be monotonic across successive snapshots, and the dump must
+     always parse *)
+  let prev = Array.make 3 0 in
+  let rounds = ref 0 in
+  let all_done = ref false in
+  while (not !all_done) && !rounds < 10_000 do
+    incr rounds;
+    let snap = Metrics.snapshot reg in
+    List.iteri
+      (fun i (name, v) ->
+        if i < 3 then
+          match v with
+          | Metrics.Counter n ->
+              if n < prev.(i) then
+                Alcotest.failf "counter %s went backwards: %d -> %d" name prev.(i) n;
+              prev.(i) <- n
+          | _ -> Alcotest.failf "instrument %s changed kind" name)
+      snap;
+    (match Jsonx.parse (Metrics.snapshot_to_json snap) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "live dump unparseable: %s" (Err.to_string e));
+    let total = Array.fold_left ( + ) 0 prev in
+    if total >= 3 * domains * per_domain then all_done := true
+  done;
+  List.iter Domain.join workers;
+  (* exact totals: per iteration one incr (+1) and one add (+2), spread
+     over the three counters *)
+  let expect = 3 * domains * per_domain in
+  let final =
+    Metrics.snapshot reg
+    |> List.filter_map (function _, Metrics.Counter n -> Some n | _ -> None)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "no lost increments at %d domains" domains)
+    expect final
+
+let concurrent_counters () = List.iter hammer_at [ 1; 2; 4 ]
+
+(* ---------- dump round-trips through the canonical parser ---------- *)
+
+let dump_roundtrips () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "requests_total" in
+  let g = Metrics.gauge reg "queue_depth" in
+  let h = Metrics.histogram reg "latency" in
+  Metrics.add c 41;
+  Metrics.incr c;
+  Metrics.set g (-2.5);
+  List.iter (Metrics.observe h) [ 0.0; 1e-9; 0.5; 3.0; 1e20 (* overflow bucket *) ];
+  let json = Metrics.to_json reg in
+  let v = Jsonx.parse_exn json in
+  Alcotest.(check (option int)) "counter" (Some 42)
+    (Option.bind (Jsonx.member "requests_total" v) Jsonx.to_int);
+  Alcotest.(check (option (float 1e-9))) "gauge" (Some (-2.5))
+    (Option.bind (Jsonx.member "queue_depth" v) Jsonx.to_float);
+  let hist = Jsonx.member_exn "latency" v in
+  Alcotest.(check (option int)) "hist count" (Some 5)
+    (Option.bind (Jsonx.member "count" hist) Jsonx.to_int);
+  (match Jsonx.member_exn "buckets" hist with
+  | Jsonx.Arr buckets ->
+      Alcotest.(check bool) "some buckets" true (buckets <> []);
+      (* the overflow bucket's upper bound serializes as the string "inf" *)
+      let has_inf =
+        List.exists
+          (function Jsonx.Arr [ _; Jsonx.Str "inf"; _ ] -> true | _ -> false)
+          buckets
+      in
+      Alcotest.(check bool) "overflow bucket rendered as \"inf\"" true has_inf
+  | _ -> Alcotest.fail "buckets is not an array");
+  (* printing the parsed document and re-parsing is a fixpoint *)
+  let reprinted = Jsonx.to_string v in
+  Alcotest.(check bool) "print/parse fixpoint" true
+    (Jsonx.equal v (Jsonx.parse_exn reprinted))
+
+(* ---------- Jsonx parser edge cases ---------- *)
+
+let jsonx_parses_edge_cases () =
+  let ok s v =
+    match Jsonx.parse s with
+    | Ok got ->
+        if not (Jsonx.equal got v) then
+          Alcotest.failf "%S parsed to %s" s (Jsonx.to_string got)
+    | Error e -> Alcotest.failf "%S rejected: %s" s (Err.to_string e)
+  in
+  ok "null" Jsonx.Null;
+  ok " [ 1 , -2.5e3 , true ] " (Jsonx.Arr [ Jsonx.Num 1.0; Jsonx.Num (-2500.0); Jsonx.Bool true ]);
+  ok "{\"a\":{\"b\":[]},\"c\":\"\"}"
+    (Jsonx.Obj [ ("a", Jsonx.Obj [ ("b", Jsonx.Arr []) ]); ("c", Jsonx.Str "") ]);
+  ok "\"\\u0041\\n\\\\\"" (Jsonx.Str "A\n\\");
+  (* astral plane via surrogate pair: U+1F600 *)
+  ok "\"\\ud83d\\ude00\"" (Jsonx.Str "\xf0\x9f\x98\x80");
+  let bad s =
+    match Jsonx.parse s with
+    | Ok v -> Alcotest.failf "%S accepted as %s" s (Jsonx.to_string v)
+    | Error e ->
+        if e.Err.kind <> Err.Parse then
+          Alcotest.failf "%S: expected a parse error, got %s" s (Err.to_string e)
+  in
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\":1,}"; "nul"; "1 2"; "\"unterminated"; "\"\\q\"";
+      "\"ctrl\n\""; "{\"a\" 1}"; "[1] tail" ]
+
+let suite =
+  [
+    Alcotest.test_case "concurrent counters: monotonic, lossless, parseable" `Quick
+      concurrent_counters;
+    Alcotest.test_case "dump round-trips through Jsonx" `Quick dump_roundtrips;
+    Alcotest.test_case "Jsonx edge cases" `Quick jsonx_parses_edge_cases;
+  ]
