@@ -24,6 +24,22 @@ let time_it f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* a fresh directory path; the code under test creates it *)
+let temp_dir =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
 (* ------------------------------------------------------------------ *)
 (* E1: Theorem 7 -- constant-factor approximation on general networks  *)
 (* ------------------------------------------------------------------ *)
@@ -1106,10 +1122,11 @@ let replay () =
       ~phase_length:(ovh_events / phases) ~write_fraction:0.15
   in
   let ovh_config = { En.default_config with En.policy = En.Resolve; epoch = ovh_epoch } in
-  let ckpt_path = Filename.temp_file "dmnet_bench" ".ckpt" in
+  let ckpt_dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dmnet_bench_ckpt-%d" (Unix.getpid ())) in
   let run_plain () = En.run ~config:ovh_config inst placement (ovh_stream ()) in
   let run_ckpt () =
-    En.run ~config:ovh_config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement
+    En.run ~config:ovh_config ~ckpt:{ En.dir = ckpt_dir; every = 1; keep = 3 } inst placement
       (ovh_stream ())
   in
   let t_plain = ref infinity and t_ckpt = ref infinity in
@@ -1124,7 +1141,7 @@ let replay () =
   done;
   let r_plain = Option.get !r_plain and r_ckpt = Option.get !r_ckpt in
   let t_plain = !t_plain and t_ckpt = !t_ckpt in
-  (try Sys.remove ckpt_path with Sys_error _ -> ());
+  rm_rf ckpt_dir;
   let overhead = (t_ckpt -. t_plain) /. t_plain in
   let epochs = List.length r_plain.En.epochs in
   Printf.printf
@@ -1548,18 +1565,17 @@ let soak () =
   let eps_base = float_of_int base_events /. t_base in
   (* sustained serving through the daemon core *)
   let run_core ~durable seconds =
-    let journal = Filename.temp_file "dmnet-soak" ".journal" in
-    let ckpt = Filename.temp_file "dmnet-soak" ".ckpt" in
+    let journal = temp_dir "dmnet-soak-journal" in
+    let ckpt = temp_dir "dmnet-soak-ckpt" in
     Fun.protect
-      ~finally:(fun () ->
-        List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ journal; ckpt ])
+      ~finally:(fun () -> List.iter rm_rf [ journal; ckpt ])
       (fun () ->
         let cfg =
           {
             Srv.default_config with
             Srv.engine = config;
             journal = (if durable then Some journal else None);
-            ckpt = (if durable then Some { En.path = ckpt; every = 4 } else None);
+            ckpt = (if durable then Some { En.dir = ckpt; every = 4; keep = 3 } else None);
             queue_cap = 65536;
           }
         in
@@ -1570,6 +1586,8 @@ let soak () =
         let t0 = Unix.gettimeofday () in
         let early_rss = ref 0 in
         let peak = ref (Srv.rss_kb ()) in
+        let early_jbytes = ref 0 in
+        let peak_jbytes = ref 0 in
         while Unix.gettimeofday () -. t0 < seconds do
           for _ = 1 to config.En.epoch do
             match Seq.uncons !src with
@@ -1581,16 +1599,25 @@ let soak () =
           Srv.Core.maybe_step core;
           let r = Srv.rss_kb () in
           if r > !peak then peak := r;
-          if !early_rss = 0 && Unix.gettimeofday () -. t0 > seconds /. 4.0 then early_rss := r
+          let jb = Srv.Core.journal_bytes core in
+          if jb > !peak_jbytes then peak_jbytes := jb;
+          if !early_rss = 0 && Unix.gettimeofday () -. t0 > seconds /. 4.0 then begin
+            early_rss := r;
+            early_jbytes := jb
+          end
         done;
         let dt = Unix.gettimeofday () -. t0 in
         let served = Srv.Core.served core in
         let epochs = Srv.Core.epochs core in
+        let segments = Srv.Core.journal_segments core in
         Srv.Core.shutdown core;
-        (served, epochs, dt, !peak, if !early_rss = 0 then !peak else !early_rss))
+        ( served, epochs, dt, !peak,
+          (if !early_rss = 0 then !peak else !early_rss),
+          !peak_jbytes, !early_jbytes, segments ))
   in
-  let served_plain, _, t_plain, _, _ = run_core ~durable:false (soak_s /. 2.0) in
-  let served_durable, epochs_durable, t_durable, peak_kb, early_kb =
+  let served_plain, _, t_plain, _, _, _, _, _ = run_core ~durable:false (soak_s /. 2.0) in
+  let served_durable, epochs_durable, t_durable, peak_kb, early_kb, peak_jbytes, early_jbytes,
+      segments_durable =
     run_core ~durable:true (soak_s /. 2.0)
   in
   let eps_plain = float_of_int served_plain /. t_plain in
@@ -1617,10 +1644,10 @@ let soak () =
          shed_count burst shed_served shed_cap);
   Printf.printf
     "\nbaseline replay %.0f ev/s; daemon %.0f ev/s plain, %.0f ev/s with journal+ckpt \
-     (overhead %.1f%%, %d epochs); RSS early %d kB -> peak %d kB; shed %d of a %d burst at \
-     cap %d\n"
+     (overhead %.1f%%, %d epochs); RSS early %d kB -> peak %d kB; journal %d B early -> %d B \
+     peak across %d live segment(s); shed %d of a %d burst at cap %d\n"
     eps_base eps_plain eps_durable (100.0 *. ckpt_overhead) epochs_durable early_kb peak_kb
-    shed_count burst shed_cap;
+    early_jbytes peak_jbytes segments_durable shed_count burst shed_cap;
   let ratio = eps_durable /. eps_base in
   if ratio < 0.5 then
     failwith
@@ -1632,6 +1659,15 @@ let soak () =
     failwith
       (Printf.sprintf "soak: RSS grew from %d kB to %d kB over the run (unbounded growth)"
          early_kb peak_kb);
+  (* segment pruning keeps journal disk usage bounded: the peak may not
+     run away from the quarter-time mark (rotation granularity slack) *)
+  if
+    early_jbytes > 0
+    && float_of_int peak_jbytes > (2.0 *. float_of_int early_jbytes) +. 8_000_000.0
+  then
+    failwith
+      (Printf.sprintf "soak: journal grew from %d B to %d B over the run (pruning broken)"
+         early_jbytes peak_jbytes);
   record
     [
       ("name", `S "serve-soak"); ("n", `I nn); ("objects", `I 12);
@@ -1640,8 +1676,142 @@ let soak () =
       ("events_per_s_daemon_durable", `F eps_durable); ("throughput_ratio", `F ratio);
       ("checkpoint_overhead_frac", `F ckpt_overhead); ("epochs_durable", `I epochs_durable);
       ("early_rss_kb", `I early_kb); ("peak_rss_kb", `I peak_kb);
+      ("early_journal_bytes", `I early_jbytes); ("peak_journal_bytes", `I peak_jbytes);
+      ("journal_segments", `I segments_durable);
+      ("journal_bytes_bounded", `B true);
       ("shed_events", `I shed_count); ("shed_burst", `I burst); ("shed_cap", `I shed_cap);
       ("identical_metrics_json", `B true);
+    ];
+  flush_replay_json ()
+
+(* ------------------------------------------------------------------ *)
+(* chaos: disk-fault soak — kill at an injected fault, resume, compare *)
+(* ------------------------------------------------------------------ *)
+
+let chaos () =
+  let module En = Dmn_engine.Engine in
+  let module St = Dmn_dynamic.Stream in
+  let module Srv = Dmn_server.Server in
+  let module Cs = Dmn_core.Ckpt_store in
+  let module J = Dmn_core.Serial.Trace.Journal in
+  section "chaos  disk faults: kill mid-soak, resume byte-identically (tentpole PR 9)";
+  print_endline
+    "The daemon core ingests a stream with deterministic disk-fault\n\
+     injection armed on the journal and checkpoint write paths. The\n\
+     first injected failure \"kills\" the process (the core is abandoned\n\
+     without shutdown — only fsynced state survives). The surviving\n\
+     journal chain + newest valid checkpoint generation must then\n\
+     produce byte-identical metrics two independent ways — offline\n\
+     replay of the journal directory, and a resumed daemon core — at 1\n\
+     and 4 domains, and fsck must pass over the surviving state.";
+  let record r = replay_records := r :: !replay_records in
+  let rng = Rng.create 515 in
+  let g = Dmn_graph.Gen.random_geometric rng 60 0.35 in
+  let nn = Dmn_graph.Wgraph.n g in
+  let cs = Array.init nn (fun _ -> Rng.float_in rng 1.0 8.0) in
+  let { Dmn_workload.Freq.fr; fw } =
+    Dmn_workload.Freq.zipf rng ~objects:6 ~n:nn ~requests:(20 * nn) ~s:0.9 ~write_ratio:0.2
+  in
+  let inst = I.of_graph g ~cs ~fr ~fw in
+  let placement = A.solve inst in
+  let config =
+    { En.default_config with En.policy = En.Resolve; epoch = 200; serve_cache = true }
+  in
+  let items =
+    List.of_seq (St.items_of_events (St.stationary_seq (Rng.create 21) inst ~length:20_000))
+  in
+  let clean_prefix = 4_000 in
+  let fault_points =
+    [
+      "trace.append.write"; "trace.append.sync"; "trace.append.short"; "serial.write.write";
+      "serial.write.fsync"; "serial.write.rename";
+    ]
+  in
+  let run_at domains =
+    let journal = temp_dir "dmnet-chaos-journal" in
+    let ckpt = temp_dir "dmnet-chaos-ckpt" in
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.disable ();
+        List.iter rm_rf [ journal; ckpt ])
+      (fun () ->
+        Pool.with_pool ~domains (fun pool ->
+            let cfg =
+              {
+                Srv.default_config with
+                Srv.engine = config;
+                journal = Some journal;
+                ckpt = Some { En.dir = ckpt; every = 2; keep = 3 };
+                queue_cap = 65536;
+              }
+            in
+            let core = Srv.Core.create ~pool cfg inst placement in
+            let fed = ref 0 in
+            let crashed = ref false in
+            (try
+               List.iter
+                 (fun it ->
+                   incr fed;
+                   (* arm the faults only past a clean prefix, so at
+                      least one durable checkpoint exists at the kill *)
+                   if !fed = clean_prefix then begin
+                     Fault.configure ~seed:99 ~rate:0.002 ~points:fault_points ();
+                     Fault.reset_counters ()
+                   end;
+                   ignore (Srv.Core.push core it);
+                   if !fed mod 1000 = 0 then Srv.Core.maybe_step core)
+                 items;
+               Srv.Core.maybe_step core
+             with Err.Error _ -> crashed := true);
+            Fault.disable ();
+            if not !crashed then
+              failwith "chaos: no disk fault fired during the soak (raise the rate)";
+            (* kill: abandon the core; only fsynced state survives *)
+            let loaded = Cs.load ckpt in
+            let offline =
+              En.metrics_json inst
+                (En.run_trace ~pool ~config ~resume:loaded.Cs.ckpt inst placement journal)
+            in
+            let resumed_core =
+              Srv.Core.create ~pool { cfg with Srv.resume = Some ckpt } inst placement
+            in
+            Srv.Core.maybe_step resumed_core;
+            Srv.Core.flush resumed_core;
+            let resumed = En.metrics_json inst (Srv.Core.result resumed_core) in
+            let fallbacks = Srv.Core.ckpt_fallbacks resumed_core in
+            Srv.Core.shutdown resumed_core;
+            if resumed <> offline then
+              failwith
+                (Printf.sprintf
+                   "chaos: resumed daemon diverged from offline replay at %d domains" domains);
+            (* the surviving state must pass fsck (torn tails and
+               unreferenced generations are benign kill artifacts) *)
+            (match Cs.fsck_res ckpt with
+            | Ok _ -> ()
+            | Error e -> failwith ("chaos: checkpoint fsck failed: " ^ Err.to_string e));
+            (match J.fsck_res journal with
+            | Ok _ -> ()
+            | Error e -> failwith ("chaos: journal fsck failed: " ^ Err.to_string e));
+            Printf.printf
+              "  %d domain(s): killed after %d pushed items, resumed from gen %d \
+               (%d fallback(s)); resumed == offline replay: true\n"
+              domains !fed loaded.Cs.generation fallbacks;
+            (!fed, loaded.Cs.generation, fallbacks, resumed)))
+  in
+  let fed1, gen1, fb1, json1 = run_at 1 in
+  let fed4, _, _, json4 = run_at 4 in
+  if fed1 <> fed4 then
+    failwith
+      (Printf.sprintf "chaos: fault schedule diverged across domain counts (%d vs %d items)"
+         fed1 fed4);
+  if json1 <> json4 then failwith "chaos: resumed metrics diverged across 1 vs 4 domains";
+  record
+    [
+      ("name", `S "disk-chaos"); ("n", `I nn); ("objects", `I 6);
+      ("items_at_kill", `I fed1); ("resume_generation", `I gen1);
+      ("ckpt_fallbacks", `I fb1); ("resumed_equals_offline", `B true);
+      ("identical_across_domains", `B (json1 = json4)); ("fault_rate", `F 0.002);
+      ("fault_seed", `I 99);
     ];
   flush_replay_json ()
 
@@ -1650,7 +1820,7 @@ let soak () =
 let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("tournament", tournament); ("soak", soak); ("micro", micro);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("scale", scale); ("replay", replay); ("tournament", tournament); ("soak", soak); ("chaos", chaos); ("micro", micro);
   ]
 
 let () =

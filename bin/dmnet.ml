@@ -8,7 +8,8 @@
      radii    print the write/storage radii of an instance
      replay   stream a request trace through the replay engine
      serve    long-running online serving daemon (socket/stdin ingest)
-     ctl      send a control command to a running daemon *)
+     ctl      send a control command to a running daemon
+     fsck     validate/repair checkpoint and journal directories offline *)
 
 open Cmdliner
 open Dmn_prelude
@@ -323,12 +324,28 @@ let loadprofile_cmd =
 
 module E = Dmn_engine.Engine
 module Stream = Dmn_dynamic.Stream
+module Cs = Dmn_core.Ckpt_store
+
+(* Load the newest valid generation from a checkpoint directory,
+   warning (not failing) when corrupt newer generations were skipped —
+   the durability layer's whole point is that this degrades instead of
+   exiting 65. *)
+let load_ckptdir ~who dir =
+  let l = Err.get_ok (Cs.load_res dir) in
+  if l.Cs.fallbacks > 0 then
+    Printf.eprintf
+      "dmnet %s: warning: checkpoint fallback in %s — skipped %d corrupt newer \
+       generation(s)/manifest, resuming from gen %d\n\
+       %!"
+      who dir l.Cs.fallbacks l.Cs.generation;
+  l.Cs.ckpt
 
 let replay_cmd =
   let trace =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Replay the request trace in $(docv) (dmnet-trace v1, e.g. from --trace-out). \
-                 Exactly one of $(b,--trace) and $(b,--scenario) is required.")
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Replay the request trace at $(docv): a dmnet-trace v1 file (e.g. from \
+                 --trace-out) or a segmented journal directory written by $(b,dmnet serve \
+                 --journal). Exactly one of $(b,--trace) and $(b,--scenario) is required.")
   in
   let scenario =
     Arg.(value
@@ -394,19 +411,28 @@ let replay_cmd =
                  from it (the replay streams from disk, exercising the same path as --trace).")
   in
   let ckpt_path =
-    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
-           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v2, atomic replace) to $(docv) every \
-                 $(b,--ckpt-every) epochs; resume later with $(b,--resume) $(docv).")
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"DIR"
+           ~doc:"Write crash-safe checkpoint generations into the directory $(docv) \
+                 (dmnet-ckptdir v1: atomic generation files plus an atomic CRC-guarded \
+                 manifest, newest $(b,--ckpt-keep) retained) every $(b,--ckpt-every) epochs; \
+                 resume later with $(b,--resume) $(docv).")
   in
   let ckpt_every =
     Arg.(value & opt int 1 & info [ "ckpt-every" ] ~docv:"N"
            ~doc:"Checkpoint after every N-th epoch (with --ckpt; default 1).")
   in
+  let ckpt_keep =
+    Arg.(value & opt int 3 & info [ "ckpt-keep" ] ~docv:"K"
+           ~doc:"Keep the newest K checkpoint generations (with --ckpt; default 3). Loading \
+                 falls back to an older generation when a newer one is corrupt.")
+  in
   let resume =
-    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPT"
-           ~doc:"Resume an interrupted replay from the checkpoint in $(docv). Requires \
-                 $(b,--trace) with the same trace file the original run consumed (verified by \
-                 fingerprint); policy, epoch size and storage period are taken from the \
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPTDIR"
+           ~doc:"Resume an interrupted replay from the newest valid checkpoint generation in \
+                 $(docv) (corrupt newer generations are skipped with a warning). Requires \
+                 $(b,--trace) with the same trace the original run consumed (verified by \
+                 fingerprint; for a journal directory, pruned segments are vouched for by the \
+                 checkpoint); policy, epoch size and storage period are taken from the \
                  checkpoint. The final metrics JSON is byte-identical to an uninterrupted run.")
   in
   let retries =
@@ -421,7 +447,7 @@ let replay_cmd =
                  the last complete event instead of failing.")
   in
   let run file trace scenario events phases write_fraction epoch policy period algo metrics_out
-      trace_out ckpt_path ckpt_every resume retries tolerate_truncation seed domains =
+      trace_out ckpt_path ckpt_every ckpt_keep resume retries tolerate_truncation seed domains =
     protect @@ fun () ->
     set_domains domains;
     if retries < 0 then begin
@@ -432,11 +458,15 @@ let replay_cmd =
       Printf.eprintf "dmnet replay: --ckpt-every must be >= 1\n";
       exit 2
     end;
+    if ckpt_keep < 1 then begin
+      Printf.eprintf "dmnet replay: --ckpt-keep must be >= 1\n";
+      exit 2
+    end;
     let inst = load_instance file in
     let config =
       { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
     in
-    let ckpt = Option.map (fun path -> { E.path; every = ckpt_every }) ckpt_path in
+    let ckpt = Option.map (fun dir -> { E.dir; every = ckpt_every; keep = ckpt_keep }) ckpt_path in
     let make_seq () =
       let rng = Rng.create seed in
       match scenario with
@@ -471,7 +501,7 @@ let replay_cmd =
                    interrupted run consumed), not --scenario\n";
                 exit 2
           in
-          let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res cpath) in
+          let c = load_ckptdir ~who:"replay" cpath in
           let policy =
             match E.policy_of_string c.Dmn_core.Serial.Checkpoint.policy with
             | Some p -> p
@@ -557,8 +587,8 @@ let replay_cmd =
   let term =
     Term.(
       const run $ instance_arg $ trace $ scenario $ events $ phases $ write_fraction $ epoch
-      $ policy $ period $ algo $ metrics_out $ trace_out $ ckpt_path $ ckpt_every $ resume
-      $ retries $ tolerate_truncation $ seed_arg $ domains_arg)
+      $ policy $ period $ algo $ metrics_out $ trace_out $ ckpt_path $ ckpt_every $ ckpt_keep
+      $ resume $ retries $ tolerate_truncation $ seed_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -629,31 +659,41 @@ let serve_cmd =
                  same stream — leave unset when determinism matters.")
   in
   let ckpt_path =
-    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"FILE"
-           ~doc:"Write a crash-safe checkpoint (dmnet-ckpt v2, atomic replace) to $(docv) \
-                 every $(b,--ckpt-every) epochs and at shutdown; restart with \
-                 $(b,--resume) $(docv).")
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"DIR"
+           ~doc:"Write crash-safe checkpoint generations into the directory $(docv) \
+                 (dmnet-ckptdir v1, newest $(b,--ckpt-keep) retained) every \
+                 $(b,--ckpt-every) epochs and at shutdown; restart with \
+                 $(b,--resume) $(docv). Journal segments a checkpoint covers are pruned, \
+                 bounding journal disk usage.")
   in
   let ckpt_every =
     Arg.(value & opt int 1 & info [ "ckpt-every" ] ~docv:"N"
            ~doc:"Checkpoint after every N-th epoch (with --ckpt; default 1). The journal is \
                  fsynced before each due checkpoint.")
   in
+  let ckpt_keep =
+    Arg.(value & opt int 3 & info [ "ckpt-keep" ] ~docv:"K"
+           ~doc:"Keep the newest K checkpoint generations (with --ckpt; default 3). Resume \
+                 falls back to an older generation when a newer one is corrupt, counted in \
+                 $(b,ckpt_fallbacks_total).")
+  in
   let resume =
-    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPT"
-           ~doc:"Resume a killed daemon from the checkpoint in $(docv). Requires \
-                 $(b,--journal) with the journal the interrupted daemon appended: its \
-                 consumed prefix is fast-forwarded (fingerprint-verified) and the unserved \
-                 tail re-queued, so the final metrics are byte-identical to an uninterrupted \
-                 run over the same event stream. Policy, epoch size and storage period are \
-                 taken from the checkpoint.")
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"CKPTDIR"
+           ~doc:"Resume a killed daemon from the newest valid checkpoint generation in \
+                 $(docv). Requires $(b,--journal) with the journal directory the interrupted \
+                 daemon appended: the chain's consumed part is fast-forwarded \
+                 (fingerprint-verified; pruned segments vouched for by the checkpoint) and \
+                 the unserved tail re-queued, so the final metrics are byte-identical to an \
+                 uninterrupted run over the same event stream. Policy, epoch size and \
+                 storage period are taken from the checkpoint.")
   in
   let journal =
-    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
-           ~doc:"Append every accepted event to $(docv) (dmnet-trace v1) before it can reach \
-                 the engine, fsyncing before each checkpoint and at shutdown. Required for \
-                 $(b,--resume); a resumed run repairs a torn final line and continues the \
-                 same file.")
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Append every accepted event to a segment chain in the directory $(docv) \
+                 (dmnet-trace v1 segments, rotated by item count) before it can reach the \
+                 engine, fsyncing before each checkpoint and at shutdown. Segments fully \
+                 covered by a durable checkpoint are pruned. Required for $(b,--resume); a \
+                 resumed run repairs a torn final line and continues the chain.")
   in
   let metrics_out =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
@@ -672,8 +712,8 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S"
            ~doc:"Stop (gracefully) after $(docv) seconds of wall-clock time.")
   in
-  let run file socket use_stdin policy epoch period algo queue tick ckpt_path ckpt_every resume
-      journal metrics_out retries max_events duration domains =
+  let run file socket use_stdin policy epoch period algo queue tick ckpt_path ckpt_every
+      ckpt_keep resume journal metrics_out retries max_events duration domains =
     protect @@ fun () ->
     set_domains domains;
     if retries < 0 then begin
@@ -682,6 +722,10 @@ let serve_cmd =
     end;
     if ckpt_every < 1 then begin
       Printf.eprintf "dmnet serve: --ckpt-every must be >= 1\n";
+      exit 2
+    end;
+    if ckpt_keep < 1 then begin
+      Printf.eprintf "dmnet serve: --ckpt-keep must be >= 1\n";
       exit 2
     end;
     if queue < 1 then begin
@@ -697,18 +741,18 @@ let serve_cmd =
     let config =
       { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
     in
-    let ckpt = Option.map (fun path -> { E.path; every = ckpt_every }) ckpt_path in
+    let ckpt = Option.map (fun dir -> { E.dir; every = ckpt_every; keep = ckpt_keep }) ckpt_path in
     let config, placement =
       match resume with
       | None -> (config, solve_placement inst algo)
       | Some cpath ->
           if journal = None then begin
             Printf.eprintf
-              "dmnet serve: --resume requires --journal FILE (the journal the interrupted \
-               daemon appended)\n";
+              "dmnet serve: --resume requires --journal DIR (the journal directory the \
+               interrupted daemon appended)\n";
             exit 2
           end;
-          let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res cpath) in
+          let c = load_ckptdir ~who:"serve" cpath in
           let policy =
             match E.policy_of_string c.Dmn_core.Serial.Checkpoint.policy with
             | Some p -> p
@@ -757,8 +801,8 @@ let serve_cmd =
   let term =
     Term.(
       const run $ instance_arg $ socket $ use_stdin $ policy $ epoch $ period $ algo $ queue
-      $ tick $ ckpt_path $ ckpt_every $ resume $ journal $ metrics_out $ retries $ max_events
-      $ duration $ domains_arg)
+      $ tick $ ckpt_path $ ckpt_every $ ckpt_keep $ resume $ journal $ metrics_out $ retries
+      $ max_events $ duration $ domains_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -791,7 +835,8 @@ let ctl_cmd =
          & info [] ~docv:"CMD"
              ~doc:"Control command: $(b,metrics) (full JSON metrics dump), $(b,health) \
                    (one-line summary), $(b,stats) (cheap JSON counters), $(b,sync) (force a \
-                   journal fsync), $(b,shutdown) (graceful stop).")
+                   journal fsync; replies $(b,ok offset=N) with the durable journal offset), \
+                   $(b,shutdown) (graceful stop).")
   in
   let run socket command =
     protect @@ fun () ->
@@ -839,6 +884,109 @@ let ctl_cmd =
        ~exits)
     Term.(const run $ socket $ command)
 
+(* ---------- fsck ---------- *)
+
+let fsck_cmd =
+  let ckpt_dir =
+    Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"DIR"
+           ~doc:"Checkpoint generation directory (dmnet-ckptdir v1) to validate: manifest \
+                 magic and CRC, every referenced generation's own CRC sections, unreferenced \
+                 generation files.")
+  in
+  let journal_dir =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Journal segment directory to validate: per-segment grammar, chain \
+                 contiguity (no gap or overlap between segments), header agreement, torn \
+                 final line.")
+  in
+  let repair =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"Repair what can be repaired: truncate a torn journal tail, rewrite the \
+                 checkpoint manifest over the valid generations, delete corrupt or \
+                 unreferenced generation files, and (with both directories) prune journal \
+                 segments the newest valid checkpoint fully covers.")
+  in
+  let run ckpt_dir journal_dir repair =
+    protect @@ fun () ->
+    if ckpt_dir = None && journal_dir = None then begin
+      Printf.eprintf "dmnet fsck: pass --ckpt DIR and/or --journal DIR\n";
+      exit 2
+    end;
+    let module J = Dmn_core.Serial.Trace.Journal in
+    let module Ck = Dmn_core.Serial.Checkpoint in
+    (* coverage (items consumed) of the newest valid generation, for
+       the cross-check against the journal chain *)
+    let coverage = ref None in
+    (match ckpt_dir with
+    | None -> ()
+    | Some dir ->
+        let r = Err.get_ok (Cs.fsck_res ~repair dir) in
+        Printf.printf "ckpt %s: %d generation(s), latest gen %d%s%s%s%s\n" dir r.Cs.f_generations
+          r.Cs.f_latest
+          (if r.Cs.f_corrupt > 0 then Printf.sprintf ", %d corrupt" r.Cs.f_corrupt else "")
+          (if r.Cs.f_unreferenced > 0 then
+             Printf.sprintf ", %d unreferenced" r.Cs.f_unreferenced
+           else "")
+          (if not r.Cs.f_manifest_ok then ", manifest missing/corrupt" else "")
+          (if r.Cs.f_repaired then " (repaired)" else "");
+        let l = Err.get_ok (Cs.load_res dir) in
+        coverage := Some (l.Cs.ckpt.Ck.events_consumed + l.Cs.ckpt.Ck.topo_consumed);
+        (* a corrupt generation or manifest is an integrity failure;
+           stray unreferenced files are a benign crash artifact *)
+        if (not r.Cs.f_repaired) && (r.Cs.f_corrupt > 0 || not r.Cs.f_manifest_ok) then
+          Err.failf ~file:dir Err.Validation
+            "checkpoint directory is damaged (%d corrupt generation(s)%s); re-run with --repair"
+            r.Cs.f_corrupt
+            (if r.Cs.f_manifest_ok then "" else ", manifest missing/corrupt"));
+    match journal_dir with
+    | None -> ()
+    | Some dir ->
+        let r = Err.get_ok (J.fsck_res ~repair dir) in
+        Printf.printf "journal %s: %d segment(s), %d item(s), %d bytes%s%s\n" dir r.J.f_segments
+          r.J.f_items r.J.f_bytes
+          (if r.J.f_torn_tail then ", torn tail" else "")
+          (if r.J.f_repaired then " (repaired)" else "");
+        (match !coverage with
+        | None -> ()
+        | Some covered ->
+            let segs = Err.get_ok (J.list_segments_res dir) in
+            let base = match segs with (b, _) :: _ -> b | [] -> 0 in
+            let total = base + r.J.f_items in
+            if base > covered then
+              Err.failf ~file:dir Err.Validation
+                "journal chain begins at item %d but the checkpoint only covers %d — segments \
+                 were pruned past the checkpoint"
+                base covered;
+            if covered > total then
+              Err.failf ~file:dir Err.Validation
+                "checkpoint covers %d items but the journal chain only reaches %d — the \
+                 journal lost durable events"
+                covered total;
+            if repair then begin
+              (* prune segments the checkpoint fully covers (never the
+                 last): what the daemon does online, offline *)
+              let rec prune = function
+                | (_, p1) :: ((s2, _) :: _ as rest) when s2 <= covered ->
+                    (try Sys.remove p1 with Sys_error _ -> ());
+                    Printf.printf "pruned %s\n" (Filename.basename p1);
+                    prune rest
+                | _ -> ()
+              in
+              prune segs
+            end)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate (and optionally repair) the on-disk durability state of a stopped daemon \
+          or replay: the checkpoint generation directory, the journal segment chain, and \
+          their mutual consistency. Exit 0 when the state is healthy or fully repaired \
+          (benign crash artifacts — a torn journal tail, an unreferenced generation file — \
+          are reported but do not fail the check); exit 65 on integrity damage without \
+          $(b,--repair)."
+       ~exits)
+    Term.(const run $ ckpt_dir $ journal_dir $ repair)
+
 (* ---------- radii ---------- *)
 
 let radii_cmd =
@@ -876,5 +1024,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; solve_cmd; eval_cmd; compare_cmd; radii_cmd; loadprofile_cmd; replay_cmd;
-            serve_cmd; ctl_cmd;
+            serve_cmd; ctl_cmd; fsck_cmd;
           ]))

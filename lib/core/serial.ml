@@ -323,12 +323,23 @@ let write_file_res path contents =
     in
     (try
        Fault.check "serial.write.write";
+       if Fault.fires "serial.write.enospc" then
+         raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp));
        let len = String.length contents in
+       let short =
+         (* injected short write: a prefix lands on disk, then the
+            write fails — the torn tmp file must not survive *)
+         if Fault.fires "serial.write.short" then Some (len / 2) else None
+       in
+       let stop = match short with Some s -> s | None -> len in
        let rec loop off =
-         if off < len then
-           loop (off + retry_eintr (fun () -> Unix.write_substring fd contents off (len - off)))
+         if off < stop then
+           loop (off + retry_eintr (fun () -> Unix.write_substring fd contents off (stop - off)))
        in
        loop 0;
+       (match short with
+       | Some s -> Err.failf Err.Fault "injected short write (%d of %d bytes)" s len
+       | None -> ());
        Fault.check "serial.write.fsync";
        retry_eintr (fun () -> Unix.fsync fd);
        retry_eintr (fun () -> Unix.close fd)
@@ -355,6 +366,10 @@ let write_file_res path contents =
   | exception Sys_error msg ->
       cleanup ();
       Error (Err.v ~file:path Err.Io msg)
+  | exception e ->
+      (* any other exception class still unlinks the tmp file *)
+      cleanup ();
+      raise e
 
 let write_file path contents = Err.get_ok (write_file_res path contents)
 
@@ -791,6 +806,18 @@ module Trace = struct
 
     let add_res t item =
       guard t (fun () ->
+          if Fault.fires "trace.append.enospc" then
+            raise (Unix.Unix_error (Unix.ENOSPC, "write", t.path));
+          (if Fault.fires "trace.append.short" then begin
+             (* injected torn append: a partial line reaches the disk and
+                the write fails — dropped by [repair_tail] on reopen *)
+             flush t.oc;
+             let torn = "r 0" in
+             let _ : int =
+               retry_eintr (fun () -> Unix.write_substring t.fd torn 0 (String.length torn))
+             in
+             Err.failf Err.Fault "injected torn append (partial line on disk)"
+           end);
           (match item with
           | Req e ->
               output_event t.oc ~path:t.path ~nodes:t.header.nodes ~objects:t.header.objects e
@@ -835,6 +862,305 @@ module Trace = struct
             Error (Err.v ~file:t.path Err.Io msg)
 
     let close t = Err.get_ok (close_res t)
+  end
+
+  (* A rotating, prunable chain of appender segments: the daemon's
+     ingest journal with bounded disk. Segment [seg-<start>.trace]
+     holds the items whose absolute indices begin at [start]; the chain
+     is contiguous by construction, so any segment's item count is the
+     next segment's start minus its own. *)
+  module Journal = struct
+    let ( let* ) = Result.bind
+
+    let segment_name start = Printf.sprintf "seg-%016d.trace" start
+
+    let parse_segment_name name =
+      if
+        String.length name = 26
+        && String.sub name 0 4 = "seg-"
+        && Filename.check_suffix name ".trace"
+      then int_of_string_opt (String.sub name 4 16)
+      else None
+
+    let list_segments_res dir =
+      match Sys.readdir dir with
+      | entries ->
+          Ok
+            (Array.to_list entries
+            |> List.filter_map (fun name ->
+                   match parse_segment_name name with
+                   | Some start -> Some (start, Filename.concat dir name)
+                   | None -> None)
+            |> List.sort compare)
+      | exception Sys_error msg -> Err.error ~file:dir Err.Io msg
+
+    let ensure_dir_res dir =
+      match (Unix.stat dir).Unix.st_kind with
+      | Unix.S_DIR -> Ok ()
+      | _ -> Err.error ~file:dir Err.Io "journal path exists and is not a directory"
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+          match Unix.mkdir dir 0o755 with
+          | () -> Ok ()
+          | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+          | exception Unix.Unix_error (err, op, _) -> Error (io_error dir op err))
+      | exception Unix.Unix_error (err, op, _) -> Error (io_error dir op err)
+
+    let count_items_res ?(tolerate_truncation = true) path =
+      with_items_res ~tolerate_truncation path (fun h items ->
+          (h, Seq.fold_left (fun acc _ -> acc + 1) 0 items))
+
+    type t = {
+      dir : string;
+      header : header;
+      rotate_items : int;
+      mutable seg_start : int;  (** absolute index of the active segment's first item *)
+      mutable seg_items : int;  (** items in the active segment, pre-existing included *)
+      mutable appender : Appender.t;
+      mutable durable : int;  (** absolute item count covered by the last sync *)
+      mutable closed : bool;
+    }
+
+    let dir t = t.dir
+    let header t = t.header
+    let items_total t = t.seg_start + t.seg_items
+    let durable t = t.durable
+
+    let segments_res t =
+      let* segs = list_segments_res t.dir in
+      Ok (List.length segs)
+
+    let segments t = Err.get_ok (segments_res t)
+
+    let bytes_on_disk_res t =
+      let* segs = list_segments_res t.dir in
+      match
+        List.fold_left (fun acc (_, path) -> acc + (Unix.stat path).Unix.st_size) 0 segs
+      with
+      | bytes -> Ok bytes
+      | exception Unix.Unix_error (err, op, _) -> Error (io_error t.dir op err)
+
+    let bytes_on_disk t = Err.get_ok (bytes_on_disk_res t)
+
+    let create_res ?(append = false) ?(rotate_items = 65536) dir header =
+      if rotate_items <= 0 then
+        Err.error ~file:dir Err.Validation "journal rotation threshold must be positive"
+      else
+        let* () = ensure_dir_res dir in
+        let* segs = list_segments_res dir in
+        let* segs =
+          if append || segs = [] then Ok segs
+          else
+            (* a fresh journal replaces whatever chain was there, the
+               way [Appender.create ~append:false] truncates a file *)
+            match List.iter (fun (_, path) -> Sys.remove path) segs with
+            | () -> Ok []
+            | exception Sys_error msg -> Error (Err.v ~file:dir Err.Io msg)
+        in
+        match List.rev segs with
+        | [] ->
+            let path = Filename.concat dir (segment_name 0) in
+            let* appender = Appender.create_res path header in
+            Ok
+              {
+                dir;
+                header;
+                rotate_items;
+                seg_start = 0;
+                seg_items = 0;
+                appender;
+                durable = 0;
+                closed = false;
+              }
+        | (start, path) :: _ ->
+            (* continue the chain: reopen the last segment (repairing a
+               torn tail) and count what survives in it *)
+            let* appender = Appender.create_res ~append:true path header in
+            let* _, existing = count_items_res ~tolerate_truncation:false path in
+            Ok
+              {
+                dir;
+                header;
+                rotate_items;
+                seg_start = start;
+                seg_items = existing;
+                appender;
+                durable = start + existing;
+                closed = false;
+              }
+
+    let create ?append ?rotate_items dir header =
+      Err.get_ok (create_res ?append ?rotate_items dir header)
+
+    let rotate_res t =
+      let* () = Appender.close_res t.appender in
+      let start = items_total t in
+      let path = Filename.concat t.dir (segment_name start) in
+      let* appender = Appender.create_res path t.header in
+      t.appender <- appender;
+      t.seg_start <- start;
+      t.seg_items <- 0;
+      (* the closed segment was synced by [close]; its items are durable *)
+      if t.durable < start then t.durable <- start;
+      Ok ()
+
+    let add_res t item =
+      if t.closed then Err.error ~file:t.dir Err.Io "journal is closed"
+      else
+        let* () = if t.seg_items >= t.rotate_items then rotate_res t else Ok () in
+        let* () = Appender.add_res t.appender item in
+        t.seg_items <- t.seg_items + 1;
+        Ok ()
+
+    let add t item = Err.get_ok (add_res t item)
+
+    let sync_res t =
+      if t.closed then Err.error ~file:t.dir Err.Io "journal is closed"
+      else
+        let* () = Appender.sync_res t.appender in
+        t.durable <- items_total t;
+        Ok ()
+
+    let sync t = Err.get_ok (sync_res t)
+
+    let close_res t =
+      if t.closed then Ok ()
+      else begin
+        t.closed <- true;
+        let* () = Appender.close_res t.appender in
+        t.durable <- items_total t;
+        Ok ()
+      end
+
+    let close t = Err.get_ok (close_res t)
+
+    (* Drop every segment whose entire item range a durable checkpoint
+       covers: segment i may go iff segment i+1 starts at or before
+       [covered]. The active (last) segment has no successor and is
+       never pruned. Returns the number of segments removed. *)
+    let prune_res t ~covered =
+      if t.closed then Err.error ~file:t.dir Err.Io "journal is closed"
+      else
+        let* segs = list_segments_res t.dir in
+        let rec go removed = function
+          | (_, path) :: ((next_start, _) :: _ as rest) when next_start <= covered -> (
+              match Sys.remove path with
+              | () -> go (removed + 1) rest
+              | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg))
+          | _ -> Ok removed
+        in
+        go 0 segs
+
+    let prune t ~covered = Err.get_ok (prune_res t ~covered)
+
+    (* ---------- offline chain reading ---------- *)
+
+    type chain = { chain_header : header; base : int; chain_items : item list }
+
+    (* Eager read of the whole surviving chain, in order. Strictness is
+       positional: only the final segment may carry a torn tail (and
+       only under [tolerate_truncation]) — torn bytes mid-chain are
+       lost items and always an error, as is a gap or an overlap
+       between consecutive segments. *)
+    let read_chain_res ?(tolerate_truncation = true) dir =
+      let* segs = list_segments_res dir in
+      match segs with
+      | [] -> Err.error ~file:dir Err.Io "journal directory holds no segments"
+      | (base, _) :: _ ->
+          let rec go acc header_opt expected = function
+            | [] ->
+                let items = List.concat (List.rev acc) in
+                Ok { chain_header = Option.get header_opt; base; chain_items = items }
+            | (start, path) :: rest ->
+                if start <> expected then
+                  Err.errorf ~file:path Err.Validation
+                    "journal chain gap: segment starts at item %d but the previous segment \
+                     ends at %d"
+                    start expected
+                else
+                  let last = rest = [] in
+                  let* h, items =
+                    with_items_res ~tolerate_truncation:(last && tolerate_truncation) path
+                      (fun h items -> (h, List.of_seq items))
+                  in
+                  let* () =
+                    match header_opt with
+                    | Some h0 when h <> h0 ->
+                        Err.error ~file:path Err.Validation
+                          "journal chain header mismatch between segments"
+                    | _ -> Ok ()
+                  in
+                  go (items :: acc) (Some h) (start + List.length items) rest
+          in
+          go [] None base segs
+
+    let read_chain ?tolerate_truncation dir = Err.get_ok (read_chain_res ?tolerate_truncation dir)
+
+    (* ---------- offline validation ---------- *)
+
+    type fsck_report = {
+      f_segments : int;
+      f_items : int;  (** complete items across the chain *)
+      f_bytes : int;
+      f_torn_tail : bool;  (** final segment ends mid-line *)
+      f_repaired : bool;
+    }
+
+    let ends_with_newline path =
+      match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let size = (Unix.fstat fd).Unix.st_size in
+              if size = 0 then true
+              else begin
+                ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+                let b = Bytes.create 1 in
+                retry_eintr (fun () -> Unix.read fd b 0 1) = 1 && Bytes.get b 0 = '\n'
+              end)
+      | exception Unix.Unix_error (err, op, _) -> raise (Err.Error (io_error path op err))
+
+    let fsck_res ?(repair = false) dir =
+      let* segs = list_segments_res dir in
+      match segs with
+      | [] -> Err.error ~file:dir Err.Io "journal directory holds no segments"
+      | _ ->
+          let last_path = snd (List.nth segs (List.length segs - 1)) in
+          let* torn =
+            match ends_with_newline last_path with
+            | complete -> Ok (not complete)
+            | exception Err.Error e -> Error e
+          in
+          let* repaired =
+            if torn && repair then
+              (* reopening for append truncates the torn tail *)
+              let* h, _ =
+                with_items_res ~tolerate_truncation:true last_path (fun h items ->
+                    (h, Seq.fold_left (fun acc _ -> acc + 1) 0 items))
+              in
+              let* a = Appender.create_res ~append:true last_path h in
+              let* () = Appender.close_res a in
+              Ok true
+            else Ok false
+          in
+          (* strict-read everything except a still-unrepaired torn
+             tail, and prove the chain contiguous *)
+          let* chain = read_chain_res ~tolerate_truncation:(torn && not repaired) dir in
+          let* bytes =
+            match
+              List.fold_left (fun acc (_, path) -> acc + (Unix.stat path).Unix.st_size) 0 segs
+            with
+            | bytes -> Ok bytes
+            | exception Unix.Unix_error (err, op, _) -> Error (io_error dir op err)
+          in
+          Ok
+            {
+              f_segments = List.length segs;
+              f_items = List.length chain.chain_items;
+              f_bytes = bytes;
+              f_torn_tail = torn;
+              f_repaired = repaired;
+            }
   end
 end
 

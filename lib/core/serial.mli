@@ -253,6 +253,125 @@ module Trace : sig
     val path : t -> string
     val header : t -> header
   end
+
+  (** Rotating, prunable journal: a directory of appender segments
+      ([seg-<start>.trace], [start] = the absolute index of the
+      segment's first item, zero-padded so lexicographic order is
+      chain order). The writer rotates to a fresh segment every
+      [rotate_items] items; once a durable checkpoint covers a whole
+      segment, {!prune_res} deletes it — so a soak's disk usage is
+      bounded by [rotate_items × live segments], not by uptime. Resume
+      and offline replay walk the surviving chain with
+      {!read_chain_res}, which repairs nothing but tolerates (only) a
+      torn tail on the {e final} segment — mid-chain damage is lost
+      data and always an error.
+
+      Fault points: the underlying {!Appender} points
+      (["trace.append.open"/"write"/"sync"/"short"/"enospc"]) fire per
+      segment operation. *)
+  module Journal : sig
+    type t
+
+    (** [create_res ?append ?rotate_items dir header] opens (creating
+        [dir] if needed) a journal. Fresh journals ([append = false],
+        the default) remove any existing segments and start a
+        [seg-0...] segment; with [append = true] the last existing
+        segment is reopened — its header validated, a torn tail
+        truncated away — and the chain continues where it stopped. *)
+    val create_res :
+      ?append:bool -> ?rotate_items:int -> string -> header -> (t, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!create_res}. *)
+    val create : ?append:bool -> ?rotate_items:int -> string -> header -> t
+
+    (** [add_res t item] appends one item, rotating to a new segment
+        first when the active one is full. *)
+    val add_res : t -> item -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!add_res}. *)
+    val add : t -> item -> unit
+
+    (** [sync_res t] makes every appended item durable; {!durable}
+        then equals {!items_total}. *)
+    val sync_res : t -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!sync_res}. *)
+    val sync : t -> unit
+
+    (** [close_res t] syncs and closes the active segment; idempotent. *)
+    val close_res : t -> (unit, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!close_res}. *)
+    val close : t -> unit
+
+    (** [prune_res t ~covered] removes every segment whose entire item
+        range lies below absolute index [covered] (a segment may go iff
+        its successor starts at or before [covered]); the active
+        segment is never removed. Returns the number of segments
+        deleted. Call only with [covered] taken from a checkpoint that
+        is itself durable — the pruned items' only other copy. *)
+    val prune_res : t -> covered:int -> (int, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!prune_res}. *)
+    val prune : t -> covered:int -> int
+
+    (** Total items in the chain: the active segment's start plus its
+        item count (pre-existing items of an appended journal
+        included). Absolute — pruning does not change it. *)
+    val items_total : t -> int
+
+    (** Absolute item count covered by the last sync (or already on
+        disk at open). *)
+    val durable : t -> int
+
+    val segments_res : t -> (int, Dmn_prelude.Err.t) result
+
+    (** Segments currently on disk. *)
+    val segments : t -> int
+
+    val bytes_on_disk_res : t -> (int, Dmn_prelude.Err.t) result
+
+    (** Bytes across all surviving segments. *)
+    val bytes_on_disk : t -> int
+
+    val dir : t -> string
+    val header : t -> header
+
+    (** The surviving chain, read eagerly: the common header, [base]
+        (the absolute index of the first surviving item — 0 unless
+        segments were pruned) and the items in order. *)
+    type chain = { chain_header : header; base : int; chain_items : item list }
+
+    (** [read_chain_res ?tolerate_truncation dir] validates contiguity
+        (each segment starts where its predecessor ended) and header
+        agreement while reading. [tolerate_truncation] (default
+        [true]) applies to the final segment only. *)
+    val read_chain_res : ?tolerate_truncation:bool -> string -> (chain, Dmn_prelude.Err.t) result
+
+    (** Raising wrapper over {!read_chain_res}. *)
+    val read_chain : ?tolerate_truncation:bool -> string -> chain
+
+    (** [list_segments_res dir] is the chain's [(start, path)] list in
+        chain order. *)
+    val list_segments_res : string -> ((int * string) list, Dmn_prelude.Err.t) result
+
+    type fsck_report = {
+      f_segments : int;
+      f_items : int;  (** complete items across the chain *)
+      f_bytes : int;
+      f_torn_tail : bool;  (** final segment ends mid-line *)
+      f_repaired : bool;
+    }
+
+    (** [fsck_res ?repair dir] validates the chain offline: segment
+        headers agree, the chain is contiguous, every line parses, and
+        torn bytes appear (if anywhere) only at the final segment's
+        tail. With [repair = true] a torn tail is truncated to the
+        last complete item. Without [repair], a torn tail is reported
+        in the (successful) report — it is exactly the damage resume
+        handles — while any other inconsistency is an [Error]. *)
+    val fsck_res : ?repair:bool -> string -> (fsck_report, Dmn_prelude.Err.t) result
+  end
 end
 
 (** {2 Replay checkpoints}

@@ -3,6 +3,8 @@ module P = Dmn_core.Placement
 module A = Dmn_core.Approx
 module Serial = Dmn_core.Serial
 module Ckpt = Dmn_core.Serial.Checkpoint
+module Ckpt_store = Dmn_core.Ckpt_store
+module Wgraph = Dmn_graph.Wgraph
 module Sg = Dmn_dynamic.Strategy
 module Sc = Dmn_dynamic.Serve_cache
 module Stream = Dmn_dynamic.Stream
@@ -49,7 +51,7 @@ let default_config =
     serve_cache = true;
   }
 
-type checkpointing = { path : string; every : int }
+type checkpointing = { dir : string; every : int; keep : int }
 
 type epoch_stats = {
   index : int;
@@ -391,7 +393,8 @@ let write_checkpoint t (c : checkpointing) ~next_epoch =
   for i = nbuckets - 1 downto 0 do
     if raw.(i) > 0 then h_counts := (i, raw.(i)) :: !h_counts
   done;
-  Ckpt.save c.path
+  ignore
+    (Ckpt_store.save c.dir ~keep:c.keep
     {
       policy = policy_name t.config.policy;
       epoch_size = t.config.epoch;
@@ -427,6 +430,7 @@ let write_checkpoint t (c : checkpointing) ~next_epoch =
       checkpoints_written = Metrics.counter_value t.ops_ckpts;
       serve_retries = Metrics.counter_value t.ops_serve_retries;
     }
+      : int)
 
 let checkpoint_now t =
   match t.ckpt with None -> () | Some c -> write_checkpoint t c ~next_epoch:t.next_index
@@ -442,6 +446,7 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
   | _ -> ());
   (match ckpt with
   | Some c when c.every <= 0 -> invalid_arg "Engine.run: checkpoint interval must be positive"
+  | Some c when c.keep < 1 -> invalid_arg "Engine.run: checkpoint keep must be >= 1"
   | _ -> ());
   let period =
     match config.storage_period with
@@ -669,6 +674,93 @@ let fast_forward t items =
       t.topo_applied <- c.topo_applied;
       t.pending_resume <- None;
       rest
+
+(* Resume against a journal whose oldest segments have been pruned: the
+   surviving chain begins at absolute item [base] (requests and
+   topology items combined), so the fingerprint of the full consumed
+   prefix cannot be recomputed. The checkpoint vouches for the pruned
+   part — pruning only ever removes segments a durable checkpoint
+   covers — so the chain's already-consumed tail is skipped
+   positionally and the churn state is rebuilt by synthesizing events
+   that reproduce the checkpoint's recorded overrides and down set
+   against the pristine graph. Repairs are exact, so a matching
+   distance-matrix hash proves the rebuilt network is the one the
+   original run was serving. [base = 0] is exactly {!fast_forward}. *)
+let fast_forward_from t ~base items =
+  if base < 0 then invalid_arg "Engine.fast_forward_from: negative base";
+  if base = 0 then fast_forward t items
+  else
+    match t.pending_resume with
+    | None ->
+        Err.failf Err.Validation
+          "resume: the journal begins at item %d (older segments pruned) but there is no \
+           checkpoint covering the pruned prefix"
+          base
+    | Some (c : Ckpt.t) ->
+        let covered = c.events_consumed + c.topo_consumed in
+        if base > covered then
+          Err.failf Err.Validation
+            "resume: the journal begins at item %d but the checkpoint only covers %d items — \
+             segments were pruned beyond the checkpoint"
+            base covered;
+        let rec skip seq remaining =
+          if remaining = 0 then seq
+          else
+            match Seq.uncons seq with
+            | None ->
+                Err.failf Err.Validation
+                  "resume: the journal chain ends %d items short of the checkpoint's coverage \
+                   (%d consumed, chain base %d)"
+                  remaining covered base
+            | Some (_, rest) -> skip rest (remaining - 1)
+        in
+        let rest = skip items (covered - base) in
+        t.fingerprint <- c.fingerprint;
+        t.seen <- c.events_consumed;
+        (match t.churn with
+        | Some ch when c.topo <> Ckpt.no_topo ->
+            let pristine =
+              match I.graph t.inst with Some g -> g | None -> assert false (* churn implies graph *)
+            in
+            (* Edge events first, while every node is still alive, so
+               each synthesized event passes [Churn.apply]'s liveness
+               and presence validation; then fail the down set. *)
+            List.iter
+              (fun ((u, v), ov) ->
+                match ov with
+                | Some w ->
+                    if Wgraph.has_edge pristine u v then
+                      Churn.apply ch (Churn.Edge_weight { u; v; w })
+                    else Churn.apply ch (Churn.Edge_up { u; v; w })
+                | None ->
+                    if Wgraph.has_edge pristine u v then Churn.apply ch (Churn.Edge_down { u; v })
+                    else begin
+                      (* an edge added then removed during the pruned
+                         prefix: reproduce its Removed override *)
+                      Churn.apply ch (Churn.Edge_up { u; v; w = 1.0 });
+                      Churn.apply ch (Churn.Edge_down { u; v })
+                    end)
+              c.topo.Ckpt.edge_overrides;
+            List.iter (fun z -> Churn.apply ch (Churn.Node_down z)) c.topo.Ckpt.down;
+            let cm = Churn.metric ch in
+            if Metric.hash64 cm <> c.topo.Ckpt.metric_hash then
+              Err.failf Err.Validation
+                "resume: rebuilt topology state (metric hash %016Lx) does not match the \
+                 checkpoint's (%016Lx)"
+                (Metric.hash64 cm) c.topo.Ckpt.metric_hash;
+            if Churn.down_nodes ch <> c.topo.Ckpt.down then
+              Err.fail Err.Validation "resume: rebuilt down-node set does not match the checkpoint's";
+            if Churn.overrides ch <> c.topo.Ckpt.edge_overrides then
+              Err.fail Err.Validation "resume: rebuilt edge overrides do not match the checkpoint's"
+        | None when c.topo <> Ckpt.no_topo ->
+            Err.fail Err.Validation
+              "resume: the checkpoint records topology state but this instance has no graph to \
+               rebuild it on (metric-only instance)"
+        | _ -> ());
+        t.topo_consumed <- c.topo_consumed;
+        t.topo_applied <- c.topo_applied;
+        t.pending_resume <- None;
+        rest
 
 let ensure_capacity t =
   if t.len = Array.length t.buffer then begin
@@ -1067,6 +1159,7 @@ let step t items =
 
 let epochs_done t = t.next_index
 let events_consumed t = t.seen
+let items_consumed t = t.seen + t.topo_consumed
 let live_snapshot t = Metrics.snapshot t.ins.reg
 let live_ops t = Metrics.snapshot t.ops_reg
 
@@ -1097,9 +1190,9 @@ let finish t : result =
     ops = Metrics.snapshot t.ops_reg;
   }
 
-let run_items ?pool ?config ?ckpt ?resume inst placement items =
+let run_items ?pool ?config ?ckpt ?resume ?(base = 0) inst placement items =
   let eng = create ?pool ?config ?ckpt ?resume inst placement in
-  let items = fast_forward eng items in
+  let items = fast_forward_from eng ~base items in
   let epoch = eng.config.epoch in
   (* Pull one epoch's worth of items — [epoch] requests plus any
      interleaved topology items — forcing the sequence no further than
@@ -1132,14 +1225,26 @@ let of_trace_item = function
   | Serial.Trace.Req e -> Stream.Req (of_trace_event e)
   | Serial.Trace.Topo t -> Stream.Topo t
 
+let check_trace_header ~path header inst =
+  if header.Serial.Trace.nodes <> I.n inst || header.Serial.Trace.objects <> I.objects inst then
+    Err.failf ~file:path Err.Validation
+      "trace header (%d nodes, %d objects) does not match the instance (%d nodes, %d objects)"
+      header.Serial.Trace.nodes header.Serial.Trace.objects (I.n inst) (I.objects inst)
+
 let run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst placement path =
-  Serial.Trace.with_items ?tolerate_truncation path (fun header items ->
-      if header.Serial.Trace.nodes <> I.n inst || header.Serial.Trace.objects <> I.objects inst
-      then
-        Err.failf ~file:path Err.Validation
-          "trace header (%d nodes, %d objects) does not match the instance (%d nodes, %d objects)"
-          header.Serial.Trace.nodes header.Serial.Trace.objects (I.n inst) (I.objects inst);
-      run_items ?pool ?config ?ckpt ?resume inst placement (Seq.map of_trace_item items))
+  if Sys.file_exists path && Sys.is_directory path then begin
+    (* a segmented journal directory: replay the surviving chain; its
+       base can be > 0 when covered segments were pruned, in which case
+       [resume] must carry a checkpoint covering the pruned prefix *)
+    let chain = Serial.Trace.Journal.read_chain ?tolerate_truncation path in
+    check_trace_header ~path chain.Serial.Trace.Journal.chain_header inst;
+    run_items ?pool ?config ?ckpt ?resume ~base:chain.Serial.Trace.Journal.base inst placement
+      (Seq.map of_trace_item (List.to_seq chain.Serial.Trace.Journal.chain_items))
+  end
+  else
+    Serial.Trace.with_items ?tolerate_truncation path (fun header items ->
+        check_trace_header ~path header inst;
+        run_items ?pool ?config ?ckpt ?resume inst placement (Seq.map of_trace_item items))
 
 let metrics_json inst r =
   let buf = Buffer.create 4096 in

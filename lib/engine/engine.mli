@@ -116,11 +116,12 @@ type config = {
     supervised attempts, no deadline, no backoff. *)
 val default_config : config
 
-(** Periodic checkpointing: write the engine state to [path] (atomic
-    replace — the file always holds the newest complete checkpoint)
-    after every [every]-th epoch (1-based: [every = 1] checkpoints
-    after each epoch). *)
-type checkpointing = { path : string; every : int }
+(** Periodic checkpointing: write the engine state into the generation
+    directory [dir] ({!Dmn_core.Ckpt_store}, "dmnet-ckptdir v1": each
+    generation an atomic file, the manifest updated last, the newest
+    [keep] generations retained) after every [every]-th epoch (1-based:
+    [every = 1] checkpoints after each epoch). *)
+type checkpointing = { dir : string; every : int; keep : int }
 
 (** Per-epoch record. Costs are per-epoch (not cumulative); [copies]
     is the total copy count over all objects at the end of the epoch
@@ -237,6 +238,9 @@ val run :
     items ({!Dmn_dynamic.Stream.item}); [run events] is
     [run_items (Stream.items_of_events events)]. Topology items do not
     count toward the epoch size — an epoch is [epoch] {e requests}.
+    [?base] (default 0) is the absolute item index [items] starts at,
+    for replaying a partially-pruned journal chain with [?resume] —
+    see {!fast_forward_from}.
     @raise Dmn_prelude.Err.Error (kind [Validation]) additionally on a
     topology item under the [Cache] policy or on a metric-only
     instance, and on resume when the replayed topology state disagrees
@@ -246,6 +250,7 @@ val run_items :
   ?config:config ->
   ?ckpt:checkpointing ->
   ?resume:Dmn_core.Serial.Checkpoint.t ->
+  ?base:int ->
   Dmn_core.Instance.t ->
   Dmn_core.Placement.t ->
   Dmn_dynamic.Stream.item Seq.t ->
@@ -293,6 +298,22 @@ val create :
 val fast_forward :
   t -> Dmn_dynamic.Stream.item Seq.t -> Dmn_dynamic.Stream.item Seq.t
 
+(** [fast_forward_from t ~base items] is {!fast_forward} for a journal
+    chain whose oldest segments have been pruned: [items] begins at
+    absolute item index [base] (requests and topology items combined,
+    {!Dmn_core.Serial.Trace.Journal.read_chain}'s [base]). The
+    checkpoint must cover at least [base] items; the chain's consumed
+    tail is skipped positionally (the full-prefix fingerprint cannot be
+    recomputed — pruning only removes what a durable checkpoint
+    vouches for) and the network state is rebuilt from the checkpoint's
+    topology section and verified against its distance-matrix hash.
+    [base = 0] is exactly {!fast_forward}.
+    @raise Dmn_prelude.Err.Error (kind [Validation]) when [base]
+    exceeds the checkpoint's coverage, the chain is shorter than the
+    coverage, or the rebuilt network disagrees with the checkpoint. *)
+val fast_forward_from :
+  t -> base:int -> Dmn_dynamic.Stream.item Seq.t -> Dmn_dynamic.Stream.item Seq.t
+
 (** [step t items] consumes one epoch: topology items queue for the
     boundary, requests are validated, fingerprinted and buffered, then
     the whole batch is served as a single epoch — pending topology
@@ -322,6 +343,12 @@ val epochs_done : t -> int
 (** Requests consumed so far, including a resumed prefix. *)
 val events_consumed : t -> int
 
+(** Total items consumed so far — requests plus topology events — i.e.
+    the absolute journal offset the engine has processed. At every
+    checkpoint this is exactly what the checkpoint covers, so it is the
+    [~covered] bound for {!Dmn_core.Serial.Trace.Journal.prune}. *)
+val items_consumed : t -> int
+
 (** Current workload metrics snapshot (counters, gauges, histogram) in
     registration order — the daemon's live [/metrics] source. *)
 val live_snapshot : t -> (string * Dmn_prelude.Metrics.value) list
@@ -343,10 +370,16 @@ val of_trace_event : Dmn_core.Serial.Trace.event -> Dmn_dynamic.Stream.event
 val of_trace_item : Dmn_core.Serial.Trace.item -> Dmn_dynamic.Stream.item
 
 (** [run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst
-    placement path] streams the trace file at [path] — requests and
+    placement path] streams the trace at [path] — requests and
     topology events both — through {!run_items}, first checking the
-    trace header against the instance shape. [tolerate_truncation] is
-    forwarded to {!Dmn_core.Serial.Trace.with_items}.
+    trace header against the instance shape. When [path] is a
+    {e directory} it is read as a segmented journal chain
+    ({!Dmn_core.Serial.Trace.Journal.read_chain}, which tolerates a
+    torn final line by default) and its base is forwarded, so an
+    offline replay of a daemon's partially-pruned journal works with
+    the matching [?resume] checkpoint. For a plain file,
+    [tolerate_truncation] is forwarded to
+    {!Dmn_core.Serial.Trace.with_items}.
     @raise Dmn_prelude.Err.Error on a malformed trace, a header that
     does not match the instance, a checkpoint/resume violation, or I/O
     failure. *)

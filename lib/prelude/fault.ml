@@ -101,3 +101,16 @@ let check point =
   match active () with
   | None -> ()
   | Some _ -> check_at point (Atomic.fetch_and_add (counter point) 1)
+
+let reset_counters () =
+  Mutex.protect counters_lock (fun () -> Hashtbl.iter (fun _ c -> Atomic.set c 0) counters)
+
+(* Non-raising variants for call sites that implement a custom failure
+   behavior (short writes, ENOSPC) instead of the generic Fault error. *)
+let fires_at point salt =
+  match active () with Some cfg -> would_fail cfg point salt | None -> false
+
+let fires point =
+  match active () with
+  | None -> false
+  | Some cfg -> would_fail cfg point (Atomic.fetch_and_add (counter point) 1)

@@ -50,6 +50,22 @@ val check_at : string -> int -> unit
     coin. *)
 val check : string -> unit
 
+(** [reset_counters ()] zeroes every per-point counter stream, so a
+    chaos harness can replay the exact same fault schedule across
+    repeated runs in one process (tests, benches). *)
+val reset_counters : unit -> unit
+
 (** [would_fail cfg point salt] is the pure coin used by {!check_at},
     exposed for tests. *)
 val would_fail : config -> string -> int -> bool
+
+(** [fires_at point salt] is [check_at] as a predicate: [true] iff the
+    coin fires, instead of raising. For call sites that implement a
+    custom failure behavior (short writes, [ENOSPC]) rather than the
+    generic [Fault] error. *)
+val fires_at : string -> int -> bool
+
+(** [fires point] is {!fires_at} with the same per-point monotonic
+    counter {!check} uses. Points checked via [fires] and via [check]
+    share one counter stream per name — use distinct names. *)
+val fires : string -> bool

@@ -3,6 +3,7 @@ module P = Dmn_core.Placement
 module Serial = Dmn_core.Serial
 module Trace = Dmn_core.Serial.Trace
 module Ckpt = Dmn_core.Serial.Checkpoint
+module Ckpt_store = Dmn_core.Ckpt_store
 module En = Dmn_engine.Engine
 module Stream = Dmn_dynamic.Stream
 module Metrics = Dmn_prelude.Metrics
@@ -63,7 +64,7 @@ module Core = struct
     cfg : config;
     inst : I.t;
     eng : En.t;
-    journal : Trace.Appender.t option;
+    journal : Trace.Journal.t option;
     queue : Stream.item Queue.t;
     mutable queued_reqs : int;
     reg : Metrics.t;
@@ -73,9 +74,14 @@ module Core = struct
     c_epochs : Metrics.counter;
     c_flushes : Metrics.counter;
     c_journal_syncs : Metrics.counter;
+    c_ckpt_fallbacks : Metrics.counter;
+    c_segments_pruned : Metrics.counter;
     g_queue : Metrics.gauge;
     g_uptime : Metrics.gauge;
     g_rss_kb : Metrics.gauge;
+    g_journal_bytes : Metrics.gauge;
+    g_journal_segments : Metrics.gauge;
+    g_ckpt_gen : Metrics.gauge;
     header : Trace.header;
     started : float;
     mutable stopped : bool;
@@ -90,6 +96,21 @@ module Core = struct
   let epochs t = En.epochs_done t.eng
   let uptime_s t = Unix.gettimeofday () -. t.started
   let count_malformed t = Metrics.incr t.c_malformed
+  let ckpt_fallbacks t = Metrics.counter_value t.c_ckpt_fallbacks
+  let journal_bytes t = match t.journal with Some j -> Trace.Journal.bytes_on_disk j | None -> 0
+  let journal_segments t = match t.journal with Some j -> Trace.Journal.segments j | None -> 0
+  let durable_offset t = match t.journal with Some j -> Trace.Journal.durable j | None -> 0
+
+  (* Newest generation in the checkpoint directory (-1 when not
+     checkpointing or nothing written yet). Read from the manifest so
+     it stays honest across resumes and external fsck. *)
+  let ckpt_generation t =
+    match t.cfg.ckpt with
+    | None -> -1
+    | Some c -> (
+        match Ckpt_store.read_manifest_res c.En.dir with
+        | Ok m -> m.Ckpt_store.latest
+        | Error _ -> -1)
 
   let create ?pool cfg inst placement =
     if cfg.queue_cap <= 0 then
@@ -100,38 +121,47 @@ module Core = struct
           "serve: --resume needs the ingest journal that fed the checkpointed run (--journal)"
     | _ -> ());
     let header = { Trace.nodes = I.n inst; objects = I.objects inst } in
-    let resume_ckpt = Option.map Ckpt.load cfg.resume in
+    (* [resume] names a checkpoint {e directory}: the newest valid
+       generation loads, corrupt newer ones are skipped and counted. *)
+    let resume_loaded = Option.map Ckpt_store.load cfg.resume in
+    let resume_ckpt = Option.map (fun l -> l.Ckpt_store.ckpt) resume_loaded in
     let eng = En.create ?pool ~config:cfg.engine ?ckpt:cfg.ckpt ?resume:resume_ckpt inst placement in
     let queue = Queue.create () in
     let queued_reqs = ref 0 in
-    (* Resume: the journal holds every event the checkpointed run
-       accepted. Fast-forward its consumed prefix (fingerprint-checked
-       by the engine) and re-queue the unserved tail — it re-enters the
-       batcher exactly where it would have, so the resumed run's epoch
-       boundaries (and metrics) match the uninterrupted run's. *)
+    (* Resume: the journal chain holds every event the checkpointed run
+       accepted that is not yet pruned. Fast-forward its consumed part
+       (fingerprint-checked when the chain is complete, positionally
+       skipped past pruned segments) and re-queue the unserved tail —
+       it re-enters the batcher exactly where it would have, so the
+       resumed run's epoch boundaries (and metrics) match the
+       uninterrupted run's. *)
     (match resume_ckpt with
     | None -> ()
     | Some _ ->
-        let path = Option.get cfg.journal in
-        Trace.with_items ~tolerate_truncation:true path (fun h items ->
-            if h <> header then
-              Err.failf ~file:path Err.Validation
-                "journal header (%d nodes, %d objects) does not match the instance (%d nodes, \
-                 %d objects)"
-                h.Trace.nodes h.Trace.objects header.Trace.nodes header.Trace.objects;
-            let rest = En.fast_forward eng (Seq.map En.of_trace_item items) in
-            Seq.iter
-              (fun item ->
-                Queue.add item queue;
-                match item with Stream.Req _ -> incr queued_reqs | Stream.Topo _ -> ())
-              rest));
+        let dir = Option.get cfg.journal in
+        let chain = Trace.Journal.read_chain ~tolerate_truncation:true dir in
+        let h = chain.Trace.Journal.chain_header in
+        if h <> header then
+          Err.failf ~file:dir Err.Validation
+            "journal header (%d nodes, %d objects) does not match the instance (%d nodes, %d \
+             objects)"
+            h.Trace.nodes h.Trace.objects header.Trace.nodes header.Trace.objects;
+        let rest =
+          En.fast_forward_from eng ~base:chain.Trace.Journal.base
+            (Seq.map En.of_trace_item (List.to_seq chain.Trace.Journal.chain_items))
+        in
+        Seq.iter
+          (fun item ->
+            Queue.add item queue;
+            match item with Stream.Req _ -> incr queued_reqs | Stream.Topo _ -> ())
+          rest);
     let journal =
       match cfg.journal with
       | None -> None
-      | Some path ->
-          (* a resumed run continues the existing journal; a fresh run
+      | Some dir ->
+          (* a resumed run continues the existing chain; a fresh run
              starts a fresh one *)
-          Some (Trace.Appender.create ~append:(cfg.resume <> None) path header)
+          Some (Trace.Journal.create ~append:(cfg.resume <> None) dir header)
     in
     (* registration order is the dump's field order *)
     let reg = Metrics.create () in
@@ -141,9 +171,22 @@ module Core = struct
     let c_epochs = Metrics.counter reg "epochs_total" in
     let c_flushes = Metrics.counter reg "flushes_total" in
     let c_journal_syncs = Metrics.counter reg "journal_syncs_total" in
+    let c_ckpt_fallbacks = Metrics.counter reg "ckpt_fallbacks_total" in
+    let c_segments_pruned = Metrics.counter reg "journal_segments_pruned_total" in
     let g_queue = Metrics.gauge reg "queue_depth" in
     let g_uptime = Metrics.gauge reg "uptime_s" in
     let g_rss_kb = Metrics.gauge reg "rss_kb" in
+    let g_journal_bytes = Metrics.gauge reg "journal_bytes" in
+    let g_journal_segments = Metrics.gauge reg "journal_segments" in
+    let g_ckpt_gen = Metrics.gauge reg "ckpt_generation" in
+    (match resume_loaded with
+    | Some l when l.Ckpt_store.fallbacks > 0 ->
+        Metrics.add c_ckpt_fallbacks l.Ckpt_store.fallbacks;
+        Printf.eprintf
+          "dmnet serve: checkpoint generation fallback: skipped %d corrupt newer generation(s), \
+           resumed from gen %d\n%!"
+          l.Ckpt_store.fallbacks l.Ckpt_store.generation
+    | _ -> ());
     {
       cfg;
       inst;
@@ -158,9 +201,14 @@ module Core = struct
       c_epochs;
       c_flushes;
       c_journal_syncs;
+      c_ckpt_fallbacks;
+      c_segments_pruned;
       g_queue;
       g_uptime;
       g_rss_kb;
+      g_journal_bytes;
+      g_journal_segments;
+      g_ckpt_gen;
       header;
       started = Unix.gettimeofday ();
       stopped = false;
@@ -169,9 +217,19 @@ module Core = struct
   let journal_sync t =
     match t.journal with
     | None -> ()
-    | Some a ->
-        Trace.Appender.sync a;
+    | Some j ->
+        Trace.Journal.sync j;
         Metrics.incr t.c_journal_syncs
+
+  (* Sound only immediately after a checkpoint write: at that moment
+     the engine's consumed item count {e is} the checkpoint's coverage,
+     so every segment strictly below it is durably replaceable. *)
+  let prune_covered t =
+    match (t.cfg.ckpt, t.journal) with
+    | Some _, Some j ->
+        let removed = Trace.Journal.prune j ~covered:(En.items_consumed t.eng) in
+        if removed > 0 then Metrics.add t.c_segments_pruned removed
+    | _ -> ()
 
   let stream_to_trace_item = function
     | Stream.Req { Stream.node; x; kind } ->
@@ -188,7 +246,7 @@ module Core = struct
            its way to disk first *)
         (match t.journal with
         | None -> ()
-        | Some a -> Trace.Appender.add a (stream_to_trace_item item));
+        | Some j -> Trace.Journal.add j (stream_to_trace_item item));
         Queue.add item t.queue;
         (match item with Stream.Req _ -> t.queued_reqs <- t.queued_reqs + 1 | _ -> ());
         Metrics.incr t.c_accepted;
@@ -226,8 +284,16 @@ module Core = struct
 
   let step_batch t batch =
     sync_if_ckpt_due t;
+    let before = En.epochs_done t.eng in
     En.step t.eng batch;
-    Metrics.incr t.c_epochs
+    Metrics.incr t.c_epochs;
+    (* the engine checkpoints inside [step] when the boundary is due;
+       prune right there, while consumed = coverage *)
+    (match t.cfg.ckpt with
+    | Some c ->
+        let after = En.epochs_done t.eng in
+        if after > before && after mod c.En.every = 0 then prune_covered t
+    | None -> ())
 
   let maybe_step t =
     while t.queued_reqs >= t.cfg.engine.En.epoch do
@@ -248,7 +314,10 @@ module Core = struct
   let refresh_gauges t =
     Metrics.set t.g_queue (float_of_int t.queued_reqs);
     Metrics.set t.g_uptime (uptime_s t);
-    Metrics.set t.g_rss_kb (float_of_int (rss_kb ()))
+    Metrics.set t.g_rss_kb (float_of_int (rss_kb ()));
+    Metrics.set t.g_journal_bytes (float_of_int (journal_bytes t));
+    Metrics.set t.g_journal_segments (float_of_int (journal_segments t));
+    Metrics.set t.g_ckpt_gen (float_of_int (ckpt_generation t))
 
   let metrics_dump t =
     refresh_gauges t;
@@ -263,14 +332,18 @@ module Core = struct
     Buffer.contents buf
 
   let health t =
-    Printf.sprintf "ok uptime_s=%.1f epochs=%d served=%d queue=%d accepted=%d shed=%d rss_kb=%d"
+    Printf.sprintf
+      "ok uptime_s=%.1f epochs=%d served=%d queue=%d accepted=%d shed=%d rss_kb=%d \
+       journal_bytes=%d segments=%d ckpt_gen=%d ckpt_fallbacks=%d"
       (uptime_s t) (epochs t) (served t) t.queued_reqs (accepted t) (shed t) (rss_kb ())
+      (journal_bytes t) (journal_segments t) (ckpt_generation t) (ckpt_fallbacks t)
 
   let stats t =
     Printf.sprintf
-      "{\"dmnet\":\"serve-stats\",\"version\":1,\"uptime_s\":%s,\"epochs\":%d,\"served\":%d,\"accepted\":%d,\"shed\":%d,\"malformed\":%d,\"queue_depth\":%d,\"rss_kb\":%d}"
+      "{\"dmnet\":\"serve-stats\",\"version\":1,\"uptime_s\":%s,\"epochs\":%d,\"served\":%d,\"accepted\":%d,\"shed\":%d,\"malformed\":%d,\"queue_depth\":%d,\"rss_kb\":%d,\"journal_bytes\":%d,\"journal_segments\":%d,\"ckpt_generation\":%d,\"ckpt_fallbacks\":%d}"
       (Metrics.json_float (uptime_s t))
       (epochs t) (served t) (accepted t) (shed t) (malformed t) t.queued_reqs (rss_kb ())
+      (journal_bytes t) (journal_segments t) (ckpt_generation t) (ckpt_fallbacks t)
 
   let result t = En.finish t.eng
 
@@ -280,10 +353,15 @@ module Core = struct
       maybe_step t;
       if drain then flush t;
       (* durability order: the journal must cover everything the final
-         checkpoint claims was consumed *)
+         checkpoint claims was consumed; pruning comes last, after the
+         manifest durably references the covering checkpoint *)
       journal_sync t;
-      (match t.cfg.ckpt with Some _ -> En.checkpoint_now t.eng | None -> ());
-      (match t.journal with None -> () | Some a -> Trace.Appender.close a);
+      (match t.cfg.ckpt with
+      | Some _ ->
+          En.checkpoint_now t.eng;
+          prune_covered t
+      | None -> ());
+      (match t.journal with None -> () | Some j -> Trace.Journal.close j);
       match t.cfg.metrics_out with
       | None -> ()
       | Some path -> En.write_metrics path t.inst (En.finish t.eng)
@@ -390,7 +468,7 @@ let run_daemon ?pool cfg inst placement ~socket ~use_stdin =
         | "stats" -> reply conn (Core.stats core)
         | "sync" ->
             Core.journal_sync core;
-            reply conn "ok"
+            reply conn (Printf.sprintf "ok offset=%d" (Core.durable_offset core))
         | "shutdown" ->
             reply conn "bye";
             stop_requested := true

@@ -45,7 +45,16 @@
     before any checkpoint is written and again at shutdown — so a
     checkpoint never references an event the journal might lose, and
     kill-and-restart with [--resume] replays the journal tail through
-    the same batcher, byte-identically. *)
+    the same batcher, byte-identically.
+
+    The journal is a segmented directory
+    ({!Dmn_core.Serial.Trace.Journal}) and checkpoints live in a
+    generation directory ({!Dmn_core.Ckpt_store}): after each
+    checkpoint the segments it fully covers are pruned, so journal
+    disk usage stays bounded over a soak; loading falls back past a
+    corrupt newest generation, counted in [ckpt_fallbacks_total] and
+    surfaced by [health]. The [sync] control line replies
+    [ok offset=N] with the durable journal offset (items on disk). *)
 
 module En := Dmn_engine.Engine
 
@@ -53,10 +62,14 @@ type config = {
   engine : En.config;
   ckpt : En.checkpointing option;
   resume : string option;
-      (** checkpoint file to resume from; requires [journal] (the
-          consumed prefix is fast-forwarded out of the journal and the
-          unserved tail re-queued) *)
-  journal : string option;  (** ingest journal (v1 trace), appended and fsynced *)
+      (** checkpoint {e directory} to resume from (newest valid
+          generation; corrupt newer ones are skipped and counted);
+          requires [journal] (the consumed prefix is fast-forwarded
+          out of the journal chain and the unserved tail re-queued) *)
+  journal : string option;
+      (** ingest journal {e directory} (segmented v1 trace,
+          {!Dmn_core.Serial.Trace.Journal}), appended, fsynced, and
+          pruned as checkpoints cover its segments *)
   queue_cap : int;  (** max queued unserved requests before shedding (> 0) *)
   tick_s : float option;
       (** wall-clock flush: serve a partial epoch when this much time
@@ -123,6 +136,22 @@ module Core : sig
 
   val epochs : t -> int
   val uptime_s : t -> float
+
+  (** Checkpoint-generation fallbacks taken at resume (corrupt newer
+      generations skipped, plus one for a missing/corrupt manifest). *)
+  val ckpt_fallbacks : t -> int
+
+  val journal_bytes : t -> int  (** journal bytes on disk (0 without a journal) *)
+
+  val journal_segments : t -> int  (** live journal segment count *)
+
+  (** Durable journal offset: items fsynced to disk — what a crash
+      right now is guaranteed not to lose. *)
+  val durable_offset : t -> int
+
+  (** Newest checkpoint generation on disk, [-1] when not
+      checkpointing (or nothing written yet). *)
+  val ckpt_generation : t -> int
 
   (** Count a malformed line (the daemon loop calls this on
       [`Malformed] so overload and garbage are both observable). *)

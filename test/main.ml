@@ -23,6 +23,7 @@ let () =
       ("engine", Test_engine.suite);
       ("metrics", Test_metrics.suite);
       ("server", Test_server.suite);
+      ("durability", Test_durability.suite);
       ("capacitated", Test_capacitated.suite);
       ("report", Test_report.suite);
       ("edge-cases", Test_edge_cases.suite);

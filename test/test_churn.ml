@@ -30,6 +30,18 @@ let with_tmp suffix f =
   let path = tmp_file suffix in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let with_tmp_dir suffix f =
+  let path = tmp_file suffix in
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
 (* reference closure that tolerates disconnection ([Metric.of_graph]
    rejects unreachable pairs by design — the repaired metric is the only
    construction allowed to hold infinity) *)
@@ -415,7 +427,7 @@ let engine_churn_resume_is_byte_identical () =
   in
   with_tmp "churn-resume.trace" @@ fun trace_path ->
   write_items_trace inst trace_path items;
-  with_tmp "churn-resume.ckpt" @@ fun ckpt_path ->
+  with_tmp_dir "churn-resume.ckptdir" @@ fun ckpt_path ->
   let config = { En.default_config with En.epoch = 50 } in
   let reference = ref None in
   List.iter
@@ -451,10 +463,10 @@ let engine_churn_resume_is_byte_identical () =
       Alcotest.(check bool) "prefix includes churn" true topo_in_prefix;
       let _ =
         En.run_items ~pool ~config
-          ~ckpt:{ En.path = ckpt_path; every = 1 }
+          ~ckpt:{ En.dir = ckpt_path; every = 1; keep = 3 }
           inst placement (List.to_seq prefix)
       in
-      let c = Ck.load ckpt_path in
+      let c = (Dmn_core.Ckpt_store.load ckpt_path).Dmn_core.Ckpt_store.ckpt in
       Alcotest.(check bool) "checkpoint recorded churn" true (c.Ck.topo_applied > 0);
       Alcotest.(check bool) "checkpoint carries the metric hash" true
         (c.Ck.topo.Ck.metric_hash <> 0L);

@@ -22,6 +22,22 @@ let with_tmp suffix f =
   let path = tmp_file suffix in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* a fresh path for a checkpoint/journal directory (created by the code
+   under test), recursively removed afterwards *)
+let with_tmp_dir suffix f =
+  let path = tmp_file suffix in
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+let load_ckpt dir = (Dmn_core.Ckpt_store.load dir).Dmn_core.Ckpt_store.ckpt
+
 let small_instance ?(objects = 3) ?(n = 14) seed =
   let rng = Rng.create seed in
   let g = Dmn_graph.Gen.random_geometric rng n 0.45 in
@@ -320,7 +336,7 @@ let engine_resume_is_byte_identical () =
   let events = St.stationary (Rng.create 51) inst ~length:1200 in
   with_tmp "resume.trace" @@ fun trace_path ->
   write_trace inst trace_path events;
-  with_tmp "resume.ckpt" @@ fun ckpt_path ->
+  with_tmp_dir "resume.ckptdir" @@ fun ckpt_path ->
   let config = { En.default_config with En.epoch = 150 } in
   List.iter
     (fun domains ->
@@ -332,10 +348,10 @@ let engine_resume_is_byte_identical () =
          truncating the stream the way a crash would *)
       let prefix = List.filteri (fun i _ -> i < 750) events in
       let _ =
-        En.run ~pool ~config ~ckpt:{ En.path = ckpt_path; every = 2 } inst placement
+        En.run ~pool ~config ~ckpt:{ En.dir = ckpt_path; every = 2; keep = 3 } inst placement
           (List.to_seq prefix)
       in
-      let c = Dmn_core.Serial.Checkpoint.load ckpt_path in
+      let c = load_ckpt ckpt_path in
       Alcotest.(check int) "checkpoint at epoch boundary 4" 4
         c.Dmn_core.Serial.Checkpoint.next_epoch;
       (* second leg: resume against the full trace *)
@@ -353,10 +369,10 @@ let engine_resume_is_byte_identical () =
       (* resuming a checkpoint that already covers the whole trace is a
          no-op run with identical output *)
       let full =
-        En.run ~pool ~config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement
+        En.run ~pool ~config ~ckpt:{ En.dir = ckpt_path; every = 1; keep = 3 } inst placement
           (List.to_seq events)
       in
-      let c_full = Dmn_core.Serial.Checkpoint.load ckpt_path in
+      let c_full = load_ckpt ckpt_path in
       Alcotest.(check int) "final checkpoint covers all epochs" 8
         c_full.Dmn_core.Serial.Checkpoint.next_epoch;
       let resumed_full = En.run_trace ~pool ~config ~resume:c_full inst placement trace_path in
@@ -371,12 +387,12 @@ let engine_resume_rejects_mismatches () =
   let events = St.stationary (Rng.create 61) inst ~length:400 in
   with_tmp "reject.trace" @@ fun trace_path ->
   write_trace inst trace_path events;
-  with_tmp "reject.ckpt" @@ fun ckpt_path ->
+  with_tmp_dir "reject.ckptdir" @@ fun ckpt_path ->
   let config = { En.default_config with En.epoch = 100 } in
   let _ =
-    En.run ~config ~ckpt:{ En.path = ckpt_path; every = 1 } inst placement (List.to_seq events)
+    En.run ~config ~ckpt:{ En.dir = ckpt_path; every = 1; keep = 3 } inst placement (List.to_seq events)
   in
-  let c = Dmn_core.Serial.Checkpoint.load ckpt_path in
+  let c = load_ckpt ckpt_path in
   let expect_validation name f =
     match f () with
     | exception Err.Error e ->
@@ -408,7 +424,7 @@ let engine_resume_rejects_mismatches () =
   let cache_config = { config with En.policy = En.Cache } in
   expect_validation "cache + ckpt" (fun () ->
       En.run_trace ~config:cache_config
-        ~ckpt:{ En.path = ckpt_path; every = 1 }
+        ~ckpt:{ En.dir = ckpt_path; every = 1; keep = 3 }
         inst placement trace_path);
   expect_validation "cache + resume" (fun () ->
       En.run_trace ~config:cache_config ~resume:c inst placement trace_path)
@@ -495,12 +511,12 @@ let engine_step_rejects_unforwarded_resume () =
   let placement = A.solve inst in
   let events = St.stationary (Rng.create 5) inst ~length:200 in
   let config = { En.default_config with En.epoch = 50 } in
-  with_tmp "step-resume.ckpt" @@ fun ckpt_path ->
-  let ckpt = { En.path = ckpt_path; every = 1 } in
+  with_tmp_dir "step-resume.ckptdir" @@ fun ckpt_path ->
+  let ckpt = { En.dir = ckpt_path; every = 1; keep = 3 } in
   ignore
     (En.run_items ~config ~ckpt inst placement
        (List.to_seq (List.map (fun e -> St.Req e) events)));
-  let c = Err.get_ok (Dmn_core.Serial.Checkpoint.load_res ckpt_path) in
+  let c = load_ckpt ckpt_path in
   let eng = En.create ~config ~resume:c inst placement in
   match En.step eng [ St.Req (List.hd events) ] with
   | () -> Alcotest.fail "step accepted a resumed engine without fast_forward"

@@ -22,6 +22,18 @@ let with_tmp suffix f =
   let path = tmp_file suffix in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let with_tmp_dir suffix f =
+  let path = tmp_file suffix in
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
 let small_instance ?(objects = 2) ?(n = 12) seed =
   let rng = Rng.create seed in
   let g = Dmn_graph.Gen.random_geometric rng n 0.5 in
@@ -81,10 +93,10 @@ let kill_resume_identical () =
   let config = { En.default_config with En.policy = En.Resolve; epoch = 100 } in
   let reference = En.metrics_json inst (En.run_items ~config inst placement (List.to_seq items)) in
   let at domains =
-    with_tmp "journal.v1" @@ fun journal ->
-    with_tmp "resume.ckpt" @@ fun ckpt_path ->
+    with_tmp_dir "journal.dir" @@ fun journal ->
+    with_tmp_dir "resume.ckptdir" @@ fun ckpt_path ->
     Pool.with_pool ~domains (fun pool ->
-        let ckpt = Some { En.path = ckpt_path; every = 2 } in
+        let ckpt = Some { En.dir = ckpt_path; every = 2; keep = 3 } in
         let cfg =
           { Srv.default_config with Srv.engine = config; ckpt; journal = Some journal }
         in
