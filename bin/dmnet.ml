@@ -446,8 +446,28 @@ let replay_cmd =
            ~doc:"Accept a trace whose final line was cut mid-write (crash artifact): stop at \
                  the last complete event instead of failing.")
   in
+  let dirty_eps =
+    Arg.(value & opt float 0.3 & info [ "dirty-eps" ] ~docv:"EPS"
+           ~doc:"Incremental re-solve threshold (policy resolve): at each epoch boundary an \
+                 object is re-solved only when the normalized L1 distance between its current \
+                 and last-solved frequency vectors exceeds $(docv) (objects are always \
+                 re-solved after a topology change, an emergency re-replication, or their \
+                 first request). 0 re-solves every object every epoch — byte-identical to the \
+                 pre-incremental engine. The dirty set is a pure function of the trace, so \
+                 determinism across --domains is unaffected. On --resume the value is taken \
+                 from the checkpoint.")
+  in
+  let solve_cache =
+    Arg.(value & opt int 0 & info [ "solve-cache" ] ~docv:"CAP"
+           ~doc:"Memoize per-object placement solves in a bounded LRU of $(docv) entries, \
+                 keyed on the topology hash, solver configuration, storage-fee scale, and the \
+                 object's quantized frequency vector — recurring demand regimes then reuse \
+                 the cached placement instead of re-running the solver. 0 (default) disables. \
+                 Not combinable with --ckpt/--resume (cache contents are not checkpointed).")
+  in
   let run file trace scenario events phases write_fraction epoch policy period algo metrics_out
-      trace_out ckpt_path ckpt_every ckpt_keep resume retries tolerate_truncation seed domains =
+      trace_out ckpt_path ckpt_every ckpt_keep resume retries tolerate_truncation dirty_eps
+      solve_cache seed domains =
     protect @@ fun () ->
     set_domains domains;
     if retries < 0 then begin
@@ -462,9 +482,25 @@ let replay_cmd =
       Printf.eprintf "dmnet replay: --ckpt-keep must be >= 1\n";
       exit 2
     end;
+    if dirty_eps < 0.0 || Float.is_nan dirty_eps then begin
+      Printf.eprintf "dmnet replay: --dirty-eps must be >= 0\n";
+      exit 2
+    end;
+    if solve_cache < 0 then begin
+      Printf.eprintf "dmnet replay: --solve-cache must be >= 0\n";
+      exit 2
+    end;
     let inst = load_instance file in
     let config =
-      { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
+      {
+        E.default_config with
+        E.policy;
+        epoch;
+        storage_period = period;
+        attempts = retries + 1;
+        dirty_eps;
+        solve_cache;
+      }
     in
     let ckpt = Option.map (fun dir -> { E.dir; every = ckpt_every; keep = ckpt_keep }) ckpt_path in
     let make_seq () =
@@ -518,6 +554,7 @@ let replay_cmd =
               E.policy;
               epoch = c.Dmn_core.Serial.Checkpoint.epoch_size;
               storage_period = Some c.Dmn_core.Serial.Checkpoint.period;
+              dirty_eps = c.Dmn_core.Serial.Checkpoint.dirty_eps;
             }
           in
           let placement =
@@ -588,7 +625,8 @@ let replay_cmd =
     Term.(
       const run $ instance_arg $ trace $ scenario $ events $ phases $ write_fraction $ epoch
       $ policy $ period $ algo $ metrics_out $ trace_out $ ckpt_path $ ckpt_every $ ckpt_keep
-      $ resume $ retries $ tolerate_truncation $ seed_arg $ domains_arg)
+      $ resume $ retries $ tolerate_truncation $ dirty_eps $ solve_cache $ seed_arg
+      $ domains_arg)
   in
   Cmd.v
     (Cmd.info "replay"
@@ -712,8 +750,28 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S"
            ~doc:"Stop (gracefully) after $(docv) seconds of wall-clock time.")
   in
+  let dirty_eps =
+    Arg.(value & opt float 0.3 & info [ "dirty-eps" ] ~docv:"EPS"
+           ~doc:"Incremental re-solve threshold, as in $(b,dmnet replay): only objects whose \
+                 normalized frequency drift exceeds $(docv) are re-solved at an epoch \
+                 boundary; 0 re-solves everything. On $(b,--resume) the value is taken from \
+                 the checkpoint.")
+  in
+  let solve_cache =
+    Arg.(value & opt int 0 & info [ "solve-cache" ] ~docv:"CAP"
+           ~doc:"Bounded LRU memo for per-object solves, as in $(b,dmnet replay). 0 \
+                 (default) disables. Not combinable with --ckpt/--resume.")
+  in
+  let pipeline =
+    Arg.(value & flag & info [ "pipeline" ]
+           ~doc:"Overlap each epoch's dirty-set re-solve with journaling and batching of the \
+                 next epoch on a spare domain. Placements are applied at a deterministic \
+                 barrier before the next epoch is served, so metrics, checkpoints, and \
+                 resume stay byte-identical to an unpipelined daemon.")
+  in
   let run file socket use_stdin policy epoch period algo queue tick ckpt_path ckpt_every
-      ckpt_keep resume journal metrics_out retries max_events duration domains =
+      ckpt_keep resume journal metrics_out retries max_events duration dirty_eps solve_cache
+      pipeline domains =
     protect @@ fun () ->
     set_domains domains;
     if retries < 0 then begin
@@ -737,9 +795,25 @@ let serve_cmd =
         Printf.eprintf "dmnet serve: --tick must be positive\n";
         exit 2
     | _ -> ());
+    if dirty_eps < 0.0 || Float.is_nan dirty_eps then begin
+      Printf.eprintf "dmnet serve: --dirty-eps must be >= 0\n";
+      exit 2
+    end;
+    if solve_cache < 0 then begin
+      Printf.eprintf "dmnet serve: --solve-cache must be >= 0\n";
+      exit 2
+    end;
     let inst = load_instance file in
     let config =
-      { E.default_config with E.policy; epoch; storage_period = period; attempts = retries + 1 }
+      {
+        E.default_config with
+        E.policy;
+        epoch;
+        storage_period = period;
+        attempts = retries + 1;
+        dirty_eps;
+        solve_cache;
+      }
     in
     let ckpt = Option.map (fun dir -> { E.dir; every = ckpt_every; keep = ckpt_keep }) ckpt_path in
     let config, placement =
@@ -769,6 +843,7 @@ let serve_cmd =
               E.policy;
               epoch = c.Dmn_core.Serial.Checkpoint.epoch_size;
               storage_period = Some c.Dmn_core.Serial.Checkpoint.period;
+              dirty_eps = c.Dmn_core.Serial.Checkpoint.dirty_eps;
             }
           in
           let placement =
@@ -788,6 +863,7 @@ let serve_cmd =
         metrics_out;
         max_events;
         max_seconds = duration;
+        pipeline;
       }
     in
     let s = Srv.run_daemon scfg inst placement ~socket ~use_stdin in
@@ -802,7 +878,7 @@ let serve_cmd =
     Term.(
       const run $ instance_arg $ socket $ use_stdin $ policy $ epoch $ period $ algo $ queue
       $ tick $ ckpt_path $ ckpt_every $ ckpt_keep $ resume $ journal $ metrics_out $ retries
-      $ max_events $ duration $ domains_arg)
+      $ max_events $ duration $ dirty_eps $ solve_cache $ pipeline $ domains_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1187,6 +1187,11 @@ module Checkpoint = struct
     resolves : int;
     solve_retries : int;
     solve_fallbacks : int;
+    solve_skipped : int;
+    dirty : int;
+    cache_hits : int;
+    cache_misses : int;
+    cache_evictions : int;
     copies : int;
     dropped : int;
     emergency : int;
@@ -1220,10 +1225,26 @@ module Checkpoint = struct
 
   let no_topo = { metric_version = 1; metric_hash = 0L; down = []; edge_overrides = [] }
 
+  (* Per-object incremental-resolve state: the frequency vector the
+     object last solved against (sparse, ascending node index) and the
+     distance-matrix hash of the network it solved on. A resumed run
+     needs these to reproduce the dirty-set decisions of the original
+     run exactly; an object that never solved carries [o_valid = false]
+     (forced dirty at its next active epoch — "object birth"). *)
+  type obj_state = {
+    o_valid : bool;
+    o_mhash : int64;
+    o_fr : (int * int) list;
+    o_fw : (int * int) list;
+  }
+
+  let no_obj_state = { o_valid = false; o_mhash = 0L; o_fr = []; o_fw = [] }
+
   type t = {
     policy : string;
     epoch_size : int;
     period : int;
+    dirty_eps : float;
     next_epoch : int;
     events_consumed : int;
     topo_consumed : int;
@@ -1232,6 +1253,7 @@ module Checkpoint = struct
     nodes : int;
     objects : int;
     placements : int list array;
+    resolve_state : obj_state array;
     epochs : epoch_row list;
     hist : hist_state;
     topo : topo_state;
@@ -1309,60 +1331,94 @@ module Checkpoint = struct
         fl r.p50;
         fl r.p95;
         fl r.p99;
+        string_of_int r.solve_skipped;
+        string_of_int r.dirty;
+        string_of_int r.cache_hits;
+        string_of_int r.cache_misses;
+        string_of_int r.cache_evictions;
       ]
 
-  let section_text name lines =
-    let body = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
-    Printf.sprintf "section %s %d %s\n%s" name (List.length lines)
-      (Crc32.to_hex (Crc32.digest body))
-      body
+  let obj_state_to_line o =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (if o.o_valid then "1" else "0");
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Printf.sprintf "%016Lx" o.o_mhash);
+    let sparse tag l =
+      Buffer.add_string buf (Printf.sprintf " %s %d" tag (List.length l));
+      List.iter (fun (v, c) -> Buffer.add_string buf (Printf.sprintf " %d %d" v c)) l
+    in
+    sparse "r" o.o_fr;
+    sparse "w" o.o_fw;
+    Buffer.contents buf
+
+  (* Serialization is a single pass into one buffer: each section body
+     is rendered once into a scratch buffer (to CRC the exact bytes),
+     then appended — the whole snapshot is materialized in memory
+     before any disk I/O happens, so the write path is a plain
+     blob-store operation (snapshot-then-write). *)
+  let add_section buf scratch name lines =
+    Buffer.clear scratch;
+    let count = ref 0 in
+    List.iter
+      (fun l ->
+        incr count;
+        Buffer.add_string scratch l;
+        Buffer.add_char scratch '\n')
+      lines;
+    let body = Buffer.contents scratch in
+    Buffer.add_string buf
+      (Printf.sprintf "section %s %d %s\n" name !count (Crc32.to_hex (Crc32.digest body)));
+    Buffer.add_string buf body
 
   let to_string t =
-    String.concat ""
+    let buf = Buffer.create 4096 and scratch = Buffer.create 1024 in
+    Buffer.add_string buf "dmnet-ckpt v3\n";
+    add_section buf scratch "meta"
       [
-        "dmnet-ckpt v2\n";
-        section_text "meta"
-          [
-            "policy " ^ t.policy;
-            Printf.sprintf "epoch_size %d" t.epoch_size;
-            Printf.sprintf "period %d" t.period;
-            Printf.sprintf "next_epoch %d" t.next_epoch;
-            Printf.sprintf "events %d" t.events_consumed;
-            Printf.sprintf "topo_consumed %d" t.topo_consumed;
-            Printf.sprintf "topo_applied %d" t.topo_applied;
-            Printf.sprintf "fingerprint %016Lx" t.fingerprint;
-            Printf.sprintf "nodes %d" t.nodes;
-            Printf.sprintf "objects %d" t.objects;
-          ];
-        section_text "placements"
-          (string_of_int (Array.length t.placements)
-          :: (Array.to_list t.placements
-             |> List.map (fun cs -> String.concat " " (List.map string_of_int cs))));
-        section_text "epochs"
-          (string_of_int (List.length t.epochs) :: List.map row_to_line t.epochs);
-        section_text "histogram"
-          (Printf.sprintf "%s %s %d %s" (fl t.hist.h_lo) (fl t.hist.h_base) t.hist.h_buckets
-             (fl t.hist.h_sum)
-          :: List.map (fun (i, c) -> Printf.sprintf "%d %d" i c) t.hist.h_counts);
-        section_text "topology"
-          ([
-             Printf.sprintf "metric_version %d" t.topo.metric_version;
-             Printf.sprintf "metric_hash %016Lx" t.topo.metric_hash;
-             String.concat " " ("down" :: List.map string_of_int t.topo.down);
-             Printf.sprintf "overrides %d" (List.length t.topo.edge_overrides);
-           ]
-          @ List.map
-              (fun ((u, v), ov) ->
-                match ov with
-                | Some w -> Printf.sprintf "ow %d %d %s" u v (fl w)
-                | None -> Printf.sprintf "od %d %d" u v)
-              t.topo.edge_overrides);
-        section_text "ops"
-          [
-            Printf.sprintf "checkpoints_written %d" t.checkpoints_written;
-            Printf.sprintf "serve_retries %d" t.serve_retries;
-          ];
-      ]
+        "policy " ^ t.policy;
+        Printf.sprintf "epoch_size %d" t.epoch_size;
+        Printf.sprintf "period %d" t.period;
+        Printf.sprintf "dirty_eps %h" t.dirty_eps;
+        Printf.sprintf "next_epoch %d" t.next_epoch;
+        Printf.sprintf "events %d" t.events_consumed;
+        Printf.sprintf "topo_consumed %d" t.topo_consumed;
+        Printf.sprintf "topo_applied %d" t.topo_applied;
+        Printf.sprintf "fingerprint %016Lx" t.fingerprint;
+        Printf.sprintf "nodes %d" t.nodes;
+        Printf.sprintf "objects %d" t.objects;
+      ];
+    add_section buf scratch "placements"
+      (string_of_int (Array.length t.placements)
+      :: (Array.to_list t.placements
+         |> List.map (fun cs -> String.concat " " (List.map string_of_int cs))));
+    add_section buf scratch "resolve"
+      (Printf.sprintf "count %d" (Array.length t.resolve_state)
+      :: List.map obj_state_to_line (Array.to_list t.resolve_state));
+    add_section buf scratch "epochs"
+      (string_of_int (List.length t.epochs) :: List.map row_to_line t.epochs);
+    add_section buf scratch "histogram"
+      (Printf.sprintf "%s %s %d %s" (fl t.hist.h_lo) (fl t.hist.h_base) t.hist.h_buckets
+         (fl t.hist.h_sum)
+      :: List.map (fun (i, c) -> Printf.sprintf "%d %d" i c) t.hist.h_counts);
+    add_section buf scratch "topology"
+      ([
+         Printf.sprintf "metric_version %d" t.topo.metric_version;
+         Printf.sprintf "metric_hash %016Lx" t.topo.metric_hash;
+         String.concat " " ("down" :: List.map string_of_int t.topo.down);
+         Printf.sprintf "overrides %d" (List.length t.topo.edge_overrides);
+       ]
+      @ List.map
+          (fun ((u, v), ov) ->
+            match ov with
+            | Some w -> Printf.sprintf "ow %d %d %s" u v (fl w)
+            | None -> Printf.sprintf "od %d %d" u v)
+          t.topo.edge_overrides);
+    add_section buf scratch "ops"
+      [
+        Printf.sprintf "checkpoints_written %d" t.checkpoints_written;
+        Printf.sprintf "serve_retries %d" t.serve_retries;
+      ];
+    Buffer.contents buf
 
   (* ----- parsing ----- *)
 
@@ -1383,13 +1439,13 @@ module Checkpoint = struct
     in
     (let ln, l = next "the format header" in
      match split_tokens l with
-     | [ "dmnet-ckpt"; "v2" ] -> ()
+     | [ "dmnet-ckpt"; "v3" ] -> ()
      | "dmnet-ckpt" :: version :: _ ->
          Err.failf ?file ~line:ln ~token:version Err.Parse
-           "unsupported dmnet-ckpt version %s (this build reads v2)" version
+           "unsupported dmnet-ckpt version %s (this build reads v3)" version
      | tok :: _ ->
-         Err.failf ?file ~line:ln ~token:tok Err.Parse "bad header: expected \"dmnet-ckpt v2\""
-     | [] -> Err.failf ?file ~line:ln Err.Parse "bad header: expected \"dmnet-ckpt v2\"");
+         Err.failf ?file ~line:ln ~token:tok Err.Parse "bad header: expected \"dmnet-ckpt v3\""
+     | [] -> Err.failf ?file ~line:ln Err.Parse "bad header: expected \"dmnet-ckpt v3\"");
     let sections = Hashtbl.create 8 in
     while !pos < limit do
       let ln, l = next "a section header" in
@@ -1470,6 +1526,13 @@ module Checkpoint = struct
     let policy = snd (meta_field "policy") in
     let esz_ln, epoch_size = meta_int "epoch_size" in
     let per_ln, period = meta_int "period" in
+    let dirty_eps =
+      let ln, tok = meta_field "dirty_eps" in
+      let v = float_of ln "dirty_eps" tok in
+      if v < 0.0 then
+        Err.failf ?file ~line:ln ~token:tok Err.Validation "dirty_eps must be non-negative";
+      v
+    in
     let ne_ln, next_epoch = meta_int "next_epoch" in
     let ev_ln, events_consumed = meta_int "events" in
     let tc_ln, topo_consumed = meta_int "topo_consumed" in
@@ -1534,6 +1597,92 @@ module Checkpoint = struct
                        toks)
                rows)
     in
+    (* per-object incremental-resolve state *)
+    let rs_ln, rs_lines = get "resolve" in
+    let resolve_state =
+      match rs_lines with
+      | [] -> Err.failf ?file ~line:rs_ln Err.Parse "resolve section is empty"
+      | count_line :: rows ->
+          let k =
+            match split_tokens count_line with
+            | [ "count"; tok ] -> int_of rs_ln "resolve-state object count" tok
+            | _ -> Err.failf ?file ~line:rs_ln Err.Parse "expected \"count <objects>\""
+          in
+          if k <> objects then
+            Err.failf ?file ~line:rs_ln Err.Validation
+              "resolve section declares %d objects but meta says %d" k objects;
+          if List.length rows <> k then
+            Err.failf ?file ~line:rs_ln Err.Validation
+              "resolve section declares %d objects but holds %d rows" k (List.length rows);
+          let parse_sparse ln tag toks =
+            match toks with
+            | t :: ctok :: rest when t = tag ->
+                let count = int_of ln "sparse entry count" ctok in
+                if count < 0 then
+                  Err.failf ?file ~line:ln ~token:ctok Err.Validation
+                    "sparse entry count must be non-negative";
+                let last = ref (-1) in
+                let rec take acc n toks =
+                  if n = 0 then (List.rev acc, toks)
+                  else
+                    match toks with
+                    | vtok :: ctok :: rest ->
+                        let v = int_of ln "node index" vtok in
+                        let c = int_of ln "frequency count" ctok in
+                        if v < 0 || v >= nodes then
+                          Err.failf ?file ~line:ln ~token:vtok Err.Validation
+                            "node index %d out of range [0, %d)" v nodes;
+                        if v <= !last then
+                          Err.failf ?file ~line:ln ~token:vtok Err.Validation
+                            "sparse node indices must be strictly ascending";
+                        if c <= 0 then
+                          Err.failf ?file ~line:ln ~token:ctok Err.Validation
+                            "stored frequency counts must be positive";
+                        last := v;
+                        take ((v, c) :: acc) (n - 1) rest
+                    | _ ->
+                        Err.failf ?file ~line:ln Err.Parse
+                          "truncated sparse vector: %d entries declared" count
+                in
+                take [] count rest
+            | _ -> Err.failf ?file ~line:ln Err.Parse "expected sparse vector tagged %S" tag
+          in
+          Array.of_list
+            (List.mapi
+               (fun i row ->
+                 let ln = rs_ln + 1 + i in
+                 match split_tokens row with
+                 | valid_tok :: mhash_tok :: rest ->
+                     let o_valid =
+                       match valid_tok with
+                       | "0" -> false
+                       | "1" -> true
+                       | _ ->
+                           Err.failf ?file ~line:ln ~token:valid_tok Err.Parse
+                             "expected 0 or 1 for the solved flag"
+                     in
+                     let o_mhash =
+                       if
+                         String.length mhash_tok = 16
+                         && String.for_all
+                              (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                              mhash_tok
+                       then Int64.of_string ("0x" ^ mhash_tok)
+                       else
+                         Err.failf ?file ~line:ln ~token:mhash_tok Err.Parse
+                           "expected a 16-hex-digit metric hash"
+                     in
+                     let o_fr, rest = parse_sparse ln "r" rest in
+                     let o_fw, rest = parse_sparse ln "w" rest in
+                     if rest <> [] then
+                       Err.failf ?file ~line:ln Err.Parse
+                         "trailing tokens after the write vector";
+                     { o_valid; o_mhash; o_fr; o_fw }
+                 | _ ->
+                     Err.failf ?file ~line:ln Err.Parse
+                       "malformed resolve-state row: expected \"<solved> <hash> r ... w ...\"")
+               rows)
+    in
     (* epochs *)
     let ep_ln, ep_lines = get "epochs" in
     let epochs =
@@ -1558,7 +1707,8 @@ module Checkpoint = struct
             (fun i row ->
               let ln = ep_ln + 1 + i in
               match split_tokens row with
-              | [ idx; ev; rd; wr; rs; sr; sf; cp; dp; em; tp; sv; st; mg; a; b; c' ] ->
+              | [ idx; ev; rd; wr; rs; sr; sf; cp; dp; em; tp; sv; st; mg; a; b; c'; sk; dt;
+                  chh; chm; che ] ->
                   let ii = int_of ln "epoch index" idx in
                   if ii <> i then
                     Err.failf ?file ~line:ln ~token:idx Err.Validation
@@ -1576,6 +1726,11 @@ module Checkpoint = struct
                     resolves = nonneg "resolves" (int_of ln "resolves" rs);
                     solve_retries = nonneg "solve_retries" (int_of ln "solve_retries" sr);
                     solve_fallbacks = nonneg "solve_fallbacks" (int_of ln "solve_fallbacks" sf);
+                    solve_skipped = nonneg "solve_skipped" (int_of ln "solve_skipped" sk);
+                    dirty = nonneg "dirty" (int_of ln "dirty" dt);
+                    cache_hits = nonneg "cache_hits" (int_of ln "cache_hits" chh);
+                    cache_misses = nonneg "cache_misses" (int_of ln "cache_misses" chm);
+                    cache_evictions = nonneg "cache_evictions" (int_of ln "cache_evictions" che);
                     copies = nonneg "copies" (int_of ln "copies" cp);
                     dropped = nonneg "dropped" (int_of ln "dropped" dp);
                     emergency = nonneg "emergency" (int_of ln "emergency" em);
@@ -1589,7 +1744,7 @@ module Checkpoint = struct
                   }
               | _ ->
                   Err.failf ?file ~line:ln Err.Parse
-                    "malformed epoch row: expected 17 whitespace-separated fields")
+                    "malformed epoch row: expected 22 whitespace-separated fields")
             rows
     in
     let consumed = List.fold_left (fun a r -> a + r.events) 0 epochs in
@@ -1769,6 +1924,7 @@ module Checkpoint = struct
       policy;
       epoch_size;
       period;
+      dirty_eps;
       next_epoch;
       events_consumed;
       topo_consumed;
@@ -1777,6 +1933,7 @@ module Checkpoint = struct
       nodes;
       objects;
       placements;
+      resolve_state;
       epochs;
       hist;
       topo;

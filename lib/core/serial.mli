@@ -413,6 +413,11 @@ module Checkpoint : sig
     resolves : int;
     solve_retries : int;
     solve_fallbacks : int;
+    solve_skipped : int;  (** active objects carried without re-solving *)
+    dirty : int;  (** objects whose change score exceeded the threshold *)
+    cache_hits : int;  (** dirty objects satisfied from the solve cache *)
+    cache_misses : int;
+    cache_evictions : int;
     copies : int;
     dropped : int;  (** requests dropped (dead requester or partition) *)
     emergency : int;  (** emergency re-replications triggered *)
@@ -451,10 +456,28 @@ module Checkpoint : sig
       resume does not check against a real metric. *)
   val no_topo : topo_state
 
+  (** Per-object incremental-resolve state: the frequency vector the
+      object last solved against (sparse [(node, count)] pairs, strictly
+      ascending) and the {!Dmn_paths.Metric.hash64} of the network it
+      solved on. Resume restores these so the dirty-set decisions of the
+      continued run reproduce the original's exactly. An object that
+      never solved carries [o_valid = false] and is forced dirty at its
+      next active epoch. *)
+  type obj_state = {
+    o_valid : bool;
+    o_mhash : int64;
+    o_fr : (int * int) list;
+    o_fw : (int * int) list;
+  }
+
+  (** The never-solved state ([o_valid = false], empty vectors). *)
+  val no_obj_state : obj_state
+
   type t = {
     policy : string;  (** engine policy name, e.g. ["resolve"] *)
     epoch_size : int;
     period : int;  (** storage accounting period *)
+    dirty_eps : float;  (** the dirty-score threshold the run solved under *)
     next_epoch : int;  (** first epoch index the resumed run executes *)
     events_consumed : int;  (** trace request events consumed so far *)
     topo_consumed : int;  (** topology items consumed from the trace *)
@@ -466,6 +489,7 @@ module Checkpoint : sig
     nodes : int;
     objects : int;
     placements : int list array;  (** current copy nodes per object *)
+    resolve_state : obj_state array;  (** one per object, index-aligned *)
     epochs : epoch_row list;  (** chronological, one per completed epoch *)
     hist : hist_state;
     topo : topo_state;  (** network state after [topo_applied] events *)

@@ -1,0 +1,101 @@
+(* Bounded LRU memo for per-object placement solves.
+
+   The engine's incremental re-solve keys each [Approx.place_object]
+   call on everything the solve depends on — the network (distance
+   matrix hash), the solver configuration, the epoch's storage-fee
+   scale (epoch size and period), and the object's observed frequency
+   vector, quantized so near-identical demand regimes share an entry.
+   Recurring regimes (diurnal phases, drift that revisits a hotspot)
+   then hit instead of re-running the 3-phase pipeline.
+
+   Everything here is deterministic: lookups and insertions happen
+   sequentially on the engine's driving thread, the use-stamp is a
+   monotone counter (no clocks), and eviction removes the unique
+   least-recently-used entry — so hit/miss/eviction counts are a pure
+   function of the call sequence, independent of domain count. *)
+
+type entry = { mutable stamp : int; value : int list }
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Solve_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+(* Logarithmic demand quantization: two counts land in the same bucket
+   when they agree to within ~1/8 nat in log(1+c) — about a 13%
+   relative difference. Zero stays zero, so the sparsity pattern of a
+   vector survives quantization. *)
+let quantize c =
+  if c <= 0 then 0
+  else int_of_float (Float.round (8.0 *. Float.log1p (float_of_int c)))
+
+let solver_fingerprint (c : Approx.config) =
+  Printf.sprintf "%s:%h:%h:%b:%b"
+    (Approx.solver_name c.Approx.solver)
+    c.Approx.phase2_factor c.Approx.phase3_factor c.Approx.run_phase2 c.Approx.run_phase3
+
+let key ~mhash ~solver ~epoch_events ~period ~fr ~fw =
+  let n = Array.length fr in
+  if Array.length fw <> n then invalid_arg "Solve_cache.key: fr/fw length mismatch";
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%016Lx|%s|%d/%d" mhash solver epoch_events period);
+  for v = 0 to n - 1 do
+    let qr = quantize fr.(v) and qw = quantize fw.(v) in
+    if qr <> 0 || qw <> 0 then Buffer.add_string buf (Printf.sprintf "|%d:%d:%d" v qr qw)
+  done;
+  Buffer.contents buf
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t k value =
+  t.tick <- t.tick + 1;
+  if Hashtbl.mem t.tbl k then Hashtbl.replace t.tbl k { stamp = t.tick; value }
+  else begin
+    if Hashtbl.length t.tbl >= t.capacity then begin
+      (* evict the unique least-recently-used entry; stamps are
+         distinct by construction so the choice is deterministic *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k' e' ->
+          match !victim with
+          | Some (_, s) when s <= e'.stamp -> ()
+          | _ -> victim := Some (k', e'.stamp))
+        t.tbl;
+      match !victim with
+      | Some (k', _) ->
+          Hashtbl.remove t.tbl k';
+          t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    Hashtbl.replace t.tbl k { stamp = t.tick; value }
+  end

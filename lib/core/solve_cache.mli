@@ -1,0 +1,63 @@
+(** Bounded LRU memo for per-object placement solves.
+
+    Keys capture everything an [Approx.place_object] call depends on:
+    the distance-matrix hash, a solver-configuration fingerprint, the
+    epoch geometry (events per epoch and storage period), and the
+    object's frequency vector quantized on a logarithmic scale so
+    near-identical demand regimes share an entry.
+
+    The cache is deterministic by construction: recency is a monotone
+    counter (no clocks), eviction removes the unique least-recently
+    used entry, and all operations run sequentially on the engine's
+    driving thread — hit/miss/eviction counts are a pure function of
+    the lookup sequence, independent of domain count. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : capacity:int -> t
+(** [create ~capacity] makes an empty cache holding at most [capacity]
+    entries. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Current number of entries (≤ capacity). *)
+
+val stats : t -> stats
+(** Cumulative hit/miss/eviction counts since [create]. *)
+
+val quantize : int -> int
+(** [quantize c] buckets a frequency count on a log scale:
+    [round (8 · log1p c)]. Zero maps to zero (sparsity survives);
+    counts within ~13% of each other share a bucket. Monotone
+    non-decreasing in [c]. *)
+
+val solver_fingerprint : Approx.config -> string
+(** Canonical string identifying a solver configuration; distinct
+    configurations that could produce different placements have
+    distinct fingerprints. *)
+
+val key :
+  mhash:int64 ->
+  solver:string ->
+  epoch_events:int ->
+  period:int ->
+  fr:int array ->
+  fw:int array ->
+  string
+(** [key ~mhash ~solver ~epoch_events ~period ~fr ~fw] builds the
+    lookup key for one object's solve: [mhash] is [Metric.hash64] of
+    the live metric, [solver] a {!solver_fingerprint}, and [fr]/[fw]
+    the object's per-node read/write counts for the closing epoch
+    (dense, length [n]; quantized internally). Raises
+    [Invalid_argument] if [fr] and [fw] differ in length. *)
+
+val find : t -> string -> int list option
+(** Lookup; counts a hit (and refreshes recency) or a miss. *)
+
+val add : t -> string -> int list -> unit
+(** Insert a solved placement, evicting the least-recently-used entry
+    if the cache is full. Re-adding an existing key refreshes it
+    without eviction. *)

@@ -35,6 +35,8 @@ type config = {
   solve_deadline_s : float option;
   backoff_s : float;
   serve_cache : bool;
+  dirty_eps : float;
+  solve_cache : int;
 }
 
 let default_config =
@@ -49,6 +51,8 @@ let default_config =
     solve_deadline_s = None;
     backoff_s = 0.0;
     serve_cache = true;
+    dirty_eps = 0.0;
+    solve_cache = 0;
   }
 
 type checkpointing = { dir : string; every : int; keep : int }
@@ -65,6 +69,11 @@ type epoch_stats = {
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  solve_skipped : int;
+  dirty : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
   emergency : int;
   topo : int;
   copies : int;
@@ -84,6 +93,10 @@ type totals = {
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  solve_skipped : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
   emergency : int;
   topo : int;
   final_copies : int;
@@ -125,6 +138,10 @@ type instruments = {
   c_resolves : Metrics.counter;
   c_solve_retries : Metrics.counter;
   c_solve_fallbacks : Metrics.counter;
+  c_solve_skipped : Metrics.counter;
+  c_cache_hits : Metrics.counter;
+  c_cache_misses : Metrics.counter;
+  c_cache_evictions : Metrics.counter;
   c_dropped : Metrics.counter;
   c_emergency : Metrics.counter;
   c_topo : Metrics.counter;
@@ -138,6 +155,11 @@ type instruments = {
   g_resolves : Metrics.gauge;
   g_solve_retries : Metrics.gauge;
   g_solve_fallbacks : Metrics.gauge;
+  g_solve_skipped : Metrics.gauge;
+  g_dirty : Metrics.gauge;
+  g_cache_hits : Metrics.gauge;
+  g_cache_misses : Metrics.gauge;
+  g_cache_evictions : Metrics.gauge;
   g_dropped : Metrics.gauge;
   g_emergency : Metrics.gauge;
   g_topo : Metrics.gauge;
@@ -146,6 +168,11 @@ type instruments = {
   g_p95 : Metrics.gauge;
   g_p99 : Metrics.gauge;
   h_cost : Metrics.histogram;
+  (* wall time, not workload: lives in the registry for live
+     observability (the daemon's /metrics snapshot) but, being a
+     histogram, is filtered out of every deterministic artifact by
+     [scalar_snapshot] and [metrics_json] *)
+  h_solve : Metrics.histogram;
 }
 
 let make_instruments () =
@@ -158,6 +185,10 @@ let make_instruments () =
   let c_resolves = Metrics.counter reg "resolves_total" in
   let c_solve_retries = Metrics.counter reg "solve_retries" in
   let c_solve_fallbacks = Metrics.counter reg "solve_fallbacks" in
+  let c_solve_skipped = Metrics.counter reg "solve_skipped_total" in
+  let c_cache_hits = Metrics.counter reg "solve_cache_hits_total" in
+  let c_cache_misses = Metrics.counter reg "solve_cache_misses_total" in
+  let c_cache_evictions = Metrics.counter reg "solve_cache_evictions_total" in
   let c_dropped = Metrics.counter reg "dropped_total" in
   let c_emergency = Metrics.counter reg "emergency_total" in
   let c_topo = Metrics.counter reg "topo_total" in
@@ -171,6 +202,11 @@ let make_instruments () =
   let g_resolves = Metrics.gauge reg "epoch_resolves" in
   let g_solve_retries = Metrics.gauge reg "epoch_solve_retries" in
   let g_solve_fallbacks = Metrics.gauge reg "epoch_solve_fallbacks" in
+  let g_solve_skipped = Metrics.gauge reg "epoch_solve_skipped" in
+  let g_dirty = Metrics.gauge reg "dirty_objects" in
+  let g_cache_hits = Metrics.gauge reg "epoch_cache_hits" in
+  let g_cache_misses = Metrics.gauge reg "epoch_cache_misses" in
+  let g_cache_evictions = Metrics.gauge reg "epoch_cache_evictions" in
   let g_dropped = Metrics.gauge reg "epoch_dropped" in
   let g_emergency = Metrics.gauge reg "epoch_emergency" in
   let g_topo = Metrics.gauge reg "epoch_topo" in
@@ -179,6 +215,7 @@ let make_instruments () =
   let g_p95 = Metrics.gauge reg "request_cost_p95" in
   let g_p99 = Metrics.gauge reg "request_cost_p99" in
   let h_cost = Metrics.histogram reg "request_cost" in
+  let h_solve = Metrics.histogram ~lo:1e-6 ~base:2.0 ~buckets:48 reg "solve_epoch_s" in
   {
     reg;
     c_events;
@@ -187,6 +224,10 @@ let make_instruments () =
     c_resolves;
     c_solve_retries;
     c_solve_fallbacks;
+    c_solve_skipped;
+    c_cache_hits;
+    c_cache_misses;
+    c_cache_evictions;
     c_dropped;
     c_emergency;
     c_topo;
@@ -200,6 +241,11 @@ let make_instruments () =
     g_resolves;
     g_solve_retries;
     g_solve_fallbacks;
+    g_solve_skipped;
+    g_dirty;
+    g_cache_hits;
+    g_cache_misses;
+    g_cache_evictions;
     g_dropped;
     g_emergency;
     g_topo;
@@ -208,6 +254,7 @@ let make_instruments () =
     g_p95;
     g_p99;
     h_cost;
+    h_solve;
   }
 
 (* Deterministic kill point for crash-and-resume testing: after epoch N
@@ -228,6 +275,11 @@ let stats_to_row (s : epoch_stats) : Ckpt.epoch_row =
     resolves = s.resolves;
     solve_retries = s.solve_retries;
     solve_fallbacks = s.solve_fallbacks;
+    solve_skipped = s.solve_skipped;
+    dirty = s.dirty;
+    cache_hits = s.cache_hits;
+    cache_misses = s.cache_misses;
+    cache_evictions = s.cache_evictions;
     copies = s.copies;
     dropped = s.dropped;
     emergency = s.emergency;
@@ -253,6 +305,11 @@ let row_to_stats (r : Ckpt.epoch_row) : epoch_stats =
     resolves = r.resolves;
     solve_retries = r.solve_retries;
     solve_fallbacks = r.solve_fallbacks;
+    solve_skipped = r.solve_skipped;
+    dirty = r.dirty;
+    cache_hits = r.cache_hits;
+    cache_misses = r.cache_misses;
+    cache_evictions = r.cache_evictions;
     emergency = r.emergency;
     topo = r.topo_events;
     copies = r.copies;
@@ -292,6 +349,23 @@ type t = {
   mutable len : int;  (** requests buffered for the epoch in flight *)
   counts : int array;
   slot_of_x : int array;
+  (* frequency-tabulation scratch, k x n, allocated once; each resolve
+     boundary zeroes and refills only the rows of active objects, so
+     inactive rows may hold stale counts — never read, because only
+     active objects are solved *)
+  fr_scratch : int array array;
+  fw_scratch : int array array;
+  (* incremental re-solve state: the frequency vector each object last
+     solved against (valid only where [last_valid]), and the hash of
+     the metric it solved on *)
+  last_fr : int array array;
+  last_fw : int array array;
+  last_valid : bool array;
+  last_mhash : int64 array;
+  (* [Metric.hash64] is O(n^2); memoize it against the metric version *)
+  mutable mhash_memo : int * int64;
+  solve_cache : Dmn_core.Solve_cache.t option;
+  solver_fp : string;
   mutable seen : int;
   mutable fingerprint : int64;
   (* Topology items collected while ingesting wait here until the epoch
@@ -314,6 +388,10 @@ type t = {
   mutable t_resolves : int;
   mutable t_solve_retries : int;
   mutable t_solve_fallbacks : int;
+  mutable t_solve_skipped : int;
+  mutable t_cache_hits : int;
+  mutable t_cache_misses : int;
+  mutable t_cache_evictions : int;
   mutable t_emergency : int;
   mutable t_topo : int;
   (* a resumed engine must fast-forward its trace before stepping *)
@@ -351,6 +429,10 @@ let record t (s : epoch_stats) =
   Metrics.add ins.c_resolves s.resolves;
   Metrics.add ins.c_solve_retries s.solve_retries;
   Metrics.add ins.c_solve_fallbacks s.solve_fallbacks;
+  Metrics.add ins.c_solve_skipped s.solve_skipped;
+  Metrics.add ins.c_cache_hits s.cache_hits;
+  Metrics.add ins.c_cache_misses s.cache_misses;
+  Metrics.add ins.c_cache_evictions s.cache_evictions;
   Metrics.add ins.c_dropped s.dropped;
   Metrics.add ins.c_emergency s.emergency;
   Metrics.add ins.c_topo s.topo;
@@ -364,6 +446,11 @@ let record t (s : epoch_stats) =
   Metrics.set ins.g_resolves (float_of_int s.resolves);
   Metrics.set ins.g_solve_retries (float_of_int s.solve_retries);
   Metrics.set ins.g_solve_fallbacks (float_of_int s.solve_fallbacks);
+  Metrics.set ins.g_solve_skipped (float_of_int s.solve_skipped);
+  Metrics.set ins.g_dirty (float_of_int s.dirty);
+  Metrics.set ins.g_cache_hits (float_of_int s.cache_hits);
+  Metrics.set ins.g_cache_misses (float_of_int s.cache_misses);
+  Metrics.set ins.g_cache_evictions (float_of_int s.cache_evictions);
   Metrics.set ins.g_dropped (float_of_int s.dropped);
   Metrics.set ins.g_emergency (float_of_int s.emergency);
   Metrics.set ins.g_topo (float_of_int s.topo);
@@ -381,9 +468,20 @@ let record t (s : epoch_stats) =
   t.t_resolves <- t.t_resolves + s.resolves;
   t.t_solve_retries <- t.t_solve_retries + s.solve_retries;
   t.t_solve_fallbacks <- t.t_solve_fallbacks + s.solve_fallbacks;
+  t.t_solve_skipped <- t.t_solve_skipped + s.solve_skipped;
+  t.t_cache_hits <- t.t_cache_hits + s.cache_hits;
+  t.t_cache_misses <- t.t_cache_misses + s.cache_misses;
+  t.t_cache_evictions <- t.t_cache_evictions + s.cache_evictions;
   t.t_dropped <- t.t_dropped + s.dropped;
   t.t_emergency <- t.t_emergency + s.emergency;
   t.t_topo <- t.t_topo + s.topo
+
+let sparse_of_row row =
+  let acc = ref [] in
+  for v = Array.length row - 1 downto 0 do
+    if row.(v) > 0 then acc := (v, row.(v)) :: !acc
+  done;
+  !acc
 
 let write_checkpoint t (c : checkpointing) ~next_epoch =
   Metrics.incr t.ops_ckpts;
@@ -399,6 +497,7 @@ let write_checkpoint t (c : checkpointing) ~next_epoch =
       policy = policy_name t.config.policy;
       epoch_size = t.config.epoch;
       period = t.period;
+      dirty_eps = t.config.dirty_eps;
       next_epoch;
       events_consumed = t.seen;
       topo_consumed = t.topo_consumed;
@@ -407,6 +506,16 @@ let write_checkpoint t (c : checkpointing) ~next_epoch =
       nodes = t.n;
       objects = t.k;
       placements = Array.init t.k (fun x -> Sc.copies t.caches.(x));
+      resolve_state =
+        Array.init t.k (fun x ->
+            if not t.last_valid.(x) then Ckpt.no_obj_state
+            else
+              {
+                Ckpt.o_valid = true;
+                o_mhash = t.last_mhash.(x);
+                o_fr = sparse_of_row t.last_fr.(x);
+                o_fw = sparse_of_row t.last_fw.(x);
+              });
       epochs = List.rev_map stats_to_row t.epochs;
       hist =
         {
@@ -443,6 +552,19 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
     invalid_arg "Engine.run: negative backoff";
   (match config.solve_deadline_s with
   | Some d when not (d > 0.0) -> invalid_arg "Engine.run: solve deadline must be positive"
+  | _ -> ());
+  if config.dirty_eps < 0.0 || Float.is_nan config.dirty_eps then
+    invalid_arg "Engine.run: dirty_eps must be >= 0";
+  if config.solve_cache < 0 then invalid_arg "Engine.run: solve_cache must be >= 0";
+  (* Cached placements shortcut the supervised solve fan-out, so the
+     sequence of fault coins a resumed run draws would depend on cache
+     contents — which are not serialized. Refuse the combination rather
+     than silently break the resume-identity contract. *)
+  (match (config.solve_cache > 0, ckpt, resume) with
+  | true, Some _, _ | true, _, Some _ ->
+      Err.fail Err.Validation
+        "checkpoint/resume is not supported with the solve cache (cache contents are not \
+         serializable); disable --solve-cache or checkpointing"
   | _ -> ());
   (match ckpt with
   | Some c when c.every <= 0 -> invalid_arg "Engine.run: checkpoint interval must be positive"
@@ -532,6 +654,18 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
       len = 0;
       counts = Array.make k 0;
       slot_of_x = Array.make k (-1);
+      fr_scratch = Array.make_matrix k n 0;
+      fw_scratch = Array.make_matrix k n 0;
+      last_fr = Array.make_matrix k n 0;
+      last_fw = Array.make_matrix k n 0;
+      last_valid = Array.make k false;
+      last_mhash = Array.make k 0L;
+      mhash_memo = (-1, 0L);
+      solve_cache =
+        (if config.solve_cache > 0 then
+           Some (Dmn_core.Solve_cache.create ~capacity:config.solve_cache)
+         else None);
+      solver_fp = Dmn_core.Solve_cache.solver_fingerprint config.solver;
       seen = 0;
       fingerprint = Ckpt.fingerprint_init ~nodes:n ~objects:k;
       pending_topo = Queue.create ();
@@ -549,6 +683,10 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
       t_resolves = 0;
       t_solve_retries = 0;
       t_solve_fallbacks = 0;
+      t_solve_skipped = 0;
+      t_cache_hits = 0;
+      t_cache_misses = 0;
+      t_cache_evictions = 0;
       t_emergency = 0;
       t_topo = 0;
       pending_resume = resume;
@@ -570,6 +708,11 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
       if c.period <> period then
         Err.failf Err.Validation
           "resume: checkpoint storage period %d does not match the resolved %d" c.period period;
+      if c.dirty_eps <> config.dirty_eps then
+        Err.failf Err.Validation
+          "resume: checkpoint dirty-eps %g does not match the configured %g — a different \
+           threshold would re-solve a different object set than the run being continued"
+          c.dirty_eps config.dirty_eps;
       if c.nodes <> n || c.objects <> k then
         Err.failf Err.Validation
           "resume: checkpoint shape (%d nodes, %d objects) does not match the instance (%d \
@@ -587,6 +730,19 @@ let create ?pool ?(config = default_config) ?ckpt ?resume inst placement =
       for x = 0 to k - 1 do
         Sc.set_copies caches.(x) (P.copies pl ~x)
       done;
+      if Array.length c.resolve_state <> k then
+        Err.failf Err.Validation
+          "resume: checkpoint resolve state covers %d objects but the instance has %d"
+          (Array.length c.resolve_state) k;
+      Array.iteri
+        (fun x (o : Ckpt.obj_state) ->
+          if o.o_valid then begin
+            t.last_valid.(x) <- true;
+            t.last_mhash.(x) <- o.o_mhash;
+            List.iter (fun (v, cnt) -> t.last_fr.(x).(v) <- cnt) o.o_fr;
+            List.iter (fun (v, cnt) -> t.last_fw.(x).(v) <- cnt) o.o_fw
+          end)
+        c.resolve_state;
       let lo, base, nbuckets = Metrics.hist_params ins.h_cost in
       if c.hist.h_lo <> lo || c.hist.h_base <> base || c.hist.h_buckets <> nbuckets then
         Err.failf Err.Validation
@@ -883,18 +1039,73 @@ let apply_pending t index =
                     f.error.Err.msg
               | Ok (v, d) ->
                   Sc.set_copies t.caches.(needy.(s)) [ v ];
+                  (* the placement changed outside the solver: treat the
+                     object like a newborn so the next resolve boundary
+                     is forced to re-solve it whatever its drift score *)
+                  t.last_valid.(needy.(s)) <- false;
                   charge := !charge +. d)
             outcomes;
           (!applied, nn, !charge)
         end
 
-(* Serve the epoch in flight: apply pending topology, shard the
+(* Outcome of the dirty classification for one active object of a
+   resolve boundary. *)
+type obj_plan =
+  | Plan_skip  (* clean: carry the previous placement without solving *)
+  | Plan_hit of int list  (* solve-cache hit: apply the cached copy set *)
+  | Plan_solve of int  (* re-solve: index into the pending solve list *)
+
+(* One closed epoch between [step_begin] and [step_commit].
+   [step_begin] does everything deterministic and state-mutating —
+   topology, serving, rent, frequency tabulation, dirty classification,
+   cache lookups — and resets the ingest buffer, so a driver may batch
+   (and journal) the next epoch while [solve_pending] runs the
+   supervised fan-out on a spare domain: the fan-out touches only this
+   record, the pool, and the epoch instance built for it.
+   [step_commit] applies the solutions in object order behind the
+   barrier, so placements, metrics, checkpoints and crash points land
+   exactly where the unpipelined engine puts them. *)
+type pending = {
+  p_index : int;
+  p_m : int;
+  p_applied : int;
+  p_emergency : int;
+  p_emg_migration : float;
+  p_active : int array;
+  p_reads : int;
+  p_dropped : int;
+  p_serving : float;
+  p_storage : float;
+  p_p50 : float;
+  p_p95 : float;
+  p_p99 : float;
+  p_plan : obj_plan array;  (* per active slot; [||] for non-resolve *)
+  p_dirty : int;
+  p_skipped : int;
+  p_hits : int;
+  p_misses : int;
+  p_solve_list : int array;  (* object ids to re-solve, ascending *)
+  p_solve_keys : string option array;  (* cache key per solve-list slot *)
+  p_einst : I.t option;  (* built only when the solve list is non-empty *)
+  p_place_metric : Metric.t;
+  p_churned : bool;
+  p_mhash : int64;
+  mutable p_solved : (int list, Pool.failure) Stdlib.result array;
+  mutable p_solve_retries : int;
+  mutable p_solve_s : float;
+  mutable p_solved_done : bool;
+}
+
+(* Close the epoch in flight: apply pending topology, shard the
    buffered requests by object over the pool, merge sequentially,
-   charge rent, optionally re-solve, record, checkpoint if due. A call
+   charge rent, tabulate frequencies and classify each active object
+   as clean (carry), cache hit (apply) or dirty (re-solve). A call
    with no buffered requests but pending topology folds the network
    change straight into the run totals (there is no epoch to attribute
-   it to). *)
-let step_boundary t =
+   it to). The supervised re-solve itself is deferred to
+   {!solve_pending}/{!step_commit}. *)
+let step_begin t items =
+  List.iter (ingest t) items;
   if t.pending_resume <> None then
     Err.fail Err.Validation
       "Engine.step: this engine was created with ~resume; call fast_forward on the trace \
@@ -902,6 +1113,38 @@ let step_boundary t =
   let index = t.next_index in
   let m = t.len in
   let applied, emergency, emg_migration = apply_pending t index in
+  let base =
+    {
+      p_index = index;
+      p_m = m;
+      p_applied = applied;
+      p_emergency = emergency;
+      p_emg_migration = emg_migration;
+      p_active = [||];
+      p_reads = 0;
+      p_dropped = 0;
+      p_serving = 0.0;
+      p_storage = 0.0;
+      p_p50 = 0.0;
+      p_p95 = 0.0;
+      p_p99 = 0.0;
+      p_plan = [||];
+      p_dirty = 0;
+      p_skipped = 0;
+      p_hits = 0;
+      p_misses = 0;
+      p_solve_list = [||];
+      p_solve_keys = [||];
+      p_einst = None;
+      p_place_metric = t.metric;
+      p_churned = false;
+      p_mhash = 0L;
+      p_solved = [||];
+      p_solve_retries = 0;
+      p_solve_s = 0.0;
+      p_solved_done = false;
+    }
+  in
   if m = 0 then begin
     (* topology events with no requests in the batch: the network
        change (and any emergency replication it forced) is real, but
@@ -913,7 +1156,8 @@ let step_boundary t =
       t.t_topo <- t.t_topo + applied;
       t.t_emergency <- t.t_emergency + emergency;
       t.t_migration <- t.t_migration +. emg_migration
-    end
+    end;
+    base
   end
   else begin
     let buffer = t.buffer and counts = t.counts and slot_of_x = t.slot_of_x in
@@ -1007,7 +1251,6 @@ let step_boundary t =
         end
       done
     done;
-    let writes = m - !reads in
     (* rent on the copy sets held after serving, pro-rated by the
        epoch's share of the storage period *)
     let frac = float_of_int m /. float_of_int t.period in
@@ -1015,17 +1258,36 @@ let step_boundary t =
     for x = 0 to k - 1 do
       List.iter (fun c -> storage := !storage +. (I.cs t.inst c *. frac)) (current_copies t x)
     done;
-    (* epoch re-optimization: re-solve every object that saw traffic
-       on the observed frequencies. Re-solves run under the same
-       supervisor at the "engine.resolve" fault point (salted by
-       (epoch, object), so outcomes are independent of scheduling and
-       survive resume); an object whose re-solve still fails — crash,
-       injected fault, or deadline — keeps its previous copy set
-       instead of aborting the run. *)
-    let migration = ref 0.0
-    and resolves = ref 0
-    and solve_retries = ref 0
-    and solve_fallbacks = ref 0 in
+    (* percentiles over served requests only; an epoch whose every
+       request was dropped has no cost sample at all *)
+    let served = if !pos = m then epoch_costs else Array.sub epoch_costs 0 !pos in
+    let p50 = if !pos = 0 then 0.0 else Stats.percentile served 50.0 in
+    let p95 = if !pos = 0 then 0.0 else Stats.percentile served 95.0 in
+    let p99 = if !pos = 0 then 0.0 else Stats.percentile served 99.0 in
+    (* epoch re-optimization, phase 1: tabulate the observed
+       frequencies and classify every active object. An object is
+       dirty — re-solved on this epoch's demand — when the threshold
+       is zero (full re-solve, the byte-compatible default), when it
+       has no valid solve history (birth, or an emergency
+       re-replication rewrote its placement outside the solver), when
+       the network changed under it (metric hash), or when the
+       normalized L1 drift of its frequency vector since the last
+       solve exceeds [dirty_eps]. Clean objects carry their placement;
+       their reference vector is left alone so drift keeps
+       accumulating across skipped epochs. The classification reads
+       only the trace and prior solves, so the dirty set is identical
+       at any domain count. *)
+    let plan = ref [||]
+    and dirty = ref 0
+    and skipped = ref 0
+    and hits = ref 0
+    and misses = ref 0
+    and solve_list = ref [||]
+    and solve_keys = ref [||]
+    and einst = ref None
+    and place_metric_out = ref t.metric
+    and churned_out = ref false
+    and mh_out = ref 0L in
     (match t.config.policy with
     | Static | Cache -> ()
     | Resolve ->
@@ -1038,7 +1300,14 @@ let step_boundary t =
            below reduces to exactly the pristine path. *)
         let churned = match t.churn with Some ch -> Churn.churned ch | None -> false in
         let is_dead v = match t.churn with Some ch -> not (Churn.alive ch v) | None -> false in
-        let fr = Array.make_matrix k t.n 0 and fw = Array.make_matrix k t.n 0 in
+        let fr = t.fr_scratch and fw = t.fw_scratch in
+        (* persistent scratch: zero and refill only the active rows —
+           stale rows of inactive objects are never read because only
+           active objects are scored or solved *)
+        for s = 0 to na - 1 do
+          Array.fill fr.(active.(s)) 0 t.n 0;
+          Array.fill fw.(active.(s)) 0 t.n 0
+        done;
         for i = 0 to m - 1 do
           let { Stream.node; x; kind } = buffer.(i) in
           if not (churned && is_dead node) then
@@ -1063,84 +1332,244 @@ let step_boundary t =
               else cm
           | _ -> t.metric
         in
-        let scaled_cs =
-          Array.init t.n (fun v ->
-              if churned && is_dead v then infinity else I.cs t.inst v *. frac)
+        (* the un-clamped live metric identifies the network for dirty
+           forcing and cache keys; resume paths validate its hash, so
+           hash (not the version counter) is the durable identity *)
+        let live = match t.churn with Some ch -> Churn.metric ch | None -> t.metric in
+        let mh =
+          let v = Metric.version live in
+          let mv, mhm = t.mhash_memo in
+          if mv = v then mhm
+          else begin
+            let h = Metric.hash64 live in
+            t.mhash_memo <- (v, h);
+            h
+          end
         in
-        let einst = I.of_metric place_metric ~cs:scaled_cs ~fr ~fw in
-        let solve_supervision =
-          {
-            Pool.attempts = t.config.attempts;
-            deadline_s = t.config.solve_deadline_s;
-            backoff_s = t.config.backoff_s;
-            point = "engine.resolve";
-            salt = (fun s -> (index * 1_000_003) + active.(s));
-          }
-        in
-        let solved, retries =
-          Pool.supervised_init t.pool ~supervision:solve_supervision na (fun s ->
-              A.place_object ~config:t.config.solver einst ~x:active.(s))
-        in
-        solve_retries := retries;
+        let eps = t.config.dirty_eps in
+        let pl = Array.make na Plan_skip in
+        let sl = ref [] and sk = ref [] and nsolve = ref 0 in
         for s = 0 to na - 1 do
           let x = active.(s) in
-          match solved.(s) with
-          | Error _ ->
-              (* graceful degradation: keep the previous epoch's
-                 placement for this object *)
-              incr solve_fallbacks
-          | Ok cps -> (
-              (* defense in depth: infinite storage cost should already
-                 keep the solver off dead nodes, but a placement that
-                 slipped one through must not survive — and if every
-                 copy landed on a dead node, keep the previous set *)
-              let cps = if churned then List.filter (fun c -> not (is_dead c)) cps else cps in
-              match cps with
-              | [] -> incr solve_fallbacks
-              | cps ->
-                  incr resolves;
-                  let tb = t.caches.(x) in
-                  let old = Sc.copies_array tb in
-                  List.iter
-                    (fun c ->
-                      if not (Sc.mem tb c) then
-                        let d =
-                          Array.fold_left
-                            (fun acc o -> Float.min acc (Metric.d place_metric c o))
-                            infinity old
-                        in
-                        migration := !migration +. d)
-                    cps;
-                  Sc.set_copies tb cps)
-        done);
+          let is_dirty =
+            eps <= 0.0
+            || (not t.last_valid.(x))
+            || t.last_mhash.(x) <> mh
+            ||
+            let num = ref 0 and cur = ref 0 and last = ref 0 in
+            let frx = fr.(x) and fwx = fw.(x) in
+            let lfr = t.last_fr.(x) and lfw = t.last_fw.(x) in
+            for v = 0 to t.n - 1 do
+              num := !num + abs (frx.(v) - lfr.(v)) + abs (fwx.(v) - lfw.(v));
+              cur := !cur + frx.(v) + fwx.(v);
+              last := !last + lfr.(v) + lfw.(v)
+            done;
+            float_of_int !num /. float_of_int (max 1 (!cur + !last)) > eps
+          in
+          if not is_dirty then incr skipped
+          else begin
+            incr dirty;
+            match t.solve_cache with
+            | None ->
+                pl.(s) <- Plan_solve !nsolve;
+                sl := x :: !sl;
+                sk := None :: !sk;
+                incr nsolve
+            | Some cache -> (
+                let key =
+                  Dmn_core.Solve_cache.key ~mhash:mh ~solver:t.solver_fp ~epoch_events:m
+                    ~period:t.period ~fr:fr.(x) ~fw:fw.(x)
+                in
+                match Dmn_core.Solve_cache.find cache key with
+                | Some cps ->
+                    incr hits;
+                    pl.(s) <- Plan_hit cps
+                | None ->
+                    incr misses;
+                    pl.(s) <- Plan_solve !nsolve;
+                    sl := x :: !sl;
+                    sk := Some key :: !sk;
+                    incr nsolve)
+          end
+        done;
+        let sl = Array.of_list (List.rev !sl) in
+        let skeys = Array.of_list (List.rev !sk) in
+        (* a boundary with nothing to solve skips the epoch-instance
+           build (and its Profile_cache) entirely *)
+        if Array.length sl > 0 then begin
+          let scaled_cs =
+            Array.init t.n (fun v ->
+                if churned && is_dead v then infinity else I.cs t.inst v *. frac)
+          in
+          einst := Some (I.of_metric place_metric ~cs:scaled_cs ~fr ~fw)
+        end;
+        plan := pl;
+        solve_list := sl;
+        solve_keys := skeys;
+        place_metric_out := place_metric;
+        churned_out := churned;
+        mh_out := mh);
+    (* the buffer's epoch is fully extracted: free it for the next
+       epoch's ingest so a pipelined driver can batch ahead *)
+    t.len <- 0;
+    {
+      base with
+      p_active = active;
+      p_reads = !reads;
+      p_dropped = !dropped;
+      p_serving = !serving;
+      p_storage = !storage;
+      p_p50 = p50;
+      p_p95 = p95;
+      p_p99 = p99;
+      p_plan = !plan;
+      p_dirty = !dirty;
+      p_skipped = !skipped;
+      p_hits = !hits;
+      p_misses = !misses;
+      p_solve_list = !solve_list;
+      p_solve_keys = !solve_keys;
+      p_einst = !einst;
+      p_place_metric = !place_metric_out;
+      p_churned = !churned_out;
+      p_mhash = !mh_out;
+    }
+  end
+
+(* Epoch re-optimization, phase 2: the supervised solve fan-out over
+   the dirty misses. Re-solves run at the "engine.resolve" fault point
+   salted by (epoch, object), so outcomes are independent of both
+   scheduling and the dirty filtering that selected them, and survive
+   resume. Safe to call from a spawned domain while the driver batches
+   the next epoch: it touches only [p], the pool, and the immutable
+   epoch instance. Idempotent — [step_commit] calls it again
+   harmlessly. *)
+let solve_pending t p =
+  if not p.p_solved_done then begin
+    let nl = Array.length p.p_solve_list in
+    (if nl > 0 then
+       match p.p_einst with
+       | None -> Err.fail Err.Internal "Engine.solve_pending: missing epoch instance"
+       | Some einst ->
+           let solve_supervision =
+             {
+               Pool.attempts = t.config.attempts;
+               deadline_s = t.config.solve_deadline_s;
+               backoff_s = t.config.backoff_s;
+               point = "engine.resolve";
+               salt = (fun s -> (p.p_index * 1_000_003) + p.p_solve_list.(s));
+             }
+           in
+           let t0 = Unix.gettimeofday () in
+           let solved, retries =
+             Pool.supervised_init t.pool ~supervision:solve_supervision nl (fun s ->
+                 A.place_object ~config:t.config.solver einst ~x:p.p_solve_list.(s))
+           in
+           p.p_solve_s <- Unix.gettimeofday () -. t0;
+           p.p_solved <- solved;
+           p.p_solve_retries <- retries);
+    p.p_solved_done <- true
+  end
+
+(* Epoch re-optimization, phase 3: apply solutions in object order —
+   clean objects carry, cache hits and fresh solves install their copy
+   sets (refusing dead nodes), failures fall back to the previous
+   placement — then record the epoch and checkpoint if due. Behind a
+   pipelining barrier this runs at the same epoch boundary as the
+   unpipelined engine, so every downstream artifact is byte-identical. *)
+let step_commit t p =
+  solve_pending t p;
+  let index = p.p_index and m = p.p_m in
+  if m > 0 then begin
+    let active = p.p_active in
+    let na = Array.length active in
+    let migration = ref 0.0 and resolves = ref 0 and solve_fallbacks = ref 0 in
+    let evictions0 =
+      match t.solve_cache with
+      | Some c -> (Dmn_core.Solve_cache.stats c).evictions
+      | None -> 0
+    in
+    let is_dead v = match t.churn with Some ch -> not (Churn.alive ch v) | None -> false in
+    (* install one solution: filter dead nodes (defense in depth — the
+       infinite storage cost should already keep the solver off them,
+       and cache keys change with the metric hash), charge migration
+       from the nearest old copy, update the object's solve history,
+       and memoize a fresh solve *)
+    let apply_solution x ~key cps =
+      let cps = if p.p_churned then List.filter (fun c -> not (is_dead c)) cps else cps in
+      match cps with
+      | [] -> incr solve_fallbacks
+      | cps ->
+          incr resolves;
+          let tb = t.caches.(x) in
+          let old = Sc.copies_array tb in
+          List.iter
+            (fun c ->
+              if not (Sc.mem tb c) then
+                let d =
+                  Array.fold_left
+                    (fun acc o -> Float.min acc (Metric.d p.p_place_metric c o))
+                    infinity old
+                in
+                migration := !migration +. d)
+            cps;
+          Sc.set_copies tb cps;
+          Array.blit t.fr_scratch.(x) 0 t.last_fr.(x) 0 t.n;
+          Array.blit t.fw_scratch.(x) 0 t.last_fw.(x) 0 t.n;
+          t.last_valid.(x) <- true;
+          t.last_mhash.(x) <- p.p_mhash;
+          (match (t.solve_cache, key) with
+          | Some cache, Some k -> Dmn_core.Solve_cache.add cache k cps
+          | _ -> ())
+    in
+    if Array.length p.p_plan > 0 then
+      for s = 0 to na - 1 do
+        let x = active.(s) in
+        match p.p_plan.(s) with
+        | Plan_skip -> ()
+        | Plan_hit cps -> apply_solution x ~key:None cps
+        | Plan_solve j -> (
+            match p.p_solved.(j) with
+            | Error _ ->
+                (* graceful degradation: keep the previous epoch's
+                   placement for this object *)
+                incr solve_fallbacks
+            | Ok cps -> apply_solution x ~key:p.p_solve_keys.(j) cps)
+      done;
+    let cache_evictions =
+      match t.solve_cache with
+      | Some c -> (Dmn_core.Solve_cache.stats c).evictions - evictions0
+      | None -> 0
+    in
+    (match t.config.policy with
+    | Resolve -> Metrics.observe t.ins.h_solve p.p_solve_s
+    | Static | Cache -> ());
     let copies_now = total_copies t in
-    (* percentiles over served requests only; an epoch whose every
-       request was dropped has no cost sample at all *)
-    let served = if !pos = m then epoch_costs else Array.sub epoch_costs 0 !pos in
-    let p50 = if !pos = 0 then 0.0 else Stats.percentile served 50.0 in
-    let p95 = if !pos = 0 then 0.0 else Stats.percentile served 95.0 in
-    let p99 = if !pos = 0 then 0.0 else Stats.percentile served 99.0 in
     record t
       {
         index;
         events = m;
-        reads = !reads;
-        writes;
-        dropped = !dropped;
-        serving = !serving;
-        storage = !storage;
-        migration = !migration +. emg_migration;
+        reads = p.p_reads;
+        writes = m - p.p_reads;
+        dropped = p.p_dropped;
+        serving = p.p_serving;
+        storage = p.p_storage;
+        migration = !migration +. p.p_emg_migration;
         resolves = !resolves;
-        solve_retries = !solve_retries;
+        solve_retries = p.p_solve_retries;
         solve_fallbacks = !solve_fallbacks;
-        emergency;
-        topo = applied;
+        solve_skipped = p.p_skipped;
+        dirty = p.p_dirty;
+        cache_hits = p.p_hits;
+        cache_misses = p.p_misses;
+        cache_evictions;
+        emergency = p.p_emergency;
+        topo = p.p_applied;
         copies = copies_now;
-        p50;
-        p95;
-        p99;
+        p50 = p.p_p50;
+        p95 = p.p_p95;
+        p99 = p.p_p99;
       };
-    t.len <- 0;
     t.next_index <- index + 1;
     (match t.ckpt with
     | Some c when (index + 1) mod c.every = 0 -> write_checkpoint t c ~next_epoch:(index + 1)
@@ -1153,9 +1582,12 @@ let step_boundary t =
     | _ -> ()
   end
 
+let pending_solves p = Array.length p.p_solve_list
+
 let step t items =
-  List.iter (ingest t) items;
-  step_boundary t
+  let p = step_begin t items in
+  solve_pending t p;
+  step_commit t p
 
 let epochs_done t = t.next_index
 let events_consumed t = t.seen
@@ -1181,6 +1613,10 @@ let finish t : result =
         resolves = t.t_resolves;
         solve_retries = t.t_solve_retries;
         solve_fallbacks = t.t_solve_fallbacks;
+        solve_skipped = t.t_solve_skipped;
+        cache_hits = t.t_cache_hits;
+        cache_misses = t.t_cache_misses;
+        cache_evictions = t.t_cache_evictions;
         emergency = t.t_emergency;
         topo = t.t_topo;
         final_copies = total_copies t;
@@ -1249,7 +1685,7 @@ let run_trace ?pool ?config ?ckpt ?resume ?tolerate_truncation inst placement pa
 let metrics_json inst r =
   let buf = Buffer.create 4096 in
   let fl = Metrics.json_float in
-  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":3";
+  Buffer.add_string buf "{\"dmnet\":\"replay-metrics\",\"version\":4";
   Buffer.add_string buf (Printf.sprintf ",\"policy\":%S" (policy_name r.policy));
   Buffer.add_string buf (Printf.sprintf ",\"epoch_size\":%d" r.epoch_size);
   Buffer.add_string buf (Printf.sprintf ",\"storage_period\":%d" r.period);
@@ -1266,9 +1702,10 @@ let metrics_json inst r =
   let t = r.totals in
   Buffer.add_string buf
     (Printf.sprintf
-       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"dropped\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"solve_retries\":%d,\"solve_fallbacks\":%d,\"emergency\":%d,\"topo\":%d,\"final_copies\":%d,\"total_cost\":%s}"
+       ",\"totals\":{\"events\":%d,\"reads\":%d,\"writes\":%d,\"dropped\":%d,\"serving\":%s,\"storage\":%s,\"migration\":%s,\"resolves\":%d,\"solve_retries\":%d,\"solve_fallbacks\":%d,\"solve_skipped\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"cache_evictions\":%d,\"emergency\":%d,\"topo\":%d,\"final_copies\":%d,\"total_cost\":%s}"
        t.events t.reads t.writes t.dropped (fl t.serving) (fl t.storage) (fl t.migration)
-       t.resolves t.solve_retries t.solve_fallbacks t.emergency t.topo t.final_copies
+       t.resolves t.solve_retries t.solve_fallbacks t.solve_skipped t.cache_hits
+       t.cache_misses t.cache_evictions t.emergency t.topo t.final_copies
        (fl (total_cost t)));
   (match List.assoc_opt "request_cost" r.final with
   | Some (Metrics.Hist _ as h) ->

@@ -110,10 +110,35 @@ type config = {
           version ({!Dmn_dynamic.Serve_cache}); [false] recomputes
           every query — the benchmark baseline. Either way the costs,
           states and metrics are bit-identical. *)
+  dirty_eps : float;
+      (** incremental re-solve threshold for the [Resolve] policy
+          (>= 0). At each boundary an active object's change score is
+          the normalized L1 distance between the epoch's frequency
+          vector and the one it last solved against —
+          [Σ|Δfr| + |Δfw| / max 1 (cur + last)], in [0, 1] — and only
+          objects with score > [dirty_eps] are re-solved; the rest
+          carry their placement ([solve_skipped]). Objects are forced
+          dirty on their first active epoch, after an emergency
+          re-replication, and when the network's
+          {!Dmn_paths.Metric.hash64} changed since their last solve.
+          [0.0] (the default) re-solves every active object — {e
+          byte-identical} to the pre-incremental engine. The dirty set
+          is a pure function of the trace: identical at any domain
+          count and across kill-and-resume. *)
+  solve_cache : int;
+      (** capacity of the per-object solve cache ([Resolve] policy): a
+          bounded LRU ({!Dmn_core.Solve_cache}) memoizing placements
+          keyed by (metric hash, solver fingerprint, epoch geometry,
+          log-quantized frequency vector), so recurring demand regimes
+          skip the solver. [0] (the default) disables it.
+          Deterministic at any domain count, but {e not} compatible
+          with checkpoint/resume (cache contents are not serialized):
+          the combination is refused with a [Validation] error. *)
 }
 
 (** [Resolve], epoch 1000, default solver and cache thresholds, 3
-    supervised attempts, no deadline, no backoff. *)
+    supervised attempts, no deadline, no backoff, full re-solve
+    ([dirty_eps = 0]), solve cache off. *)
 val default_config : config
 
 (** Periodic checkpointing: write the engine state into the generation
@@ -128,9 +153,10 @@ type checkpointing = { dir : string; every : int; keep : int }
     (after any re-solve). [solve_retries] counts supervised re-solve
     retries, [solve_fallbacks] the objects that kept their previous
     placement after all attempts failed; [resolves] counts only
-    {e successful} re-solves, so [resolves + solve_fallbacks] is the
-    epoch's active-object count under the [Resolve] policy. Percentiles
-    are over the epoch's per-request serving costs
+    {e successful} re-solves (cache hits included), so
+    [resolves + solve_fallbacks + solve_skipped] is the epoch's
+    active-object count under the [Resolve] policy. Percentiles are
+    over the epoch's per-request serving costs
     ({!Dmn_prelude.Stats.percentile}). *)
 type epoch_stats = {
   index : int;  (** 0-based epoch number *)
@@ -146,6 +172,16 @@ type epoch_stats = {
   resolves : int;  (** objects successfully re-solved at this boundary *)
   solve_retries : int;
   solve_fallbacks : int;
+  solve_skipped : int;
+      (** active objects carried without re-solving (change score within
+          [dirty_eps]); [resolves + solve_fallbacks + solve_skipped] is
+          the epoch's active-object count under [Resolve] *)
+  dirty : int;
+      (** objects classified dirty at this boundary
+          ([= resolves + solve_fallbacks]) *)
+  cache_hits : int;  (** dirty objects satisfied from the solve cache *)
+  cache_misses : int;
+  cache_evictions : int;
   emergency : int;  (** objects emergency-re-replicated at this boundary *)
   topo : int;  (** topology events applied at the start of this epoch *)
   copies : int;
@@ -165,6 +201,10 @@ type totals = {
   resolves : int;
   solve_retries : int;
   solve_fallbacks : int;
+  solve_skipped : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
   emergency : int;
   topo : int;
       (** applied topology events, including any trailing ones consumed
@@ -328,6 +368,60 @@ val fast_forward_from :
     @raise Dmn_prelude.Err.Error (kind [Validation]) when the engine
     was created with [?resume] but {!fast_forward} has not run. *)
 val step : t -> Dmn_dynamic.Stream.item list -> unit
+
+(** {2 Split-phase stepping}
+
+    [step] in three phases, for drivers that overlap the re-solve of a
+    closed epoch with batching the next one (the serving daemon's
+    [--pipeline] mode):
+
+    {[
+      let p = Engine.step_begin t items in   (* close the epoch       *)
+      (* ... spare domain: Engine.solve_pending t p ... *)
+      (* ... driver keeps batching/journaling the next epoch ... *)
+      Engine.step_commit t p                 (* barrier: apply, record *)
+    ]}
+
+    [step t items] is exactly that sequence run inline, so the split
+    changes {e when} the solve computes, never {e what} it computes:
+    placements, metrics, checkpoints and crash points are
+    byte-identical either way. *)
+
+(** A closed epoch whose re-solve has not yet been applied. *)
+type pending
+
+(** [step_begin t items] ingests [items] and closes the epoch: pending
+    topology applied, serving sharded over the pool and merged, rent
+    charged, frequencies tabulated, each active object classified as
+    clean / cache hit / dirty (see [config.dirty_eps]) — everything
+    except the supervised solve fan-out and its application. The ingest
+    buffer is reset, so the caller may batch (and journal) the next
+    epoch's items immediately. The engine must not be stepped again
+    until the returned epoch is committed. Raises as {!step}. *)
+val step_begin : t -> Dmn_dynamic.Stream.item list -> pending
+
+(** [solve_pending t p] runs the supervised re-solve of [p]'s dirty
+    misses on the pool. Touches only [p], the pool, and the immutable
+    epoch instance built by {!step_begin}, so it may run from a spawned
+    domain while the driving thread batches the next epoch — but the
+    pool must not be driven by anything else meanwhile (the engine's
+    serving fan-out included). Idempotent; a no-op when [p] has nothing
+    to solve or was already solved. *)
+val solve_pending : t -> pending -> unit
+
+(** [pending_solves p] is the number of objects {!solve_pending} will
+    (or did) run the solver on — 0 means the epoch has nothing to
+    overlap and can be committed inline. *)
+val pending_solves : pending -> int
+
+(** [step_commit t p] applies the epoch's solutions in object order —
+    carries, cache hits, fresh solves, fallbacks — then records the
+    epoch's metrics, writes a due checkpoint, and honors the
+    [DMNET_CRASH_AFTER_EPOCH] kill point. Calls {!solve_pending}
+    itself if the caller has not (so [step_begin |> step_commit] is a
+    correct, unpipelined sequence). Must run on the driving thread,
+    after any domain running {!solve_pending} has been joined. *)
+val step_commit : t -> pending -> unit
 
 (** [checkpoint_now t] writes a checkpoint at the current epoch
     boundary (a no-op without [?ckpt]). Sound only between {!step}

@@ -60,7 +60,10 @@ let sample_checkpoint ~events_consumed ~next_epoch =
             solve_fallbacks = 0; copies = 3; dropped = 0; emergency = 0; topo_events = 0;
             serving = 12.5; storage = 3.25; migration = 0.5;
             p50 = 1.0; p95 = 2.0; p99 = 4.0;
+            solve_skipped = 0; dirty = 1; cache_hits = 0; cache_misses = 0; cache_evictions = 0;
           });
+    dirty_eps = 0.0;
+    resolve_state = [| Ck.no_obj_state; Ck.no_obj_state |];
     hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets = 8; h_sum = 0.0; h_counts = [] };
     topo = Ck.no_topo;
     checkpoints_written = next_epoch; serve_retries = 0;

@@ -408,6 +408,10 @@ let engine_resume_rejects_mismatches () =
   (* epoch-size mismatch *)
   expect_validation "epoch size mismatch" (fun () ->
       En.run_trace ~config:{ config with En.epoch = 99 } ~resume:c inst placement trace_path);
+  (* dirty-eps mismatch: the filter threshold is part of the run
+     geometry (it shapes every epoch's dirty set) *)
+  expect_validation "dirty-eps mismatch" (fun () ->
+      En.run_trace ~config:{ config with En.dirty_eps = 0.5 } ~resume:c inst placement trace_path);
   (* a different trace: same shape, different events *)
   (let other = St.stationary (Rng.create 62) inst ~length:400 in
    with_tmp "other.trace" @@ fun other_path ->
@@ -470,6 +474,215 @@ let engine_degrades_when_resolve_fails () =
     (fun d ->
       if at d <> j1 then Alcotest.failf "degraded run diverged at %d domains" d)
     [ 2; 4 ]
+
+(* ---------- incremental re-solve: dirty filtering ---------- *)
+
+(* --dirty-eps 0 {e is} the full-resolve path: nothing is ever skipped,
+   and the output stays a pure function of the trace — identical at
+   every domain count even under topology churn and injected solver
+   faults (the supervisor retries draw order-independent coins). *)
+let qcheck_dirty_eps_zero_identity =
+  QCheck.Test.make ~name:"dirty-eps 0: byte-identical across domains under churn+faults"
+    ~count:5
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1000))
+    (fun seed ->
+      let inst = small_instance ~objects:3 (100 + seed) in
+      let placement = A.solve inst in
+      let items () =
+        Dmn_workload.Adversary.failure_repair (Rng.create (seed + 1)) inst ~phases:3
+          ~phase_length:200 ~write_fraction:0.2
+      in
+      let config =
+        { En.default_config with En.policy = En.Resolve; En.epoch = 150; En.dirty_eps = 0.0 }
+      in
+      let run domains =
+        Fault.configure ~seed:(seed + 7) ~rate:0.3 ~points:[ "engine.resolve" ] ();
+        Fun.protect ~finally:Fault.disable (fun () ->
+            Pool.with_pool ~domains (fun pool ->
+                let r = En.run_items ~pool ~config inst placement (items ()) in
+                (En.metrics_json inst r, r.En.totals.En.solve_skipped)))
+      in
+      let j1, sk1 = run 1 in
+      if sk1 <> 0 then QCheck.Test.fail_reportf "eps 0 skipped %d objects" sk1;
+      List.for_all (fun d -> run d = (j1, 0)) [ 2; 4 ])
+
+let engine_dirty_filter_deterministic_and_skips () =
+  let inst = small_instance ~objects:4 22 in
+  let placement = A.solve inst in
+  let stream () =
+    St.drifting_seq (Rng.create 5) inst ~phases:4 ~phase_length:600 ~write_fraction:0.2
+  in
+  let config =
+    { En.default_config with En.policy = En.Resolve; En.epoch = 200; En.dirty_eps = 0.3 }
+  in
+  let run domains =
+    Pool.with_pool ~domains (fun pool ->
+        En.run ~pool ~config inst placement (stream ()))
+  in
+  let r1 = run 1 in
+  let j1 = En.metrics_json inst r1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "dirty filtering at %d domains == 1 domain" d)
+        j1
+        (En.metrics_json inst (run d)))
+    [ 2; 4 ];
+  (* a long dwell inside each phase means most epochs have little drift:
+     the filter must actually skip work *)
+  Alcotest.(check bool) "some epochs skip re-solves" true (r1.En.totals.En.solve_skipped > 0);
+  (* per-epoch accounting: every dirty object either re-solved or fell
+     back, and dirty + skipped covers every counted outcome *)
+  List.iter
+    (fun (e : En.epoch_stats) ->
+      Alcotest.(check int) "dirty = resolves + fallbacks" e.En.dirty
+        (e.En.resolves + e.En.solve_fallbacks);
+      Alcotest.(check int) "no cache traffic with the cache off" 0
+        (e.En.cache_hits + e.En.cache_misses + e.En.cache_evictions))
+    r1.En.epochs;
+  (* the filter only skips stable objects: the re-solve policy must
+     still track the drift better than never replanning at all *)
+  let static =
+    En.run
+      ~config:{ config with En.policy = En.Static }
+      inst placement (stream ())
+  in
+  Util.check_leq "incremental resolve still beats static on drift"
+    (En.total_cost r1.En.totals)
+    (En.total_cost static.En.totals)
+
+(* ---------- the per-object solve cache ---------- *)
+
+let qcheck_cache_key_stable =
+  let module C = Dmn_core.Solve_cache in
+  QCheck.Test.make ~name:"solve-cache key: quantization monotone, zero-preserving, stable"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b)
+       QCheck.Gen.(pair (int_range 0 50_000) (int_range 0 50_000)))
+    (fun (a, b) ->
+      let qa = C.quantize a and qb = C.quantize b in
+      (* two vectors agreeing bucket-by-bucket produce the same key;
+         differing buckets produce different keys *)
+      let key fr fw = C.key ~mhash:42L ~solver:"fp" ~epoch_events:100 ~period:400 ~fr ~fw in
+      let k1 = key [| a; 0 |] [| 0; b |] and k2 = key [| a; 0 |] [| 0; b |] in
+      (* monotone and zero-preserving *)
+      (if a <= b then qa <= qb else qb <= qa)
+      && (qa = 0) = (a = 0)
+      && C.quantize a = qa (* deterministic *)
+      && k1 = k2
+      && (key [| b; 0 |] [| 0; a |] = k1) = (qa = qb))
+
+let solve_cache_lru_behaviour () =
+  let module C = Dmn_core.Solve_cache in
+  let c = C.create ~capacity:2 in
+  (match C.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  Alcotest.(check (option (list int))) "miss on empty" None (C.find c "k1");
+  C.add c "k1" [ 1 ];
+  C.add c "k2" [ 2 ];
+  Alcotest.(check (option (list int))) "hit k1" (Some [ 1 ]) (C.find c "k1");
+  (* k2 is now least recently used; adding k3 evicts it *)
+  C.add c "k3" [ 3 ];
+  Alcotest.(check (option (list int))) "k2 evicted" None (C.find c "k2");
+  Alcotest.(check (option (list int))) "k1 survives" (Some [ 1 ]) (C.find c "k1");
+  Alcotest.(check (option (list int))) "k3 cached" (Some [ 3 ]) (C.find c "k3");
+  Alcotest.(check int) "length bounded" 2 (C.length c);
+  let s = C.stats c in
+  Alcotest.(check int) "hits" 3 s.C.hits;
+  Alcotest.(check int) "misses" 2 s.C.misses;
+  Alcotest.(check int) "evictions" 1 s.C.evictions
+
+let engine_solve_cache_hits_on_recurring_regimes () =
+  let inst = small_instance ~objects:3 23 in
+  let placement = A.solve inst in
+  (* the same 150-event block four times: epochs 2-4 present exactly the
+     frequency vectors epoch 1 solved, so with eps 0 every dirty object
+     after the first epoch is a guaranteed cache hit *)
+  let block = St.stationary (Rng.create 77) inst ~length:150 in
+  let events = block @ block @ block @ block in
+  let config =
+    {
+      En.default_config with
+      En.policy = En.Resolve;
+      En.epoch = 150;
+      En.storage_period = Some 600;
+      En.dirty_eps = 0.0;
+      En.solve_cache = 16;
+    }
+  in
+  let r = En.run ~config inst placement (List.to_seq events) in
+  let k = I.objects inst in
+  Alcotest.(check int) "first epoch misses once per object" k
+    (match r.En.epochs with e :: _ -> e.En.cache_misses | [] -> -1);
+  Alcotest.(check int) "every later epoch hits for every object" (3 * k)
+    r.En.totals.En.cache_hits;
+  List.iter
+    (fun (e : En.epoch_stats) ->
+      Alcotest.(check int) "hits + misses = dirty" e.En.dirty (e.En.cache_hits + e.En.cache_misses))
+    r.En.epochs;
+  (* cache hits count as resolves (the placement row was recomputed,
+     just not via the solver), so the invariant holds cache on or off *)
+  Alcotest.(check int) "dirty accounting with cache on"
+    r.En.totals.En.resolves
+    (r.En.totals.En.cache_hits + r.En.totals.En.cache_misses
+    - r.En.totals.En.solve_fallbacks);
+  (* cache results must be identical across domain counts too *)
+  let j1 = En.metrics_json inst r in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "solve cache deterministic at %d domains" d)
+            j1
+            (En.metrics_json inst (En.run ~pool ~config inst placement (List.to_seq events)))))
+    [ 2; 4 ]
+
+let engine_solve_cache_refuses_checkpointing () =
+  let inst = small_instance ~objects:2 24 in
+  let placement = A.solve inst in
+  let config = { En.default_config with En.solve_cache = 8 } in
+  with_tmp_dir "cache-ckpt.dir" @@ fun dir ->
+  (match En.create ~config ~ckpt:{ En.dir; every = 1; keep = 3 } inst placement with
+  | exception Err.Error e ->
+      Alcotest.(check bool) "validation kind" true (e.Err.kind = Err.Validation)
+  | _ -> Alcotest.fail "solve cache + checkpointing accepted");
+  match En.create ~config:{ config with En.solve_cache = -1 } inst placement with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative solve cache accepted"
+
+(* ---------- scratch reuse: clean epochs allocate little ---------- *)
+
+let engine_scratch_reuse_bounds_allocation () =
+  let inst = small_instance ~objects:3 ~n:20 31 in
+  let placement = A.solve inst in
+  let block = List.map (fun e -> St.Req e) (St.stationary (Rng.create 88) inst ~length:100) in
+  let measure eps =
+    let config =
+      {
+        En.default_config with
+        En.policy = En.Resolve;
+        En.epoch = 100;
+        En.storage_period = Some 400;
+        En.dirty_eps = eps;
+      }
+    in
+    let eng = En.create ~config inst placement in
+    (* two warm-up epochs populate the last-solved vectors and any
+       lazily-built serve state *)
+    En.step eng block;
+    En.step eng block;
+    let before = Gc.allocated_bytes () in
+    En.step eng block;
+    Gc.allocated_bytes () -. before
+  in
+  let full = measure 0.0 in
+  (* identical blocks never drift, so at eps 1.0 the third epoch is
+     entirely clean: no instance rebuild, no solver, reused scratch *)
+  let clean = measure 1.0 in
+  Util.check_leq "clean epoch allocates at most half of a full re-solve epoch" clean
+    (full /. 2.0)
 
 (* ---------- incremental step API ---------- *)
 
@@ -550,4 +763,15 @@ let suite =
     Alcotest.test_case "incremental step matches one-shot run" `Quick engine_step_matches_run;
     Alcotest.test_case "step rejects an unforwarded resume" `Quick
       engine_step_rejects_unforwarded_resume;
+    Util.qtest qcheck_dirty_eps_zero_identity;
+    Alcotest.test_case "dirty filter deterministic and skips on dwell" `Quick
+      engine_dirty_filter_deterministic_and_skips;
+    Util.qtest qcheck_cache_key_stable;
+    Alcotest.test_case "solve cache LRU behaviour" `Quick solve_cache_lru_behaviour;
+    Alcotest.test_case "solve cache hits on recurring regimes" `Quick
+      engine_solve_cache_hits_on_recurring_regimes;
+    Alcotest.test_case "solve cache refuses checkpointing" `Quick
+      engine_solve_cache_refuses_checkpointing;
+    Alcotest.test_case "clean epochs reuse scratch (allocation pinned)" `Quick
+      engine_scratch_reuse_bounds_allocation;
   ]

@@ -101,6 +101,45 @@ let dump_roundtrips () =
   Alcotest.(check bool) "print/parse fixpoint" true
     (Jsonx.equal v (Jsonx.parse_exn reprinted))
 
+(* ---------- the engine's metrics document (v4) ---------- *)
+
+let engine_metrics_json_v4 () =
+  let module En = Dmn_engine.Engine in
+  let inst = Util.random_graph_instance ~objects:2 (Rng.create 7) 10 in
+  let placement = Dmn_core.Approx.solve inst in
+  let events = Dmn_dynamic.Stream.stationary (Rng.create 8) inst ~length:300 in
+  let config = { En.default_config with En.epoch = 100; En.dirty_eps = 0.3 } in
+  let r = En.run ~config inst placement (List.to_seq events) in
+  let v = Jsonx.parse_exn (En.metrics_json inst r) in
+  Alcotest.(check (option int)) "version bumped for the incremental-resolve fields" (Some 4)
+    (Option.bind (Jsonx.member "version" v) Jsonx.to_int);
+  let totals = Jsonx.member_exn "totals" v in
+  List.iter
+    (fun field ->
+      if Jsonx.member field totals = None then Alcotest.failf "totals.%s missing" field)
+    [ "solve_skipped"; "cache_hits"; "cache_misses"; "cache_evictions" ];
+  (* every epoch snapshot carries the new counters and gauges *)
+  (match Jsonx.member_exn "epochs" v with
+  | Jsonx.Arr (e :: _) ->
+      List.iter
+        (fun field ->
+          if Jsonx.member field e = None then Alcotest.failf "epoch field %s missing" field)
+        [
+          "solve_skipped_total"; "solve_cache_hits_total"; "solve_cache_misses_total";
+          "solve_cache_evictions_total"; "epoch_solve_skipped"; "dirty_objects";
+          "epoch_cache_hits"; "epoch_cache_misses"; "epoch_cache_evictions";
+        ];
+      (* the solve-latency histogram is wall-clock and must stay out of
+         the deterministic document *)
+      if Jsonx.member "solve_epoch_s" e <> None then
+        Alcotest.fail "solve_epoch_s leaked into the deterministic epochs"
+  | _ -> Alcotest.fail "epochs is not a non-empty array");
+  if Jsonx.member "solve_epoch_s" v <> None then
+    Alcotest.fail "solve_epoch_s leaked into the deterministic document";
+  (* the whole document survives a print/parse round trip *)
+  Alcotest.(check bool) "print/parse fixpoint" true
+    (Jsonx.equal v (Jsonx.parse_exn (Jsonx.to_string v)))
+
 (* ---------- Jsonx parser edge cases ---------- *)
 
 let jsonx_parses_edge_cases () =
@@ -134,5 +173,6 @@ let suite =
     Alcotest.test_case "concurrent counters: monotonic, lossless, parseable" `Quick
       concurrent_counters;
     Alcotest.test_case "dump round-trips through Jsonx" `Quick dump_roundtrips;
+    Alcotest.test_case "engine metrics document is v4" `Quick engine_metrics_json_v4;
     Alcotest.test_case "Jsonx edge cases" `Quick jsonx_parses_edge_cases;
   ]

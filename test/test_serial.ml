@@ -233,11 +233,17 @@ let gen_checkpoint : Ck.t QCheck.Gen.t =
            let* dropped = int_range 0 10 in
            let* emergency = int_range 0 3 in
            let* topo_events = int_range 0 4 in
+           let* solve_skipped = int_range 0 5 in
+           let* dirty = int_range 0 5 in
+           let* cache_hits = int_range 0 5 in
+           let* cache_misses = int_range 0 5 in
+           let* cache_evictions = int_range 0 5 in
            return
              {
                Ck.index; events; reads; writes = events - reads; resolves; solve_retries;
                solve_fallbacks; copies; dropped; emergency; topo_events; serving; storage;
-               migration; p50; p95; p99;
+               migration; p50; p95; p99; solve_skipped; dirty; cache_hits; cache_misses;
+               cache_evictions;
              }))
   in
   (* writes may come out negative above; clamp rows to stay valid *)
@@ -281,11 +287,30 @@ let gen_checkpoint : Ck.t QCheck.Gen.t =
   let* period = int_range 1 1000 in
   let* checkpoints_written = int_range 0 50 in
   let* serve_retries = int_range 0 50 in
+  let* dirty_eps = oneofl [ 0.0; 0.25; 0.375; 0.5 ] in
+  let sparse =
+    let* picks = array_repeat nodes (int_range 0 3) in
+    return
+      (List.filter_map
+         (fun (v, c) -> if c > 0 then Some (v, c) else None)
+         (Array.to_list (Array.mapi (fun v c -> (v, c)) picks)))
+  in
+  let* resolve_state =
+    flatten_a
+      (Array.init objects (fun _ ->
+           let* valid = bool in
+           if not valid then return Ck.no_obj_state
+           else
+             let* o_mhash = map Int64.of_int int in
+             let* o_fr = sparse in
+             let* o_fw = sparse in
+             return { Ck.o_valid = true; o_mhash; o_fr; o_fw }))
+  in
   return
     {
       Ck.policy; epoch_size; period; next_epoch; events_consumed;
       topo_consumed = topo_applied + topo_pending; topo_applied; fingerprint; nodes; objects;
-      placements; epochs;
+      placements; epochs; dirty_eps; resolve_state;
       hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets; h_sum; h_counts };
       topo = { Ck.metric_version; metric_hash; down; edge_overrides };
       checkpoints_written; serve_retries;
@@ -312,7 +337,14 @@ let sample_checkpoint () =
             solve_fallbacks = 0; copies = 3; dropped = 4; emergency = 1; topo_events = 1;
             serving = 12.5; storage = 3.25; migration = 0.5;
             p50 = 1.0; p95 = 2.0; p99 = 4.0;
+            solve_skipped = 1; dirty = 2; cache_hits = 1; cache_misses = 1; cache_evictions = 0;
           });
+    dirty_eps = 0.25;
+    resolve_state =
+      [|
+        { Ck.o_valid = true; o_mhash = 0x00000000cafef00dL; o_fr = [ (0, 3); (3, 1) ]; o_fw = [ (2, 5) ] };
+        Ck.no_obj_state;
+      |];
     hist = { Ck.h_lo = 1.0; h_base = 2.0; h_buckets = 8; h_sum = 150.0; h_counts = [ (0, 120); (3, 80) ] };
     topo =
       {

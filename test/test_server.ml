@@ -126,6 +126,96 @@ let kill_resume_identical () =
         reference (at d))
     [ 1; 4 ]
 
+(* ---------- pipelined re-solve: overlap without divergence ---------- *)
+
+(* With --pipeline the dirty-set solve of each closed epoch runs on a
+   spare domain while the next batch queues; the application barrier
+   must keep the result byte-identical to the plain replay. *)
+let pipelined_core_matches_replay () =
+  let inst = small_instance 19 in
+  let placement = placement_for inst in
+  let items = items_for inst ~length:800 37 in
+  let config =
+    { En.default_config with En.policy = En.Resolve; epoch = 64; dirty_eps = 0.3 }
+  in
+  let reference = En.metrics_json inst (En.run_items ~config inst placement (List.to_seq items)) in
+  let at domains =
+    Pool.with_pool ~domains (fun pool ->
+        let core =
+          Srv.Core.create ~pool
+            { Srv.default_config with Srv.engine = config; pipeline = true }
+            inst placement
+        in
+        List.iteri
+          (fun i item ->
+            ignore (Srv.Core.push core item);
+            if i mod 53 = 0 then Srv.Core.maybe_step core)
+          items;
+        Srv.Core.maybe_step core;
+        Srv.Core.flush core;
+        let json = En.metrics_json inst (Srv.Core.result core) in
+        Srv.Core.shutdown core;
+        json)
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "pipelined core == replay at %d domains" d)
+        reference (at d))
+    [ 1; 2; 4 ]
+
+(* A crash landing while a pipelined solve is in flight loses only the
+   uncommitted epoch: the journal holds its items, so a resume replays
+   it and lands byte-identical to an uninterrupted run. *)
+let pipelined_kill_mid_flight_resumes () =
+  let inst = small_instance 29 in
+  let placement = placement_for inst in
+  let items = items_for inst ~length:900 53 in
+  let config =
+    { En.default_config with En.policy = En.Resolve; epoch = 100; dirty_eps = 0.3 }
+  in
+  let reference = En.metrics_json inst (En.run_items ~config inst placement (List.to_seq items)) in
+  let at domains =
+    with_tmp_dir "pipe-journal.dir" @@ fun journal ->
+    with_tmp_dir "pipe-ckpt.dir" @@ fun ckpt_path ->
+    Pool.with_pool ~domains (fun pool ->
+        let cfg =
+          {
+            Srv.default_config with
+            Srv.engine = config;
+            ckpt = Some { En.dir = ckpt_path; every = 2; keep = 3 };
+            journal = Some journal;
+            pipeline = true;
+          }
+        in
+        (* phase 1: push a prefix and stop abruptly right after a step —
+           the last epoch's solve is still in flight on the spare
+           domain, and [kill] discards it uncommitted *)
+        let cut = 641 in
+        let first = Srv.Core.create ~pool cfg inst placement in
+        List.iteri (fun i item -> if i < cut then ignore (Srv.Core.push first item)) items;
+        Srv.Core.maybe_step first;
+        let committed = Srv.Core.epochs first in
+        Srv.Core.kill first;
+        Alcotest.(check int) "kill commits nothing" committed (Srv.Core.epochs first);
+        (* phase 2: resume replays the journaled in-flight epoch *)
+        let resumed =
+          Srv.Core.create ~pool { cfg with Srv.resume = Some ckpt_path } inst placement
+        in
+        List.iteri (fun i item -> if i >= cut then ignore (Srv.Core.push resumed item)) items;
+        Srv.Core.maybe_step resumed;
+        Srv.Core.flush resumed;
+        let json = En.metrics_json inst (Srv.Core.result resumed) in
+        Srv.Core.shutdown resumed;
+        json)
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "kill mid-pipeline + resume == uninterrupted at %d domains" d)
+        reference (at d))
+    [ 1; 4 ]
+
 (* ---------- overload sheds visibly ---------- *)
 
 let overload_sheds () =
@@ -333,6 +423,10 @@ let suite =
   [
     Alcotest.test_case "core batcher matches replay (1/2/4 domains)" `Quick core_matches_replay;
     Alcotest.test_case "kill+resume byte-identical (1/4 domains)" `Quick kill_resume_identical;
+    Alcotest.test_case "pipelined core matches replay (1/2/4 domains)" `Quick
+      pipelined_core_matches_replay;
+    Alcotest.test_case "kill mid-pipeline resumes byte-identical" `Quick
+      pipelined_kill_mid_flight_resumes;
     Alcotest.test_case "overload sheds visibly" `Quick overload_sheds;
     Alcotest.test_case "wire lines classified" `Quick push_line_classifies;
     Alcotest.test_case "journal appender repairs torn tails" `Quick appender_repairs_torn_tail;
